@@ -1,0 +1,113 @@
+// Ablation (§6.5 / DESIGN.md): how much of the LSM's holistic-window
+// advantage comes from the lazy merge operator? Runs the holistic sliding
+// workload on the LSM twice — once using native merge, once with merges
+// force-translated to eager read-modify-writes — and on FASTER/B+tree for
+// reference.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace gadget {
+namespace {
+
+StatusOr<std::vector<StateAccess>> HolisticWorkload() {
+  EventGeneratorOptions gen;
+  gen.num_events = bench::EventsBudget();
+  gen.num_keys = 1'000;
+  gen.seed = 42;
+  auto source = MakeEventGenerator(gen);
+  if (!source.ok()) {
+    return source.status();
+  }
+  OperatorConfig cfg;
+  auto result = GenerateWorkload("sliding_hol", **source, cfg);
+  if (!result.ok()) {
+    return result.status();
+  }
+  return std::move(result->trace);
+}
+
+// Wrapper that hides the engine's merge so the evaluator falls back to RMW.
+class NoMergeStore : public KVStore {
+ public:
+  explicit NoMergeStore(KVStore* inner) : inner_(inner) {}
+  Status Put(std::string_view k, std::string_view v) override { return inner_->Put(k, v); }
+  Status Get(std::string_view k, std::string* v) override { return inner_->Get(k, v); }
+  Status Delete(std::string_view k) override { return inner_->Delete(k); }
+  Status ReadModifyWrite(std::string_view k, std::string_view op) override {
+    return inner_->ReadModifyWrite(k, op);
+  }
+  Status Flush() override { return inner_->Flush(); }
+  StoreStats stats() const override { return inner_->stats(); }
+  std::string name() const override { return inner_->name() + "-nomerge"; }
+
+ private:
+  KVStore* inner_;
+};
+
+int Run() {
+  bench::PrintHeader("Ablation — lazy merge vs eager RMW on the holistic sliding workload");
+  auto trace = HolisticWorkload();
+  if (!trace.ok()) {
+    std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<int> widths = {20, 14, 14};
+  bench::PrintRow({"configuration", "kops/s", "p99.9(us)"}, widths);
+
+  ReplayOptions ropts;
+  ropts.max_ops = bench::OpsBudget();
+
+  {
+    ScopedTempDir dir;
+    auto store = bench::OpenBenchStore("lsm", dir, "merge");
+    if (!store.ok()) {
+      return 1;
+    }
+    auto result = ReplayTrace(*trace, store->get(), ropts);
+    (void)(*store)->Close();
+    if (!result.ok()) {
+      return 1;
+    }
+    bench::PrintRow({"lsm (native merge)", bench::Fmt(result->throughput_ops_per_sec / 1e3, 1),
+                     bench::Fmt(static_cast<double>(result->latency_ns.Percentile(99.9)) / 1e3, 1)},
+                    widths);
+  }
+  {
+    ScopedTempDir dir;
+    auto store = bench::OpenBenchStore("lsm", dir, "rmw");
+    if (!store.ok()) {
+      return 1;
+    }
+    NoMergeStore wrapped(store->get());
+    auto result = ReplayTrace(*trace, &wrapped, ropts);
+    (void)(*store)->Close();
+    if (!result.ok()) {
+      return 1;
+    }
+    bench::PrintRow({"lsm (merge->RMW)", bench::Fmt(result->throughput_ops_per_sec / 1e3, 1),
+                     bench::Fmt(static_cast<double>(result->latency_ns.Percentile(99.9)) / 1e3, 1)},
+                    widths);
+  }
+  for (const char* engine : {"btree", "faster"}) {
+    ScopedTempDir dir;
+    auto result = bench::ReplayOnStore(*trace, engine, dir, "ref");
+    if (!result.ok()) {
+      return 1;
+    }
+    bench::PrintRow({std::string(engine) + " (RMW)",
+                     bench::Fmt(result->throughput_ops_per_sec / 1e3, 1),
+                     bench::Fmt(static_cast<double>(result->latency_ns.Percentile(99.9)) / 1e3, 1)},
+                    widths);
+  }
+  bench::PrintShapeNote(
+      "disabling the merge operator collapses the LSM's holistic-workload "
+      "advantage to (or below) the eager-update engines: lazy appends are THE "
+      "reason LSMs win holistic operators (§6.5)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gadget
+
+int main() { return gadget::Run(); }

@@ -1,0 +1,53 @@
+// Figure 10 / §6.1: how close are Gadget traces to real traces? Compares the
+// Gadget-simulated state access stream to the flinklet ("real") stream on
+// identical Borg input: stack distances, unique key sequences, op counts.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/metrics.h"
+
+namespace gadget {
+namespace {
+
+int Run() {
+  bench::PrintHeader("Figure 10 — Gadget traces vs real traces (Borg)");
+  PipelineOptions popts;
+  const std::vector<int> widths = {16, 14, 14, 14, 14};
+  bench::PrintRow({"operator", "metric", "real", "gadget", "shuffled"}, widths);
+
+  for (const std::string& op : AllOperatorNames()) {
+    auto real = bench::RealTrace("borg", op, bench::EventsBudget(), popts);
+    auto sim = bench::GadgetTrace("borg", op, bench::EventsBudget(), popts);
+    if (!real.ok() || !sim.ok()) {
+      std::fprintf(stderr, "%s failed\n", op.c_str());
+      return 1;
+    }
+    auto shuffled = ShuffleTrace(*real, 99);
+
+    bench::PrintRow({op, "ops", std::to_string(real->size()), std::to_string(sim->size()), "-"},
+                    widths);
+    double sd_real = ComputeStackDistances(*real).Mean();
+    double sd_sim = ComputeStackDistances(*sim).Mean();
+    double sd_sh = ComputeStackDistances(shuffled).Mean();
+    bench::PrintRow({op, "stackdist", bench::Fmt(sd_real, 1), bench::Fmt(sd_sim, 1),
+                     bench::Fmt(sd_sh, 1)},
+                    widths);
+    const int kLen = 8;
+    uint64_t sq_real = CountUniqueSequences(*real, kLen)[kLen - 1];
+    uint64_t sq_sim = CountUniqueSequences(*sim, kLen)[kLen - 1];
+    uint64_t sq_sh = CountUniqueSequences(shuffled, kLen)[kLen - 1];
+    bench::PrintRow({op, "uniq-seq8", std::to_string(sq_real), std::to_string(sq_sim),
+                     std::to_string(sq_sh)},
+                    widths);
+  }
+  bench::PrintShapeNote(
+      "Gadget's simulated traces are near-identical to the real traces on "
+      "every locality metric (the integration test proves op/key-level "
+      "equality), while shuffled baselines are far off");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gadget
+
+int main() { return gadget::Run(); }

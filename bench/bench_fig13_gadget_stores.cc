@@ -1,0 +1,83 @@
+// Figure 13 / §6.3 headline: all four KV stores under the eleven Gadget
+// workloads (5s windows, 1s slide, 2min session gap, synthetic zipfian
+// sources). The paper's finding: RocksDB is outperformed by FASTER and
+// BerkeleyDB on six of eleven workloads (all the incremental ones), but LSM
+// engines win the holistic window workloads thanks to lazy merges — and
+// RocksDB's tail latency stays robust everywhere.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace gadget {
+namespace {
+
+StatusOr<std::vector<StateAccess>> SyntheticWorkload(const std::string& op) {
+  EventGeneratorOptions gen;
+  gen.num_events = bench::EventsBudget();
+  gen.num_keys = 1'000;
+  gen.key_distribution = "zipfian";
+  gen.rate_per_sec = 1'000;
+  gen.value_size = 64;
+  gen.num_streams = op.rfind("join", 0) == 0 ? 2 : 1;
+  gen.seed = 42;
+  auto source = MakeEventGenerator(gen);
+  if (!source.ok()) {
+    return source.status();
+  }
+  OperatorConfig cfg;  // paper defaults
+  auto result = GenerateWorkload(op, **source, cfg);
+  if (!result.ok()) {
+    return result.status();
+  }
+  return std::move(result->trace);
+}
+
+int Run() {
+  bench::PrintHeader("Figure 13 — four KV stores x eleven Gadget workloads");
+  const std::vector<int> widths = {16, 9, 14, 14, 14};
+  bench::PrintRow({"workload", "store", "kops/s", "p50(us)", "p99.9(us)"}, widths);
+
+  int lsm_losses = 0;
+  int workloads = 0;
+  for (const std::string& op : AllOperatorNames()) {
+    auto trace = SyntheticWorkload(op);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "%s: %s\n", op.c_str(), trace.status().ToString().c_str());
+      return 1;
+    }
+    double tput[4] = {0, 0, 0, 0};
+    const char* engines[] = {"lsm", "lethe", "btree", "faster"};
+    for (int i = 0; i < 4; ++i) {
+      ScopedTempDir dir;
+      auto result = bench::ReplayOnStore(*trace, engines[i], dir, op);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s/%s: %s\n", op.c_str(), engines[i],
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      tput[i] = result->throughput_ops_per_sec;
+      bench::PrintRow({op, engines[i], bench::Fmt(tput[i] / 1000.0, 1),
+                       bench::Fmt(static_cast<double>(result->latency_ns.Percentile(50)) / 1000.0, 1),
+                       bench::Fmt(static_cast<double>(result->latency_ns.Percentile(99.9)) / 1000.0,
+                                  1)},
+                      widths);
+    }
+    ++workloads;
+    if (tput[2] > tput[0] && tput[3] > tput[0]) {
+      ++lsm_losses;  // both btree and faster beat the LSM (paper's criterion)
+    }
+  }
+  std::printf("\nlsm outperformed by BOTH faster and btree on %d of %d workloads\n", lsm_losses,
+              workloads);
+  bench::PrintShapeNote(
+      "hash/B+tree stores win the incremental workloads (in-place updates, "
+      "O(1)/O(log n) lookups) — paper: six of eleven; the LSM engines win the "
+      "holistic window workloads (lazy merge appends beat rewriting a growing "
+      "vector) and keep the most robust tail latency overall");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gadget
+
+int main() { return gadget::Run(); }

@@ -1,0 +1,47 @@
+// Figure 3: event amplification (state requests per input event) and
+// keyspace amplification (distinct state keys over distinct input keys) for
+// every operator on the Borg stream.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/metrics.h"
+
+namespace gadget {
+namespace {
+
+int Run() {
+  bench::PrintHeader("Figure 3 — event & keyspace amplification (Borg)");
+  const std::vector<int> widths = {16, 12, 12, 14, 14};
+  bench::PrintRow({"operator", "event-amp", "key-amp", "input-keys", "state-keys"}, widths);
+
+  auto events = bench::DatasetEvents("borg", bench::EventsBudget());
+  if (!events.ok()) {
+    std::fprintf(stderr, "%s\n", events.status().ToString().c_str());
+    return 1;
+  }
+  PipelineOptions opts;
+  for (const std::string& op : bench::Table1Operators()) {
+    auto trace = bench::RealTrace("borg", op, bench::EventsBudget(), opts);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "%s: %s\n", op.c_str(), trace.status().ToString().c_str());
+      return 1;
+    }
+    Amplification amp = ComputeAmplification(*events, *trace);
+    bench::PrintRow({op, bench::Fmt(amp.event_amplification, 2),
+                     bench::Fmt(amp.key_amplification, 2),
+                     std::to_string(amp.distinct_input_keys),
+                     std::to_string(amp.distinct_state_keys)},
+                    widths);
+  }
+  bench::PrintShapeNote(
+      "all operators generate >= ~2 state accesses per event except holistic "
+      "tumbling (~1 merge/event); sliding windows amplify by ~2x length/slide; "
+      "time-based operators (windows, interval join) amplify the key space "
+      "heavily while continuous aggregation preserves it (key-amp = 1)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gadget
+
+int main() { return gadget::Run(); }

@@ -1,0 +1,83 @@
+// Figure 5: locality and ephemerality of streaming state access workloads
+// (Borg) for the three representative operators: continuous aggregation,
+// tumbling incremental window, and sliding (window) join. Real traces vs
+// their shuffled counterparts.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/metrics.h"
+
+namespace gadget {
+namespace {
+
+const char* kOps[] = {"aggregation", "tumbling_incr", "join_sliding"};
+
+int Run() {
+  bench::PrintHeader("Figure 5 — locality & ephemerality (Borg)");
+  PipelineOptions opts;
+
+  std::printf("\n(top) temporal locality: mean LRU stack distance\n");
+  const std::vector<int> w1 = {16, 14, 14, 10};
+  bench::PrintRow({"operator", "real", "shuffled", "ratio"}, w1);
+  for (const char* op : kOps) {
+    auto trace = bench::RealTrace("borg", op, bench::EventsBudget(), opts);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+      return 1;
+    }
+    auto real = ComputeStackDistances(*trace);
+    auto shuffled = ComputeStackDistances(ShuffleTrace(*trace, 99));
+    bench::PrintRow({op, bench::Fmt(real.Mean(), 1), bench::Fmt(shuffled.Mean(), 1),
+                     bench::Fmt(shuffled.Mean() / std::max(real.Mean(), 1e-9), 1) + "x"},
+                    w1);
+  }
+
+  std::printf("\n(middle) spatial locality: unique key sequences of length l\n");
+  const std::vector<int> w2 = {16, 6, 14, 14};
+  bench::PrintRow({"operator", "l", "real", "shuffled"}, w2);
+  for (const char* op : kOps) {
+    auto trace = bench::RealTrace("borg", op, bench::EventsBudget(), opts);
+    if (!trace.ok()) {
+      return 1;
+    }
+    auto real = CountUniqueSequences(*trace, 10);
+    auto shuffled = CountUniqueSequences(ShuffleTrace(*trace, 99), 10);
+    for (int l : {2, 5, 10}) {
+      bench::PrintRow({op, std::to_string(l), std::to_string(real[static_cast<size_t>(l - 1)]),
+                       std::to_string(shuffled[static_cast<size_t>(l - 1)])},
+                      w2);
+    }
+  }
+
+  std::printf("\n(bottom) working set size over time (samples)\n");
+  const std::vector<int> w3 = {16, 12, 12, 12, 12};
+  bench::PrintRow({"operator", "25%", "50%", "75%", "100%"}, w3);
+  for (const char* op : kOps) {
+    auto trace = bench::RealTrace("borg", op, bench::EventsBudget(), opts);
+    if (!trace.ok()) {
+      return 1;
+    }
+    auto timeline = ComputeWorkingSetTimeline(*trace, 100);
+    auto at = [&](double frac) {
+      if (timeline.empty()) {
+        return std::string("0");
+      }
+      size_t idx = std::min(timeline.size() - 1,
+                            static_cast<size_t>(frac * static_cast<double>(timeline.size())));
+      return std::to_string(timeline[idx].active_keys);
+    };
+    bench::PrintRow({op, at(0.25), at(0.5), at(0.75), at(0.999)}, w3);
+  }
+
+  bench::PrintShapeNote(
+      "real traces show far lower stack distances and far fewer unique "
+      "sequences than shuffled ones (high temporal+spatial locality); "
+      "aggregation's working set only grows while windowed operators' stays "
+      "bounded (ephemeral state)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gadget
+
+int main() { return gadget::Run(); }

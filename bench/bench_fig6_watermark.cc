@@ -1,0 +1,53 @@
+// Figure 6: effect of watermark frequency on the working set size of an
+// incremental tumbling window over the Azure stream. Slow watermarks keep
+// windows in state longer, inflating the maximum working set (paper: up to
+// 3x between wm=100 and wm=1000 events).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/metrics.h"
+
+namespace gadget {
+namespace {
+
+int Run() {
+  bench::PrintHeader("Figure 6 — watermark frequency vs working set (Azure, tumbling-incr)");
+  const std::vector<int> widths = {18, 14, 14};
+  bench::PrintRow({"wm-every", "max-ws", "mean-ws"}, widths);
+
+  double max_ws[2] = {0, 0};
+  int i = 0;
+  for (uint64_t wm_every : {100ull, 1000ull}) {
+    PipelineOptions opts;
+    opts.watermark_every = wm_every;
+    auto trace = bench::RealTrace("azure", "tumbling_incr", bench::EventsBudget(), opts);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "%s\n", trace.status().ToString().c_str());
+      return 1;
+    }
+    auto timeline = ComputeWorkingSetTimeline(*trace, 100);
+    uint64_t max_active = 0;
+    double sum = 0;
+    for (const auto& p : timeline) {
+      max_active = std::max(max_active, p.active_keys);
+      sum += static_cast<double>(p.active_keys);
+    }
+    max_ws[i++] = static_cast<double>(max_active);
+    bench::PrintRow({std::to_string(wm_every) + " events", std::to_string(max_active),
+                     bench::Fmt(timeline.empty() ? 0 : sum / static_cast<double>(timeline.size()), 1)},
+                    widths);
+  }
+  std::printf("max working set ratio (wm=1000 / wm=100): %.2fx\n",
+              max_ws[1] / std::max(max_ws[0], 1.0));
+  bench::PrintShapeNote(
+      "slow watermarks (1 per 1000 events) increase the maximum working set "
+      "severalfold vs eager watermarks (1 per 100): windows cannot fire and "
+      "be cleaned up until the watermark advances");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gadget
+
+int main() { return gadget::Run(); }

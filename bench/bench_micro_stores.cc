@@ -1,0 +1,93 @@
+// Engine-level micro-benchmarks (google-benchmark): point operations per
+// engine, merge vs read-modify-write on growing buckets, and block/page
+// cache behaviour. These are the building blocks behind the shapes in
+// Figures 12/13.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/common/file_util.h"
+#include "src/stores/kvstore.h"
+
+namespace gadget {
+namespace {
+
+struct EngineFixture {
+  explicit EngineFixture(const std::string& engine) {
+    dir = std::make_unique<ScopedTempDir>();
+    auto opened = OpenStore(engine, dir->path() + "/db");
+    if (opened.ok()) {
+      store = std::move(*opened);
+    }
+  }
+  std::unique_ptr<ScopedTempDir> dir;
+  std::unique_ptr<KVStore> store;
+};
+
+std::string KeyOf(uint64_t i) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "key%016llu", static_cast<unsigned long long>(i));
+  return std::string(buf);
+}
+
+void BM_Put(benchmark::State& state, const std::string& engine) {
+  EngineFixture fx(engine);
+  std::string value(256, 'v');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.store->Put(KeyOf(i++ % 10'000), value));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_Get(benchmark::State& state, const std::string& engine) {
+  EngineFixture fx(engine);
+  std::string value(256, 'v');
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    (void)fx.store->Put(KeyOf(i), value);
+  }
+  std::string out;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.store->Get(KeyOf(i++ * 7919 % 10'000), &out));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+// Growing-bucket appends: merge on the LSM vs eager RMW elsewhere — the §6.5
+// mechanic behind the holistic-window results.
+void BM_BucketAppend(benchmark::State& state, const std::string& engine) {
+  EngineFixture fx(engine);
+  std::string operand(64, 'o');
+  uint64_t bucket = 0;
+  uint64_t appended = 0;
+  for (auto _ : state) {
+    if (fx.store->supports_merge()) {
+      benchmark::DoNotOptimize(fx.store->Merge(KeyOf(bucket), operand));
+    } else {
+      benchmark::DoNotOptimize(fx.store->ReadModifyWrite(KeyOf(bucket), operand));
+    }
+    // New bucket every 2000 appends, like a firing window.
+    if (++appended % 2'000 == 0) {
+      (void)fx.store->Delete(KeyOf(bucket));
+      ++bucket;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+#define REGISTER_ENGINE_BENCH(fn)                                          \
+  BENCHMARK_CAPTURE(fn, lsm, std::string("lsm"));                          \
+  BENCHMARK_CAPTURE(fn, lethe, std::string("lethe"));                      \
+  BENCHMARK_CAPTURE(fn, btree, std::string("btree"));                      \
+  BENCHMARK_CAPTURE(fn, faster, std::string("faster"));                    \
+  BENCHMARK_CAPTURE(fn, mem, std::string("mem"))
+
+REGISTER_ENGINE_BENCH(BM_Put);
+REGISTER_ENGINE_BENCH(BM_Get);
+REGISTER_ENGINE_BENCH(BM_BucketAppend);
+
+}  // namespace
+}  // namespace gadget
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Table 2: Kolmogorov-Smirnov test between each operator's input key
+// distribution and its state-key distribution (Borg). Continuous aggregation
+// is the only operator whose state stream preserves the input distribution.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/stats_tests.h"
+
+namespace gadget {
+namespace {
+
+int Run() {
+  bench::PrintHeader("Table 2 — KS test: input keys vs state keys (Borg)");
+  const std::vector<int> widths = {16, 10, 12, 12, 12, 10};
+  bench::PrintRow({"operator", "D", "p-value", "n", "m", "passes"}, widths);
+
+  auto events = bench::DatasetEvents("borg", bench::EventsBudget());
+  if (!events.ok()) {
+    std::fprintf(stderr, "%s\n", events.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<double> input_ranks = EventKeyRanks(*events);
+
+  PipelineOptions opts;
+  for (const std::string& op : bench::Table1Operators()) {
+    auto trace = bench::RealTrace("borg", op, bench::EventsBudget(), opts);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "%s: %s\n", op.c_str(), trace.status().ToString().c_str());
+      return 1;
+    }
+    KsResult r = KsTest(input_ranks, StateKeyRanks(*trace));
+    bench::PrintRow({op, bench::Fmt(r.d), bench::Fmt(r.p_value, 4), std::to_string(r.n),
+                     std::to_string(r.m), r.Rejects() ? "no" : "YES"},
+                    widths);
+  }
+  bench::PrintShapeNote(
+      "every operator distorts the input key distribution (D >> 0, p ~ 0) "
+      "except continuous aggregation (D ~ 0, p ~ 1), which uses input keys "
+      "directly as state keys");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gadget
+
+int main() { return gadget::Run(); }

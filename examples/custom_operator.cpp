@@ -1,0 +1,84 @@
+// Extending Gadget with a user-defined operator (§5.4).
+//
+// Implements a "distinct-count within TTL" operator in the three-method
+// state-machine API (AssignStateMachines / Run / Terminate): every event
+// probes a dedup entry for its key; unseen keys are inserted with a TTL and
+// expire via the vIndex. Roughly the state profile of a streaming
+// deduplication / fraud-screening stage.
+#include <cstdio>
+
+#include "src/analysis/metrics.h"
+#include "src/gadget/event_generator.h"
+#include "src/gadget/workload.h"
+
+using namespace gadget;
+
+namespace {
+
+class DedupLogic : public OperatorLogic {
+ public:
+  explicit DedupLogic(uint64_t ttl_ms) : ttl_ms_(ttl_ms) {}
+
+  const char* name() const override { return "dedup"; }
+
+  std::vector<StateKey> AssignStateMachines(const Event& e, Driver& driver) override {
+    StateKey key{e.key, 0};
+    StateMachine* existing = driver.FindMachine(key);
+    if (existing == nullptr) {
+      StateMachine& m = driver.GetOrCreateMachine(key, e.event_time_ms);
+      m.state = 0;  // fresh: Run will insert
+      driver.RegisterExpiry(e.event_time_ms + ttl_ms_, key);
+    }
+    return {key};
+  }
+
+  void Run(StateMachine& m, const Event& e, Driver& driver, OpEmitter& out) override {
+    // Probe first (is this key a duplicate?).
+    out.Emit(OpType::kGet, m.key, 0, e.event_time_ms);
+    if (m.state == 0) {
+      // First sighting within the TTL: remember it.
+      out.Emit(OpType::kPut, m.key, 16, e.event_time_ms);
+      m.state = 1;
+    }
+    ++m.elements;
+  }
+
+  void Terminate(StateMachine& m, uint64_t fire_time, Driver& driver, OpEmitter& out) override {
+    out.Emit(OpType::kDelete, m.key, 0, driver.watermark());
+    driver.DropMachine(m.key);
+  }
+
+ private:
+  uint64_t ttl_ms_;
+};
+
+}  // namespace
+
+int main() {
+  EventGeneratorOptions gen;
+  gen.num_events = 50'000;
+  gen.num_keys = 2'000;
+  gen.key_distribution = "zipfian";
+  gen.rate_per_sec = 1'000;
+  auto source = MakeEventGenerator(gen);
+  if (!source.ok()) {
+    return 1;
+  }
+
+  auto workload =
+      GenerateWorkload(std::make_unique<DedupLogic>(/*ttl_ms=*/30'000), **source, OperatorConfig{});
+  if (!workload.ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+    return 1;
+  }
+  OpComposition c = ComputeComposition(workload->trace);
+  std::printf("custom dedup operator: %zu accesses from %llu events\n", workload->trace.size(),
+              (unsigned long long)workload->events_processed);
+  std::printf("composition: get=%.3f put=%.3f delete=%.3f\n", c.get, c.put, c.del);
+  auto ttls = ComputeKeyTtls(workload->trace);
+  std::printf("dedup-entry TTL p50=%llu p99=%llu timesteps\n",
+              (unsigned long long)PercentileOf(ttls, 50),
+              (unsigned long long)PercentileOf(ttls, 99));
+  std::printf("\n(three methods — assign/run/terminate — were all it took, §5.4)\n");
+  return 0;
+}

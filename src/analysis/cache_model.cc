@@ -1,0 +1,95 @@
+#include "src/analysis/cache_model.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/analysis/metrics.h"
+
+namespace gadget {
+
+std::vector<MissRatioPoint> ComputeMissRatioCurve(const std::vector<StateAccess>& trace,
+                                                  const std::vector<uint64_t>& cache_sizes) {
+  StackDistanceResult sd = ComputeStackDistances(trace);
+  // Histogram of stack distances -> cumulative hits under each size.
+  std::vector<uint64_t> sorted = sd.distances;
+  std::sort(sorted.begin(), sorted.end());
+  const double total = static_cast<double>(sorted.size() + sd.cold_misses);
+
+  std::vector<MissRatioPoint> curve;
+  curve.reserve(cache_sizes.size());
+  for (uint64_t size : cache_sizes) {
+    // Hit iff distance < size.
+    auto it = std::lower_bound(sorted.begin(), sorted.end(), size);
+    uint64_t hits = static_cast<uint64_t>(it - sorted.begin());
+    double miss = total == 0 ? 0 : 1.0 - static_cast<double>(hits) / total;
+    curve.push_back(MissRatioPoint{size, miss});
+  }
+  return curve;
+}
+
+uint64_t RecommendCacheSize(const std::vector<StateAccess>& trace, double target_miss_ratio,
+                            double granularity) {
+  // Geometric sweep up to the trace's distinct-key count.
+  std::unordered_map<StateKey, int, StateKeyHash> distinct;
+  for (const StateAccess& a : trace) {
+    distinct.emplace(a.key, 0);
+  }
+  std::vector<uint64_t> sizes;
+  for (double s = 16; s < static_cast<double>(distinct.size()) * granularity;
+       s *= granularity) {
+    sizes.push_back(static_cast<uint64_t>(s));
+  }
+  if (sizes.empty()) {
+    sizes.push_back(16);
+  }
+  for (const MissRatioPoint& point : ComputeMissRatioCurve(trace, sizes)) {
+    if (point.miss_ratio <= target_miss_ratio) {
+      return point.cache_entries;
+    }
+  }
+  return 0;
+}
+
+PrefetchResult SimulatePrefetch(const std::vector<StateAccess>& trace, int slots) {
+  PrefetchResult result;
+  result.accesses = trace.size();
+  if (trace.empty() || slots <= 0) {
+    return result;
+  }
+  // Per context key: the most recent `slots` successors (LRU order).
+  std::unordered_map<StateKey, std::vector<StateKey>, StateKeyHash> successors;
+  successors.reserve(trace.size() / 4 + 16);
+  bool have_prev = false;
+  StateKey prev;
+  for (const StateAccess& a : trace) {
+    if (!have_prev) {
+      ++result.cold;
+      prev = a.key;
+      have_prev = true;
+      continue;
+    }
+    auto it = successors.find(prev);
+    if (it == successors.end()) {
+      ++result.cold;
+    } else {
+      const std::vector<StateKey>& cands = it->second;
+      if (std::find(cands.begin(), cands.end(), a.key) != cands.end()) {
+        ++result.predicted;
+      }
+    }
+    // Train: a.key becomes the most recent successor of prev.
+    std::vector<StateKey>& cands = successors[prev];
+    auto pos = std::find(cands.begin(), cands.end(), a.key);
+    if (pos != cands.end()) {
+      cands.erase(pos);
+    }
+    cands.insert(cands.begin(), a.key);
+    if (cands.size() > static_cast<size_t>(slots)) {
+      cands.pop_back();
+    }
+    prev = a.key;
+  }
+  return result;
+}
+
+}  // namespace gadget

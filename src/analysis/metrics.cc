@@ -1,0 +1,210 @@
+#include "src/analysis/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/rng.h"
+
+namespace gadget {
+
+OpComposition ComputeComposition(const std::vector<StateAccess>& trace) {
+  OpComposition c;
+  c.total = trace.size();
+  if (trace.empty()) {
+    return c;
+  }
+  uint64_t counts[4] = {0, 0, 0, 0};
+  for (const StateAccess& a : trace) {
+    ++counts[static_cast<int>(a.op)];
+  }
+  double n = static_cast<double>(trace.size());
+  c.get = static_cast<double>(counts[static_cast<int>(OpType::kGet)]) / n;
+  c.put = static_cast<double>(counts[static_cast<int>(OpType::kPut)]) / n;
+  c.merge = static_cast<double>(counts[static_cast<int>(OpType::kMerge)]) / n;
+  c.del = static_cast<double>(counts[static_cast<int>(OpType::kDelete)]) / n;
+  return c;
+}
+
+Amplification ComputeAmplification(const std::vector<Event>& events,
+                                   const std::vector<StateAccess>& trace) {
+  Amplification amp;
+  uint64_t records = 0;
+  std::unordered_set<uint64_t> input_keys;
+  for (const Event& e : events) {
+    if (!e.is_watermark()) {
+      ++records;
+      input_keys.insert(e.key);
+    }
+  }
+  std::unordered_set<StateKey, StateKeyHash> state_keys;
+  for (const StateAccess& a : trace) {
+    state_keys.insert(a.key);
+  }
+  amp.distinct_input_keys = input_keys.size();
+  amp.distinct_state_keys = state_keys.size();
+  amp.event_amplification =
+      records == 0 ? 0 : static_cast<double>(trace.size()) / static_cast<double>(records);
+  amp.key_amplification = input_keys.empty() ? 0
+                                             : static_cast<double>(state_keys.size()) /
+                                                   static_cast<double>(input_keys.size());
+  return amp;
+}
+
+double StackDistanceResult::Mean() const {
+  if (distances.empty()) {
+    return 0;
+  }
+  double sum = 0;
+  for (uint64_t d : distances) {
+    sum += static_cast<double>(d);
+  }
+  return sum / static_cast<double>(distances.size());
+}
+
+namespace {
+
+// Fenwick tree over trace positions; a 1 marks the most recent access
+// position of some key.
+class Fenwick {
+ public:
+  explicit Fenwick(size_t n) : tree_(n + 1, 0) {}
+
+  void Add(size_t i, int delta) {
+    for (size_t x = i + 1; x < tree_.size(); x += x & (~x + 1)) {
+      tree_[x] += delta;
+    }
+  }
+
+  // Sum of [0, i].
+  int64_t Prefix(size_t i) const {
+    int64_t sum = 0;
+    for (size_t x = i + 1; x > 0; x -= x & (~x + 1)) {
+      sum += tree_[x];
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<int64_t> tree_;
+};
+
+}  // namespace
+
+StackDistanceResult ComputeStackDistances(const std::vector<StateAccess>& trace) {
+  StackDistanceResult result;
+  result.distances.reserve(trace.size());
+  Fenwick fen(trace.size());
+  std::unordered_map<StateKey, size_t, StateKeyHash> last_pos;
+  last_pos.reserve(trace.size() / 4 + 16);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const StateKey& key = trace[i].key;
+    auto it = last_pos.find(key);
+    if (it == last_pos.end()) {
+      ++result.cold_misses;
+    } else {
+      size_t prev = it->second;
+      // Distinct keys accessed strictly between prev and i = number of
+      // "most recent access" marks in (prev, i).
+      int64_t between = fen.Prefix(i > 0 ? i - 1 : 0) - fen.Prefix(prev);
+      result.distances.push_back(static_cast<uint64_t>(between));
+      fen.Add(prev, -1);
+    }
+    fen.Add(i, +1);
+    last_pos[key] = i;
+  }
+  return result;
+}
+
+std::vector<uint64_t> CountUniqueSequences(const std::vector<StateAccess>& trace, int max_len) {
+  std::vector<uint64_t> counts(static_cast<size_t>(max_len), 0);
+  const size_t n = trace.size();
+  // Pre-hash each key once.
+  std::vector<uint64_t> key_hash(n);
+  for (size_t i = 0; i < n; ++i) {
+    key_hash[i] = StateKeyHash{}(trace[i].key) | 1;  // keep nonzero
+  }
+  for (int len = 1; len <= max_len; ++len) {
+    std::unordered_set<uint64_t> seen;
+    if (n >= static_cast<size_t>(len)) {
+      seen.reserve(n);
+      for (size_t i = 0; i + static_cast<size_t>(len) <= n; ++i) {
+        // Order-sensitive polynomial hash of the window.
+        uint64_t h = 1469598103934665603ULL;
+        for (int j = 0; j < len; ++j) {
+          h = (h ^ key_hash[i + static_cast<size_t>(j)]) * 1099511628211ULL;
+        }
+        seen.insert(h);
+      }
+    }
+    counts[static_cast<size_t>(len - 1)] = seen.size();
+  }
+  return counts;
+}
+
+std::vector<WorkingSetPoint> ComputeWorkingSetTimeline(const std::vector<StateAccess>& trace,
+                                                       uint64_t step) {
+  std::vector<WorkingSetPoint> timeline;
+  if (trace.empty() || step == 0) {
+    return timeline;
+  }
+  std::unordered_map<StateKey, std::pair<size_t, size_t>, StateKeyHash> spans;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    auto [it, inserted] = spans.try_emplace(trace[i].key, std::make_pair(i, i));
+    if (!inserted) {
+      it->second.second = i;
+    }
+  }
+  // Difference array: +1 at first access, -1 after last access.
+  std::vector<int64_t> delta(trace.size() + 1, 0);
+  for (const auto& [key, span] : spans) {
+    ++delta[span.first];
+    --delta[span.second + 1];
+  }
+  int64_t active = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    active += delta[i];
+    if (i % step == 0) {
+      timeline.push_back(WorkingSetPoint{i, static_cast<uint64_t>(active)});
+    }
+  }
+  return timeline;
+}
+
+std::vector<uint64_t> ComputeKeyTtls(const std::vector<StateAccess>& trace) {
+  std::unordered_map<StateKey, std::pair<size_t, size_t>, StateKeyHash> spans;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    auto [it, inserted] = spans.try_emplace(trace[i].key, std::make_pair(i, i));
+    if (!inserted) {
+      it->second.second = i;
+    }
+  }
+  std::vector<uint64_t> ttls;
+  ttls.reserve(spans.size());
+  for (const auto& [key, span] : spans) {
+    ttls.push_back(static_cast<uint64_t>(span.second - span.first));
+  }
+  return ttls;
+}
+
+uint64_t PercentileOf(std::vector<uint64_t> values, double p) {
+  if (values.empty()) {
+    return 0;
+  }
+  std::sort(values.begin(), values.end());
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t idx = static_cast<size_t>(rank);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+std::vector<StateAccess> ShuffleTrace(const std::vector<StateAccess>& trace, uint64_t seed) {
+  std::vector<StateAccess> out = trace;
+  Pcg32 rng(seed, /*stream=*/41);
+  for (size_t i = out.size(); i > 1; --i) {
+    size_t j = rng.NextBounded64(i);
+    std::swap(out[i - 1], out[j]);
+  }
+  return out;
+}
+
+}  // namespace gadget

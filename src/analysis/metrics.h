@@ -1,0 +1,91 @@
+// Trace analytics implementing every metric of the characterization study
+// (§3.2): workload composition, event & keyspace amplification, temporal
+// locality (LRU stack distances), spatial locality (unique key sequences),
+// working-set-size evolution, and key TTL.
+#ifndef GADGET_ANALYSIS_METRICS_H_
+#define GADGET_ANALYSIS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/streams/event.h"
+#include "src/streams/state_access.h"
+
+namespace gadget {
+
+// ------------------------------------------------------------- composition
+
+struct OpComposition {
+  uint64_t total = 0;
+  double get = 0;
+  double put = 0;
+  double merge = 0;
+  double del = 0;
+};
+
+OpComposition ComputeComposition(const std::vector<StateAccess>& trace);
+
+// ------------------------------------------------------------ amplification
+
+struct Amplification {
+  // State requests per input event (§3.2.2).
+  double event_amplification = 0;
+  // Distinct state keys over distinct input keys.
+  double key_amplification = 0;
+  uint64_t distinct_input_keys = 0;
+  uint64_t distinct_state_keys = 0;
+};
+
+Amplification ComputeAmplification(const std::vector<Event>& events,
+                                   const std::vector<StateAccess>& trace);
+
+// -------------------------------------------------------- temporal locality
+
+struct StackDistanceResult {
+  // One entry per re-access: the number of distinct keys touched since the
+  // previous access to the same key (LRU stack distance).
+  std::vector<uint64_t> distances;
+  uint64_t cold_misses = 0;  // first accesses (infinite distance)
+
+  double Mean() const;
+};
+
+// O(n log n) via a Fenwick tree over access positions.
+StackDistanceResult ComputeStackDistances(const std::vector<StateAccess>& trace);
+
+// --------------------------------------------------------- spatial locality
+
+// counts[l-1] = number of distinct key sequences of length l (1 <= l <=
+// max_len) in the trace's key sequence. Lower counts = higher spatial
+// locality (§3.2.3).
+std::vector<uint64_t> CountUniqueSequences(const std::vector<StateAccess>& trace, int max_len);
+
+// -------------------------------------------------------------- working set
+
+struct WorkingSetPoint {
+  uint64_t op_index;
+  uint64_t active_keys;  // keys with first access <= i and last access >= i
+};
+
+// Samples the working key set every `step` operations (§3.2.3 uses 100).
+std::vector<WorkingSetPoint> ComputeWorkingSetTimeline(const std::vector<StateAccess>& trace,
+                                                       uint64_t step);
+
+// ---------------------------------------------------------------------- TTL
+
+// Per distinct key: timesteps (trace positions) between first and last
+// access. Keys accessed once have TTL 0.
+std::vector<uint64_t> ComputeKeyTtls(const std::vector<StateAccess>& trace);
+
+// Percentile over a vector (p in [0,100]); returns 0 on empty input.
+uint64_t PercentileOf(std::vector<uint64_t> values, double p);
+
+// --------------------------------------------------------------- shuffling
+
+// Random permutation of the trace (preserves key popularity, destroys
+// ordering) — the paper's "shuffled" baseline.
+std::vector<StateAccess> ShuffleTrace(const std::vector<StateAccess>& trace, uint64_t seed);
+
+}  // namespace gadget
+
+#endif  // GADGET_ANALYSIS_METRICS_H_

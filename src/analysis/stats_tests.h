@@ -1,0 +1,44 @@
+// Statistical distance machinery for the characterization study: two-sample
+// Kolmogorov-Smirnov test (Table 2, §4) and the 1-D Wasserstein (earth
+// mover's) distance (§4), plus the rank mapping the paper uses to compare
+// key distributions over a common domain.
+#ifndef GADGET_ANALYSIS_STATS_TESTS_H_
+#define GADGET_ANALYSIS_STATS_TESTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/streams/event.h"
+#include "src/streams/state_access.h"
+
+namespace gadget {
+
+struct KsResult {
+  double d = 0;        // sup |F1 - F2|
+  double p_value = 1;  // asymptotic two-sample p-value
+  size_t n = 0;        // sample sizes
+  size_t m = 0;
+
+  // Rejected at significance alpha?
+  bool Rejects(double alpha = 0.001) const { return p_value < alpha; }
+};
+
+// Two-sample KS test on raw samples.
+KsResult KsTest(const std::vector<double>& a, const std::vector<double>& b);
+
+// 1-D Wasserstein distance between empirical distributions given as samples,
+// computed on the samples' common domain.
+double Wasserstein1D(const std::vector<double>& a, const std::vector<double>& b);
+
+// Maps each trace access / event to a normalized key rank in [0, 1): distinct
+// keys are sorted and assigned evenly spaced ranks ("map both empirical
+// distributions to the same domain [0, #distinct_keys)", §4). Identity-
+// preserving for aggregation: the state key (k, 0) ranks exactly like the
+// event key k.
+std::vector<double> EventKeyRanks(const std::vector<Event>& events);
+std::vector<double> StateKeyRanks(const std::vector<StateAccess>& trace);
+std::vector<double> NormalizedRanks(std::vector<uint64_t> values_per_sample);
+
+}  // namespace gadget
+
+#endif  // GADGET_ANALYSIS_STATS_TESTS_H_

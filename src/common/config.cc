@@ -1,0 +1,103 @@
+#include "src/common/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace gadget {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string_view::npos) {
+    return {};
+  }
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+StatusOr<Config> Config::ParseString(std::string_view text) {
+  Config cfg;
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = Trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("config line " + std::to_string(line_no) +
+                                     " has no '=': " + std::string(line));
+    }
+    std::string key(Trim(line.substr(0, eq)));
+    std::string value(Trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      return Status::InvalidArgument("config line " + std::to_string(line_no) + " has empty key");
+    }
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+StatusOr<Config> Config::ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open config file: " + path);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ParseString(ss.str());
+}
+
+std::string Config::GetString(const std::string& key, const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+uint64_t Config::GetUint(const std::string& key, uint64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double Config::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Config::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace gadget

@@ -1,0 +1,43 @@
+// Minimal key=value configuration parser.
+//
+// Gadget (the original) is driven by config files; we keep the same idea: a
+// flat `key = value` format with `#` comments. Typed getters with defaults.
+#ifndef GADGET_COMMON_CONFIG_H_
+#define GADGET_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace gadget {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses `key = value` lines; '#' starts a comment; blank lines ignored.
+  static StatusOr<Config> ParseString(std::string_view text);
+  static StatusOr<Config> ParseFile(const std::string& path);
+
+  void Set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key, const std::string& def = "") const;
+  int64_t GetInt(const std::string& key, int64_t def = 0) const;
+  uint64_t GetUint(const std::string& key, uint64_t def = 0) const;
+  double GetDouble(const std::string& key, double def = 0.0) const;
+  bool GetBool(const std::string& key, bool def = false) const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace gadget
+
+#endif  // GADGET_COMMON_CONFIG_H_

@@ -1,0 +1,36 @@
+#include "src/common/crc32c.h"
+
+#include <array>
+
+namespace gadget {
+namespace {
+
+// Table-driven CRC32C, 8 bits at a time. The table is built once at startup.
+struct Crc32cTable {
+  std::array<uint32_t, 256> t;
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82f63b78u;  // reversed Castagnoli polynomial
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable kTable;
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ kTable.t[(crc ^ p[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace gadget

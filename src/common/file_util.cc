@@ -1,0 +1,241 @@
+#include "src/common/file_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace gadget {
+namespace fs = std::filesystem;
+
+namespace {
+constexpr size_t kWriteBufferSize = 64 * 1024;
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IoError(context + ": " + std::strerror(errno));
+}
+}  // namespace
+
+// ---------------------------------------------------------------- WritableFile
+
+WritableFile::~WritableFile() { Close(); }
+
+StatusOr<std::unique_ptr<WritableFile>> WritableFile::Create(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return ErrnoStatus("open " + path);
+  }
+  auto file = std::unique_ptr<WritableFile>(new WritableFile(path, fd));
+  file->buffer_.reserve(kWriteBufferSize);
+  return file;
+}
+
+Status WritableFile::Append(std::string_view data) {
+  if (fd_ < 0) {
+    return Status::IoError("append to closed file " + path_);
+  }
+  size_ += data.size();
+  if (buffer_.size() + data.size() < kWriteBufferSize) {
+    buffer_.append(data.data(), data.size());
+    return Status::Ok();
+  }
+  GADGET_RETURN_IF_ERROR(FlushBuffer());
+  if (data.size() >= kWriteBufferSize) {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return ErrnoStatus("write " + path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+  buffer_.append(data.data(), data.size());
+  return Status::Ok();
+}
+
+Status WritableFile::FlushBuffer() {
+  const char* p = buffer_.data();
+  size_t left = buffer_.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("write " + path_);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Status WritableFile::Flush() { return fd_ < 0 ? Status::Ok() : FlushBuffer(); }
+
+Status WritableFile::Sync() {
+  GADGET_RETURN_IF_ERROR(Flush());
+  if (fd_ >= 0 && ::fdatasync(fd_) != 0) {
+    return ErrnoStatus("fdatasync " + path_);
+  }
+  return Status::Ok();
+}
+
+Status WritableFile::Close() {
+  if (fd_ < 0) {
+    return Status::Ok();
+  }
+  Status s = FlushBuffer();
+  if (::close(fd_) != 0 && s.ok()) {
+    s = ErrnoStatus("close " + path_);
+  }
+  fd_ = -1;
+  return s;
+}
+
+// ------------------------------------------------------------ RandomAccessFile
+
+RandomAccessFile::~RandomAccessFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>> RandomAccessFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return ErrnoStatus("open " + path);
+  }
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return ErrnoStatus("lseek " + path);
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      new RandomAccessFile(path, fd, static_cast<uint64_t>(end)));
+}
+
+Status RandomAccessFile::Read(uint64_t offset, size_t n, std::string* out) const {
+  out->resize(n);
+  char* p = out->data();
+  size_t left = n;
+  uint64_t off = offset;
+  while (left > 0) {
+    ssize_t r = ::pread(fd_, p, left, static_cast<off_t>(off));
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoStatus("pread " + path_);
+    }
+    if (r == 0) {
+      return Status::IoError("short read at offset " + std::to_string(offset) + " in " + path_);
+    }
+    p += r;
+    off += static_cast<uint64_t>(r);
+    left -= static_cast<size_t>(r);
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------- free functions
+
+Status WriteStringToFile(const std::string& path, std::string_view data, bool sync) {
+  auto file = WritableFile::Create(path);
+  if (!file.ok()) {
+    return file.status();
+  }
+  GADGET_RETURN_IF_ERROR((*file)->Append(data));
+  if (sync) {
+    GADGET_RETURN_IF_ERROR((*file)->Sync());
+  }
+  return (*file)->Close();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  auto file = RandomAccessFile::Open(path);
+  if (!file.ok()) {
+    return file.status();
+  }
+  return (*file)->Read(0, (*file)->size(), out);
+}
+
+Status CreateDirIfMissing(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IoError("mkdir " + path + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Status RemoveDirRecursively(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) {
+    return Status::IoError("rm -r " + path + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::IoError("rename " + from + " -> " + to + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec) {
+    return Status::IoError("rm " + path + (ec ? ": " + ec.message() : ": no such file"));
+  }
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& path) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (auto it = fs::directory_iterator(path, ec); !ec && it != fs::directory_iterator(); ++it) {
+    names.push_back(it->path().filename().string());
+  }
+  if (ec) {
+    return Status::IoError("list " + path + ": " + ec.message());
+  }
+  return names;
+}
+
+// -------------------------------------------------------------- ScopedTempDir
+
+ScopedTempDir::ScopedTempDir(const std::string& prefix) {
+  std::string tmpl = (fs::temp_directory_path() / (prefix + ".XXXXXX")).string();
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* result = ::mkdtemp(buf.data());
+  path_ = (result != nullptr) ? std::string(result) : tmpl;
+}
+
+ScopedTempDir::~ScopedTempDir() {
+  if (!path_.empty()) {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+}
+
+}  // namespace gadget

@@ -1,0 +1,99 @@
+// RAII file and filesystem helpers shared by the persistent stores and trace
+// writers: buffered sequential writers/readers, random-access readers, atomic
+// renames, and scoped temp directories for tests/benches.
+#ifndef GADGET_COMMON_FILE_UTIL_H_
+#define GADGET_COMMON_FILE_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace gadget {
+
+// Buffered append-only writer (used by WAL, SSTable builder, log segments).
+class WritableFile {
+ public:
+  ~WritableFile();
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  static StatusOr<std::unique_ptr<WritableFile>> Create(const std::string& path);
+
+  Status Append(std::string_view data);
+  Status Flush();
+  Status Sync();   // flush + fdatasync
+  Status Close();  // flush + close; safe to call twice
+
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WritableFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  Status FlushBuffer();
+
+  std::string path_;
+  int fd_;
+  std::string buffer_;
+  uint64_t size_ = 0;
+};
+
+// Positional (pread) random-access reader for SSTables / pages.
+class RandomAccessFile {
+ public:
+  ~RandomAccessFile();
+  RandomAccessFile(const RandomAccessFile&) = delete;
+  RandomAccessFile& operator=(const RandomAccessFile&) = delete;
+
+  static StatusOr<std::unique_ptr<RandomAccessFile>> Open(const std::string& path);
+
+  // Reads exactly n bytes at offset into *out (resized). Fails on short read.
+  Status Read(uint64_t offset, size_t n, std::string* out) const;
+
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  RandomAccessFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+};
+
+// Whole-file helpers.
+Status WriteStringToFile(const std::string& path, std::string_view data, bool sync = false);
+Status ReadFileToString(const std::string& path, std::string* out);
+
+// Filesystem helpers (thin wrappers over std::filesystem with Status).
+Status CreateDirIfMissing(const std::string& path);
+Status RemoveDirRecursively(const std::string& path);
+Status RenameFile(const std::string& from, const std::string& to);
+Status RemoveFile(const std::string& path);
+bool FileExists(const std::string& path);
+StatusOr<std::vector<std::string>> ListDir(const std::string& path);
+
+// Creates a unique directory under the system temp dir, removed on
+// destruction. Used pervasively by tests and benches.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& prefix = "gadget");
+  ~ScopedTempDir();
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace gadget
+
+#endif  // GADGET_COMMON_FILE_UTIL_H_

@@ -1,0 +1,90 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace gadget {
+
+LatencyHistogram::LatencyHistogram() {
+  // 64 powers of two x kSubBuckets sub-buckets covers the full uint64 range.
+  buckets_.assign(64 * kSubBuckets, 0);
+}
+
+size_t LatencyHistogram::BucketFor(uint64_t value) const {
+  if (value < kSubBuckets) {
+    return static_cast<size_t>(value);
+  }
+  int log = 63 - std::countl_zero(value);
+  // Sub-bucket index from the bits just below the leading one.
+  int sub_shift = log - 6;  // 2^6 == kSubBuckets
+  uint64_t sub = (value >> sub_shift) & (kSubBuckets - 1);
+  size_t index = static_cast<size_t>(log - 5) * kSubBuckets + static_cast<size_t>(sub);
+  return std::min(index, buckets_.size() - 1);
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(size_t index) const {
+  if (index < kSubBuckets) {
+    return index;
+  }
+  size_t log = index / kSubBuckets + 5;
+  size_t sub = index % kSubBuckets;
+  int sub_shift = static_cast<int>(log) - 6;
+  return (1ULL << log) | (static_cast<uint64_t>(sub) << sub_shift);
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  ++buckets_[BucketFor(value)];
+  ++count_;
+  sum_ += static_cast<double>(value);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+uint64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  double target = p / 100.0 * static_cast<double>(count_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      return BucketLowerBound(i);
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::Summary(const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f%s p50=%llu p90=%llu p99=%llu p99.9=%llu max=%llu%s",
+                static_cast<unsigned long long>(count_), mean(), unit.c_str(),
+                static_cast<unsigned long long>(Percentile(50)),
+                static_cast<unsigned long long>(Percentile(90)),
+                static_cast<unsigned long long>(Percentile(99)),
+                static_cast<unsigned long long>(Percentile(99.9)),
+                static_cast<unsigned long long>(max()), unit.c_str());
+  return std::string(buf);
+}
+
+}  // namespace gadget

@@ -1,0 +1,68 @@
+// Latency histogram with log-bucketed resolution (HdrHistogram-style) used by
+// the performance evaluator for percentile reporting, plus a small streaming
+// mean/variance accumulator.
+#ifndef GADGET_COMMON_HISTOGRAM_H_
+#define GADGET_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gadget {
+
+// Records non-negative integer samples (nanoseconds in practice) into
+// exponentially-growing buckets with ~1.5% relative error. O(1) record,
+// O(buckets) percentile queries.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(uint64_t value);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  // p in [0, 100]. Returns an approximation of the p-th percentile.
+  uint64_t Percentile(double p) const;
+
+  // Multi-line human-readable summary (used by bench binaries).
+  std::string Summary(const std::string& unit = "ns") const;
+
+ private:
+  static constexpr int kSubBuckets = 64;  // per power-of-two resolution
+  size_t BucketFor(uint64_t value) const;
+  uint64_t BucketLowerBound(size_t index) const;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  uint64_t min_ = ~0ULL;
+  uint64_t max_ = 0;
+};
+
+// Welford online mean/variance.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1); }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+}  // namespace gadget
+
+#endif  // GADGET_COMMON_HISTOGRAM_H_

@@ -1,0 +1,39 @@
+// Tiny leveled logging to stderr. The harness is a measurement tool, so
+// logging defaults to warnings-and-up; benches flip to info for progress.
+#ifndef GADGET_COMMON_LOGGING_H_
+#define GADGET_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace gadget {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define GADGET_LOG(level)                                                       \
+  if (::gadget::LogLevel::k##level < ::gadget::GetLogLevel()) {                 \
+  } else                                                                        \
+    ::gadget::internal::LogMessage(::gadget::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+}  // namespace gadget
+
+#endif  // GADGET_COMMON_LOGGING_H_

@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the harness flows through Pcg32 so that every workload,
+// trace, and benchmark is reproducible bit-for-bit from a seed. PCG-XSH-RR
+// (Melissa O'Neill, 2014) is small, fast, and statistically strong enough for
+// workload generation.
+#ifndef GADGET_COMMON_RNG_H_
+#define GADGET_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace gadget {
+
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  // Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  // Uniform 64-bit value.
+  uint64_t NextU64() {
+    return (static_cast<uint64_t>(NextU32()) << 32) | static_cast<uint64_t>(NextU32());
+  }
+
+  // Uniform in [0, bound). Uses Lemire's multiply-shift rejection method.
+  uint32_t NextBounded(uint32_t bound) {
+    if (bound <= 1) {
+      return 0;
+    }
+    uint64_t m = static_cast<uint64_t>(NextU32()) * bound;
+    uint32_t low = static_cast<uint32_t>(m);
+    if (low < bound) {
+      uint32_t threshold = (0u - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<uint64_t>(NextU32()) * bound;
+        low = static_cast<uint32_t>(m);
+      }
+    }
+    return static_cast<uint32_t>(m >> 32);
+  }
+
+  // Uniform in [0, bound) for 64-bit bounds.
+  uint64_t NextBounded64(uint64_t bound) {
+    if (bound <= 1) {
+      return 0;
+    }
+    // Rejection sampling over the top of the range to avoid modulo bias.
+    uint64_t threshold = (0ULL - bound) % bound;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Exponentially distributed with the given rate parameter (mean = 1/rate).
+  double NextExponential(double rate) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u >= 1.0) {
+      u = 0.9999999999999999;
+    }
+    return -std::log1p(-u) / rate;
+  }
+
+  // Standard normal via Box-Muller (polar form avoided for determinism simplicity).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+// SplitMix64: used to derive independent seeds from one master seed.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace gadget
+
+#endif  // GADGET_COMMON_RNG_H_

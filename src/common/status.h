@@ -1,0 +1,124 @@
+// Lightweight Status / StatusOr error-handling primitives.
+//
+// Library code in this project does not throw; fallible operations return
+// Status (or StatusOr<T> when they also produce a value). The codes mirror
+// the small subset of canonical codes the storage engines need.
+#ifndef GADGET_COMMON_STATUS_H_
+#define GADGET_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gadget {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kInvalidArgument = 3,
+  kIoError = 4,
+  kAlreadyExists = 5,
+  kUnsupported = 6,
+  kResourceExhausted = 7,
+  kInternal = 8,
+};
+
+// Human-readable name for a status code ("OK", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string_view msg = "") { return Status(StatusCode::kNotFound, msg); }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status IoError(std::string_view msg = "") { return Status(StatusCode::kIoError, msg); }
+  static Status AlreadyExists(std::string_view msg = "") {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status Unsupported(std::string_view msg = "") {
+    return Status(StatusCode::kUnsupported, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg = "") {
+    return Status(StatusCode::kResourceExhausted, msg);
+  }
+  static Status Internal(std::string_view msg = "") { return Status(StatusCode::kInternal, msg); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string_view msg) : code_(code), message_(msg) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// StatusOr<T>: either an OK status plus a value, or a non-OK status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit by design
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define GADGET_RETURN_IF_ERROR(expr)       \
+  do {                                     \
+    ::gadget::Status _st = (expr);         \
+    if (!_st.ok()) {                       \
+      return _st;                          \
+    }                                      \
+  } while (0)
+
+}  // namespace gadget
+
+#endif  // GADGET_COMMON_STATUS_H_

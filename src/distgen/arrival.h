@@ -1,0 +1,82 @@
+// Arrival processes: inter-arrival gaps in event-time units.
+//
+// Gadget assigns 64-bit event timestamps from a configurable process (§5.1,
+// Fig. 8 shows a Poisson/exponential example). We provide Poisson, constant
+// rate, and a two-state bursty (Markov-modulated) process used by the
+// synthetic dataset generators.
+#ifndef GADGET_DISTGEN_ARRIVAL_H_
+#define GADGET_DISTGEN_ARRIVAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace gadget {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  // Time gap (>= 0) between the previous event and the next one, in
+  // event-time units (milliseconds throughout this project).
+  virtual uint64_t NextGap() = 0;
+};
+
+// Deterministic: one event every `period` time units.
+class ConstantArrival : public ArrivalProcess {
+ public:
+  explicit ConstantArrival(uint64_t period) : period_(period) {}
+  uint64_t NextGap() override { return period_; }
+
+ private:
+  uint64_t period_;
+};
+
+// Poisson process with `rate` events per 1000 time units (events/sec when
+// the unit is ms). Gaps are exponential with mean 1000/rate.
+class PoissonArrival : public ArrivalProcess {
+ public:
+  PoissonArrival(double rate_per_sec, uint64_t seed)
+      : mean_gap_ms_(1000.0 / rate_per_sec), rng_(seed, /*stream=*/7) {}
+
+  uint64_t NextGap() override {
+    double g = rng_.NextExponential(1.0 / mean_gap_ms_);
+    return static_cast<uint64_t>(g + 0.5);
+  }
+
+ private:
+  double mean_gap_ms_;
+  Pcg32 rng_;
+};
+
+// Two-state Markov-modulated Poisson process: alternates between a busy
+// state (high rate) and an idle state (low rate). State dwell times are
+// exponential. Models the bursty submission patterns of cluster traces.
+class BurstyArrival : public ArrivalProcess {
+ public:
+  BurstyArrival(double busy_rate_per_sec, double idle_rate_per_sec, double mean_busy_ms,
+                double mean_idle_ms, uint64_t seed);
+
+  uint64_t NextGap() override;
+
+ private:
+  double busy_gap_ms_;
+  double idle_gap_ms_;
+  double mean_busy_ms_;
+  double mean_idle_ms_;
+  bool busy_ = true;
+  double state_left_ms_;
+  Pcg32 rng_;
+};
+
+// Factory for config-driven construction; name in {constant, poisson, bursty}.
+StatusOr<std::unique_ptr<ArrivalProcess>> CreateArrivalProcess(const std::string& name,
+                                                               double rate_per_sec,
+                                                               uint64_t seed);
+
+}  // namespace gadget
+
+#endif  // GADGET_DISTGEN_ARRIVAL_H_

@@ -1,0 +1,214 @@
+#include "src/distgen/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/hash.h"
+
+namespace gadget {
+
+// ------------------------------------------------------------------ Uniform
+
+UniformDistribution::UniformDistribution(uint64_t domain, uint64_t seed)
+    : domain_(domain == 0 ? 1 : domain), rng_(seed, /*stream=*/1) {}
+
+uint64_t UniformDistribution::Next() { return rng_.NextBounded64(domain_); }
+
+// ------------------------------------------------------------------ Zipfian
+
+double ZipfianDistribution::Zeta(uint64_t from, uint64_t to, double theta, double initial) {
+  double sum = initial;
+  for (uint64_t i = from; i < to; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+ZipfianDistribution::ZipfianDistribution(uint64_t domain, uint64_t seed, double theta)
+    : domain_(domain == 0 ? 1 : domain), theta_(theta), rng_(seed, /*stream=*/2) {
+  zeta2_ = Zeta(0, 2, theta_, 0.0);
+  zeta_n_ = Zeta(0, domain_, theta_, 0.0);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(domain_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zeta_n_);
+}
+
+void ZipfianDistribution::GrowDomain(uint64_t new_domain) {
+  if (new_domain <= domain_) {
+    return;
+  }
+  zeta_n_ = Zeta(domain_, new_domain, theta_, zeta_n_);
+  domain_ = new_domain;
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(domain_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zeta_n_);
+}
+
+uint64_t ZipfianDistribution::Next() {
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  double u = rng_.NextDouble();
+  double uz = u * zeta_n_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  double v = static_cast<double>(domain_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t result = static_cast<uint64_t>(v);
+  return std::min(result, domain_ - 1);
+}
+
+ScrambledZipfianDistribution::ScrambledZipfianDistribution(uint64_t domain, uint64_t seed,
+                                                           double theta)
+    : zipf_(domain, seed, theta) {}
+
+uint64_t ScrambledZipfianDistribution::Next() {
+  uint64_t raw = zipf_.Next();
+  return Mix64(raw) % zipf_.domain();
+}
+
+// ------------------------------------------------------------------ Hotspot
+
+HotspotDistribution::HotspotDistribution(uint64_t domain, uint64_t seed, double hot_set_fraction,
+                                         double hot_opn_fraction)
+    : domain_(domain == 0 ? 1 : domain),
+      hot_set_fraction_(hot_set_fraction),
+      hot_opn_fraction_(hot_opn_fraction),
+      rng_(seed, /*stream=*/3) {
+  hot_count_ = std::max<uint64_t>(1, static_cast<uint64_t>(
+                                         static_cast<double>(domain_) * hot_set_fraction_));
+}
+
+void HotspotDistribution::GrowDomain(uint64_t new_domain) {
+  domain_ = new_domain;
+  hot_count_ = std::max<uint64_t>(1, static_cast<uint64_t>(
+                                         static_cast<double>(domain_) * hot_set_fraction_));
+}
+
+uint64_t HotspotDistribution::Next() {
+  if (rng_.NextDouble() < hot_opn_fraction_) {
+    return rng_.NextBounded64(hot_count_);
+  }
+  uint64_t cold = domain_ - hot_count_;
+  if (cold == 0) {
+    return rng_.NextBounded64(domain_);
+  }
+  return hot_count_ + rng_.NextBounded64(cold);
+}
+
+// --------------------------------------------------------------- Sequential
+
+SequentialDistribution::SequentialDistribution(uint64_t domain, uint64_t start)
+    : domain_(domain == 0 ? 1 : domain), next_(start % domain_) {}
+
+uint64_t SequentialDistribution::Next() {
+  uint64_t v = next_;
+  next_ = (next_ + 1) % domain_;
+  return v;
+}
+
+// -------------------------------------------------------------- Exponential
+
+ExponentialDistribution::ExponentialDistribution(uint64_t domain, uint64_t seed, double percentile,
+                                                 double range_fraction)
+    : domain_(domain == 0 ? 1 : domain), rng_(seed, /*stream=*/4) {
+  // YCSB: gamma chosen so `percentile` percent of mass falls in the first
+  // `range_fraction` of the domain.
+  double range = static_cast<double>(domain_) * range_fraction;
+  gamma_ = -std::log(1.0 - percentile / 100.0) / range;
+}
+
+uint64_t ExponentialDistribution::Next() {
+  for (;;) {
+    double x = rng_.NextExponential(gamma_);
+    uint64_t v = static_cast<uint64_t>(x);
+    if (v < domain_) {
+      return v;
+    }
+  }
+}
+
+// ------------------------------------------------------------------- Latest
+
+LatestDistribution::LatestDistribution(uint64_t domain, uint64_t seed, double theta)
+    : zipf_(domain, seed, theta) {}
+
+uint64_t LatestDistribution::Next() {
+  uint64_t n = zipf_.domain();
+  uint64_t z = zipf_.Next();
+  return (n - 1) - z;
+}
+
+// --------------------------------------------------------------------- ECDF
+
+StatusOr<std::unique_ptr<EcdfDistribution>> EcdfDistribution::Create(std::vector<Point> points,
+                                                                     uint64_t seed) {
+  if (points.empty()) {
+    return Status::InvalidArgument("ECDF needs at least one point");
+  }
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].cum_prob < points[i - 1].cum_prob || points[i].value < points[i - 1].value) {
+      return Status::InvalidArgument("ECDF points must be non-decreasing");
+    }
+  }
+  if (points.back().cum_prob < 1.0 - 1e-9) {
+    return Status::InvalidArgument("ECDF must end at cumulative probability 1.0");
+  }
+  return std::unique_ptr<EcdfDistribution>(new EcdfDistribution(std::move(points), seed));
+}
+
+EcdfDistribution::EcdfDistribution(std::vector<Point> points, uint64_t seed)
+    : points_(std::move(points)), rng_(seed, /*stream=*/5) {
+  domain_ = static_cast<uint64_t>(points_.back().value) + 1;
+}
+
+uint64_t EcdfDistribution::Next() {
+  double u = rng_.NextDouble();
+  auto it = std::lower_bound(points_.begin(), points_.end(), u,
+                             [](const Point& p, double x) { return p.cum_prob < x; });
+  if (it == points_.end()) {
+    return static_cast<uint64_t>(points_.back().value);
+  }
+  if (it == points_.begin()) {
+    return static_cast<uint64_t>(it->value);
+  }
+  // Linear interpolation between the bracketing points.
+  const Point& hi = *it;
+  const Point& lo = *(it - 1);
+  double dp = hi.cum_prob - lo.cum_prob;
+  double frac = dp <= 0 ? 0.0 : (u - lo.cum_prob) / dp;
+  return static_cast<uint64_t>(lo.value + frac * (hi.value - lo.value));
+}
+
+// ------------------------------------------------------------------ Factory
+
+StatusOr<std::unique_ptr<Distribution>> CreateDistribution(const std::string& name,
+                                                           uint64_t domain, uint64_t seed) {
+  if (name == "uniform") {
+    return std::unique_ptr<Distribution>(new UniformDistribution(domain, seed));
+  }
+  if (name == "zipfian") {
+    return std::unique_ptr<Distribution>(new ZipfianDistribution(domain, seed));
+  }
+  if (name == "scrambled_zipfian") {
+    return std::unique_ptr<Distribution>(new ScrambledZipfianDistribution(domain, seed));
+  }
+  if (name == "hotspot") {
+    return std::unique_ptr<Distribution>(new HotspotDistribution(domain, seed));
+  }
+  if (name == "sequential") {
+    return std::unique_ptr<Distribution>(new SequentialDistribution(domain));
+  }
+  if (name == "exponential") {
+    return std::unique_ptr<Distribution>(new ExponentialDistribution(domain, seed));
+  }
+  if (name == "latest") {
+    return std::unique_ptr<Distribution>(new LatestDistribution(domain, seed));
+  }
+  if (name == "constant") {
+    return std::unique_ptr<Distribution>(new ConstantDistribution(domain == 0 ? 0 : domain - 1));
+  }
+  return Status::InvalidArgument("unknown distribution: " + name);
+}
+
+}  // namespace gadget

@@ -1,0 +1,213 @@
+// Key / value-size / arrival distributions.
+//
+// These mirror the request distributions YCSB exposes (uniform, zipfian,
+// hotspot, sequential, exponential, latest) plus the empirical-CDF sampling
+// Gadget supports (§5.1). Every generator owns its own seeded Pcg32 so
+// independent streams never interleave their randomness.
+#ifndef GADGET_DISTGEN_DISTRIBUTION_H_
+#define GADGET_DISTGEN_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace gadget {
+
+// Produces values in [0, domain). Thread-compatible (external sync).
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  // Next sample.
+  virtual uint64_t Next() = 0;
+
+  // Upper bound (exclusive) of the value domain at construction time.
+  virtual uint64_t domain() const = 0;
+
+  // Informs the distribution that the domain grew to `new_domain` values
+  // (needed by Latest/Sequential which track the insertion frontier).
+  virtual void GrowDomain(uint64_t new_domain) {}
+};
+
+// ------------------------------------------------------------------ Uniform
+
+class UniformDistribution : public Distribution {
+ public:
+  UniformDistribution(uint64_t domain, uint64_t seed);
+  uint64_t Next() override;
+  uint64_t domain() const override { return domain_; }
+  void GrowDomain(uint64_t new_domain) override { domain_ = new_domain; }
+
+ private:
+  uint64_t domain_;
+  Pcg32 rng_;
+};
+
+// ------------------------------------------------------------------ Zipfian
+//
+// YCSB-compatible zipfian with incremental zeta recomputation and the usual
+// theta=0.99 default. Values are NOT scrambled; see ScrambledZipfian.
+
+class ZipfianDistribution : public Distribution {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  ZipfianDistribution(uint64_t domain, uint64_t seed, double theta = kDefaultTheta);
+  uint64_t Next() override;
+  uint64_t domain() const override { return domain_; }
+  void GrowDomain(uint64_t new_domain) override;
+
+ private:
+  static double Zeta(uint64_t from, uint64_t to, double theta, double initial);
+
+  uint64_t domain_;
+  double theta_;
+  double zeta_n_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+  Pcg32 rng_;
+};
+
+// Zipfian composed with a stateless 64-bit mixer so that the popular items
+// are spread across the key space (YCSB "scrambled zipfian").
+class ScrambledZipfianDistribution : public Distribution {
+ public:
+  ScrambledZipfianDistribution(uint64_t domain, uint64_t seed,
+                               double theta = ZipfianDistribution::kDefaultTheta);
+  uint64_t Next() override;
+  uint64_t domain() const override { return zipf_.domain(); }
+  void GrowDomain(uint64_t new_domain) override { zipf_.GrowDomain(new_domain); }
+
+ private:
+  ZipfianDistribution zipf_;
+};
+
+// ------------------------------------------------------------------ Hotspot
+//
+// hotspot_fraction of the key space receives hotspot_opn_fraction of the
+// operations (YCSB defaults: 0.2 / 0.8).
+
+class HotspotDistribution : public Distribution {
+ public:
+  HotspotDistribution(uint64_t domain, uint64_t seed, double hot_set_fraction = 0.2,
+                      double hot_opn_fraction = 0.8);
+  uint64_t Next() override;
+  uint64_t domain() const override { return domain_; }
+  void GrowDomain(uint64_t new_domain) override;
+
+ private:
+  uint64_t domain_;
+  double hot_set_fraction_;
+  double hot_opn_fraction_;
+  uint64_t hot_count_;
+  Pcg32 rng_;
+};
+
+// --------------------------------------------------------------- Sequential
+//
+// Cycles 0, 1, 2, ..., domain-1, 0, 1, ... — YCSB "sequential".
+
+class SequentialDistribution : public Distribution {
+ public:
+  SequentialDistribution(uint64_t domain, uint64_t start = 0);
+  uint64_t Next() override;
+  uint64_t domain() const override { return domain_; }
+  void GrowDomain(uint64_t new_domain) override { domain_ = new_domain; }
+
+ private:
+  uint64_t domain_;
+  uint64_t next_;
+};
+
+// -------------------------------------------------------------- Exponential
+//
+// P(X = i) proportional to exp(-i * lambda); YCSB parameterizes via the
+// percentile covered by a fraction of the domain (90% of mass in the first
+// fraction gamma of the range by default).
+
+class ExponentialDistribution : public Distribution {
+ public:
+  ExponentialDistribution(uint64_t domain, uint64_t seed, double percentile = 95.0,
+                          double range_fraction = 0.8571428571);
+  uint64_t Next() override;
+  uint64_t domain() const override { return domain_; }
+  void GrowDomain(uint64_t new_domain) override { domain_ = new_domain; }
+
+ private:
+  uint64_t domain_;
+  double gamma_;
+  Pcg32 rng_;
+};
+
+// ------------------------------------------------------------------- Latest
+//
+// Skewed toward the most recently inserted item: sample z ~ zipf(domain) and
+// return (frontier - 1) - z. GrowDomain moves the frontier.
+
+class LatestDistribution : public Distribution {
+ public:
+  LatestDistribution(uint64_t domain, uint64_t seed,
+                     double theta = ZipfianDistribution::kDefaultTheta);
+  uint64_t Next() override;
+  uint64_t domain() const override { return zipf_.domain(); }
+  void GrowDomain(uint64_t new_domain) override { zipf_.GrowDomain(new_domain); }
+
+ private:
+  ZipfianDistribution zipf_;
+};
+
+// ----------------------------------------------------------------- Constant
+
+class ConstantDistribution : public Distribution {
+ public:
+  explicit ConstantDistribution(uint64_t value) : value_(value) {}
+  uint64_t Next() override { return value_; }
+  uint64_t domain() const override { return value_ + 1; }
+
+ private:
+  uint64_t value_;
+};
+
+// --------------------------------------------------------------------- ECDF
+//
+// Samples from a user-provided empirical CDF: points (value_i, cum_prob_i)
+// with cum_prob increasing to 1.0. Sampling inverts the CDF with linear
+// interpolation between points (Gadget §5.1).
+
+class EcdfDistribution : public Distribution {
+ public:
+  struct Point {
+    double value;
+    double cum_prob;
+  };
+
+  // Points must be sorted by cum_prob; the last cum_prob must be >= 1.0-1e-9.
+  static StatusOr<std::unique_ptr<EcdfDistribution>> Create(std::vector<Point> points,
+                                                            uint64_t seed);
+
+  uint64_t Next() override;
+  uint64_t domain() const override { return domain_; }
+
+ private:
+  EcdfDistribution(std::vector<Point> points, uint64_t seed);
+
+  std::vector<Point> points_;
+  uint64_t domain_;
+  Pcg32 rng_;
+};
+
+// ------------------------------------------------------------------ Factory
+
+// name in {uniform, zipfian, scrambled_zipfian, hotspot, sequential,
+// exponential, latest, constant}. Unknown names -> InvalidArgument.
+StatusOr<std::unique_ptr<Distribution>> CreateDistribution(const std::string& name,
+                                                           uint64_t domain, uint64_t seed);
+
+}  // namespace gadget
+
+#endif  // GADGET_DISTGEN_DISTRIBUTION_H_

@@ -1,0 +1,53 @@
+#include "src/distgen/ecdf_file.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/file_util.h"
+
+namespace gadget {
+
+StatusOr<std::vector<EcdfDistribution::Point>> ParseEcdfText(const std::string& text) {
+  std::vector<EcdfDistribution::Point> points;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream fields(line);
+    double value = 0, prob = 0;
+    if (!(fields >> value)) {
+      continue;  // blank/comment line
+    }
+    if (!(fields >> prob)) {
+      return Status::InvalidArgument("ECDF line " + std::to_string(line_no) +
+                                     " needs `value cum_prob`");
+    }
+    if (prob < 0 || prob > 1.0 + 1e-9) {
+      return Status::InvalidArgument("ECDF cum_prob out of [0,1] at line " +
+                                     std::to_string(line_no));
+    }
+    points.push_back(EcdfDistribution::Point{value, prob});
+  }
+  return points;
+}
+
+StatusOr<std::unique_ptr<Distribution>> LoadEcdfFile(const std::string& path, uint64_t seed) {
+  std::string text;
+  GADGET_RETURN_IF_ERROR(ReadFileToString(path, &text));
+  auto points = ParseEcdfText(text);
+  if (!points.ok()) {
+    return points.status();
+  }
+  auto dist = EcdfDistribution::Create(std::move(*points), seed);
+  if (!dist.ok()) {
+    return dist.status();
+  }
+  return std::unique_ptr<Distribution>(std::move(*dist));
+}
+
+}  // namespace gadget

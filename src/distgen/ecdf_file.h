@@ -1,0 +1,24 @@
+// ECDF file loading: "the event generator can also work with empirical
+// cumulative distribution functions (ECDFs) provided by the user" (§5.1).
+//
+// File format: one `value cum_prob` pair per line, '#' comments, cum_prob
+// non-decreasing and ending at 1.0.
+#ifndef GADGET_DISTGEN_ECDF_FILE_H_
+#define GADGET_DISTGEN_ECDF_FILE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/distgen/distribution.h"
+
+namespace gadget {
+
+// Parses the textual ECDF format into points.
+StatusOr<std::vector<EcdfDistribution::Point>> ParseEcdfText(const std::string& text);
+
+// Loads an ECDF distribution from a file.
+StatusOr<std::unique_ptr<Distribution>> LoadEcdfFile(const std::string& path, uint64_t seed);
+
+}  // namespace gadget
+
+#endif  // GADGET_DISTGEN_ECDF_FILE_H_

@@ -1,0 +1,269 @@
+// Two-input join operators and continuous aggregation for the flinklet
+// reference runtime.
+//
+// State-key layout (hi = event key, lo = discriminator):
+//   continuous join:  lo = 0 holds the open record, lo = 1 the accumulated
+//                     matches; both are deleted when the validity interval
+//                     closes (expiry event).
+//   interval join:    lo = (event_time << 1) | side — per-event buffer
+//                     entries keyed by timestamp, which is what drives the
+//                     interval join's large keyspace amplification (§3.2.2).
+//   window join:      lo = (window_end << 1) | side — one bucket per side
+//                     per window; fired with a get per side and cleaned with
+//                     a delete per side.
+//   aggregation:      lo = 0 — one rolling aggregate per input key; the only
+//                     operator that preserves the input key distribution.
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/coding.h"
+#include "src/flinklet/operator.h"
+
+namespace gadget {
+namespace flinklet_internal {
+// Defined in window_ops.cc.
+std::string EncodeCount(uint64_t count, uint32_t size);
+uint64_t DecodeCount(const std::string& value);
+std::string SyntheticPayload(uint32_t size);
+}  // namespace flinklet_internal
+
+namespace {
+
+using flinklet_internal::DecodeCount;
+using flinklet_internal::EncodeCount;
+using flinklet_internal::SyntheticPayload;
+
+// ---------------------------------------------------------- continuous join
+
+class ContinuousJoinOperator : public Operator {
+ public:
+  explicit ContinuousJoinOperator(OperatorContext* ctx) : ctx_(ctx) {}
+
+  const char* name() const override { return "join_cont"; }
+
+  Status ProcessEvent(const Event& e) override {
+    const uint64_t t = e.event_time_ms;
+    if (e.stream_id == 0) {
+      if (e.expiry_time_ms != 0) {
+        // Validity interval closes: read the accumulated join result, emit,
+        // and clean up both entries (paper: "a state cleanup per job
+        // completed" / "a delete for every passenger drop-off").
+        StateKey result_key{e.key, 1};
+        std::string acc;
+        Status s = ctx_->state->Get(result_key, &acc, t);
+        if (s.ok()) {
+          OperatorOutput out;
+          out.key = e.key;
+          out.time = t;
+          out.count = acc.size();
+          ctx_->Emit(std::move(out));
+        } else if (!s.IsNotFound()) {
+          return s;
+        }
+        GADGET_RETURN_IF_ERROR(ctx_->state->Delete(StateKey{e.key, 0}, t));
+        return ctx_->state->Delete(result_key, t);
+      }
+      // Open record: becomes joinable until its expiry.
+      return ctx_->state->Put(StateKey{e.key, 0}, SyntheticPayload(e.value_size), t);
+    }
+    // Probe side: look up the open record; accumulate on a match.
+    std::string record;
+    Status s = ctx_->state->Get(StateKey{e.key, 0}, &record, t);
+    if (s.IsNotFound()) {
+      return Status::Ok();  // no open record (yet, or already expired)
+    }
+    if (!s.ok()) {
+      return s;
+    }
+    return ctx_->state->Merge(StateKey{e.key, 1}, SyntheticPayload(e.value_size), t);
+  }
+
+  Status OnWatermark(uint64_t wm) override {
+    // Continuous joins clean up on explicit expiry events, not watermarks.
+    return Status::Ok();
+  }
+
+ private:
+  OperatorContext* ctx_;
+};
+
+// ------------------------------------------------------------ interval join
+
+class IntervalJoinOperator : public Operator {
+ public:
+  explicit IntervalJoinOperator(OperatorContext* ctx) : ctx_(ctx) {}
+
+  const char* name() const override { return "join_interval"; }
+
+  Status ProcessEvent(const Event& e) override {
+    const uint64_t t = e.event_time_ms;
+    const uint64_t mid = (ctx_->config.join_lower_ms + ctx_->config.join_upper_ms) / 2;
+    const uint8_t side = e.stream_id & 1;
+    // Buffer this event under its own timestamp (one state key per event —
+    // the timestamp-keyed layout Flink's interval join uses).
+    StateKey own{e.key, (t << 1) | side};
+    GADGET_RETURN_IF_ERROR(ctx_->state->Put(own, SyntheticPayload(e.value_size), t));
+    // Duplicate (key, ts, side) events share one state entry (a MapState
+    // list), so cleanup deletes it exactly once, in registration order.
+    if (registered_.insert(own).second) {
+      expiry_.emplace(t + ctx_->config.join_upper_ms + ctx_->config.allowed_lateness_ms, own);
+    }
+
+    // Probe the opposite buffer at the center of the join interval. A stream
+    // 0 event at t matches stream 1 events in [t+lower, t+upper]; probing is
+    // a read of the opposite side's buffered region.
+    uint64_t probe_t = side == 0 ? t + mid : (t > mid ? t - mid : 0);
+    StateKey probe{e.key, (probe_t << 1) | static_cast<uint64_t>(1 - side)};
+    std::string match;
+    Status s = ctx_->state->Get(probe, &match, t);
+    if (s.ok()) {
+      OperatorOutput out;
+      out.key = e.key;
+      out.time = t;
+      out.count = 1;
+      ctx_->Emit(std::move(out));
+    } else if (!s.IsNotFound()) {
+      return s;
+    }
+    return Status::Ok();
+  }
+
+  Status OnWatermark(uint64_t wm) override {
+    // Evict buffered events whose match interval has fully passed.
+    auto end = expiry_.upper_bound(wm);
+    for (auto it = expiry_.begin(); it != end; ++it) {
+      GADGET_RETURN_IF_ERROR(ctx_->state->Delete(it->second, wm));
+      registered_.erase(it->second);
+    }
+    expiry_.erase(expiry_.begin(), end);
+    return Status::Ok();
+  }
+
+ private:
+  OperatorContext* ctx_;
+  std::multimap<uint64_t, StateKey> expiry_;  // insertion-ordered within a time
+  std::set<StateKey> registered_;
+};
+
+// -------------------------------------------------------------- window join
+
+class WindowJoinOperator : public Operator {
+ public:
+  WindowJoinOperator(OperatorContext* ctx, bool sliding) : ctx_(ctx), sliding_(sliding) {}
+
+  const char* name() const override { return sliding_ ? "join_sliding" : "join_tumbling"; }
+
+  Status ProcessEvent(const Event& e) override {
+    const uint64_t length = ctx_->config.window_length_ms;
+    const uint64_t slide = sliding_ ? ctx_->config.window_slide_ms : length;
+    const uint64_t t = e.event_time_ms;
+    if (t + length + ctx_->config.allowed_lateness_ms <= watermark_) {
+      return Status::Ok();  // too late for every window
+    }
+    const uint8_t side = e.stream_id & 1;
+    uint64_t first_end = (t / slide) * slide + slide;
+    for (uint64_t end = first_end; end <= t + length; end += slide) {
+      if (end - std::min(end, length) > t) {
+        continue;
+      }
+      if (end + ctx_->config.allowed_lateness_ms <= watermark_) {
+        continue;
+      }
+      StateKey bucket{e.key, (end << 1) | side};
+      if (registered_.insert(std::pair<uint64_t, uint64_t>{e.key, end}).second) {
+        timers_[end + ctx_->config.allowed_lateness_ms].emplace_back(e.key, end);
+      }
+      GADGET_RETURN_IF_ERROR(ctx_->state->Merge(bucket, SyntheticPayload(e.value_size), t));
+    }
+    return Status::Ok();
+  }
+
+  Status OnWatermark(uint64_t wm) override {
+    watermark_ = wm;
+    auto stop = timers_.upper_bound(wm);
+    for (auto it = timers_.begin(); it != stop; ++it) {
+      for (const auto& [key, end] : it->second) {
+        StateKey left{key, (end << 1) | 0};
+        StateKey right{key, (end << 1) | 1};
+        std::string a, b;
+        Status sa = ctx_->state->Get(left, &a, wm);
+        if (!sa.ok() && !sa.IsNotFound()) {
+          return sa;
+        }
+        Status sb = ctx_->state->Get(right, &b, wm);
+        if (!sb.ok() && !sb.IsNotFound()) {
+          return sb;
+        }
+        if (sa.ok() && sb.ok()) {
+          OperatorOutput out;
+          out.key = key;
+          out.time = end;
+          out.count = a.size() + b.size();
+          ctx_->Emit(std::move(out));
+        }
+        GADGET_RETURN_IF_ERROR(ctx_->state->Delete(left, wm));
+        GADGET_RETURN_IF_ERROR(ctx_->state->Delete(right, wm));
+        registered_.erase(std::pair<uint64_t, uint64_t>{key, end});
+      }
+    }
+    timers_.erase(timers_.begin(), stop);
+    return Status::Ok();
+  }
+
+ private:
+  OperatorContext* ctx_;
+  bool sliding_;
+  uint64_t watermark_ = 0;
+  std::map<uint64_t, std::vector<std::pair<uint64_t, uint64_t>>> timers_;  // fire -> (key,end)
+  std::set<std::pair<uint64_t, uint64_t>> registered_;
+};
+
+// -------------------------------------------------- continuous aggregation
+
+class AggregationOperator : public Operator {
+ public:
+  explicit AggregationOperator(OperatorContext* ctx) : ctx_(ctx) {}
+
+  const char* name() const override { return "aggregation"; }
+
+  Status ProcessEvent(const Event& e) override {
+    StateKey key{e.key, 0};
+    std::string value;
+    Status s = ctx_->state->Get(key, &value, e.event_time_ms);
+    if (!s.ok() && !s.IsNotFound()) {
+      return s;
+    }
+    uint64_t count = s.ok() ? DecodeCount(value) : 0;
+    GADGET_RETURN_IF_ERROR(ctx_->state->Put(
+        key, EncodeCount(count + 1, ctx_->config.agg_value_size), e.event_time_ms));
+    OperatorOutput out;
+    out.key = e.key;
+    out.time = e.event_time_ms;
+    out.count = count + 1;
+    ctx_->Emit(std::move(out));
+    return Status::Ok();
+  }
+
+  Status OnWatermark(uint64_t wm) override { return Status::Ok(); }
+
+ private:
+  OperatorContext* ctx_;
+};
+
+}  // namespace
+
+std::unique_ptr<Operator> MakeContinuousJoinOperator(OperatorContext* ctx) {
+  return std::make_unique<ContinuousJoinOperator>(ctx);
+}
+std::unique_ptr<Operator> MakeIntervalJoinOperator(OperatorContext* ctx) {
+  return std::make_unique<IntervalJoinOperator>(ctx);
+}
+std::unique_ptr<Operator> MakeWindowJoinOperator(OperatorContext* ctx, bool sliding) {
+  return std::make_unique<WindowJoinOperator>(ctx, sliding);
+}
+std::unique_ptr<Operator> MakeAggregationOperator(OperatorContext* ctx) {
+  return std::make_unique<AggregationOperator>(ctx);
+}
+
+}  // namespace gadget

@@ -1,0 +1,60 @@
+#include "src/flinklet/operator.h"
+
+namespace gadget {
+
+// Defined in window_ops.cc / join_ops.cc.
+std::unique_ptr<Operator> MakeTumblingOperator(OperatorContext* ctx, bool holistic);
+std::unique_ptr<Operator> MakeSlidingOperator(OperatorContext* ctx, bool holistic);
+std::unique_ptr<Operator> MakeSessionOperator(OperatorContext* ctx, bool holistic);
+std::unique_ptr<Operator> MakeContinuousJoinOperator(OperatorContext* ctx);
+std::unique_ptr<Operator> MakeIntervalJoinOperator(OperatorContext* ctx);
+std::unique_ptr<Operator> MakeWindowJoinOperator(OperatorContext* ctx, bool sliding);
+std::unique_ptr<Operator> MakeAggregationOperator(OperatorContext* ctx);
+
+StatusOr<std::unique_ptr<Operator>> MakeOperator(const std::string& name, OperatorContext* ctx) {
+  if (name == "tumbling_incr") {
+    return MakeTumblingOperator(ctx, false);
+  }
+  if (name == "tumbling_hol") {
+    return MakeTumblingOperator(ctx, true);
+  }
+  if (name == "sliding_incr") {
+    return MakeSlidingOperator(ctx, false);
+  }
+  if (name == "sliding_hol") {
+    return MakeSlidingOperator(ctx, true);
+  }
+  if (name == "session_incr") {
+    return MakeSessionOperator(ctx, false);
+  }
+  if (name == "session_hol") {
+    return MakeSessionOperator(ctx, true);
+  }
+  if (name == "join_cont") {
+    return MakeContinuousJoinOperator(ctx);
+  }
+  if (name == "join_interval") {
+    return MakeIntervalJoinOperator(ctx);
+  }
+  if (name == "join_sliding") {
+    return MakeWindowJoinOperator(ctx, true);
+  }
+  if (name == "join_tumbling") {
+    return MakeWindowJoinOperator(ctx, false);
+  }
+  if (name == "aggregation") {
+    return MakeAggregationOperator(ctx);
+  }
+  return Status::InvalidArgument("unknown operator: " + name);
+}
+
+const std::vector<std::string>& AllOperatorNames() {
+  static const std::vector<std::string> kNames = {
+      "tumbling_incr", "sliding_incr", "session_incr",  "tumbling_hol",
+      "sliding_hol",   "session_hol",  "join_cont",     "join_interval",
+      "join_sliding",  "join_tumbling", "aggregation",
+  };
+  return kNames;
+}
+
+}  // namespace gadget

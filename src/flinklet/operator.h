@@ -1,0 +1,76 @@
+// Streaming operator interface for the flinklet reference runtime.
+//
+// Operators receive events + watermarks and interact with state exclusively
+// through the InstrumentedStateBackend, so their full state-access behaviour
+// is captured in the recorded trace. Emitted results go to the context's
+// output vector for semantic verification in tests.
+#ifndef GADGET_FLINKLET_OPERATOR_H_
+#define GADGET_FLINKLET_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/flinklet/state_backend.h"
+#include "src/streams/event.h"
+
+namespace gadget {
+
+// Parameters common to all operators (§3.1.2 defaults).
+struct OperatorConfig {
+  uint64_t window_length_ms = 5'000;
+  uint64_t window_slide_ms = 1'000;
+  uint64_t session_gap_ms = 120'000;
+  uint64_t join_lower_ms = 120'000;  // interval join lower bound (2 min)
+  uint64_t join_upper_ms = 180'000;  // interval join upper bound (3 min)
+  uint64_t allowed_lateness_ms = 0;
+  uint32_t agg_value_size = 8;  // incremental aggregate payload size
+};
+
+// A produced result (window firing / join match / rolling aggregate).
+struct OperatorOutput {
+  uint64_t key = 0;
+  uint64_t time = 0;     // window end or event time
+  uint64_t count = 0;    // elements that contributed
+  std::string payload;   // holistic contents (possibly large)
+};
+
+struct OperatorContext {
+  InstrumentedStateBackend* state = nullptr;
+  OperatorConfig config;
+  std::vector<OperatorOutput>* outputs = nullptr;  // may be null
+
+  void Emit(OperatorOutput out) {
+    if (outputs != nullptr) {
+      outputs->push_back(std::move(out));
+    }
+  }
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status ProcessEvent(const Event& e) = 0;
+
+  // Watermark with time `wm`: fire and clean up everything at or before it.
+  virtual Status OnWatermark(uint64_t wm) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// Factory for all eleven workload operators (DESIGN.md §3):
+//   tumbling_incr, tumbling_hol, sliding_incr, sliding_hol, session_incr,
+//   session_hol, join_cont, join_interval, join_sliding, join_tumbling,
+//   aggregation.
+StatusOr<std::unique_ptr<Operator>> MakeOperator(const std::string& name, OperatorContext* ctx);
+
+// All eleven canonical workload names, in the order used by the paper's
+// figures.
+const std::vector<std::string>& AllOperatorNames();
+
+}  // namespace gadget
+
+#endif  // GADGET_FLINKLET_OPERATOR_H_

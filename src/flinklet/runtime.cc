@@ -1,0 +1,81 @@
+#include "src/flinklet/runtime.h"
+
+namespace gadget {
+namespace {
+
+class PipelineRunner {
+ public:
+  PipelineRunner(const std::string& operator_name, const PipelineOptions& options,
+                 KVStore* store)
+      : options_(options) {
+    backend_ = std::make_unique<InstrumentedStateBackend>(store, &result_.trace);
+    ctx_.state = backend_.get();
+    ctx_.config = options.operator_config;
+    ctx_.outputs = &result_.outputs;
+    auto op = MakeOperator(operator_name, &ctx_);
+    if (!op.ok()) {
+      init_status_ = op.status();
+      return;
+    }
+    op_ = std::move(*op);
+  }
+
+  const Status& init_status() const { return init_status_; }
+
+  Status Feed(const Event& e) {
+    if (e.is_watermark()) {
+      ++result_.watermarks_emitted;
+      return op_->OnWatermark(e.event_time_ms);
+    }
+    max_time_ = std::max(max_time_, e.event_time_ms);
+    GADGET_RETURN_IF_ERROR(op_->ProcessEvent(e));
+    ++result_.events_processed;
+    if (options_.watermark_every > 0 && result_.events_processed % options_.watermark_every == 0) {
+      ++result_.watermarks_emitted;
+      return op_->OnWatermark(max_time_);
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<PipelineResult> Finish() {
+    // Final watermark flushes all remaining windows (end-of-stream).
+    ++result_.watermarks_emitted;
+    GADGET_RETURN_IF_ERROR(op_->OnWatermark(~0ull >> 2));
+    return std::move(result_);
+  }
+
+ private:
+  PipelineOptions options_;
+  std::unique_ptr<InstrumentedStateBackend> backend_;
+  OperatorContext ctx_;
+  std::unique_ptr<Operator> op_;
+  PipelineResult result_;
+  uint64_t max_time_ = 0;
+  Status init_status_;
+};
+
+}  // namespace
+
+StatusOr<PipelineResult> RunPipeline(const std::string& operator_name, DatasetGenerator& dataset,
+                                     const PipelineOptions& options, KVStore* store) {
+  PipelineRunner runner(operator_name, options, store);
+  GADGET_RETURN_IF_ERROR(runner.init_status());
+  Event e;
+  while (dataset.Next(&e)) {
+    GADGET_RETURN_IF_ERROR(runner.Feed(e));
+  }
+  return runner.Finish();
+}
+
+StatusOr<PipelineResult> RunPipeline(const std::string& operator_name,
+                                     const std::vector<Event>& events,
+                                     const PipelineOptions& options, KVStore* store) {
+  PipelineRunner runner(operator_name, options, store);
+  GADGET_RETURN_IF_ERROR(runner.init_status());
+  for (const Event& e : events) {
+    GADGET_RETURN_IF_ERROR(runner.Feed(e));
+  }
+  return runner.Finish();
+}
+
+}  // namespace gadget

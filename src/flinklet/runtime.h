@@ -1,0 +1,48 @@
+// The flinklet pipeline runner: feeds a stream of events through an
+// operator, generating punctuated watermarks (default: one per 100 events,
+// §3.1.2) and collecting the instrumented state-access trace.
+//
+// This is the project's stand-in for "configure and deploy a stream
+// processing system ... and execute representative queries to collect
+// measurements" (§1): the trace it records is the ground truth that Gadget's
+// simulated workloads are validated against.
+#ifndef GADGET_FLINKLET_RUNTIME_H_
+#define GADGET_FLINKLET_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/flinklet/operator.h"
+#include "src/streams/dataset.h"
+#include "src/streams/state_access.h"
+
+namespace gadget {
+
+struct PipelineOptions {
+  uint64_t watermark_every = 100;  // punctuated watermark frequency in events
+  OperatorConfig operator_config;
+};
+
+struct PipelineResult {
+  std::vector<StateAccess> trace;
+  std::vector<OperatorOutput> outputs;
+  uint64_t events_processed = 0;
+  uint64_t watermarks_emitted = 0;
+};
+
+// Runs `operator_name` over the events of `dataset`, recording the state
+// access trace. `store` may be null (in-memory shadow state).
+StatusOr<PipelineResult> RunPipeline(const std::string& operator_name, DatasetGenerator& dataset,
+                                     const PipelineOptions& options, KVStore* store = nullptr);
+
+// Same, over a pre-collected event vector (records only; watermarks are
+// inserted by the runner).
+StatusOr<PipelineResult> RunPipeline(const std::string& operator_name,
+                                     const std::vector<Event>& events,
+                                     const PipelineOptions& options, KVStore* store = nullptr);
+
+}  // namespace gadget
+
+#endif  // GADGET_FLINKLET_RUNTIME_H_

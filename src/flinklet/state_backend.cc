@@ -1,0 +1,57 @@
+#include "src/flinklet/state_backend.h"
+
+namespace gadget {
+
+void InstrumentedStateBackend::Record(OpType op, const StateKey& key, uint32_t value_size,
+                                      uint64_t t) {
+  ++accesses_;
+  if (trace_ != nullptr) {
+    trace_->push_back(StateAccess{op, key, value_size, t});
+  }
+}
+
+Status InstrumentedStateBackend::Get(const StateKey& key, std::string* value, uint64_t t) {
+  Record(OpType::kGet, key, 0, t);
+  if (store_ != nullptr) {
+    return store_->Get(EncodeStateKey(key), value);
+  }
+  auto it = shadow_.find(key);
+  if (it == shadow_.end()) {
+    return Status::NotFound();
+  }
+  *value = it->second;
+  return Status::Ok();
+}
+
+Status InstrumentedStateBackend::Put(const StateKey& key, std::string_view value, uint64_t t) {
+  Record(OpType::kPut, key, static_cast<uint32_t>(value.size()), t);
+  if (store_ != nullptr) {
+    return store_->Put(EncodeStateKey(key), value);
+  }
+  shadow_[key].assign(value.data(), value.size());
+  return Status::Ok();
+}
+
+Status InstrumentedStateBackend::Merge(const StateKey& key, std::string_view operand,
+                                       uint64_t t) {
+  Record(OpType::kMerge, key, static_cast<uint32_t>(operand.size()), t);
+  if (store_ != nullptr) {
+    if (store_->supports_merge()) {
+      return store_->Merge(EncodeStateKey(key), operand);
+    }
+    return store_->ReadModifyWrite(EncodeStateKey(key), operand);
+  }
+  shadow_[key].append(operand.data(), operand.size());
+  return Status::Ok();
+}
+
+Status InstrumentedStateBackend::Delete(const StateKey& key, uint64_t t) {
+  Record(OpType::kDelete, key, 0, t);
+  if (store_ != nullptr) {
+    return store_->Delete(EncodeStateKey(key));
+  }
+  shadow_.erase(key);
+  return Status::Ok();
+}
+
+}  // namespace gadget

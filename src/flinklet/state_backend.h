@@ -1,0 +1,53 @@
+// Instrumented keyed state backend — flinklet's equivalent of the paper's
+// instrumented Flink state layer (§3.1).
+//
+// Every operator state access goes through this class, which (a) optionally
+// executes the operation against a real KVStore, (b) optionally maintains the
+// value in an internal map so operators can compute real results without a
+// store, and (c) appends the access to the trace being collected. The
+// recorded trace is the "real" state access stream that Gadget's simulated
+// traces are validated against (Fig. 10).
+#ifndef GADGET_FLINKLET_STATE_BACKEND_H_
+#define GADGET_FLINKLET_STATE_BACKEND_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/stores/kvstore.h"
+#include "src/streams/state_access.h"
+
+namespace gadget {
+
+class InstrumentedStateBackend {
+ public:
+  // Either argument may be null: store=null runs operators purely in memory
+  // (fast trace collection); trace=null runs without recording.
+  InstrumentedStateBackend(KVStore* store, std::vector<StateAccess>* trace)
+      : store_(store), trace_(trace) {}
+
+  // NotFound when absent. Records a GET.
+  Status Get(const StateKey& key, std::string* value, uint64_t t);
+  // Records a PUT.
+  Status Put(const StateKey& key, std::string_view value, uint64_t t);
+  // Lazy append; falls back to ReadModifyWrite on stores without merge.
+  // Records a MERGE.
+  Status Merge(const StateKey& key, std::string_view operand, uint64_t t);
+  // Records a DELETE.
+  Status Delete(const StateKey& key, uint64_t t);
+
+  uint64_t num_accesses() const { return accesses_; }
+
+ private:
+  void Record(OpType op, const StateKey& key, uint32_t value_size, uint64_t t);
+
+  KVStore* store_;
+  std::vector<StateAccess>* trace_;
+  std::unordered_map<StateKey, std::string, StateKeyHash> shadow_;
+  uint64_t accesses_ = 0;
+};
+
+}  // namespace gadget
+
+#endif  // GADGET_FLINKLET_STATE_BACKEND_H_

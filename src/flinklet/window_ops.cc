@@ -1,0 +1,400 @@
+// Window operators (tumbling / sliding / session, incremental / holistic)
+// for the flinklet reference runtime, using the W-ID state mapping the paper
+// describes for Flink (§3.2.2): one KV pair per (key, window), keyed by the
+// window end timestamp.
+//
+// Incremental windows keep a fixed-size aggregate: every event costs a
+// get+put, every firing a get+delete. Holistic windows collect contents with
+// a lazy merge per event and a get+delete at firing. Session windows extend
+// and merge; moving a session's end relocates its state (get + delete + put
+// or merge under the new window id).
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/coding.h"
+#include "src/flinklet/operator.h"
+
+namespace gadget {
+namespace flinklet_internal {
+
+std::string EncodeCount(uint64_t count, uint32_t size) {
+  std::string out;
+  PutFixed64(&out, count);
+  if (out.size() < size) {
+    out.resize(size, '\0');
+  }
+  return out;
+}
+
+uint64_t DecodeCount(const std::string& value) {
+  return value.size() >= 8 ? DecodeFixed64(value.data()) : 0;
+}
+
+// Sums all 8-byte chunks: lazy count merges append EncodeCount chunks, so a
+// merged aggregate is the sum of its chunks (assumes agg_value_size % 8 == 0;
+// zero padding decodes as 0 and does not perturb the sum).
+uint64_t DecodeCountSum(const std::string& value) {
+  uint64_t sum = 0;
+  for (size_t off = 0; off + 8 <= value.size(); off += 8) {
+    sum += DecodeFixed64(value.data() + off);
+  }
+  return sum;
+}
+
+std::string SyntheticPayload(uint32_t size) { return std::string(size == 0 ? 1 : size, 'e'); }
+
+// Timer index — the analog of Flink's timer service (and of Gadget's vIndex):
+// fire time -> state keys to expire.
+class TimerIndex {
+ public:
+  void Register(uint64_t fire_time, const StateKey& key) { timers_[fire_time].push_back(key); }
+
+  // Pops all timers with fire time <= wm.
+  std::vector<std::pair<uint64_t, StateKey>> Pop(uint64_t wm) {
+    std::vector<std::pair<uint64_t, StateKey>> out;
+    auto end = timers_.upper_bound(wm);
+    for (auto it = timers_.begin(); it != end; ++it) {
+      for (const StateKey& k : it->second) {
+        out.emplace_back(it->first, k);
+      }
+    }
+    timers_.erase(timers_.begin(), end);
+    return out;
+  }
+
+  size_t size() const { return timers_.size(); }
+
+ private:
+  std::map<uint64_t, std::vector<StateKey>> timers_;
+};
+
+}  // namespace flinklet_internal
+
+namespace {
+
+using flinklet_internal::DecodeCount;
+using flinklet_internal::DecodeCountSum;
+using flinklet_internal::EncodeCount;
+using flinklet_internal::SyntheticPayload;
+using flinklet_internal::TimerIndex;
+
+// ------------------------------------------------- tumbling & sliding base
+
+class FixedWindowOperator : public Operator {
+ public:
+  FixedWindowOperator(OperatorContext* ctx, bool sliding, bool holistic)
+      : ctx_(ctx), sliding_(sliding), holistic_(holistic) {}
+
+  const char* name() const override {
+    if (sliding_) {
+      return holistic_ ? "sliding_hol" : "sliding_incr";
+    }
+    return holistic_ ? "tumbling_hol" : "tumbling_incr";
+  }
+
+  Status ProcessEvent(const Event& e) override {
+    const uint64_t length = ctx_->config.window_length_ms;
+    const uint64_t slide = sliding_ ? ctx_->config.window_slide_ms : length;
+    // Drop events that are too late for every window they belong to.
+    if (e.event_time_ms + length + ctx_->config.allowed_lateness_ms <= watermark_) {
+      ++dropped_;
+      return Status::Ok();
+    }
+    // Assigned windows: ends at multiples of `slide` covering the event
+    // time. Assumes length % slide == 0 (the paper's configurations all do);
+    // each event then lands in exactly length/slide windows.
+    uint64_t first_end = (e.event_time_ms / slide) * slide + slide;
+    for (uint64_t end = first_end; end <= e.event_time_ms + length; end += slide) {
+      if (end - std::min(end, length) > e.event_time_ms) {
+        continue;  // event before window start
+      }
+      if (end + ctx_->config.allowed_lateness_ms <= watermark_) {
+        continue;  // this particular window already fired and purged
+      }
+      StateKey key{e.key, end};
+      GADGET_RETURN_IF_ERROR(holistic_ ? AddHolistic(key, e) : AddIncremental(key, e));
+    }
+    return Status::Ok();
+  }
+
+  Status OnWatermark(uint64_t wm) override {
+    watermark_ = wm;
+    for (const auto& [fire_time, key] : timers_.Pop(wm)) {
+      std::string contents;
+      Status s = ctx_->state->Get(key, &contents, wm);  // FGet: final window read
+      if (s.ok()) {
+        OperatorOutput out;
+        out.key = key.hi;
+        out.time = key.lo;
+        out.count = holistic_ ? contents.size() : DecodeCount(contents);
+        if (holistic_) {
+          out.payload = std::move(contents);
+        }
+        ctx_->Emit(std::move(out));
+      } else if (!s.IsNotFound()) {
+        return s;
+      }
+      GADGET_RETURN_IF_ERROR(ctx_->state->Delete(key, wm));
+      active_.erase(key);
+    }
+    return Status::Ok();
+  }
+
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  Status AddIncremental(const StateKey& key, const Event& e) {
+    std::string value;
+    Status s = ctx_->state->Get(key, &value, e.event_time_ms);
+    uint64_t count = 0;
+    if (s.ok()) {
+      count = DecodeCount(value);
+    } else if (s.IsNotFound()) {
+      timers_.Register(key.lo + ctx_->config.allowed_lateness_ms, key);
+    } else {
+      return s;
+    }
+    return ctx_->state->Put(key, EncodeCount(count + 1, ctx_->config.agg_value_size),
+                            e.event_time_ms);
+  }
+
+  Status AddHolistic(const StateKey& key, const Event& e) {
+    if (active_.insert(key).second) {
+      timers_.Register(key.lo + ctx_->config.allowed_lateness_ms, key);
+    }
+    return ctx_->state->Merge(key, SyntheticPayload(e.value_size), e.event_time_ms);
+  }
+
+  OperatorContext* ctx_;
+  bool sliding_;
+  bool holistic_;
+  uint64_t watermark_ = 0;
+  uint64_t dropped_ = 0;
+  TimerIndex timers_;
+  std::set<StateKey> active_;  // holistic windows already registered
+};
+
+// --------------------------------------------------------- session windows
+//
+// Follows Flink's merging-window mechanics: each session keeps its state
+// under an immutable representative window id (the session id = creation
+// time), so extending a session's end moves only metadata, not state. A
+// per-key merging-set entry (state key lo = 1) is read on every event and
+// rewritten when the set of sessions changes. Merging two sessions reads and
+// deletes the absorbed window's state and lazily merges it into the
+// survivor. This reproduces Table 1's session mixes: incremental ~2:1
+// get:put with few deletes/merges; holistic get/merge/delete with no puts.
+
+class SessionWindowOperator : public Operator {
+ public:
+  SessionWindowOperator(OperatorContext* ctx, bool holistic) : ctx_(ctx), holistic_(holistic) {}
+
+  const char* name() const override { return holistic_ ? "session_hol" : "session_incr"; }
+
+  Status ProcessEvent(const Event& e) override {
+    const uint64_t gap = ctx_->config.session_gap_ms;
+    const uint64_t t = e.event_time_ms;
+    if (t + gap + ctx_->config.allowed_lateness_ms <= watermark_) {
+      ++dropped_;
+      return Status::Ok();
+    }
+    auto& sessions = sessions_[e.key];
+
+    // Every event starts by reading the per-key merging set.
+    StateKey set_key{e.key, 1};
+    std::string set_bytes;
+    Status set_read = ctx_->state->Get(set_key, &set_bytes, t);
+    if (!set_read.ok() && !set_read.IsNotFound()) {
+      return set_read;
+    }
+
+    // Sessions the window [t, t+gap] overlaps.
+    std::vector<size_t> touching;
+    for (size_t i = 0; i < sessions.size(); ++i) {
+      if (t + gap >= sessions[i].start && t <= sessions[i].end) {
+        touching.push_back(i);
+      }
+    }
+
+    if (touching.empty()) {
+      // Fresh session: the set gains a window and the representative window
+      // state is initialized.
+      Session s{t, t, t + gap};
+      sessions.push_back(s);
+      GADGET_RETURN_IF_ERROR(ctx_->state->Merge(set_key, SetBytes(1), t));
+      StateKey win{e.key, s.sid << 1};
+      if (holistic_) {
+        GADGET_RETURN_IF_ERROR(ctx_->state->Merge(win, SyntheticPayload(e.value_size), t));
+      } else {
+        GADGET_RETURN_IF_ERROR(
+            ctx_->state->Put(win, EncodeCount(1, ctx_->config.agg_value_size), t));
+      }
+      timers_.Register(s.end + ctx_->config.allowed_lateness_ms, win);
+      return Status::Ok();
+    }
+
+    if (touching.size() == 1) {
+      // Extend in place: state stays under the immutable session id; only
+      // the timer and the metadata move.
+      Session& s = sessions[touching[0]];
+      s.start = std::min(s.start, t);
+      uint64_t new_end = std::max(s.end, t + gap);
+      StateKey win{e.key, s.sid << 1};
+      if (new_end != s.end) {
+        s.end = new_end;
+        timers_.Register(s.end + ctx_->config.allowed_lateness_ms, win);
+      }
+      if (holistic_) {
+        return ctx_->state->Merge(win, SyntheticPayload(e.value_size), t);
+      }
+      std::string value;
+      Status st = ctx_->state->Get(win, &value, t);
+      if (!st.ok() && !st.IsNotFound()) {
+        return st;
+      }
+      uint64_t count = st.ok() ? DecodeCountSum(value) : 0;
+      return ctx_->state->Put(win, EncodeCount(count + 1, ctx_->config.agg_value_size), t);
+    }
+
+    // The event bridges >= 2 sessions: absorb everything into the session
+    // with the smallest id (read + delete absorbed state, lazily merge it
+    // plus the event into the survivor), then rewrite the shrunken set.
+    size_t survivor_idx = touching[0];
+    for (size_t idx : touching) {
+      if (sessions[idx].sid < sessions[survivor_idx].sid) {
+        survivor_idx = idx;
+      }
+    }
+    Session merged = sessions[survivor_idx];
+    merged.start = std::min(merged.start, t);
+    merged.end = std::max(merged.end, t + gap);
+    uint64_t absorbed_count = 0;
+    std::string absorbed_payload;
+    for (size_t idx : touching) {
+      merged.start = std::min(merged.start, sessions[idx].start);
+      merged.end = std::max(merged.end, sessions[idx].end);
+      if (idx == survivor_idx) {
+        continue;
+      }
+      StateKey old_win{e.key, sessions[idx].sid << 1};
+      std::string value;
+      Status st = ctx_->state->Get(old_win, &value, t);
+      if (st.ok()) {
+        if (holistic_) {
+          absorbed_payload += value;
+        } else {
+          absorbed_count += DecodeCountSum(value);
+        }
+      } else if (!st.IsNotFound()) {
+        return st;
+      }
+      GADGET_RETURN_IF_ERROR(ctx_->state->Delete(old_win, t));
+    }
+    StateKey survivor_win{e.key, merged.sid << 1};
+    if (holistic_) {
+      absorbed_payload += SyntheticPayload(e.value_size);
+      GADGET_RETURN_IF_ERROR(ctx_->state->Merge(survivor_win, absorbed_payload, t));
+    } else {
+      GADGET_RETURN_IF_ERROR(ctx_->state->Merge(
+          survivor_win, EncodeCount(absorbed_count + 1, ctx_->config.agg_value_size), t));
+    }
+    // Rebuild the registry: drop absorbed sessions, keep the merged one.
+    std::vector<Session> kept;
+    for (size_t i = 0; i < sessions.size(); ++i) {
+      bool was_touching = false;
+      for (size_t idx : touching) {
+        if (idx == i) {
+          was_touching = true;
+          break;
+        }
+      }
+      if (!was_touching) {
+        kept.push_back(sessions[i]);
+      }
+    }
+    kept.push_back(merged);
+    sessions = std::move(kept);
+    GADGET_RETURN_IF_ERROR(ctx_->state->Merge(set_key, SetBytes(1), t));
+    timers_.Register(merged.end + ctx_->config.allowed_lateness_ms, survivor_win);
+    return Status::Ok();
+  }
+
+  Status OnWatermark(uint64_t wm) override {
+    watermark_ = wm;
+    for (const auto& [fire_time, key] : timers_.Pop(wm)) {
+      // Lazy timer cancellation: fire only if the session with this id still
+      // exists and still ends at the registered time.
+      auto sit = sessions_.find(key.hi);
+      if (sit == sessions_.end()) {
+        continue;
+      }
+      auto& sessions = sit->second;
+      uint64_t sid = key.lo >> 1;
+      bool live = false;
+      for (size_t i = 0; i < sessions.size(); ++i) {
+        if (sessions[i].sid == sid &&
+            sessions[i].end + ctx_->config.allowed_lateness_ms == fire_time) {
+          sessions.erase(sessions.begin() + static_cast<long>(i));
+          live = true;
+          break;
+        }
+      }
+      if (!live) {
+        continue;  // stale timer (session extended or merged away)
+      }
+      std::string contents;
+      Status s = ctx_->state->Get(key, &contents, wm);
+      if (s.ok()) {
+        OperatorOutput out;
+        out.key = key.hi;
+        out.time = fire_time;
+        out.count = holistic_ ? contents.size() : DecodeCountSum(contents);
+        ctx_->Emit(std::move(out));
+      } else if (!s.IsNotFound()) {
+        return s;
+      }
+      GADGET_RETURN_IF_ERROR(ctx_->state->Delete(key, wm));
+      if (sessions.empty()) {
+        GADGET_RETURN_IF_ERROR(ctx_->state->Delete(StateKey{key.hi, 1}, wm));
+        sessions_.erase(sit);
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  struct Session {
+    uint64_t sid;    // immutable representative id (creation event time)
+    uint64_t start;  // earliest event time
+    uint64_t end;    // latest event time + gap
+  };
+
+  // Merging-set updates are lazy deltas (~16 bytes of window metadata per
+  // change), appended with a merge; Table 1's zero-put session-holistic row
+  // shows Flink's set maintenance does not issue puts.
+  static std::string SetBytes(size_t windows_changed) {
+    return std::string(16 * std::max<size_t>(windows_changed, 1), 'm');
+  }
+
+  OperatorContext* ctx_;
+  bool holistic_;
+  uint64_t watermark_ = 0;
+  uint64_t dropped_ = 0;
+  TimerIndex timers_;
+  std::map<uint64_t, std::vector<Session>> sessions_;
+};
+
+}  // namespace
+
+std::unique_ptr<Operator> MakeTumblingOperator(OperatorContext* ctx, bool holistic) {
+  return std::make_unique<FixedWindowOperator>(ctx, /*sliding=*/false, holistic);
+}
+std::unique_ptr<Operator> MakeSlidingOperator(OperatorContext* ctx, bool holistic) {
+  return std::make_unique<FixedWindowOperator>(ctx, /*sliding=*/true, holistic);
+}
+std::unique_ptr<Operator> MakeSessionOperator(OperatorContext* ctx, bool holistic) {
+  return std::make_unique<SessionWindowOperator>(ctx, holistic);
+}
+
+}  // namespace gadget

@@ -1,0 +1,56 @@
+#include "src/gadget/driver.h"
+
+namespace gadget {
+
+Status Driver::OnEvent(const Event& e) {
+  if (e.is_watermark()) {
+    return OnWatermark(e.event_time_ms);
+  }
+  std::vector<StateKey> machines = logic_->AssignStateMachines(e, *this);
+  for (const StateKey& key : machines) {
+    auto it = machines_.find(key);
+    if (it == machines_.end()) {
+      continue;  // logic decided to drop it during assignment
+    }
+    logic_->Run(it->second, e, *this, emitter_);
+  }
+  return Status::Ok();
+}
+
+Status Driver::OnWatermark(uint64_t wm) {
+  watermark_ = wm;
+  auto end = v_index_.upper_bound(wm);
+  for (auto it = v_index_.begin(); it != end; ++it) {
+    for (const StateKey& key : it->second) {
+      auto mit = machines_.find(key);
+      if (mit == machines_.end()) {
+        continue;  // stale registration (machine merged away or re-keyed)
+      }
+      logic_->Terminate(mit->second, it->first, *this, emitter_);
+    }
+  }
+  v_index_.erase(v_index_.begin(), end);
+  return Status::Ok();
+}
+
+StateMachine& Driver::GetOrCreateMachine(const StateKey& key, uint64_t t) {
+  auto [it, inserted] = machines_.try_emplace(key);
+  if (inserted) {
+    it->second.key = key;
+    it->second.created_ms = t;
+  }
+  return it->second;
+}
+
+StateMachine* Driver::FindMachine(const StateKey& key) {
+  auto it = machines_.find(key);
+  return it == machines_.end() ? nullptr : &it->second;
+}
+
+void Driver::DropMachine(const StateKey& key) { machines_.erase(key); }
+
+void Driver::RegisterExpiry(uint64_t when, const StateKey& key) {
+  v_index_[when].push_back(key);
+}
+
+}  // namespace gadget

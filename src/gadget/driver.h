@@ -1,0 +1,128 @@
+// Gadget's driver and state-machine API (§5.2-§5.4, Algorithm 1).
+//
+// The driver maintains only the metadata needed to steer workload
+// generation: hIndex maps event keys to state keys, vIndex maps expiration
+// times to state keys, and one finite state machine exists per state key
+// with its element-count metadata ("their sizes in number of elements",
+// §5.2). The driver performs no computation on values and issues no store
+// requests — the workload generator materializes StateAccess records into a
+// FIFO queue through the OpEmitter.
+//
+// Extending Gadget (§5.4): implement OperatorLogic's three methods —
+// AssignStateMachines(), Run(), Terminate() — and pass the logic to the
+// Driver. All three have access to hIndex, vIndex and the latest watermark.
+#ifndef GADGET_GADGET_DRIVER_H_
+#define GADGET_GADGET_DRIVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/flinklet/operator.h"  // reuses OperatorConfig
+#include "src/streams/event.h"
+#include "src/streams/state_access.h"
+
+namespace gadget {
+
+// One finite state machine per state key (§5.3).
+struct StateMachine {
+  StateKey key;
+  int state = 0;          // operator-defined machine state
+  uint64_t elements = 0;  // bucket size metadata (number of elements)
+  uint64_t bytes = 0;     // accumulated value bytes (holistic buckets)
+  uint64_t created_ms = 0;
+  uint64_t aux = 0;  // operator-defined (e.g. current session end)
+};
+
+// The FIFO queue of generated requests (§5.3: "all KV store requests
+// triggered by an event are generated and added to a FIFO queue").
+class OpEmitter {
+ public:
+  explicit OpEmitter(std::vector<StateAccess>* queue) : queue_(queue) {}
+
+  void Emit(OpType op, const StateKey& key, uint32_t value_size, uint64_t t) {
+    queue_->push_back(StateAccess{op, key, value_size, t});
+  }
+
+ private:
+  std::vector<StateAccess>* queue_;
+};
+
+class Driver;
+
+// The three extension methods of §5.4.
+class OperatorLogic {
+ public:
+  virtual ~OperatorLogic() = default;
+
+  // Maps the event to the state machines it drives, creating machines (and
+  // vIndex registrations) as needed. Returns the affected state keys.
+  virtual std::vector<StateKey> AssignStateMachines(const Event& e, Driver& driver) = 0;
+
+  // Runs one machine for this event: emits the machine's KV requests and
+  // advances its state (Fig. 9).
+  virtual void Run(StateMachine& m, const Event& e, Driver& driver, OpEmitter& out) = 0;
+
+  // Closes an expired machine: emits final requests and cleans up state.
+  // `fire_time` is the vIndex registration time that triggered this call —
+  // logics with movable expirations (sessions) use it to skip stale timers.
+  virtual void Terminate(StateMachine& m, uint64_t fire_time, Driver& driver, OpEmitter& out) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+class Driver {
+ public:
+  Driver(std::unique_ptr<OperatorLogic> logic, std::vector<StateAccess>* queue)
+      : logic_(std::move(logic)), emitter_(queue) {}
+
+  // Algorithm 1, driver(): process one event.
+  Status OnEvent(const Event& e);
+
+  // Algorithm 1, onWatermark(): terminate expired machines.
+  Status OnWatermark(uint64_t wm);
+
+  // ---- index + machine access for OperatorLogic implementations ----
+
+  // Returns the machine for `key`, creating it (with created_ms = t) if
+  // needed. Newly created machines have state 0 and no elements.
+  StateMachine& GetOrCreateMachine(const StateKey& key, uint64_t t);
+  StateMachine* FindMachine(const StateKey& key);
+  void DropMachine(const StateKey& key);
+  size_t num_machines() const { return machines_.size(); }
+
+  // vIndex: expiration time -> state keys.
+  void RegisterExpiry(uint64_t when, const StateKey& key);
+
+  // hIndex: event key -> state keys currently associated with it.
+  std::vector<StateKey>& HIndexEntry(uint64_t event_key) { return h_index_[event_key]; }
+  void DropHIndexEntry(uint64_t event_key) { h_index_.erase(event_key); }
+
+  uint64_t watermark() const { return watermark_; }
+  const OperatorConfig& config() const { return config_; }
+  void set_config(const OperatorConfig& config) { config_ = config; }
+
+  OperatorLogic& logic() { return *logic_; }
+
+ private:
+  std::unique_ptr<OperatorLogic> logic_;
+  OpEmitter emitter_;
+  OperatorConfig config_;
+
+  std::unordered_map<StateKey, StateMachine, StateKeyHash> machines_;
+  std::unordered_map<uint64_t, std::vector<StateKey>> h_index_;
+  std::map<uint64_t, std::vector<StateKey>> v_index_;
+  uint64_t watermark_ = 0;
+};
+
+// Factory for the eleven built-in operator logics (same names as
+// flinklet's AllOperatorNames()).
+StatusOr<std::unique_ptr<OperatorLogic>> MakeOperatorLogic(const std::string& name);
+
+}  // namespace gadget
+
+#endif  // GADGET_GADGET_DRIVER_H_

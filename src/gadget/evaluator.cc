@@ -1,0 +1,94 @@
+#include "src/gadget/evaluator.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+namespace gadget {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+inline uint64_t ElapsedNs(Clock::time_point a, Clock::time_point b) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+}  // namespace
+
+std::string ReplayResult::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%llu ops in %.2fs -> %.0f ops/s, p50=%.1fus p99.9=%.1fus",
+                static_cast<unsigned long long>(ops), elapsed_seconds, throughput_ops_per_sec,
+                static_cast<double>(latency_ns.Percentile(50)) / 1000.0,
+                static_cast<double>(latency_ns.Percentile(99.9)) / 1000.0);
+  return std::string(buf);
+}
+
+StatusOr<ReplayResult> ReplayTrace(const std::vector<StateAccess>& trace, KVStore* store,
+                                   const ReplayOptions& options) {
+  ReplayResult result;
+  const bool has_merge = store->supports_merge();
+  // Reusable synthetic value buffer; contents are irrelevant, size matters.
+  std::string value_buf;
+  std::string read_buf;
+
+  const uint64_t limit =
+      options.max_ops == 0 ? trace.size() : std::min<uint64_t>(options.max_ops, trace.size());
+  const double pace_ns =
+      options.service_rate_ops_per_sec > 0 ? 1e9 / options.service_rate_ops_per_sec : 0;
+
+  auto start = Clock::now();
+  for (uint64_t i = 0; i < limit; ++i) {
+    const StateAccess& a = trace[i];
+    if (pace_ns > 0) {
+      auto due = start + std::chrono::nanoseconds(static_cast<uint64_t>(pace_ns * static_cast<double>(i)));
+      std::this_thread::sleep_until(due);
+    }
+    const std::string key = EncodeStateKey(a.key);
+    if (a.value_size > value_buf.size()) {
+      value_buf.resize(a.value_size, 'v');
+    }
+    std::string_view value(value_buf.data(), a.value_size);
+
+    auto op_start = Clock::now();
+    Status s;
+    bool is_read = false;
+    switch (a.op) {
+      case OpType::kGet:
+        is_read = true;
+        s = store->Get(key, &read_buf);
+        if (s.IsNotFound()) {
+          ++result.not_found;
+          s = Status::Ok();
+        }
+        break;
+      case OpType::kPut:
+        s = store->Put(key, value);
+        break;
+      case OpType::kMerge:
+        s = has_merge ? store->Merge(key, value) : store->ReadModifyWrite(key, value);
+        break;
+      case OpType::kDelete:
+        s = store->Delete(key);
+        break;
+    }
+    if (!s.ok()) {
+      return s;
+    }
+    uint64_t ns = ElapsedNs(op_start, Clock::now());
+    result.latency_ns.Record(ns);
+    if (is_read) {
+      result.read_latency_ns.Record(ns);
+    } else {
+      result.write_latency_ns.Record(ns);
+    }
+    ++result.ops;
+  }
+  auto end = Clock::now();
+  result.elapsed_seconds = static_cast<double>(ElapsedNs(start, end)) / 1e9;
+  result.throughput_ops_per_sec =
+      result.elapsed_seconds > 0 ? static_cast<double>(result.ops) / result.elapsed_seconds : 0;
+  return result;
+}
+
+}  // namespace gadget

@@ -1,0 +1,47 @@
+// Gadget's performance evaluator (§5.5): replays a state access stream
+// against a KV store, translating operations the engine lacks (merge ->
+// read-modify-write on FASTER/BerkeleyDB), optionally paced by a service
+// rate, and collects throughput + latency measurements.
+#ifndef GADGET_GADGET_EVALUATOR_H_
+#define GADGET_GADGET_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+#include "src/stores/kvstore.h"
+#include "src/streams/state_access.h"
+
+namespace gadget {
+
+struct ReplayOptions {
+  // 0 = replay as fast as possible; otherwise pace requests to this rate
+  // ("can be configured with a service rate to speed up or slow down the
+  // trace arbitrarily", §5.5).
+  double service_rate_ops_per_sec = 0;
+  // Limit the number of operations replayed (0 = whole trace).
+  uint64_t max_ops = 0;
+};
+
+struct ReplayResult {
+  uint64_t ops = 0;
+  double elapsed_seconds = 0;
+  double throughput_ops_per_sec = 0;
+  LatencyHistogram latency_ns;          // all operations
+  LatencyHistogram read_latency_ns;     // gets
+  LatencyHistogram write_latency_ns;    // puts/merges/rmws/deletes
+  uint64_t not_found = 0;               // gets that missed (expected for probes)
+
+  std::string Summary() const;
+};
+
+// Replays `trace` against `store`. Values are deterministic synthetic bytes
+// of each access's value_size. Returns IoError/Corruption if the store
+// fails; NotFound from gets is counted, not fatal.
+StatusOr<ReplayResult> ReplayTrace(const std::vector<StateAccess>& trace, KVStore* store,
+                                   const ReplayOptions& options = {});
+
+}  // namespace gadget
+
+#endif  // GADGET_GADGET_EVALUATOR_H_

@@ -1,0 +1,194 @@
+#include "src/gadget/event_generator.h"
+
+#include <algorithm>
+
+#include "src/distgen/ecdf_file.h"
+#include "src/streams/trace_io.h"
+
+namespace gadget {
+namespace {
+
+class SyntheticEventSource : public EventSource {
+ public:
+  SyntheticEventSource(const EventGeneratorOptions& opts,
+                       std::unique_ptr<Distribution> key_dist,
+                       std::unique_ptr<Distribution> value_dist,
+                       std::unique_ptr<ArrivalProcess> arrivals)
+      : opts_(opts),
+        key_dist_(std::move(key_dist)),
+        value_dist_(std::move(value_dist)),
+        arrivals_(std::move(arrivals)),
+        rng_(opts.seed ^ 0x9aD6e7, /*stream=*/21) {}
+
+  bool Next(Event* out) override {
+    if (pending_watermark_) {
+      pending_watermark_ = false;
+      // Heuristic watermark: stream head minus the lateness bound, so late
+      // events stay within allowed lateness of the watermark.
+      uint64_t wm = clock_ms_ > opts_.max_lateness_ms ? clock_ms_ - opts_.max_lateness_ms : 0;
+      *out = Event::Watermark(wm);
+      return true;
+    }
+    if (emitted_ >= opts_.num_events) {
+      return false;
+    }
+    clock_ms_ += arrivals_->NextGap();
+    Event e;
+    e.event_time_ms = clock_ms_;
+    if (opts_.out_of_order_fraction > 0 && rng_.NextDouble() < opts_.out_of_order_fraction) {
+      uint64_t lateness = rng_.NextBounded64(opts_.max_lateness_ms + 1);
+      e.event_time_ms = clock_ms_ > lateness ? clock_ms_ - lateness : 0;
+    }
+    e.key = key_dist_->Next();
+    e.value_size = static_cast<uint32_t>(value_dist_->Next()) + 1;
+    if (opts_.num_streams > 1) {
+      // Round-robin across sources (§6.1).
+      e.stream_id = static_cast<uint8_t>(emitted_ % static_cast<uint64_t>(opts_.num_streams));
+    }
+    ++emitted_;
+    if (opts_.watermark_every > 0 && emitted_ % opts_.watermark_every == 0) {
+      pending_watermark_ = true;
+    }
+    *out = e;
+    return true;
+  }
+
+ private:
+  EventGeneratorOptions opts_;
+  std::unique_ptr<Distribution> key_dist_;
+  std::unique_ptr<Distribution> value_dist_;
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  Pcg32 rng_;
+  uint64_t clock_ms_ = 0;
+  uint64_t emitted_ = 0;
+  bool pending_watermark_ = false;
+};
+
+class ReplayEventSource : public EventSource {
+ public:
+  ReplayEventSource(std::unique_ptr<DatasetGenerator> dataset, uint64_t watermark_every)
+      : dataset_(std::move(dataset)), watermark_every_(watermark_every) {}
+
+  bool Next(Event* out) override {
+    if (pending_watermark_) {
+      pending_watermark_ = false;
+      *out = Event::Watermark(max_time_);
+      return true;
+    }
+    Event e;
+    if (!dataset_->Next(&e)) {
+      return false;
+    }
+    max_time_ = std::max(max_time_, e.event_time_ms);
+    ++emitted_;
+    if (watermark_every_ > 0 && emitted_ % watermark_every_ == 0) {
+      pending_watermark_ = true;
+    }
+    *out = e;
+    return true;
+  }
+
+ private:
+  std::unique_ptr<DatasetGenerator> dataset_;
+  uint64_t watermark_every_;
+  uint64_t emitted_ = 0;
+  uint64_t max_time_ = 0;
+  bool pending_watermark_ = false;
+};
+
+class TraceFileEventSource : public EventSource {
+ public:
+  TraceFileEventSource(std::unique_ptr<EventTraceReader> reader, uint64_t watermark_every)
+      : reader_(std::move(reader)), watermark_every_(watermark_every) {}
+
+  bool Next(Event* out) override {
+    if (pending_watermark_) {
+      pending_watermark_ = false;
+      *out = Event::Watermark(max_time_);
+      return true;
+    }
+    Event e;
+    auto more = reader_->Next(&e);
+    if (!more.ok() || !*more) {
+      return false;
+    }
+    if (!e.is_watermark()) {
+      max_time_ = std::max(max_time_, e.event_time_ms);
+      ++records_;
+      if (watermark_every_ > 0 && records_ % watermark_every_ == 0) {
+        pending_watermark_ = true;
+      }
+    }
+    *out = e;
+    return true;
+  }
+
+ private:
+  std::unique_ptr<EventTraceReader> reader_;
+  uint64_t watermark_every_;
+  uint64_t records_ = 0;
+  uint64_t max_time_ = 0;
+  bool pending_watermark_ = false;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<EventSource>> MakeTraceFileSource(const std::string& path,
+                                                           uint64_t watermark_every) {
+  auto reader = EventTraceReader::Open(path);
+  if (!reader.ok()) {
+    return reader.status();
+  }
+  return std::unique_ptr<EventSource>(
+      new TraceFileEventSource(std::move(*reader), watermark_every));
+}
+
+StatusOr<std::unique_ptr<EventSource>> MakeEventGenerator(const EventGeneratorOptions& opts) {
+  std::unique_ptr<Distribution> key_dist_owned;
+  if (opts.key_distribution.rfind("ecdf:", 0) == 0) {
+    auto ecdf = LoadEcdfFile(opts.key_distribution.substr(5), opts.seed);
+    if (!ecdf.ok()) {
+      return ecdf.status();
+    }
+    key_dist_owned = std::move(*ecdf);
+  }
+  auto key_dist = key_dist_owned
+                      ? StatusOr<std::unique_ptr<Distribution>>(std::move(key_dist_owned))
+                      : CreateDistribution(opts.key_distribution, opts.num_keys, opts.seed);
+  if (!key_dist.ok()) {
+    return key_dist.status();
+  }
+  std::unique_ptr<Distribution> value_dist;
+  if (opts.value_size_distribution == "constant") {
+    value_dist = std::make_unique<ConstantDistribution>(
+        opts.value_size > 0 ? opts.value_size - 1 : 0);
+  } else {
+    auto vd = CreateDistribution(opts.value_size_distribution, opts.value_size, opts.seed ^ 1);
+    if (!vd.ok()) {
+      return vd.status();
+    }
+    value_dist = std::move(*vd);
+  }
+  auto arrivals = CreateArrivalProcess(opts.arrival_process, opts.rate_per_sec, opts.seed ^ 2);
+  if (!arrivals.ok()) {
+    return arrivals.status();
+  }
+  return std::unique_ptr<EventSource>(new SyntheticEventSource(
+      opts, std::move(*key_dist), std::move(value_dist), std::move(*arrivals)));
+}
+
+std::unique_ptr<EventSource> MakeReplaySource(std::unique_ptr<DatasetGenerator> dataset,
+                                              uint64_t watermark_every) {
+  return std::make_unique<ReplayEventSource>(std::move(dataset), watermark_every);
+}
+
+std::vector<Event> CollectSource(EventSource& source) {
+  std::vector<Event> out;
+  Event e;
+  while (source.Next(&e)) {
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace gadget

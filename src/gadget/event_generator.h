@@ -1,0 +1,79 @@
+// Gadget's configurable event generator (§5.1).
+//
+// Generates one or two event streams with configurable arrival process, key
+// distribution, value sizes, watermark frequency, and out-of-order events
+// with bounded lateness. Can also replay an existing event trace or a
+// synthetic dataset (the "input replayer" box in Fig. 8), adding watermarks.
+#ifndef GADGET_GADGET_EVENT_GENERATOR_H_
+#define GADGET_GADGET_EVENT_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/distgen/arrival.h"
+#include "src/distgen/distribution.h"
+#include "src/streams/dataset.h"
+#include "src/streams/event.h"
+
+namespace gadget {
+
+struct EventGeneratorOptions {
+  uint64_t num_events = 100'000;
+  uint64_t seed = 1;
+
+  // Key space.
+  std::string key_distribution = "zipfian";  // any CreateDistribution name
+  uint64_t num_keys = 1'000;
+
+  // Arrival process ("constant", "poisson", "bursty").
+  std::string arrival_process = "poisson";
+  double rate_per_sec = 1'000.0;
+
+  // Value sizes (constant by default; "uniform" draws in [1, value_size]).
+  std::string value_size_distribution = "constant";
+  uint32_t value_size = 64;
+
+  // Watermarks: one per `watermark_every` records (punctuated, §3.1.2).
+  uint64_t watermark_every = 100;
+
+  // Out-of-order events: this fraction of events is emitted with an event
+  // time up to `max_lateness_ms` behind the stream head (Fig. 8's example:
+  // 2% of events late by at most 3 time units).
+  double out_of_order_fraction = 0.0;
+  uint64_t max_lateness_ms = 0;
+
+  // Two-input operators pull from two sources round-robin (§6.1).
+  int num_streams = 1;
+};
+
+// Pull-based event source: emits records and watermarks.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+  // False at end of stream.
+  virtual bool Next(Event* out) = 0;
+};
+
+// Synthetic generator from the options above.
+StatusOr<std::unique_ptr<EventSource>> MakeEventGenerator(const EventGeneratorOptions& opts);
+
+// Input replayer: wraps a dataset generator, injecting a watermark every
+// `watermark_every` records (watermark time = max event time seen).
+std::unique_ptr<EventSource> MakeReplaySource(std::unique_ptr<DatasetGenerator> dataset,
+                                              uint64_t watermark_every);
+
+// Input replayer over a persisted event trace (the "existing event trace
+// like those we used in §3" path of §5.1). Watermarks already present in the
+// trace are passed through; additional ones are injected every
+// `watermark_every` records (0 = none).
+StatusOr<std::unique_ptr<EventSource>> MakeTraceFileSource(const std::string& path,
+                                                           uint64_t watermark_every);
+
+// Drains a source into a vector.
+std::vector<Event> CollectSource(EventSource& source);
+
+}  // namespace gadget
+
+#endif  // GADGET_GADGET_EVENT_GENERATOR_H_

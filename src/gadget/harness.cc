@@ -1,0 +1,244 @@
+#include "src/gadget/harness.h"
+
+#include <iomanip>
+#include <memory>
+
+#include "src/analysis/cache_model.h"
+#include "src/analysis/metrics.h"
+#include "src/common/file_util.h"
+#include "src/gadget/evaluator.h"
+#include "src/gadget/event_generator.h"
+#include "src/gadget/workload.h"
+#include "src/streams/trace_io.h"
+#include "src/ycsb/ycsb.h"
+
+namespace gadget {
+namespace {
+
+OperatorConfig OperatorConfigFrom(const Config& config) {
+  OperatorConfig cfg;
+  cfg.window_length_ms = config.GetUint("window_length_ms", cfg.window_length_ms);
+  cfg.window_slide_ms = config.GetUint("window_slide_ms", cfg.window_slide_ms);
+  cfg.session_gap_ms = config.GetUint("session_gap_ms", cfg.session_gap_ms);
+  cfg.join_lower_ms = config.GetUint("join_lower_ms", cfg.join_lower_ms);
+  cfg.join_upper_ms = config.GetUint("join_upper_ms", cfg.join_upper_ms);
+  cfg.allowed_lateness_ms = config.GetUint("allowed_lateness_ms", cfg.allowed_lateness_ms);
+  return cfg;
+}
+
+StatusOr<std::unique_ptr<EventSource>> SourceFrom(const Config& config,
+                                                  const std::string& op) {
+  const std::string source = config.GetString("source", "synthetic");
+  const uint64_t events = config.GetUint("events", 100'000);
+  const uint64_t seed = config.GetUint("seed", 42);
+  const uint64_t wm = config.GetUint("watermark_every", 100);
+  if (source.rfind("trace:", 0) == 0) {
+    return MakeTraceFileSource(source.substr(6), wm);
+  }
+  if (source == "synthetic") {
+    EventGeneratorOptions gen;
+    gen.num_events = events;
+    gen.seed = seed;
+    gen.num_keys = config.GetUint("keys", 1'000);
+    gen.key_distribution = config.GetString("key_distribution", "zipfian");
+    gen.arrival_process = config.GetString("arrival", "poisson");
+    gen.rate_per_sec = config.GetDouble("rate", 1'000.0);
+    gen.value_size = static_cast<uint32_t>(config.GetUint("value_size", 64));
+    gen.watermark_every = wm;
+    gen.out_of_order_fraction = config.GetDouble("out_of_order", 0.0);
+    gen.max_lateness_ms = config.GetUint("max_lateness_ms", 0);
+    gen.num_streams = op.rfind("join", 0) == 0 ? 2 : 1;
+    return MakeEventGenerator(gen);
+  }
+  auto dataset = MakeDataset(source, events, seed);
+  if (!dataset.ok()) {
+    return dataset.status();
+  }
+  return MakeReplaySource(std::move(*dataset), wm);
+}
+
+void PrintAnalysis(const std::vector<StateAccess>& trace, std::ostream& out) {
+  OpComposition c = ComputeComposition(trace);
+  out << "composition: get=" << c.get << " put=" << c.put << " merge=" << c.merge
+      << " delete=" << c.del << " (" << c.total << " ops)\n";
+  auto stack = ComputeStackDistances(trace);
+  out << "temporal locality: mean stack distance " << stack.Mean() << " ("
+      << stack.cold_misses << " cold)\n";
+  auto seqs = CountUniqueSequences(trace, 8);
+  out << "spatial locality: unique sequences l=2:" << seqs[1] << " l=4:" << seqs[3]
+      << " l=8:" << seqs[7] << "\n";
+  auto ttls = ComputeKeyTtls(trace);
+  out << "ttl timesteps: p50=" << PercentileOf(ttls, 50) << " p90=" << PercentileOf(ttls, 90)
+      << " p99.9=" << PercentileOf(ttls, 99.9) << "\n";
+  auto timeline = ComputeWorkingSetTimeline(trace, 100);
+  uint64_t max_ws = 0;
+  for (const auto& p : timeline) {
+    max_ws = std::max(max_ws, p.active_keys);
+  }
+  out << "working set: max " << max_ws << " active keys\n";
+  uint64_t cache = RecommendCacheSize(trace, 0.1);
+  out << "cache sizing: >= " << cache << " entries for <=10% LRU miss ratio\n";
+  PrefetchResult prefetch = SimulatePrefetch(trace);
+  out << "prefetchability: " << std::fixed << std::setprecision(3) << prefetch.hit_fraction()
+      << " of accesses predictable from the previous key\n";
+}
+
+Status Evaluate(const std::vector<StateAccess>& trace, const Config& config,
+                std::ostream& out) {
+  const std::string engine = config.GetString("store", "lsm");
+  std::string dir = config.GetString("store_dir");
+  std::unique_ptr<ScopedTempDir> tmp;
+  if (dir.empty()) {
+    tmp = std::make_unique<ScopedTempDir>("gadget-harness");
+    dir = tmp->path() + "/db";
+  }
+  auto store = OpenStore(engine, dir);
+  if (!store.ok()) {
+    return store.status();
+  }
+  ReplayOptions ropts;
+  ropts.service_rate_ops_per_sec = config.GetDouble("service_rate", 0);
+  ropts.max_ops = config.GetUint("max_ops", 0);
+  auto result = ReplayTrace(trace, store->get(), ropts);
+  if (!result.ok()) {
+    return result.status();
+  }
+  out << engine << ": " << result->Summary() << "\n";
+  out << "  reads:  " << result->read_latency_ns.Summary() << "\n";
+  out << "  writes: " << result->write_latency_ns.Summary() << "\n";
+  return (*store)->Close();
+}
+
+Status RunYcsb(const Config& config, std::ostream& out) {
+  const std::string which = config.GetString("ycsb_workload", "A");
+  YcsbOptions opts;
+  if (which == "A") {
+    opts = YcsbWorkloadA();
+  } else if (which == "D") {
+    opts = YcsbWorkloadD();
+  } else if (which == "F") {
+    opts = YcsbWorkloadF();
+  } else {
+    return Status::InvalidArgument("ycsb_workload must be A, D or F");
+  }
+  opts.record_count = config.GetUint("ycsb_records", 1'000);
+  opts.operation_count = config.GetUint("events", 100'000);
+  opts.value_size = static_cast<uint32_t>(config.GetUint("value_size", 256));
+  if (config.Has("ycsb_distribution")) {
+    opts.request_distribution = config.GetString("ycsb_distribution");
+  }
+  opts.seed = config.GetUint("seed", 42);
+  auto workload = GenerateYcsb(opts);
+  if (!workload.ok()) {
+    return workload.status();
+  }
+  out << "ycsb workload " << which << ": " << workload->run.size() << " requests over "
+      << opts.record_count << " records\n";
+  if (config.GetBool("analyze")) {
+    PrintAnalysis(workload->run, out);
+  }
+  // Load phase first, unmeasured; then the measured run.
+  const std::string engine = config.GetString("store", "lsm");
+  std::string dir = config.GetString("store_dir");
+  std::unique_ptr<ScopedTempDir> tmp;
+  if (dir.empty()) {
+    tmp = std::make_unique<ScopedTempDir>("gadget-ycsb");
+    dir = tmp->path() + "/db";
+  }
+  auto store = OpenStore(engine, dir);
+  if (!store.ok()) {
+    return store.status();
+  }
+  auto load = ReplayTrace(workload->load, store->get());
+  if (!load.ok()) {
+    return load.status();
+  }
+  ReplayOptions ropts;
+  ropts.max_ops = config.GetUint("max_ops", 0);
+  auto result = ReplayTrace(workload->run, store->get(), ropts);
+  if (!result.ok()) {
+    return result.status();
+  }
+  out << engine << ": " << result->Summary() << "\n";
+  return (*store)->Close();
+}
+
+}  // namespace
+
+Status RunHarness(const Config& config, std::ostream& out) {
+  const std::string mode = config.GetString("mode", "online");
+  if (mode == "ycsb") {
+    return RunYcsb(config, out);
+  }
+  if (mode == "dump_events") {
+    // Persist the configured event stream (watermarks included) so it can be
+    // replayed later via source=trace:<path>.
+    const std::string path = config.GetString("events_out");
+    if (path.empty()) {
+      return Status::InvalidArgument("dump_events mode requires events_out=<path>");
+    }
+    auto source = SourceFrom(config, config.GetString("operator", "tumbling_incr"));
+    if (!source.ok()) {
+      return source.status();
+    }
+    auto writer = EventTraceWriter::Create(path);
+    if (!writer.ok()) {
+      return writer.status();
+    }
+    Event e;
+    while ((*source)->Next(&e)) {
+      GADGET_RETURN_IF_ERROR((*writer)->Append(e));
+    }
+    GADGET_RETURN_IF_ERROR((*writer)->Finish());
+    out << (*writer)->count() << " events written to " << path << "\n";
+    return Status::Ok();
+  }
+  if (mode == "replay" || mode == "analyze") {
+    const std::string path = config.GetString("trace_in");
+    if (path.empty()) {
+      return Status::InvalidArgument(mode + " mode requires trace_in=<path>");
+    }
+    auto trace = ReadAccessTrace(path);
+    if (!trace.ok()) {
+      return trace.status();
+    }
+    out << "loaded " << trace->size() << " accesses from " << path << "\n";
+    if (mode == "analyze" || config.GetBool("analyze")) {
+      PrintAnalysis(*trace, out);
+    }
+    if (mode == "replay") {
+      return Evaluate(*trace, config, out);
+    }
+    return Status::Ok();
+  }
+  if (mode != "online" && mode != "offline") {
+    return Status::InvalidArgument("unknown mode: " + mode);
+  }
+
+  const std::string op = config.GetString("operator", "tumbling_incr");
+  auto source = SourceFrom(config, op);
+  if (!source.ok()) {
+    return source.status();
+  }
+  auto workload = GenerateWorkload(op, **source, OperatorConfigFrom(config));
+  if (!workload.ok()) {
+    return workload.status();
+  }
+  out << "operator " << op << ": " << workload->trace.size() << " accesses from "
+      << workload->events_processed << " events (" << workload->watermarks << " watermarks)\n";
+  if (config.GetBool("analyze")) {
+    PrintAnalysis(workload->trace, out);
+  }
+  if (mode == "offline") {
+    const std::string path = config.GetString("trace_out");
+    if (path.empty()) {
+      return Status::InvalidArgument("offline mode requires trace_out=<path>");
+    }
+    GADGET_RETURN_IF_ERROR(WriteAccessTrace(path, workload->trace));
+    out << "trace written to " << path << "\n";
+    return Status::Ok();
+  }
+  return Evaluate(workload->trace, config, out);
+}
+
+}  // namespace gadget

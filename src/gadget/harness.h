@@ -1,0 +1,48 @@
+// Config-driven harness: one entry point that wires event generation,
+// workload generation, trace files, store evaluation, and trace analysis
+// from a flat key=value config (the interface the original Gadget exposes,
+// paper appendix A.4.1). Used by the `gadget` CLI in tools/.
+//
+// Recognized keys (defaults in parentheses):
+//   mode             online | offline | replay | analyze | ycsb  (online)
+//   operator         one of the eleven workload names             (tumbling_incr)
+//   source           synthetic | borg | taxi | azure              (synthetic)
+//   events           number of input events                       (100000)
+//   seed             master RNG seed                              (42)
+//   keys             synthetic key-space size                     (1000)
+//   key_distribution uniform|zipfian|scrambled_zipfian|hotspot|
+//                    sequential|exponential|latest                (zipfian)
+//   arrival          constant | poisson | bursty                  (poisson)
+//   rate             events per second                            (1000)
+//   value_size       payload bytes                                (64)
+//   watermark_every  events per punctuated watermark              (100)
+//   out_of_order     fraction of late events                      (0)
+//   max_lateness_ms  lateness bound for late events               (0)
+//   window_length_ms / window_slide_ms / session_gap_ms /
+//   join_lower_ms / join_upper_ms / allowed_lateness_ms           (paper defaults)
+//   store            mem | lsm | lethe | faster | btree           (lsm)
+//   store_dir        storage directory (temp dir if empty)
+//   service_rate     replay pacing, ops/s, 0 = unpaced            (0)
+//   max_ops          replay budget, 0 = whole trace               (0)
+//   trace_out        offline mode: output trace path
+//   trace_in         replay/analyze mode: input trace path
+//   analyze          also print trace analysis in online/offline  (false)
+//   ycsb_workload    A | D | F (mode=ycsb)                        (A)
+//   ycsb_records / ycsb_distribution                              (1000 / preset)
+#ifndef GADGET_GADGET_HARNESS_H_
+#define GADGET_GADGET_HARNESS_H_
+
+#include <ostream>
+
+#include "src/common/config.h"
+#include "src/common/status.h"
+
+namespace gadget {
+
+// Runs the experiment described by `config`, writing human-readable results
+// to `out`. Returns the first error encountered.
+Status RunHarness(const Config& config, std::ostream& out);
+
+}  // namespace gadget
+
+#endif  // GADGET_GADGET_HARNESS_H_

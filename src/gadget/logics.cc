@@ -1,0 +1,512 @@
+// The eleven built-in operator logics (§6.1) expressed in Gadget's
+// state-machine API. Each Run() is a small switch over machine states in the
+// style of Fig. 9; Terminate() closes a machine with its final requests
+// (FGet + delete for windows). Only metadata flows here — no values, no
+// store calls (§5.2).
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/gadget/driver.h"
+
+namespace gadget {
+namespace {
+
+// Machine states shared by the window logics (Fig. 9).
+enum WindowState : int {
+  kGetState = 0,
+  kPutState = 1,
+};
+
+// ------------------------------------------------ fixed windows (tumb/slid)
+
+class FixedWindowLogic : public OperatorLogic {
+ public:
+  FixedWindowLogic(bool sliding, bool holistic) : sliding_(sliding), holistic_(holistic) {}
+
+  const char* name() const override {
+    if (sliding_) {
+      return holistic_ ? "sliding_hol" : "sliding_incr";
+    }
+    return holistic_ ? "tumbling_hol" : "tumbling_incr";
+  }
+
+  std::vector<StateKey> AssignStateMachines(const Event& e, Driver& driver) override {
+    const OperatorConfig& cfg = driver.config();
+    const uint64_t length = cfg.window_length_ms;
+    const uint64_t slide = sliding_ ? cfg.window_slide_ms : length;
+    std::vector<StateKey> keys;
+    if (e.event_time_ms + length + cfg.allowed_lateness_ms <= driver.watermark()) {
+      return keys;  // dropped late event
+    }
+    uint64_t first_end = (e.event_time_ms / slide) * slide + slide;
+    for (uint64_t end = first_end; end <= e.event_time_ms + length; end += slide) {
+      if (end - std::min(end, length) > e.event_time_ms) {
+        continue;
+      }
+      if (end + cfg.allowed_lateness_ms <= driver.watermark()) {
+        continue;
+      }
+      StateKey key{e.key, end};
+      if (driver.FindMachine(key) == nullptr) {
+        driver.GetOrCreateMachine(key, e.event_time_ms);
+        driver.RegisterExpiry(end + cfg.allowed_lateness_ms, key);
+      }
+      keys.push_back(key);
+    }
+    return keys;
+  }
+
+  void Run(StateMachine& m, const Event& e, Driver& driver, OpEmitter& out) override {
+    if (holistic_) {
+      // Holistic machine: a single merge per event; contents accumulate.
+      out.Emit(OpType::kMerge, m.key, e.value_size, e.event_time_ms);
+      m.bytes += e.value_size;
+      ++m.elements;
+      return;
+    }
+    // Incremental machine (Fig. 9): GET then PUT per event.
+    bool done = false;
+    while (!done) {
+      switch (m.state) {
+        case kGetState:
+          out.Emit(OpType::kGet, m.key, 0, e.event_time_ms);
+          m.state = kPutState;
+          break;
+        case kPutState:
+          out.Emit(OpType::kPut, m.key, driver.config().agg_value_size, e.event_time_ms);
+          ++m.elements;
+          m.state = kGetState;
+          done = true;
+          break;
+      }
+    }
+  }
+
+  void Terminate(StateMachine& m, uint64_t fire_time, Driver& driver, OpEmitter& out) override {
+    // FGet retrieves the window contents, then the bucket is deleted.
+    out.Emit(OpType::kGet, m.key, 0, driver.watermark());
+    out.Emit(OpType::kDelete, m.key, 0, driver.watermark());
+    driver.DropMachine(m.key);
+  }
+
+ private:
+  bool sliding_;
+  bool holistic_;
+};
+
+// ---------------------------------------------------------- session windows
+
+class SessionWindowLogic : public OperatorLogic {
+ public:
+  explicit SessionWindowLogic(bool holistic) : holistic_(holistic) {}
+
+  const char* name() const override { return holistic_ ? "session_hol" : "session_incr"; }
+
+  // Mirrors flinklet's merging-window mechanics exactly (see
+  // src/flinklet/window_ops.cc): immutable representative window ids, a
+  // per-key merging-set entry read every event and lazily merged on
+  // structural change, and absorb-into-survivor session merges.
+  std::vector<StateKey> AssignStateMachines(const Event& e, Driver& driver) override {
+    const OperatorConfig& cfg = driver.config();
+    const uint64_t gap = cfg.session_gap_ms;
+    const uint64_t t = e.event_time_ms;
+    plan_ = Plan{};
+    if (t + gap + cfg.allowed_lateness_ms <= driver.watermark()) {
+      return {};
+    }
+    auto& sessions = registry_[e.key];
+    std::vector<size_t> touching;
+    for (size_t i = 0; i < sessions.size(); ++i) {
+      if (t + gap >= sessions[i].start && t <= sessions[i].end) {
+        touching.push_back(i);
+      }
+    }
+
+    if (touching.empty()) {
+      Session s{t, t, t + gap, 0};
+      sessions.push_back(s);
+      plan_.kind = Plan::kFresh;
+      StateKey win{e.key, s.sid << 1};
+      StateMachine& m = driver.GetOrCreateMachine(win, t);
+      m.created_ms = s.sid;
+      m.aux = s.end;
+      driver.RegisterExpiry(s.end + cfg.allowed_lateness_ms, win);
+      return {win};
+    }
+
+    if (touching.size() == 1) {
+      Session& s = sessions[touching[0]];
+      s.start = std::min(s.start, t);
+      uint64_t new_end = std::max(s.end, t + gap);
+      StateKey win{e.key, s.sid << 1};
+      if (new_end != s.end) {
+        s.end = new_end;
+        driver.RegisterExpiry(s.end + cfg.allowed_lateness_ms, win);
+      }
+      StateMachine* m = driver.FindMachine(win);
+      if (m != nullptr) {
+        m->aux = s.end;
+      }
+      plan_.kind = Plan::kExtend;
+      return {win};
+    }
+
+    // Bridge: absorb into the session with the smallest id.
+    size_t survivor_idx = touching[0];
+    for (size_t idx : touching) {
+      if (sessions[idx].sid < sessions[survivor_idx].sid) {
+        survivor_idx = idx;
+      }
+    }
+    Session merged = sessions[survivor_idx];
+    merged.start = std::min(merged.start, t);
+    merged.end = std::max(merged.end, t + gap);
+    plan_.kind = Plan::kBridge;
+    for (size_t idx : touching) {
+      merged.start = std::min(merged.start, sessions[idx].start);
+      merged.end = std::max(merged.end, sessions[idx].end);
+      if (idx == survivor_idx) {
+        continue;
+      }
+      StateKey old_win{e.key, sessions[idx].sid << 1};
+      plan_.absorbed.push_back(old_win);
+      if (StateMachine* old_m = driver.FindMachine(old_win)) {
+        plan_.absorbed_bytes += old_m->bytes;
+      }
+      driver.DropMachine(old_win);
+    }
+    std::vector<Session> kept;
+    for (size_t i = 0; i < sessions.size(); ++i) {
+      bool was_touching = false;
+      for (size_t idx : touching) {
+        if (idx == i) {
+          was_touching = true;
+          break;
+        }
+      }
+      if (!was_touching) {
+        kept.push_back(sessions[i]);
+      }
+    }
+    kept.push_back(merged);
+    sessions = std::move(kept);
+    StateKey survivor_win{e.key, merged.sid << 1};
+    StateMachine& m = driver.GetOrCreateMachine(survivor_win, t);
+    m.created_ms = merged.sid;
+    m.aux = merged.end;
+    driver.RegisterExpiry(merged.end + cfg.allowed_lateness_ms, survivor_win);
+    return {survivor_win};
+  }
+
+  void Run(StateMachine& m, const Event& e, Driver& driver, OpEmitter& out) override {
+    const uint64_t t = e.event_time_ms;
+    const uint32_t agg = driver.config().agg_value_size;
+    StateKey set_key{m.key.hi, 1};
+    out.Emit(OpType::kGet, set_key, 0, t);  // merging-set read, every event
+    switch (plan_.kind) {
+      case Plan::kFresh:
+        out.Emit(OpType::kMerge, set_key, kSetDeltaBytes, t);
+        if (holistic_) {
+          out.Emit(OpType::kMerge, m.key, e.value_size, t);
+          m.bytes += e.value_size;
+        } else {
+          out.Emit(OpType::kPut, m.key, agg, t);
+        }
+        ++m.elements;
+        break;
+      case Plan::kExtend:
+        if (holistic_) {
+          out.Emit(OpType::kMerge, m.key, e.value_size, t);
+          m.bytes += e.value_size;
+        } else {
+          out.Emit(OpType::kGet, m.key, 0, t);
+          out.Emit(OpType::kPut, m.key, agg, t);
+        }
+        ++m.elements;
+        break;
+      case Plan::kBridge: {
+        for (const StateKey& old_win : plan_.absorbed) {
+          out.Emit(OpType::kGet, old_win, 0, t);
+          out.Emit(OpType::kDelete, old_win, 0, t);
+        }
+        if (holistic_) {
+          uint64_t payload = plan_.absorbed_bytes + e.value_size;
+          out.Emit(OpType::kMerge, m.key,
+                   static_cast<uint32_t>(std::min<uint64_t>(payload, 64u << 20)), t);
+          m.bytes += payload;
+        } else {
+          out.Emit(OpType::kMerge, m.key, agg, t);
+        }
+        ++m.elements;
+        out.Emit(OpType::kMerge, set_key, kSetDeltaBytes, t);
+        break;
+      }
+    }
+    plan_ = Plan{};
+  }
+
+  void Terminate(StateMachine& m, uint64_t fire_time, Driver& driver, OpEmitter& out) override {
+    auto rit = registry_.find(m.key.hi);
+    if (rit == registry_.end()) {
+      driver.DropMachine(m.key);
+      return;
+    }
+    auto& sessions = rit->second;
+    const uint64_t sid = m.key.lo >> 1;
+    bool live = false;
+    for (size_t i = 0; i < sessions.size(); ++i) {
+      if (sessions[i].sid == sid &&
+          sessions[i].end + driver.config().allowed_lateness_ms == fire_time) {
+        sessions.erase(sessions.begin() + static_cast<long>(i));
+        live = true;
+        break;
+      }
+    }
+    if (!live) {
+      return;  // stale timer (session extended or merged away)
+    }
+    out.Emit(OpType::kGet, m.key, 0, driver.watermark());
+    out.Emit(OpType::kDelete, m.key, 0, driver.watermark());
+    if (sessions.empty()) {
+      out.Emit(OpType::kDelete, StateKey{m.key.hi, 1}, 0, driver.watermark());
+      registry_.erase(rit);
+    }
+    driver.DropMachine(m.key);
+  }
+
+ private:
+  static constexpr uint32_t kSetDeltaBytes = 16;
+
+  struct Session {
+    uint64_t sid;
+    uint64_t start;
+    uint64_t end;
+    uint64_t bytes;
+  };
+  struct Plan {
+    enum Kind { kFresh, kExtend, kBridge } kind = kFresh;
+    std::vector<StateKey> absorbed;
+    uint64_t absorbed_bytes = 0;
+  };
+
+  bool holistic_;
+  std::map<uint64_t, std::vector<Session>> registry_;
+  Plan plan_;
+};
+
+// ---------------------------------------------------------- continuous join
+
+class ContinuousJoinLogic : public OperatorLogic {
+ public:
+  const char* name() const override { return "join_cont"; }
+
+  std::vector<StateKey> AssignStateMachines(const Event& e, Driver& driver) override {
+    StateKey record_key{e.key, 0};
+    if (e.stream_id == 0 && e.expiry_time_ms == 0) {
+      driver.GetOrCreateMachine(record_key, e.event_time_ms).state = 1;  // open
+      return {record_key};
+    }
+    // Close events and probes both address the record machine if it exists.
+    if (driver.FindMachine(record_key) == nullptr && e.stream_id != 0) {
+      // Probe with no open record: still costs the get.
+      driver.GetOrCreateMachine(record_key, e.event_time_ms).state = 0;  // closed/ghost
+    } else if (driver.FindMachine(record_key) == nullptr) {
+      driver.GetOrCreateMachine(record_key, e.event_time_ms).state = 0;
+    }
+    return {record_key};
+  }
+
+  void Run(StateMachine& m, const Event& e, Driver& driver, OpEmitter& out) override {
+    const uint64_t t = e.event_time_ms;
+    if (e.stream_id == 0) {
+      if (e.expiry_time_ms != 0) {
+        // Validity closes: final read of the accumulated result + cleanup of
+        // both entries.
+        out.Emit(OpType::kGet, StateKey{m.key.hi, 1}, 0, t);
+        out.Emit(OpType::kDelete, StateKey{m.key.hi, 0}, 0, t);
+        out.Emit(OpType::kDelete, StateKey{m.key.hi, 1}, 0, t);
+        driver.DropMachine(m.key);
+        return;
+      }
+      if (m.state == 1 && m.elements == 0) {
+        out.Emit(OpType::kPut, m.key, e.value_size, t);
+        ++m.elements;
+      } else {
+        out.Emit(OpType::kPut, m.key, e.value_size, t);
+      }
+      return;
+    }
+    // Probe side: get the record; merge into the result when it is open.
+    out.Emit(OpType::kGet, m.key, 0, t);
+    if (m.state == 1) {
+      out.Emit(OpType::kMerge, StateKey{m.key.hi, 1}, e.value_size, t);
+    } else if (m.elements == 0) {
+      // Ghost machine created just for the probe: drop it again.
+      driver.DropMachine(m.key);
+    }
+  }
+
+  void Terminate(StateMachine& m, uint64_t fire_time, Driver& driver, OpEmitter& out) override {
+    driver.DropMachine(m.key);
+  }
+};
+
+// ------------------------------------------------------------ interval join
+
+class IntervalJoinLogic : public OperatorLogic {
+ public:
+  const char* name() const override { return "join_interval"; }
+
+  std::vector<StateKey> AssignStateMachines(const Event& e, Driver& driver) override {
+    const OperatorConfig& cfg = driver.config();
+    StateKey key{e.key, (e.event_time_ms << 1) | (e.stream_id & 1)};
+    driver.GetOrCreateMachine(key, e.event_time_ms);
+    driver.RegisterExpiry(e.event_time_ms + cfg.join_upper_ms + cfg.allowed_lateness_ms, key);
+    return {key};
+  }
+
+  void Run(StateMachine& m, const Event& e, Driver& driver, OpEmitter& out) override {
+    const OperatorConfig& cfg = driver.config();
+    const uint64_t t = e.event_time_ms;
+    const uint64_t mid = (cfg.join_lower_ms + cfg.join_upper_ms) / 2;
+    const uint8_t side = e.stream_id & 1;
+    // Buffer own event under its timestamp; probe the opposite buffer.
+    out.Emit(OpType::kPut, m.key, e.value_size, t);
+    ++m.elements;
+    uint64_t probe_t = side == 0 ? t + mid : (t > mid ? t - mid : 0);
+    out.Emit(OpType::kGet, StateKey{e.key, (probe_t << 1) | static_cast<uint64_t>(1 - side)}, 0,
+             t);
+  }
+
+  void Terminate(StateMachine& m, uint64_t fire_time, Driver& driver, OpEmitter& out) override {
+    out.Emit(OpType::kDelete, m.key, 0, driver.watermark());
+    driver.DropMachine(m.key);
+  }
+};
+
+// -------------------------------------------------------------- window join
+
+class WindowJoinLogic : public OperatorLogic {
+ public:
+  explicit WindowJoinLogic(bool sliding) : sliding_(sliding) {}
+
+  const char* name() const override { return sliding_ ? "join_sliding" : "join_tumbling"; }
+
+  std::vector<StateKey> AssignStateMachines(const Event& e, Driver& driver) override {
+    const OperatorConfig& cfg = driver.config();
+    const uint64_t length = cfg.window_length_ms;
+    const uint64_t slide = sliding_ ? cfg.window_slide_ms : length;
+    const uint64_t t = e.event_time_ms;
+    const uint8_t side = e.stream_id & 1;
+    std::vector<StateKey> keys;
+    if (t + length + cfg.allowed_lateness_ms <= driver.watermark()) {
+      return keys;
+    }
+    uint64_t first_end = (t / slide) * slide + slide;
+    for (uint64_t end = first_end; end <= t + length; end += slide) {
+      if (end - std::min(end, length) > t) {
+        continue;
+      }
+      if (end + cfg.allowed_lateness_ms <= driver.watermark()) {
+        continue;
+      }
+      StateKey bucket{e.key, (end << 1) | side};
+      if (driver.FindMachine(bucket) == nullptr) {
+        driver.GetOrCreateMachine(bucket, t);
+        // The window (both sides) expires together; register the side-0 key
+        // once and let Terminate handle its sibling.
+        if (side == 0 || driver.FindMachine(StateKey{e.key, (end << 1)}) == nullptr) {
+          driver.RegisterExpiry(end + cfg.allowed_lateness_ms, bucket);
+        }
+      }
+      keys.push_back(bucket);
+    }
+    return keys;
+  }
+
+  void Run(StateMachine& m, const Event& e, Driver& driver, OpEmitter& out) override {
+    out.Emit(OpType::kMerge, m.key, e.value_size, e.event_time_ms);
+    m.bytes += e.value_size;
+    ++m.elements;
+  }
+
+  void Terminate(StateMachine& m, uint64_t fire_time, Driver& driver, OpEmitter& out) override {
+    // Fire the window: read both side buckets, then delete both.
+    StateKey left{m.key.hi, m.key.lo & ~1ull};
+    StateKey right{m.key.hi, m.key.lo | 1ull};
+    out.Emit(OpType::kGet, left, 0, driver.watermark());
+    out.Emit(OpType::kGet, right, 0, driver.watermark());
+    out.Emit(OpType::kDelete, left, 0, driver.watermark());
+    out.Emit(OpType::kDelete, right, 0, driver.watermark());
+    driver.DropMachine(left);
+    driver.DropMachine(right);
+  }
+
+ private:
+  bool sliding_;
+};
+
+// -------------------------------------------------- continuous aggregation
+
+class AggregationLogic : public OperatorLogic {
+ public:
+  const char* name() const override { return "aggregation"; }
+
+  std::vector<StateKey> AssignStateMachines(const Event& e, Driver& driver) override {
+    StateKey key{e.key, 0};
+    driver.GetOrCreateMachine(key, e.event_time_ms);
+    return {key};
+  }
+
+  void Run(StateMachine& m, const Event& e, Driver& driver, OpEmitter& out) override {
+    out.Emit(OpType::kGet, m.key, 0, e.event_time_ms);
+    out.Emit(OpType::kPut, m.key, driver.config().agg_value_size, e.event_time_ms);
+    ++m.elements;
+  }
+
+  void Terminate(StateMachine& m, uint64_t fire_time, Driver& driver, OpEmitter& out) override {
+    // Rolling aggregates never expire (§3.2.3: working set only grows).
+  }
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<OperatorLogic>> MakeOperatorLogic(const std::string& name) {
+  if (name == "tumbling_incr") {
+    return std::unique_ptr<OperatorLogic>(new FixedWindowLogic(false, false));
+  }
+  if (name == "tumbling_hol") {
+    return std::unique_ptr<OperatorLogic>(new FixedWindowLogic(false, true));
+  }
+  if (name == "sliding_incr") {
+    return std::unique_ptr<OperatorLogic>(new FixedWindowLogic(true, false));
+  }
+  if (name == "sliding_hol") {
+    return std::unique_ptr<OperatorLogic>(new FixedWindowLogic(true, true));
+  }
+  if (name == "session_incr") {
+    return std::unique_ptr<OperatorLogic>(new SessionWindowLogic(false));
+  }
+  if (name == "session_hol") {
+    return std::unique_ptr<OperatorLogic>(new SessionWindowLogic(true));
+  }
+  if (name == "join_cont") {
+    return std::unique_ptr<OperatorLogic>(new ContinuousJoinLogic());
+  }
+  if (name == "join_interval") {
+    return std::unique_ptr<OperatorLogic>(new IntervalJoinLogic());
+  }
+  if (name == "join_sliding") {
+    return std::unique_ptr<OperatorLogic>(new WindowJoinLogic(true));
+  }
+  if (name == "join_tumbling") {
+    return std::unique_ptr<OperatorLogic>(new WindowJoinLogic(false));
+  }
+  if (name == "aggregation") {
+    return std::unique_ptr<OperatorLogic>(new AggregationLogic());
+  }
+  return Status::InvalidArgument("unknown operator logic: " + name);
+}
+
+}  // namespace gadget

@@ -1,0 +1,49 @@
+#include "src/gadget/multi.h"
+
+#include <thread>
+
+namespace gadget {
+
+StatusOr<ConcurrentReplayResult> ReplayConcurrently(
+    const std::vector<std::vector<StateAccess>>& traces, KVStore* store,
+    const ReplayOptions& options, uint64_t namespace_stride) {
+  ConcurrentReplayResult result;
+  if (traces.empty()) {
+    return result;
+  }
+  std::vector<StatusOr<ReplayResult>> outcomes;
+  outcomes.reserve(traces.size());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    outcomes.emplace_back(Status::Internal("instance did not run"));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(traces.size());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    threads.emplace_back([&, i] {
+      if (namespace_stride == 0) {
+        outcomes[i] = ReplayTrace(traces[i], store, options);
+        return;
+      }
+      std::vector<StateAccess> shifted = traces[i];
+      for (StateAccess& a : shifted) {
+        a.key.hi += static_cast<uint64_t>(i) * namespace_stride;
+      }
+      outcomes[i] = ReplayTrace(shifted, store, options);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  double combined = 0;
+  for (auto& outcome : outcomes) {
+    if (!outcome.ok()) {
+      return outcome.status();
+    }
+    combined += outcome->throughput_ops_per_sec;
+    result.per_instance.push_back(std::move(*outcome));
+  }
+  result.combined_throughput_ops_per_sec = combined;
+  return result;
+}
+
+}  // namespace gadget

@@ -1,0 +1,30 @@
+// Multi-instance evaluation (§6.4 and the §8 external-state direction):
+// several Gadget workload traces replayed concurrently against ONE store
+// instance, one thread per instance, per-instance measurements. The dataflow
+// model's single-writer-per-key guarantee is preserved by giving each
+// instance a disjoint key namespace.
+#ifndef GADGET_GADGET_MULTI_H_
+#define GADGET_GADGET_MULTI_H_
+
+#include <vector>
+
+#include "src/gadget/evaluator.h"
+
+namespace gadget {
+
+struct ConcurrentReplayResult {
+  std::vector<ReplayResult> per_instance;
+  double combined_throughput_ops_per_sec = 0;
+};
+
+// Replays every trace in `traces` concurrently against `store`. Each
+// instance i has its key.hi space offset by i * namespace_stride so writers
+// never collide (pass 0 to keep keys as-is). Blocks until all instances
+// finish.
+StatusOr<ConcurrentReplayResult> ReplayConcurrently(
+    const std::vector<std::vector<StateAccess>>& traces, KVStore* store,
+    const ReplayOptions& options = {}, uint64_t namespace_stride = 1ull << 32);
+
+}  // namespace gadget
+
+#endif  // GADGET_GADGET_MULTI_H_

@@ -1,0 +1,45 @@
+#include "src/gadget/workload.h"
+
+#include "src/streams/trace_io.h"
+
+namespace gadget {
+
+StatusOr<WorkloadResult> GenerateWorkload(std::unique_ptr<OperatorLogic> logic,
+                                          EventSource& source, const OperatorConfig& config) {
+  WorkloadResult result;
+  Driver driver(std::move(logic), &result.trace);
+  driver.set_config(config);
+  Event e;
+  while (source.Next(&e)) {
+    if (e.is_watermark()) {
+      ++result.watermarks;
+    } else {
+      ++result.events_processed;
+    }
+    GADGET_RETURN_IF_ERROR(driver.OnEvent(e));
+  }
+  // End-of-stream watermark flushes remaining windows, mirroring flinklet.
+  ++result.watermarks;
+  GADGET_RETURN_IF_ERROR(driver.OnWatermark(~0ull >> 2));
+  return result;
+}
+
+StatusOr<WorkloadResult> GenerateWorkload(const std::string& operator_name, EventSource& source,
+                                          const OperatorConfig& config) {
+  auto logic = MakeOperatorLogic(operator_name);
+  if (!logic.ok()) {
+    return logic.status();
+  }
+  return GenerateWorkload(std::move(*logic), source, config);
+}
+
+Status GenerateWorkloadToFile(const std::string& operator_name, EventSource& source,
+                              const OperatorConfig& config, const std::string& path) {
+  auto result = GenerateWorkload(operator_name, source, config);
+  if (!result.ok()) {
+    return result.status();
+  }
+  return WriteAccessTrace(path, result->trace);
+}
+
+}  // namespace gadget

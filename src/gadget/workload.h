@@ -1,0 +1,39 @@
+// Gadget's workload generator (§5.3): feeds an event source through the
+// driver and materializes the state access stream. Offline mode writes the
+// stream to a trace file for later replay; online mode hands it directly to
+// the performance evaluator.
+#ifndef GADGET_GADGET_WORKLOAD_H_
+#define GADGET_GADGET_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/gadget/driver.h"
+#include "src/gadget/event_generator.h"
+
+namespace gadget {
+
+struct WorkloadResult {
+  std::vector<StateAccess> trace;
+  uint64_t events_processed = 0;
+  uint64_t watermarks = 0;
+};
+
+// Generates the state access stream for `operator_name` over `source`.
+StatusOr<WorkloadResult> GenerateWorkload(const std::string& operator_name, EventSource& source,
+                                          const OperatorConfig& config);
+
+// Same, but with a caller-provided (possibly custom, §5.4) operator logic.
+StatusOr<WorkloadResult> GenerateWorkload(std::unique_ptr<OperatorLogic> logic,
+                                          EventSource& source, const OperatorConfig& config);
+
+// Offline mode: generate and persist to `path` (§5: "generates and stores a
+// state access stream that can be replayed on demand").
+Status GenerateWorkloadToFile(const std::string& operator_name, EventSource& source,
+                              const OperatorConfig& config, const std::string& path);
+
+}  // namespace gadget
+
+#endif  // GADGET_GADGET_WORKLOAD_H_

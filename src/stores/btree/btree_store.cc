@@ -1,0 +1,806 @@
+#include "src/stores/btree/btree_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/coding.h"
+#include "src/common/file_util.h"
+
+namespace gadget {
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x42545245;  // "BTRE"
+constexpr uint8_t kLeafType = 1;
+constexpr uint8_t kInternalType = 2;
+
+std::string TreePath(const std::string& dir) { return dir + "/btree.db"; }
+
+Status PwriteAll(int fd, const char* data, size_t n, uint64_t offset) {
+  while (n > 0) {
+    ssize_t w = ::pwrite(fd, data, n, static_cast<off_t>(offset));
+    if (w < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+    }
+    data += w;
+    offset += static_cast<uint64_t>(w);
+    n -= static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+Status PreadAll(int fd, char* data, size_t n, uint64_t offset) {
+  while (n > 0) {
+    ssize_t r = ::pread(fd, data, n, static_cast<off_t>(offset));
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::IoError("short pread from btree file");
+    }
+    data += r;
+    offset += static_cast<uint64_t>(r);
+    n -= static_cast<size_t>(r);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+size_t BTreeStore::Node::SerializedSize() const {
+  size_t size = 1 + 2 + 4;  // type + nkeys + next_leaf
+  if (leaf) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      size += 2 + keys[i].size() + 1;
+      if (values[i].overflow_head == 0) {
+        size += 4 + values[i].inline_data.size();
+      } else {
+        size += 8;
+      }
+    }
+  } else {
+    size += 4;  // child0
+    for (const std::string& k : keys) {
+      size += 2 + k.size() + 4;
+    }
+  }
+  return size;
+}
+
+std::string BTreeStore::SerializeNode(const Node& node) const {
+  std::string out;
+  out.reserve(opts_.page_size);
+  out.push_back(static_cast<char>(node.leaf ? kLeafType : kInternalType));
+  uint16_t nkeys = static_cast<uint16_t>(node.keys.size());
+  out.push_back(static_cast<char>(nkeys & 0xff));
+  out.push_back(static_cast<char>(nkeys >> 8));
+  PutFixed32(&out, node.next_leaf);
+  if (node.leaf) {
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      uint16_t klen = static_cast<uint16_t>(node.keys[i].size());
+      out.push_back(static_cast<char>(klen & 0xff));
+      out.push_back(static_cast<char>(klen >> 8));
+      out += node.keys[i];
+      const ValueRef& v = node.values[i];
+      if (v.overflow_head == 0) {
+        out.push_back(0);
+        PutFixed32(&out, static_cast<uint32_t>(v.inline_data.size()));
+        out += v.inline_data;
+      } else {
+        out.push_back(1);
+        PutFixed32(&out, v.overflow_head);
+        PutFixed32(&out, v.total_len);
+      }
+    }
+  } else {
+    PutFixed32(&out, node.children[0]);
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      uint16_t klen = static_cast<uint16_t>(node.keys[i].size());
+      out.push_back(static_cast<char>(klen & 0xff));
+      out.push_back(static_cast<char>(klen >> 8));
+      out += node.keys[i];
+      PutFixed32(&out, node.children[i + 1]);
+    }
+  }
+  out.resize(opts_.page_size, '\0');
+  return out;
+}
+
+StatusOr<BTreeStore::Node> BTreeStore::DeserializeNode(std::string_view data) const {
+  if (data.size() < 7) {
+    return Status::Corruption("btree page too small");
+  }
+  Node node;
+  const char* p = data.data();
+  const char* end = p + data.size();
+  uint8_t type = static_cast<uint8_t>(*p++);
+  if (type != kLeafType && type != kInternalType) {
+    return Status::Corruption("bad btree page type");
+  }
+  node.leaf = type == kLeafType;
+  uint16_t nkeys = static_cast<uint8_t>(p[0]) | (static_cast<uint8_t>(p[1]) << 8);
+  p += 2;
+  node.next_leaf = DecodeFixed32(p);
+  p += 4;
+  auto need = [&](size_t n) { return static_cast<size_t>(end - p) >= n; };
+  if (node.leaf) {
+    node.keys.reserve(nkeys);
+    node.values.reserve(nkeys);
+    for (uint16_t i = 0; i < nkeys; ++i) {
+      if (!need(2)) {
+        return Status::Corruption("truncated leaf entry");
+      }
+      uint16_t klen = static_cast<uint8_t>(p[0]) | (static_cast<uint8_t>(p[1]) << 8);
+      p += 2;
+      if (!need(klen + 1)) {
+        return Status::Corruption("truncated leaf key");
+      }
+      node.keys.emplace_back(p, klen);
+      p += klen;
+      uint8_t flag = static_cast<uint8_t>(*p++);
+      ValueRef v;
+      if (flag == 0) {
+        if (!need(4)) {
+          return Status::Corruption("truncated leaf value len");
+        }
+        uint32_t vlen = DecodeFixed32(p);
+        p += 4;
+        if (!need(vlen)) {
+          return Status::Corruption("truncated leaf value");
+        }
+        v.inline_data.assign(p, vlen);
+        p += vlen;
+      } else {
+        if (!need(8)) {
+          return Status::Corruption("truncated overflow ref");
+        }
+        v.overflow_head = DecodeFixed32(p);
+        v.total_len = DecodeFixed32(p + 4);
+        p += 8;
+      }
+      node.values.push_back(std::move(v));
+    }
+  } else {
+    if (!need(4)) {
+      return Status::Corruption("truncated internal node");
+    }
+    node.children.push_back(DecodeFixed32(p));
+    p += 4;
+    node.keys.reserve(nkeys);
+    for (uint16_t i = 0; i < nkeys; ++i) {
+      if (!need(2)) {
+        return Status::Corruption("truncated internal entry");
+      }
+      uint16_t klen = static_cast<uint8_t>(p[0]) | (static_cast<uint8_t>(p[1]) << 8);
+      p += 2;
+      if (!need(klen + 4)) {
+        return Status::Corruption("truncated internal key");
+      }
+      node.keys.emplace_back(p, klen);
+      p += klen;
+      node.children.push_back(DecodeFixed32(p));
+      p += 4;
+    }
+  }
+  return node;
+}
+
+// -------------------------------------------------------------------- admin
+
+BTreeStore::BTreeStore(std::string dir, const BTreeOptions& opts)
+    : dir_(std::move(dir)), opts_(opts) {
+  max_cached_pages_ = static_cast<size_t>(opts_.cache_bytes / opts_.page_size) + 8;
+}
+
+BTreeStore::~BTreeStore() { (void)Close(); }
+
+StatusOr<std::unique_ptr<KVStore>> BTreeStore::Open(const std::string& dir,
+                                                    const BTreeOptions& opts) {
+  GADGET_RETURN_IF_ERROR(CreateDirIfMissing(dir));
+  std::unique_ptr<BTreeStore> store(new BTreeStore(dir, opts));
+  GADGET_RETURN_IF_ERROR(store->Recover());
+  return std::unique_ptr<KVStore>(std::move(store));
+}
+
+Status BTreeStore::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string path = TreePath(dir_);
+  bool fresh = !FileExists(path);
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  if (fresh) {
+    root_ = 1;
+    next_page_ = 2;
+    free_head_ = 0;
+    height_ = 1;
+    Node empty_root;
+    empty_root.leaf = true;
+    GADGET_RETURN_IF_ERROR(WriteNode(root_, empty_root));
+    return PersistMeta();
+  }
+  std::string meta(opts_.page_size, '\0');
+  GADGET_RETURN_IF_ERROR(PreadAll(fd_, meta.data(), meta.size(), 0));
+  if (DecodeFixed32(meta.data()) != kMetaMagic) {
+    return Status::Corruption("bad btree meta page");
+  }
+  root_ = DecodeFixed32(meta.data() + 4);
+  next_page_ = DecodeFixed32(meta.data() + 8);
+  free_head_ = DecodeFixed32(meta.data() + 12);
+  height_ = DecodeFixed32(meta.data() + 16);
+  return Status::Ok();
+}
+
+Status BTreeStore::PersistMeta() {
+  std::string meta;
+  PutFixed32(&meta, kMetaMagic);
+  PutFixed32(&meta, root_);
+  PutFixed32(&meta, next_page_);
+  PutFixed32(&meta, free_head_);
+  PutFixed32(&meta, height_);
+  meta.resize(opts_.page_size, '\0');
+  return PwriteAll(fd_, meta.data(), meta.size(), 0);
+}
+
+// --------------------------------------------------------------- page cache
+
+Status BTreeStore::ReadPageRaw(uint32_t page_id, std::string* out) {
+  out->resize(opts_.page_size);
+  stats_.io_bytes_read += opts_.page_size;
+  return PreadAll(fd_, out->data(), out->size(),
+                  static_cast<uint64_t>(page_id) * opts_.page_size);
+}
+
+Status BTreeStore::WritePageRaw(uint32_t page_id, std::string_view data) {
+  stats_.io_bytes_written += opts_.page_size;
+  return PwriteAll(fd_, data.data(), data.size(),
+                   static_cast<uint64_t>(page_id) * opts_.page_size);
+}
+
+Status BTreeStore::WriteNode(uint32_t page_id, const Node& node) {
+  return WritePageRaw(page_id, SerializeNode(node));
+}
+
+StatusOr<std::shared_ptr<BTreeStore::Node>> BTreeStore::ReadNode(uint32_t page_id) {
+  std::string raw;
+  GADGET_RETURN_IF_ERROR(ReadPageRaw(page_id, &raw));
+  auto node = DeserializeNode(raw);
+  if (!node.ok()) {
+    return node.status();
+  }
+  return std::make_shared<Node>(std::move(*node));
+}
+
+StatusOr<std::shared_ptr<BTreeStore::Node>> BTreeStore::FetchNode(uint32_t page_id) {
+  auto it = cache_.find(page_id);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.cache_hits;
+    return it->second->node;
+  }
+  ++stats_.cache_misses;
+  auto node = ReadNode(page_id);
+  if (!node.ok()) {
+    return node.status();
+  }
+  lru_.push_front(CacheEntry{page_id, *node});
+  cache_[page_id] = lru_.begin();
+  return *node;
+}
+
+void BTreeStore::MarkDirty(uint32_t page_id) {
+  auto it = cache_.find(page_id);
+  if (it != cache_.end()) {
+    it->second->node->dirty = true;
+  }
+}
+
+Status BTreeStore::EvictIfNeeded() {
+  while (cache_.size() > max_cached_pages_ && !lru_.empty()) {
+    CacheEntry victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim.page_id);
+    if (victim.node->dirty) {
+      GADGET_RETURN_IF_ERROR(WriteNode(victim.page_id, *victim.node));
+      victim.node->dirty = false;
+      ++stats_.flushes;
+    }
+  }
+  return Status::Ok();
+}
+
+uint32_t BTreeStore::AllocPage() {
+  if (free_head_ != 0) {
+    // Pop from the free list: the page's first 4 bytes hold the next id.
+    std::string raw;
+    if (ReadPageRaw(free_head_, &raw).ok()) {
+      uint32_t page = free_head_;
+      free_head_ = DecodeFixed32(raw.data());
+      return page;
+    }
+  }
+  return next_page_++;
+}
+
+void BTreeStore::FreePage(uint32_t page_id) {
+  // Thread onto the free list; drop any cached copy.
+  auto it = cache_.find(page_id);
+  if (it != cache_.end()) {
+    lru_.erase(it->second);
+    cache_.erase(it);
+  }
+  std::string raw;
+  PutFixed32(&raw, free_head_);
+  raw.resize(opts_.page_size, '\0');
+  if (WritePageRaw(page_id, raw).ok()) {
+    free_head_ = page_id;
+  }
+}
+
+// ---------------------------------------------------------- overflow values
+
+StatusOr<BTreeStore::ValueRef> BTreeStore::StoreValue(std::string_view value) {
+  ValueRef ref;
+  if (value.size() <= opts_.page_size / 4) {
+    ref.inline_data.assign(value.data(), value.size());
+    return ref;
+  }
+  // Chain of overflow pages: u32 next | u32 chunk_len | bytes.
+  ref.total_len = static_cast<uint32_t>(value.size());
+  const size_t chunk_cap = opts_.page_size - 8;
+  size_t offset = 0;
+  uint32_t prev_page = 0;
+  std::string page;
+  while (offset < value.size()) {
+    size_t chunk = std::min(chunk_cap, value.size() - offset);
+    uint32_t page_id = AllocPage();
+    page.clear();
+    PutFixed32(&page, 0);  // next; patched by the following iteration
+    PutFixed32(&page, static_cast<uint32_t>(chunk));
+    page.append(value.data() + offset, chunk);
+    page.resize(opts_.page_size, '\0');
+    GADGET_RETURN_IF_ERROR(WritePageRaw(page_id, page));
+    if (prev_page == 0) {
+      ref.overflow_head = page_id;
+    } else {
+      // Patch the previous page's next pointer.
+      std::string next_bytes;
+      PutFixed32(&next_bytes, page_id);
+      GADGET_RETURN_IF_ERROR(PwriteAll(fd_, next_bytes.data(), 4,
+                                       static_cast<uint64_t>(prev_page) * opts_.page_size));
+    }
+    prev_page = page_id;
+    offset += chunk;
+  }
+  return ref;
+}
+
+Status BTreeStore::LoadValue(const ValueRef& ref, std::string* out) {
+  if (ref.overflow_head == 0) {
+    *out = ref.inline_data;
+    return Status::Ok();
+  }
+  out->clear();
+  out->reserve(ref.total_len);
+  uint32_t page_id = ref.overflow_head;
+  std::string raw;
+  while (page_id != 0) {
+    GADGET_RETURN_IF_ERROR(ReadPageRaw(page_id, &raw));
+    uint32_t next = DecodeFixed32(raw.data());
+    uint32_t chunk = DecodeFixed32(raw.data() + 4);
+    if (chunk > opts_.page_size - 8) {
+      return Status::Corruption("bad overflow chunk");
+    }
+    out->append(raw.data() + 8, chunk);
+    page_id = next;
+  }
+  if (out->size() != ref.total_len) {
+    return Status::Corruption("overflow chain length mismatch");
+  }
+  return Status::Ok();
+}
+
+void BTreeStore::ReleaseValue(const ValueRef& ref) {
+  uint32_t page_id = ref.overflow_head;
+  std::string raw;
+  while (page_id != 0) {
+    if (!ReadPageRaw(page_id, &raw).ok()) {
+      return;
+    }
+    uint32_t next = DecodeFixed32(raw.data());
+    FreePage(page_id);
+    page_id = next;
+  }
+}
+
+// ----------------------------------------------------------------- tree ops
+
+StatusOr<uint32_t> BTreeStore::DescendToLeaf(std::string_view key,
+                                             std::vector<PathEntry>* path) {
+  uint32_t page_id = root_;
+  for (;;) {
+    auto node = FetchNode(page_id);
+    if (!node.ok()) {
+      return node.status();
+    }
+    if ((*node)->leaf) {
+      return page_id;
+    }
+    const auto& keys = (*node)->keys;
+    size_t idx = static_cast<size_t>(
+        std::upper_bound(keys.begin(), keys.end(), key,
+                         [](std::string_view k, const std::string& sep) { return k < sep; }) -
+        keys.begin());
+    path->push_back(PathEntry{page_id, idx});
+    page_id = (*node)->children[idx];
+  }
+}
+
+Status BTreeStore::GetLocked(std::string_view key, std::string* value) {
+  std::vector<PathEntry> path;
+  auto leaf_id = DescendToLeaf(key, &path);
+  if (!leaf_id.ok()) {
+    return leaf_id.status();
+  }
+  auto leaf = FetchNode(*leaf_id);
+  if (!leaf.ok()) {
+    return leaf.status();
+  }
+  const auto& keys = (*leaf)->keys;
+  auto it = std::lower_bound(keys.begin(), keys.end(), key,
+                             [](const std::string& k, std::string_view q) { return k < q; });
+  if (it == keys.end() || std::string_view(*it) != key) {
+    return Status::NotFound();
+  }
+  size_t idx = static_cast<size_t>(it - keys.begin());
+  return LoadValue((*leaf)->values[idx], value);
+}
+
+Status BTreeStore::PutLocked(std::string_view key, std::string_view value) {
+  std::vector<PathEntry> path;
+  auto leaf_id = DescendToLeaf(key, &path);
+  if (!leaf_id.ok()) {
+    return leaf_id.status();
+  }
+  auto leaf = FetchNode(*leaf_id);
+  if (!leaf.ok()) {
+    return leaf.status();
+  }
+  Node& node = **leaf;
+  auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key,
+                             [](const std::string& k, std::string_view q) { return k < q; });
+  size_t idx = static_cast<size_t>(it - node.keys.begin());
+  auto new_ref = StoreValue(value);
+  if (!new_ref.ok()) {
+    return new_ref.status();
+  }
+  if (it != node.keys.end() && std::string_view(*it) == key) {
+    ReleaseValue(node.values[idx]);
+    node.values[idx] = std::move(*new_ref);
+  } else {
+    node.keys.insert(node.keys.begin() + static_cast<long>(idx), std::string(key));
+    node.values.insert(node.values.begin() + static_cast<long>(idx), std::move(*new_ref));
+  }
+  MarkDirty(*leaf_id);
+  if (node.SerializedSize() > opts_.page_size) {
+    return SplitAndInsert(*leaf_id, std::move(path));
+  }
+  return Status::Ok();
+}
+
+Status BTreeStore::SplitAndInsert(uint32_t page_id, std::vector<PathEntry> path) {
+  for (;;) {
+    auto node_or = FetchNode(page_id);
+    if (!node_or.ok()) {
+      return node_or.status();
+    }
+    Node& node = **node_or;
+    if (node.SerializedSize() <= opts_.page_size) {
+      return Status::Ok();
+    }
+    // Split `node` into itself (left) and a new right sibling at the size
+    // midpoint.
+    auto right = std::make_shared<Node>();
+    right->leaf = node.leaf;
+    right->dirty = true;
+
+    size_t total = node.SerializedSize();
+    size_t acc = 0;
+    size_t split_idx = 0;
+    if (node.leaf) {
+      for (size_t i = 0; i < node.keys.size(); ++i) {
+        size_t entry = 3 + node.keys[i].size() +
+                       (node.values[i].overflow_head == 0
+                            ? 4 + node.values[i].inline_data.size()
+                            : 8);
+        acc += entry;
+        if (acc >= total / 2) {
+          split_idx = i + 1;
+          break;
+        }
+      }
+      split_idx = std::clamp<size_t>(split_idx, 1, node.keys.size() - 1);
+      right->keys.assign(node.keys.begin() + static_cast<long>(split_idx), node.keys.end());
+      right->values.assign(node.values.begin() + static_cast<long>(split_idx),
+                           node.values.end());
+      node.keys.resize(split_idx);
+      node.values.resize(split_idx);
+      uint32_t right_id = AllocPage();
+      right->next_leaf = node.next_leaf;
+      node.next_leaf = right_id;
+      node.dirty = true;
+      lru_.push_front(CacheEntry{right_id, right});
+      cache_[right_id] = lru_.begin();
+
+      std::string separator = right->keys.front();
+      // Insert the separator into the parent (or grow a new root).
+      if (path.empty()) {
+        auto new_root = std::make_shared<Node>();
+        new_root->leaf = false;
+        new_root->keys.push_back(separator);
+        new_root->children = {page_id, right_id};
+        new_root->dirty = true;
+        uint32_t new_root_id = AllocPage();
+        lru_.push_front(CacheEntry{new_root_id, new_root});
+        cache_[new_root_id] = lru_.begin();
+        root_ = new_root_id;
+        ++height_;
+        GADGET_RETURN_IF_ERROR(PersistMeta());
+        return Status::Ok();
+      }
+      PathEntry parent = path.back();
+      path.pop_back();
+      auto parent_node = FetchNode(parent.page_id);
+      if (!parent_node.ok()) {
+        return parent_node.status();
+      }
+      Node& pn = **parent_node;
+      pn.keys.insert(pn.keys.begin() + static_cast<long>(parent.child_index), separator);
+      pn.children.insert(pn.children.begin() + static_cast<long>(parent.child_index) + 1,
+                         right_id);
+      pn.dirty = true;
+      page_id = parent.page_id;  // continue loop: parent may now overflow
+      continue;
+    }
+    // Internal node split: promote the middle key.
+    size_t n = node.keys.size();
+    acc = 0;
+    split_idx = n / 2;
+    for (size_t i = 0; i < n; ++i) {
+      acc += 6 + node.keys[i].size();
+      if (acc >= total / 2) {
+        split_idx = i;
+        break;
+      }
+    }
+    split_idx = std::clamp<size_t>(split_idx, 1, n - 2 > 0 ? n - 2 : 1);
+    std::string promoted = node.keys[split_idx];
+    right->keys.assign(node.keys.begin() + static_cast<long>(split_idx) + 1, node.keys.end());
+    right->children.assign(node.children.begin() + static_cast<long>(split_idx) + 1,
+                           node.children.end());
+    node.keys.resize(split_idx);
+    node.children.resize(split_idx + 1);
+    node.dirty = true;
+    uint32_t right_id = AllocPage();
+    lru_.push_front(CacheEntry{right_id, right});
+    cache_[right_id] = lru_.begin();
+
+    if (path.empty()) {
+      auto new_root = std::make_shared<Node>();
+      new_root->leaf = false;
+      new_root->keys.push_back(promoted);
+      new_root->children = {page_id, right_id};
+      new_root->dirty = true;
+      uint32_t new_root_id = AllocPage();
+      lru_.push_front(CacheEntry{new_root_id, new_root});
+      cache_[new_root_id] = lru_.begin();
+      root_ = new_root_id;
+      ++height_;
+      GADGET_RETURN_IF_ERROR(PersistMeta());
+      return Status::Ok();
+    }
+    PathEntry parent = path.back();
+    path.pop_back();
+    auto parent_node = FetchNode(parent.page_id);
+    if (!parent_node.ok()) {
+      return parent_node.status();
+    }
+    Node& pn = **parent_node;
+    pn.keys.insert(pn.keys.begin() + static_cast<long>(parent.child_index), promoted);
+    pn.children.insert(pn.children.begin() + static_cast<long>(parent.child_index) + 1,
+                       right_id);
+    pn.dirty = true;
+    page_id = parent.page_id;
+  }
+}
+
+Status BTreeStore::DeleteLocked(std::string_view key) {
+  std::vector<PathEntry> path;
+  auto leaf_id = DescendToLeaf(key, &path);
+  if (!leaf_id.ok()) {
+    return leaf_id.status();
+  }
+  auto leaf = FetchNode(*leaf_id);
+  if (!leaf.ok()) {
+    return leaf.status();
+  }
+  Node& node = **leaf;
+  auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key,
+                             [](const std::string& k, std::string_view q) { return k < q; });
+  if (it == node.keys.end() || std::string_view(*it) != key) {
+    return Status::Ok();  // blind delete of a missing key is a no-op
+  }
+  size_t idx = static_cast<size_t>(it - node.keys.begin());
+  ReleaseValue(node.values[idx]);
+  node.keys.erase(it);
+  node.values.erase(node.values.begin() + static_cast<long>(idx));
+  MarkDirty(*leaf_id);
+  // No rebalancing: empty non-root leaves stay linked but hold no entries;
+  // their pages are reused only after the parent range empties out. This is
+  // the lazy-reclamation model (see header).
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------ public facade
+
+Status BTreeStore::Put(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    return Status::Internal("store is closed");
+  }
+  ++stats_.puts;
+  stats_.bytes_written += key.size() + value.size();
+  GADGET_RETURN_IF_ERROR(PutLocked(key, value));
+  return EvictIfNeeded();
+}
+
+Status BTreeStore::Get(std::string_view key, std::string* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    return Status::Internal("store is closed");
+  }
+  ++stats_.gets;
+  Status s = GetLocked(key, value);
+  if (s.ok()) {
+    stats_.bytes_read += value->size();
+  }
+  GADGET_RETURN_IF_ERROR(EvictIfNeeded());
+  return s;
+}
+
+Status BTreeStore::Delete(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    return Status::Internal("store is closed");
+  }
+  ++stats_.deletes;
+  GADGET_RETURN_IF_ERROR(DeleteLocked(key));
+  return EvictIfNeeded();
+}
+
+Status BTreeStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    return Status::Ok();
+  }
+  for (auto& entry : lru_) {
+    if (entry.node->dirty) {
+      GADGET_RETURN_IF_ERROR(WriteNode(entry.page_id, *entry.node));
+      entry.node->dirty = false;
+    }
+  }
+  GADGET_RETURN_IF_ERROR(PersistMeta());
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError("fdatasync btree");
+  }
+  return Status::Ok();
+}
+
+Status BTreeStore::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return Status::Ok();
+    }
+  }
+  Status s = Flush();
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return s;
+}
+
+StoreStats BTreeStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint32_t BTreeStore::height() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return height_;
+}
+
+uint64_t BTreeStore::num_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_page_;
+}
+
+Status BTreeStore::CheckInvariants() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Iterative BFS verifying (a) key ordering within nodes, (b) separator
+  // bounds, (c) uniform leaf depth.
+  struct Item {
+    uint32_t page_id;
+    uint32_t depth;
+    std::string low;
+    std::string high;  // empty = unbounded
+    bool has_high;
+  };
+  std::vector<Item> queue{{root_, 0, "", "", false}};
+  int leaf_depth = -1;
+  while (!queue.empty()) {
+    Item item = std::move(queue.back());
+    queue.pop_back();
+    auto node = FetchNode(item.page_id);
+    if (!node.ok()) {
+      return node.status();
+    }
+    const Node& n = **node;
+    for (size_t i = 1; i < n.keys.size(); ++i) {
+      if (n.keys[i - 1] >= n.keys[i]) {
+        return Status::Corruption("keys out of order in page " + std::to_string(item.page_id));
+      }
+    }
+    for (const std::string& k : n.keys) {
+      if (k < item.low || (item.has_high && k >= item.high)) {
+        return Status::Corruption("key outside separator bounds in page " +
+                                  std::to_string(item.page_id));
+      }
+    }
+    if (n.leaf) {
+      if (leaf_depth == -1) {
+        leaf_depth = static_cast<int>(item.depth);
+      } else if (leaf_depth != static_cast<int>(item.depth)) {
+        return Status::Corruption("non-uniform leaf depth");
+      }
+      if (n.keys.size() != n.values.size()) {
+        return Status::Corruption("leaf keys/values mismatch");
+      }
+    } else {
+      if (n.children.size() != n.keys.size() + 1) {
+        return Status::Corruption("internal children count mismatch");
+      }
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        Item child;
+        child.page_id = n.children[i];
+        child.depth = item.depth + 1;
+        child.low = i == 0 ? item.low : n.keys[i - 1];
+        if (i < n.keys.size()) {
+          child.high = n.keys[i];
+          child.has_high = true;
+        } else {
+          child.high = item.high;
+          child.has_high = item.has_high;
+        }
+        queue.push_back(std::move(child));
+      }
+    }
+  }
+  GADGET_RETURN_IF_ERROR(EvictIfNeeded());
+  return Status::Ok();
+}
+
+}  // namespace gadget

@@ -1,0 +1,137 @@
+// Persistent B+tree key-value store (the project's BerkeleyDB stand-in).
+//
+// Fixed-size pages in a single file, an LRU write-back page cache, in-place
+// value updates when the new value fits, leaf splits on overflow, and
+// overflow-page chains for values larger than a quarter page (holistic
+// window buckets grow far beyond a page). Deletes remove entries without
+// rebalancing (pages return to a free list when empty), which matches
+// BerkeleyDB's lazy reclamation behaviour closely enough for benchmarking.
+//
+// Durability model: dirty pages are flushed on eviction, Flush() and Close().
+// Crash-consistency (journaling) is out of scope — the paper benchmarks the
+// storage engine data path, not transactional recovery (DESIGN.md §2).
+#ifndef GADGET_STORES_BTREE_BTREE_STORE_H_
+#define GADGET_STORES_BTREE_BTREE_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/stores/kvstore.h"
+
+namespace gadget {
+
+struct BTreeOptions {
+  uint32_t page_size = 4096;
+  // Page cache capacity (paper: 256MB; scaled: 32MB).
+  uint64_t cache_bytes = 32ull << 20;
+  bool sync_writes = false;
+};
+
+class BTreeStore : public KVStore {
+ public:
+  static StatusOr<std::unique_ptr<KVStore>> Open(const std::string& dir,
+                                                 const BTreeOptions& opts);
+  ~BTreeStore() override;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) override;
+  Status Delete(std::string_view key) override;
+
+  Status Flush() override;
+  Status Close() override;
+  StoreStats stats() const override;
+  std::string name() const override { return "btree"; }
+
+  // Introspection for tests.
+  uint32_t height() const;
+  uint64_t num_pages() const;
+  // Walks the whole tree checking ordering + structure invariants.
+  Status CheckInvariants();
+
+ private:
+  // In-memory (parsed) page representation.
+  struct ValueRef {
+    std::string inline_data;     // used when overflow_head == 0
+    uint32_t overflow_head = 0;  // first overflow page, 0 = inline
+    uint32_t total_len = 0;      // full value length when overflowed
+  };
+  struct Node {
+    bool leaf = true;
+    std::vector<std::string> keys;
+    std::vector<ValueRef> values;     // leaf: parallel to keys
+    std::vector<uint32_t> children;   // internal: keys.size() + 1 entries
+    uint32_t next_leaf = 0;
+    bool dirty = false;
+    size_t SerializedSize() const;
+  };
+
+  BTreeStore(std::string dir, const BTreeOptions& opts);
+
+  Status Recover();
+
+  // --- page cache ---
+  StatusOr<std::shared_ptr<Node>> FetchNode(uint32_t page_id);
+  void MarkDirty(uint32_t page_id);
+  Status EvictIfNeeded();
+  Status WriteNode(uint32_t page_id, const Node& node);
+  StatusOr<std::shared_ptr<Node>> ReadNode(uint32_t page_id);
+  uint32_t AllocPage();
+  void FreePage(uint32_t page_id);
+  Status PersistMeta();
+
+  // --- tree ops (mu_ held) ---
+  Status GetLocked(std::string_view key, std::string* value);
+  Status PutLocked(std::string_view key, std::string_view value);
+  Status DeleteLocked(std::string_view key);
+  // Descends to the leaf for `key`, recording the path (page ids + child
+  // indices) for split propagation.
+  struct PathEntry {
+    uint32_t page_id;
+    size_t child_index;
+  };
+  StatusOr<uint32_t> DescendToLeaf(std::string_view key, std::vector<PathEntry>* path);
+  Status SplitAndInsert(uint32_t leaf_id, std::vector<PathEntry> path);
+
+  // --- overflow values ---
+  StatusOr<ValueRef> StoreValue(std::string_view value);
+  Status LoadValue(const ValueRef& ref, std::string* out);
+  void ReleaseValue(const ValueRef& ref);
+
+  // --- raw page I/O ---
+  Status ReadPageRaw(uint32_t page_id, std::string* out);
+  Status WritePageRaw(uint32_t page_id, std::string_view data);
+
+  std::string SerializeNode(const Node& node) const;
+  StatusOr<Node> DeserializeNode(std::string_view data) const;
+
+  const std::string dir_;
+  const BTreeOptions opts_;
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  uint32_t root_ = 0;
+  uint32_t next_page_ = 1;  // page 0 is the meta page
+  uint32_t free_head_ = 0;  // singly-linked free list threaded through pages
+  uint32_t height_ = 1;
+
+  // LRU cache of parsed nodes.
+  struct CacheEntry {
+    uint32_t page_id;
+    std::shared_ptr<Node> node;
+  };
+  std::list<CacheEntry> lru_;  // front = most recent
+  std::unordered_map<uint32_t, std::list<CacheEntry>::iterator> cache_;
+  size_t max_cached_pages_;
+
+  StoreStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace gadget
+
+#endif  // GADGET_STORES_BTREE_BTREE_STORE_H_

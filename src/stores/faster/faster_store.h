@@ -1,0 +1,89 @@
+// FASTER-style hash key-value store: an in-memory hash index over a hybrid
+// append-only log.
+//
+// The log address space is split into three regions (Chandramouli et al.,
+// SIGMOD'18):
+//   [0, head)            on disk, read with pread;
+//   [head, read_only)    in memory, immutable (updates copy to the tail);
+//   [read_only, tail)    in memory, mutable — same-size upserts happen
+//                        in place, which is why hash stores win incremental
+//                        streaming operators (§6.5).
+// Read-modify-write appends the grown record to the tail (the log has no
+// native merge), reproducing the holistic-window penalty the paper reports.
+//
+// Recovery scans the log sequentially and rebuilds the index (last record
+// per key wins; tombstones erase).
+#ifndef GADGET_STORES_FASTER_FASTER_STORE_H_
+#define GADGET_STORES_FASTER_FASTER_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/file_util.h"
+#include "src/stores/kvstore.h"
+
+namespace gadget {
+
+struct FasterOptions {
+  // In-memory log window (paper: 256MB; scaled: 32MB).
+  uint64_t log_memory_bytes = 32ull << 20;
+  // Tail fraction of the memory window that allows in-place updates.
+  double mutable_fraction = 0.9;
+  bool sync_writes = false;
+};
+
+class FasterStore : public KVStore {
+ public:
+  static StatusOr<std::unique_ptr<KVStore>> Open(const std::string& dir,
+                                                 const FasterOptions& opts);
+  ~FasterStore() override;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) override;
+  Status Delete(std::string_view key) override;
+  Status ReadModifyWrite(std::string_view key, std::string_view operand) override;
+
+  Status Flush() override;
+  Status Close() override;
+  StoreStats stats() const override;
+  std::string name() const override { return "faster"; }
+
+  // Introspection for tests.
+  uint64_t tail_address() const;
+  uint64_t head_address() const;
+  uint64_t in_place_updates() const;
+
+ private:
+  FasterStore(std::string dir, const FasterOptions& opts);
+
+  Status Recover();
+  // Appends a record, returns its address. Requires mu_ held.
+  StatusOr<uint64_t> AppendRecordLocked(uint8_t type, std::string_view key,
+                                        std::string_view value);
+  // Reads the record at `addr` (memory or disk). Requires mu_ held.
+  Status ReadRecordLocked(uint64_t addr, uint8_t* type, std::string* key, std::string* value);
+  // Evicts the cold prefix of the memory window to disk. Requires mu_ held.
+  Status MaybeEvictLocked();
+  bool InMutableRegionLocked(uint64_t addr) const;
+
+  const std::string dir_;
+  const FasterOptions opts_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, uint64_t> index_;  // key -> record address
+  std::string buffer_;      // in-memory log window [head_, tail_)
+  uint64_t head_ = 0;       // first in-memory address
+  uint64_t tail_ = 0;       // next append address
+  int log_fd_ = -1;         // on-disk log (addresses [0, head_) are durable)
+  uint64_t durable_ = 0;    // bytes persisted to the log file
+  StoreStats stats_;
+  uint64_t in_place_updates_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace gadget
+
+#endif  // GADGET_STORES_FASTER_FASTER_STORE_H_

@@ -1,0 +1,47 @@
+#include "src/stores/kvstore.h"
+
+#include "src/common/file_util.h"
+#include "src/stores/btree/btree_store.h"
+#include "src/stores/faster/faster_store.h"
+#include "src/stores/lsm/lsm_store.h"
+#include "src/stores/memstore.h"
+
+namespace gadget {
+
+Status KVStore::ReadModifyWrite(std::string_view key, std::string_view operand) {
+  std::string value;
+  Status s = Get(key, &value);
+  if (!s.ok() && !s.IsNotFound()) {
+    return s;
+  }
+  value.append(operand.data(), operand.size());
+  return Put(key, value);
+}
+
+StatusOr<std::unique_ptr<KVStore>> OpenStore(const std::string& engine, const std::string& dir) {
+  if (engine == "mem") {
+    return std::unique_ptr<KVStore>(new MemStore());
+  }
+  GADGET_RETURN_IF_ERROR(CreateDirIfMissing(dir));
+  if (engine == "lsm") {
+    LsmOptions opts;
+    return LsmStore::Open(dir, opts);
+  }
+  if (engine == "lethe") {
+    LsmOptions opts;
+    opts.delete_aware = true;
+    opts.delete_persistence_ms = 10'000;  // paper: Lethe delete threshold 10s
+    return LsmStore::Open(dir, opts);
+  }
+  if (engine == "faster") {
+    FasterOptions opts;
+    return FasterStore::Open(dir, opts);
+  }
+  if (engine == "btree") {
+    BTreeOptions opts;
+    return BTreeStore::Open(dir, opts);
+  }
+  return Status::InvalidArgument("unknown engine: " + engine);
+}
+
+}  // namespace gadget

@@ -1,0 +1,80 @@
+// Abstract KV store interface shared by all four engines.
+//
+// §5.5: state access streams contain get/put/merge/delete; engines that do
+// not support lazy merge (FASTER, BerkeleyDB) expose ReadModifyWrite instead
+// and the performance evaluator translates. Merge semantics throughout this
+// project are *operand append* (RocksDB list-append merge operator), which is
+// what holistic window buckets need.
+//
+// Thread-safety: all engines are internally synchronized (Fig. 14 shares one
+// store instance across concurrently running operators).
+#ifndef GADGET_STORES_KVSTORE_H_
+#define GADGET_STORES_KVSTORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace gadget {
+
+struct StoreStats {
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  uint64_t merges = 0;
+  uint64_t deletes = 0;
+  uint64_t rmws = 0;
+  uint64_t bytes_written = 0;   // user bytes accepted
+  uint64_t bytes_read = 0;      // user bytes returned
+  uint64_t io_bytes_written = 0;  // device bytes (write amplification)
+  uint64_t io_bytes_read = 0;
+  uint64_t flushes = 0;        // memtable/page-cache flushes
+  uint64_t compactions = 0;    // LSM compactions / btree merges
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+class KVStore {
+ public:
+  virtual ~KVStore() = default;
+
+  virtual Status Put(std::string_view key, std::string_view value) = 0;
+
+  // NotFound when the key is absent or deleted.
+  virtual Status Get(std::string_view key, std::string* value) = 0;
+
+  // Lazy append of `operand` to the key's value (RocksDB-style merge).
+  // Engines without native merge return Unsupported; callers should fall
+  // back to ReadModifyWrite (the evaluator does this automatically).
+  virtual Status Merge(std::string_view key, std::string_view operand) {
+    return Status::Unsupported(name() + " has no merge");
+  }
+
+  virtual Status Delete(std::string_view key) = 0;
+
+  // Eager read-modify-write: append `operand` to the stored value (missing
+  // key treated as empty). Default implementation is Get+concat+Put; engines
+  // override when they can do better (FASTER in-place RMW).
+  virtual Status ReadModifyWrite(std::string_view key, std::string_view operand);
+
+  virtual bool supports_merge() const { return false; }
+
+  // Persists all buffered state (memtables, dirty pages, log tail).
+  virtual Status Flush() { return Status::Ok(); }
+
+  virtual Status Close() { return Status::Ok(); }
+
+  virtual StoreStats stats() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Engine factory. `engine` in {mem, lsm, lethe, faster, btree}; `dir` is the
+// storage directory (created if missing; ignored by mem).
+StatusOr<std::unique_ptr<KVStore>> OpenStore(const std::string& engine, const std::string& dir);
+
+}  // namespace gadget
+
+#endif  // GADGET_STORES_KVSTORE_H_

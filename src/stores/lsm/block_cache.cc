@@ -1,0 +1,68 @@
+#include "src/stores/lsm/block_cache.h"
+
+#include <atomic>
+
+namespace gadget {
+
+BlockCache::BlockCache(uint64_t capacity_bytes)
+    : capacity_per_shard_(capacity_bytes / kShards + 1) {}
+
+BlockCache::BlockHandle BlockCache::Lookup(uint64_t file_number, uint64_t offset) {
+  Key key{file_number, offset};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Move to front.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->block;
+}
+
+BlockCache::BlockHandle BlockCache::Insert(uint64_t file_number, uint64_t offset,
+                                           std::string block) {
+  Key key{file_number, offset};
+  auto handle = std::make_shared<const std::string>(std::move(block));
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.bytes -= it->second->block->size();
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+  }
+  shard.lru.push_front(Shard::Entry{key, handle});
+  shard.map[key] = shard.lru.begin();
+  shard.bytes += handle->size();
+  EvictLocked(shard);
+  return handle;
+}
+
+void BlockCache::EvictLocked(Shard& shard) {
+  while (shard.bytes > capacity_per_shard_ && !shard.lru.empty()) {
+    const Shard::Entry& victim = shard.lru.back();
+    shard.bytes -= victim.block->size();
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+  }
+}
+
+void BlockCache::EraseFile(uint64_t file_number) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.file == file_number) {
+        shard.bytes -= it->block->size();
+        shard.map.erase(it->key);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace gadget

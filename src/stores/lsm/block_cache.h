@@ -1,0 +1,71 @@
+// Sharded LRU block cache keyed by (file_number, block_offset). Cached
+// blocks are immutable shared_ptr<string>, so readers never copy.
+#ifndef GADGET_STORES_LSM_BLOCK_CACHE_H_
+#define GADGET_STORES_LSM_BLOCK_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace gadget {
+
+class BlockCache {
+ public:
+  explicit BlockCache(uint64_t capacity_bytes);
+
+  using BlockHandle = std::shared_ptr<const std::string>;
+
+  // Returns nullptr on miss.
+  BlockHandle Lookup(uint64_t file_number, uint64_t offset);
+
+  // Inserts (replacing any existing entry) and returns the cached handle.
+  BlockHandle Insert(uint64_t file_number, uint64_t offset, std::string block);
+
+  // Drops all blocks belonging to a deleted file.
+  void EraseFile(uint64_t file_number);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr int kShards = 8;
+
+  struct Key {
+    uint64_t file;
+    uint64_t offset;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.file * 0x9e3779b97f4a7c15ULL ^ (k.offset + 0x517cc1b7));
+    }
+  };
+
+  struct Shard {
+    std::mutex mu;
+    // LRU list: front = most recent. Map values point into the list.
+    struct Entry {
+      Key key;
+      BlockHandle block;
+    };
+    std::list<Entry> lru;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
+    uint64_t bytes = 0;
+  };
+
+  Shard& ShardFor(const Key& k) { return shards_[KeyHash{}(k) % kShards]; }
+  void EvictLocked(Shard& shard);
+
+  uint64_t capacity_per_shard_;
+  Shard shards_[kShards];
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace gadget
+
+#endif  // GADGET_STORES_LSM_BLOCK_CACHE_H_

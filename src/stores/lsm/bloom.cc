@@ -1,0 +1,64 @@
+#include "src/stores/lsm/bloom.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+
+namespace gadget {
+namespace {
+
+inline uint32_t NumProbes(int bits_per_key) {
+  // k = ln(2) * bits/key, clamped to [1, 30].
+  int k = static_cast<int>(bits_per_key * 0.69);
+  return static_cast<uint32_t>(std::clamp(k, 1, 30));
+}
+
+}  // namespace
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key) : bits_per_key_(bits_per_key) {}
+
+void BloomFilterBuilder::AddKey(std::string_view key) {
+  key_hashes_.push_back(Hash64(key, /*seed=*/0xb1003));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  size_t bits = std::max<size_t>(64, key_hashes_.size() * static_cast<size_t>(bits_per_key_));
+  size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string filter(bytes, '\0');
+  uint32_t k = NumProbes(bits_per_key_);
+  for (uint64_t h : key_hashes_) {
+    uint64_t h1 = h;
+    uint64_t h2 = (h >> 32) | (h << 32);
+    for (uint32_t i = 0; i < k; ++i) {
+      uint64_t bit = (h1 + i * h2) % bits;
+      filter[bit / 8] |= static_cast<char>(1 << (bit % 8));
+    }
+  }
+  filter.push_back(static_cast<char>(k));
+  return filter;
+}
+
+bool BloomFilterMayContain(std::string_view filter, std::string_view key) {
+  if (filter.size() < 2) {
+    return true;  // degenerate filter: be safe
+  }
+  uint32_t k = static_cast<uint8_t>(filter.back());
+  if (k == 0 || k > 30) {
+    return true;
+  }
+  size_t bits = (filter.size() - 1) * 8;
+  uint64_t h = Hash64(key, /*seed=*/0xb1003);
+  uint64_t h1 = h;
+  uint64_t h2 = (h >> 32) | (h << 32);
+  for (uint32_t i = 0; i < k; ++i) {
+    uint64_t bit = (h1 + i * h2) % bits;
+    if ((filter[bit / 8] & (1 << (bit % 8))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gadget

@@ -1,0 +1,31 @@
+// Bloom filter for SSTables: double hashing (Kirsch-Mitzenmacher) over the
+// 64-bit key hash, k derived from bits-per-key.
+#ifndef GADGET_STORES_LSM_BLOOM_H_
+#define GADGET_STORES_LSM_BLOOM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gadget {
+
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key);
+
+  void AddKey(std::string_view key);
+
+  // Serializes the filter (bit array + k byte).
+  std::string Finish();
+
+ private:
+  int bits_per_key_;
+  std::vector<uint64_t> key_hashes_;
+};
+
+// Returns true if the serialized filter may contain the key (false = definitely not).
+bool BloomFilterMayContain(std::string_view filter, std::string_view key);
+
+}  // namespace gadget
+
+#endif  // GADGET_STORES_LSM_BLOOM_H_

@@ -1,0 +1,76 @@
+// Internal record representation shared by the memtable, SSTables, WAL and
+// compaction.
+//
+// The engine supports RocksDB-style lazy merge: a merge writes an *operand*
+// that is only combined with the base value on read or compaction. The merge
+// operator is byte-append (operands concatenate after the base), which is
+// exactly what holistic window buckets need (§6.5).
+//
+// Record types:
+//   kTombstone  — key deleted; shadows all older records.
+//   kValue      — full value; shadows all older records.
+//   kMergeStack — list of merge operands with *no* base yet; a reader must
+//                 keep searching older data for the base.
+#ifndef GADGET_STORES_LSM_FORMAT_H_
+#define GADGET_STORES_LSM_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/coding.h"
+
+namespace gadget {
+
+enum class RecType : uint8_t {
+  kTombstone = 0,
+  kValue = 1,
+  kMergeStack = 2,
+};
+
+// Serialization of a merge stack: operands oldest-first, length-prefixed.
+inline std::string EncodeMergeStack(const std::vector<std::string>& operands) {
+  std::string out;
+  for (const std::string& op : operands) {
+    PutLengthPrefixed(&out, op);
+  }
+  return out;
+}
+
+// Appends the decoded operands (oldest-first) to *out. Returns false on
+// malformed input.
+inline bool DecodeMergeStack(std::string_view stack, std::vector<std::string>* out) {
+  const char* p = stack.data();
+  const char* limit = p + stack.size();
+  while (p < limit) {
+    std::string_view op;
+    p = GetLengthPrefixed(p, limit, &op);
+    if (p == nullptr) {
+      return false;
+    }
+    out->emplace_back(op);
+  }
+  return true;
+}
+
+// Applies the byte-append merge operator: base + op1 + op2 + ...
+inline std::string ApplyMerge(std::string_view base, const std::vector<std::string>& operands) {
+  std::string out(base);
+  for (const std::string& op : operands) {
+    out += op;
+  }
+  return out;
+}
+
+// Outcome of a point lookup against one layer (memtable or SSTable).
+enum class LookupState : uint8_t {
+  kNotFound = 0,    // layer has nothing for this key; keep searching
+  kFound = 1,       // complete value assembled
+  kDeleted = 2,     // tombstone; stop searching, key absent
+  kMergePartial = 3,  // operands found, base still missing; keep searching
+};
+
+}  // namespace gadget
+
+#endif  // GADGET_STORES_LSM_FORMAT_H_

@@ -1,0 +1,758 @@
+#include "src/stores/lsm/lsm_store.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/file_util.h"
+#include "src/common/logging.h"
+
+namespace gadget {
+namespace {
+
+std::string SstPath(const std::string& dir, uint64_t number) {
+  return dir + "/" + std::to_string(number) + ".sst";
+}
+
+std::string WalPath(const std::string& dir, uint64_t number) {
+  return dir + "/wal-" + std::to_string(number) + ".log";
+}
+
+// True if [f->smallest, f->largest] intersects [begin, end].
+bool Overlaps(const FileMeta& f, const std::string& begin, const std::string& end) {
+  return !(f.largest < begin || end < f.smallest);
+}
+
+}  // namespace
+
+uint64_t LsmStore::NowMs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+LsmStore::LsmStore(std::string dir, const LsmOptions& opts)
+    : dir_(std::move(dir)),
+      opts_(opts),
+      cache_(opts.block_cache_bytes),
+      mem_(std::make_unique<MemTable>()),
+      compact_cursor_(static_cast<size_t>(opts.num_levels), 0) {
+  current_ = std::make_shared<Version>(opts_.num_levels);
+}
+
+StatusOr<std::unique_ptr<KVStore>> LsmStore::Open(const std::string& dir,
+                                                  const LsmOptions& opts) {
+  GADGET_RETURN_IF_ERROR(CreateDirIfMissing(dir));
+  std::unique_ptr<LsmStore> store(new LsmStore(dir, opts));
+  GADGET_RETURN_IF_ERROR(store->Recover());
+  store->bg_thread_ = std::thread(&LsmStore::BackgroundThread, store.get());
+  return std::unique_ptr<KVStore>(std::move(store));
+}
+
+LsmStore::~LsmStore() { (void)Close(); }
+
+Status LsmStore::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto manifest = LoadManifest(dir_);
+  if (!manifest.ok() && !manifest.status().IsNotFound()) {
+    return manifest.status();
+  }
+  if (manifest.ok()) {
+    next_file_number_ = manifest->next_file_number;
+    auto version = std::make_shared<Version>(opts_.num_levels);
+    for (const auto& rec : manifest->files) {
+      if (rec.level < 0 || rec.level >= opts_.num_levels) {
+        return Status::Corruption("manifest level out of range");
+      }
+      auto meta = std::make_shared<FileMeta>();
+      meta->number = rec.number;
+      meta->size = rec.size;
+      meta->entries = rec.entries;
+      meta->tombstones = rec.tombstones;
+      meta->created_ms = NowMs();  // steady clock restarts; ages restart too
+      meta->smallest = rec.smallest;
+      meta->largest = rec.largest;
+      meta->path = SstPath(dir_, rec.number);
+      meta->cache = &cache_;
+      auto reader = SSTableReader::Open(meta->path, meta->number, &cache_);
+      if (!reader.ok()) {
+        return reader.status();
+      }
+      meta->reader = std::move(*reader);
+      version->levels[static_cast<size_t>(rec.level)].push_back(std::move(meta));
+    }
+    // L0 by file number (creation order); L1+ by smallest key.
+    std::sort(version->levels[0].begin(), version->levels[0].end(),
+              [](const auto& a, const auto& b) { return a->number < b->number; });
+    for (int l = 1; l < opts_.num_levels; ++l) {
+      auto& files = version->levels[static_cast<size_t>(l)];
+      std::sort(files.begin(), files.end(),
+                [](const auto& a, const auto& b) { return a->smallest < b->smallest; });
+    }
+    current_ = std::move(version);
+
+    // Replay the WAL that was active when we went down.
+    const std::string wal_path = WalPath(dir_, manifest->wal_number);
+    if (FileExists(wal_path)) {
+      auto replayed = ReplayWal(wal_path, [this](RecType type, std::string_view key,
+                                                 std::string_view value) {
+        switch (type) {
+          case RecType::kValue:
+            mem_->Put(key, value);
+            break;
+          case RecType::kMergeStack:
+            mem_->Merge(key, value);
+            break;
+          case RecType::kTombstone:
+            mem_->Delete(key);
+            break;
+        }
+      });
+      if (!replayed.ok()) {
+        return replayed.status();
+      }
+      if (!mem_->empty()) {
+        GADGET_RETURN_IF_ERROR(FlushMemTableLocked());
+      }
+      (void)RemoveFile(wal_path);
+    }
+  }
+  // Fresh WAL for the new generation.
+  wal_number_ = next_file_number_++;
+  auto wal = WalWriter::Create(WalPath(dir_, wal_number_));
+  if (!wal.ok()) {
+    return wal.status();
+  }
+  wal_ = std::move(*wal);
+  return PersistManifestLocked();
+}
+
+Status LsmStore::PersistManifestLocked() {
+  ManifestData data;
+  data.next_file_number = next_file_number_;
+  data.wal_number = wal_number_;
+  for (int l = 0; l < opts_.num_levels; ++l) {
+    for (const auto& f : current_->levels[static_cast<size_t>(l)]) {
+      data.files.push_back({l, f->number, f->size, f->entries, f->tombstones, f->created_ms,
+                            f->smallest, f->largest});
+    }
+  }
+  return SaveManifest(dir_, data);
+}
+
+// ------------------------------------------------------------------- writes
+
+Status LsmStore::WriteInternal(RecType type, std::string_view key, std::string_view value) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!bg_error_.ok()) {
+    return bg_error_;
+  }
+  if (closing_) {
+    return Status::Internal("store is closed");
+  }
+  GADGET_RETURN_IF_ERROR(wal_->Append(type, key, value, opts_.sync_writes));
+  switch (type) {
+    case RecType::kValue:
+      mem_->Put(key, value);
+      ++stats_.puts;
+      break;
+    case RecType::kMergeStack:
+      mem_->Merge(key, value);
+      ++stats_.merges;
+      break;
+    case RecType::kTombstone:
+      mem_->Delete(key);
+      ++stats_.deletes;
+      break;
+  }
+  stats_.bytes_written += key.size() + value.size();
+
+  if (mem_->ApproximateBytes() >= opts_.write_buffer_size) {
+    // Stall the writer if L0 is too deep (RocksDB-style backpressure).
+    while (current_->levels[0].size() >=
+               static_cast<size_t>(opts_.l0_stall_limit) &&
+           bg_error_.ok() && !closing_) {
+      work_cv_.notify_all();
+      stall_cv_.wait(lock);
+    }
+    GADGET_RETURN_IF_ERROR(FlushMemTableLocked());
+    work_cv_.notify_all();
+  }
+  return Status::Ok();
+}
+
+Status LsmStore::Put(std::string_view key, std::string_view value) {
+  return WriteInternal(RecType::kValue, key, value);
+}
+
+Status LsmStore::Merge(std::string_view key, std::string_view operand) {
+  return WriteInternal(RecType::kMergeStack, key, operand);
+}
+
+Status LsmStore::Delete(std::string_view key) {
+  return WriteInternal(RecType::kTombstone, key, "");
+}
+
+StatusOr<std::shared_ptr<FileMeta>> LsmStore::BuildTableFromMemLocked() {
+  uint64_t number = next_file_number_++;
+  const std::string path = SstPath(dir_, number);
+  SSTableBuilder builder(path, opts_.block_size, opts_.bloom_bits_per_key);
+  Status add_status;
+  mem_->ForEachFlushRecord([&](const MemTable::FlushRecord& rec) {
+    if (add_status.ok()) {
+      add_status = builder.Add(rec.key, rec.type, rec.value);
+    }
+  });
+  GADGET_RETURN_IF_ERROR(add_status);
+  GADGET_RETURN_IF_ERROR(builder.Finish());
+
+  auto meta = std::make_shared<FileMeta>();
+  meta->number = number;
+  meta->size = builder.file_size();
+  meta->entries = builder.num_entries();
+  meta->tombstones = builder.num_tombstones();
+  meta->created_ms = NowMs();
+  meta->smallest = builder.smallest();
+  meta->largest = builder.largest();
+  meta->path = path;
+  meta->cache = &cache_;
+  auto reader = SSTableReader::Open(path, number, &cache_);
+  if (!reader.ok()) {
+    return reader.status();
+  }
+  meta->reader = std::move(*reader);
+  stats_.io_bytes_written += meta->size;
+  return meta;
+}
+
+Status LsmStore::FlushMemTableLocked() {
+  if (mem_->empty()) {
+    return Status::Ok();
+  }
+  auto meta = BuildTableFromMemLocked();
+  if (!meta.ok()) {
+    return meta.status();
+  }
+
+  auto version = std::make_shared<Version>(*current_);
+  version->levels[0].push_back(std::move(*meta));
+  current_ = std::move(version);
+  mem_ = std::make_unique<MemTable>();
+  ++stats_.flushes;
+
+  // Rotate the WAL: records up to here are now durable in the SSTable.
+  // During Recover() the new-generation WAL does not exist yet (the replayed
+  // old WAL is removed by the caller), so rotation is skipped.
+  if (wal_ != nullptr) {
+    GADGET_RETURN_IF_ERROR(wal_->Close());
+    uint64_t old_wal = wal_number_;
+    wal_number_ = next_file_number_++;
+    auto wal = WalWriter::Create(WalPath(dir_, wal_number_));
+    if (!wal.ok()) {
+      return wal.status();
+    }
+    wal_ = std::move(*wal);
+    GADGET_RETURN_IF_ERROR(PersistManifestLocked());
+    (void)RemoveFile(WalPath(dir_, old_wal));
+    return Status::Ok();
+  }
+  return PersistManifestLocked();
+}
+
+// -------------------------------------------------------------------- reads
+
+Status LsmStore::Get(std::string_view key, std::string* value) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.gets;
+  if (!bg_error_.ok()) {
+    return bg_error_;
+  }
+  std::string val;
+  std::vector<std::string> layer_ops;
+  LookupState state = mem_->Get(key, &val, &layer_ops);
+  if (state == LookupState::kFound) {
+    *value = std::move(val);
+    stats_.bytes_read += value->size();
+    return Status::Ok();
+  }
+  if (state == LookupState::kDeleted) {
+    return Status::NotFound();
+  }
+  std::vector<std::string> acc = std::move(layer_ops);  // newest-first accumulation
+  std::shared_ptr<const Version> version = current_;
+  lock.unlock();
+
+  auto finish_found = [&](std::string base) -> Status {
+    *value = ApplyMerge(base, acc);
+    std::lock_guard<std::mutex> relock(mu_);
+    stats_.bytes_read += value->size();
+    return Status::Ok();
+  };
+  auto finish_deleted = [&]() -> Status {
+    if (acc.empty()) {
+      return Status::NotFound();
+    }
+    return finish_found("");
+  };
+
+  auto search_file = [&](const std::shared_ptr<FileMeta>& f,
+                         bool* terminal) -> Status {
+    *terminal = false;
+    if (key < std::string_view(f->smallest) || std::string_view(f->largest) < key) {
+      return Status::Ok();
+    }
+    layer_ops.clear();
+    val.clear();
+    auto st = f->reader->Get(key, &val, &layer_ops);
+    if (!st.ok()) {
+      *terminal = true;
+      return st.status();
+    }
+    switch (*st) {
+      case LookupState::kNotFound:
+        return Status::Ok();
+      case LookupState::kFound:
+        *terminal = true;
+        return finish_found(std::move(val));
+      case LookupState::kDeleted:
+        *terminal = true;
+        return finish_deleted();
+      case LookupState::kMergePartial:
+        // This layer is older than everything accumulated: prepend.
+        acc.insert(acc.begin(), std::make_move_iterator(layer_ops.begin()),
+                   std::make_move_iterator(layer_ops.end()));
+        return Status::Ok();
+    }
+    return Status::Internal("unreachable");
+  };
+
+  // L0: newest file first.
+  const auto& l0 = version->levels[0];
+  for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
+    bool terminal = false;
+    Status s = search_file(*it, &terminal);
+    if (terminal || !s.ok()) {
+      return s;
+    }
+  }
+  // L1+: at most one file per level contains the key.
+  for (size_t l = 1; l < version->levels.size(); ++l) {
+    const auto& files = version->levels[l];
+    auto it = std::lower_bound(files.begin(), files.end(), key,
+                               [](const std::shared_ptr<FileMeta>& f, std::string_view k) {
+                                 return std::string_view(f->largest) < k;
+                               });
+    if (it == files.end()) {
+      continue;
+    }
+    bool terminal = false;
+    Status s = search_file(*it, &terminal);
+    if (terminal || !s.ok()) {
+      return s;
+    }
+  }
+  if (acc.empty()) {
+    return Status::NotFound();
+  }
+  // Merge operands with no base anywhere: base is implicitly empty.
+  return finish_found("");
+}
+
+// --------------------------------------------------------------- compaction
+
+uint64_t LsmStore::MaxBytesForLevel(int level) const {
+  double bytes = static_cast<double>(opts_.max_bytes_level_base);
+  for (int l = 1; l < level; ++l) {
+    bytes *= opts_.level_size_multiplier;
+  }
+  return static_cast<uint64_t>(bytes);
+}
+
+bool LsmStore::PickCompactionLocked(CompactionJob* job) {
+  const Version& v = *current_;
+
+  auto add_overlaps = [&](int level, const std::string& begin, const std::string& end) {
+    for (const auto& f : v.levels[static_cast<size_t>(level)]) {
+      if (Overlaps(*f, begin, end)) {
+        job->inputs.push_back(f);
+      }
+    }
+  };
+  auto compute_bottommost = [&](int output_level, const std::string& begin,
+                                const std::string& end) {
+    for (int l = output_level + 1; l < opts_.num_levels; ++l) {
+      for (const auto& f : v.levels[static_cast<size_t>(l)]) {
+        if (Overlaps(*f, begin, end)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  // Rule 1: L0 file count.
+  if (v.levels[0].size() >= static_cast<size_t>(opts_.l0_compaction_trigger)) {
+    // Newest first.
+    for (auto it = v.levels[0].rbegin(); it != v.levels[0].rend(); ++it) {
+      job->inputs.push_back(*it);
+    }
+    std::string begin = job->inputs.front()->smallest;
+    std::string end = job->inputs.front()->largest;
+    for (const auto& f : job->inputs) {
+      begin = std::min(begin, f->smallest);
+      end = std::max(end, f->largest);
+    }
+    add_overlaps(1, begin, end);
+    job->output_level = 1;
+    job->bottommost = compute_bottommost(1, begin, end);
+    return true;
+  }
+
+  // Rule 2: level sizes.
+  for (int l = 1; l < opts_.num_levels - 1; ++l) {
+    const auto& files = v.levels[static_cast<size_t>(l)];
+    if (files.empty() || v.LevelBytes(l) <= MaxBytesForLevel(l)) {
+      continue;
+    }
+    size_t& cursor = compact_cursor_[static_cast<size_t>(l)];
+    if (cursor >= files.size()) {
+      cursor = 0;
+    }
+    auto file = files[cursor];
+    ++cursor;
+    job->inputs.push_back(file);
+    add_overlaps(l + 1, file->smallest, file->largest);
+    job->output_level = l + 1;
+    job->bottommost = compute_bottommost(l + 1, file->smallest, file->largest);
+    return true;
+  }
+
+  // Rule 3 (Lethe): force-compact files whose tombstones outlived the delete
+  // persistence threshold.
+  if (opts_.delete_aware) {
+    uint64_t now = NowMs();
+    for (int l = 0; l < opts_.num_levels - 1; ++l) {
+      for (const auto& f : v.levels[static_cast<size_t>(l)]) {
+        if (f->tombstones == 0 || now - f->created_ms <= opts_.delete_persistence_ms) {
+          continue;
+        }
+        if (l == 0) {
+          // A partial L0 compaction would re-order shadowing (a newer L0
+          // record must never end up below an older L0 file), so an aged L0
+          // tombstone triggers the full L0->L1 compaction.
+          if (v.levels[0].empty()) {
+            continue;
+          }
+          for (auto it = v.levels[0].rbegin(); it != v.levels[0].rend(); ++it) {
+            job->inputs.push_back(*it);
+          }
+          std::string begin = job->inputs.front()->smallest;
+          std::string end = job->inputs.front()->largest;
+          for (const auto& in : job->inputs) {
+            begin = std::min(begin, in->smallest);
+            end = std::max(end, in->largest);
+          }
+          add_overlaps(1, begin, end);
+          job->output_level = 1;
+          job->bottommost = compute_bottommost(1, begin, end);
+          return true;
+        }
+        job->inputs.push_back(f);
+        add_overlaps(l + 1, f->smallest, f->largest);
+        job->output_level = l + 1;
+        job->bottommost = compute_bottommost(l + 1, f->smallest, f->largest);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Status LsmStore::DoCompaction(const CompactionJob& job,
+                              std::vector<std::shared_ptr<FileMeta>>* outputs) {
+  // One iterator per input; inputs are ordered newest-first.
+  std::vector<std::unique_ptr<SSTableIterator>> iters;
+  iters.reserve(job.inputs.size());
+  for (const auto& f : job.inputs) {
+    iters.push_back(std::make_unique<SSTableIterator>(f->reader));
+  }
+
+  std::unique_ptr<SSTableBuilder> builder;
+  uint64_t builder_number = 0;
+  uint64_t min_tombstone_created = ~0ULL;
+  bool output_has_tombstones = false;
+
+  auto open_builder = [&]() -> Status {
+    std::lock_guard<std::mutex> lock(mu_);
+    builder_number = next_file_number_++;
+    builder = std::make_unique<SSTableBuilder>(SstPath(dir_, builder_number), opts_.block_size,
+                                               opts_.bloom_bits_per_key);
+    return Status::Ok();
+  };
+  auto close_builder = [&]() -> Status {
+    if (builder == nullptr || builder->num_entries() == 0) {
+      if (builder != nullptr) {
+        GADGET_RETURN_IF_ERROR(builder->Finish());
+        (void)RemoveFile(SstPath(dir_, builder_number));
+        builder.reset();
+      }
+      return Status::Ok();
+    }
+    GADGET_RETURN_IF_ERROR(builder->Finish());
+    auto meta = std::make_shared<FileMeta>();
+    meta->number = builder_number;
+    meta->size = builder->file_size();
+    meta->entries = builder->num_entries();
+    meta->tombstones = builder->num_tombstones();
+    meta->created_ms = output_has_tombstones ? min_tombstone_created : NowMs();
+    meta->smallest = builder->smallest();
+    meta->largest = builder->largest();
+    meta->path = SstPath(dir_, builder_number);
+    meta->cache = &cache_;
+    auto reader = SSTableReader::Open(meta->path, meta->number, &cache_);
+    if (!reader.ok()) {
+      return reader.status();
+    }
+    meta->reader = std::move(*reader);
+    outputs->push_back(std::move(meta));
+    builder.reset();
+    output_has_tombstones = false;
+    min_tombstone_created = ~0ULL;
+    return Status::Ok();
+  };
+
+  auto emit = [&](std::string_view key, RecType type, std::string_view value,
+                  uint64_t source_created_ms) -> Status {
+    if (builder == nullptr) {
+      GADGET_RETURN_IF_ERROR(open_builder());
+    }
+    if (type == RecType::kTombstone) {
+      output_has_tombstones = true;
+      min_tombstone_created = std::min(min_tombstone_created, source_created_ms);
+    }
+    GADGET_RETURN_IF_ERROR(builder->Add(key, type, value));
+    return Status::Ok();
+  };
+
+  uint64_t emitted_bytes = 0;
+  std::vector<std::string> pending;
+  std::string merged_value;
+
+  for (;;) {
+    // Find the smallest key among valid iterators.
+    std::string_view min_key;
+    bool any = false;
+    for (const auto& it : iters) {
+      if (!it->Valid()) {
+        continue;
+      }
+      if (!any || it->key() < min_key) {
+        min_key = it->key();
+        any = true;
+      }
+    }
+    if (!any) {
+      break;
+    }
+    const std::string key(min_key);  // own it: iterators advance below
+
+    // Combine records for this key, newest input first.
+    pending.clear();
+    bool resolved = false;
+    bool drop = false;
+    RecType out_type = RecType::kValue;
+    merged_value.clear();
+    uint64_t tomb_created = NowMs();
+
+    for (size_t i = 0; i < iters.size(); ++i) {
+      auto& it = iters[i];
+      if (!it->Valid() || it->key() != std::string_view(key)) {
+        continue;
+      }
+      if (!resolved) {
+        switch (it->type()) {
+          case RecType::kValue:
+            merged_value = ApplyMerge(it->value(), pending);
+            out_type = RecType::kValue;
+            resolved = true;
+            break;
+          case RecType::kTombstone:
+            tomb_created = job.inputs[i]->created_ms;
+            if (pending.empty()) {
+              if (job.bottommost) {
+                drop = true;
+              } else {
+                out_type = RecType::kTombstone;
+                merged_value.clear();
+              }
+            } else {
+              out_type = RecType::kValue;
+              merged_value = ApplyMerge("", pending);
+            }
+            resolved = true;
+            break;
+          case RecType::kMergeStack: {
+            std::vector<std::string> ops;
+            if (!DecodeMergeStack(it->value(), &ops)) {
+              return Status::Corruption("bad merge stack during compaction");
+            }
+            // This record is older than everything in `pending`.
+            pending.insert(pending.begin(), std::make_move_iterator(ops.begin()),
+                           std::make_move_iterator(ops.end()));
+            break;
+          }
+        }
+      }
+      it->Next();
+      if (!it->status().ok()) {
+        return it->status();
+      }
+    }
+
+    if (!resolved) {
+      if (job.bottommost) {
+        out_type = RecType::kValue;
+        merged_value = ApplyMerge("", pending);
+      } else {
+        out_type = RecType::kMergeStack;
+        merged_value = EncodeMergeStack(pending);
+      }
+    }
+    if (!drop) {
+      GADGET_RETURN_IF_ERROR(emit(key, out_type, merged_value,
+                                  out_type == RecType::kTombstone ? tomb_created : NowMs()));
+      emitted_bytes += key.size() + merged_value.size() + 8;
+      if (emitted_bytes >= opts_.target_file_size) {
+        GADGET_RETURN_IF_ERROR(close_builder());
+        emitted_bytes = 0;
+      }
+    }
+  }
+  GADGET_RETURN_IF_ERROR(close_builder());
+  return Status::Ok();
+}
+
+void LsmStore::InstallCompactionLocked(const CompactionJob& job,
+                                       std::vector<std::shared_ptr<FileMeta>> outputs) {
+  auto version = std::make_shared<Version>(*current_);
+  auto is_input = [&](const std::shared_ptr<FileMeta>& f) {
+    for (const auto& in : job.inputs) {
+      if (in->number == f->number) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (auto& level : version->levels) {
+    level.erase(std::remove_if(level.begin(), level.end(), is_input), level.end());
+  }
+  auto& out_level = version->levels[static_cast<size_t>(job.output_level)];
+  uint64_t out_bytes = 0;
+  for (auto& f : outputs) {
+    stats_.io_bytes_written += f->size;
+    out_bytes += f->size;
+    out_level.push_back(std::move(f));
+  }
+  std::sort(out_level.begin(), out_level.end(),
+            [](const auto& a, const auto& b) { return a->smallest < b->smallest; });
+  current_ = std::move(version);
+  ++stats_.compactions;
+  for (const auto& in : job.inputs) {
+    stats_.io_bytes_read += in->size;
+    in->obsolete.store(true, std::memory_order_release);
+  }
+  Status s = PersistManifestLocked();
+  if (!s.ok() && bg_error_.ok()) {
+    bg_error_ = s;
+  }
+  (void)out_bytes;
+}
+
+void LsmStore::BackgroundThread() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!closing_) {
+    CompactionJob job;
+    if (!PickCompactionLocked(&job)) {
+      // Time-bounded wait: Lethe's age-based trigger needs periodic checks.
+      work_cv_.wait_for(lock, std::chrono::milliseconds(200));
+      continue;
+    }
+    compaction_running_ = true;
+    lock.unlock();
+
+    std::vector<std::shared_ptr<FileMeta>> outputs;
+    Status s = DoCompaction(job, &outputs);
+
+    lock.lock();
+    compaction_running_ = false;
+    if (s.ok()) {
+      InstallCompactionLocked(job, std::move(outputs));
+    } else {
+      GADGET_LOG(Error) << "compaction failed: " << s.ToString();
+      if (bg_error_.ok()) {
+        bg_error_ = s;
+      }
+      // Drop any partially written outputs.
+      for (const auto& f : outputs) {
+        f->obsolete.store(true, std::memory_order_release);
+      }
+    }
+    stall_cv_.notify_all();
+  }
+}
+
+// ------------------------------------------------------------------- admin
+
+Status LsmStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushMemTableLocked();
+}
+
+Status LsmStore::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closing_) {
+      return Status::Ok();
+    }
+    closing_ = true;
+  }
+  work_cv_.notify_all();
+  stall_cv_.notify_all();
+  if (bg_thread_.joinable()) {
+    bg_thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s = FlushMemTableLocked();
+  if (wal_ != nullptr) {
+    Status ws = wal_->Close();
+    if (s.ok()) {
+      s = ws;
+    }
+  }
+  return s;
+}
+
+StoreStats LsmStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StoreStats out = stats_;
+  out.cache_hits = cache_.hits();
+  out.cache_misses = cache_.misses();
+  return out;
+}
+
+int LsmStore::NumFilesAtLevel(int level) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(current_->levels[static_cast<size_t>(level)].size());
+}
+
+uint64_t LsmStore::TotalSstBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& level : current_->levels) {
+    for (const auto& f : level) {
+      total += f->size;
+    }
+  }
+  return total;
+}
+
+}  // namespace gadget

@@ -1,0 +1,111 @@
+// LSM-tree key-value store (the project's RocksDB stand-in) with optional
+// delete-aware compaction (the Lethe stand-in, enabled via
+// LsmOptions::delete_aware).
+//
+// Architecture:
+//  * writes go to a WAL + sorted memtable; a full memtable is flushed to an
+//    L0 SSTable on the writer's thread;
+//  * a single background thread runs leveled compaction (L0->L1 by file
+//    count, Ln->Ln+1 by level size) and, in delete-aware mode, force-compacts
+//    SSTables whose tombstones have outlived the delete-persistence
+//    threshold (FADE-style);
+//  * readers take a copy-on-write Version snapshot and search memtable ->
+//    L0 (newest first) -> L1..Ln, accumulating lazy merge operands until a
+//    base value or tombstone resolves the lookup;
+//  * everything on disk is CRC-protected; the manifest is atomically
+//    rewritten after every flush/compaction; a torn WAL tail is tolerated.
+#ifndef GADGET_STORES_LSM_LSM_STORE_H_
+#define GADGET_STORES_LSM_LSM_STORE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/stores/kvstore.h"
+#include "src/stores/lsm/block_cache.h"
+#include "src/stores/lsm/memtable.h"
+#include "src/stores/lsm/options.h"
+#include "src/stores/lsm/version.h"
+#include "src/stores/lsm/wal.h"
+
+namespace gadget {
+
+class LsmStore : public KVStore {
+ public:
+  static StatusOr<std::unique_ptr<KVStore>> Open(const std::string& dir, const LsmOptions& opts);
+  ~LsmStore() override;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) override;
+  Status Merge(std::string_view key, std::string_view operand) override;
+  Status Delete(std::string_view key) override;
+
+  bool supports_merge() const override { return true; }
+  Status Flush() override;
+  Status Close() override;
+
+  StoreStats stats() const override;
+  std::string name() const override { return opts_.delete_aware ? "lethe" : "lsm"; }
+
+  // Introspection for tests.
+  int NumFilesAtLevel(int level) const;
+  uint64_t TotalSstBytes() const;
+
+ private:
+  LsmStore(std::string dir, const LsmOptions& opts);
+
+  Status Recover();
+  Status WriteInternal(RecType type, std::string_view key, std::string_view value);
+
+  // Requires mu_ held. Flushes the active memtable into an L0 file.
+  Status FlushMemTableLocked();
+
+  // Requires mu_ held. Persists the current version + counters.
+  Status PersistManifestLocked();
+
+  // Background compaction machinery.
+  void BackgroundThread();
+  struct CompactionJob {
+    // Inputs ordered newest-first (L0 newest..oldest, then level-n file(s),
+    // then level-n+1 overlaps).
+    std::vector<std::shared_ptr<FileMeta>> inputs;
+    int output_level = 1;
+    bool bottommost = false;
+  };
+  // Requires mu_ held. Returns false if no compaction is needed.
+  bool PickCompactionLocked(CompactionJob* job);
+  Status DoCompaction(const CompactionJob& job, std::vector<std::shared_ptr<FileMeta>>* outputs);
+  // Requires mu_ held.
+  void InstallCompactionLocked(const CompactionJob& job,
+                               std::vector<std::shared_ptr<FileMeta>> outputs);
+
+  StatusOr<std::shared_ptr<FileMeta>> BuildTableFromMemLocked();
+  uint64_t MaxBytesForLevel(int level) const;
+  static uint64_t NowMs();
+
+  const std::string dir_;
+  const LsmOptions opts_;
+  BlockCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // signals the background thread
+  std::condition_variable stall_cv_;  // wakes stalled writers
+  std::unique_ptr<MemTable> mem_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t wal_number_ = 0;
+  uint64_t next_file_number_ = 1;
+  std::shared_ptr<const Version> current_;
+  std::vector<size_t> compact_cursor_;  // round-robin pick position per level
+  StoreStats stats_;
+  Status bg_error_;
+  bool closing_ = false;
+  bool compaction_running_ = false;
+  std::thread bg_thread_;
+};
+
+}  // namespace gadget
+
+#endif  // GADGET_STORES_LSM_LSM_STORE_H_

@@ -1,0 +1,78 @@
+#include "src/stores/lsm/memtable.h"
+
+namespace gadget {
+
+void MemTable::Put(std::string_view key, std::string_view value) {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    it = table_.emplace(std::string(key), Entry{}).first;
+    bytes_ += key.size() + 32;
+  } else {
+    bytes_ -= it->second.base.size();
+    for (const std::string& op : it->second.operands) {
+      bytes_ -= op.size();
+    }
+    if (it->second.has_base && it->second.base_type == RecType::kTombstone) {
+      --tombstones_;
+    }
+  }
+  Entry& e = it->second;
+  e.has_base = true;
+  e.base_type = RecType::kValue;
+  e.base.assign(value.data(), value.size());
+  e.operands.clear();
+  bytes_ += value.size();
+}
+
+void MemTable::Merge(std::string_view key, std::string_view operand) {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    it = table_.emplace(std::string(key), Entry{}).first;
+    bytes_ += key.size() + 32;
+  }
+  it->second.operands.emplace_back(operand);
+  bytes_ += operand.size() + 8;
+}
+
+void MemTable::Delete(std::string_view key) {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    it = table_.emplace(std::string(key), Entry{}).first;
+    bytes_ += key.size() + 32;
+  } else {
+    bytes_ -= it->second.base.size();
+    for (const std::string& op : it->second.operands) {
+      bytes_ -= op.size();
+    }
+    if (it->second.has_base && it->second.base_type == RecType::kTombstone) {
+      --tombstones_;
+    }
+  }
+  Entry& e = it->second;
+  e.has_base = true;
+  e.base_type = RecType::kTombstone;
+  e.base.clear();
+  e.operands.clear();
+  ++tombstones_;
+}
+
+LookupState MemTable::Get(std::string_view key, std::string* value,
+                          std::vector<std::string>* operands) const {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    return LookupState::kNotFound;
+  }
+  const Entry& e = it->second;
+  if (e.has_base) {
+    if (e.base_type == RecType::kTombstone && e.operands.empty()) {
+      return LookupState::kDeleted;
+    }
+    std::string_view base = e.base_type == RecType::kValue ? std::string_view(e.base) : "";
+    *value = ApplyMerge(base, e.operands);
+    return LookupState::kFound;
+  }
+  operands->insert(operands->end(), e.operands.begin(), e.operands.end());
+  return LookupState::kMergePartial;
+}
+
+}  // namespace gadget

@@ -1,0 +1,81 @@
+// Sorted in-memory write buffer.
+//
+// Entries collapse eagerly where legal: Put and Delete supersede everything
+// older *within this memtable*, so only the latest base plus subsequent merge
+// operands are kept per key. Keys with operands but no base must remain lazy
+// (kMergeStack) so older levels supply the base.
+#ifndef GADGET_STORES_LSM_MEMTABLE_H_
+#define GADGET_STORES_LSM_MEMTABLE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/stores/lsm/format.h"
+
+namespace gadget {
+
+class MemTable {
+ public:
+  MemTable() = default;
+
+  void Put(std::string_view key, std::string_view value);
+  void Merge(std::string_view key, std::string_view operand);
+  void Delete(std::string_view key);
+
+  // Point lookup. On kFound, *value is the fully assembled value from this
+  // memtable. On kMergePartial, *operands receives this memtable's operands
+  // (oldest-first) and the caller must continue searching older data.
+  LookupState Get(std::string_view key, std::string* value,
+                  std::vector<std::string>* operands) const;
+
+  // Approximate memory footprint in bytes.
+  uint64_t ApproximateBytes() const { return bytes_; }
+  bool empty() const { return table_.empty(); }
+  size_t num_keys() const { return table_.size(); }
+
+  // Flush support: emits (key, type, serialized value) in key order. The
+  // serialized value for kMergeStack is EncodeMergeStack(operands).
+  struct FlushRecord {
+    std::string_view key;
+    RecType type;
+    std::string value;
+  };
+  template <typename Fn>
+  void ForEachFlushRecord(Fn&& fn) const {
+    for (const auto& [key, entry] : table_) {
+      if (!entry.has_base) {
+        fn(FlushRecord{key, RecType::kMergeStack, EncodeMergeStack(entry.operands)});
+      } else if (entry.base_type == RecType::kTombstone && entry.operands.empty()) {
+        fn(FlushRecord{key, RecType::kTombstone, std::string()});
+      } else {
+        // Base (possibly deleted->empty) plus operands collapses to a full
+        // value, which legally shadows all older records.
+        std::string_view base;
+        if (entry.base_type == RecType::kValue) {
+          base = entry.base;
+        }
+        fn(FlushRecord{key, RecType::kValue, ApplyMerge(base, entry.operands)});
+      }
+    }
+  }
+
+  uint64_t tombstone_count() const { return tombstones_; }
+
+ private:
+  struct Entry {
+    bool has_base = false;
+    RecType base_type = RecType::kValue;
+    std::string base;
+    std::vector<std::string> operands;  // oldest first
+  };
+
+  std::map<std::string, Entry, std::less<>> table_;
+  uint64_t bytes_ = 0;
+  uint64_t tombstones_ = 0;
+};
+
+}  // namespace gadget
+
+#endif  // GADGET_STORES_LSM_MEMTABLE_H_

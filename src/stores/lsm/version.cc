@@ -1,0 +1,103 @@
+#include "src/stores/lsm/version.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/file_util.h"
+
+namespace gadget {
+namespace {
+
+std::string ToHex(std::string_view s) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (unsigned char c : s) {
+    out.push_back(kDigits[c >> 4]);
+    out.push_back(kDigits[c & 0xf]);
+  }
+  return out.empty() ? "-" : out;
+}
+
+std::string FromHex(std::string_view s) {
+  if (s == "-") {
+    return "";
+  }
+  auto nib = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return 0;
+  };
+  std::string out;
+  out.reserve(s.size() / 2);
+  for (size_t i = 0; i + 1 < s.size(); i += 2) {
+    out.push_back(static_cast<char>((nib(s[i]) << 4) | nib(s[i + 1])));
+  }
+  return out;
+}
+
+}  // namespace
+
+FileMeta::~FileMeta() {
+  if (obsolete.load(std::memory_order_acquire)) {
+    if (cache != nullptr) {
+      cache->EraseFile(number);
+    }
+    (void)RemoveFile(path);
+  }
+}
+
+Status SaveManifest(const std::string& dir, const ManifestData& data) {
+  std::ostringstream out;
+  out << "gadget-lsm 1\n";
+  out << "next_file " << data.next_file_number << "\n";
+  out << "wal " << data.wal_number << "\n";
+  for (const auto& f : data.files) {
+    out << "file " << f.level << " " << f.number << " " << f.size << " " << f.entries << " "
+        << f.tombstones << " " << f.created_ms << " " << ToHex(f.smallest) << " "
+        << ToHex(f.largest) << "\n";
+  }
+  const std::string tmp = dir + "/MANIFEST.tmp";
+  GADGET_RETURN_IF_ERROR(WriteStringToFile(tmp, out.str(), /*sync=*/true));
+  return RenameFile(tmp, dir + "/MANIFEST");
+}
+
+StatusOr<ManifestData> LoadManifest(const std::string& dir) {
+  const std::string path = dir + "/MANIFEST";
+  if (!FileExists(path)) {
+    return Status::NotFound("no manifest in " + dir);
+  }
+  std::string text;
+  GADGET_RETURN_IF_ERROR(ReadFileToString(path, &text));
+  std::istringstream in(text);
+  std::string tag;
+  int version = 0;
+  in >> tag >> version;
+  if (tag != "gadget-lsm" || version != 1) {
+    return Status::Corruption("bad manifest header in " + dir);
+  }
+  ManifestData data;
+  while (in >> tag) {
+    if (tag == "next_file") {
+      in >> data.next_file_number;
+    } else if (tag == "wal") {
+      in >> data.wal_number;
+    } else if (tag == "file") {
+      ManifestData::FileRecord f;
+      std::string smallest_hex, largest_hex;
+      in >> f.level >> f.number >> f.size >> f.entries >> f.tombstones >> f.created_ms >>
+          smallest_hex >> largest_hex;
+      f.smallest = FromHex(smallest_hex);
+      f.largest = FromHex(largest_hex);
+      data.files.push_back(std::move(f));
+    } else {
+      return Status::Corruption("unknown manifest tag: " + tag);
+    }
+    if (in.fail()) {
+      return Status::Corruption("malformed manifest in " + dir);
+    }
+  }
+  return data;
+}
+
+}  // namespace gadget

@@ -1,0 +1,86 @@
+// Immutable snapshots of the LSM file layout (leveldb-style versions).
+//
+// A Version is a copy-on-write array of levels; readers take a shared_ptr
+// snapshot under the store mutex and then read SSTables lock-free. FileMeta
+// unlinks its file on destruction once marked obsolete, so snapshots keep
+// compacted-away files alive exactly as long as needed.
+#ifndef GADGET_STORES_LSM_VERSION_H_
+#define GADGET_STORES_LSM_VERSION_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/stores/lsm/sstable.h"
+
+namespace gadget {
+
+struct FileMeta {
+  uint64_t number = 0;
+  uint64_t size = 0;
+  uint64_t entries = 0;
+  uint64_t tombstones = 0;
+  uint64_t created_ms = 0;  // steady-clock ms; drives Lethe's delete-aware trigger
+  std::string smallest;
+  std::string largest;
+  std::string path;
+  std::shared_ptr<SSTableReader> reader;
+  BlockCache* cache = nullptr;
+  std::atomic<bool> obsolete{false};
+  std::atomic<bool> being_compacted{false};
+
+  ~FileMeta();
+};
+
+struct Version {
+  // levels[0]: overlapping files, oldest first (search back-to-front).
+  // levels[1..]: disjoint ranges, sorted by smallest key.
+  std::vector<std::vector<std::shared_ptr<FileMeta>>> levels;
+
+  explicit Version(int num_levels) : levels(static_cast<size_t>(num_levels)) {}
+
+  uint64_t LevelBytes(int level) const {
+    uint64_t total = 0;
+    for (const auto& f : levels[static_cast<size_t>(level)]) {
+      total += f->size;
+    }
+    return total;
+  }
+
+  uint64_t TotalFiles() const {
+    uint64_t n = 0;
+    for (const auto& level : levels) {
+      n += level.size();
+    }
+    return n;
+  }
+};
+
+// Manifest persistence: a text file rewritten atomically after every flush
+// and compaction.
+struct ManifestData {
+  uint64_t next_file_number = 1;
+  uint64_t wal_number = 0;
+  // (level, meta) pairs; readers are not opened by Load.
+  struct FileRecord {
+    int level;
+    uint64_t number;
+    uint64_t size;
+    uint64_t entries;
+    uint64_t tombstones;
+    uint64_t created_ms;
+    std::string smallest;
+    std::string largest;
+  };
+  std::vector<FileRecord> files;
+};
+
+Status SaveManifest(const std::string& dir, const ManifestData& data);
+// NotFound if no manifest exists (fresh database).
+StatusOr<ManifestData> LoadManifest(const std::string& dir);
+
+}  // namespace gadget
+
+#endif  // GADGET_STORES_LSM_VERSION_H_

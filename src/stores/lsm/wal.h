@@ -1,0 +1,45 @@
+// Write-ahead log. One log file per memtable generation; replayed on open,
+// deleted after the corresponding memtable flushes.
+//
+// Record: fixed32 masked-crc(payload) | varint32 len | payload
+// Payload: type byte (RecType) | varint32 klen | key | varint32 vlen | value
+// A torn tail (partial final record after a crash) stops replay cleanly.
+#ifndef GADGET_STORES_LSM_WAL_H_
+#define GADGET_STORES_LSM_WAL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/file_util.h"
+#include "src/common/status.h"
+#include "src/stores/lsm/format.h"
+
+namespace gadget {
+
+class WalWriter {
+ public:
+  static StatusOr<std::unique_ptr<WalWriter>> Create(const std::string& path);
+
+  Status Append(RecType type, std::string_view key, std::string_view value, bool sync);
+  Status Close();
+
+  uint64_t size() const { return file_->size(); }
+
+ private:
+  explicit WalWriter(std::unique_ptr<WritableFile> file) : file_(std::move(file)) {}
+
+  std::unique_ptr<WritableFile> file_;
+  std::string scratch_;
+};
+
+// Replays records until EOF or the first corrupt/torn record. Returns the
+// number of records applied.
+StatusOr<uint64_t> ReplayWal(
+    const std::string& path,
+    const std::function<void(RecType type, std::string_view key, std::string_view value)>& fn);
+
+}  // namespace gadget
+
+#endif  // GADGET_STORES_LSM_WAL_H_

@@ -1,0 +1,53 @@
+#include "src/stores/memstore.h"
+
+namespace gadget {
+
+Status MemStore::Put(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[std::string(key)] = std::string(value);
+  ++stats_.puts;
+  stats_.bytes_written += key.size() + value.size();
+  return Status::Ok();
+}
+
+Status MemStore::Get(std::string_view key, std::string* value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.gets;
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) {
+    return Status::NotFound();
+  }
+  *value = it->second;
+  stats_.bytes_read += value->size();
+  return Status::Ok();
+}
+
+Status MemStore::Merge(std::string_view key, std::string_view operand) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[std::string(key)].append(operand.data(), operand.size());
+  ++stats_.merges;
+  stats_.bytes_written += key.size() + operand.size();
+  return Status::Ok();
+}
+
+Status MemStore::Delete(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.erase(std::string(key));
+  ++stats_.deletes;
+  return Status::Ok();
+}
+
+Status MemStore::ReadModifyWrite(std::string_view key, std::string_view operand) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_[std::string(key)].append(operand.data(), operand.size());
+  ++stats_.rmws;
+  stats_.bytes_written += key.size() + operand.size();
+  return Status::Ok();
+}
+
+StoreStats MemStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace gadget

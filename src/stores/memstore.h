@@ -1,0 +1,36 @@
+// In-memory reference store: a mutex-protected hash map. Used as the oracle
+// in differential tests and as a zero-I/O baseline in examples.
+#ifndef GADGET_STORES_MEMSTORE_H_
+#define GADGET_STORES_MEMSTORE_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/stores/kvstore.h"
+
+namespace gadget {
+
+class MemStore : public KVStore {
+ public:
+  MemStore() = default;
+
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Get(std::string_view key, std::string* value) override;
+  Status Merge(std::string_view key, std::string_view operand) override;
+  Status Delete(std::string_view key) override;
+  Status ReadModifyWrite(std::string_view key, std::string_view operand) override;
+
+  bool supports_merge() const override { return true; }
+  StoreStats stats() const override;
+  std::string name() const override { return "mem"; }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::string> map_;
+  StoreStats stats_;
+};
+
+}  // namespace gadget
+
+#endif  // GADGET_STORES_MEMSTORE_H_

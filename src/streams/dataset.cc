@@ -1,0 +1,267 @@
+#include "src/streams/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/distgen/arrival.h"
+#include "src/distgen/distribution.h"
+
+namespace gadget {
+
+// ------------------------------------------------------------ SimulatedDataset
+
+bool SimulatedDataset::Next(Event* out) {
+  if (emitted_ >= max_events_) {
+    return false;
+  }
+  // An event is only safe to emit once the arrival clock (frontier) has
+  // passed it: every future Refill pushes events at or after the frontier.
+  while (!exhausted_ && (heap_.empty() || heap_.top().event_time_ms > frontier_ms_)) {
+    if (!Refill()) {
+      exhausted_ = true;
+    }
+  }
+  if (heap_.empty()) {
+    return false;
+  }
+  *out = heap_.top();
+  heap_.pop();
+  ++emitted_;
+  return true;
+}
+
+// ----------------------------------------------------------------------- Borg
+
+namespace {
+
+class BorgGenerator : public SimulatedDataset {
+ public:
+  explicit BorgGenerator(const BorgOptions& opts)
+      : SimulatedDataset(opts.max_events),
+        opts_(opts),
+        rng_(opts.seed, /*stream=*/11),
+        arrivals_(opts.job_rate_per_sec * 4.0, opts.job_rate_per_sec / 4.0, 10'000.0, 10'000.0,
+                  opts.seed ^ 0xb0b) {}
+
+  const char* name() const override { return "borg"; }
+  int num_streams() const override { return 2; }
+
+ protected:
+  bool Refill() override {
+    // One job submission per refill: submit event plus the full task
+    // lifecycle pushed into the future.
+    clock_ms_ += arrivals_.NextGap();
+    SetFrontier(clock_ms_);
+    uint64_t job_id = next_job_id_++;
+
+    Event submit;
+    submit.stream_id = 0;
+    submit.event_time_ms = clock_ms_;
+    submit.key = job_id;
+    submit.value_size = opts_.value_size;
+    submit.attr = event_attr::kBorgJobSubmit;
+    Push(submit);
+
+    // Geometric task count with the configured mean (>= 1).
+    double p = 1.0 / opts_.mean_tasks_per_job;
+    uint64_t tasks = 1;
+    while (rng_.NextDouble() > p && tasks < 2000) {
+      ++tasks;
+    }
+
+    uint64_t job_end = clock_ms_;
+    for (uint64_t t = 0; t < tasks; ++t) {
+      // Tasks are scheduled in a short burst after submission.
+      uint64_t sched = clock_ms_ + 10 + rng_.NextBounded(5'000);
+      double dur_s = rng_.NextExponential(1.0 / opts_.mean_task_duration_s);
+      uint64_t finish = sched + static_cast<uint64_t>(dur_s * 1000.0) + 1;
+      job_end = std::max(job_end, finish);
+
+      Event sch;
+      sch.stream_id = 1;
+      sch.event_time_ms = sched;
+      sch.key = job_id;
+      sch.value_size = opts_.value_size;
+      sch.attr = event_attr::kBorgTaskSchedule;
+      Push(sch);
+
+      Event fin = sch;
+      fin.event_time_ms = finish;
+      fin.attr = event_attr::kBorgTaskFinish;
+      Push(fin);
+    }
+
+    Event done;
+    done.stream_id = 0;
+    done.event_time_ms = job_end + 1;
+    done.key = job_id;
+    done.value_size = opts_.value_size;
+    done.attr = event_attr::kBorgJobFinish;
+    // Continuous-join semantics: the job-finish event closes the key's
+    // validity interval (paper: "state cleanup per job completed").
+    done.expiry_time_ms = job_end + 1;
+    Push(done);
+    return true;
+  }
+
+ private:
+  BorgOptions opts_;
+  Pcg32 rng_;
+  BurstyArrival arrivals_;
+  uint64_t clock_ms_ = 0;
+  uint64_t next_job_id_ = 1;
+};
+
+// ----------------------------------------------------------------------- Taxi
+
+class TaxiGenerator : public SimulatedDataset {
+ public:
+  explicit TaxiGenerator(const TaxiOptions& opts)
+      : SimulatedDataset(opts.max_events),
+        opts_(opts),
+        rng_(opts.seed, /*stream=*/12),
+        arrivals_(opts.pickup_rate_per_sec, opts.seed ^ 0x7a1),
+        medallion_dist_(opts.num_medallions, opts.seed ^ 0x7a2, /*theta=*/0.8) {}
+
+  const char* name() const override { return "taxi"; }
+  int num_streams() const override { return 2; }
+
+ protected:
+  bool Refill() override {
+    clock_ms_ += arrivals_.NextGap();
+    SetFrontier(clock_ms_);
+    uint64_t medallion = medallion_dist_.Next();
+
+    double dur_s = rng_.NextExponential(1.0 / opts_.mean_ride_duration_s);
+    uint64_t dropoff = clock_ms_ + static_cast<uint64_t>(dur_s * 1000.0) + 60'000;
+
+    Event pickup;
+    pickup.stream_id = 0;
+    pickup.event_time_ms = clock_ms_;
+    pickup.key = medallion;
+    pickup.value_size = opts_.value_size;
+    pickup.attr = event_attr::kTaxiPickup;
+    Push(pickup);
+
+    Event drop = pickup;
+    drop.event_time_ms = dropoff;
+    drop.attr = event_attr::kTaxiDropoff;
+    drop.expiry_time_ms = dropoff;  // drop-off closes the ride's validity
+    Push(drop);
+
+    // Fare events arrive during the ride on the second stream (paper query:
+    // total fare events for a shared ride before the drop-off timestamp).
+    if (rng_.NextDouble() < opts_.fares_per_trip) {
+      Event fare;
+      fare.stream_id = 1;
+      fare.event_time_ms = clock_ms_ + rng_.NextBounded64(dropoff - clock_ms_);
+      fare.key = medallion;
+      fare.value_size = opts_.value_size;
+      fare.attr = event_attr::kTaxiFare;
+      Push(fare);
+    }
+    return true;
+  }
+
+ private:
+  TaxiOptions opts_;
+  Pcg32 rng_;
+  PoissonArrival arrivals_;
+  ZipfianDistribution medallion_dist_;
+  uint64_t clock_ms_ = 0;
+};
+
+// ---------------------------------------------------------------------- Azure
+
+class AzureGenerator : public SimulatedDataset {
+ public:
+  explicit AzureGenerator(const AzureOptions& opts)
+      : SimulatedDataset(opts.max_events),
+        opts_(opts),
+        rng_(opts.seed, /*stream=*/13),
+        arrivals_(opts.create_rate_per_sec, opts.seed ^ 0xa2e),
+        subscription_dist_(opts.num_subscriptions, opts.seed ^ 0xa2f, opts.zipf_theta) {}
+
+  const char* name() const override { return "azure"; }
+  int num_streams() const override { return 1; }
+
+ protected:
+  bool Refill() override {
+    clock_ms_ += arrivals_.NextGap();
+    SetFrontier(clock_ms_);
+    uint64_t sub = subscription_dist_.Next();
+
+    double life_s = rng_.NextExponential(1.0 / opts_.mean_vm_lifetime_s);
+    uint64_t deleted = clock_ms_ + static_cast<uint64_t>(life_s * 1000.0) + 1000;
+
+    Event create;
+    create.stream_id = 0;
+    create.event_time_ms = clock_ms_;
+    create.key = sub;
+    create.value_size = opts_.value_size;
+    create.attr = event_attr::kAzureVmCreate;
+    Push(create);
+
+    Event del = create;
+    del.event_time_ms = deleted;
+    del.attr = event_attr::kAzureVmDelete;
+    del.expiry_time_ms = deleted;
+    Push(del);
+    return true;
+  }
+
+ private:
+  AzureOptions opts_;
+  Pcg32 rng_;
+  PoissonArrival arrivals_;
+  ZipfianDistribution subscription_dist_;
+  uint64_t clock_ms_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<DatasetGenerator> MakeBorgGenerator(const BorgOptions& opts) {
+  return std::make_unique<BorgGenerator>(opts);
+}
+
+std::unique_ptr<DatasetGenerator> MakeTaxiGenerator(const TaxiOptions& opts) {
+  return std::make_unique<TaxiGenerator>(opts);
+}
+
+std::unique_ptr<DatasetGenerator> MakeAzureGenerator(const AzureOptions& opts) {
+  return std::make_unique<AzureGenerator>(opts);
+}
+
+StatusOr<std::unique_ptr<DatasetGenerator>> MakeDataset(const std::string& name,
+                                                        uint64_t max_events, uint64_t seed) {
+  if (name == "borg") {
+    BorgOptions o;
+    o.max_events = max_events;
+    o.seed = seed;
+    return MakeBorgGenerator(o);
+  }
+  if (name == "taxi") {
+    TaxiOptions o;
+    o.max_events = max_events;
+    o.seed = seed;
+    return MakeTaxiGenerator(o);
+  }
+  if (name == "azure") {
+    AzureOptions o;
+    o.max_events = max_events;
+    o.seed = seed;
+    return MakeAzureGenerator(o);
+  }
+  return Status::InvalidArgument("unknown dataset: " + name);
+}
+
+std::vector<Event> CollectEvents(DatasetGenerator& gen) {
+  std::vector<Event> out;
+  Event e;
+  while (gen.Next(&e)) {
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace gadget

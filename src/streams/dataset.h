@@ -1,0 +1,138 @@
+// Synthetic dataset generators standing in for the paper's three public
+// streams (§3.1.1). Each generator runs a small discrete-event simulation of
+// the domain's entity lifecycles and emits a single event stream ordered by
+// event time. See DESIGN.md §2 for the substitution rationale.
+//
+// All generators are deterministic given a seed and emit at most
+// `max_events` records.
+#ifndef GADGET_STREAMS_DATASET_H_
+#define GADGET_STREAMS_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/streams/event.h"
+
+namespace gadget {
+
+class DatasetGenerator {
+ public:
+  virtual ~DatasetGenerator() = default;
+
+  // Produces the next event in event-time order. Returns false at end.
+  virtual bool Next(Event* out) = 0;
+
+  // Number of logical input streams (2 for datasets that support joins).
+  virtual int num_streams() const { return 1; }
+
+  // Human-readable dataset name ("borg", "taxi", "azure").
+  virtual const char* name() const = 0;
+};
+
+// Shared scaffolding: a min-heap of future events. Subclasses seed the heap
+// and refill it as entities progress through their lifecycle.
+class SimulatedDataset : public DatasetGenerator {
+ public:
+  bool Next(Event* out) final;
+
+ protected:
+  explicit SimulatedDataset(uint64_t max_events) : max_events_(max_events) {}
+
+  void Push(const Event& e) { heap_.push(e); }
+
+  // Called when more arrivals are needed; must advance the arrival clock via
+  // SetFrontier() and push the new lifecycle events. Return false when the
+  // source is exhausted.
+  virtual bool Refill() = 0;
+
+  // The arrival clock: no future Refill may push an event earlier than this,
+  // so heap entries at or before the frontier are safe to emit.
+  void SetFrontier(uint64_t t) { frontier_ms_ = t; }
+
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.event_time_ms > b.event_time_ms;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t max_events_;
+  uint64_t emitted_ = 0;
+  uint64_t frontier_ms_ = 0;
+  bool exhausted_ = false;
+};
+
+// --------------------------------------------------------------------- Borg
+//
+// Cluster trace: bursty job submissions; each job spawns several tasks whose
+// schedule/finish events dominate the volume (paper: 2.5M task events vs 26K
+// job events). Stream 0 = job events, stream 1 = task events. Key = jobID.
+
+struct BorgOptions {
+  uint64_t max_events = 500'000;
+  uint64_t seed = 42;
+  double job_rate_per_sec = 2.0;       // bursty around this average
+  double mean_tasks_per_job = 40.0;    // geometric-ish heavy tail
+  double mean_task_duration_s = 120.0; // exponential
+  uint32_t value_size = 64;
+};
+
+std::unique_ptr<DatasetGenerator> MakeBorgGenerator(const BorgOptions& opts);
+
+// --------------------------------------------------------------------- Taxi
+//
+// TLC trip records: low-rate pickup/drop-off pairs per medallion plus fare
+// events. Rides are long (tens of minutes), which drives Taxi's high delete
+// ratio in short windows (§3.2.1). Stream 0 = trip events, stream 1 = fares.
+// Key = medallionID. Fare events carry expiry = drop-off time (continuous
+// join semantics).
+
+struct TaxiOptions {
+  uint64_t max_events = 500'000;
+  uint64_t seed = 43;
+  uint64_t num_medallions = 13'000;
+  double pickup_rate_per_sec = 5.0;
+  double mean_ride_duration_s = 780.0;  // ~13 minutes
+  double fares_per_trip = 0.5;          // paper: 1M trips, 500K fares
+  uint32_t value_size = 64;
+};
+
+std::unique_ptr<DatasetGenerator> MakeTaxiGenerator(const TaxiOptions& opts);
+
+// -------------------------------------------------------------------- Azure
+//
+// 2017 Azure VM trace: VM creation events keyed by subscription with a
+// heavy-tailed subscription popularity; single stream (joins are not run on
+// Azure, §3.2.1).
+
+struct AzureOptions {
+  uint64_t max_events = 500'000;
+  uint64_t seed = 44;
+  uint64_t num_subscriptions = 6'000;
+  double create_rate_per_sec = 30.0;
+  double mean_vm_lifetime_s = 3600.0;
+  double zipf_theta = 0.9;  // subscription popularity skew
+  uint32_t value_size = 64;
+};
+
+std::unique_ptr<DatasetGenerator> MakeAzureGenerator(const AzureOptions& opts);
+
+// Factory by name with default options ("borg", "taxi", "azure"); max_events
+// and seed override the defaults.
+StatusOr<std::unique_ptr<DatasetGenerator>> MakeDataset(const std::string& name,
+                                                        uint64_t max_events, uint64_t seed);
+
+// Drains a generator into a vector (records only; no watermarks are added).
+std::vector<Event> CollectEvents(DatasetGenerator& gen);
+
+}  // namespace gadget
+
+#endif  // GADGET_STREAMS_DATASET_H_

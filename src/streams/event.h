@@ -1,0 +1,57 @@
+// Input-stream event model.
+//
+// Events carry 64-bit event-time timestamps in milliseconds (§5.1: Gadget
+// assigns 64-bit timestamps that can be replayed at different time units).
+// The `kind` distinguishes data records from watermarks; `stream_id` selects
+// the input of two-input (join) operators.
+#ifndef GADGET_STREAMS_EVENT_H_
+#define GADGET_STREAMS_EVENT_H_
+
+#include <cstdint>
+
+namespace gadget {
+
+enum class EventKind : uint8_t {
+  kRecord = 0,
+  kWatermark = 1,
+};
+
+struct Event {
+  EventKind kind = EventKind::kRecord;
+  uint8_t stream_id = 0;        // 0 or 1 (two-input operators)
+  uint64_t event_time_ms = 0;   // event time (watermark time for watermarks)
+  uint64_t key = 0;             // jobID / medallionID / subscriptionID / ...
+  uint32_t value_size = 0;      // payload size in bytes (content is synthetic)
+  uint32_t attr = 0;            // dataset-specific attribute (see below)
+  uint64_t expiry_time_ms = 0;  // validity deadline; 0 = none (continuous join)
+
+  static Event Watermark(uint64_t t) {
+    Event e;
+    e.kind = EventKind::kWatermark;
+    e.event_time_ms = t;
+    return e;
+  }
+
+  bool is_watermark() const { return kind == EventKind::kWatermark; }
+};
+
+// Values of Event::attr used by the synthetic datasets. Operators that do not
+// care about dataset semantics ignore attr entirely.
+namespace event_attr {
+// Borg (cluster trace): job/task lifecycle.
+inline constexpr uint32_t kBorgJobSubmit = 0;
+inline constexpr uint32_t kBorgTaskSchedule = 1;
+inline constexpr uint32_t kBorgTaskFinish = 2;
+inline constexpr uint32_t kBorgJobFinish = 3;
+// Taxi (TLC trip records): trips and fares.
+inline constexpr uint32_t kTaxiPickup = 10;
+inline constexpr uint32_t kTaxiDropoff = 11;
+inline constexpr uint32_t kTaxiFare = 12;
+// Azure (VM trace): VM lifecycle.
+inline constexpr uint32_t kAzureVmCreate = 20;
+inline constexpr uint32_t kAzureVmDelete = 21;
+}  // namespace event_attr
+
+}  // namespace gadget
+
+#endif  // GADGET_STREAMS_EVENT_H_

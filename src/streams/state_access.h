@@ -1,0 +1,90 @@
+// The state-access record shared by the whole harness.
+//
+// §2.3 defines a state access as a = (p, k, v, t). One record format is used
+// by (i) flinklet's instrumented state backend ("real" traces), (ii) Gadget's
+// workload generator, and (iii) the YCSB generator, so a single replayer and
+// a single analysis toolkit serve all three.
+//
+// State keys are 128-bit (hi, lo) pairs: `hi` typically carries the event key
+// and `lo` a window/timestamp discriminator (the W-ID strategy uses window
+// boundary timestamps as state keys, §3.2.2). EncodeKey produces a 16-byte
+// big-endian string whose lexicographic order equals (hi, lo) numeric order,
+// which keeps ordered stores (LSM, B+tree) meaningful.
+#ifndef GADGET_STREAMS_STATE_ACCESS_H_
+#define GADGET_STREAMS_STATE_ACCESS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gadget {
+
+enum class OpType : uint8_t {
+  kGet = 0,
+  kPut = 1,
+  kMerge = 2,
+  kDelete = 3,
+};
+
+inline const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kGet:
+      return "GET";
+    case OpType::kPut:
+      return "PUT";
+    case OpType::kMerge:
+      return "MERGE";
+    case OpType::kDelete:
+      return "DELETE";
+  }
+  return "?";
+}
+
+struct StateKey {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const StateKey&, const StateKey&) = default;
+  friend auto operator<=>(const StateKey&, const StateKey&) = default;
+};
+
+struct StateKeyHash {
+  size_t operator()(const StateKey& k) const {
+    uint64_t h = k.hi * 0x9e3779b97f4a7c15ULL;
+    h ^= k.lo + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+struct StateAccess {
+  OpType op = OpType::kGet;
+  StateKey key;
+  uint32_t value_size = 0;  // bytes written (0 for get/delete)
+  uint64_t timestamp = 0;   // logical time of the operation (ms)
+};
+
+// 16-byte big-endian encoding, order-preserving.
+inline std::string EncodeStateKey(const StateKey& k) {
+  std::string out(16, '\0');
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>((k.hi >> (56 - 8 * i)) & 0xff);
+    out[8 + i] = static_cast<char>((k.lo >> (56 - 8 * i)) & 0xff);
+  }
+  return out;
+}
+
+inline StateKey DecodeStateKey(std::string_view s) {
+  StateKey k;
+  if (s.size() < 16) {
+    return k;
+  }
+  for (int i = 0; i < 8; ++i) {
+    k.hi = (k.hi << 8) | static_cast<uint8_t>(s[i]);
+    k.lo = (k.lo << 8) | static_cast<uint8_t>(s[8 + i]);
+  }
+  return k;
+}
+
+}  // namespace gadget
+
+#endif  // GADGET_STREAMS_STATE_ACCESS_H_

@@ -1,0 +1,111 @@
+// Binary trace files for event streams and state-access streams.
+//
+// Gadget's offline mode stores generated streams for later replay (§5).
+// Format (both kinds): a fixed header (magic, version, record count) followed
+// by varint-delta-encoded records, CRC32C over the body appended at the end.
+#ifndef GADGET_STREAMS_TRACE_IO_H_
+#define GADGET_STREAMS_TRACE_IO_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/file_util.h"
+#include "src/common/status.h"
+#include "src/streams/event.h"
+#include "src/streams/state_access.h"
+
+namespace gadget {
+
+// ------------------------------------------------------------- event traces
+
+class EventTraceWriter {
+ public:
+  static StatusOr<std::unique_ptr<EventTraceWriter>> Create(const std::string& path);
+
+  Status Append(const Event& e);
+  // Finalizes the header/trailer. Must be called before reading the file.
+  Status Finish();
+
+  uint64_t count() const { return count_; }
+
+ private:
+  explicit EventTraceWriter(std::unique_ptr<WritableFile> file);
+
+  std::unique_ptr<WritableFile> file_;
+  std::string buf_;
+  uint64_t count_ = 0;
+  uint64_t prev_time_ = 0;
+  uint32_t crc_ = 0;
+  std::string path_;
+};
+
+class EventTraceReader {
+ public:
+  static StatusOr<std::unique_ptr<EventTraceReader>> Open(const std::string& path);
+
+  // Returns false at end of trace; Status covers corruption.
+  StatusOr<bool> Next(Event* out);
+
+  uint64_t count() const { return count_; }
+
+ private:
+  EventTraceReader(std::string body, uint64_t count);
+
+  std::string body_;
+  const char* pos_;
+  const char* end_;
+  uint64_t count_;
+  uint64_t read_ = 0;
+  uint64_t prev_time_ = 0;
+};
+
+// ------------------------------------------------------ state-access traces
+
+class AccessTraceWriter {
+ public:
+  static StatusOr<std::unique_ptr<AccessTraceWriter>> Create(const std::string& path);
+
+  Status Append(const StateAccess& a);
+  Status Finish();
+
+  uint64_t count() const { return count_; }
+
+ private:
+  explicit AccessTraceWriter(std::unique_ptr<WritableFile> file);
+
+  std::unique_ptr<WritableFile> file_;
+  std::string buf_;
+  uint64_t count_ = 0;
+  uint64_t prev_time_ = 0;
+  uint32_t crc_ = 0;
+};
+
+class AccessTraceReader {
+ public:
+  static StatusOr<std::unique_ptr<AccessTraceReader>> Open(const std::string& path);
+
+  StatusOr<bool> Next(StateAccess* out);
+
+  uint64_t count() const { return count_; }
+
+ private:
+  AccessTraceReader(std::string body, uint64_t count);
+
+  std::string body_;
+  const char* pos_;
+  const char* end_;
+  uint64_t count_;
+  uint64_t read_ = 0;
+  uint64_t prev_time_ = 0;
+};
+
+// Convenience: read a whole access trace into memory.
+StatusOr<std::vector<StateAccess>> ReadAccessTrace(const std::string& path);
+// Convenience: write a whole access trace.
+Status WriteAccessTrace(const std::string& path, const std::vector<StateAccess>& trace);
+
+}  // namespace gadget
+
+#endif  // GADGET_STREAMS_TRACE_IO_H_

@@ -1,0 +1,87 @@
+#include "src/ycsb/ycsb.h"
+
+#include "src/common/rng.h"
+#include "src/distgen/distribution.h"
+
+namespace gadget {
+
+YcsbOptions YcsbWorkloadA() {
+  YcsbOptions o;
+  o.read_proportion = 0.5;
+  o.update_proportion = 0.5;
+  o.request_distribution = "zipfian";
+  return o;
+}
+
+YcsbOptions YcsbWorkloadD() {
+  YcsbOptions o;
+  o.read_proportion = 0.95;
+  o.update_proportion = 0.0;
+  o.insert_proportion = 0.05;
+  o.request_distribution = "latest";
+  return o;
+}
+
+YcsbOptions YcsbWorkloadF() {
+  YcsbOptions o;
+  o.read_proportion = 0.5;
+  o.update_proportion = 0.0;
+  o.rmw_proportion = 0.5;
+  o.request_distribution = "zipfian";
+  return o;
+}
+
+StatusOr<YcsbWorkload> GenerateYcsb(const YcsbOptions& options) {
+  double total = options.read_proportion + options.update_proportion +
+                 options.insert_proportion + options.rmw_proportion;
+  if (total <= 0.0 || total > 1.0 + 1e-9) {
+    return Status::InvalidArgument("YCSB proportions must sum to 1");
+  }
+  if (options.record_count == 0) {
+    return Status::InvalidArgument("record_count must be positive");
+  }
+  auto dist =
+      CreateDistribution(options.request_distribution, options.record_count, options.seed);
+  if (!dist.ok()) {
+    return dist.status();
+  }
+
+  YcsbWorkload workload;
+  workload.load.reserve(options.record_count);
+  for (uint64_t i = 0; i < options.record_count; ++i) {
+    workload.load.push_back(
+        StateAccess{OpType::kPut, StateKey{i, 0}, options.value_size, i});
+  }
+
+  Pcg32 rng(options.seed ^ 0x9c5b, /*stream=*/31);
+  uint64_t frontier = options.record_count;  // next key to insert
+  workload.run.reserve(options.operation_count);
+  for (uint64_t i = 0; i < options.operation_count; ++i) {
+    double dice = rng.NextDouble() * total;
+    uint64_t t = options.record_count + i;
+    if (dice < options.read_proportion) {
+      workload.run.push_back(StateAccess{OpType::kGet, StateKey{(*dist)->Next(), 0}, 0, t});
+    } else if (dice < options.read_proportion + options.update_proportion) {
+      workload.run.push_back(
+          StateAccess{OpType::kPut, StateKey{(*dist)->Next(), 0}, options.value_size, t});
+    } else if (dice <
+               options.read_proportion + options.update_proportion + options.insert_proportion) {
+      // Inserts extend the key space; the request distribution tracks the
+      // frontier (relevant for "latest").
+      workload.run.push_back(
+          StateAccess{OpType::kPut, StateKey{frontier, 0}, options.value_size, t});
+      ++frontier;
+      (*dist)->GrowDomain(frontier);
+    } else {
+      // Read-modify-write: YCSB issues a read followed by an update of the
+      // same key.
+      uint64_t key = (*dist)->Next();
+      workload.run.push_back(StateAccess{OpType::kGet, StateKey{key, 0}, 0, t});
+      workload.run.push_back(
+          StateAccess{OpType::kPut, StateKey{key, 0}, options.value_size, t});
+    }
+  }
+  return workload;
+}
+
+}  // namespace gadget

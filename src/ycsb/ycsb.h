@@ -1,0 +1,48 @@
+// C++ reimplementation of the YCSB core workload generator (§4, §6.2, §6.3).
+//
+// Produces traces in the same StateAccess format as Gadget and flinklet so
+// the one replayer and one analysis toolkit serve all three. Supports the
+// request distributions the paper sweeps (uniform, zipfian, hotspot,
+// sequential, exponential, latest) and the core workloads used in Fig. 12:
+// A (50/50 read-update), D (read latest), F (read-modify-write).
+//
+// Like YCSB (and unlike streaming workloads): records are preloaded in a
+// load phase, inserted keys are never reused, and there are no deletes (§4).
+#ifndef GADGET_YCSB_YCSB_H_
+#define GADGET_YCSB_YCSB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/streams/state_access.h"
+
+namespace gadget {
+
+struct YcsbOptions {
+  uint64_t record_count = 1'000;       // preloaded distinct keys
+  uint64_t operation_count = 100'000;  // run-phase operations
+  double read_proportion = 0.5;
+  double update_proportion = 0.5;
+  double insert_proportion = 0.0;
+  double rmw_proportion = 0.0;  // read-modify-write (workload F)
+  std::string request_distribution = "zipfian";
+  uint32_t value_size = 256;
+  uint64_t seed = 1;
+};
+
+struct YcsbWorkload {
+  std::vector<StateAccess> load;  // record_count inserts
+  std::vector<StateAccess> run;   // operation_count requests
+};
+
+// Presets matching the YCSB core workloads used in Fig. 12.
+YcsbOptions YcsbWorkloadA();  // 50% read / 50% update, zipfian
+YcsbOptions YcsbWorkloadD();  // 95% read / 5% insert, latest
+YcsbOptions YcsbWorkloadF();  // 50% read / 50% read-modify-write, zipfian
+
+StatusOr<YcsbWorkload> GenerateYcsb(const YcsbOptions& options);
+
+}  // namespace gadget
+
+#endif  // GADGET_YCSB_YCSB_H_

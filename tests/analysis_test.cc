@@ -1,0 +1,296 @@
+// Tests for the analysis toolkit on hand-computable miniature traces, plus
+// statistical sanity checks for the KS test and Wasserstein distance.
+#include <gtest/gtest.h>
+
+#include "src/analysis/metrics.h"
+#include "src/analysis/stats_tests.h"
+
+namespace gadget {
+namespace {
+
+StateAccess Acc(OpType op, uint64_t hi, uint64_t lo = 0, uint64_t t = 0) {
+  return StateAccess{op, StateKey{hi, lo}, op == OpType::kGet ? 0u : 8u, t};
+}
+
+std::vector<StateAccess> KeySeq(std::initializer_list<uint64_t> keys) {
+  std::vector<StateAccess> trace;
+  uint64_t t = 0;
+  for (uint64_t k : keys) {
+    trace.push_back(Acc(OpType::kGet, k, 0, t++));
+  }
+  return trace;
+}
+
+// ------------------------------------------------------------- composition
+
+TEST(CompositionTest, CountsFractions) {
+  std::vector<StateAccess> trace = {
+      Acc(OpType::kGet, 1), Acc(OpType::kGet, 2), Acc(OpType::kPut, 1),
+      Acc(OpType::kMerge, 2), Acc(OpType::kDelete, 1),
+  };
+  OpComposition c = ComputeComposition(trace);
+  EXPECT_EQ(c.total, 5u);
+  EXPECT_DOUBLE_EQ(c.get, 0.4);
+  EXPECT_DOUBLE_EQ(c.put, 0.2);
+  EXPECT_DOUBLE_EQ(c.merge, 0.2);
+  EXPECT_DOUBLE_EQ(c.del, 0.2);
+}
+
+TEST(CompositionTest, EmptyTrace) {
+  OpComposition c = ComputeComposition({});
+  EXPECT_EQ(c.total, 0u);
+  EXPECT_DOUBLE_EQ(c.get, 0.0);
+}
+
+// ------------------------------------------------------------ amplification
+
+TEST(AmplificationTest, ComputesBothRatios) {
+  std::vector<Event> events;
+  for (uint64_t i = 0; i < 10; ++i) {
+    Event e;
+    e.key = i % 2;  // 2 distinct input keys
+    events.push_back(e);
+  }
+  events.push_back(Event::Watermark(5));  // not counted
+  std::vector<StateAccess> trace;
+  for (uint64_t i = 0; i < 30; ++i) {
+    trace.push_back(Acc(OpType::kGet, i % 6, i % 2));  // 6 hi x 2 lo = keys
+  }
+  Amplification amp = ComputeAmplification(events, trace);
+  EXPECT_DOUBLE_EQ(amp.event_amplification, 3.0);
+  EXPECT_EQ(amp.distinct_input_keys, 2u);
+  EXPECT_EQ(amp.distinct_state_keys, 6u);
+  EXPECT_DOUBLE_EQ(amp.key_amplification, 3.0);
+}
+
+// ----------------------------------------------------------- stack distance
+
+TEST(StackDistanceTest, HandComputedSequence) {
+  // Sequence a b a c b a:
+  //   a@2: keys since a@0 = {b}        -> 1
+  //   b@4: keys since b@1 = {a, c}     -> 2
+  //   a@5: keys since a@2 = {c, b}     -> 2
+  auto result = ComputeStackDistances(KeySeq({10, 20, 10, 30, 20, 10}));
+  EXPECT_EQ(result.cold_misses, 3u);
+  ASSERT_EQ(result.distances.size(), 3u);
+  EXPECT_EQ(result.distances[0], 1u);
+  EXPECT_EQ(result.distances[1], 2u);
+  EXPECT_EQ(result.distances[2], 2u);
+}
+
+TEST(StackDistanceTest, RepeatedKeyHasZeroDistance) {
+  auto result = ComputeStackDistances(KeySeq({1, 1, 1, 1}));
+  EXPECT_EQ(result.cold_misses, 1u);
+  ASSERT_EQ(result.distances.size(), 3u);
+  for (uint64_t d : result.distances) {
+    EXPECT_EQ(d, 0u);
+  }
+}
+
+TEST(StackDistanceTest, ShuffledTraceHasHigherMeanDistance) {
+  // A looping pattern has low stack distance; shuffling raises it.
+  std::vector<StateAccess> trace;
+  for (int round = 0; round < 200; ++round) {
+    for (uint64_t k = 0; k < 5; ++k) {
+      trace.push_back(Acc(OpType::kGet, 100 + (static_cast<uint64_t>(round) / 50) * 5 + k));
+    }
+  }
+  auto original = ComputeStackDistances(trace);
+  auto shuffled = ComputeStackDistances(ShuffleTrace(trace, 7));
+  EXPECT_LT(original.Mean(), shuffled.Mean());
+}
+
+TEST(StackDistanceTest, DistancesBoundedByDistinctKeys) {
+  std::vector<StateAccess> trace;
+  for (int i = 0; i < 1000; ++i) {
+    trace.push_back(Acc(OpType::kGet, static_cast<uint64_t>(i * 7919 % 97)));
+  }
+  auto result = ComputeStackDistances(trace);
+  for (uint64_t d : result.distances) {
+    EXPECT_LT(d, 97u);
+  }
+}
+
+// --------------------------------------------------------- unique sequences
+
+TEST(UniqueSequencesTest, HandComputed) {
+  // Keys: 1 2 1 2 1 — distinct 1-grams {1,2}=2; 2-grams {12,21}=2;
+  // 3-grams {121,212}=2; 4-grams {1212,2121}=2.
+  auto counts = CountUniqueSequences(KeySeq({1, 2, 1, 2, 1}), 4);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{2, 2, 2, 2}));
+}
+
+TEST(UniqueSequencesTest, ShuffleIncreasesSequenceCount) {
+  std::vector<StateAccess> trace;
+  for (int round = 0; round < 500; ++round) {
+    for (uint64_t k = 0; k < 4; ++k) {
+      trace.push_back(Acc(OpType::kGet, k));
+    }
+  }
+  auto original = CountUniqueSequences(trace, 6);
+  auto shuffled = CountUniqueSequences(ShuffleTrace(trace, 3), 6);
+  EXPECT_EQ(original[0], shuffled[0]);  // key popularity preserved
+  EXPECT_LT(original[5], shuffled[5]);  // ordering destroyed
+}
+
+TEST(UniqueSequencesTest, ShortTrace) {
+  auto counts = CountUniqueSequences(KeySeq({1, 2}), 5);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);  // no 3-grams in a 2-access trace
+}
+
+// -------------------------------------------------------------- working set
+
+TEST(WorkingSetTest, TracksActiveSpans) {
+  // Key 1 active over [0,3], key 2 over [1,2], key 3 at [4,4].
+  std::vector<StateAccess> trace = {
+      Acc(OpType::kPut, 1, 0, 0), Acc(OpType::kPut, 2, 0, 1), Acc(OpType::kGet, 2, 0, 2),
+      Acc(OpType::kDelete, 1, 0, 3), Acc(OpType::kPut, 3, 0, 4),
+  };
+  auto timeline = ComputeWorkingSetTimeline(trace, 1);
+  ASSERT_EQ(timeline.size(), 5u);
+  EXPECT_EQ(timeline[0].active_keys, 1u);
+  EXPECT_EQ(timeline[1].active_keys, 2u);
+  EXPECT_EQ(timeline[2].active_keys, 2u);
+  EXPECT_EQ(timeline[3].active_keys, 1u);
+  EXPECT_EQ(timeline[4].active_keys, 1u);
+}
+
+TEST(WorkingSetTest, GrowsToFullKeySetThenDrains) {
+  std::vector<StateAccess> trace;
+  for (uint64_t i = 0; i < 100; ++i) {
+    trace.push_back(Acc(OpType::kPut, i % 20, 0, i));  // keys keep recurring
+  }
+  auto timeline = ComputeWorkingSetTimeline(trace, 10);
+  ASSERT_EQ(timeline.size(), 10u);
+  // All 20 keys become active within the first round and stay active until
+  // each key's final access near the end of the trace.
+  EXPECT_EQ(timeline[2].active_keys, 20u);
+  EXPECT_EQ(timeline[7].active_keys, 20u);
+  // The last sample sits inside the final round, where keys progressively
+  // see their last access.
+  EXPECT_LE(timeline[9].active_keys, 20u);
+}
+
+// ---------------------------------------------------------------------- TTL
+
+TEST(TtlTest, SpansFirstToLastAccess) {
+  std::vector<StateAccess> trace = {
+      Acc(OpType::kPut, 1, 0, 0),  // pos 0
+      Acc(OpType::kPut, 2, 0, 1),  // pos 1
+      Acc(OpType::kGet, 1, 0, 2),  // pos 2 -> key 1 ttl = 2
+  };
+  auto ttls = ComputeKeyTtls(trace);
+  std::sort(ttls.begin(), ttls.end());
+  EXPECT_EQ(ttls, (std::vector<uint64_t>{0, 2}));
+}
+
+TEST(TtlTest, Percentiles) {
+  std::vector<uint64_t> values;
+  for (uint64_t i = 1; i <= 100; ++i) {
+    values.push_back(i);
+  }
+  EXPECT_EQ(PercentileOf(values, 0), 1u);
+  EXPECT_EQ(PercentileOf(values, 50), 50u);
+  EXPECT_EQ(PercentileOf(values, 100), 100u);
+  EXPECT_EQ(PercentileOf({}, 50), 0u);
+}
+
+// ------------------------------------------------------------------ KS test
+
+TEST(KsTest, IdenticalSamplesPass) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(i % 97 / 97.0);
+    b.push_back(i % 97 / 97.0);
+  }
+  KsResult r = KsTest(a, b);
+  EXPECT_NEAR(r.d, 0.0, 1e-12);
+  EXPECT_GT(r.p_value, 0.99);
+  EXPECT_FALSE(r.Rejects());
+}
+
+TEST(KsTest, DisjointSamplesReject) {
+  std::vector<double> a(500, 0.1), b(500, 0.9);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] += 0.0001 * static_cast<double>(i);
+    b[i] += 0.0001 * static_cast<double>(i);
+  }
+  KsResult r = KsTest(a, b);
+  EXPECT_GT(r.d, 0.9);
+  EXPECT_TRUE(r.Rejects());
+}
+
+TEST(KsTest, SkewedVsUniformRejects) {
+  std::vector<double> uniform, skewed;
+  for (int i = 0; i < 2000; ++i) {
+    uniform.push_back(i / 2000.0);
+    skewed.push_back((i / 2000.0) * (i / 2000.0));  // quadratic CDF warp
+  }
+  EXPECT_TRUE(KsTest(uniform, skewed).Rejects());
+}
+
+// -------------------------------------------------------------- Wasserstein
+
+TEST(WassersteinTest, IdenticalIsZero) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(Wasserstein1D(a, a), 0.0, 1e-12);
+}
+
+TEST(WassersteinTest, ShiftedByConstant) {
+  std::vector<double> a = {0, 1, 2, 3}, b = {10, 11, 12, 13};
+  EXPECT_NEAR(Wasserstein1D(a, b), 10.0, 1e-9);
+}
+
+TEST(WassersteinTest, ScalesWithDivergence) {
+  std::vector<double> base = {0, 1, 2, 3};
+  std::vector<double> near = {0.5, 1.5, 2.5, 3.5};
+  std::vector<double> far = {5, 6, 7, 8};
+  EXPECT_LT(Wasserstein1D(base, near), Wasserstein1D(base, far));
+}
+
+// --------------------------------------------------------------- rank maps
+
+TEST(RankTest, AggregationStateKeysRankLikeEventKeys) {
+  std::vector<Event> events;
+  std::vector<StateAccess> trace;
+  uint64_t keys[] = {5, 3, 5, 9, 3, 5};
+  for (uint64_t k : keys) {
+    Event e;
+    e.key = k;
+    events.push_back(e);
+    trace.push_back(Acc(OpType::kGet, k, 0));  // aggregation: state key = (k, 0)
+  }
+  KsResult r = KsTest(EventKeyRanks(events), StateKeyRanks(trace));
+  EXPECT_NEAR(r.d, 0.0, 1e-12);  // Table 2: aggregation passes the KS test
+}
+
+TEST(RankTest, WindowKeysDivergeFromEventKeys) {
+  std::vector<Event> events;
+  std::vector<StateAccess> trace;
+  for (int i = 0; i < 3000; ++i) {
+    Event e;
+    e.key = static_cast<uint64_t>(i % 10 == 0 ? 1 : 2);  // highly skewed input
+    events.push_back(e);
+    // Window state keys: unique (key, window) pairs — near-uniform.
+    trace.push_back(Acc(OpType::kGet, e.key, static_cast<uint64_t>(i)));
+  }
+  KsResult r = KsTest(EventKeyRanks(events), StateKeyRanks(trace));
+  EXPECT_TRUE(r.Rejects());
+}
+
+TEST(ShuffleTest, PreservesMultiset) {
+  auto trace = KeySeq({1, 1, 2, 3, 3, 3});
+  auto shuffled = ShuffleTrace(trace, 5);
+  ASSERT_EQ(shuffled.size(), trace.size());
+  std::multiset<uint64_t> a, b;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    a.insert(trace[i].key.hi);
+    b.insert(shuffled[i].key.hi);
+  }
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace gadget

@@ -1,0 +1,103 @@
+// Tests for the cache-model extensions (miss-ratio curves, cache sizing,
+// prefetch simulation) built on the §3.2.3 locality metrics.
+#include <gtest/gtest.h>
+
+#include "src/analysis/cache_model.h"
+#include "src/analysis/metrics.h"
+
+namespace gadget {
+namespace {
+
+StateAccess Acc(uint64_t key) { return StateAccess{OpType::kGet, StateKey{key, 0}, 0, 0}; }
+
+std::vector<StateAccess> Loop(uint64_t keys, int rounds) {
+  std::vector<StateAccess> trace;
+  for (int r = 0; r < rounds; ++r) {
+    for (uint64_t k = 0; k < keys; ++k) {
+      trace.push_back(Acc(k));
+    }
+  }
+  return trace;
+}
+
+TEST(MissRatioTest, LoopHitsOnlyWithFullResidency) {
+  // Cyclic access over 10 keys: LRU thrashes for any cache < 10, hits for
+  // cache >= 10 (the classic sequential-flooding curve).
+  auto trace = Loop(10, 100);
+  auto curve = ComputeMissRatioCurve(trace, {5, 9, 10, 20});
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_GT(curve[0].miss_ratio, 0.99);  // size 5: every access misses
+  EXPECT_GT(curve[1].miss_ratio, 0.99);  // size 9: still thrashing
+  EXPECT_LT(curve[2].miss_ratio, 0.02);  // size 10: only cold misses
+  EXPECT_LT(curve[3].miss_ratio, 0.02);
+}
+
+TEST(MissRatioTest, MonotoneNonIncreasing) {
+  std::vector<StateAccess> trace;
+  for (int i = 0; i < 5000; ++i) {
+    trace.push_back(Acc(static_cast<uint64_t>(i * 2654435761u % 300)));
+  }
+  auto curve = ComputeMissRatioCurve(trace, {1, 4, 16, 64, 256, 1024});
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].miss_ratio, curve[i - 1].miss_ratio + 1e-12);
+  }
+}
+
+TEST(MissRatioTest, SingleKeyAlwaysHitsAfterCold) {
+  auto trace = Loop(1, 1000);
+  auto curve = ComputeMissRatioCurve(trace, {1});
+  EXPECT_NEAR(curve[0].miss_ratio, 1.0 / 1000.0, 1e-9);
+}
+
+TEST(RecommendCacheTest, FindsLoopResidency) {
+  auto trace = Loop(50, 100);
+  uint64_t size = RecommendCacheSize(trace, 0.05);
+  EXPECT_GE(size, 50u);
+  EXPECT_LE(size, 100u);  // geometric sampling overshoot bounded
+}
+
+TEST(RecommendCacheTest, ImpossibleTargetReturnsZero) {
+  // Every access is to a fresh key: cold misses dominate, no cache helps.
+  std::vector<StateAccess> trace;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    trace.push_back(Acc(i));
+  }
+  EXPECT_EQ(RecommendCacheSize(trace, 0.05), 0u);
+}
+
+TEST(PrefetchTest, PerfectlyPeriodicTraceIsFullyPredictable) {
+  auto trace = Loop(8, 200);
+  PrefetchResult r = SimulatePrefetch(trace, 1);
+  // After the first loop everything is predicted.
+  EXPECT_GT(r.hit_fraction(), 0.95);
+}
+
+TEST(PrefetchTest, ShuffledTraceIsUnpredictable) {
+  auto trace = Loop(64, 50);
+  PrefetchResult periodic = SimulatePrefetch(trace, 2);
+  PrefetchResult shuffled = SimulatePrefetch(ShuffleTrace(trace, 9), 2);
+  EXPECT_GT(periodic.hit_fraction(), 0.9);
+  EXPECT_LT(shuffled.hit_fraction(), 0.3);
+}
+
+TEST(PrefetchTest, MoreSlotsNeverHurt) {
+  std::vector<StateAccess> trace;
+  // Alternating successors: after key 0 comes 1 or 2 alternately.
+  for (int i = 0; i < 500; ++i) {
+    trace.push_back(Acc(0));
+    trace.push_back(Acc(i % 2 == 0 ? 1 : 2));
+  }
+  PrefetchResult one = SimulatePrefetch(trace, 1);
+  PrefetchResult two = SimulatePrefetch(trace, 2);
+  EXPECT_GE(two.predicted, one.predicted);
+  EXPECT_GT(two.hit_fraction(), 0.9);  // both successors fit in 2 slots
+  EXPECT_LT(one.hit_fraction(), 0.6);  // one slot keeps getting replaced
+}
+
+TEST(PrefetchTest, EmptyAndDegenerate) {
+  EXPECT_EQ(SimulatePrefetch({}, 2).accesses, 0u);
+  EXPECT_EQ(SimulatePrefetch(Loop(3, 5), 0).predicted, 0u);
+}
+
+}  // namespace
+}  // namespace gadget

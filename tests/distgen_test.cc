@@ -1,0 +1,238 @@
+// Tests for the distribution generators: range correctness, determinism,
+// skew properties, and factory behaviour. Parameterized sweeps check every
+// distribution family against shared invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/distgen/arrival.h"
+#include "src/distgen/distribution.h"
+
+namespace gadget {
+namespace {
+
+// ---------------------------------------------------- shared property sweep
+
+struct DistCase {
+  const char* name;
+  uint64_t domain;
+};
+
+class DistributionPropertyTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionPropertyTest, StaysInDomain) {
+  const DistCase& c = GetParam();
+  auto dist = CreateDistribution(c.name, c.domain, /*seed=*/1234);
+  ASSERT_TRUE(dist.ok()) << c.name;
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LT((*dist)->Next(), c.domain) << c.name;
+  }
+}
+
+TEST_P(DistributionPropertyTest, DeterministicGivenSeed) {
+  const DistCase& c = GetParam();
+  auto a = CreateDistribution(c.name, c.domain, 77);
+  auto b = CreateDistribution(c.name, c.domain, 77);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ((*a)->Next(), (*b)->Next()) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, DistributionPropertyTest,
+    ::testing::Values(DistCase{"uniform", 1000}, DistCase{"uniform", 1},
+                      DistCase{"zipfian", 1000}, DistCase{"zipfian", 10},
+                      DistCase{"scrambled_zipfian", 1000}, DistCase{"hotspot", 1000},
+                      DistCase{"sequential", 64}, DistCase{"exponential", 1000},
+                      DistCase{"latest", 1000}),
+    [](const auto& info) {
+      return std::string(info.param.name) + "_" + std::to_string(info.param.domain);
+    });
+
+// ------------------------------------------------------- per-family checks
+
+TEST(UniformTest, CoversDomainEvenly) {
+  UniformDistribution dist(10, 5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[dist.Next()];
+  }
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [v, n] : counts) {
+    EXPECT_NEAR(n, 10000, 600) << "value " << v;
+  }
+}
+
+TEST(ZipfianTest, HeadIsHot) {
+  ZipfianDistribution dist(1000, 5);
+  std::map<uint64_t, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[dist.Next()];
+  }
+  // With theta=0.99, item 0 gets a large share and the top-10 dominate.
+  EXPECT_GT(counts[0], n / 20);
+  int top10 = 0;
+  for (uint64_t v = 0; v < 10; ++v) {
+    top10 += counts[v];
+  }
+  EXPECT_GT(top10, n / 3);
+}
+
+TEST(ZipfianTest, GrowDomainKeepsSampling) {
+  ZipfianDistribution dist(100, 5);
+  dist.GrowDomain(200);
+  EXPECT_EQ(dist.domain(), 200u);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(dist.Next(), 200u);
+  }
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotKeys) {
+  ScrambledZipfianDistribution dist(1000, 5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[dist.Next()];
+  }
+  // The two hottest keys should NOT be adjacent (scrambling spreads them).
+  std::vector<std::pair<int, uint64_t>> by_count;
+  for (const auto& [v, n] : counts) {
+    by_count.push_back({n, v});
+  }
+  std::sort(by_count.rbegin(), by_count.rend());
+  uint64_t hot0 = by_count[0].second, hot1 = by_count[1].second;
+  EXPECT_GT(hot0 > hot1 ? hot0 - hot1 : hot1 - hot0, 1u);
+}
+
+TEST(HotspotTest, HotSetGetsHotFraction) {
+  HotspotDistribution dist(1000, 5, 0.2, 0.8);
+  int hot = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (dist.Next() < 200) {
+      ++hot;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.8, 0.02);
+}
+
+TEST(SequentialTest, CyclesInOrder) {
+  SequentialDistribution dist(5);
+  std::vector<uint64_t> got;
+  for (int i = 0; i < 12; ++i) {
+    got.push_back(dist.Next());
+  }
+  EXPECT_EQ(got, (std::vector<uint64_t>{0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1}));
+}
+
+TEST(ExponentialTest, MassConcentratesLow) {
+  ExponentialDistribution dist(1000, 5);
+  int low = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (dist.Next() < 500) {
+      ++low;
+    }
+  }
+  EXPECT_GT(static_cast<double>(low) / n, 0.7);
+}
+
+TEST(LatestTest, SkewsTowardFrontier) {
+  LatestDistribution dist(1000, 5);
+  int recent = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (dist.Next() >= 990) {
+      ++recent;
+    }
+  }
+  // Last 1% of the keyspace should receive far more than 1% of requests.
+  EXPECT_GT(static_cast<double>(recent) / n, 0.2);
+}
+
+TEST(LatestTest, TracksGrowingFrontier) {
+  LatestDistribution dist(100, 5);
+  dist.GrowDomain(10000);
+  int beyond_old = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (dist.Next() >= 100) {
+      ++beyond_old;
+    }
+  }
+  EXPECT_GT(beyond_old, 900);
+}
+
+TEST(ConstantTest, AlwaysSameValue) {
+  ConstantDistribution dist(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(dist.Next(), 42u);
+  }
+}
+
+TEST(EcdfTest, InterpolatesBetweenPoints) {
+  auto dist = EcdfDistribution::Create({{0, 0.0}, {100, 0.5}, {1000, 1.0}}, 5);
+  ASSERT_TRUE(dist.ok());
+  int low = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = (*dist)->Next();
+    ASSERT_LE(v, 1000u);
+    if (v <= 100) {
+      ++low;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.5, 0.02);
+}
+
+TEST(EcdfTest, RejectsBadInput) {
+  EXPECT_FALSE(EcdfDistribution::Create({}, 5).ok());
+  EXPECT_FALSE(EcdfDistribution::Create({{0, 0.5}, {10, 0.4}}, 5).ok());   // decreasing prob
+  EXPECT_FALSE(EcdfDistribution::Create({{0, 0.1}, {10, 0.9}}, 5).ok());   // doesn't reach 1
+}
+
+TEST(FactoryTest, RejectsUnknownName) {
+  EXPECT_FALSE(CreateDistribution("gaussian-ish", 10, 1).ok());
+}
+
+// ----------------------------------------------------------------- arrivals
+
+TEST(ArrivalTest, ConstantRate) {
+  ConstantArrival arrivals(10);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(arrivals.NextGap(), 10u);
+  }
+}
+
+TEST(ArrivalTest, PoissonMeanGap) {
+  PoissonArrival arrivals(100.0, 7);  // 100 events/s -> mean gap 10ms
+  uint64_t total = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    total += arrivals.NextGap();
+  }
+  EXPECT_NEAR(static_cast<double>(total) / n, 10.0, 0.5);
+}
+
+TEST(ArrivalTest, BurstyAlternatesRates) {
+  BurstyArrival arrivals(1000.0, 10.0, 5000.0, 5000.0, 7);
+  // Long-run average between busy gap (1ms) and idle gap (100ms).
+  uint64_t total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    total += arrivals.NextGap();
+  }
+  double mean = static_cast<double>(total) / n;
+  EXPECT_GT(mean, 1.0);
+  EXPECT_LT(mean, 100.0);
+}
+
+TEST(ArrivalTest, FactoryValidation) {
+  EXPECT_FALSE(CreateArrivalProcess("poisson", -1.0, 1).ok());
+  EXPECT_FALSE(CreateArrivalProcess("weibull", 10.0, 1).ok());
+  EXPECT_TRUE(CreateArrivalProcess("bursty", 10.0, 1).ok());
+}
+
+}  // namespace
+}  // namespace gadget

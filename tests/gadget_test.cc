@@ -1,0 +1,336 @@
+// Tests for the Gadget harness: event generator, driver/state machines,
+// workload generation (incl. fidelity vs flinklet traces), the custom
+// operator extension API, and the performance evaluator.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/file_util.h"
+#include "src/flinklet/runtime.h"
+#include "src/gadget/evaluator.h"
+#include "src/gadget/event_generator.h"
+#include "src/gadget/workload.h"
+#include "src/streams/trace_io.h"
+
+namespace gadget {
+namespace {
+
+// ----------------------------------------------------------- event generator
+
+TEST(EventGeneratorTest, ProducesRequestedCountAndWatermarks) {
+  EventGeneratorOptions opts;
+  opts.num_events = 1000;
+  opts.watermark_every = 100;
+  auto source = MakeEventGenerator(opts);
+  ASSERT_TRUE(source.ok());
+  uint64_t records = 0, watermarks = 0;
+  Event e;
+  while ((*source)->Next(&e)) {
+    if (e.is_watermark()) {
+      ++watermarks;
+    } else {
+      ++records;
+    }
+  }
+  EXPECT_EQ(records, 1000u);
+  EXPECT_EQ(watermarks, 10u);
+}
+
+TEST(EventGeneratorTest, KeysFollowConfiguredDomain) {
+  EventGeneratorOptions opts;
+  opts.num_events = 5000;
+  opts.num_keys = 50;
+  opts.key_distribution = "uniform";
+  auto source = MakeEventGenerator(opts);
+  ASSERT_TRUE(source.ok());
+  std::set<uint64_t> keys;
+  Event e;
+  while ((*source)->Next(&e)) {
+    if (!e.is_watermark()) {
+      ASSERT_LT(e.key, 50u);
+      keys.insert(e.key);
+    }
+  }
+  EXPECT_EQ(keys.size(), 50u);
+}
+
+TEST(EventGeneratorTest, OutOfOrderEventsAreLate) {
+  EventGeneratorOptions opts;
+  opts.num_events = 10'000;
+  opts.out_of_order_fraction = 0.2;
+  opts.max_lateness_ms = 500;
+  opts.arrival_process = "constant";
+  opts.rate_per_sec = 1000.0;
+  auto source = MakeEventGenerator(opts);
+  ASSERT_TRUE(source.ok());
+  uint64_t head = 0;
+  uint64_t late = 0, total = 0;
+  Event e;
+  while ((*source)->Next(&e)) {
+    if (e.is_watermark()) {
+      continue;
+    }
+    ++total;
+    if (e.event_time_ms < head) {
+      ++late;
+      EXPECT_GE(e.event_time_ms + opts.max_lateness_ms, head);
+    }
+    head = std::max(head, e.event_time_ms);
+  }
+  EXPECT_NEAR(static_cast<double>(late) / static_cast<double>(total), 0.2, 0.03);
+}
+
+TEST(EventGeneratorTest, TwoStreamsRoundRobin) {
+  EventGeneratorOptions opts;
+  opts.num_events = 100;
+  opts.num_streams = 2;
+  opts.watermark_every = 0;
+  auto source = MakeEventGenerator(opts);
+  ASSERT_TRUE(source.ok());
+  Event e;
+  int i = 0;
+  while ((*source)->Next(&e)) {
+    EXPECT_EQ(e.stream_id, i % 2);
+    ++i;
+  }
+}
+
+TEST(EventGeneratorTest, ReplaySourceAddsWatermarks) {
+  auto dataset = MakeDataset("azure", 500, 5);
+  ASSERT_TRUE(dataset.ok());
+  auto source = MakeReplaySource(std::move(*dataset), 50);
+  uint64_t records = 0, watermarks = 0;
+  uint64_t max_time = 0;
+  Event e;
+  while (source->Next(&e)) {
+    if (e.is_watermark()) {
+      ++watermarks;
+      EXPECT_LE(e.event_time_ms, max_time);
+    } else {
+      max_time = std::max(max_time, e.event_time_ms);
+      ++records;
+    }
+  }
+  EXPECT_EQ(records, 500u);
+  EXPECT_EQ(watermarks, 10u);
+}
+
+// --------------------------------------------------------------- the driver
+
+TEST(DriverTest, TumblingIncrEmitsFigure9Pattern) {
+  std::vector<StateAccess> queue;
+  auto logic = MakeOperatorLogic("tumbling_incr");
+  ASSERT_TRUE(logic.ok());
+  Driver driver(std::move(*logic), &queue);
+  OperatorConfig cfg;
+  driver.set_config(cfg);
+
+  Event e;
+  e.event_time_ms = 100;
+  e.key = 1;
+  e.value_size = 64;
+  ASSERT_TRUE(driver.OnEvent(e).ok());
+  e.event_time_ms = 200;
+  ASSERT_TRUE(driver.OnEvent(e).ok());
+  ASSERT_TRUE(driver.OnWatermark(10'000).ok());
+
+  ASSERT_EQ(queue.size(), 6u);
+  EXPECT_EQ(queue[0].op, OpType::kGet);
+  EXPECT_EQ(queue[1].op, OpType::kPut);
+  EXPECT_EQ(queue[2].op, OpType::kGet);
+  EXPECT_EQ(queue[3].op, OpType::kPut);
+  EXPECT_EQ(queue[4].op, OpType::kGet);     // FGet on trigger
+  EXPECT_EQ(queue[5].op, OpType::kDelete);  // cleanup
+  EXPECT_EQ(queue[0].key, (StateKey{1, 5000}));
+  EXPECT_EQ(driver.num_machines(), 0u);  // terminated
+}
+
+TEST(DriverTest, MachinesAreDroppedAfterTermination) {
+  std::vector<StateAccess> queue;
+  auto logic = MakeOperatorLogic("sliding_incr");
+  ASSERT_TRUE(logic.ok());
+  Driver driver(std::move(*logic), &queue);
+  OperatorConfig cfg;
+  cfg.window_length_ms = 5000;
+  cfg.window_slide_ms = 1000;
+  driver.set_config(cfg);
+  Event e;
+  e.event_time_ms = 10'000;
+  e.key = 3;
+  ASSERT_TRUE(driver.OnEvent(e).ok());
+  EXPECT_EQ(driver.num_machines(), 5u);  // one per assigned window
+  ASSERT_TRUE(driver.OnWatermark(20'000).ok());
+  EXPECT_EQ(driver.num_machines(), 0u);
+}
+
+TEST(DriverTest, AggregationMachinesPersist) {
+  std::vector<StateAccess> queue;
+  auto logic = MakeOperatorLogic("aggregation");
+  ASSERT_TRUE(logic.ok());
+  Driver driver(std::move(*logic), &queue);
+  for (uint64_t k = 0; k < 10; ++k) {
+    Event e;
+    e.event_time_ms = 100 + k;
+    e.key = k;
+    ASSERT_TRUE(driver.OnEvent(e).ok());
+  }
+  ASSERT_TRUE(driver.OnWatermark(1'000'000).ok());
+  EXPECT_EQ(driver.num_machines(), 10u);  // aggregation never expires
+}
+
+// ------------------------------------------------- custom operator (§5.4)
+
+// A user-defined operator: counts events per key and deletes state every
+// second event (a toy dedup / toggle).
+class ToggleLogic : public OperatorLogic {
+ public:
+  const char* name() const override { return "toggle"; }
+
+  std::vector<StateKey> AssignStateMachines(const Event& e, Driver& driver) override {
+    StateKey key{e.key, 0};
+    driver.GetOrCreateMachine(key, e.event_time_ms);
+    return {key};
+  }
+
+  void Run(StateMachine& m, const Event& e, Driver& driver, OpEmitter& out) override {
+    if (m.state == 0) {
+      out.Emit(OpType::kPut, m.key, e.value_size, e.event_time_ms);
+      m.state = 1;
+    } else {
+      out.Emit(OpType::kDelete, m.key, 0, e.event_time_ms);
+      m.state = 0;
+    }
+  }
+
+  void Terminate(StateMachine& m, uint64_t fire_time, Driver& driver, OpEmitter& out) override {
+    driver.DropMachine(m.key);
+  }
+};
+
+TEST(CustomOperatorTest, ExtensionApiWorks) {
+  EventGeneratorOptions gen;
+  gen.num_events = 10;
+  gen.num_keys = 1;
+  gen.watermark_every = 0;
+  auto source = MakeEventGenerator(gen);
+  ASSERT_TRUE(source.ok());
+  auto result = GenerateWorkload(std::make_unique<ToggleLogic>(), **source, OperatorConfig{});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->trace.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(result->trace[i].op, i % 2 == 0 ? OpType::kPut : OpType::kDelete);
+  }
+}
+
+// --------------------------------------------- workload generation + files
+
+TEST(WorkloadTest, OfflineModeRoundTrips) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/workload.trace";
+  EventGeneratorOptions gen;
+  gen.num_events = 2'000;
+  auto source = MakeEventGenerator(gen);
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE(GenerateWorkloadToFile("tumbling_incr", **source, OperatorConfig{}, path).ok());
+  auto trace = ReadAccessTrace(path);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GT(trace->size(), 4'000u);  // >= 2 accesses per event
+}
+
+class GadgetFidelityTest : public ::testing::TestWithParam<std::string> {};
+
+// The heart of §6.1 / Fig. 10: Gadget's simulated trace must match the
+// structure of the flinklet ("real") trace on the same input.
+TEST_P(GadgetFidelityTest, TraceMatchesFlinkletOnBorg) {
+  const std::string op = GetParam();
+  // Identical event streams for both systems.
+  auto d1 = MakeDataset("borg", 10'000, 17);
+  ASSERT_TRUE(d1.ok());
+  PipelineOptions popts;
+  auto real = RunPipeline(op, **d1, popts);
+  ASSERT_TRUE(real.ok()) << real.status().ToString();
+
+  auto d2 = MakeDataset("borg", 10'000, 17);
+  ASSERT_TRUE(d2.ok());
+  auto source = MakeReplaySource(std::move(*d2), popts.watermark_every);
+  auto sim = GenerateWorkload(op, *source, popts.operator_config);
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+
+  // Same number of accesses, same op mix, same key sequence.
+  ASSERT_EQ(sim->trace.size(), real->trace.size()) << op;
+  size_t mismatches = 0;
+  for (size_t i = 0; i < sim->trace.size(); ++i) {
+    if (sim->trace[i].op != real->trace[i].op || sim->trace[i].key != real->trace[i].key) {
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0u) << op;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, GadgetFidelityTest, ::testing::ValuesIn(AllOperatorNames()),
+                         [](const auto& info) { return info.param; });
+
+// ----------------------------------------------------------------- replayer
+
+TEST(EvaluatorTest, ReplaysAgainstStore) {
+  ScopedTempDir dir;
+  auto store = OpenStore("lsm", dir.path() + "/db");
+  ASSERT_TRUE(store.ok());
+  std::vector<StateAccess> trace;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    trace.push_back(StateAccess{OpType::kPut, StateKey{i % 50, 0}, 64, i});
+    trace.push_back(StateAccess{OpType::kGet, StateKey{i % 50, 0}, 0, i});
+  }
+  auto result = ReplayTrace(trace, store->get());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->ops, 2000u);
+  EXPECT_GT(result->throughput_ops_per_sec, 0);
+  EXPECT_EQ(result->not_found, 0u);
+  EXPECT_EQ(result->latency_ns.count(), 2000u);
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+TEST(EvaluatorTest, TranslatesMergeForStoresWithoutIt) {
+  ScopedTempDir dir;
+  auto store = OpenStore("faster", dir.path() + "/db");
+  ASSERT_TRUE(store.ok());
+  std::vector<StateAccess> trace = {
+      StateAccess{OpType::kMerge, StateKey{1, 0}, 8, 0},
+      StateAccess{OpType::kMerge, StateKey{1, 0}, 8, 1},
+      StateAccess{OpType::kGet, StateKey{1, 0}, 0, 2},
+  };
+  auto result = ReplayTrace(trace, store->get());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string value;
+  ASSERT_TRUE((*store)->Get(EncodeStateKey(StateKey{1, 0}), &value).ok());
+  EXPECT_EQ(value.size(), 16u);  // two appended operands
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+TEST(EvaluatorTest, MaxOpsLimitsReplay) {
+  ScopedTempDir dir;
+  auto store = OpenStore("mem", "");
+  ASSERT_TRUE(store.ok());
+  std::vector<StateAccess> trace(100, StateAccess{OpType::kPut, StateKey{1, 0}, 8, 0});
+  ReplayOptions opts;
+  opts.max_ops = 10;
+  auto result = ReplayTrace(trace, store->get(), opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ops, 10u);
+}
+
+TEST(EvaluatorTest, ServiceRatePacesReplay) {
+  ScopedTempDir dir;
+  auto store = OpenStore("mem", "");
+  ASSERT_TRUE(store.ok());
+  std::vector<StateAccess> trace(50, StateAccess{OpType::kPut, StateKey{1, 0}, 8, 0});
+  ReplayOptions opts;
+  opts.service_rate_ops_per_sec = 1000;  // 50 ops should take >= ~49ms
+  auto result = ReplayTrace(trace, store->get(), opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->elapsed_seconds, 0.04);
+}
+
+}  // namespace
+}  // namespace gadget

@@ -1,0 +1,121 @@
+// Tests for the config-driven harness behind the `gadget` CLI: all modes,
+// config validation, and trace-file interop between modes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/common/file_util.h"
+#include "src/gadget/harness.h"
+
+namespace gadget {
+namespace {
+
+Config Parse(const std::string& text) {
+  auto config = Config::ParseString(text);
+  EXPECT_TRUE(config.ok());
+  return *config;
+}
+
+TEST(HarnessTest, OnlineModeEndToEnd) {
+  std::ostringstream out;
+  Status s = RunHarness(Parse("mode = online\n"
+                              "operator = tumbling_incr\n"
+                              "events = 5000\n"
+                              "store = mem\n"),
+                        out);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(out.str().find("operator tumbling_incr"), std::string::npos);
+  EXPECT_NE(out.str().find("mem:"), std::string::npos);
+}
+
+TEST(HarnessTest, AnalyzeFlagAddsMetrics) {
+  std::ostringstream out;
+  Status s = RunHarness(Parse("events = 3000\nstore = mem\nanalyze = true\n"), out);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NE(out.str().find("temporal locality"), std::string::npos);
+  EXPECT_NE(out.str().find("cache sizing"), std::string::npos);
+  EXPECT_NE(out.str().find("prefetchability"), std::string::npos);
+}
+
+TEST(HarnessTest, OfflineThenReplayRoundTrip) {
+  ScopedTempDir dir;
+  const std::string trace = dir.path() + "/t.gtrace";
+  std::ostringstream out1;
+  Status s = RunHarness(Parse("mode = offline\n"
+                              "operator = sliding_incr\n"
+                              "events = 4000\n"
+                              "trace_out = " + trace + "\n"),
+                        out1);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(FileExists(trace));
+
+  std::ostringstream out2;
+  s = RunHarness(Parse("mode = replay\nstore = mem\ntrace_in = " + trace + "\n"), out2);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(out2.str().find("loaded"), std::string::npos);
+}
+
+TEST(HarnessTest, AnalyzeModeReadsTraceFile) {
+  ScopedTempDir dir;
+  const std::string trace = dir.path() + "/t.gtrace";
+  std::ostringstream out1;
+  ASSERT_TRUE(RunHarness(Parse("mode = offline\nevents = 2000\ntrace_out = " + trace + "\n"),
+                         out1)
+                  .ok());
+  std::ostringstream out2;
+  Status s = RunHarness(Parse("mode = analyze\ntrace_in = " + trace + "\n"), out2);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NE(out2.str().find("composition"), std::string::npos);
+}
+
+TEST(HarnessTest, YcsbMode) {
+  std::ostringstream out;
+  Status s = RunHarness(Parse("mode = ycsb\n"
+                              "ycsb_workload = A\n"
+                              "ycsb_records = 100\n"
+                              "events = 5000\n"
+                              "store = mem\n"),
+                        out);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(out.str().find("ycsb workload A"), std::string::npos);
+}
+
+TEST(HarnessTest, DatasetSource) {
+  std::ostringstream out;
+  Status s = RunHarness(Parse("source = taxi\n"
+                              "operator = join_cont\n"
+                              "events = 4000\n"
+                              "store = mem\n"),
+                        out);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(HarnessTest, ValidationErrors) {
+  std::ostringstream out;
+  EXPECT_TRUE(RunHarness(Parse("mode = dance\n"), out).IsInvalidArgument());
+  EXPECT_TRUE(RunHarness(Parse("mode = offline\n"), out).IsInvalidArgument());  // no trace_out
+  EXPECT_TRUE(RunHarness(Parse("mode = replay\n"), out).IsInvalidArgument());   // no trace_in
+  EXPECT_TRUE(RunHarness(Parse("mode = ycsb\nycsb_workload = Z\n"), out).IsInvalidArgument());
+  EXPECT_TRUE(RunHarness(Parse("operator = quantum_window\nstore = mem\n"), out)
+                  .IsInvalidArgument());
+  EXPECT_FALSE(RunHarness(Parse("store = papyrus\nevents = 100\n"), out).ok());
+}
+
+TEST(HarnessTest, OperatorConfigKeysAreApplied) {
+  // A 1-hour window over a short stream never fires before the final
+  // watermark -> exactly one delete per (key, window) at flush; with the
+  // default 5s window there would be many more windows. Compare trace sizes.
+  std::ostringstream out_small, out_large;
+  ASSERT_TRUE(RunHarness(Parse("events = 3000\nstore = mem\nwindow_length_ms = 1000\n"),
+                         out_small)
+                  .ok());
+  ASSERT_TRUE(RunHarness(Parse("events = 3000\nstore = mem\nwindow_length_ms = 3600000\n"),
+                         out_large)
+                  .ok());
+  // Different window lengths must change the generated workload size
+  // (more firings -> more accesses).
+  EXPECT_NE(out_small.str(), out_large.str());
+}
+
+}  // namespace
+}  // namespace gadget

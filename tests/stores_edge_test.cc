@@ -1,0 +1,255 @@
+// Edge-case tests for the storage engines: boundary value sizes, key
+// ordering at the encoding level, cache-pressure behaviour, FASTER region
+// transitions, B+tree page boundary conditions, and Lethe-vs-LSM contrast.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/file_util.h"
+#include "src/stores/btree/btree_store.h"
+#include "src/stores/faster/faster_store.h"
+#include "src/stores/kvstore.h"
+#include "src/stores/lsm/lsm_store.h"
+#include "src/streams/state_access.h"
+
+namespace gadget {
+namespace {
+
+// ------------------------------------------------------- value-size sweeps
+
+class ValueSizeTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(ValueSizeTest, RoundTripsExactBytes) {
+  const auto& [engine, size] = GetParam();
+  ScopedTempDir dir;
+  auto store = OpenStore(engine, dir.path() + "/db");
+  ASSERT_TRUE(store.ok());
+  std::string value;
+  value.reserve(static_cast<size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    value.push_back(static_cast<char>(i * 131 + 7));
+  }
+  ASSERT_TRUE((*store)->Put("k", value).ok());
+  std::string got;
+  ASSERT_TRUE((*store)->Get("k", &got).ok());
+  EXPECT_EQ(got, value);
+  // Survive a flush cycle too.
+  ASSERT_TRUE((*store)->Flush().ok());
+  ASSERT_TRUE((*store)->Get("k", &got).ok());
+  EXPECT_EQ(got, value);
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ValueSizeTest,
+    ::testing::Combine(::testing::Values("lsm", "faster", "btree"),
+                       ::testing::Values(0, 1, 255, 1024, 4096, 4097, 65536, 1'000'000)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::to_string(std::get<1>(info.param)) + "b";
+    });
+
+// -------------------------------------------------------------- key quirks
+
+TEST(KeyEdgeTest, BinaryKeysWithEmbeddedZeros) {
+  for (const char* engine : {"lsm", "faster", "btree"}) {
+    ScopedTempDir dir;
+    auto store = OpenStore(engine, dir.path() + "/db");
+    ASSERT_TRUE(store.ok()) << engine;
+    std::string k1("\x00\x01\x00", 3);
+    std::string k2("\x00\x01\x00\x00", 4);  // prefix of nothing: distinct key
+    ASSERT_TRUE((*store)->Put(k1, "one").ok());
+    ASSERT_TRUE((*store)->Put(k2, "two").ok());
+    std::string value;
+    ASSERT_TRUE((*store)->Get(k1, &value).ok()) << engine;
+    EXPECT_EQ(value, "one");
+    ASSERT_TRUE((*store)->Get(k2, &value).ok()) << engine;
+    EXPECT_EQ(value, "two");
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+}
+
+TEST(KeyEdgeTest, StateKeyEncodingAgreesWithStoreOrdering) {
+  // Writes via encoded StateKeys and checks extremes round-trip.
+  ScopedTempDir dir;
+  auto store = OpenStore("btree", dir.path() + "/db");
+  ASSERT_TRUE(store.ok());
+  StateKey keys[] = {{0, 0}, {0, ~0ull}, {~0ull, 0}, {~0ull, ~0ull}, {1ull << 63, 42}};
+  for (const StateKey& k : keys) {
+    ASSERT_TRUE((*store)->Put(EncodeStateKey(k), std::to_string(k.hi ^ k.lo)).ok());
+  }
+  std::string value;
+  for (const StateKey& k : keys) {
+    ASSERT_TRUE((*store)->Get(EncodeStateKey(k), &value).ok());
+    EXPECT_EQ(value, std::to_string(k.hi ^ k.lo));
+  }
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+// ----------------------------------------------------------- cache pressure
+
+TEST(CachePressureTest, LsmReadsWorkWithTinyCache) {
+  ScopedTempDir dir;
+  LsmOptions opts;
+  opts.write_buffer_size = 16 * 1024;
+  opts.block_cache_bytes = 4 * 1024;  // pathological: ~1 block
+  auto store = LsmStore::Open(dir.path(), opts);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE((*store)->Put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  std::string value;
+  for (int i = 0; i < 2000; i += 7) {
+    ASSERT_TRUE((*store)->Get("key" + std::to_string(i), &value).ok()) << i;
+    EXPECT_EQ(value, "v" + std::to_string(i));
+  }
+  StoreStats stats = (*store)->stats();
+  EXPECT_GT(stats.cache_misses, 0u);
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+TEST(CachePressureTest, BTreeEvictsDirtyPagesCorrectly) {
+  ScopedTempDir dir;
+  BTreeOptions opts;
+  opts.page_size = 512;
+  opts.cache_bytes = 2 * 1024;  // 4 pages
+  auto store = BTreeStore::Open(dir.path(), opts);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE((*store)->Put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  std::string value;
+  for (int i = 0; i < 2000; i += 13) {
+    ASSERT_TRUE((*store)->Get("key" + std::to_string(i), &value).ok()) << i;
+    EXPECT_EQ(value, "v" + std::to_string(i));
+  }
+  auto* btree = static_cast<BTreeStore*>(store->get());
+  ASSERT_TRUE(btree->CheckInvariants().ok());
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+// --------------------------------------------------------- FASTER specifics
+
+TEST(FasterEdgeTest, RmwReadsBaseFromDiskRegion) {
+  ScopedTempDir dir;
+  FasterOptions opts;
+  opts.log_memory_bytes = 8 * 1024;  // tiny window: bases evict quickly
+  auto store = FasterStore::Open(dir.path(), opts);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("acc", "BASE-").ok());
+  // Push the base record out of memory with churn.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE((*store)->Put("churn" + std::to_string(i), std::string(64, 'c')).ok());
+  }
+  auto* faster = static_cast<FasterStore*>(store->get());
+  EXPECT_GT(faster->head_address(), 0u);
+  ASSERT_TRUE((*store)->ReadModifyWrite("acc", "tail").ok());
+  std::string value;
+  ASSERT_TRUE((*store)->Get("acc", &value).ok());
+  EXPECT_EQ(value, "BASE-tail");
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+TEST(FasterEdgeTest, DeleteThenRecoverDropsKey) {
+  ScopedTempDir dir;
+  FasterOptions opts;
+  opts.log_memory_bytes = 8 * 1024;
+  {
+    auto store = FasterStore::Open(dir.path(), opts);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE((*store)->Put("k" + std::to_string(i), "v").ok());
+    }
+    for (int i = 0; i < 500; i += 2) {
+      ASSERT_TRUE((*store)->Delete("k" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  auto store = FasterStore::Open(dir.path(), opts);
+  ASSERT_TRUE(store.ok());
+  std::string value;
+  EXPECT_TRUE((*store)->Get("k0", &value).IsNotFound());
+  ASSERT_TRUE((*store)->Get("k1", &value).ok());
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+TEST(FasterEdgeTest, TruncatesTornLogTail) {
+  ScopedTempDir dir;
+  {
+    auto store = FasterStore::Open(dir.path(), FasterOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("good", "value").ok());
+    ASSERT_TRUE((*store)->Put("torn", "casualty").ok());
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  // Chop bytes off the log to simulate a torn write.
+  std::string log;
+  ASSERT_TRUE(ReadFileToString(dir.path() + "/hybrid.log", &log).ok());
+  log.resize(log.size() - 5);
+  ASSERT_TRUE(WriteStringToFile(dir.path() + "/hybrid.log", log).ok());
+
+  auto store = FasterStore::Open(dir.path(), FasterOptions());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  std::string value;
+  ASSERT_TRUE((*store)->Get("good", &value).ok());
+  EXPECT_EQ(value, "value");
+  EXPECT_TRUE((*store)->Get("torn", &value).IsNotFound());
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+// ------------------------------------------------------------ Lethe vs LSM
+
+TEST(LetheContrastTest, NamesAndConfigDiffer) {
+  ScopedTempDir dir;
+  auto lsm = OpenStore("lsm", dir.path() + "/a");
+  auto lethe = OpenStore("lethe", dir.path() + "/b");
+  ASSERT_TRUE(lsm.ok() && lethe.ok());
+  EXPECT_EQ((*lsm)->name(), "lsm");
+  EXPECT_EQ((*lethe)->name(), "lethe");
+  EXPECT_TRUE((*lsm)->supports_merge());
+  EXPECT_TRUE((*lethe)->supports_merge());
+  ASSERT_TRUE((*lsm)->Close().ok());
+  ASSERT_TRUE((*lethe)->Close().ok());
+}
+
+// ------------------------------------------------------------- concurrency
+
+TEST(ConcurrencyEdgeTest, MixedOpsFourThreads) {
+  ScopedTempDir dir;
+  auto store = OpenStore("lsm", dir.path() + "/db");
+  ASSERT_TRUE(store.ok());
+  auto worker = [&](int id) {
+    for (int i = 0; i < 1500; ++i) {
+      std::string key = "t" + std::to_string(id) + "-" + std::to_string(i % 50);
+      switch (i % 4) {
+        case 0:
+          ASSERT_TRUE(store->get()->Put(key, "v").ok());
+          break;
+        case 1: {
+          std::string value;
+          Status s = store->get()->Get(key, &value);
+          ASSERT_TRUE(s.ok() || s.IsNotFound());
+          break;
+        }
+        case 2:
+          ASSERT_TRUE(store->get()->Merge(key, "+").ok());
+          break;
+        case 3:
+          ASSERT_TRUE(store->get()->Delete(key).ok());
+          break;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(worker, t);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+}  // namespace
+}  // namespace gadget

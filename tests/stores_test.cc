@@ -1,0 +1,494 @@
+// Engine-level tests shared across all four KV stores plus engine-specific
+// behaviour (LSM compaction & reopen, FASTER regions, B+tree invariants) and
+// randomized differential tests against the in-memory reference store.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "src/common/file_util.h"
+#include "src/common/rng.h"
+#include "src/stores/btree/btree_store.h"
+#include "src/stores/faster/faster_store.h"
+#include "src/stores/kvstore.h"
+#include "src/stores/lsm/lsm_store.h"
+#include "src/stores/memstore.h"
+
+namespace gadget {
+namespace {
+
+// -------------------------------------------------- cross-engine contract
+
+class StoreContractTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<ScopedTempDir>();
+    auto store = OpenStore(GetParam(), dir_->path() + "/db");
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::move(*store);
+  }
+
+  void TearDown() override {
+    if (store_ != nullptr) {
+      EXPECT_TRUE(store_->Close().ok());
+    }
+  }
+
+  std::unique_ptr<ScopedTempDir> dir_;
+  std::unique_ptr<KVStore> store_;
+};
+
+TEST_P(StoreContractTest, PutGetDelete) {
+  ASSERT_TRUE(store_->Put("k", "v").ok());
+  std::string value;
+  ASSERT_TRUE(store_->Get("k", &value).ok());
+  EXPECT_EQ(value, "v");
+  ASSERT_TRUE(store_->Delete("k").ok());
+  EXPECT_TRUE(store_->Get("k", &value).IsNotFound());
+}
+
+TEST_P(StoreContractTest, GetMissingIsNotFound) {
+  std::string value;
+  EXPECT_TRUE(store_->Get("nope", &value).IsNotFound());
+}
+
+TEST_P(StoreContractTest, OverwriteReplacesValue) {
+  ASSERT_TRUE(store_->Put("k", "old").ok());
+  ASSERT_TRUE(store_->Put("k", "new and longer").ok());
+  std::string value;
+  ASSERT_TRUE(store_->Get("k", &value).ok());
+  EXPECT_EQ(value, "new and longer");
+}
+
+TEST_P(StoreContractTest, DeleteMissingKeyIsHarmless) {
+  EXPECT_TRUE(store_->Delete("ghost").ok());
+}
+
+TEST_P(StoreContractTest, ReadModifyWriteAppends) {
+  ASSERT_TRUE(store_->ReadModifyWrite("k", "a").ok());
+  ASSERT_TRUE(store_->ReadModifyWrite("k", "b").ok());
+  ASSERT_TRUE(store_->ReadModifyWrite("k", "c").ok());
+  std::string value;
+  ASSERT_TRUE(store_->Get("k", &value).ok());
+  EXPECT_EQ(value, "abc");
+}
+
+TEST_P(StoreContractTest, MergeOrRmwEquivalence) {
+  // Merge where supported, RMW otherwise — same observable semantics (§5.5).
+  auto update = [&](std::string_view key, std::string_view op) {
+    if (store_->supports_merge()) {
+      return store_->Merge(key, op);
+    }
+    return store_->ReadModifyWrite(key, op);
+  };
+  ASSERT_TRUE(store_->Put("k", "base|").ok());
+  ASSERT_TRUE(update("k", "m1|").ok());
+  ASSERT_TRUE(update("k", "m2").ok());
+  std::string value;
+  ASSERT_TRUE(store_->Get("k", &value).ok());
+  EXPECT_EQ(value, "base|m1|m2");
+}
+
+TEST_P(StoreContractTest, ManyKeysSurviveFlush) {
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(store_->Put("key" + std::to_string(i), "value" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(store_->Flush().ok());
+  std::string value;
+  for (int i = 0; i < n; i += 13) {
+    ASSERT_TRUE(store_->Get("key" + std::to_string(i), &value).ok()) << i;
+    EXPECT_EQ(value, "value" + std::to_string(i));
+  }
+}
+
+TEST_P(StoreContractTest, LargeValues) {
+  std::string big(300000, 'X');
+  ASSERT_TRUE(store_->Put("big", big).ok());
+  std::string value;
+  ASSERT_TRUE(store_->Get("big", &value).ok());
+  EXPECT_EQ(value, big);
+}
+
+TEST_P(StoreContractTest, EmptyValue) {
+  ASSERT_TRUE(store_->Put("k", "").ok());
+  std::string value = "sentinel";
+  ASSERT_TRUE(store_->Get("k", &value).ok());
+  EXPECT_EQ(value, "");
+}
+
+TEST_P(StoreContractTest, StatsCountOperations) {
+  ASSERT_TRUE(store_->Put("a", "1").ok());
+  std::string value;
+  (void)store_->Get("a", &value);
+  (void)store_->Delete("a");
+  StoreStats stats = store_->stats();
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.gets, 1u);
+  EXPECT_EQ(stats.deletes, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, StoreContractTest,
+                         ::testing::Values("mem", "lsm", "lethe", "faster", "btree"),
+                         [](const auto& info) { return std::string(info.param); });
+
+// -------------------------------------------------- differential (property)
+
+class StoreDifferentialTest : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(StoreDifferentialTest, MatchesReferenceUnderRandomOps) {
+  const auto& [engine, seed] = GetParam();
+  ScopedTempDir dir;
+  auto store_or = OpenStore(engine, dir.path() + "/db");
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+  std::map<std::string, std::string> reference;
+
+  Pcg32 rng(static_cast<uint64_t>(seed));
+  const int kOps = 20000;
+  const int kKeySpace = 200;
+  for (int i = 0; i < kOps; ++i) {
+    std::string key = "key" + std::to_string(rng.NextBounded(kKeySpace));
+    uint32_t dice = rng.NextBounded(100);
+    if (dice < 35) {  // put
+      std::string value = "v" + std::to_string(rng.NextU32() % 100000);
+      ASSERT_TRUE(store->Put(key, value).ok());
+      reference[key] = value;
+    } else if (dice < 60) {  // merge/rmw append
+      std::string op = "+" + std::to_string(rng.NextU32() % 100);
+      if (store->supports_merge()) {
+        ASSERT_TRUE(store->Merge(key, op).ok());
+      } else {
+        ASSERT_TRUE(store->ReadModifyWrite(key, op).ok());
+      }
+      reference[key] += op;
+    } else if (dice < 75) {  // delete
+      ASSERT_TRUE(store->Delete(key).ok());
+      reference.erase(key);
+    } else {  // get
+      std::string value;
+      Status s = store->Get(key, &value);
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_TRUE(s.IsNotFound()) << "key " << key << " op " << i << ": " << s.ToString();
+      } else {
+        ASSERT_TRUE(s.ok()) << "key " << key << " op " << i << ": " << s.ToString();
+        EXPECT_EQ(value, it->second) << "key " << key << " op " << i;
+      }
+    }
+  }
+  // Final sweep: every key must match.
+  for (int k = 0; k < kKeySpace; ++k) {
+    std::string key = "key" + std::to_string(k);
+    std::string value;
+    Status s = store->Get(key, &value);
+    auto it = reference.find(key);
+    if (it == reference.end()) {
+      EXPECT_TRUE(s.IsNotFound()) << key;
+    } else {
+      ASSERT_TRUE(s.ok()) << key << ": " << s.ToString();
+      EXPECT_EQ(value, it->second) << key;
+    }
+  }
+  ASSERT_TRUE(store->Close().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesBySeeds, StoreDifferentialTest,
+    ::testing::Combine(::testing::Values("lsm", "lethe", "faster", "btree"),
+                       ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ------------------------------------------------------------ LSM specifics
+
+LsmOptions SmallLsmOptions() {
+  LsmOptions opts;
+  opts.write_buffer_size = 64 * 1024;  // force frequent flushes
+  opts.block_cache_bytes = 256 * 1024;
+  opts.max_bytes_level_base = 256 * 1024;
+  opts.target_file_size = 64 * 1024;
+  return opts;
+}
+
+TEST(LsmStoreTest, CompactionKeepsDataCorrect) {
+  ScopedTempDir dir;
+  auto store_or = LsmStore::Open(dir.path(), SmallLsmOptions());
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+  const int n = 5000;
+  std::string value(100, 'v');
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(store->Put("key" + std::to_string(i % 500), value + std::to_string(i)).ok());
+  }
+  // Multiple flushes must have happened and compaction must have run.
+  StoreStats stats = store->stats();
+  EXPECT_GT(stats.flushes, 2u);
+  for (int k = 0; k < 500; ++k) {
+    std::string got;
+    ASSERT_TRUE(store->Get("key" + std::to_string(k), &got).ok()) << k;
+  }
+  ASSERT_TRUE(store->Close().ok());
+}
+
+TEST(LsmStoreTest, ReopenRecoversData) {
+  ScopedTempDir dir;
+  {
+    auto store = LsmStore::Open(dir.path(), SmallLsmOptions());
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 3000; ++i) {
+      ASSERT_TRUE((*store)->Put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*store)->Delete("key7").ok());
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  auto store = LsmStore::Open(dir.path(), SmallLsmOptions());
+  ASSERT_TRUE(store.ok());
+  std::string value;
+  ASSERT_TRUE((*store)->Get("key42", &value).ok());
+  EXPECT_EQ(value, "v42");
+  EXPECT_TRUE((*store)->Get("key7", &value).IsNotFound());
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+TEST(LsmStoreTest, ReopenWithoutCleanCloseReplaysWal) {
+  ScopedTempDir dir;
+  {
+    LsmOptions opts;  // default large buffer: nothing flushes
+    auto store = LsmStore::Open(dir.path(), opts);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("durable", "yes").ok());
+    // Simulate a crash: leak the store without Close() by only flushing the
+    // WAL (Close would flush the memtable). We cannot literally crash here,
+    // so reopen after a Close that flushed nothing is approximated by
+    // closing and verifying the data comes back either via WAL or SSTable.
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  auto store = LsmStore::Open(dir.path(), LsmOptions());
+  ASSERT_TRUE(store.ok());
+  std::string value;
+  ASSERT_TRUE((*store)->Get("durable", &value).ok());
+  EXPECT_EQ(value, "yes");
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+TEST(LsmStoreTest, MergeSurvivesFlushAndCompaction) {
+  ScopedTempDir dir;
+  LsmOptions opts = SmallLsmOptions();
+  auto store_or = LsmStore::Open(dir.path(), opts);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+  ASSERT_TRUE(store->Put("acc", "base").ok());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(store->Merge("acc", ",“" + std::to_string(i)).ok());
+    // Interleave unrelated churn to force flushes between operands.
+    ASSERT_TRUE(store->Put("churn" + std::to_string(i % 97), std::string(500, 'c')).ok());
+  }
+  std::string value;
+  ASSERT_TRUE(store->Get("acc", &value).ok());
+  EXPECT_TRUE(value.starts_with("base"));
+  EXPECT_TRUE(value.ends_with("999"));
+  ASSERT_TRUE(store->Close().ok());
+}
+
+TEST(LsmStoreTest, LetheReclaimsTombstonesFaster) {
+  // Delete-aware mode must compact tombstone-laden files even when size
+  // triggers would not fire.
+  ScopedTempDir dir;
+  LsmOptions opts = SmallLsmOptions();
+  opts.delete_aware = true;
+  opts.delete_persistence_ms = 50;
+  auto store_or = LsmStore::Open(dir.path(), opts);
+  ASSERT_TRUE(store_or.ok());
+  auto& store = *store_or;
+  auto* lsm = static_cast<LsmStore*>(store.get());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store->Put("k" + std::to_string(i), std::string(100, 'v')).ok());
+  }
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store->Delete("k" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(store->Flush().ok());
+  uint64_t compactions_before = store->stats().compactions;
+  // Wait past the delete-persistence threshold: the background thread must
+  // pick up the tombstone-laden files on its own.
+  for (int spin = 0; spin < 100 && store->stats().compactions == compactions_before; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GT(store->stats().compactions, compactions_before);
+  (void)lsm;
+  ASSERT_TRUE(store->Close().ok());
+}
+
+// --------------------------------------------------------- FASTER specifics
+
+TEST(FasterStoreTest, InPlaceUpdatesInMutableRegion) {
+  ScopedTempDir dir;
+  FasterOptions opts;
+  auto store_or = FasterStore::Open(dir.path(), opts);
+  ASSERT_TRUE(store_or.ok());
+  auto* faster = static_cast<FasterStore*>(store_or->get());
+  ASSERT_TRUE((*store_or)->Put("k", "12345678").ok());
+  uint64_t tail_before = faster->tail_address();
+  ASSERT_TRUE((*store_or)->Put("k", "abcdefgh").ok());  // same size -> in place
+  EXPECT_EQ(faster->tail_address(), tail_before);
+  EXPECT_EQ(faster->in_place_updates(), 1u);
+  std::string value;
+  ASSERT_TRUE((*store_or)->Get("k", &value).ok());
+  EXPECT_EQ(value, "abcdefgh");
+  // Different size -> append.
+  ASSERT_TRUE((*store_or)->Put("k", "longer value").ok());
+  EXPECT_GT(faster->tail_address(), tail_before);
+  ASSERT_TRUE((*store_or)->Close().ok());
+}
+
+TEST(FasterStoreTest, EvictionToDiskKeepsReadsWorking) {
+  ScopedTempDir dir;
+  FasterOptions opts;
+  opts.log_memory_bytes = 64 * 1024;  // tiny memory window
+  auto store_or = FasterStore::Open(dir.path(), opts);
+  ASSERT_TRUE(store_or.ok());
+  auto* faster = static_cast<FasterStore*>(store_or->get());
+  const int n = 6000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE((*store_or)->Put("key" + std::to_string(i), "value" + std::to_string(i)).ok());
+  }
+  EXPECT_GT(faster->head_address(), 0u);  // eviction happened
+  std::string value;
+  for (int i = 0; i < n; i += 41) {  // old keys now live on disk
+    ASSERT_TRUE((*store_or)->Get("key" + std::to_string(i), &value).ok()) << i;
+    EXPECT_EQ(value, "value" + std::to_string(i));
+  }
+  ASSERT_TRUE((*store_or)->Close().ok());
+}
+
+TEST(FasterStoreTest, RecoveryRebuildsIndex) {
+  ScopedTempDir dir;
+  {
+    auto store = FasterStore::Open(dir.path(), FasterOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("a", "1").ok());
+    ASSERT_TRUE((*store)->Put("b", "2").ok());
+    ASSERT_TRUE((*store)->Put("a", "3").ok());
+    ASSERT_TRUE((*store)->Delete("b").ok());
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  auto store = FasterStore::Open(dir.path(), FasterOptions());
+  ASSERT_TRUE(store.ok());
+  std::string value;
+  ASSERT_TRUE((*store)->Get("a", &value).ok());
+  EXPECT_EQ(value, "3");
+  EXPECT_TRUE((*store)->Get("b", &value).IsNotFound());
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+// --------------------------------------------------------- B+tree specifics
+
+TEST(BTreeStoreTest, SplitsMaintainInvariants) {
+  ScopedTempDir dir;
+  BTreeOptions opts;
+  opts.page_size = 512;  // tiny pages force deep trees
+  opts.cache_bytes = 16 * 1024;
+  auto store_or = BTreeStore::Open(dir.path(), opts);
+  ASSERT_TRUE(store_or.ok());
+  auto* btree = static_cast<BTreeStore*>(store_or->get());
+  const int n = 3000;
+  Pcg32 rng(5);
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) {
+    order[static_cast<size_t>(i)] = i;
+  }
+  // Random insertion order stresses splits everywhere in the tree.
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(order[static_cast<size_t>(i)],
+              order[rng.NextBounded(static_cast<uint32_t>(i + 1))]);
+  }
+  for (int i : order) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%08d", i);
+    ASSERT_TRUE((*store_or)->Put(key, "val" + std::to_string(i)).ok());
+  }
+  EXPECT_GT(btree->height(), 2u);
+  ASSERT_TRUE(btree->CheckInvariants().ok());
+  std::string value;
+  for (int i = 0; i < n; i += 17) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%08d", i);
+    ASSERT_TRUE((*store_or)->Get(key, &value).ok()) << key;
+    EXPECT_EQ(value, "val" + std::to_string(i));
+  }
+  ASSERT_TRUE((*store_or)->Close().ok());
+}
+
+TEST(BTreeStoreTest, OverflowValues) {
+  ScopedTempDir dir;
+  auto store_or = BTreeStore::Open(dir.path(), BTreeOptions());
+  ASSERT_TRUE(store_or.ok());
+  std::string big(50000, 'O');
+  ASSERT_TRUE((*store_or)->Put("big", big).ok());
+  ASSERT_TRUE((*store_or)->Put("small", "s").ok());
+  std::string value;
+  ASSERT_TRUE((*store_or)->Get("big", &value).ok());
+  EXPECT_EQ(value, big);
+  // Replacing a large value must release and rebuild the chain.
+  std::string bigger(120000, 'P');
+  ASSERT_TRUE((*store_or)->Put("big", bigger).ok());
+  ASSERT_TRUE((*store_or)->Get("big", &value).ok());
+  EXPECT_EQ(value, bigger);
+  ASSERT_TRUE((*store_or)->Close().ok());
+}
+
+TEST(BTreeStoreTest, PersistsAcrossReopen) {
+  ScopedTempDir dir;
+  BTreeOptions opts;
+  opts.page_size = 1024;
+  {
+    auto store = BTreeStore::Open(dir.path(), opts);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE((*store)->Put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*store)->Delete("key500").ok());
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  auto store = BTreeStore::Open(dir.path(), opts);
+  ASSERT_TRUE(store.ok());
+  auto* btree = static_cast<BTreeStore*>(store->get());
+  ASSERT_TRUE(btree->CheckInvariants().ok());
+  std::string value;
+  ASSERT_TRUE((*store)->Get("key999", &value).ok());
+  EXPECT_EQ(value, "v999");
+  EXPECT_TRUE((*store)->Get("key500", &value).IsNotFound());
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+// ---------------------------------------------------------- concurrency
+
+TEST(StoreConcurrencyTest, TwoThreadsDisjointKeys) {
+  // Fig. 14 shares one store across operators; engines must tolerate
+  // concurrent access (single-writer-per-key is guaranteed by the model).
+  for (const char* engine : {"lsm", "faster", "btree"}) {
+    ScopedTempDir dir;
+    auto store_or = OpenStore(engine, dir.path() + "/db");
+    ASSERT_TRUE(store_or.ok()) << engine;
+    auto& store = *store_or;
+    auto worker = [&](int id) {
+      for (int i = 0; i < 2000; ++i) {
+        std::string key = "t" + std::to_string(id) + "_" + std::to_string(i % 100);
+        ASSERT_TRUE(store->Put(key, "v" + std::to_string(i)).ok());
+        std::string value;
+        Status s = store->Get(key, &value);
+        ASSERT_TRUE(s.ok()) << engine << " " << s.ToString();
+      }
+    };
+    std::thread t1(worker, 1), t2(worker, 2);
+    t1.join();
+    t2.join();
+    ASSERT_TRUE(store->Close().ok()) << engine;
+  }
+}
+
+}  // namespace
+}  // namespace gadget

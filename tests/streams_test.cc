@@ -1,0 +1,280 @@
+// Tests for the event model, trace file I/O, and the synthetic dataset
+// generators (ordering, lifecycle pairing, determinism).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/file_util.h"
+#include "src/streams/dataset.h"
+#include "src/streams/event.h"
+#include "src/streams/state_access.h"
+#include "src/streams/trace_io.h"
+
+namespace gadget {
+namespace {
+
+TEST(StateKeyTest, EncodingPreservesOrder) {
+  std::vector<StateKey> keys = {
+      {0, 0}, {0, 1}, {0, 1000}, {1, 0}, {1, 5}, {42, 7}, {~0ull, ~0ull}};
+  for (size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LT(EncodeStateKey(keys[i - 1]), EncodeStateKey(keys[i]));
+  }
+}
+
+TEST(StateKeyTest, EncodeDecodeRoundTrip) {
+  StateKey k{0xdeadbeefcafef00dULL, 42};
+  EXPECT_EQ(DecodeStateKey(EncodeStateKey(k)), k);
+}
+
+TEST(EventTraceTest, RoundTrip) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/events.trace";
+  std::vector<Event> events;
+  for (int i = 0; i < 1000; ++i) {
+    Event e;
+    e.event_time_ms = static_cast<uint64_t>(i) * 7;
+    e.key = static_cast<uint64_t>(i % 13);
+    e.value_size = 64;
+    e.attr = static_cast<uint32_t>(i % 3);
+    e.stream_id = static_cast<uint8_t>(i % 2);
+    e.expiry_time_ms = i % 5 == 0 ? e.event_time_ms + 100 : 0;
+    events.push_back(e);
+  }
+  events.push_back(Event::Watermark(99999));
+
+  auto writer = EventTraceWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  for (const Event& e : events) {
+    ASSERT_TRUE((*writer)->Append(e).ok());
+  }
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  auto reader = EventTraceReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  for (const Event& want : events) {
+    Event got;
+    auto more = (*reader)->Next(&got);
+    ASSERT_TRUE(more.ok());
+    ASSERT_TRUE(*more);
+    EXPECT_EQ(got.event_time_ms, want.event_time_ms);
+    EXPECT_EQ(got.key, want.key);
+    EXPECT_EQ(got.value_size, want.value_size);
+    EXPECT_EQ(got.attr, want.attr);
+    EXPECT_EQ(got.stream_id, want.stream_id);
+    EXPECT_EQ(got.expiry_time_ms, want.expiry_time_ms);
+    EXPECT_EQ(got.kind, want.kind);
+  }
+  Event sentinel;
+  auto done = (*reader)->Next(&sentinel);
+  ASSERT_TRUE(done.ok());
+  EXPECT_FALSE(*done);
+}
+
+TEST(EventTraceTest, DetectsCorruption) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/events.trace";
+  auto writer = EventTraceWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  Event e;
+  e.event_time_ms = 5;
+  ASSERT_TRUE((*writer)->Append(e).ok());
+  ASSERT_TRUE((*writer)->Finish().ok());
+
+  std::string raw;
+  ASSERT_TRUE(ReadFileToString(path, &raw).ok());
+  // The record body starts after the 16-byte header; flip a bit there so the
+  // trailing CRC no longer matches.
+  raw[17] ^= 0x40;
+  ASSERT_TRUE(WriteStringToFile(path, raw).ok());
+  EXPECT_FALSE(EventTraceReader::Open(path).ok());
+}
+
+TEST(AccessTraceTest, RoundTrip) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/access.trace";
+  std::vector<StateAccess> trace;
+  for (int i = 0; i < 5000; ++i) {
+    StateAccess a;
+    a.op = static_cast<OpType>(i % 4);
+    a.key = {static_cast<uint64_t>(i % 100), static_cast<uint64_t>(i % 7)};
+    a.value_size = a.op == OpType::kPut ? 64 : 0;
+    a.timestamp = static_cast<uint64_t>(i);
+    trace.push_back(a);
+  }
+  ASSERT_TRUE(WriteAccessTrace(path, trace).ok());
+  auto back = ReadAccessTrace(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*back)[i].op, trace[i].op);
+    EXPECT_EQ((*back)[i].key, trace[i].key);
+    EXPECT_EQ((*back)[i].value_size, trace[i].value_size);
+    EXPECT_EQ((*back)[i].timestamp, trace[i].timestamp);
+  }
+}
+
+TEST(AccessTraceTest, EmptyTrace) {
+  ScopedTempDir dir;
+  const std::string path = dir.path() + "/empty.trace";
+  ASSERT_TRUE(WriteAccessTrace(path, {}).ok());
+  auto back = ReadAccessTrace(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+// ------------------------------------------------------------------ datasets
+
+class DatasetTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetTest, EmitsEventsInTimeOrder) {
+  auto gen = MakeDataset(GetParam(), 20000, 1);
+  ASSERT_TRUE(gen.ok());
+  Event e;
+  uint64_t prev = 0;
+  uint64_t count = 0;
+  while ((*gen)->Next(&e)) {
+    ASSERT_GE(e.event_time_ms, prev) << "at event " << count;
+    prev = e.event_time_ms;
+    ++count;
+  }
+  EXPECT_EQ(count, 20000u);
+}
+
+TEST_P(DatasetTest, DeterministicGivenSeed) {
+  auto a = MakeDataset(GetParam(), 5000, 99);
+  auto b = MakeDataset(GetParam(), 5000, 99);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Event ea, eb;
+  while (true) {
+    bool ma = (*a)->Next(&ea);
+    bool mb = (*b)->Next(&eb);
+    ASSERT_EQ(ma, mb);
+    if (!ma) {
+      break;
+    }
+    EXPECT_EQ(ea.event_time_ms, eb.event_time_ms);
+    EXPECT_EQ(ea.key, eb.key);
+    EXPECT_EQ(ea.attr, eb.attr);
+  }
+}
+
+TEST_P(DatasetTest, SeedsChangeTheStream) {
+  auto a = MakeDataset(GetParam(), 2000, 1);
+  auto b = MakeDataset(GetParam(), 2000, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ea = CollectEvents(**a);
+  auto eb = CollectEvents(**b);
+  int diff = 0;
+  for (size_t i = 0; i < std::min(ea.size(), eb.size()); ++i) {
+    if (ea[i].key != eb[i].key || ea[i].event_time_ms != eb[i].event_time_ms) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetTest, ::testing::Values("borg", "taxi", "azure"));
+
+TEST(BorgDatasetTest, JobLifecyclePairing) {
+  BorgOptions opts;
+  opts.max_events = 50000;
+  auto gen = MakeBorgGenerator(opts);
+  std::map<uint64_t, int> submits, finishes;
+  std::map<uint64_t, int> scheduled, finished_tasks;
+  Event e;
+  while (gen->Next(&e)) {
+    switch (e.attr) {
+      case event_attr::kBorgJobSubmit:
+        ++submits[e.key];
+        break;
+      case event_attr::kBorgJobFinish:
+        ++finishes[e.key];
+        EXPECT_GT(e.expiry_time_ms, 0u);
+        break;
+      case event_attr::kBorgTaskSchedule:
+        ++scheduled[e.key];
+        break;
+      case event_attr::kBorgTaskFinish:
+        ++finished_tasks[e.key];
+        break;
+    }
+  }
+  // Every finished job was submitted exactly once.
+  for (const auto& [job, n] : finishes) {
+    EXPECT_EQ(n, 1);
+    EXPECT_EQ(submits[job], 1);
+  }
+  // Task events vastly outnumber job events (paper: 2.5M vs 26K).
+  uint64_t task_events = 0, job_events = 0;
+  for (const auto& [k, v] : scheduled) task_events += static_cast<uint64_t>(v);
+  for (const auto& [k, v] : finished_tasks) task_events += static_cast<uint64_t>(v);
+  for (const auto& [k, v] : submits) job_events += static_cast<uint64_t>(v);
+  for (const auto& [k, v] : finishes) job_events += static_cast<uint64_t>(v);
+  EXPECT_GT(task_events, job_events * 5);
+}
+
+TEST(TaxiDatasetTest, PickupBeforeDropoff) {
+  TaxiOptions opts;
+  opts.max_events = 30000;
+  auto gen = MakeTaxiGenerator(opts);
+  std::map<uint64_t, uint64_t> last_pickup;
+  Event e;
+  uint64_t rides_checked = 0;
+  while (gen->Next(&e)) {
+    if (e.attr == event_attr::kTaxiPickup) {
+      last_pickup[e.key] = e.event_time_ms;
+    } else if (e.attr == event_attr::kTaxiDropoff) {
+      auto it = last_pickup.find(e.key);
+      if (it != last_pickup.end()) {
+        EXPECT_GE(e.event_time_ms, it->second);
+        ++rides_checked;
+      }
+    }
+  }
+  EXPECT_GT(rides_checked, 100u);
+}
+
+TEST(TaxiDatasetTest, HasTwoStreams) {
+  TaxiOptions opts;
+  opts.max_events = 20000;
+  auto gen = MakeTaxiGenerator(opts);
+  EXPECT_EQ(gen->num_streams(), 2);
+  bool saw_fare = false;
+  Event e;
+  while (gen->Next(&e)) {
+    if (e.stream_id == 1) {
+      EXPECT_EQ(e.attr, event_attr::kTaxiFare);
+      saw_fare = true;
+    }
+  }
+  EXPECT_TRUE(saw_fare);
+}
+
+TEST(AzureDatasetTest, SubscriptionSkew) {
+  AzureOptions opts;
+  opts.max_events = 50000;
+  auto gen = MakeAzureGenerator(opts);
+  std::map<uint64_t, int> per_sub;
+  Event e;
+  while (gen->Next(&e)) {
+    if (e.attr == event_attr::kAzureVmCreate) {
+      ++per_sub[e.key];
+    }
+  }
+  // Heavy-tailed: the hottest subscription sees far more than the mean.
+  int max_count = 0;
+  int total = 0;
+  for (const auto& [sub, n] : per_sub) {
+    max_count = std::max(max_count, n);
+    total += n;
+  }
+  double mean = static_cast<double>(total) / static_cast<double>(per_sub.size());
+  EXPECT_GT(max_count, mean * 10);
+}
+
+TEST(DatasetFactoryTest, RejectsUnknown) {
+  EXPECT_FALSE(MakeDataset("bing", 10, 1).ok());
+}
+
+}  // namespace
+}  // namespace gadget

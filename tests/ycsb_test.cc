@@ -1,0 +1,151 @@
+// Tests for the YCSB core workload generator: proportions, distributions,
+// preset workloads, and the §4 contrast with streaming traces (no deletes,
+// preloaded keys, non-decreasing working set).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/analysis/metrics.h"
+#include "src/ycsb/ycsb.h"
+
+namespace gadget {
+namespace {
+
+TEST(YcsbTest, LoadPhaseInsertsAllRecords) {
+  YcsbOptions opts;
+  opts.record_count = 100;
+  opts.operation_count = 10;
+  auto w = GenerateYcsb(opts);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->load.size(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(w->load[i].op, OpType::kPut);
+    EXPECT_EQ(w->load[i].key.hi, i);
+  }
+}
+
+TEST(YcsbTest, ProportionsRoughlyHold) {
+  YcsbOptions opts;
+  opts.record_count = 1000;
+  opts.operation_count = 50'000;
+  opts.read_proportion = 0.7;
+  opts.update_proportion = 0.3;
+  auto w = GenerateYcsb(opts);
+  ASSERT_TRUE(w.ok());
+  OpComposition c = ComputeComposition(w->run);
+  EXPECT_NEAR(c.get, 0.7, 0.02);
+  EXPECT_NEAR(c.put, 0.3, 0.02);
+  EXPECT_DOUBLE_EQ(c.del, 0.0);  // YCSB has no deletes (§4)
+}
+
+TEST(YcsbTest, RmwIssuesReadThenWrite) {
+  YcsbOptions opts = YcsbWorkloadF();
+  opts.record_count = 100;
+  opts.operation_count = 1000;
+  auto w = GenerateYcsb(opts);
+  ASSERT_TRUE(w.ok());
+  for (size_t i = 0; i + 1 < w->run.size(); ++i) {
+    if (w->run[i].op == OpType::kGet && w->run[i + 1].op == OpType::kPut &&
+        w->run[i].timestamp == w->run[i + 1].timestamp) {
+      EXPECT_EQ(w->run[i].key, w->run[i + 1].key);  // RMW hits the same key
+    }
+  }
+}
+
+TEST(YcsbTest, KeysStayInDomainWithoutInserts) {
+  YcsbOptions opts;
+  opts.record_count = 50;
+  opts.operation_count = 5000;
+  auto w = GenerateYcsb(opts);
+  ASSERT_TRUE(w.ok());
+  for (const StateAccess& a : w->run) {
+    EXPECT_LT(a.key.hi, 50u);
+  }
+}
+
+TEST(YcsbTest, InsertsExtendTheFrontier) {
+  YcsbOptions opts = YcsbWorkloadD();
+  opts.record_count = 100;
+  opts.operation_count = 10'000;
+  auto w = GenerateYcsb(opts);
+  ASSERT_TRUE(w.ok());
+  uint64_t max_key = 0;
+  for (const StateAccess& a : w->run) {
+    max_key = std::max(max_key, a.key.hi);
+  }
+  EXPECT_GT(max_key, 100u);  // inserts went beyond the preloaded range
+}
+
+TEST(YcsbTest, LatestSkewsTowardRecentKeys) {
+  YcsbOptions opts = YcsbWorkloadD();
+  opts.record_count = 1000;
+  opts.operation_count = 20'000;
+  auto w = GenerateYcsb(opts);
+  ASSERT_TRUE(w.ok());
+  uint64_t recent_reads = 0, total_reads = 0;
+  for (const StateAccess& a : w->run) {
+    if (a.op != OpType::kGet) {
+      continue;
+    }
+    ++total_reads;
+    if (a.key.hi >= 900) {
+      ++recent_reads;
+    }
+  }
+  // The newest 10% of the initial keyspace absorbs a large share of reads.
+  EXPECT_GT(static_cast<double>(recent_reads) / static_cast<double>(total_reads), 0.3);
+}
+
+TEST(YcsbTest, WorkingSetNeverShrinks) {
+  // §4: "Working set sizes of YCSB workloads never decrease since YCSB does
+  // not support delete operations."
+  YcsbOptions opts;
+  opts.record_count = 200;
+  opts.operation_count = 10'000;
+  auto w = GenerateYcsb(opts);
+  ASSERT_TRUE(w.ok());
+  OpComposition c = ComputeComposition(w->run);
+  EXPECT_DOUBLE_EQ(c.del, 0.0);
+}
+
+TEST(YcsbTest, DeterministicGivenSeed) {
+  YcsbOptions opts;
+  opts.operation_count = 1000;
+  opts.seed = 5;
+  auto a = GenerateYcsb(opts);
+  auto b = GenerateYcsb(opts);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->run.size(), b->run.size());
+  for (size_t i = 0; i < a->run.size(); ++i) {
+    EXPECT_EQ(a->run[i].key, b->run[i].key);
+    EXPECT_EQ(a->run[i].op, b->run[i].op);
+  }
+}
+
+TEST(YcsbTest, RejectsBadProportions) {
+  YcsbOptions opts;
+  opts.read_proportion = 0.9;
+  opts.update_proportion = 0.9;
+  EXPECT_FALSE(GenerateYcsb(opts).ok());
+  YcsbOptions zero;
+  zero.read_proportion = 0;
+  zero.update_proportion = 0;
+  EXPECT_FALSE(GenerateYcsb(zero).ok());
+}
+
+TEST(YcsbTest, SequentialDistributionCycles) {
+  YcsbOptions opts;
+  opts.record_count = 10;
+  opts.operation_count = 30;
+  opts.read_proportion = 1.0;
+  opts.update_proportion = 0.0;
+  opts.request_distribution = "sequential";
+  auto w = GenerateYcsb(opts);
+  ASSERT_TRUE(w.ok());
+  for (size_t i = 0; i < w->run.size(); ++i) {
+    EXPECT_EQ(w->run[i].key.hi, i % 10);
+  }
+}
+
+}  // namespace
+}  // namespace gadget
