@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lethe.dir/bench_ablation_lethe.cc.o"
+  "CMakeFiles/bench_ablation_lethe.dir/bench_ablation_lethe.cc.o.d"
+  "bench_ablation_lethe"
+  "bench_ablation_lethe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lethe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

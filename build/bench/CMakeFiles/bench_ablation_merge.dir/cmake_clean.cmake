@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_merge.dir/bench_ablation_merge.cc.o"
+  "CMakeFiles/bench_ablation_merge.dir/bench_ablation_merge.cc.o.d"
+  "bench_ablation_merge"
+  "bench_ablation_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

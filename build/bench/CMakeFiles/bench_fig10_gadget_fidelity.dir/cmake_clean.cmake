@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_gadget_fidelity.dir/bench_fig10_gadget_fidelity.cc.o"
+  "CMakeFiles/bench_fig10_gadget_fidelity.dir/bench_fig10_gadget_fidelity.cc.o.d"
+  "bench_fig10_gadget_fidelity"
+  "bench_fig10_gadget_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_gadget_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

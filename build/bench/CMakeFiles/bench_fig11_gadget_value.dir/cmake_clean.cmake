@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_gadget_value.dir/bench_fig11_gadget_value.cc.o"
+  "CMakeFiles/bench_fig11_gadget_value.dir/bench_fig11_gadget_value.cc.o.d"
+  "bench_fig11_gadget_value"
+  "bench_fig11_gadget_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_gadget_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

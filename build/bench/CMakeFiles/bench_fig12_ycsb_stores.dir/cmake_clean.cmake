@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_ycsb_stores.dir/bench_fig12_ycsb_stores.cc.o"
+  "CMakeFiles/bench_fig12_ycsb_stores.dir/bench_fig12_ycsb_stores.cc.o.d"
+  "bench_fig12_ycsb_stores"
+  "bench_fig12_ycsb_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ycsb_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

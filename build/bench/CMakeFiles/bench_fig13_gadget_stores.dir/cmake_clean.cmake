@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_gadget_stores.dir/bench_fig13_gadget_stores.cc.o"
+  "CMakeFiles/bench_fig13_gadget_stores.dir/bench_fig13_gadget_stores.cc.o.d"
+  "bench_fig13_gadget_stores"
+  "bench_fig13_gadget_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_gadget_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

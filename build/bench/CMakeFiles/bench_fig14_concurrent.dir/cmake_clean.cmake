@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_concurrent.dir/bench_fig14_concurrent.cc.o"
+  "CMakeFiles/bench_fig14_concurrent.dir/bench_fig14_concurrent.cc.o.d"
+  "bench_fig14_concurrent"
+  "bench_fig14_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

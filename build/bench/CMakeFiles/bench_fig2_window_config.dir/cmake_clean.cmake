@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_window_config.dir/bench_fig2_window_config.cc.o"
+  "CMakeFiles/bench_fig2_window_config.dir/bench_fig2_window_config.cc.o.d"
+  "bench_fig2_window_config"
+  "bench_fig2_window_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_window_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

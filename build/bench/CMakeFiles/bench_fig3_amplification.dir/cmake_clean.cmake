@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_amplification.dir/bench_fig3_amplification.cc.o"
+  "CMakeFiles/bench_fig3_amplification.dir/bench_fig3_amplification.cc.o.d"
+  "bench_fig3_amplification"
+  "bench_fig3_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

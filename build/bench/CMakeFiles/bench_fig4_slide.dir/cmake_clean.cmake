@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_slide.dir/bench_fig4_slide.cc.o"
+  "CMakeFiles/bench_fig4_slide.dir/bench_fig4_slide.cc.o.d"
+  "bench_fig4_slide"
+  "bench_fig4_slide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_slide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_watermark.dir/bench_fig6_watermark.cc.o"
+  "CMakeFiles/bench_fig6_watermark.dir/bench_fig6_watermark.cc.o.d"
+  "bench_fig6_watermark"
+  "bench_fig6_watermark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_watermark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ycsb_locality.dir/bench_fig7_ycsb_locality.cc.o"
+  "CMakeFiles/bench_fig7_ycsb_locality.dir/bench_fig7_ycsb_locality.cc.o.d"
+  "bench_fig7_ycsb_locality"
+  "bench_fig7_ycsb_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ycsb_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_stores.dir/bench_micro_stores.cc.o"
+  "CMakeFiles/bench_micro_stores.dir/bench_micro_stores.cc.o.d"
+  "bench_micro_stores"
+  "bench_micro_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

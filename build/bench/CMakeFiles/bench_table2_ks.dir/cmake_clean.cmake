@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ks.dir/bench_table2_ks.cc.o"
+  "CMakeFiles/bench_table2_ks.dir/bench_table2_ks.cc.o.d"
+  "bench_table2_ks"
+  "bench_table2_ks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

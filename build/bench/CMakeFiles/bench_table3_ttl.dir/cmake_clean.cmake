@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ttl.dir/bench_table3_ttl.cc.o"
+  "CMakeFiles/bench_table3_ttl.dir/bench_table3_ttl.cc.o.d"
+  "bench_table3_ttl"
+  "bench_table3_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

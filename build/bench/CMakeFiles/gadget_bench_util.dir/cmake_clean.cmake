@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/gadget_bench_util.dir/bench_util.cc.o.d"
+  "libgadget_bench_util.a"
+  "libgadget_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

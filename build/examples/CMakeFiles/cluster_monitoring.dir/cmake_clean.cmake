@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_monitoring.dir/cluster_monitoring.cpp.o"
+  "CMakeFiles/cluster_monitoring.dir/cluster_monitoring.cpp.o.d"
+  "cluster_monitoring"
+  "cluster_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

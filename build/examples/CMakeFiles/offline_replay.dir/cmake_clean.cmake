@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_replay.dir/offline_replay.cpp.o"
+  "CMakeFiles/offline_replay.dir/offline_replay.cpp.o.d"
+  "offline_replay"
+  "offline_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

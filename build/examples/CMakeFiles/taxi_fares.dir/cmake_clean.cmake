@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_fares.dir/taxi_fares.cpp.o"
+  "CMakeFiles/taxi_fares.dir/taxi_fares.cpp.o.d"
+  "taxi_fares"
+  "taxi_fares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_fares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cache_model.cc" "src/analysis/CMakeFiles/gadget_analysis.dir/cache_model.cc.o" "gcc" "src/analysis/CMakeFiles/gadget_analysis.dir/cache_model.cc.o.d"
+  "/root/repo/src/analysis/metrics.cc" "src/analysis/CMakeFiles/gadget_analysis.dir/metrics.cc.o" "gcc" "src/analysis/CMakeFiles/gadget_analysis.dir/metrics.cc.o.d"
+  "/root/repo/src/analysis/stats_tests.cc" "src/analysis/CMakeFiles/gadget_analysis.dir/stats_tests.cc.o" "gcc" "src/analysis/CMakeFiles/gadget_analysis.dir/stats_tests.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gadget_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/gadget_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/distgen/CMakeFiles/gadget_distgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_analysis.dir/cache_model.cc.o"
+  "CMakeFiles/gadget_analysis.dir/cache_model.cc.o.d"
+  "CMakeFiles/gadget_analysis.dir/metrics.cc.o"
+  "CMakeFiles/gadget_analysis.dir/metrics.cc.o.d"
+  "CMakeFiles/gadget_analysis.dir/stats_tests.cc.o"
+  "CMakeFiles/gadget_analysis.dir/stats_tests.cc.o.d"
+  "libgadget_analysis.a"
+  "libgadget_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgadget_analysis.a"
+)

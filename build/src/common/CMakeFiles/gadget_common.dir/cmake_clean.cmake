@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_common.dir/config.cc.o"
+  "CMakeFiles/gadget_common.dir/config.cc.o.d"
+  "CMakeFiles/gadget_common.dir/crc32c.cc.o"
+  "CMakeFiles/gadget_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/gadget_common.dir/file_util.cc.o"
+  "CMakeFiles/gadget_common.dir/file_util.cc.o.d"
+  "CMakeFiles/gadget_common.dir/histogram.cc.o"
+  "CMakeFiles/gadget_common.dir/histogram.cc.o.d"
+  "CMakeFiles/gadget_common.dir/logging.cc.o"
+  "CMakeFiles/gadget_common.dir/logging.cc.o.d"
+  "CMakeFiles/gadget_common.dir/status.cc.o"
+  "CMakeFiles/gadget_common.dir/status.cc.o.d"
+  "libgadget_common.a"
+  "libgadget_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_distgen.dir/arrival.cc.o"
+  "CMakeFiles/gadget_distgen.dir/arrival.cc.o.d"
+  "CMakeFiles/gadget_distgen.dir/distribution.cc.o"
+  "CMakeFiles/gadget_distgen.dir/distribution.cc.o.d"
+  "CMakeFiles/gadget_distgen.dir/ecdf_file.cc.o"
+  "CMakeFiles/gadget_distgen.dir/ecdf_file.cc.o.d"
+  "libgadget_distgen.a"
+  "libgadget_distgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_distgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

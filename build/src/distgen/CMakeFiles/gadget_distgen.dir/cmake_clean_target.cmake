@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgadget_distgen.a"
+)

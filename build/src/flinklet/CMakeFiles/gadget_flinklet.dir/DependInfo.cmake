@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flinklet/join_ops.cc" "src/flinklet/CMakeFiles/gadget_flinklet.dir/join_ops.cc.o" "gcc" "src/flinklet/CMakeFiles/gadget_flinklet.dir/join_ops.cc.o.d"
+  "/root/repo/src/flinklet/operator.cc" "src/flinklet/CMakeFiles/gadget_flinklet.dir/operator.cc.o" "gcc" "src/flinklet/CMakeFiles/gadget_flinklet.dir/operator.cc.o.d"
+  "/root/repo/src/flinklet/runtime.cc" "src/flinklet/CMakeFiles/gadget_flinklet.dir/runtime.cc.o" "gcc" "src/flinklet/CMakeFiles/gadget_flinklet.dir/runtime.cc.o.d"
+  "/root/repo/src/flinklet/state_backend.cc" "src/flinklet/CMakeFiles/gadget_flinklet.dir/state_backend.cc.o" "gcc" "src/flinklet/CMakeFiles/gadget_flinklet.dir/state_backend.cc.o.d"
+  "/root/repo/src/flinklet/window_ops.cc" "src/flinklet/CMakeFiles/gadget_flinklet.dir/window_ops.cc.o" "gcc" "src/flinklet/CMakeFiles/gadget_flinklet.dir/window_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gadget_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/gadget_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/stores/CMakeFiles/gadget_stores.dir/DependInfo.cmake"
+  "/root/repo/build/src/distgen/CMakeFiles/gadget_distgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

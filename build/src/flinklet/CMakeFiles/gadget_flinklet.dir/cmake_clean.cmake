@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_flinklet.dir/join_ops.cc.o"
+  "CMakeFiles/gadget_flinklet.dir/join_ops.cc.o.d"
+  "CMakeFiles/gadget_flinklet.dir/operator.cc.o"
+  "CMakeFiles/gadget_flinklet.dir/operator.cc.o.d"
+  "CMakeFiles/gadget_flinklet.dir/runtime.cc.o"
+  "CMakeFiles/gadget_flinklet.dir/runtime.cc.o.d"
+  "CMakeFiles/gadget_flinklet.dir/state_backend.cc.o"
+  "CMakeFiles/gadget_flinklet.dir/state_backend.cc.o.d"
+  "CMakeFiles/gadget_flinklet.dir/window_ops.cc.o"
+  "CMakeFiles/gadget_flinklet.dir/window_ops.cc.o.d"
+  "libgadget_flinklet.a"
+  "libgadget_flinklet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_flinklet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gadget/driver.cc" "src/gadget/CMakeFiles/gadget_core.dir/driver.cc.o" "gcc" "src/gadget/CMakeFiles/gadget_core.dir/driver.cc.o.d"
+  "/root/repo/src/gadget/evaluator.cc" "src/gadget/CMakeFiles/gadget_core.dir/evaluator.cc.o" "gcc" "src/gadget/CMakeFiles/gadget_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/gadget/event_generator.cc" "src/gadget/CMakeFiles/gadget_core.dir/event_generator.cc.o" "gcc" "src/gadget/CMakeFiles/gadget_core.dir/event_generator.cc.o.d"
+  "/root/repo/src/gadget/harness.cc" "src/gadget/CMakeFiles/gadget_core.dir/harness.cc.o" "gcc" "src/gadget/CMakeFiles/gadget_core.dir/harness.cc.o.d"
+  "/root/repo/src/gadget/logics.cc" "src/gadget/CMakeFiles/gadget_core.dir/logics.cc.o" "gcc" "src/gadget/CMakeFiles/gadget_core.dir/logics.cc.o.d"
+  "/root/repo/src/gadget/multi.cc" "src/gadget/CMakeFiles/gadget_core.dir/multi.cc.o" "gcc" "src/gadget/CMakeFiles/gadget_core.dir/multi.cc.o.d"
+  "/root/repo/src/gadget/workload.cc" "src/gadget/CMakeFiles/gadget_core.dir/workload.cc.o" "gcc" "src/gadget/CMakeFiles/gadget_core.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gadget_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/distgen/CMakeFiles/gadget_distgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/gadget_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/stores/CMakeFiles/gadget_stores.dir/DependInfo.cmake"
+  "/root/repo/build/src/flinklet/CMakeFiles/gadget_flinklet.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/gadget_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gadget_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

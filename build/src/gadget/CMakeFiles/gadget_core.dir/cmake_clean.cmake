@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_core.dir/driver.cc.o"
+  "CMakeFiles/gadget_core.dir/driver.cc.o.d"
+  "CMakeFiles/gadget_core.dir/evaluator.cc.o"
+  "CMakeFiles/gadget_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/gadget_core.dir/event_generator.cc.o"
+  "CMakeFiles/gadget_core.dir/event_generator.cc.o.d"
+  "CMakeFiles/gadget_core.dir/harness.cc.o"
+  "CMakeFiles/gadget_core.dir/harness.cc.o.d"
+  "CMakeFiles/gadget_core.dir/logics.cc.o"
+  "CMakeFiles/gadget_core.dir/logics.cc.o.d"
+  "CMakeFiles/gadget_core.dir/multi.cc.o"
+  "CMakeFiles/gadget_core.dir/multi.cc.o.d"
+  "CMakeFiles/gadget_core.dir/workload.cc.o"
+  "CMakeFiles/gadget_core.dir/workload.cc.o.d"
+  "libgadget_core.a"
+  "libgadget_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stores/btree/btree_store.cc" "src/stores/CMakeFiles/gadget_stores.dir/btree/btree_store.cc.o" "gcc" "src/stores/CMakeFiles/gadget_stores.dir/btree/btree_store.cc.o.d"
+  "/root/repo/src/stores/faster/faster_store.cc" "src/stores/CMakeFiles/gadget_stores.dir/faster/faster_store.cc.o" "gcc" "src/stores/CMakeFiles/gadget_stores.dir/faster/faster_store.cc.o.d"
+  "/root/repo/src/stores/kvstore.cc" "src/stores/CMakeFiles/gadget_stores.dir/kvstore.cc.o" "gcc" "src/stores/CMakeFiles/gadget_stores.dir/kvstore.cc.o.d"
+  "/root/repo/src/stores/lsm/block_cache.cc" "src/stores/CMakeFiles/gadget_stores.dir/lsm/block_cache.cc.o" "gcc" "src/stores/CMakeFiles/gadget_stores.dir/lsm/block_cache.cc.o.d"
+  "/root/repo/src/stores/lsm/bloom.cc" "src/stores/CMakeFiles/gadget_stores.dir/lsm/bloom.cc.o" "gcc" "src/stores/CMakeFiles/gadget_stores.dir/lsm/bloom.cc.o.d"
+  "/root/repo/src/stores/lsm/lsm_store.cc" "src/stores/CMakeFiles/gadget_stores.dir/lsm/lsm_store.cc.o" "gcc" "src/stores/CMakeFiles/gadget_stores.dir/lsm/lsm_store.cc.o.d"
+  "/root/repo/src/stores/lsm/memtable.cc" "src/stores/CMakeFiles/gadget_stores.dir/lsm/memtable.cc.o" "gcc" "src/stores/CMakeFiles/gadget_stores.dir/lsm/memtable.cc.o.d"
+  "/root/repo/src/stores/lsm/sstable.cc" "src/stores/CMakeFiles/gadget_stores.dir/lsm/sstable.cc.o" "gcc" "src/stores/CMakeFiles/gadget_stores.dir/lsm/sstable.cc.o.d"
+  "/root/repo/src/stores/lsm/version.cc" "src/stores/CMakeFiles/gadget_stores.dir/lsm/version.cc.o" "gcc" "src/stores/CMakeFiles/gadget_stores.dir/lsm/version.cc.o.d"
+  "/root/repo/src/stores/lsm/wal.cc" "src/stores/CMakeFiles/gadget_stores.dir/lsm/wal.cc.o" "gcc" "src/stores/CMakeFiles/gadget_stores.dir/lsm/wal.cc.o.d"
+  "/root/repo/src/stores/memstore.cc" "src/stores/CMakeFiles/gadget_stores.dir/memstore.cc.o" "gcc" "src/stores/CMakeFiles/gadget_stores.dir/memstore.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gadget_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_stores.dir/btree/btree_store.cc.o"
+  "CMakeFiles/gadget_stores.dir/btree/btree_store.cc.o.d"
+  "CMakeFiles/gadget_stores.dir/faster/faster_store.cc.o"
+  "CMakeFiles/gadget_stores.dir/faster/faster_store.cc.o.d"
+  "CMakeFiles/gadget_stores.dir/kvstore.cc.o"
+  "CMakeFiles/gadget_stores.dir/kvstore.cc.o.d"
+  "CMakeFiles/gadget_stores.dir/lsm/block_cache.cc.o"
+  "CMakeFiles/gadget_stores.dir/lsm/block_cache.cc.o.d"
+  "CMakeFiles/gadget_stores.dir/lsm/bloom.cc.o"
+  "CMakeFiles/gadget_stores.dir/lsm/bloom.cc.o.d"
+  "CMakeFiles/gadget_stores.dir/lsm/lsm_store.cc.o"
+  "CMakeFiles/gadget_stores.dir/lsm/lsm_store.cc.o.d"
+  "CMakeFiles/gadget_stores.dir/lsm/memtable.cc.o"
+  "CMakeFiles/gadget_stores.dir/lsm/memtable.cc.o.d"
+  "CMakeFiles/gadget_stores.dir/lsm/sstable.cc.o"
+  "CMakeFiles/gadget_stores.dir/lsm/sstable.cc.o.d"
+  "CMakeFiles/gadget_stores.dir/lsm/version.cc.o"
+  "CMakeFiles/gadget_stores.dir/lsm/version.cc.o.d"
+  "CMakeFiles/gadget_stores.dir/lsm/wal.cc.o"
+  "CMakeFiles/gadget_stores.dir/lsm/wal.cc.o.d"
+  "CMakeFiles/gadget_stores.dir/memstore.cc.o"
+  "CMakeFiles/gadget_stores.dir/memstore.cc.o.d"
+  "libgadget_stores.a"
+  "libgadget_stores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_stores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_streams.dir/dataset.cc.o"
+  "CMakeFiles/gadget_streams.dir/dataset.cc.o.d"
+  "CMakeFiles/gadget_streams.dir/trace_io.cc.o"
+  "CMakeFiles/gadget_streams.dir/trace_io.cc.o.d"
+  "libgadget_streams.a"
+  "libgadget_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_ycsb.dir/ycsb.cc.o"
+  "CMakeFiles/gadget_ycsb.dir/ycsb.cc.o.d"
+  "libgadget_ycsb.a"
+  "libgadget_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

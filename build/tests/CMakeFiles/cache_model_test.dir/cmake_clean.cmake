@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_model_test.dir/cache_model_test.cc.o"
+  "CMakeFiles/cache_model_test.dir/cache_model_test.cc.o.d"
+  "cache_model_test"
+  "cache_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

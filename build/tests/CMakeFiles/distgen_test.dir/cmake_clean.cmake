@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distgen_test.dir/distgen_test.cc.o"
+  "CMakeFiles/distgen_test.dir/distgen_test.cc.o.d"
+  "distgen_test"
+  "distgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flinklet_test.dir/flinklet_test.cc.o"
+  "CMakeFiles/flinklet_test.dir/flinklet_test.cc.o.d"
+  "flinklet_test"
+  "flinklet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flinklet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

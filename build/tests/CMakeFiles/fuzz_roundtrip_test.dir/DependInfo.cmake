@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fuzz_roundtrip_test.cc" "tests/CMakeFiles/fuzz_roundtrip_test.dir/fuzz_roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/fuzz_roundtrip_test.dir/fuzz_roundtrip_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gadget_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/distgen/CMakeFiles/gadget_distgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/streams/CMakeFiles/gadget_streams.dir/DependInfo.cmake"
+  "/root/repo/build/src/stores/CMakeFiles/gadget_stores.dir/DependInfo.cmake"
+  "/root/repo/build/src/flinklet/CMakeFiles/gadget_flinklet.dir/DependInfo.cmake"
+  "/root/repo/build/src/gadget/CMakeFiles/gadget_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/gadget_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gadget_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

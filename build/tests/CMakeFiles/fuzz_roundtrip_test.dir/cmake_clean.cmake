@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_roundtrip_test.dir/fuzz_roundtrip_test.cc.o"
+  "CMakeFiles/fuzz_roundtrip_test.dir/fuzz_roundtrip_test.cc.o.d"
+  "fuzz_roundtrip_test"
+  "fuzz_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_test.dir/gadget_test.cc.o"
+  "CMakeFiles/gadget_test.dir/gadget_test.cc.o.d"
+  "gadget_test"
+  "gadget_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

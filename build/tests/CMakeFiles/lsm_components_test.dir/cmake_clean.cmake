@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_components_test.dir/lsm_components_test.cc.o"
+  "CMakeFiles/lsm_components_test.dir/lsm_components_test.cc.o.d"
+  "lsm_components_test"
+  "lsm_components_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_components_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_stress_test.dir/lsm_stress_test.cc.o"
+  "CMakeFiles/lsm_stress_test.dir/lsm_stress_test.cc.o.d"
+  "lsm_stress_test"
+  "lsm_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

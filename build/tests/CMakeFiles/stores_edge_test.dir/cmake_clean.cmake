@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stores_edge_test.dir/stores_edge_test.cc.o"
+  "CMakeFiles/stores_edge_test.dir/stores_edge_test.cc.o.d"
+  "stores_edge_test"
+  "stores_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stores_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streams_test.dir/streams_test.cc.o"
+  "CMakeFiles/streams_test.dir/streams_test.cc.o.d"
+  "streams_test"
+  "streams_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streams_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

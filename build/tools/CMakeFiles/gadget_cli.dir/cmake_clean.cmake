@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadget_cli.dir/gadget.cc.o"
+  "CMakeFiles/gadget_cli.dir/gadget.cc.o.d"
+  "gadget"
+  "gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadget_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
