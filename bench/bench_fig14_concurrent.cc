@@ -2,10 +2,16 @@
 // Two Gadget instances (an incremental and a holistic sliding window, 5s/1s)
 // run alone and co-located: Concurrent-A = two operators of the same type,
 // Concurrent-B = two different types, all against a single LSM instance.
+//
+// Beyond the paper: a scalability sweep against MemStore — N concurrent
+// instances (disjoint namespaces) and a single trace sharded across 1..16
+// threads — showing the striped store scales where a global lock serializes.
 #include <cstdio>
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "src/gadget/multi.h"
+#include "src/stores/memstore.h"
 
 namespace gadget {
 namespace {
@@ -76,6 +82,101 @@ StatusOr<Measure> RunShared(const std::vector<StateAccess>& a,
                  static_cast<double>(result->latency_ns.Percentile(99.9)) / 1000.0};
 }
 
+// Synthetic mixed workload for the MemStore scalability sweep: 3:1 get:put
+// over a 2048-key working set, `ops` operations.
+std::vector<StateAccess> MixedTrace(uint64_t ops) {
+  std::vector<StateAccess> trace;
+  trace.reserve(ops);
+  for (uint64_t i = 0; i < ops; ++i) {
+    trace.push_back(
+        StateAccess{(i % 4) ? OpType::kGet : OpType::kPut, StateKey{i % 2048, 0}, 64, i});
+  }
+  return trace;
+}
+
+// `instances` copies of the mixed trace replayed concurrently into disjoint
+// namespaces of one MemStore with `stripes` lock stripes. Returns wall-clock
+// throughput (total ops over the longest instance), which is meaningful even
+// when threads outnumber cores — summing per-instance throughputs is not.
+StatusOr<double> InstancesThroughput(int instances, size_t stripes, uint64_t ops_each,
+                                     uint64_t sample_every) {
+  MemStore store(stripes);
+  std::vector<std::vector<StateAccess>> traces(static_cast<size_t>(instances),
+                                               MixedTrace(ops_each));
+  ReplayOptions opts;
+  opts.latency_sample_every = sample_every;
+  auto result = ReplayConcurrently(traces, &store, opts);
+  if (!result.ok()) {
+    return result.status();
+  }
+  if (!result->all_ok()) {
+    return result->FirstError();
+  }
+  return result->Merged().throughput_ops_per_sec;
+}
+
+int RunMemSweep() {
+  const uint64_t ops_each = 2 * bench::OpsBudget();
+
+  bench::PrintHeader("Fig 14 extension — 8 concurrent instances, one MemStore");
+  const std::vector<int> iw = {26, 14, 12, 12};
+  bench::PrintRow({"store configuration", "timing", "Mops/s", "vs baseline"}, iw);
+  struct Cfg {
+    const char* label;
+    size_t stripes;
+    uint64_t sample_every;
+  };
+  // Row 1 reproduces the pre-striping setup (one lock, every op timed); the
+  // following rows isolate the striping and sampling contributions.
+  double baseline = 0;
+  for (const Cfg& c : {Cfg{"global lock (1 stripe)", 1, 1},
+                       Cfg{"striped (64), exact", MemStore::kDefaultStripes, 1},
+                       Cfg{"striped (64), sampled/16", MemStore::kDefaultStripes, 16}}) {
+    auto tput = InstancesThroughput(8, c.stripes, ops_each, c.sample_every);
+    if (!tput.ok()) {
+      std::fprintf(stderr, "%s: %s\n", c.label, tput.status().ToString().c_str());
+      return 1;
+    }
+    if (baseline == 0) {
+      baseline = *tput;
+    }
+    bench::PrintRow({c.label, c.sample_every == 1 ? "exact" : "sampled",
+                     bench::Fmt(*tput / 1e6, 2), bench::Fmt(*tput / baseline, 2) + "x"},
+                    iw);
+  }
+
+  bench::PrintHeader("Fig 14 extension — one trace sharded across threads (MemStore)");
+  const std::vector<int> sw = {10, 12, 12};
+  bench::PrintRow({"threads", "Mops/s", "speedup"}, sw);
+  const std::vector<StateAccess> trace = MixedTrace(8 * ops_each);
+  ReplayOptions opts;
+  opts.latency_sample_every = 16;
+  double base = 0;
+  for (unsigned threads : {1u, 2u, 4u, 8u, 16u}) {
+    MemStore store(MemStore::kDefaultStripes);
+    auto result = ReplaySharded(trace, &store, threads, opts);
+    if (!result.ok() || !result->all_ok()) {
+      Status err = result.ok() ? result->FirstError() : result.status();
+      std::fprintf(stderr, "%u threads: %s\n", threads, err.ToString().c_str());
+      return 1;
+    }
+    double tput = result->Merged().throughput_ops_per_sec;
+    if (threads == 1) {
+      base = tput;
+    }
+    bench::PrintRow({std::to_string(threads), bench::Fmt(tput / 1e6, 2),
+                     base > 0 ? bench::Fmt(tput / base, 2) + "x" : "-"},
+                    sw);
+  }
+  std::printf("(hardware: %u core(s) visible; thread scaling needs > 1)\n",
+              std::thread::hardware_concurrency());
+  bench::PrintShapeNote(
+      "the striped MemStore scales with threads until memory bandwidth "
+      "saturates; the 1-stripe configuration reproduces the old global-mutex "
+      "plateau");
+  return 0;
+}
+
 int Run() {
   bench::PrintHeader("Figure 14 — concurrent operators on one LSM instance");
   auto incr = SlidingWorkload(false, 1, 0);
@@ -117,7 +218,7 @@ int Run() {
       "suffers most when sharing with another incremental operator "
       "(paper: 1.7x lower throughput, 1.5x higher latency), while the "
       "holistic window is less sensitive (~1.4x / ~1.03x)");
-  return 0;
+  return RunMemSweep();
 }
 
 }  // namespace

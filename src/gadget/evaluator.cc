@@ -1,5 +1,6 @@
 #include "src/gadget/evaluator.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -14,6 +15,17 @@ inline uint64_t ElapsedNs(Clock::time_point a, Clock::time_point b) {
 }
 
 }  // namespace
+
+void ReplayResult::MergeFrom(const ReplayResult& other) {
+  ops += other.ops;
+  not_found += other.not_found;
+  latency_ns.Merge(other.latency_ns);
+  read_latency_ns.Merge(other.read_latency_ns);
+  write_latency_ns.Merge(other.write_latency_ns);
+  elapsed_seconds = std::max(elapsed_seconds, other.elapsed_seconds);
+  throughput_ops_per_sec =
+      elapsed_seconds > 0 ? static_cast<double>(ops) / elapsed_seconds : 0;
+}
 
 std::string ReplayResult::Summary() const {
   char buf[256];
@@ -36,6 +48,9 @@ StatusOr<ReplayResult> ReplayTrace(const std::vector<StateAccess>& trace, KVStor
       options.max_ops == 0 ? trace.size() : std::min<uint64_t>(options.max_ops, trace.size());
   const double pace_ns =
       options.service_rate_ops_per_sec > 0 ? 1e9 / options.service_rate_ops_per_sec : 0;
+  const uint64_t sample_every = std::max<uint64_t>(options.latency_sample_every, 1);
+  uint64_t until_sample = 0;  // countdown: avoids a divide per op
+  std::string key;  // reused: EncodeStateKeyTo avoids an allocation per op
 
   auto start = Clock::now();
   for (uint64_t i = 0; i < limit; ++i) {
@@ -44,13 +59,20 @@ StatusOr<ReplayResult> ReplayTrace(const std::vector<StateAccess>& trace, KVStor
       auto due = start + std::chrono::nanoseconds(static_cast<uint64_t>(pace_ns * static_cast<double>(i)));
       std::this_thread::sleep_until(due);
     }
-    const std::string key = EncodeStateKey(a.key);
+    StateKey k = a.key;
+    k.hi += options.key_hi_offset;
+    EncodeStateKeyTo(k, &key);
     if (a.value_size > value_buf.size()) {
       value_buf.resize(a.value_size, 'v');
     }
     std::string_view value(value_buf.data(), a.value_size);
 
-    auto op_start = Clock::now();
+    const bool sampled = until_sample == 0;
+    until_sample = sampled ? sample_every - 1 : until_sample - 1;
+    Clock::time_point op_start;
+    if (sampled) {
+      op_start = Clock::now();
+    }
     Status s;
     bool is_read = false;
     switch (a.op) {
@@ -75,12 +97,14 @@ StatusOr<ReplayResult> ReplayTrace(const std::vector<StateAccess>& trace, KVStor
     if (!s.ok()) {
       return s;
     }
-    uint64_t ns = ElapsedNs(op_start, Clock::now());
-    result.latency_ns.Record(ns);
-    if (is_read) {
-      result.read_latency_ns.Record(ns);
-    } else {
-      result.write_latency_ns.Record(ns);
+    if (sampled) {
+      uint64_t ns = ElapsedNs(op_start, Clock::now());
+      result.latency_ns.Record(ns);
+      if (is_read) {
+        result.read_latency_ns.Record(ns);
+      } else {
+        result.write_latency_ns.Record(ns);
+      }
     }
     ++result.ops;
   }

@@ -22,6 +22,16 @@ struct ReplayOptions {
   double service_rate_ops_per_sec = 0;
   // Limit the number of operations replayed (0 = whole trace).
   uint64_t max_ops = 0;
+  // Record per-op latency for every Nth operation. 1 (default) times every
+  // operation exactly as before; larger values skip the two steady_clock
+  // reads on unsampled ops, so throughput-oriented runs are not dominated by
+  // clock overhead. Histogram counts then reflect sampled ops only;
+  // ops/throughput always count every operation. 0 is treated as 1.
+  uint64_t latency_sample_every = 1;
+  // Added to every access's key.hi before encoding. Lets concurrent
+  // instances replay one shared trace into disjoint key namespaces without
+  // materializing a shifted copy of the trace per instance.
+  uint64_t key_hi_offset = 0;
 };
 
 struct ReplayResult {
@@ -32,6 +42,12 @@ struct ReplayResult {
   LatencyHistogram read_latency_ns;     // gets
   LatencyHistogram write_latency_ns;    // puts/merges/rmws/deletes
   uint64_t not_found = 0;               // gets that missed (expected for probes)
+
+  // Folds `other` (a result measured on a concurrently running thread) into
+  // this one: op counts add, histograms merge bucket-wise (O(buckets), no
+  // per-sample work), elapsed takes the max, and throughput is recomputed as
+  // total ops over that wall-clock span.
+  void MergeFrom(const ReplayResult& other);
 
   std::string Summary() const;
 };

@@ -1,49 +1,127 @@
 #include "src/gadget/multi.h"
 
+#include <algorithm>
 #include <thread>
 
-namespace gadget {
+#include "src/streams/state_access.h"
 
-StatusOr<ConcurrentReplayResult> ReplayConcurrently(
-    const std::vector<std::vector<StateAccess>>& traces, KVStore* store,
-    const ReplayOptions& options, uint64_t namespace_stride) {
+namespace gadget {
+namespace {
+
+// Common runner: one thread per entry of `traces`, instance i replays with
+// key.hi shifted by i * namespace_stride (applied inside ReplayTrace, no
+// trace copies). Collects every instance's outcome.
+ConcurrentReplayResult RunInstances(const std::vector<const std::vector<StateAccess>*>& traces,
+                                    KVStore* store, const ReplayOptions& options,
+                                    uint64_t namespace_stride) {
   ConcurrentReplayResult result;
-  if (traces.empty()) {
-    return result;
-  }
-  std::vector<StatusOr<ReplayResult>> outcomes;
-  outcomes.reserve(traces.size());
-  for (size_t i = 0; i < traces.size(); ++i) {
-    outcomes.emplace_back(Status::Internal("instance did not run"));
-  }
+  const size_t n = traces.size();
+  std::vector<StatusOr<ReplayResult>> outcomes(n, Status::Internal("instance did not run"));
   std::vector<std::thread> threads;
-  threads.reserve(traces.size());
-  for (size_t i = 0; i < traces.size(); ++i) {
+  threads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
     threads.emplace_back([&, i] {
-      if (namespace_stride == 0) {
-        outcomes[i] = ReplayTrace(traces[i], store, options);
-        return;
-      }
-      std::vector<StateAccess> shifted = traces[i];
-      for (StateAccess& a : shifted) {
-        a.key.hi += static_cast<uint64_t>(i) * namespace_stride;
-      }
-      outcomes[i] = ReplayTrace(shifted, store, options);
+      ReplayOptions opts = options;
+      opts.key_hi_offset += static_cast<uint64_t>(i) * namespace_stride;
+      outcomes[i] = ReplayTrace(*traces[i], store, opts);
     });
   }
   for (std::thread& t : threads) {
     t.join();
   }
-  double combined = 0;
-  for (auto& outcome : outcomes) {
-    if (!outcome.ok()) {
-      return outcome.status();
+  result.per_instance.resize(n);
+  result.statuses.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    result.statuses.push_back(outcomes[i].status());
+    if (outcomes[i].ok()) {
+      result.combined_throughput_ops_per_sec += outcomes[i]->throughput_ops_per_sec;
+      result.total_ops += outcomes[i]->ops;
+      result.per_instance[i] = std::move(*outcomes[i]);
     }
-    combined += outcome->throughput_ops_per_sec;
-    result.per_instance.push_back(std::move(*outcome));
   }
-  result.combined_throughput_ops_per_sec = combined;
   return result;
+}
+
+}  // namespace
+
+bool ConcurrentReplayResult::all_ok() const {
+  for (const Status& s : statuses) {
+    if (!s.ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status ConcurrentReplayResult::FirstError() const {
+  for (const Status& s : statuses) {
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+ReplayResult ConcurrentReplayResult::Merged() const {
+  ReplayResult merged;
+  for (size_t i = 0; i < per_instance.size(); ++i) {
+    if (i < statuses.size() && statuses[i].ok()) {
+      merged.MergeFrom(per_instance[i]);
+    }
+  }
+  return merged;
+}
+
+StatusOr<ConcurrentReplayResult> ReplayConcurrently(
+    const std::vector<std::vector<StateAccess>>& traces, KVStore* store,
+    const ReplayOptions& options, uint64_t namespace_stride) {
+  if (traces.empty()) {
+    return ConcurrentReplayResult{};
+  }
+  if (store == nullptr) {
+    return Status::InvalidArgument("ReplayConcurrently: null store");
+  }
+  std::vector<const std::vector<StateAccess>*> ptrs;
+  ptrs.reserve(traces.size());
+  for (const auto& t : traces) {
+    ptrs.push_back(&t);
+  }
+  return RunInstances(ptrs, store, options, namespace_stride);
+}
+
+StatusOr<ConcurrentReplayResult> ReplaySharded(const std::vector<StateAccess>& trace,
+                                               KVStore* store, unsigned num_threads,
+                                               const ReplayOptions& options) {
+  if (num_threads == 0) {
+    return Status::InvalidArgument("ReplaySharded: num_threads must be >= 1");
+  }
+  if (store == nullptr) {
+    return Status::InvalidArgument("ReplaySharded: null store");
+  }
+  const uint64_t limit = options.max_ops == 0
+                             ? trace.size()
+                             : std::min<uint64_t>(options.max_ops, trace.size());
+  // Hash-partition by key: every access to a key lands in the same shard, in
+  // trace order, so per-key operation order (and thus final state) is
+  // preserved exactly.
+  std::vector<std::vector<StateAccess>> shards(num_threads);
+  for (auto& shard : shards) {
+    shard.reserve(static_cast<size_t>(limit) / num_threads + 1);
+  }
+  StateKeyHash hasher;
+  for (uint64_t i = 0; i < limit; ++i) {
+    shards[hasher(trace[i].key) % num_threads].push_back(trace[i]);
+  }
+  ReplayOptions opts = options;
+  opts.max_ops = 0;  // the partition above already enforces the total budget
+  std::vector<const std::vector<StateAccess>*> ptrs;
+  ptrs.reserve(shards.size());
+  for (const auto& s : shards) {
+    ptrs.push_back(&s);
+  }
+  // Stride 0: shards share the workload's key namespace; disjointness comes
+  // from the hash partition, not from offsetting.
+  return RunInstances(ptrs, store, opts, /*namespace_stride=*/0);
 }
 
 }  // namespace gadget

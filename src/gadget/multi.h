@@ -2,7 +2,9 @@
 // several Gadget workload traces replayed concurrently against ONE store
 // instance, one thread per instance, per-instance measurements. The dataflow
 // model's single-writer-per-key guarantee is preserved by giving each
-// instance a disjoint key namespace.
+// instance a disjoint key namespace (ReplayConcurrently) or by partitioning
+// one trace so each key's accesses all land on the same thread
+// (ReplaySharded).
 #ifndef GADGET_GADGET_MULTI_H_
 #define GADGET_GADGET_MULTI_H_
 
@@ -13,17 +15,40 @@
 namespace gadget {
 
 struct ConcurrentReplayResult {
+  // One entry per instance. per_instance[i] is meaningful only when
+  // statuses[i].ok(); failed instances leave a default-constructed result.
   std::vector<ReplayResult> per_instance;
-  double combined_throughput_ops_per_sec = 0;
+  std::vector<Status> statuses;
+  double combined_throughput_ops_per_sec = 0;  // sum over ok instances
+  uint64_t total_ops = 0;                      // sum over ok instances
+
+  bool all_ok() const;
+  // Ok() when every instance succeeded; otherwise the first failure.
+  Status FirstError() const;
+  // Bucket-wise merge of all ok instances' measurements (cheap: no
+  // per-sample work).
+  ReplayResult Merged() const;
 };
 
 // Replays every trace in `traces` concurrently against `store`. Each
 // instance i has its key.hi space offset by i * namespace_stride so writers
-// never collide (pass 0 to keep keys as-is). Blocks until all instances
-// finish.
+// never collide (pass 0 to keep keys as-is). The offset is applied on the
+// fly inside the replay loop — traces are never copied. Blocks until all
+// instances finish and reports every instance's status (a failing instance
+// does not mask the others' results).
 StatusOr<ConcurrentReplayResult> ReplayConcurrently(
     const std::vector<std::vector<StateAccess>>& traces, KVStore* store,
     const ReplayOptions& options = {}, uint64_t namespace_stride = 1ull << 32);
+
+// Partitions ONE trace across `num_threads` workers by key hash and replays
+// the shards concurrently against `store`. All accesses to a given key stay
+// on one thread in their original order, so the single-writer-per-key
+// invariant holds and the final store state equals a sequential replay.
+// This is the Fig. 14 thread-sweep mode: one workload, one store, 1..N
+// threads. options.max_ops bounds the TOTAL op count across shards.
+StatusOr<ConcurrentReplayResult> ReplaySharded(const std::vector<StateAccess>& trace,
+                                               KVStore* store, unsigned num_threads,
+                                               const ReplayOptions& options = {});
 
 }  // namespace gadget
 

@@ -271,7 +271,7 @@ Status LsmStore::Get(std::string_view key, std::string* value) {
   LookupState state = mem_->Get(key, &val, &layer_ops);
   if (state == LookupState::kFound) {
     *value = std::move(val);
-    stats_.bytes_read += value->size();
+    read_bytes_.fetch_add(value->size(), std::memory_order_relaxed);
     return Status::Ok();
   }
   if (state == LookupState::kDeleted) {
@@ -280,11 +280,13 @@ Status LsmStore::Get(std::string_view key, std::string* value) {
   std::vector<std::string> acc = std::move(layer_ops);  // newest-first accumulation
   std::shared_ptr<const Version> version = current_;
   lock.unlock();
+  // From here on the lookup works off the snapshot only: searching SSTables
+  // (block I/O) must never touch mu_, or concurrent readers serialize behind
+  // writers and the background compactor.
 
   auto finish_found = [&](std::string base) -> Status {
     *value = ApplyMerge(base, acc);
-    std::lock_guard<std::mutex> relock(mu_);
-    stats_.bytes_read += value->size();
+    read_bytes_.fetch_add(value->size(), std::memory_order_relaxed);
     return Status::Ok();
   };
   auto finish_deleted = [&]() -> Status {
@@ -734,6 +736,7 @@ Status LsmStore::Close() {
 StoreStats LsmStore::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   StoreStats out = stats_;
+  out.bytes_read += read_bytes_.load(std::memory_order_relaxed);
   out.cache_hits = cache_.hits();
   out.cache_misses = cache_.misses();
   return out;

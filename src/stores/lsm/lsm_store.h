@@ -17,6 +17,7 @@
 #ifndef GADGET_STORES_LSM_LSM_STORE_H_
 #define GADGET_STORES_LSM_LSM_STORE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -100,6 +101,9 @@ class LsmStore : public KVStore {
   std::shared_ptr<const Version> current_;
   std::vector<size_t> compact_cursor_;  // round-robin pick position per level
   StoreStats stats_;
+  // Bytes returned by gets. Kept outside mu_ so the read path never
+  // re-acquires the store lock after it has dropped it to do block I/O.
+  mutable std::atomic<uint64_t> read_bytes_{0};
   Status bg_error_;
   bool closing_ = false;
   bool compaction_running_ = false;

@@ -1,53 +1,135 @@
 #include "src/stores/memstore.h"
 
+#include <cstring>
+#include <mutex>
+
+#include "src/common/hash.h"
+
 namespace gadget {
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  if (n < 2) {
+    return 1;
+  }
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+size_t MemStore::KeyHash::operator()(std::string_view s) const {
+  if (s.size() == 16) {
+    uint64_t hi, lo;
+    std::memcpy(&hi, s.data(), 8);
+    std::memcpy(&lo, s.data() + 8, 8);
+    return static_cast<size_t>(Mix64(hi ^ (lo * 0x9e3779b97f4a7c15ULL)));
+  }
+  return static_cast<size_t>(Hash64(s));
+}
+
+MemStore::MemStore(size_t num_stripes)
+    : stripes_(RoundUpPow2(num_stripes)), stripe_mask_(stripes_.size() - 1) {}
+
+MemStore::Stripe& MemStore::StripeFor(std::string_view key) {
+  return stripes_[KeyHash{}(key) & stripe_mask_];
+}
 
 Status MemStore::Put(std::string_view key, std::string_view value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_[std::string(key)] = std::string(value);
-  ++stats_.puts;
-  stats_.bytes_written += key.size() + value.size();
+  Stripe& s = StripeFor(key);
+  {
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    // Transparent find + in-place assign: overwriting an existing key (the
+    // common case in replay loops) allocates nothing.
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      s.map.emplace(key, value);
+    } else {
+      it->second.assign(value.data(), value.size());
+    }
+  }
+  s.puts.fetch_add(1, std::memory_order_relaxed);
+  s.bytes_written.fetch_add(key.size() + value.size(), std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status MemStore::Get(std::string_view key, std::string* value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.gets;
-  auto it = map_.find(std::string(key));
-  if (it == map_.end()) {
-    return Status::NotFound();
+  Stripe& s = StripeFor(key);
+  s.gets.fetch_add(1, std::memory_order_relaxed);
+  size_t read = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      return Status::NotFound();
+    }
+    *value = it->second;
+    read = value->size();
   }
-  *value = it->second;
-  stats_.bytes_read += value->size();
+  s.bytes_read.fetch_add(read, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status MemStore::Merge(std::string_view key, std::string_view operand) {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_[std::string(key)].append(operand.data(), operand.size());
-  ++stats_.merges;
-  stats_.bytes_written += key.size() + operand.size();
+  Stripe& s = StripeFor(key);
+  {
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      s.map.emplace(key, operand);
+    } else {
+      it->second.append(operand.data(), operand.size());
+    }
+  }
+  s.merges.fetch_add(1, std::memory_order_relaxed);
+  s.bytes_written.fetch_add(key.size() + operand.size(), std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status MemStore::Delete(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_.erase(std::string(key));
-  ++stats_.deletes;
+  Stripe& s = StripeFor(key);
+  {
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      s.map.erase(it);
+    }
+  }
+  s.deletes.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status MemStore::ReadModifyWrite(std::string_view key, std::string_view operand) {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_[std::string(key)].append(operand.data(), operand.size());
-  ++stats_.rmws;
-  stats_.bytes_written += key.size() + operand.size();
+  Stripe& s = StripeFor(key);
+  {
+    std::unique_lock<std::shared_mutex> lock(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      s.map.emplace(key, operand);
+    } else {
+      it->second.append(operand.data(), operand.size());
+    }
+  }
+  s.rmws.fetch_add(1, std::memory_order_relaxed);
+  s.bytes_written.fetch_add(key.size() + operand.size(), std::memory_order_relaxed);
   return Status::Ok();
 }
 
 StoreStats MemStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  StoreStats out;
+  for (const Stripe& s : stripes_) {
+    out.gets += s.gets.load(std::memory_order_relaxed);
+    out.puts += s.puts.load(std::memory_order_relaxed);
+    out.merges += s.merges.load(std::memory_order_relaxed);
+    out.deletes += s.deletes.load(std::memory_order_relaxed);
+    out.rmws += s.rmws.load(std::memory_order_relaxed);
+    out.bytes_written += s.bytes_written.load(std::memory_order_relaxed);
+    out.bytes_read += s.bytes_read.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 }  // namespace gadget

@@ -13,7 +13,9 @@
 #ifndef GADGET_STREAMS_STATE_ACCESS_H_
 #define GADGET_STREAMS_STATE_ACCESS_H_
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 
@@ -63,13 +65,24 @@ struct StateAccess {
   uint64_t timestamp = 0;   // logical time of the operation (ms)
 };
 
-// 16-byte big-endian encoding, order-preserving.
-inline std::string EncodeStateKey(const StateKey& k) {
-  std::string out(16, '\0');
-  for (int i = 0; i < 8; ++i) {
-    out[i] = static_cast<char>((k.hi >> (56 - 8 * i)) & 0xff);
-    out[8 + i] = static_cast<char>((k.lo >> (56 - 8 * i)) & 0xff);
+// 16-byte big-endian encoding, order-preserving. The *To variant reuses the
+// caller's buffer so hot replay loops avoid a heap allocation per operation
+// (16 bytes exceeds libstdc++'s SSO capacity).
+inline void EncodeStateKeyTo(const StateKey& k, std::string* out) {
+  out->resize(16);
+  uint64_t hi = k.hi;
+  uint64_t lo = k.lo;
+  if constexpr (std::endian::native == std::endian::little) {
+    hi = __builtin_bswap64(hi);
+    lo = __builtin_bswap64(lo);
   }
+  std::memcpy(out->data(), &hi, 8);
+  std::memcpy(out->data() + 8, &lo, 8);
+}
+
+inline std::string EncodeStateKey(const StateKey& k) {
+  std::string out;
+  EncodeStateKeyTo(k, &out);
   return out;
 }
 

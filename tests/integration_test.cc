@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <thread>
 
 #include "src/analysis/metrics.h"
 #include "src/common/file_util.h"
