@@ -15,7 +15,10 @@ namespace {
 struct EngineFixture {
   explicit EngineFixture(const std::string& engine) {
     dir = std::make_unique<ScopedTempDir>();
-    auto opened = OpenStore(engine, dir->path() + "/db");
+    StoreOptions opts;
+    opts.engine = engine;
+    opts.dir = dir->path() + "/db";
+    auto opened = OpenStore(opts);
     if (opened.ok()) {
       store = std::move(*opened);
     }
@@ -76,6 +79,58 @@ void BM_BucketAppend(benchmark::State& state, const std::string& engine) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 
+// Batched-write throughput: each iteration fills one WriteBatch of
+// state.range(0) puts and commits it with a single Write() call. Keys are
+// precomputed — KeyOf's snprintf costs ~100ns, enough to mask the per-op
+// savings the batch path is supposed to expose.
+void BM_WriteBatch(benchmark::State& state, const std::string& engine) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  EngineFixture fx(engine);
+  std::string value(256, 'v');
+  std::vector<std::string> keys;
+  keys.reserve(10'000);
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    keys.push_back(KeyOf(i));
+  }
+  WriteBatch wb;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    wb.Clear();  // keeps entry storage: no per-op allocation in steady state
+    for (size_t j = 0; j < batch; ++j) {
+      wb.Put(keys[i++ % 10'000], value);
+    }
+    benchmark::DoNotOptimize(fx.store->Write(wb));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+
+// Vector-lookup throughput: one MultiGet of state.range(0) keys per
+// iteration, striding the preloaded key space.
+void BM_MultiGet(benchmark::State& state, const std::string& engine) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  EngineFixture fx(engine);
+  std::string value(256, 'v');
+  std::vector<std::string> preloaded;
+  preloaded.reserve(10'000);
+  for (uint64_t i = 0; i < 10'000; ++i) {
+    preloaded.push_back(KeyOf(i));
+    (void)fx.store->Put(preloaded.back(), value);
+  }
+  std::vector<std::string> keys(batch);
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    for (size_t j = 0; j < batch; ++j) {
+      keys[j] = preloaded[i++ * 7919 % 10'000];
+    }
+    benchmark::DoNotOptimize(fx.store->MultiGet(keys, &values, &statuses));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+
 #define REGISTER_ENGINE_BENCH(fn)                                          \
   BENCHMARK_CAPTURE(fn, lsm, std::string("lsm"));                          \
   BENCHMARK_CAPTURE(fn, lethe, std::string("lethe"));                      \
@@ -83,9 +138,25 @@ void BM_BucketAppend(benchmark::State& state, const std::string& engine) {
   BENCHMARK_CAPTURE(fn, faster, std::string("faster"));                    \
   BENCHMARK_CAPTURE(fn, mem, std::string("mem"))
 
+// Sweep batch width 1 -> 256; Arg(1) is the apples-to-apples baseline (one
+// op per Write/MultiGet call) against which the wins are quoted.
+#define REGISTER_BATCH_BENCH(fn)                                           \
+  BENCHMARK_CAPTURE(fn, lsm, std::string("lsm"))                           \
+      ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);                        \
+  BENCHMARK_CAPTURE(fn, lethe, std::string("lethe"))                       \
+      ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);                        \
+  BENCHMARK_CAPTURE(fn, btree, std::string("btree"))                       \
+      ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);                        \
+  BENCHMARK_CAPTURE(fn, faster, std::string("faster"))                     \
+      ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);                        \
+  BENCHMARK_CAPTURE(fn, mem, std::string("mem"))                           \
+      ->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+
 REGISTER_ENGINE_BENCH(BM_Put);
 REGISTER_ENGINE_BENCH(BM_Get);
 REGISTER_ENGINE_BENCH(BM_BucketAppend);
+REGISTER_BATCH_BENCH(BM_WriteBatch);
+REGISTER_BATCH_BENCH(BM_MultiGet);
 
 }  // namespace
 }  // namespace gadget

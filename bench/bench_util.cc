@@ -59,7 +59,10 @@ StatusOr<std::vector<Event>> DatasetEvents(const std::string& dataset_name, uint
 StatusOr<std::unique_ptr<KVStore>> OpenBenchStore(const std::string& engine,
                                                   const ScopedTempDir& dir,
                                                   const std::string& tag) {
-  return OpenStore(engine, dir.path() + "/" + engine + "-" + tag);
+  StoreOptions opts;
+  opts.engine = engine;
+  opts.dir = dir.path() + "/" + engine + "-" + tag;
+  return OpenStore(opts);
 }
 
 StatusOr<ReplayResult> ReplayOnStore(const std::vector<StateAccess>& trace,

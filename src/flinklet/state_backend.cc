@@ -36,7 +36,7 @@ Status InstrumentedStateBackend::Merge(const StateKey& key, std::string_view ope
                                        uint64_t t) {
   Record(OpType::kMerge, key, static_cast<uint32_t>(operand.size()), t);
   if (store_ != nullptr) {
-    if (store_->supports_merge()) {
+    if (store_has_merge_) {
       return store_->Merge(EncodeStateKey(key), operand);
     }
     return store_->ReadModifyWrite(EncodeStateKey(key), operand);

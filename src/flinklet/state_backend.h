@@ -25,7 +25,12 @@ class InstrumentedStateBackend {
   // Either argument may be null: store=null runs operators purely in memory
   // (fast trace collection); trace=null runs without recording.
   InstrumentedStateBackend(KVStore* store, std::vector<StateAccess>* trace)
-      : store_(store), trace_(trace) {}
+      : store_(store),
+        trace_(trace),
+        // Capability check hoisted to construction: Merge() is the hottest
+        // holistic-operator path and should not pay a virtual call per op to
+        // re-learn a property that never changes.
+        store_has_merge_(store != nullptr && store->supports_merge()) {}
 
   // NotFound when absent. Records a GET.
   Status Get(const StateKey& key, std::string* value, uint64_t t);
@@ -44,6 +49,7 @@ class InstrumentedStateBackend {
 
   KVStore* store_;
   std::vector<StateAccess>* trace_;
+  const bool store_has_merge_;
   std::unordered_map<StateKey, std::string, StateKeyHash> shadow_;
   uint64_t accesses_ = 0;
 };

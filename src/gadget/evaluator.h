@@ -32,6 +32,18 @@ struct ReplayOptions {
   // instances replay one shared trace into disjoint key namespaces without
   // materializing a shifted copy of the trace per instance.
   uint64_t key_hi_offset = 0;
+  // Coalesce up to this many operations into one Write(WriteBatch) /
+  // MultiGet call (1 = the classic one-call-per-op path, bit-for-bit
+  // unchanged). Same-key ordering is preserved: a get whose key sits in the
+  // pending write batch flushes the writes first (read-your-writes), and a
+  // write whose key is among the pending gets flushes the gets first, so the
+  // two pending key sets stay disjoint and no reordering ever crosses a
+  // same-key dependency — only ops on unrelated keys commit out of trace
+  // order, which no single-writer-per-key workload can observe.
+  // With batching, latency histograms record one sample per *flush* (the
+  // latency an operator sees for the whole batch); ops/throughput still
+  // count every operation.
+  uint64_t batch_size = 1;
 };
 
 struct ReplayResult {

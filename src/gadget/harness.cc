@@ -83,6 +83,17 @@ void PrintAnalysis(const std::vector<StateAccess>& trace, std::ostream& out) {
       << " of accesses predictable from the previous key\n";
 }
 
+StoreOptions StoreOptionsFrom(const Config& config, std::string dir) {
+  StoreOptions opts;
+  opts.engine = config.GetString("store", "lsm");
+  opts.dir = std::move(dir);
+  opts.cache_bytes = config.GetUint("store_cache_bytes", 0);
+  opts.mem_stripes = config.GetUint("store_stripes", 0);
+  opts.sync_writes = config.GetBool("sync_writes");
+  opts.batch_size = std::max<uint64_t>(config.GetUint("batch_size", 1), 1);
+  return opts;
+}
+
 Status Evaluate(const std::vector<StateAccess>& trace, const Config& config,
                 std::ostream& out) {
   const std::string engine = config.GetString("store", "lsm");
@@ -92,13 +103,15 @@ Status Evaluate(const std::vector<StateAccess>& trace, const Config& config,
     tmp = std::make_unique<ScopedTempDir>("gadget-harness");
     dir = tmp->path() + "/db";
   }
-  auto store = OpenStore(engine, dir);
+  const StoreOptions sopts = StoreOptionsFrom(config, dir);
+  auto store = OpenStore(sopts);
   if (!store.ok()) {
     return store.status();
   }
   ReplayOptions ropts;
   ropts.service_rate_ops_per_sec = config.GetDouble("service_rate", 0);
   ropts.max_ops = config.GetUint("max_ops", 0);
+  ropts.batch_size = sopts.batch_size;
   auto result = ReplayTrace(trace, store->get(), ropts);
   if (!result.ok()) {
     return result.status();
@@ -145,7 +158,8 @@ Status RunYcsb(const Config& config, std::ostream& out) {
     tmp = std::make_unique<ScopedTempDir>("gadget-ycsb");
     dir = tmp->path() + "/db";
   }
-  auto store = OpenStore(engine, dir);
+  const StoreOptions sopts = StoreOptionsFrom(config, dir);
+  auto store = OpenStore(sopts);
   if (!store.ok()) {
     return store.status();
   }
@@ -155,6 +169,7 @@ Status RunYcsb(const Config& config, std::ostream& out) {
   }
   ReplayOptions ropts;
   ropts.max_ops = config.GetUint("max_ops", 0);
+  ropts.batch_size = sopts.batch_size;
   auto result = ReplayTrace(workload->run, store->get(), ropts);
   if (!result.ok()) {
     return result.status();

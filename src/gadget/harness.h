@@ -22,6 +22,13 @@
 //   join_lower_ms / join_upper_ms / allowed_lateness_ms           (paper defaults)
 //   store            mem | lsm | lethe | faster | btree           (lsm)
 //   store_dir        storage directory (temp dir if empty)
+//   store_cache_bytes block/page cache or log window bytes, 0 =
+//                    engine default                               (0)
+//   store_stripes    MemStore lock-stripe count, 0 = default      (0)
+//   sync_writes      fsync the WAL/log on every commit (group
+//                    commit makes this per-batch with batching)   (false)
+//   batch_size       coalesce up to N consecutive ops into one
+//                    WriteBatch / MultiGet, 1 = op-at-a-time      (1)
 //   service_rate     replay pacing, ops/s, 0 = unpaced            (0)
 //   max_ops          replay budget, 0 = whole trace               (0)
 //   trace_out        offline mode: output trace path

@@ -41,6 +41,14 @@ class BTreeStore : public KVStore {
   Status Put(std::string_view key, std::string_view value) override;
   Status Get(std::string_view key, std::string* value) override;
   Status Delete(std::string_view key) override;
+  Status ReadModifyWrite(std::string_view key, std::string_view operand) override;
+
+  // Batched paths: one mu_ acquisition and one cache-eviction sweep per
+  // batch instead of one per operation (page granularity — consecutive
+  // entries hitting the same leaf reuse the cached page without re-locking).
+  Status Write(const WriteBatch& batch) override;
+  Status MultiGet(const std::vector<std::string>& keys, std::vector<std::string>* values,
+                  std::vector<Status>* statuses) override;
 
   Status Flush() override;
   Status Close() override;
@@ -88,6 +96,7 @@ class BTreeStore : public KVStore {
   Status GetLocked(std::string_view key, std::string* value);
   Status PutLocked(std::string_view key, std::string_view value);
   Status DeleteLocked(std::string_view key);
+  Status RmwLocked(std::string_view key, std::string_view operand);
   // Descends to the leaf for `key`, recording the path (page ids + child
   // indices) for split propagation.
   struct PathEntry {

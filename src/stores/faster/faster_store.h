@@ -46,6 +46,12 @@ class FasterStore : public KVStore {
   Status Delete(std::string_view key) override;
   Status ReadModifyWrite(std::string_view key, std::string_view operand) override;
 
+  // Batched paths: one mu_ acquisition per batch (record granularity —
+  // appends within the batch land contiguously at the tail).
+  Status Write(const WriteBatch& batch) override;
+  Status MultiGet(const std::vector<std::string>& keys, std::vector<std::string>* values,
+                  std::vector<Status>* statuses) override;
+
   Status Flush() override;
   Status Close() override;
   StoreStats stats() const override;
@@ -68,6 +74,13 @@ class FasterStore : public KVStore {
   // Evicts the cold prefix of the memory window to disk. Requires mu_ held.
   Status MaybeEvictLocked();
   bool InMutableRegionLocked(uint64_t addr) const;
+
+  // Single-operation bodies without locking or stats, shared by the public
+  // facade and the batched paths. Require mu_ held.
+  Status PutLocked(std::string_view key, std::string_view value);
+  Status GetLocked(std::string_view key, std::string* value);
+  Status DeleteLocked(std::string_view key);
+  Status RmwLocked(std::string_view key, std::string_view operand);
 
   const std::string dir_;
   const FasterOptions opts_;

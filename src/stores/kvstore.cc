@@ -18,30 +18,88 @@ Status KVStore::ReadModifyWrite(std::string_view key, std::string_view operand) 
   return Put(key, value);
 }
 
-StatusOr<std::unique_ptr<KVStore>> OpenStore(const std::string& engine, const std::string& dir) {
+Status KVStore::Write(const WriteBatch& batch) {
+  // Correct-by-construction fallback: one single-op call per entry, in
+  // order. Engines override this with a one-epoch implementation.
+  const bool has_merge = supports_merge();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const WriteBatch::Entry& e = batch.entry(i);
+    Status s;
+    switch (e.op) {
+      case WriteBatch::Op::kPut:
+        s = Put(e.key, e.value);
+        break;
+      case WriteBatch::Op::kMerge:
+        s = has_merge ? Merge(e.key, e.value) : ReadModifyWrite(e.key, e.value);
+        break;
+      case WriteBatch::Op::kDelete:
+        s = Delete(e.key);
+        break;
+    }
+    GADGET_RETURN_IF_ERROR(s);
+  }
+  NoteBatch(batch.size());
+  return Status::Ok();
+}
+
+Status KVStore::MultiGet(const std::vector<std::string>& keys,
+                         std::vector<std::string>* values, std::vector<Status>* statuses) {
+  values->resize(keys.size());
+  statuses->assign(keys.size(), Status::Ok());
+  Status first_error;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    (*statuses)[i] = Get(keys[i], &(*values)[i]);
+    if (!(*statuses)[i].ok() && !(*statuses)[i].IsNotFound() && first_error.ok()) {
+      first_error = (*statuses)[i];
+    }
+  }
+  NoteBatch(keys.size());
+  return first_error;
+}
+
+StatusOr<std::unique_ptr<KVStore>> OpenStore(const StoreOptions& options) {
+  const std::string& engine = options.engine;
   if (engine == "mem") {
-    return std::unique_ptr<KVStore>(new MemStore());
+    return std::unique_ptr<KVStore>(new MemStore(
+        options.mem_stripes == 0 ? MemStore::kDefaultStripes : options.mem_stripes));
   }
-  GADGET_RETURN_IF_ERROR(CreateDirIfMissing(dir));
-  if (engine == "lsm") {
+  GADGET_RETURN_IF_ERROR(CreateDirIfMissing(options.dir));
+  if (engine == "lsm" || engine == "lethe") {
     LsmOptions opts;
-    return LsmStore::Open(dir, opts);
-  }
-  if (engine == "lethe") {
-    LsmOptions opts;
-    opts.delete_aware = true;
-    opts.delete_persistence_ms = 10'000;  // paper: Lethe delete threshold 10s
-    return LsmStore::Open(dir, opts);
+    if (options.cache_bytes > 0) {
+      opts.block_cache_bytes = options.cache_bytes;
+    }
+    opts.sync_writes = options.sync_writes;
+    if (engine == "lethe") {
+      opts.delete_aware = true;
+      opts.delete_persistence_ms = 10'000;  // paper: Lethe delete threshold 10s
+    }
+    return LsmStore::Open(options.dir, opts);
   }
   if (engine == "faster") {
     FasterOptions opts;
-    return FasterStore::Open(dir, opts);
+    if (options.cache_bytes > 0) {
+      opts.log_memory_bytes = options.cache_bytes;
+    }
+    opts.sync_writes = options.sync_writes;
+    return FasterStore::Open(options.dir, opts);
   }
   if (engine == "btree") {
     BTreeOptions opts;
-    return BTreeStore::Open(dir, opts);
+    if (options.cache_bytes > 0) {
+      opts.cache_bytes = options.cache_bytes;
+    }
+    opts.sync_writes = options.sync_writes;
+    return BTreeStore::Open(options.dir, opts);
   }
   return Status::InvalidArgument("unknown engine: " + engine);
+}
+
+StatusOr<std::unique_ptr<KVStore>> OpenStore(const std::string& engine, const std::string& dir) {
+  StoreOptions options;
+  options.engine = engine;
+  options.dir = dir;
+  return OpenStore(options);
 }
 
 }  // namespace gadget

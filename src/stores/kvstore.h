@@ -6,15 +6,39 @@
 // project are *operand append* (RocksDB list-append merge operator), which is
 // what holistic window buckets need.
 //
+// Batched execution: real streaming runtimes amortize store crossings (Flink
+// batches state writes per checkpoint; RocksDB's high-throughput path is
+// WriteBatch/MultiGet). The interface therefore exposes
+//   * Write(WriteBatch)  — an ordered sequence of put/merge/delete entries
+//     applied under ONE synchronization epoch (one lock acquisition, one WAL
+//     group-commit record where the engine has a WAL);
+//   * MultiGet           — vector point lookup with per-key statuses.
+// Both have correct-by-construction defaults (loop over the single-op
+// methods), and every engine overrides them with an amortized
+// implementation. Entries within a batch apply in insertion order, so a batch
+// that puts then deletes one key leaves it deleted.
+//
+// Stats accounting contract (identical across engines AND across the batched
+// and single-op paths — asserted by tests/batch_test.cc):
+//   * gets/puts/merges/deletes/rmws count one per logical operation, whether
+//     issued singly or inside a batch;
+//   * bytes_written  += key+value for put/merge/rmw, += key for delete;
+//   * bytes_read     += returned value bytes for each successful get;
+//   * batches        += 1 per Write()/MultiGet() call,
+//     batched_ops    += operations carried by those calls — these two are the
+//     only counters allowed to differ between batch sizes.
+//
 // Thread-safety: all engines are internally synchronized (Fig. 14 shares one
 // store instance across concurrently running operators).
 #ifndef GADGET_STORES_KVSTORE_H_
 #define GADGET_STORES_KVSTORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/status.h"
 
@@ -34,6 +58,54 @@ struct StoreStats {
   uint64_t compactions = 0;    // LSM compactions / btree merges
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  uint64_t batches = 0;        // Write()/MultiGet() calls
+  uint64_t batched_ops = 0;    // operations carried inside those calls
+};
+
+// An ordered sequence of put/merge/delete entries applied atomically with
+// respect to other writers (one synchronization epoch). Cleared batches keep
+// their entry storage, so a reused batch allocates nothing in steady state —
+// replay loops rebuild one batch per flush without per-op heap traffic.
+class WriteBatch {
+ public:
+  enum class Op : uint8_t { kPut = 0, kMerge = 1, kDelete = 2 };
+
+  struct Entry {
+    Op op = Op::kPut;
+    std::string key;
+    std::string value;  // operand for kMerge, empty for kDelete
+  };
+
+  void Put(std::string_view key, std::string_view value) {
+    Append(Op::kPut, key, value);
+  }
+  // Operand-append merge. Engines without native merge apply it as an eager
+  // read-modify-write (same observable semantics, counted as an rmw).
+  void Merge(std::string_view key, std::string_view operand) {
+    Append(Op::kMerge, key, operand);
+  }
+  void Delete(std::string_view key) { Append(Op::kDelete, key, {}); }
+
+  // Keeps entry capacity (keys/values reuse their buffers on the next fill).
+  void Clear() { size_ = 0; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Entry& entry(size_t i) const { return entries_[i]; }
+
+ private:
+  void Append(Op op, std::string_view key, std::string_view value) {
+    if (size_ == entries_.size()) {
+      entries_.emplace_back();
+    }
+    Entry& e = entries_[size_++];
+    e.op = op;
+    e.key.assign(key.data(), key.size());
+    e.value.assign(value.data(), value.size());
+  }
+
+  std::vector<Entry> entries_;  // [0, size_) live; tail retained for reuse
+  size_t size_ = 0;
 };
 
 class KVStore {
@@ -46,10 +118,12 @@ class KVStore {
   virtual Status Get(std::string_view key, std::string* value) = 0;
 
   // Lazy append of `operand` to the key's value (RocksDB-style merge).
-  // Engines without native merge return Unsupported; callers should fall
-  // back to ReadModifyWrite (the evaluator does this automatically).
+  // Engines without native merge return Unsupported; callers should consult
+  // supports_merge() once up front and fall back to ReadModifyWrite (the
+  // evaluator and the batch paths do this automatically).
   virtual Status Merge(std::string_view key, std::string_view operand) {
-    return Status::Unsupported(name() + " has no merge");
+    // Short message stays within SSO: no allocation on this per-op path.
+    return Status::Unsupported("no merge");
   }
 
   virtual Status Delete(std::string_view key) = 0;
@@ -58,6 +132,20 @@ class KVStore {
   // key treated as empty). Default implementation is Get+concat+Put; engines
   // override when they can do better (FASTER in-place RMW).
   virtual Status ReadModifyWrite(std::string_view key, std::string_view operand);
+
+  // Applies every entry of `batch` in order under one synchronization epoch.
+  // Default loops over the single-op methods (merge entries fall back to
+  // ReadModifyWrite when the engine lacks merge); engines override to take
+  // their locks once, group-commit their WAL, and batch at their native
+  // granularity. On error, a prefix of the batch may have been applied — the
+  // store itself stays consistent.
+  virtual Status Write(const WriteBatch& batch);
+
+  // Vector point lookup. Resizes *values and *statuses to keys.size();
+  // (*statuses)[i] is Ok/NotFound per key. Duplicate keys are looked up
+  // independently. Returns the first non-NotFound error, else Ok.
+  virtual Status MultiGet(const std::vector<std::string>& keys,
+                          std::vector<std::string>* values, std::vector<Status>* statuses);
 
   virtual bool supports_merge() const { return false; }
 
@@ -69,10 +157,46 @@ class KVStore {
   virtual StoreStats stats() const = 0;
 
   virtual std::string name() const = 0;
+
+ protected:
+  // Batch-visibility accounting shared by all engines: overrides of
+  // Write/MultiGet call NoteBatch(ops) once per call, and every stats()
+  // implementation folds the counters in via FoldBatchStats.
+  void NoteBatch(uint64_t ops) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_ops_.fetch_add(ops, std::memory_order_relaxed);
+  }
+  void FoldBatchStats(StoreStats* out) const {
+    out->batches = batches_.load(std::memory_order_relaxed);
+    out->batched_ops = batched_ops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_ops_{0};
 };
 
-// Engine factory. `engine` in {mem, lsm, lethe, faster, btree}; `dir` is the
-// storage directory (created if missing; ignored by mem).
+// Open-time configuration shared by every engine. Field semantics per engine:
+//   cache_bytes  — LSM block cache / B+tree page cache / FASTER in-memory log
+//                  window (0 = engine default);
+//   mem_stripes  — MemStore lock-stripe count (0 = MemStore default);
+//   sync_writes  — fsync the WAL / log on every commit (group commit makes
+//                  this per-batch rather than per-op);
+//   batch_size   — default operation-coalescing width replays should use
+//                  (consumed by the harness / ReplayOptions, not the engine).
+struct StoreOptions {
+  std::string engine = "lsm";  // mem | lsm | lethe | faster | btree
+  std::string dir;             // created if missing; ignored by mem
+  uint64_t cache_bytes = 0;
+  size_t mem_stripes = 0;
+  bool sync_writes = false;
+  uint64_t batch_size = 1;
+};
+
+// Engine factory.
+StatusOr<std::unique_ptr<KVStore>> OpenStore(const StoreOptions& options);
+
+// Back-compat overload: engine + dir with all other options at defaults.
 StatusOr<std::unique_ptr<KVStore>> OpenStore(const std::string& engine, const std::string& dir);
 
 }  // namespace gadget

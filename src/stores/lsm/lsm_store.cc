@@ -192,6 +192,53 @@ Status LsmStore::Delete(std::string_view key) {
   return WriteInternal(RecType::kTombstone, key, "");
 }
 
+Status LsmStore::Write(const WriteBatch& batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!bg_error_.ok()) {
+    return bg_error_;
+  }
+  if (closing_) {
+    return Status::Internal("store is closed");
+  }
+  if (!batch.empty()) {
+    // Group commit: the whole batch becomes one WAL record — one crc, one
+    // buffered write, at most one fsync regardless of batch size.
+    GADGET_RETURN_IF_ERROR(wal_->AppendBatch(batch, opts_.sync_writes));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const WriteBatch::Entry& e = batch.entry(i);
+      switch (e.op) {
+        case WriteBatch::Op::kPut:
+          mem_->Put(e.key, e.value);
+          ++stats_.puts;
+          break;
+        case WriteBatch::Op::kMerge:
+          mem_->Merge(e.key, e.value);
+          ++stats_.merges;
+          break;
+        case WriteBatch::Op::kDelete:
+          mem_->Delete(e.key);
+          ++stats_.deletes;
+          break;
+      }
+      stats_.bytes_written += e.key.size() + e.value.size();
+    }
+    // Memtable pressure is checked once per batch; the overshoot is bounded
+    // by one batch's payload.
+    if (mem_->ApproximateBytes() >= opts_.write_buffer_size) {
+      while (current_->levels[0].size() >=
+                 static_cast<size_t>(opts_.l0_stall_limit) &&
+             bg_error_.ok() && !closing_) {
+        work_cv_.notify_all();
+        stall_cv_.wait(lock);
+      }
+      GADGET_RETURN_IF_ERROR(FlushMemTableLocked());
+      work_cv_.notify_all();
+    }
+  }
+  NoteBatch(batch.size());
+  return Status::Ok();
+}
+
 StatusOr<std::shared_ptr<FileMeta>> LsmStore::BuildTableFromMemLocked() {
   uint64_t number = next_file_number_++;
   const std::string path = SstPath(dir_, number);
@@ -277,12 +324,73 @@ Status LsmStore::Get(std::string_view key, std::string* value) {
   if (state == LookupState::kDeleted) {
     return Status::NotFound();
   }
-  std::vector<std::string> acc = std::move(layer_ops);  // newest-first accumulation
   std::shared_ptr<const Version> version = current_;
   lock.unlock();
   // From here on the lookup works off the snapshot only: searching SSTables
   // (block I/O) must never touch mu_, or concurrent readers serialize behind
   // writers and the background compactor.
+  return SearchTablesUnlocked(*version, key, std::move(layer_ops), value);
+}
+
+Status LsmStore::MultiGet(const std::vector<std::string>& keys,
+                          std::vector<std::string>* values, std::vector<Status>* statuses) {
+  const size_t n = keys.size();
+  values->resize(n);
+  statuses->assign(n, Status::Ok());
+  // Keys the memtable could not resolve, with any merge operands it stacked.
+  struct PendingRead {
+    size_t index;
+    std::vector<std::string> acc;
+  };
+  std::vector<PendingRead> pending;
+  std::shared_ptr<const Version> version;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stats_.gets += n;
+    if (!bg_error_.ok()) {
+      return bg_error_;
+    }
+    std::string val;
+    std::vector<std::string> layer_ops;
+    for (size_t i = 0; i < n; ++i) {
+      val.clear();
+      layer_ops.clear();
+      LookupState state = mem_->Get(keys[i], &val, &layer_ops);
+      switch (state) {
+        case LookupState::kFound:
+          (*values)[i] = std::move(val);
+          read_bytes_.fetch_add((*values)[i].size(), std::memory_order_relaxed);
+          break;
+        case LookupState::kDeleted:
+          (*statuses)[i] = Status::NotFound();
+          break;
+        case LookupState::kNotFound:
+        case LookupState::kMergePartial:
+          pending.push_back({i, std::move(layer_ops)});
+          break;
+      }
+    }
+    if (!pending.empty()) {
+      version = current_;  // one snapshot covers every SSTable lookup below
+    }
+  }
+  Status first_error;
+  for (auto& p : pending) {
+    Status s = SearchTablesUnlocked(*version, keys[p.index], std::move(p.acc),
+                                    &(*values)[p.index]);
+    if (!s.ok() && !s.IsNotFound() && first_error.ok()) {
+      first_error = s;
+    }
+    (*statuses)[p.index] = std::move(s);
+  }
+  NoteBatch(n);
+  return first_error;
+}
+
+Status LsmStore::SearchTablesUnlocked(const Version& version, std::string_view key,
+                                      std::vector<std::string> acc, std::string* value) {
+  std::string val;
+  std::vector<std::string> layer_ops;
 
   auto finish_found = [&](std::string base) -> Status {
     *value = ApplyMerge(base, acc);
@@ -328,7 +436,7 @@ Status LsmStore::Get(std::string_view key, std::string* value) {
   };
 
   // L0: newest file first.
-  const auto& l0 = version->levels[0];
+  const auto& l0 = version.levels[0];
   for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
     bool terminal = false;
     Status s = search_file(*it, &terminal);
@@ -337,8 +445,8 @@ Status LsmStore::Get(std::string_view key, std::string* value) {
     }
   }
   // L1+: at most one file per level contains the key.
-  for (size_t l = 1; l < version->levels.size(); ++l) {
-    const auto& files = version->levels[l];
+  for (size_t l = 1; l < version.levels.size(); ++l) {
+    const auto& files = version.levels[l];
     auto it = std::lower_bound(files.begin(), files.end(), key,
                                [](const std::shared_ptr<FileMeta>& f, std::string_view k) {
                                  return std::string_view(f->largest) < k;
@@ -739,6 +847,7 @@ StoreStats LsmStore::stats() const {
   out.bytes_read += read_bytes_.load(std::memory_order_relaxed);
   out.cache_hits = cache_.hits();
   out.cache_misses = cache_.misses();
+  FoldBatchStats(&out);
   return out;
 }
 

@@ -44,6 +44,15 @@ class LsmStore : public KVStore {
   Status Merge(std::string_view key, std::string_view operand) override;
   Status Delete(std::string_view key) override;
 
+  // Batched paths. Write appends the whole batch as ONE group-commit WAL
+  // record (one crc, one buffered write, at most one fsync) and applies it to
+  // the memtable under one mu_ acquisition; memtable pressure is evaluated
+  // once per batch. MultiGet probes the memtable for every key and snapshots
+  // the Version once, then resolves the misses against SSTables lock-free.
+  Status Write(const WriteBatch& batch) override;
+  Status MultiGet(const std::vector<std::string>& keys, std::vector<std::string>* values,
+                  std::vector<Status>* statuses) override;
+
   bool supports_merge() const override { return true; }
   Status Flush() override;
   Status Close() override;
@@ -60,6 +69,12 @@ class LsmStore : public KVStore {
 
   Status Recover();
   Status WriteInternal(RecType type, std::string_view key, std::string_view value);
+
+  // SSTable half of the read path, shared by Get and MultiGet. `acc` carries
+  // merge operands already accumulated from newer layers (the memtable). Must
+  // be called with no locks held: it does block I/O against the snapshot.
+  Status SearchTablesUnlocked(const Version& version, std::string_view key,
+                              std::vector<std::string> acc, std::string* value);
 
   // Requires mu_ held. Flushes the active memtable into an L0 file.
   Status FlushMemTableLocked();

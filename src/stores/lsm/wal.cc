@@ -4,6 +4,59 @@
 #include "src/common/crc32c.h"
 
 namespace gadget {
+namespace {
+
+void PutOp(std::string* payload, RecType type, std::string_view key, std::string_view value) {
+  payload->push_back(static_cast<char>(type));
+  PutVarint32(payload, static_cast<uint32_t>(key.size()));
+  payload->append(key.data(), key.size());
+  PutVarint32(payload, static_cast<uint32_t>(value.size()));
+  payload->append(value.data(), value.size());
+}
+
+RecType RecTypeFor(WriteBatch::Op op) {
+  switch (op) {
+    case WriteBatch::Op::kPut:
+      return RecType::kValue;
+    case WriteBatch::Op::kMerge:
+      return RecType::kMergeStack;
+    case WriteBatch::Op::kDelete:
+      return RecType::kTombstone;
+  }
+  return RecType::kValue;
+}
+
+// Decodes `type | varint klen | key | varint vlen | value` from [*pp, limit).
+// Advances *pp past the op on success.
+bool GetOp(const char** pp, const char* limit, RecType* type, std::string_view* key,
+           std::string_view* value) {
+  const char* p = *pp;
+  if (p >= limit) {
+    return false;
+  }
+  uint8_t raw = static_cast<uint8_t>(*p++);
+  if (raw > static_cast<uint8_t>(RecType::kMergeStack)) {
+    return false;
+  }
+  *type = static_cast<RecType>(raw);
+  uint32_t klen = 0;
+  p = GetVarint32(p, limit, &klen);
+  if (p == nullptr || static_cast<size_t>(limit - p) < klen) {
+    return false;
+  }
+  *key = std::string_view(p, klen);
+  p += klen;
+  uint32_t vlen = 0;
+  p = GetVarint32(p, limit, &vlen);
+  if (p == nullptr || static_cast<size_t>(limit - p) < vlen) {
+    return false;
+  }
+  *value = std::string_view(p, vlen);
+  *pp = p + vlen;
+  return true;
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path) {
   auto file = WritableFile::Create(path);
@@ -13,19 +66,11 @@ StatusOr<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path) 
   return std::unique_ptr<WalWriter>(new WalWriter(std::move(*file)));
 }
 
-Status WalWriter::Append(RecType type, std::string_view key, std::string_view value, bool sync) {
+Status WalWriter::AppendPayload(bool sync) {
   scratch_.clear();
-  std::string payload;
-  payload.reserve(key.size() + value.size() + 12);
-  payload.push_back(static_cast<char>(type));
-  PutVarint32(&payload, static_cast<uint32_t>(key.size()));
-  payload.append(key.data(), key.size());
-  PutVarint32(&payload, static_cast<uint32_t>(value.size()));
-  payload.append(value.data(), value.size());
-
-  PutFixed32(&scratch_, MaskCrc(Crc32c(0, payload.data(), payload.size())));
-  PutVarint32(&scratch_, static_cast<uint32_t>(payload.size()));
-  scratch_ += payload;
+  PutFixed32(&scratch_, MaskCrc(Crc32c(0, payload_.data(), payload_.size())));
+  PutVarint32(&scratch_, static_cast<uint32_t>(payload_.size()));
+  scratch_ += payload_;
   GADGET_RETURN_IF_ERROR(file_->Append(scratch_));
   if (sync) {
     return file_->Sync();
@@ -33,6 +78,27 @@ Status WalWriter::Append(RecType type, std::string_view key, std::string_view va
   // WAL durability without per-record fsync still requires the data to reach
   // the OS promptly so a process crash (not power loss) cannot lose it.
   return file_->Flush();
+}
+
+Status WalWriter::Append(RecType type, std::string_view key, std::string_view value, bool sync) {
+  payload_.clear();
+  payload_.reserve(key.size() + value.size() + 12);
+  PutOp(&payload_, type, key, value);
+  return AppendPayload(sync);
+}
+
+Status WalWriter::AppendBatch(const WriteBatch& batch, bool sync) {
+  if (batch.empty()) {
+    return Status::Ok();
+  }
+  payload_.clear();
+  payload_.push_back(static_cast<char>(kBatchRecordTag));
+  PutVarint32(&payload_, static_cast<uint32_t>(batch.size()));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const WriteBatch::Entry& e = batch.entry(i);
+    PutOp(&payload_, RecTypeFor(e.op), e.key, e.value);
+  }
+  return AppendPayload(sync);
 }
 
 Status WalWriter::Close() { return file_->Close(); }
@@ -58,22 +124,38 @@ StatusOr<uint64_t> ReplayWal(
     }
     const char* payload = q;
     const char* plimit = q + len;
-    RecType type = static_cast<RecType>(*payload++);
-    uint32_t klen = 0;
-    payload = GetVarint32(payload, plimit, &klen);
-    if (payload == nullptr || static_cast<size_t>(plimit - payload) < klen) {
-      break;
+    if (payload < plimit && static_cast<uint8_t>(*payload) == kBatchRecordTag) {
+      // v2 group-commit record: the crc already vouched for the whole batch,
+      // so inner decode failures mean a writer bug, not a torn write — stop.
+      ++payload;
+      uint32_t count = 0;
+      payload = GetVarint32(payload, plimit, &count);
+      if (payload == nullptr) {
+        break;
+      }
+      bool bad = false;
+      for (uint32_t i = 0; i < count; ++i) {
+        RecType type;
+        std::string_view key, value;
+        if (!GetOp(&payload, plimit, &type, &key, &value)) {
+          bad = true;
+          break;
+        }
+        fn(type, key, value);
+        ++applied;
+      }
+      if (bad) {
+        break;
+      }
+    } else {
+      RecType type;
+      std::string_view key, value;
+      if (!GetOp(&payload, plimit, &type, &key, &value)) {
+        break;
+      }
+      fn(type, key, value);
+      ++applied;
     }
-    std::string_view key(payload, klen);
-    payload += klen;
-    uint32_t vlen = 0;
-    payload = GetVarint32(payload, plimit, &vlen);
-    if (payload == nullptr || static_cast<size_t>(plimit - payload) < vlen) {
-      break;
-    }
-    std::string_view value(payload, vlen);
-    fn(type, key, value);
-    ++applied;
     p = plimit;
   }
   return applied;

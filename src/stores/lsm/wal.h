@@ -1,8 +1,21 @@
 // Write-ahead log. One log file per memtable generation; replayed on open,
 // deleted after the corresponding memtable flushes.
 //
-// Record: fixed32 masked-crc(payload) | varint32 len | payload
-// Payload: type byte (RecType) | varint32 klen | key | varint32 vlen | value
+// Record framing: fixed32 masked-crc(payload) | varint32 len | payload
+//
+// Two payload formats share the framing, distinguished by the first byte:
+//   v1 (single op):  type byte (RecType 0..2) | varint32 klen | key |
+//                    varint32 vlen | value
+//   v2 (group commit, kBatchRecordTag): tag byte | varint32 count |
+//                    count x (type byte | varint32 klen | key |
+//                             varint32 vlen | value)
+// A v2 record carries an entire WriteBatch under ONE crc and (when syncing)
+// ONE fsync — the group-commit path. Because the crc covers the whole
+// payload, a partially synced batch record fails verification and replay
+// stops cleanly before applying any of its entries: batches are
+// all-or-nothing on recovery. Pre-v2 log files contain only v1 records and
+// replay unchanged (backward compatible).
+//
 // A torn tail (partial final record after a crash) stops replay cleanly.
 #ifndef GADGET_STORES_LSM_WAL_H_
 #define GADGET_STORES_LSM_WAL_H_
@@ -14,15 +27,27 @@
 
 #include "src/common/file_util.h"
 #include "src/common/status.h"
+#include "src/stores/kvstore.h"
 #include "src/stores/lsm/format.h"
 
 namespace gadget {
+
+// First payload byte of a v2 group-commit record. RecType occupies 0..2, so
+// any value outside that range works; 3 is the next code point.
+inline constexpr uint8_t kBatchRecordTag = 3;
 
 class WalWriter {
  public:
   static StatusOr<std::unique_ptr<WalWriter>> Create(const std::string& path);
 
   Status Append(RecType type, std::string_view key, std::string_view value, bool sync);
+
+  // Appends the whole batch as one v2 record: one crc, one buffered write,
+  // one fsync when `sync`. Batch ops map kPut -> kValue, kMerge ->
+  // kMergeStack (single raw operand, same convention as Append), kDelete ->
+  // kTombstone.
+  Status AppendBatch(const WriteBatch& batch, bool sync);
+
   Status Close();
 
   uint64_t size() const { return file_->size(); }
@@ -30,12 +55,16 @@ class WalWriter {
  private:
   explicit WalWriter(std::unique_ptr<WritableFile> file) : file_(std::move(file)) {}
 
+  Status AppendPayload(bool sync);
+
   std::unique_ptr<WritableFile> file_;
   std::string scratch_;
+  std::string payload_;
 };
 
-// Replays records until EOF or the first corrupt/torn record. Returns the
-// number of records applied.
+// Replays records until EOF or the first corrupt/torn record, invoking `fn`
+// once per logical operation (v2 batch records fan out to one call per
+// entry). Returns the number of operations applied.
 StatusOr<uint64_t> ReplayWal(
     const std::string& path,
     const std::function<void(RecType type, std::string_view key, std::string_view value)>& fn);

@@ -32,6 +32,14 @@ class MemStore : public KVStore {
   Status Delete(std::string_view key) override;
   Status ReadModifyWrite(std::string_view key, std::string_view operand) override;
 
+  // Batched paths: entries are grouped by stripe (stable, so same-key order
+  // is preserved — equal keys always hash to the same stripe) and each
+  // stripe's lock is taken once per batch instead of once per operation;
+  // per-stripe counters are updated once per group.
+  Status Write(const WriteBatch& batch) override;
+  Status MultiGet(const std::vector<std::string>& keys, std::vector<std::string>* values,
+                  std::vector<Status>* statuses) override;
+
   bool supports_merge() const override { return true; }
   StoreStats stats() const override;
   std::string name() const override { return "mem"; }

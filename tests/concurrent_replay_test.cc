@@ -40,7 +40,10 @@ TEST_P(EightInstancesTest, PerInstanceCountsAndDisjointNamespaces) {
     traces.push_back(MixedTrace(2'000 + 100 * static_cast<uint64_t>(i), 64));
   }
   ScopedTempDir dir;
-  auto store = OpenStore(engine, dir.path() + "/db");
+  StoreOptions sopts;
+  sopts.engine = engine;
+  sopts.dir = dir.path() + "/db";
+  auto store = OpenStore(sopts);
   ASSERT_TRUE(store.ok()) << store.status().ToString();
   auto result = ReplayConcurrently(traces, store->get(), {}, kStride);
   ASSERT_TRUE(result.ok()) << result.status().ToString();

@@ -49,7 +49,10 @@ TEST_P(WorkloadEngineTest, FullPipelineReplays) {
   ASSERT_GT(trace->size(), 1'000u);
 
   ScopedTempDir dir;
-  auto store = OpenStore(engine, dir.path() + "/db");
+  StoreOptions sopts;
+  sopts.engine = engine;
+  sopts.dir = dir.path() + "/db";
+  auto store = OpenStore(sopts);
   ASSERT_TRUE(store.ok()) << store.status().ToString();
   auto result = ReplayTrace(*trace, store->get());
   ASSERT_TRUE(result.ok()) << op << "/" << engine << ": " << result.status().ToString();

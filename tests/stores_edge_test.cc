@@ -23,7 +23,10 @@ class ValueSizeTest
 TEST_P(ValueSizeTest, RoundTripsExactBytes) {
   const auto& [engine, size] = GetParam();
   ScopedTempDir dir;
-  auto store = OpenStore(engine, dir.path() + "/db");
+  StoreOptions sopts;
+  sopts.engine = engine;
+  sopts.dir = dir.path() + "/db";
+  auto store = OpenStore(sopts);
   ASSERT_TRUE(store.ok());
   std::string value;
   value.reserve(static_cast<size_t>(size));

@@ -23,7 +23,10 @@ class StoreContractTest : public ::testing::TestWithParam<const char*> {
  protected:
   void SetUp() override {
     dir_ = std::make_unique<ScopedTempDir>();
-    auto store = OpenStore(GetParam(), dir_->path() + "/db");
+    StoreOptions opts;
+    opts.engine = GetParam();
+    opts.dir = dir_->path() + "/db";
+    auto store = OpenStore(opts);
     ASSERT_TRUE(store.ok()) << store.status().ToString();
     store_ = std::move(*store);
   }

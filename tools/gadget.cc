@@ -8,6 +8,7 @@
 //   gadget configs/tumbling.conf
 //   gadget configs/tumbling.conf store=faster events=500000
 //   gadget - mode=ycsb ycsb_workload=F store=btree
+//   gadget configs/tumbling.conf store=lsm batch_size=64 sync_writes=true
 #include <cstdio>
 #include <iostream>
 #include <string>
