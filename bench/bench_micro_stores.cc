@@ -2,10 +2,17 @@
 // engine, merge vs read-modify-write on growing buckets, and block/page
 // cache behaviour. These are the building blocks behind the shapes in
 // Figures 12/13.
+//
+// When GADGET_BENCH_JSON=<path> is set, a machine-readable gadget.bench/1
+// report is additionally written there after the benchmarks run: one small
+// replay (OpsBudget() ops, so GADGET_OPS bounds it) per engine, labeled
+// "replay/<engine>". CI's bench-smoke job validates and archives this file.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
 
+#include "bench/bench_util.h"
 #include "src/common/file_util.h"
 #include "src/stores/kvstore.h"
 
@@ -158,7 +165,75 @@ REGISTER_ENGINE_BENCH(BM_BucketAppend);
 REGISTER_BATCH_BENCH(BM_WriteBatch);
 REGISTER_BATCH_BENCH(BM_MultiGet);
 
+// A small synthetic put/get mix over 1024 keys — enough to touch every
+// engine's read and write path and accumulate nonzero StoreStats.
+std::vector<StateAccess> JsonReplayTrace(uint64_t ops) {
+  std::vector<StateAccess> trace;
+  trace.reserve(ops);
+  for (uint64_t i = 0; i < ops; ++i) {
+    StateAccess a;
+    a.key.hi = 1;
+    a.key.lo = i % 1024;
+    a.op = (i % 2 == 0) ? OpType::kPut : OpType::kGet;
+    a.value_size = 64;
+    trace.push_back(a);
+  }
+  return trace;
+}
+
+// Replays the synthetic trace on every engine and writes the gadget.bench/1
+// document to `path`. Returns false on the first failure.
+bool EmitMicroJson(const std::string& path) {
+  const uint64_t ops = bench::OpsBudget();
+  const std::vector<StateAccess> trace = JsonReplayTrace(ops);
+  ScopedTempDir dir("bench-micro-json");
+  std::vector<bench::BenchRun> runs;
+  for (const char* engine : {"mem", "lsm", "lethe", "btree", "faster"}) {
+    auto store = bench::OpenBenchStore(engine, dir, "json");
+    if (!store.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", engine, store.status().ToString().c_str());
+      return false;
+    }
+    ReplayOptions opts;
+    opts.timeline_interval_ops = ops / 4 > 0 ? ops / 4 : 1;
+    auto result = ReplayTrace(trace, store->get(), opts);
+    if (!result.ok()) {
+      std::fprintf(stderr, "replay %s: %s\n", engine, result.status().ToString().c_str());
+      return false;
+    }
+    bench::BenchRun run;
+    run.label = std::string("replay/") + engine;
+    run.engine = engine;
+    run.result = std::move(*result);
+    run.stats = (*store)->stats();
+    runs.push_back(std::move(run));
+    Status closed = (*store)->Close();
+    if (!closed.ok()) {
+      std::fprintf(stderr, "close %s: %s\n", engine, closed.ToString().c_str());
+      return false;
+    }
+  }
+  Status s = bench::EmitBenchJson(path, "micro_stores", runs);
+  if (!s.ok()) {
+    std::fprintf(stderr, "emit %s: %s\n", path.c_str(), s.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 }  // namespace gadget
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  if (const char* json = std::getenv("GADGET_BENCH_JSON"); json != nullptr && json[0] != '\0') {
+    if (!gadget::EmitMicroJson(json)) {
+      return 1;
+    }
+  }
+  return 0;
+}

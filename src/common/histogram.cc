@@ -74,6 +74,34 @@ uint64_t LatencyHistogram::Percentile(double p) const {
   return max_;
 }
 
+std::vector<std::pair<uint32_t, uint64_t>> LatencyHistogram::NonzeroBuckets() const {
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) {
+      out.emplace_back(static_cast<uint32_t>(i), buckets_[i]);
+    }
+  }
+  return out;
+}
+
+bool LatencyHistogram::Restore(
+    const std::vector<std::pair<uint32_t, uint64_t>>& sparse_buckets, double sum, uint64_t min,
+    uint64_t max) {
+  Reset();
+  for (const auto& [index, count] : sparse_buckets) {
+    if (index >= buckets_.size()) {
+      Reset();
+      return false;
+    }
+    buckets_[index] += count;
+    count_ += count;
+  }
+  sum_ = sum;
+  max_ = max;
+  min_ = count_ == 0 ? ~0ULL : min;
+  return true;
+}
+
 std::string LatencyHistogram::Summary(const std::string& unit) const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gadget {
@@ -25,6 +26,7 @@ class LatencyHistogram {
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
   uint64_t max() const { return max_; }
   double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double sum() const { return sum_; }
 
   // p in [0, 100]. Returns an approximation of the p-th percentile.
   uint64_t Percentile(double p) const;
@@ -32,10 +34,24 @@ class LatencyHistogram {
   // Multi-line human-readable summary (used by bench binaries).
   std::string Summary(const std::string& unit = "ns") const;
 
+  // --- serialization support (run reports, src/gadget/report.h) ---
+  // (index, count) for every nonzero bucket, ascending by index. Together
+  // with sum/min/max this is the histogram's full state.
+  std::vector<std::pair<uint32_t, uint64_t>> NonzeroBuckets() const;
+  size_t num_buckets() const { return buckets_.size(); }
+  // Smallest value that lands in bucket `index` (reports label buckets with
+  // this bound).
+  uint64_t BucketLowerBound(size_t index) const;
+  // Rebuilds the histogram from serialized parts (the inverse of
+  // NonzeroBuckets + sum/min/max accessors); count is recomputed from the
+  // bucket counts. Returns false — leaving the histogram reset — if any
+  // bucket index is out of range.
+  bool Restore(const std::vector<std::pair<uint32_t, uint64_t>>& sparse_buckets, double sum,
+               uint64_t min, uint64_t max);
+
  private:
   static constexpr int kSubBuckets = 64;  // per power-of-two resolution
   size_t BucketFor(uint64_t value) const;
-  uint64_t BucketLowerBound(size_t index) const;
 
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;

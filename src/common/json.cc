@@ -1,0 +1,378 @@
+#include "src/common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gadget {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(std::string* out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; null is the least-bad spelling
+    *out += "null";
+    return;
+  }
+  // Counters dominate reports: emit integral values without a fraction so
+  // they parse back as the same integer and diff cleanly.
+  if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    *out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+}
+
+struct Parser {
+  const char* p;
+  const char* end;
+  const char* begin;
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("json: " + msg + " at offset " +
+                                   std::to_string(p - begin));
+  }
+
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool Consume(char c) {
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Error("expected string");
+    }
+    out->clear();
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p >= end) {
+        return Error("truncated escape");
+      }
+      char e = *p++;
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (end - p < 4) {
+            return Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = *p++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not needed
+          // for report content; a lone surrogate encodes as-is).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+    if (!Consume('"')) {
+      return Error("unterminated string");
+    }
+    return Status::Ok();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > 64) {
+      return Error("nesting too deep");
+    }
+    SkipWs();
+    if (p >= end) {
+      return Error("unexpected end of input");
+    }
+    switch (*p) {
+      case '{': {
+        ++p;
+        *out = JsonValue::MakeObject();
+        SkipWs();
+        if (Consume('}')) {
+          return Status::Ok();
+        }
+        for (;;) {
+          SkipWs();
+          std::string key;
+          GADGET_RETURN_IF_ERROR(ParseString(&key));
+          SkipWs();
+          if (!Consume(':')) {
+            return Error("expected ':'");
+          }
+          JsonValue v;
+          GADGET_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+          out->Set(std::move(key), std::move(v));
+          SkipWs();
+          if (Consume(',')) {
+            continue;
+          }
+          if (Consume('}')) {
+            return Status::Ok();
+          }
+          return Error("expected ',' or '}'");
+        }
+      }
+      case '[': {
+        ++p;
+        *out = JsonValue::MakeArray();
+        SkipWs();
+        if (Consume(']')) {
+          return Status::Ok();
+        }
+        for (;;) {
+          JsonValue v;
+          GADGET_RETURN_IF_ERROR(ParseValue(&v, depth + 1));
+          out->Append(std::move(v));
+          SkipWs();
+          if (Consume(',')) {
+            continue;
+          }
+          if (Consume(']')) {
+            return Status::Ok();
+          }
+          return Error("expected ',' or ']'");
+        }
+      }
+      case '"': {
+        std::string s;
+        GADGET_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue(std::move(s));
+        return Status::Ok();
+      }
+      case 't':
+        if (end - p >= 4 && std::memcmp(p, "true", 4) == 0) {
+          p += 4;
+          *out = JsonValue(true);
+          return Status::Ok();
+        }
+        return Error("bad literal");
+      case 'f':
+        if (end - p >= 5 && std::memcmp(p, "false", 5) == 0) {
+          p += 5;
+          *out = JsonValue(false);
+          return Status::Ok();
+        }
+        return Error("bad literal");
+      case 'n':
+        if (end - p >= 4 && std::memcmp(p, "null", 4) == 0) {
+          p += 4;
+          *out = JsonValue();
+          return Status::Ok();
+        }
+        return Error("bad literal");
+      default: {
+        // Number: [-]digits[.digits][eE[+-]digits]
+        const char* start = p;
+        (void)Consume('-');
+        while (p < end && ((*p >= '0' && *p <= '9') || *p == '.' || *p == 'e' || *p == 'E' ||
+                           *p == '+' || *p == '-')) {
+          ++p;
+        }
+        if (p == start) {
+          return Error("unexpected character");
+        }
+        std::string num(start, static_cast<size_t>(p - start));
+        char* parse_end = nullptr;
+        double d = std::strtod(num.c_str(), &parse_end);
+        if (parse_end != num.c_str() + num.size()) {
+          return Error("bad number");
+        }
+        *out = JsonValue(d);
+        return Status::Ok();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+double JsonValue::GetDouble(const std::string& key, double def) const {
+  const JsonValue* v = Get(key);
+  return v != nullptr && v->is_number() ? v->AsDouble() : def;
+}
+
+uint64_t JsonValue::GetUint(const std::string& key, uint64_t def) const {
+  const JsonValue* v = Get(key);
+  return v != nullptr && v->is_number() ? v->AsUint64() : def;
+}
+
+std::string JsonValue::GetString(const std::string& key, const std::string& def) const {
+  const JsonValue* v = Get(key);
+  return v != nullptr && v->is_string() ? v->AsString() : def;
+}
+
+void JsonValue::WriteTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      break;
+    case Type::kString:
+      AppendEscaped(out, string_);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& v : array_) {
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        newline(depth + 1);
+        v.WriteTo(out, indent, depth + 1);
+      }
+      if (!array_.empty()) {
+        newline(depth);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, v] : members_) {
+        if (!first) {
+          out->push_back(',');
+        }
+        first = false;
+        newline(depth + 1);
+        AppendEscaped(out, key);
+        out->push_back(':');
+        if (indent > 0) {
+          out->push_back(' ');
+        }
+        v.WriteTo(out, indent, depth + 1);
+      }
+      if (!members_.empty()) {
+        newline(depth);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Write(int indent) const {
+  std::string out;
+  WriteTo(&out, indent, 0);
+  return out;
+}
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  Parser parser{text.data(), text.data() + text.size(), text.data()};
+  JsonValue value;
+  GADGET_RETURN_IF_ERROR(parser.ParseValue(&value, 0));
+  parser.SkipWs();
+  if (parser.p != parser.end) {
+    return parser.Error("trailing characters");
+  }
+  return value;
+}
+
+}  // namespace gadget

@@ -1,0 +1,101 @@
+// Minimal JSON value, parser and writer. Run reports (src/gadget/report.h)
+// are the primary consumer: CI parses, validates and diffs them, so emission
+// and parsing must round-trip exactly for the integer counters the reports
+// carry. No external dependencies.
+//
+// Numbers are stored as doubles; integer counters up to 2^53 round-trip
+// exactly, which covers every counter a run can realistically accumulate.
+// Object keys are kept in sorted order (std::map), so emission is
+// deterministic — two identical runs produce byte-identical reports.
+#ifndef GADGET_COMMON_JSON_H_
+#define GADGET_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace gadget {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}
+  JsonValue(double d) : type_(Type::kNumber), number_(d) {}
+  JsonValue(int64_t i) : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  JsonValue(uint64_t u) : type_(Type::kNumber), number_(static_cast<double>(u)) {}
+  JsonValue(int i) : type_(Type::kNumber), number_(i) {}
+  JsonValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(std::string_view s) : type_(Type::kString), string_(s) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}
+
+  static JsonValue MakeArray() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue MakeObject() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const { return number_; }
+  uint64_t AsUint64() const { return number_ <= 0 ? 0 : static_cast<uint64_t>(number_); }
+  int64_t AsInt64() const { return static_cast<int64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+
+  // Array access.
+  const std::vector<JsonValue>& items() const { return array_; }
+  void Append(JsonValue v) { array_.push_back(std::move(v)); }
+  size_t size() const { return type_ == Type::kArray ? array_.size() : members_.size(); }
+
+  // Object access. Get returns nullptr when the key is absent.
+  const std::map<std::string, JsonValue>& members() const { return members_; }
+  const JsonValue* Get(const std::string& key) const {
+    auto it = members_.find(key);
+    return it == members_.end() ? nullptr : &it->second;
+  }
+  void Set(std::string key, JsonValue v) { members_[std::move(key)] = std::move(v); }
+
+  // Typed object lookups with defaults (missing or wrong-typed -> default).
+  double GetDouble(const std::string& key, double def = 0) const;
+  uint64_t GetUint(const std::string& key, uint64_t def = 0) const;
+  std::string GetString(const std::string& key, const std::string& def = "") const;
+
+  // Serializes this value. `indent` > 0 pretty-prints with that many spaces
+  // per level; 0 emits the compact single-line form.
+  std::string Write(int indent = 0) const;
+
+ private:
+  void WriteTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> members_;
+};
+
+// Parses a complete JSON document (trailing garbage is an error). Returns
+// InvalidArgument with a byte offset on malformed input.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace gadget
+
+#endif  // GADGET_COMMON_JSON_H_

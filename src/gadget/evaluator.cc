@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <utility>
 
 namespace gadget {
 namespace {
@@ -34,6 +35,86 @@ struct KeyFilter {
   void Clear() { std::fill(std::begin(bits), std::end(bits), 0); }
 };
 
+// Collects per-interval TimelineSamples during one replay. The replay loops
+// feed it sampled latencies (RecordLatency) and signal after ops/not_found
+// advance (OnProgress); an interval closes once the cumulative op count
+// reaches the next boundary — exactly on it for the single-op path, at the
+// first flush at or after it when batching — and Finish emits the trailing
+// ragged interval. Each boundary takes one store->stats() snapshot, whose
+// delta against the previous snapshot becomes the sample's stats_delta.
+class TimelineCollector {
+ public:
+  TimelineCollector(const ReplayOptions& options, KVStore* store, ReplayResult* result)
+      : interval_(options.timeline_interval_ops), store_(store), result_(result) {}
+
+  bool active() const { return interval_ != 0; }
+
+  void Start(Clock::time_point start) {
+    if (!active()) {
+      return;
+    }
+    start_ = interval_start_time_ = start;
+    stats_at_start_ = store_->stats();
+    next_boundary_ = interval_;
+  }
+
+  void RecordLatency(uint64_t ns, bool is_read) {
+    if (!active()) {
+      return;
+    }
+    (is_read ? cur_read_ : cur_write_).Record(ns);
+  }
+
+  void OnProgress() {
+    if (!active() || result_->ops < next_boundary_) {
+      return;
+    }
+    CloseInterval(Clock::now());
+    next_boundary_ = result_->ops + interval_;
+  }
+
+  void Finish(Clock::time_point end) {
+    if (active() && result_->ops > interval_start_ops_) {
+      CloseInterval(end);
+    }
+  }
+
+ private:
+  void CloseInterval(Clock::time_point now) {
+    TimelineSample s;
+    s.index = result_->timeline.size();
+    s.ops = result_->ops - interval_start_ops_;
+    s.start_seconds = static_cast<double>(ElapsedNs(start_, interval_start_time_)) / 1e9;
+    s.end_seconds = static_cast<double>(ElapsedNs(start_, now)) / 1e9;
+    double span = s.end_seconds - s.start_seconds;
+    s.ops_per_sec = span > 0 ? static_cast<double>(s.ops) / span : 0;
+    s.not_found = result_->not_found - not_found_at_start_;
+    // Exchange against fresh histograms: a moved-from LatencyHistogram has no
+    // bucket storage and would crash on the next Record.
+    s.read_latency_ns = std::exchange(cur_read_, LatencyHistogram());
+    s.write_latency_ns = std::exchange(cur_write_, LatencyHistogram());
+    StoreStats stats_now = store_->stats();
+    s.stats_delta = stats_now.DeltaSince(stats_at_start_);
+    result_->timeline.push_back(std::move(s));
+    interval_start_ops_ = result_->ops;
+    not_found_at_start_ = result_->not_found;
+    interval_start_time_ = now;
+    stats_at_start_ = std::move(stats_now);
+  }
+
+  const uint64_t interval_;
+  KVStore* const store_;
+  ReplayResult* const result_;
+  Clock::time_point start_;
+  Clock::time_point interval_start_time_;
+  uint64_t next_boundary_ = 0;
+  uint64_t interval_start_ops_ = 0;
+  uint64_t not_found_at_start_ = 0;
+  StoreStats stats_at_start_;
+  LatencyHistogram cur_read_;
+  LatencyHistogram cur_write_;
+};
+
 // Exact membership: filter first, linear scan of the (small) pending-key
 // vector only on a filter hit.
 inline bool BatchContains(const std::vector<StateKey>& keys, const KeyFilter& filter,
@@ -57,6 +138,7 @@ inline bool BatchContains(const std::vector<StateKey>& keys, const KeyFilter& fi
 StatusOr<ReplayResult> ReplayBatched(const std::vector<StateAccess>& trace, KVStore* store,
                                      const ReplayOptions& options) {
   ReplayResult result;
+  TimelineCollector tl(options, store, &result);
   const size_t batch_size = static_cast<size_t>(options.batch_size);
   const uint64_t limit =
       options.max_ops == 0 ? trace.size() : std::min<uint64_t>(options.max_ops, trace.size());
@@ -98,6 +180,7 @@ StatusOr<ReplayResult> ReplayBatched(const std::vector<StateAccess>& trace, KVSt
       uint64_t ns = ElapsedNs(t0, Clock::now());
       result.latency_ns.Record(ns);
       result.read_latency_ns.Record(ns);
+      tl.RecordLatency(ns, /*is_read=*/true);
     }
     for (const Status& st : get_statuses) {
       if (st.IsNotFound()) {
@@ -108,6 +191,7 @@ StatusOr<ReplayResult> ReplayBatched(const std::vector<StateAccess>& trace, KVSt
     n_gets = 0;
     get_state_keys.clear();
     get_filter.Clear();
+    tl.OnProgress();
     return Status::Ok();
   };
   auto flush_writes = [&]() -> Status {
@@ -125,15 +209,18 @@ StatusOr<ReplayResult> ReplayBatched(const std::vector<StateAccess>& trace, KVSt
       uint64_t ns = ElapsedNs(t0, Clock::now());
       result.latency_ns.Record(ns);
       result.write_latency_ns.Record(ns);
+      tl.RecordLatency(ns, /*is_read=*/false);
     }
     result.ops += wb.size();
     wb.Clear();
     write_keys.clear();
     write_filter.Clear();
+    tl.OnProgress();
     return Status::Ok();
   };
 
   auto start = Clock::now();
+  tl.Start(start);
   for (uint64_t i = 0; i < limit; ++i) {
     const StateAccess& a = trace[i];
     if (pace_ns > 0) {
@@ -194,6 +281,7 @@ StatusOr<ReplayResult> ReplayBatched(const std::vector<StateAccess>& trace, KVSt
   GADGET_RETURN_IF_ERROR(flush_writes());
   GADGET_RETURN_IF_ERROR(flush_gets());
   auto end = Clock::now();
+  tl.Finish(end);
   result.elapsed_seconds = static_cast<double>(ElapsedNs(start, end)) / 1e9;
   result.throughput_ops_per_sec =
       result.elapsed_seconds > 0 ? static_cast<double>(result.ops) / result.elapsed_seconds : 0;
@@ -201,6 +289,18 @@ StatusOr<ReplayResult> ReplayBatched(const std::vector<StateAccess>& trace, KVSt
 }
 
 }  // namespace
+
+void TimelineSample::MergeFrom(const TimelineSample& other) {
+  ops += other.ops;
+  not_found += other.not_found;
+  start_seconds = std::min(start_seconds, other.start_seconds);
+  end_seconds = std::max(end_seconds, other.end_seconds);
+  double span = end_seconds - start_seconds;
+  ops_per_sec = span > 0 ? static_cast<double>(ops) / span : 0;
+  read_latency_ns.Merge(other.read_latency_ns);
+  write_latency_ns.Merge(other.write_latency_ns);
+  stats_delta.MergeMax(other.stats_delta);
+}
 
 void ReplayResult::MergeFrom(const ReplayResult& other) {
   ops += other.ops;
@@ -211,6 +311,13 @@ void ReplayResult::MergeFrom(const ReplayResult& other) {
   elapsed_seconds = std::max(elapsed_seconds, other.elapsed_seconds);
   throughput_ops_per_sec =
       elapsed_seconds > 0 ? static_cast<double>(ops) / elapsed_seconds : 0;
+  for (size_t i = 0; i < other.timeline.size(); ++i) {
+    if (i < timeline.size()) {
+      timeline[i].MergeFrom(other.timeline[i]);
+    } else {
+      timeline.push_back(other.timeline[i]);
+    }
+  }
 }
 
 std::string ReplayResult::Summary() const {
@@ -228,6 +335,7 @@ StatusOr<ReplayResult> ReplayTrace(const std::vector<StateAccess>& trace, KVStor
     return ReplayBatched(trace, store, options);
   }
   ReplayResult result;
+  TimelineCollector tl(options, store, &result);
   const bool has_merge = store->supports_merge();
   // Reusable synthetic value buffer; contents are irrelevant, size matters.
   std::string value_buf;
@@ -242,6 +350,7 @@ StatusOr<ReplayResult> ReplayTrace(const std::vector<StateAccess>& trace, KVStor
   std::string key;  // reused: EncodeStateKeyTo avoids an allocation per op
 
   auto start = Clock::now();
+  tl.Start(start);
   for (uint64_t i = 0; i < limit; ++i) {
     const StateAccess& a = trace[i];
     if (pace_ns > 0) {
@@ -294,10 +403,13 @@ StatusOr<ReplayResult> ReplayTrace(const std::vector<StateAccess>& trace, KVStor
       } else {
         result.write_latency_ns.Record(ns);
       }
+      tl.RecordLatency(ns, is_read);
     }
     ++result.ops;
+    tl.OnProgress();
   }
   auto end = Clock::now();
+  tl.Finish(end);
   result.elapsed_seconds = static_cast<double>(ElapsedNs(start, end)) / 1e9;
   result.throughput_ops_per_sec =
       result.elapsed_seconds > 0 ? static_cast<double>(result.ops) / result.elapsed_seconds : 0;

@@ -44,6 +44,36 @@ struct ReplayOptions {
   // latency an operator sees for the whole batch); ops/throughput still
   // count every operation.
   uint64_t batch_size = 1;
+  // When nonzero, collect a TimelineSample every N completed operations:
+  // per-interval throughput, read/write latency histograms, not-found count,
+  // and the store's StoreStats delta over the interval. The final interval
+  // may be ragged (fewer than N ops); under batching an interval closes at
+  // the first flush at or after its boundary, so mid-run intervals can also
+  // overshoot by up to batch_size - 1 ops.
+  uint64_t timeline_interval_ops = 0;
+};
+
+// One interval of a replay's timeline (ReplayOptions::timeline_interval_ops).
+// Keeps full latency histograms rather than pre-computed percentiles so
+// concurrent-replay merges stay bucket-wise exact.
+struct TimelineSample {
+  uint64_t index = 0;        // 0-based interval number within the replay
+  uint64_t ops = 0;          // operations completed in this interval
+  double start_seconds = 0;  // interval bounds relative to replay start
+  double end_seconds = 0;
+  double ops_per_sec = 0;
+  uint64_t not_found = 0;
+  LatencyHistogram read_latency_ns;
+  LatencyHistogram write_latency_ns;
+  StoreStats stats_delta;  // store counters consumed during this interval
+
+  // Folds the same-index sample of a concurrently measured result into this
+  // one: ops/not_found add, bounds widen (min start, max end), throughput is
+  // recomputed over the widened span, histograms merge bucket-wise, and
+  // stats_delta takes the element-wise max — concurrent instances share one
+  // store, so each delta already observes the whole store's counters and
+  // summing them would multiply by the thread count.
+  void MergeFrom(const TimelineSample& other);
 };
 
 struct ReplayResult {
@@ -54,11 +84,15 @@ struct ReplayResult {
   LatencyHistogram read_latency_ns;     // gets
   LatencyHistogram write_latency_ns;    // puts/merges/rmws/deletes
   uint64_t not_found = 0;               // gets that missed (expected for probes)
+  // Per-interval samples, empty unless timeline_interval_ops was set.
+  std::vector<TimelineSample> timeline;
 
   // Folds `other` (a result measured on a concurrently running thread) into
   // this one: op counts add, histograms merge bucket-wise (O(buckets), no
   // per-sample work), elapsed takes the max, and throughput is recomputed as
-  // total ops over that wall-clock span.
+  // total ops over that wall-clock span. Timelines merge sample-wise by
+  // interval index (see TimelineSample::MergeFrom); a longer timeline's
+  // trailing samples are appended as-is.
   void MergeFrom(const ReplayResult& other);
 
   std::string Summary() const;

@@ -8,6 +8,7 @@
 #include "src/common/file_util.h"
 #include "src/gadget/evaluator.h"
 #include "src/gadget/event_generator.h"
+#include "src/gadget/report.h"
 #include "src/gadget/workload.h"
 #include "src/streams/trace_io.h"
 #include "src/ycsb/ycsb.h"
@@ -94,6 +95,25 @@ StoreOptions StoreOptionsFrom(const Config& config, std::string dir) {
   return opts;
 }
 
+// Writes the gadget.report/1 document when the config asks for one
+// (report=<path>, the CLI's --report flag). No-op otherwise.
+Status MaybeWriteReport(const Config& config, const ReplayResult& result,
+                        const StoreStats& stats, std::ostream& out) {
+  const std::string path = config.GetString("report");
+  if (path.empty()) {
+    return Status::Ok();
+  }
+  ReportMeta meta;
+  meta.engine = config.GetString("store", "lsm");
+  meta.git = GitDescribe();
+  meta.timestamp = CurrentTimestamp();
+  meta.batch_size = std::max<uint64_t>(config.GetUint("batch_size", 1), 1);
+  meta.config = config.values();
+  GADGET_RETURN_IF_ERROR(WriteReportJson(path, meta, result, stats));
+  out << "report written to " << path << "\n";
+  return Status::Ok();
+}
+
 Status Evaluate(const std::vector<StateAccess>& trace, const Config& config,
                 std::ostream& out) {
   const std::string engine = config.GetString("store", "lsm");
@@ -112,6 +132,7 @@ Status Evaluate(const std::vector<StateAccess>& trace, const Config& config,
   ropts.service_rate_ops_per_sec = config.GetDouble("service_rate", 0);
   ropts.max_ops = config.GetUint("max_ops", 0);
   ropts.batch_size = sopts.batch_size;
+  ropts.timeline_interval_ops = config.GetUint("timeline_interval", 0);
   auto result = ReplayTrace(trace, store->get(), ropts);
   if (!result.ok()) {
     return result.status();
@@ -119,6 +140,12 @@ Status Evaluate(const std::vector<StateAccess>& trace, const Config& config,
   out << engine << ": " << result->Summary() << "\n";
   out << "  reads:  " << result->read_latency_ns.Summary() << "\n";
   out << "  writes: " << result->write_latency_ns.Summary() << "\n";
+  if (!result->timeline.empty()) {
+    out << "  timeline: " << result->timeline.size() << " intervals of "
+        << ropts.timeline_interval_ops << " ops\n";
+  }
+  const StoreStats stats = (*store)->stats();
+  GADGET_RETURN_IF_ERROR(MaybeWriteReport(config, *result, stats, out));
   return (*store)->Close();
 }
 
@@ -170,11 +197,14 @@ Status RunYcsb(const Config& config, std::ostream& out) {
   ReplayOptions ropts;
   ropts.max_ops = config.GetUint("max_ops", 0);
   ropts.batch_size = sopts.batch_size;
+  ropts.timeline_interval_ops = config.GetUint("timeline_interval", 0);
   auto result = ReplayTrace(workload->run, store->get(), ropts);
   if (!result.ok()) {
     return result.status();
   }
   out << engine << ": " << result->Summary() << "\n";
+  const StoreStats stats = (*store)->stats();
+  GADGET_RETURN_IF_ERROR(MaybeWriteReport(config, *result, stats, out));
   return (*store)->Close();
 }
 

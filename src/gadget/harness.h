@@ -31,6 +31,10 @@
 //                    WriteBatch / MultiGet, 1 = op-at-a-time      (1)
 //   service_rate     replay pacing, ops/s, 0 = unpaced            (0)
 //   max_ops          replay budget, 0 = whole trace               (0)
+//   timeline_interval evaluation timeline sample width in ops, 0 =
+//                    no timeline (the CLI's --timeline_interval=N)  (0)
+//   report           write a gadget.report/1 JSON run report here
+//                    (the CLI's --report=FILE; see src/gadget/report.h)
 //   trace_out        offline mode: output trace path
 //   trace_in         replay/analyze mode: input trace path
 //   analyze          also print trace analysis in online/offline  (false)

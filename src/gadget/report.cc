@@ -1,0 +1,381 @@
+#include "src/gadget/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <utility>
+
+#include "src/common/file_util.h"
+
+namespace gadget {
+namespace {
+
+// Enumerates every StoreStats counter with its field name — the single list
+// the JSON emitter and the validator both walk, so neither can drift from
+// kvstore.h (level_files, the one gauge, is handled separately).
+template <typename Fn>
+void ForEachStatField(const StoreStats& s, Fn fn) {
+  fn("gets", s.gets);
+  fn("puts", s.puts);
+  fn("merges", s.merges);
+  fn("deletes", s.deletes);
+  fn("rmws", s.rmws);
+  fn("bytes_written", s.bytes_written);
+  fn("bytes_read", s.bytes_read);
+  fn("io_bytes_written", s.io_bytes_written);
+  fn("io_bytes_read", s.io_bytes_read);
+  fn("flushes", s.flushes);
+  fn("compactions", s.compactions);
+  fn("cache_hits", s.cache_hits);
+  fn("cache_misses", s.cache_misses);
+  fn("batches", s.batches);
+  fn("batched_ops", s.batched_ops);
+  fn("wal_fsyncs", s.wal_fsyncs);
+  fn("wal_bytes", s.wal_bytes);
+  fn("flush_micros", s.flush_micros);
+  fn("stall_micros", s.stall_micros);
+  fn("compaction_micros", s.compaction_micros);
+  fn("cache_evictions", s.cache_evictions);
+}
+
+Status Invalid(const std::string& what) { return Status::InvalidArgument(what); }
+
+// --- validation helpers -----------------------------------------------------
+
+Status RequireNumber(const JsonValue& obj, const char* key, const std::string& where) {
+  const JsonValue* v = obj.Get(key);
+  if (v == nullptr || !v->is_number()) {
+    return Invalid(where + ": missing or non-numeric \"" + key + "\"");
+  }
+  return Status::Ok();
+}
+
+Status RequireString(const JsonValue& obj, const char* key, const std::string& where) {
+  const JsonValue* v = obj.Get(key);
+  if (v == nullptr || !v->is_string()) {
+    return Invalid(where + ": missing or non-string \"" + key + "\"");
+  }
+  return Status::Ok();
+}
+
+Status ValidateHistogram(const JsonValue& obj, const char* key, const std::string& where) {
+  const JsonValue* v = obj.Get(key);
+  if (v == nullptr || !v->is_object()) {
+    return Invalid(where + ": missing histogram \"" + key + "\"");
+  }
+  LatencyHistogram h;
+  if (!HistogramFromJson(*v, &h)) {
+    return Invalid(where + ": histogram \"" + key + "\" does not restore");
+  }
+  return Status::Ok();
+}
+
+Status ValidateResult(const JsonValue& result, const std::string& where) {
+  if (!result.is_object()) {
+    return Invalid(where + " is not an object");
+  }
+  for (const char* key : {"ops", "elapsed_seconds", "throughput_ops_per_sec", "not_found"}) {
+    GADGET_RETURN_IF_ERROR(RequireNumber(result, key, where));
+  }
+  for (const char* key : {"latency_ns", "read_latency_ns", "write_latency_ns"}) {
+    GADGET_RETURN_IF_ERROR(ValidateHistogram(result, key, where));
+  }
+  const JsonValue* timeline = result.Get("timeline");
+  if (timeline != nullptr) {
+    if (!timeline->is_array()) {
+      return Invalid(where + ".timeline is not an array");
+    }
+    for (size_t i = 0; i < timeline->items().size(); ++i) {
+      const JsonValue& s = timeline->items()[i];
+      std::string sw = where + ".timeline[" + std::to_string(i) + "]";
+      if (!s.is_object()) {
+        return Invalid(sw + " is not an object");
+      }
+      for (const char* key : {"index", "ops", "start_seconds", "end_seconds", "ops_per_sec"}) {
+        GADGET_RETURN_IF_ERROR(RequireNumber(s, key, sw));
+      }
+      const JsonValue* delta = s.Get("stats_delta");
+      if (delta == nullptr || !delta->is_object()) {
+        return Invalid(sw + ": missing \"stats_delta\"");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateSingleReport(const JsonValue& doc) {
+  const JsonValue* meta = doc.Get("meta");
+  if (meta == nullptr || !meta->is_object()) {
+    return Invalid("report: missing \"meta\"");
+  }
+  GADGET_RETURN_IF_ERROR(RequireString(*meta, "engine", "report.meta"));
+  const JsonValue* result = doc.Get("result");
+  if (result == nullptr) {
+    return Invalid("report: missing \"result\"");
+  }
+  GADGET_RETURN_IF_ERROR(ValidateResult(*result, "report.result"));
+  const JsonValue* stats = doc.Get("stats");
+  if (stats == nullptr || !stats->is_object()) {
+    return Invalid("report: missing \"stats\"");
+  }
+  return Status::Ok();
+}
+
+Status ValidateBenchReport(const JsonValue& doc) {
+  GADGET_RETURN_IF_ERROR(RequireString(doc, "name", "bench"));
+  const JsonValue* runs = doc.Get("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    return Invalid("bench: missing \"runs\" array");
+  }
+  for (size_t i = 0; i < runs->items().size(); ++i) {
+    const JsonValue& run = runs->items()[i];
+    std::string where = "bench.runs[" + std::to_string(i) + "]";
+    if (!run.is_object()) {
+      return Invalid(where + " is not an object");
+    }
+    GADGET_RETURN_IF_ERROR(RequireString(run, "label", where));
+    const JsonValue* result = run.Get("result");
+    if (result == nullptr) {
+      return Invalid(where + ": missing \"result\"");
+    }
+    GADGET_RETURN_IF_ERROR(ValidateResult(*result, where + ".result"));
+  }
+  return Status::Ok();
+}
+
+// --- comparison helpers -----------------------------------------------------
+
+void CompareRun(const JsonValue& base, const JsonValue& cand, double max_regression,
+                const std::string& label, RegressionCheck* check) {
+  char buf[256];
+  double base_tput = base.GetDouble("throughput_ops_per_sec");
+  double cand_tput = cand.GetDouble("throughput_ops_per_sec");
+  if (base_tput > 0) {
+    ++check->compared;
+    if (cand_tput < base_tput * (1.0 - max_regression)) {
+      std::snprintf(buf, sizeof(buf), "%s: throughput %.0f -> %.0f ops/s (-%.1f%%, budget %.1f%%)",
+                    label.c_str(), base_tput, cand_tput, (1.0 - cand_tput / base_tput) * 100.0,
+                    max_regression * 100.0);
+      check->failures.emplace_back(buf);
+      check->passed = false;
+    }
+  }
+  LatencyHistogram base_h;
+  LatencyHistogram cand_h;
+  const JsonValue* bh = base.Get("latency_ns");
+  const JsonValue* ch = cand.Get("latency_ns");
+  if (bh == nullptr || ch == nullptr || !HistogramFromJson(*bh, &base_h) ||
+      !HistogramFromJson(*ch, &cand_h) || base_h.count() == 0 || cand_h.count() == 0) {
+    return;
+  }
+  for (double p : {50.0, 99.0, 99.9}) {
+    uint64_t base_ns = base_h.Percentile(p);
+    uint64_t cand_ns = cand_h.Percentile(p);
+    if (base_ns == 0) {
+      continue;
+    }
+    ++check->compared;
+    if (static_cast<double>(cand_ns) >
+        static_cast<double>(base_ns) * (1.0 + max_regression)) {
+      std::snprintf(buf, sizeof(buf), "%s: p%g latency %llu -> %llu ns (+%.1f%%, budget %.1f%%)",
+                    label.c_str(), p, static_cast<unsigned long long>(base_ns),
+                    static_cast<unsigned long long>(cand_ns),
+                    (static_cast<double>(cand_ns) / static_cast<double>(base_ns) - 1.0) * 100.0,
+                    max_regression * 100.0);
+      check->failures.emplace_back(buf);
+      check->passed = false;
+    }
+  }
+}
+
+}  // namespace
+
+std::string GitDescribe() {
+  if (const char* env = std::getenv("GADGET_GIT_DESCRIBE"); env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  std::string out;
+  if (FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r")) {
+    char buf[128];
+    while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+      out += buf;
+    }
+    ::pclose(pipe);
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::string CurrentTimestamp() {
+  std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  ::gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+JsonValue HistogramToJson(const LatencyHistogram& h) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("count", h.count());
+  obj.Set("sum", h.sum());
+  obj.Set("min", h.min());
+  obj.Set("max", h.max());
+  JsonValue buckets = JsonValue::MakeArray();
+  for (const auto& [index, count] : h.NonzeroBuckets()) {
+    JsonValue pair = JsonValue::MakeArray();
+    pair.Append(static_cast<uint64_t>(index));
+    pair.Append(count);
+    buckets.Append(std::move(pair));
+  }
+  obj.Set("buckets", std::move(buckets));
+  return obj;
+}
+
+bool HistogramFromJson(const JsonValue& v, LatencyHistogram* out) {
+  out->Reset();
+  if (!v.is_object()) {
+    return false;
+  }
+  const JsonValue* buckets = v.Get("buckets");
+  if (buckets == nullptr || !buckets->is_array()) {
+    return false;
+  }
+  std::vector<std::pair<uint32_t, uint64_t>> sparse;
+  sparse.reserve(buckets->items().size());
+  for (const JsonValue& pair : buckets->items()) {
+    if (!pair.is_array() || pair.items().size() != 2 || !pair.items()[0].is_number() ||
+        !pair.items()[1].is_number()) {
+      return false;
+    }
+    sparse.emplace_back(static_cast<uint32_t>(pair.items()[0].AsUint64()),
+                        pair.items()[1].AsUint64());
+  }
+  return out->Restore(sparse, v.GetDouble("sum"), v.GetUint("min"), v.GetUint("max"));
+}
+
+JsonValue StoreStatsToJson(const StoreStats& s) {
+  JsonValue obj = JsonValue::MakeObject();
+  ForEachStatField(s, [&obj](const char* name, uint64_t value) { obj.Set(name, value); });
+  JsonValue levels = JsonValue::MakeArray();
+  for (uint64_t files : s.level_files) {
+    levels.Append(files);
+  }
+  obj.Set("level_files", std::move(levels));
+  return obj;
+}
+
+JsonValue TimelineSampleToJson(const TimelineSample& s) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("index", s.index);
+  obj.Set("ops", s.ops);
+  obj.Set("start_seconds", s.start_seconds);
+  obj.Set("end_seconds", s.end_seconds);
+  obj.Set("ops_per_sec", s.ops_per_sec);
+  obj.Set("not_found", s.not_found);
+  obj.Set("reads_sampled", s.read_latency_ns.count());
+  obj.Set("read_p50_ns", s.read_latency_ns.Percentile(50));
+  obj.Set("read_p99_ns", s.read_latency_ns.Percentile(99));
+  obj.Set("read_p999_ns", s.read_latency_ns.Percentile(99.9));
+  obj.Set("writes_sampled", s.write_latency_ns.count());
+  obj.Set("write_p50_ns", s.write_latency_ns.Percentile(50));
+  obj.Set("write_p99_ns", s.write_latency_ns.Percentile(99));
+  obj.Set("write_p999_ns", s.write_latency_ns.Percentile(99.9));
+  // Device traffic pulled up for timeline plots; the full delta follows.
+  obj.Set("bytes_in", s.stats_delta.io_bytes_written);
+  obj.Set("bytes_out", s.stats_delta.io_bytes_read);
+  obj.Set("stats_delta", StoreStatsToJson(s.stats_delta));
+  return obj;
+}
+
+JsonValue ReplayResultToJson(const ReplayResult& result) {
+  JsonValue r = JsonValue::MakeObject();
+  r.Set("ops", result.ops);
+  r.Set("elapsed_seconds", result.elapsed_seconds);
+  r.Set("throughput_ops_per_sec", result.throughput_ops_per_sec);
+  r.Set("not_found", result.not_found);
+  r.Set("latency_ns", HistogramToJson(result.latency_ns));
+  r.Set("read_latency_ns", HistogramToJson(result.read_latency_ns));
+  r.Set("write_latency_ns", HistogramToJson(result.write_latency_ns));
+  JsonValue timeline = JsonValue::MakeArray();
+  for (const TimelineSample& s : result.timeline) {
+    timeline.Append(TimelineSampleToJson(s));
+  }
+  r.Set("timeline", std::move(timeline));
+  return r;
+}
+
+JsonValue BuildReportJson(const ReportMeta& meta, const ReplayResult& result,
+                          const StoreStats& stats) {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("schema", kReportSchema);
+
+  JsonValue m = JsonValue::MakeObject();
+  m.Set("engine", meta.engine);
+  m.Set("git", meta.git);
+  m.Set("timestamp", meta.timestamp);
+  m.Set("batch_size", meta.batch_size);
+  JsonValue config = JsonValue::MakeObject();
+  for (const auto& [key, value] : meta.config) {
+    config.Set(key, value);
+  }
+  m.Set("config", std::move(config));
+  doc.Set("meta", std::move(m));
+
+  doc.Set("result", ReplayResultToJson(result));
+  doc.Set("stats", StoreStatsToJson(stats));
+  return doc;
+}
+
+Status WriteReportJson(const std::string& path, const ReportMeta& meta,
+                       const ReplayResult& result, const StoreStats& stats) {
+  std::string text = BuildReportJson(meta, result, stats).Write(/*indent=*/2);
+  text += '\n';
+  return WriteStringToFile(path, text);
+}
+
+Status ValidateReportJson(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return Invalid("report document is not a JSON object");
+  }
+  std::string schema = doc.GetString("schema");
+  if (schema == kReportSchema) {
+    return ValidateSingleReport(doc);
+  }
+  if (schema == kBenchSchema) {
+    return ValidateBenchReport(doc);
+  }
+  return Invalid("unknown schema \"" + schema + "\"");
+}
+
+StatusOr<RegressionCheck> CompareReportJson(const JsonValue& baseline,
+                                            const JsonValue& candidate, double max_regression) {
+  GADGET_RETURN_IF_ERROR(ValidateReportJson(baseline));
+  GADGET_RETURN_IF_ERROR(ValidateReportJson(candidate));
+  std::string schema = baseline.GetString("schema");
+  if (schema != candidate.GetString("schema")) {
+    return Status::InvalidArgument("schema mismatch: " + schema + " vs " +
+                                   candidate.GetString("schema"));
+  }
+  RegressionCheck check;
+  if (schema == kReportSchema) {
+    CompareRun(*baseline.Get("result"), *candidate.Get("result"), max_regression, "run", &check);
+    return check;
+  }
+  // Bench: match runs by label; unmatched runs are skipped, not failed.
+  for (const JsonValue& base_run : baseline.Get("runs")->items()) {
+    const std::string& label = base_run.GetString("label");
+    for (const JsonValue& cand_run : candidate.Get("runs")->items()) {
+      if (cand_run.GetString("label") == label) {
+        CompareRun(*base_run.Get("result"), *cand_run.Get("result"), max_regression, label,
+                   &check);
+        break;
+      }
+    }
+  }
+  return check;
+}
+
+}  // namespace gadget

@@ -1,0 +1,94 @@
+// Machine-readable run reports (DESIGN.md §5d). A report is a versioned JSON
+// document capturing everything one evaluator run measured: run metadata,
+// the final ReplayResult (with full histograms as sparse bucket arrays, so a
+// parsed report merges bit-identically), the timeline samples, and the
+// store's StoreStats. CI consumes reports through tools/report_check, which
+// validates the schema and diffs two reports under a regression budget.
+//
+// Two schema kinds share the machinery:
+//   gadget.report/1 — one evaluator run (tools/gadget --report=FILE);
+//   gadget.bench/1  — a set of labeled runs from one bench binary
+//                     (bench_util's EmitBenchJson).
+#ifndef GADGET_GADGET_REPORT_H_
+#define GADGET_GADGET_REPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/gadget/evaluator.h"
+#include "src/stores/kvstore.h"
+
+namespace gadget {
+
+inline constexpr char kReportSchema[] = "gadget.report/1";
+inline constexpr char kBenchSchema[] = "gadget.bench/1";
+
+struct ReportMeta {
+  std::string engine;
+  std::string git;        // best-effort `git describe --always --dirty`
+  std::string timestamp;  // ISO-8601 UTC
+  uint64_t batch_size = 1;
+  std::map<std::string, std::string> config;  // resolved run configuration
+};
+
+// Best-effort `git describe --always --dirty`. The GADGET_GIT_DESCRIBE
+// environment variable overrides (CI sets it so containers without a .git
+// checkout still stamp reports); "" when neither source is available.
+std::string GitDescribe();
+
+// "YYYY-MM-DDTHH:MM:SSZ", UTC wall clock.
+std::string CurrentTimestamp();
+
+// Full histogram state: {"count","sum","min","max","buckets":[[index,count]...]}.
+JsonValue HistogramToJson(const LatencyHistogram& h);
+// Inverse of HistogramToJson. Returns false (leaving *out reset) on missing
+// fields, malformed bucket pairs, or out-of-range bucket indexes.
+bool HistogramFromJson(const JsonValue& v, LatencyHistogram* out);
+
+// Every StoreStats counter by field name, plus "level_files" as an array.
+JsonValue StoreStatsToJson(const StoreStats& s);
+
+// Timeline sample: interval bounds/throughput/not_found, read+write op
+// counts with p50/p99/p999, bytes in/out pulled up from the stats delta, and
+// the full "stats_delta" object.
+JsonValue TimelineSampleToJson(const TimelineSample& s);
+
+// The "result" payload shared by both schemas: scalars, full histograms,
+// timeline array.
+JsonValue ReplayResultToJson(const ReplayResult& result);
+
+// Assembles the gadget.report/1 document.
+JsonValue BuildReportJson(const ReportMeta& meta, const ReplayResult& result,
+                          const StoreStats& stats);
+
+// BuildReportJson + pretty-printed write to `path`.
+Status WriteReportJson(const std::string& path, const ReportMeta& meta,
+                       const ReplayResult& result, const StoreStats& stats);
+
+// Structural validation: Ok iff `doc` is a well-formed gadget.report/1 or
+// gadget.bench/1 document (schema tag, required sections and field types,
+// histograms that restore cleanly). InvalidArgument names the first problem.
+Status ValidateReportJson(const JsonValue& doc);
+
+struct RegressionCheck {
+  bool passed = true;
+  size_t compared = 0;                // metrics actually compared
+  std::vector<std::string> failures;  // one human-readable line per breach
+};
+
+// Compares `candidate` against `baseline` (both must validate and carry the
+// same schema). Throughput may drop, and overall-latency p50/p99/p999 may
+// rise, by at most `max_regression` (fractional: 0.15 = 15%). Bench
+// documents compare run-by-run matched on label; runs present on only one
+// side are skipped. Returns the verdict; Status is only non-Ok for
+// malformed inputs.
+StatusOr<RegressionCheck> CompareReportJson(const JsonValue& baseline,
+                                            const JsonValue& candidate, double max_regression);
+
+}  // namespace gadget
+
+#endif  // GADGET_GADGET_REPORT_H_

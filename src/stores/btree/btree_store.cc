@@ -310,6 +310,7 @@ Status BTreeStore::EvictIfNeeded() {
     CacheEntry victim = lru_.back();
     lru_.pop_back();
     cache_.erase(victim.page_id);
+    ++stats_.cache_evictions;
     if (victim.node->dirty) {
       GADGET_RETURN_IF_ERROR(WriteNode(victim.page_id, *victim.node));
       victim.node->dirty = false;

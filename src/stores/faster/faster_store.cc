@@ -137,6 +137,7 @@ StatusOr<uint64_t> FasterStore::AppendRecordLocked(uint8_t type, std::string_vie
   buffer_ += rec;
   tail_ += total;
   stats_.io_bytes_written += total;
+  stats_.wal_bytes += total;
   GADGET_RETURN_IF_ERROR(MaybeEvictLocked());
   return addr;
 }
@@ -162,13 +163,17 @@ Status FasterStore::MaybeEvictLocked() {
   }
   size_t evict_bytes = static_cast<size_t>(new_head - head_);
   GADGET_RETURN_IF_ERROR(Pwrite(log_fd_, buffer_.data(), evict_bytes, head_));
-  if (opts_.sync_writes && ::fdatasync(log_fd_) != 0) {
-    return Status::IoError("fdatasync hybrid log");
+  if (opts_.sync_writes) {
+    ++stats_.wal_fsyncs;
+    if (::fdatasync(log_fd_) != 0) {
+      return Status::IoError("fdatasync hybrid log");
+    }
   }
   buffer_.erase(0, evict_bytes);
   head_ = new_head;
   durable_ = head_;
   ++stats_.flushes;
+  ++stats_.cache_evictions;  // the in-memory log window spilled its cold half
   return Status::Ok();
 }
 
@@ -389,6 +394,7 @@ Status FasterStore::Flush() {
     return Status::Ok();
   }
   GADGET_RETURN_IF_ERROR(Pwrite(log_fd_, buffer_.data(), buffer_.size(), head_));
+  ++stats_.wal_fsyncs;
   if (::fdatasync(log_fd_) != 0) {
     return Status::IoError("fdatasync hybrid log");
   }
@@ -407,6 +413,7 @@ Status FasterStore::Close() {
     buffer_.clear();
   }
   if (log_fd_ >= 0) {
+    ++stats_.wal_fsyncs;
     ::fdatasync(log_fd_);
     ::close(log_fd_);
     log_fd_ = -1;

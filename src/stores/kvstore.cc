@@ -1,5 +1,7 @@
 #include "src/stores/kvstore.h"
 
+#include <algorithm>
+
 #include "src/common/file_util.h"
 #include "src/stores/btree/btree_store.h"
 #include "src/stores/faster/faster_store.h"
@@ -7,6 +9,59 @@
 #include "src/stores/memstore.h"
 
 namespace gadget {
+namespace {
+
+uint64_t SatSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+
+// Applies `fn(field_of_this, field_of_other)` to every plain counter field.
+// Keeping the field list in ONE place so DeltaSince/MergeMax cannot drift
+// from the struct definition.
+template <typename Fn>
+void ForEachCounter(StoreStats* a, const StoreStats& b, Fn fn) {
+  fn(&a->gets, b.gets);
+  fn(&a->puts, b.puts);
+  fn(&a->merges, b.merges);
+  fn(&a->deletes, b.deletes);
+  fn(&a->rmws, b.rmws);
+  fn(&a->bytes_written, b.bytes_written);
+  fn(&a->bytes_read, b.bytes_read);
+  fn(&a->io_bytes_written, b.io_bytes_written);
+  fn(&a->io_bytes_read, b.io_bytes_read);
+  fn(&a->flushes, b.flushes);
+  fn(&a->compactions, b.compactions);
+  fn(&a->cache_hits, b.cache_hits);
+  fn(&a->cache_misses, b.cache_misses);
+  fn(&a->batches, b.batches);
+  fn(&a->batched_ops, b.batched_ops);
+  fn(&a->wal_fsyncs, b.wal_fsyncs);
+  fn(&a->wal_bytes, b.wal_bytes);
+  fn(&a->flush_micros, b.flush_micros);
+  fn(&a->stall_micros, b.stall_micros);
+  fn(&a->compaction_micros, b.compaction_micros);
+  fn(&a->cache_evictions, b.cache_evictions);
+}
+
+}  // namespace
+
+StoreStats StoreStats::DeltaSince(const StoreStats& start) const {
+  StoreStats out = *this;  // keeps level_files: the gauge is this snapshot's
+  ForEachCounter(&out, start, [](uint64_t* field, uint64_t base) {
+    *field = SatSub(*field, base);
+  });
+  return out;
+}
+
+void StoreStats::MergeMax(const StoreStats& other) {
+  ForEachCounter(this, other, [](uint64_t* field, uint64_t theirs) {
+    *field = std::max(*field, theirs);
+  });
+  if (other.level_files.size() > level_files.size()) {
+    level_files.resize(other.level_files.size());
+  }
+  for (size_t i = 0; i < other.level_files.size(); ++i) {
+    level_files[i] = std::max(level_files[i], other.level_files[i]);
+  }
+}
 
 Status KVStore::ReadModifyWrite(std::string_view key, std::string_view operand) {
   std::string value;

@@ -60,6 +60,31 @@ struct StoreStats {
   uint64_t cache_misses = 0;
   uint64_t batches = 0;        // Write()/MultiGet() calls
   uint64_t batched_ops = 0;    // operations carried inside those calls
+
+  // Internal engine counters surfaced for run reports (DESIGN.md §5d).
+  // Engines without the mechanism leave the counter at zero.
+  uint64_t wal_fsyncs = 0;        // LSM WAL / FASTER log fdatasync calls
+  uint64_t wal_bytes = 0;         // bytes appended to the WAL / durability log
+  uint64_t flush_micros = 0;      // time spent flushing memtable -> L0
+  uint64_t stall_micros = 0;      // writer time blocked on L0 backpressure
+  uint64_t compaction_micros = 0;  // background compaction work time
+  uint64_t cache_evictions = 0;   // block/page-cache evictions, log-window
+                                  // spills (FASTER)
+  // LSM only: SSTable count per level at observation time. A gauge, not a
+  // counter — DeltaSince copies the later snapshot's value verbatim.
+  std::vector<uint64_t> level_files;
+
+  // Counter delta over an interval: every counter subtracts `start`'s value
+  // (saturating at 0 so a racy snapshot never wraps); gauges (level_files)
+  // take this (the later) snapshot's value. Timeline samples are built from
+  // this (src/gadget/evaluator.h).
+  StoreStats DeltaSince(const StoreStats& start) const;
+
+  // Element-wise max. Used when merging concurrent instances' timeline
+  // samples: every instance observes the SAME shared store, so summing their
+  // per-interval deltas would multiply store activity by the thread count;
+  // max keeps the widest single observation instead.
+  void MergeMax(const StoreStats& other);
 };
 
 // An ordered sequence of put/merge/delete entries applied atomically with

@@ -47,6 +47,7 @@ void BlockCache::EvictLocked(Shard& shard) {
     shard.bytes -= victim.block->size();
     shard.map.erase(victim.key);
     shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

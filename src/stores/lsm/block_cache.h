@@ -30,6 +30,7 @@ class BlockCache {
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
 
  private:
   static constexpr int kShards = 8;
@@ -64,6 +65,7 @@ class BlockCache {
   Shard shards_[kShards];
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace gadget

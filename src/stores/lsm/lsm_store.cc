@@ -22,6 +22,13 @@ bool Overlaps(const FileMeta& f, const std::string& begin, const std::string& en
   return !(f.largest < begin || end < f.smallest);
 }
 
+using MonoClock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(MonoClock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(MonoClock::now() - t0).count());
+}
+
 }  // namespace
 
 uint64_t LsmStore::NowMs() {
@@ -168,11 +175,15 @@ Status LsmStore::WriteInternal(RecType type, std::string_view key, std::string_v
 
   if (mem_->ApproximateBytes() >= opts_.write_buffer_size) {
     // Stall the writer if L0 is too deep (RocksDB-style backpressure).
-    while (current_->levels[0].size() >=
-               static_cast<size_t>(opts_.l0_stall_limit) &&
-           bg_error_.ok() && !closing_) {
-      work_cv_.notify_all();
-      stall_cv_.wait(lock);
+    if (current_->levels[0].size() >= static_cast<size_t>(opts_.l0_stall_limit)) {
+      auto stall_start = MonoClock::now();
+      while (current_->levels[0].size() >=
+                 static_cast<size_t>(opts_.l0_stall_limit) &&
+             bg_error_.ok() && !closing_) {
+        work_cv_.notify_all();
+        stall_cv_.wait(lock);
+      }
+      stats_.stall_micros += MicrosSince(stall_start);
     }
     GADGET_RETURN_IF_ERROR(FlushMemTableLocked());
     work_cv_.notify_all();
@@ -225,11 +236,15 @@ Status LsmStore::Write(const WriteBatch& batch) {
     // Memtable pressure is checked once per batch; the overshoot is bounded
     // by one batch's payload.
     if (mem_->ApproximateBytes() >= opts_.write_buffer_size) {
-      while (current_->levels[0].size() >=
-                 static_cast<size_t>(opts_.l0_stall_limit) &&
-             bg_error_.ok() && !closing_) {
-        work_cv_.notify_all();
-        stall_cv_.wait(lock);
+      if (current_->levels[0].size() >= static_cast<size_t>(opts_.l0_stall_limit)) {
+        auto stall_start = MonoClock::now();
+        while (current_->levels[0].size() >=
+                   static_cast<size_t>(opts_.l0_stall_limit) &&
+               bg_error_.ok() && !closing_) {
+          work_cv_.notify_all();
+          stall_cv_.wait(lock);
+        }
+        stats_.stall_micros += MicrosSince(stall_start);
       }
       GADGET_RETURN_IF_ERROR(FlushMemTableLocked());
       work_cv_.notify_all();
@@ -275,6 +290,7 @@ Status LsmStore::FlushMemTableLocked() {
   if (mem_->empty()) {
     return Status::Ok();
   }
+  auto flush_start = MonoClock::now();
   auto meta = BuildTableFromMemLocked();
   if (!meta.ok()) {
     return meta.status();
@@ -285,11 +301,16 @@ Status LsmStore::FlushMemTableLocked() {
   current_ = std::move(version);
   mem_ = std::make_unique<MemTable>();
   ++stats_.flushes;
+  stats_.flush_micros += MicrosSince(flush_start);
 
   // Rotate the WAL: records up to here are now durable in the SSTable.
   // During Recover() the new-generation WAL does not exist yet (the replayed
   // old WAL is removed by the caller), so rotation is skipped.
   if (wal_ != nullptr) {
+    // Fold the retiring generation's log accounting into the store counters
+    // before the writer (and its counters) are destroyed.
+    stats_.wal_bytes += wal_->size();
+    stats_.wal_fsyncs += wal_->fsyncs();
     GADGET_RETURN_IF_ERROR(wal_->Close());
     uint64_t old_wal = wal_number_;
     wal_number_ = next_file_number_++;
@@ -789,10 +810,13 @@ void LsmStore::BackgroundThread() {
     compaction_running_ = true;
     lock.unlock();
 
+    auto compaction_start = MonoClock::now();
     std::vector<std::shared_ptr<FileMeta>> outputs;
     Status s = DoCompaction(job, &outputs);
+    uint64_t compaction_micros = MicrosSince(compaction_start);
 
     lock.lock();
+    stats_.compaction_micros += compaction_micros;
     compaction_running_ = false;
     if (s.ok()) {
       InstallCompactionLocked(job, std::move(outputs));
@@ -833,10 +857,13 @@ Status LsmStore::Close() {
   std::lock_guard<std::mutex> lock(mu_);
   Status s = FlushMemTableLocked();
   if (wal_ != nullptr) {
+    stats_.wal_bytes += wal_->size();
+    stats_.wal_fsyncs += wal_->fsyncs();
     Status ws = wal_->Close();
     if (s.ok()) {
       s = ws;
     }
+    wal_.reset();  // accounting folded in; stats() must not add it again
   }
   return s;
 }
@@ -847,6 +874,15 @@ StoreStats LsmStore::stats() const {
   out.bytes_read += read_bytes_.load(std::memory_order_relaxed);
   out.cache_hits = cache_.hits();
   out.cache_misses = cache_.misses();
+  out.cache_evictions = cache_.evictions();
+  if (wal_ != nullptr) {  // live generation: not yet folded by rotation
+    out.wal_bytes += wal_->size();
+    out.wal_fsyncs += wal_->fsyncs();
+  }
+  out.level_files.reserve(current_->levels.size());
+  for (const auto& level : current_->levels) {
+    out.level_files.push_back(level.size());
+  }
   FoldBatchStats(&out);
   return out;
 }

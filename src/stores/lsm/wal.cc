@@ -73,6 +73,7 @@ Status WalWriter::AppendPayload(bool sync) {
   scratch_ += payload_;
   GADGET_RETURN_IF_ERROR(file_->Append(scratch_));
   if (sync) {
+    ++fsyncs_;
     return file_->Sync();
   }
   // WAL durability without per-record fsync still requires the data to reach

@@ -51,6 +51,9 @@ class WalWriter {
   Status Close();
 
   uint64_t size() const { return file_->size(); }
+  // fdatasync calls issued by this log generation (observability counters;
+  // the store folds them into StoreStats::wal_fsyncs across rotations).
+  uint64_t fsyncs() const { return fsyncs_; }
 
  private:
   explicit WalWriter(std::unique_ptr<WritableFile> file) : file_(std::move(file)) {}
@@ -60,6 +63,7 @@ class WalWriter {
   std::unique_ptr<WritableFile> file_;
   std::string scratch_;
   std::string payload_;
+  uint64_t fsyncs_ = 0;
 };
 
 // Replays records until EOF or the first corrupt/torn record, invoking `fn`

@@ -1,31 +1,52 @@
 // The `gadget` command-line tool: runs a harness experiment from a config
-// file, with optional key=value overrides (appendix A.4).
+// file, with optional key=value overrides (appendix A.4). Any argument
+// starting with "--" is a flag and may appear anywhere; --key=value sets the
+// config key `key` (so --report=r.json and --timeline_interval=10000 map to
+// the `report` / `timeline_interval` harness keys). The first non-flag
+// argument is the config file ("-" for none); the rest are key=value
+// overrides. Flags and overrides apply after the file, in argv order.
 //
-//   gadget <config-file> [key=value ...]
+//   gadget <config-file> [key=value ...] [--key=value ...]
 //   gadget - key=value ...              # no file, overrides only
 //
 // Examples:
 //   gadget configs/tumbling.conf
 //   gadget configs/tumbling.conf store=faster events=500000
 //   gadget - mode=ycsb ycsb_workload=F store=btree
-//   gadget configs/tumbling.conf store=lsm batch_size=64 sync_writes=true
+//   gadget --report=r.json --timeline_interval=10000 configs/tumbling.conf
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "src/common/config.h"
 #include "src/gadget/harness.h"
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  std::string config_arg;
+  std::vector<std::string> overrides;  // key=value, flags already stripped
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      arg = arg.substr(2);
+      if (arg.find('=') == std::string::npos) {
+        arg += "=true";  // bare flag, e.g. --analyze
+      }
+      overrides.push_back(std::move(arg));
+    } else if (config_arg.empty()) {
+      config_arg = std::move(arg);
+    } else {
+      overrides.push_back(std::move(arg));
+    }
+  }
+  if (config_arg.empty()) {
     std::fprintf(stderr,
-                 "usage: %s <config-file|-> [key=value ...]\n"
+                 "usage: %s [--key=value ...] <config-file|-> [key=value ...]\n"
                  "see src/gadget/harness.h for the config reference\n",
                  argv[0]);
     return 2;
   }
   gadget::Config config;
-  const std::string config_arg = argv[1];
   if (config_arg != "-") {
     auto parsed = gadget::Config::ParseFile(config_arg);
     if (!parsed.ok()) {
@@ -34,8 +55,7 @@ int main(int argc, char** argv) {
     }
     config = std::move(*parsed);
   }
-  for (int i = 2; i < argc; ++i) {
-    std::string arg = argv[i];
+  for (const std::string& arg : overrides) {
     size_t eq = arg.find('=');
     if (eq == std::string::npos) {
       std::fprintf(stderr, "override must be key=value: %s\n", arg.c_str());

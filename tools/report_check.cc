@@ -1,0 +1,101 @@
+// CI gate for gadget run reports (src/gadget/report.h).
+//
+//   report_check <report.json>                         # validate only
+//   report_check <baseline.json> <candidate.json> [--max_regression=0.15]
+//
+// With one file, exits 0 iff the document is a schema-valid gadget.report/1
+// or gadget.bench/1. With two, additionally compares candidate against
+// baseline: throughput may drop, and overall-latency p50/p99/p999 may rise,
+// by at most --max_regression (default 0.15). Exit codes: 0 pass, 1
+// regression or validation failure, 2 usage / unreadable / unparsable input.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/file_util.h"
+#include "src/common/json.h"
+#include "src/gadget/report.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <report.json> [baseline-mode: this file is validated only]\n"
+               "       %s <baseline.json> <candidate.json> [--max_regression=0.15]\n",
+               argv0, argv0);
+  return 2;
+}
+
+// Loads and parses one report file; exits through *error on failure.
+bool Load(const std::string& path, gadget::JsonValue* out, std::string* error) {
+  std::string text;
+  gadget::Status s = gadget::ReadFileToString(path, &text);
+  if (!s.ok()) {
+    *error = path + ": " + s.ToString();
+    return false;
+  }
+  auto parsed = gadget::ParseJson(text);
+  if (!parsed.ok()) {
+    *error = path + ": " + parsed.status().ToString();
+    return false;
+  }
+  *out = std::move(*parsed);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_regression = 0.15;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--max_regression=", 0) == 0) {
+      char* end = nullptr;
+      max_regression = std::strtod(arg.c_str() + 17, &end);
+      if (end == nullptr || *end != '\0' || max_regression < 0) {
+        std::fprintf(stderr, "bad --max_regression value: %s\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty() || files.size() > 2) {
+    return Usage(argv[0]);
+  }
+
+  std::vector<gadget::JsonValue> docs(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    std::string error;
+    if (!Load(files[i], &docs[i], &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    gadget::Status s = gadget::ValidateReportJson(docs[i]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: invalid report: %s\n", files[i].c_str(), s.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: valid %s\n", files[i].c_str(), docs[i].GetString("schema").c_str());
+  }
+  if (files.size() == 1) {
+    return 0;
+  }
+
+  auto check = gadget::CompareReportJson(docs[0], docs[1], max_regression);
+  if (!check.ok()) {
+    std::fprintf(stderr, "compare: %s\n", check.status().ToString().c_str());
+    return 2;
+  }
+  for (const std::string& failure : check->failures) {
+    std::fprintf(stderr, "REGRESSION %s\n", failure.c_str());
+  }
+  std::printf("%zu metric(s) compared within %.0f%% budget: %s\n", check->compared,
+              max_regression * 100.0, check->passed ? "PASS" : "FAIL");
+  return check->passed ? 0 : 1;
+}
