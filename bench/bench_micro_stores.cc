@@ -7,13 +7,24 @@
 // report is additionally written there after the benchmarks run: one small
 // replay (OpsBudget() ops, so GADGET_OPS bounds it) per engine, labeled
 // "replay/<engine>". CI's bench-smoke job validates and archives this file.
+//
+// --threads=1,2,4,... additionally runs a concurrent-writer sweep against a
+// single LSM instance (ReplaySharded: one trace partitioned by key hash, so
+// the single-writer-per-key invariant holds) and adds one JSON run per
+// thread count, labeled "replay_mt/lsm/t<N>". This is the scaling probe for
+// the pipelined write path: group commit and the immutable-memtable queue
+// only pay off with concurrent writers.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/file_util.h"
+#include "src/gadget/multi.h"
 #include "src/stores/kvstore.h"
 
 namespace gadget {
@@ -181,9 +192,91 @@ std::vector<StateAccess> JsonReplayTrace(uint64_t ops) {
   return trace;
 }
 
+// Parses "--threads=1,2,4" from argv (removing it) into a thread-count list.
+std::vector<unsigned> ParseThreadsFlag(int* argc, char** argv) {
+  std::vector<unsigned> threads;
+  constexpr const char* kPrefix = "--threads=";
+  for (int i = 1; i < *argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(kPrefix, 0) != 0) {
+      continue;
+    }
+    std::string list = arg.substr(std::string(kPrefix).size());
+    size_t pos = 0;
+    while (pos < list.size()) {
+      size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) {
+        comma = list.size();
+      }
+      int n = std::atoi(list.substr(pos, comma - pos).c_str());
+      if (n > 0) {
+        threads.push_back(static_cast<unsigned>(n));
+      }
+      pos = comma + 1;
+    }
+    // Remove the flag so google-benchmark does not reject it.
+    for (int j = i; j + 1 < *argc; ++j) {
+      argv[j] = argv[j + 1];
+    }
+    --*argc;
+    break;
+  }
+  return threads;
+}
+
+// Replays one shared trace against a single LSM store with 1..N writer
+// threads and appends one BenchRun per thread count. Prints a small table so
+// the sweep is useful without the JSON report too.
+bool RunThreadSweep(const std::vector<unsigned>& threads, std::vector<bench::BenchRun>* runs) {
+  const uint64_t ops = bench::OpsBudget();
+  const std::vector<StateAccess> trace = JsonReplayTrace(ops);
+  ScopedTempDir dir("bench-micro-mt");
+  bench::PrintHeader("LSM concurrent-writer sweep (one store, sharded trace)");
+  std::printf("%8s %14s %14s %14s %14s\n", "threads", "kops/s", "group_commits", "max_group",
+              "stall_ms");
+  for (unsigned n : threads) {
+    auto store = bench::OpenBenchStore("lsm", dir, "t" + std::to_string(n));
+    if (!store.ok()) {
+      std::fprintf(stderr, "open lsm t%u: %s\n", n, store.status().ToString().c_str());
+      return false;
+    }
+    ReplayOptions opts;
+    opts.timeline_interval_ops = ops / 4 > 0 ? ops / 4 : 1;
+    auto result = ReplaySharded(trace, store->get(), n, opts);
+    if (!result.ok() || !result->all_ok()) {
+      Status s = result.ok() ? result->FirstError() : result.status();
+      std::fprintf(stderr, "replay lsm t%u: %s\n", n, s.ToString().c_str());
+      return false;
+    }
+    bench::BenchRun run;
+    run.label = "replay_mt/lsm/t" + std::to_string(n);
+    run.engine = "lsm";
+    run.result = result->Merged();
+    run.result.throughput_ops_per_sec = result->combined_throughput_ops_per_sec;
+    run.stats = (*store)->stats();
+    std::printf("%8u %14.1f %14llu %14llu %14.1f\n", n,
+                result->combined_throughput_ops_per_sec / 1e3,
+                static_cast<unsigned long long>(run.stats.wal_group_commits),
+                static_cast<unsigned long long>(run.stats.wal_group_size_max),
+                static_cast<double>(run.stats.stall_micros + run.stats.slowdown_micros) / 1e3);
+    runs->push_back(std::move(run));
+    Status closed = (*store)->Close();
+    if (!closed.ok()) {
+      std::fprintf(stderr, "close lsm t%u: %s\n", n, closed.ToString().c_str());
+      return false;
+    }
+  }
+  bench::PrintShapeNote(
+      "throughput should hold or improve with writer threads: the leader "
+      "commits whole groups with one fsync while followers park, and flushes "
+      "run on the background queue instead of the writer's critical path");
+  return true;
+}
+
 // Replays the synthetic trace on every engine and writes the gadget.bench/1
-// document to `path`. Returns false on the first failure.
-bool EmitMicroJson(const std::string& path) {
+// document to `path`, appending any `extra` runs (the thread sweep). Returns
+// false on the first failure.
+bool EmitMicroJson(const std::string& path, std::vector<bench::BenchRun> extra) {
   const uint64_t ops = bench::OpsBudget();
   const std::vector<StateAccess> trace = JsonReplayTrace(ops);
   ScopedTempDir dir("bench-micro-json");
@@ -213,6 +306,9 @@ bool EmitMicroJson(const std::string& path) {
       return false;
     }
   }
+  for (auto& run : extra) {
+    runs.push_back(std::move(run));
+  }
   Status s = bench::EmitBenchJson(path, "micro_stores", runs);
   if (!s.ok()) {
     std::fprintf(stderr, "emit %s: %s\n", path.c_str(), s.ToString().c_str());
@@ -225,13 +321,18 @@ bool EmitMicroJson(const std::string& path) {
 }  // namespace gadget
 
 int main(int argc, char** argv) {
+  std::vector<unsigned> threads = gadget::ParseThreadsFlag(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
   ::benchmark::RunSpecifiedBenchmarks();
+  std::vector<gadget::bench::BenchRun> sweep_runs;
+  if (!threads.empty() && !gadget::RunThreadSweep(threads, &sweep_runs)) {
+    return 1;
+  }
   if (const char* json = std::getenv("GADGET_BENCH_JSON"); json != nullptr && json[0] != '\0') {
-    if (!gadget::EmitMicroJson(json)) {
+    if (!gadget::EmitMicroJson(json, std::move(sweep_runs))) {
       return 1;
     }
   }

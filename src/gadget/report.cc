@@ -34,8 +34,11 @@ void ForEachStatField(const StoreStats& s, Fn fn) {
   fn("wal_bytes", s.wal_bytes);
   fn("flush_micros", s.flush_micros);
   fn("stall_micros", s.stall_micros);
+  fn("slowdown_micros", s.slowdown_micros);
   fn("compaction_micros", s.compaction_micros);
   fn("cache_evictions", s.cache_evictions);
+  fn("wal_group_commits", s.wal_group_commits);
+  fn("wal_group_size_max", s.wal_group_size_max);
 }
 
 Status Invalid(const std::string& what) { return Status::InvalidArgument(what); }

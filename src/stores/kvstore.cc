@@ -37,8 +37,12 @@ void ForEachCounter(StoreStats* a, const StoreStats& b, Fn fn) {
   fn(&a->wal_bytes, b.wal_bytes);
   fn(&a->flush_micros, b.flush_micros);
   fn(&a->stall_micros, b.stall_micros);
+  fn(&a->slowdown_micros, b.slowdown_micros);
   fn(&a->compaction_micros, b.compaction_micros);
   fn(&a->cache_evictions, b.cache_evictions);
+  fn(&a->wal_group_commits, b.wal_group_commits);
+  // wal_group_size_max is a gauge (like level_files): DeltaSince keeps the
+  // later snapshot's value, MergeMax takes the max — both handled by callers.
 }
 
 }  // namespace
@@ -55,6 +59,7 @@ void StoreStats::MergeMax(const StoreStats& other) {
   ForEachCounter(this, other, [](uint64_t* field, uint64_t theirs) {
     *field = std::max(*field, theirs);
   });
+  wal_group_size_max = std::max(wal_group_size_max, other.wal_group_size_max);
   if (other.level_files.size() > level_files.size()) {
     level_files.resize(other.level_files.size());
   }

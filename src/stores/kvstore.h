@@ -66,18 +66,26 @@ struct StoreStats {
   uint64_t wal_fsyncs = 0;        // LSM WAL / FASTER log fdatasync calls
   uint64_t wal_bytes = 0;         // bytes appended to the WAL / durability log
   uint64_t flush_micros = 0;      // time spent flushing memtable -> L0
-  uint64_t stall_micros = 0;      // writer time blocked on L0 backpressure
+  uint64_t stall_micros = 0;      // writer time hard-blocked on backpressure
+                                  // (L0 stall tier, full immutable queue)
+  uint64_t slowdown_micros = 0;   // writer time in the graduated slowdown
+                                  // tier (brief sleeps before a hard stall)
   uint64_t compaction_micros = 0;  // background compaction work time
   uint64_t cache_evictions = 0;   // block/page-cache evictions, log-window
                                   // spills (FASTER)
+  // Cross-writer WAL group commit: appends whose record committed two or more
+  // concurrent writers at once, and (a gauge, like level_files) the widest
+  // group observed so far in logical operations.
+  uint64_t wal_group_commits = 0;
+  uint64_t wal_group_size_max = 0;
   // LSM only: SSTable count per level at observation time. A gauge, not a
   // counter — DeltaSince copies the later snapshot's value verbatim.
   std::vector<uint64_t> level_files;
 
   // Counter delta over an interval: every counter subtracts `start`'s value
-  // (saturating at 0 so a racy snapshot never wraps); gauges (level_files)
-  // take this (the later) snapshot's value. Timeline samples are built from
-  // this (src/gadget/evaluator.h).
+  // (saturating at 0 so a racy snapshot never wraps); gauges (level_files,
+  // wal_group_size_max) take this (the later) snapshot's value. Timeline
+  // samples are built from this (src/gadget/evaluator.h).
   StoreStats DeltaSince(const StoreStats& start) const;
 
   // Element-wise max. Used when merging concurrent instances' timeline

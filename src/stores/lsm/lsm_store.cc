@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <thread>
 
 #include "src/common/file_util.h"
 #include "src/common/logging.h"
@@ -17,9 +19,42 @@ std::string WalPath(const std::string& dir, uint64_t number) {
   return dir + "/wal-" + std::to_string(number) + ".log";
 }
 
+// True if `name` is a WAL file name ("wal-<n>.log"); stores <n> in *number.
+bool ParseWalFileName(std::string_view name, uint64_t* number) {
+  constexpr std::string_view kPrefix = "wal-";
+  constexpr std::string_view kSuffix = ".log";
+  if (name.size() <= kPrefix.size() + kSuffix.size() ||
+      name.substr(0, kPrefix.size()) != kPrefix ||
+      name.substr(name.size() - kSuffix.size()) != kSuffix) {
+    return false;
+  }
+  std::string_view digits = name.substr(kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+  uint64_t n = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *number = n;
+  return true;
+}
+
 // True if [f->smallest, f->largest] intersects [begin, end].
 bool Overlaps(const FileMeta& f, const std::string& begin, const std::string& end) {
   return !(f.largest < begin || end < f.smallest);
+}
+
+RecType RecTypeForOp(WriteBatch::Op op) {
+  switch (op) {
+    case WriteBatch::Op::kPut:
+      return RecType::kValue;
+    case WriteBatch::Op::kMerge:
+      return RecType::kMergeStack;
+    case WriteBatch::Op::kDelete:
+      return RecType::kTombstone;
+  }
+  return RecType::kValue;
 }
 
 using MonoClock = std::chrono::steady_clock;
@@ -28,6 +63,12 @@ uint64_t MicrosSince(MonoClock::time_point t0) {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(MonoClock::now() - t0).count());
 }
+
+// Group-commit bounds: one WAL record per group keeps the fsync count at one,
+// but an unbounded group would hold the log (and every follower) for the
+// duration of one giant append.
+constexpr size_t kMaxGroupWriters = 128;
+constexpr size_t kMaxGroupBytes = 1 << 20;
 
 }  // namespace
 
@@ -51,7 +92,8 @@ StatusOr<std::unique_ptr<KVStore>> LsmStore::Open(const std::string& dir,
   GADGET_RETURN_IF_ERROR(CreateDirIfMissing(dir));
   std::unique_ptr<LsmStore> store(new LsmStore(dir, opts));
   GADGET_RETURN_IF_ERROR(store->Recover());
-  store->bg_thread_ = std::thread(&LsmStore::BackgroundThread, store.get());
+  store->flusher_thread_ = std::thread(&LsmStore::FlusherThread, store.get());
+  store->compaction_thread_ = std::thread(&LsmStore::CompactionThread, store.get());
   return std::unique_ptr<KVStore>(std::move(store));
 }
 
@@ -97,11 +139,43 @@ Status LsmStore::Recover() {
     }
     current_ = std::move(version);
 
-    // Replay the WAL that was active when we went down.
-    const std::string wal_path = WalPath(dir_, manifest->wal_number);
-    if (FileExists(wal_path)) {
-      auto replayed = ReplayWal(wal_path, [this](RecType type, std::string_view key,
-                                                 std::string_view value) {
+    // Replay the live WAL generations. The manifest's list is the live set
+    // as of its last persist; rotations since then created higher-numbered
+    // generations without a manifest write, and because the flusher retires
+    // generations strictly oldest-first, liveness is a suffix by number:
+    // every on-disk WAL numbered >= the oldest recorded live generation is
+    // unflushed and is replayed in ascending order (= write order). Files
+    // below the floor were already flushed — replaying them would let stale
+    // records shadow newer flushed data — so they are deleted instead. An
+    // empty live list (or a manifest persisted after a completed recovery
+    // flush) makes every leftover WAL stale.
+    auto names = ListDir(dir_);
+    if (!names.ok()) {
+      return names.status();
+    }
+    uint64_t floor = ~uint64_t{0};
+    for (uint64_t n : manifest->wal_numbers) {
+      floor = std::min(floor, n);
+    }
+    std::vector<uint64_t> replay;
+    for (const std::string& name : *names) {
+      uint64_t n = 0;
+      if (!ParseWalFileName(name, &n)) {
+        continue;
+      }
+      // Rotation allocates WAL numbers past the persisted next_file_number;
+      // make sure fresh allocations cannot collide with files on disk.
+      next_file_number_ = std::max(next_file_number_, n + 1);
+      if (n < floor) {
+        (void)RemoveFile(WalPath(dir_, n));
+      } else {
+        replay.push_back(n);
+      }
+    }
+    std::sort(replay.begin(), replay.end());
+    for (uint64_t n : replay) {
+      auto replayed = ReplayWal(WalPath(dir_, n), [this](RecType type, std::string_view key,
+                                                         std::string_view value) {
         switch (type) {
           case RecType::kValue:
             mem_->Put(key, value);
@@ -117,13 +191,18 @@ Status LsmStore::Recover() {
       if (!replayed.ok()) {
         return replayed.status();
       }
-      if (!mem_->empty()) {
-        GADGET_RETURN_IF_ERROR(FlushMemTableLocked());
-      }
-      (void)RemoveFile(wal_path);
+    }
+    if (!mem_->empty()) {
+      // wal_ is still null here, so no rotation happens; the manifest this
+      // persists has an empty live list, which is what marks the replayed
+      // files as flushed if we crash before removing them below.
+      GADGET_RETURN_IF_ERROR(FlushActiveMemLocked());
+    }
+    for (uint64_t n : replay) {
+      (void)RemoveFile(WalPath(dir_, n));
     }
   }
-  // Fresh WAL for the new generation.
+  // Fresh WAL generation for the new lifetime.
   wal_number_ = next_file_number_++;
   auto wal = WalWriter::Create(WalPath(dir_, wal_number_));
   if (!wal.ok()) {
@@ -136,7 +215,12 @@ Status LsmStore::Recover() {
 Status LsmStore::PersistManifestLocked() {
   ManifestData data;
   data.next_file_number = next_file_number_;
-  data.wal_number = wal_number_;
+  for (const auto& im : imm_) {
+    data.wal_numbers.push_back(im.wal_number);
+  }
+  if (wal_ != nullptr) {
+    data.wal_numbers.push_back(wal_number_);
+  }
   for (int l = 0; l < opts_.num_levels; ++l) {
     for (const auto& f : current_->levels[static_cast<size_t>(l)]) {
       data.files.push_back({l, f->number, f->size, f->entries, f->tombstones, f->created_ms,
@@ -148,15 +232,228 @@ Status LsmStore::PersistManifestLocked() {
 
 // ------------------------------------------------------------------- writes
 
-Status LsmStore::WriteInternal(RecType type, std::string_view key, std::string_view value) {
+Status LsmStore::Put(std::string_view key, std::string_view value) {
+  Writer w;
+  w.type = RecType::kValue;
+  w.key = key;
+  w.value = value;
+  return EnqueueWriter(&w);
+}
+
+Status LsmStore::Merge(std::string_view key, std::string_view operand) {
+  Writer w;
+  w.type = RecType::kMergeStack;
+  w.key = key;
+  w.value = operand;
+  return EnqueueWriter(&w);
+}
+
+Status LsmStore::Delete(std::string_view key) {
+  Writer w;
+  w.type = RecType::kTombstone;
+  w.key = key;
+  return EnqueueWriter(&w);
+}
+
+Status LsmStore::Write(const WriteBatch& batch) {
+  if (!batch.empty()) {
+    Writer w;
+    w.batch = &batch;
+    GADGET_RETURN_IF_ERROR(EnqueueWriter(&w));
+  }
+  NoteBatch(batch.size());
+  return Status::Ok();
+}
+
+Status LsmStore::EnqueueWriter(Writer* w) {
   std::unique_lock<std::mutex> lock(mu_);
+  writers_.push_back(w);
+  // Followers park here; the queue front is the group leader. A follower
+  // either gets committed (done) by a leader's group or inherits leadership
+  // when it reaches the front.
+  while (!w->done && w != writers_.front()) {
+    w->cv.wait(lock);
+  }
+  if (!w->done) {
+    CommitGroupLocked(lock, w);
+  }
+  return w->status;
+}
+
+void LsmStore::CommitGroupLocked(std::unique_lock<std::mutex>& lock, Writer* w) {
+  Status s;
   if (!bg_error_.ok()) {
-    return bg_error_;
+    s = bg_error_;
+  } else if (closing_) {
+    s = Status::Internal("store is closed");
+  } else {
+    s = MakeRoomForWriteLocked(lock);
   }
-  if (closing_) {
-    return Status::Internal("store is closed");
+
+  std::vector<Writer*> group;
+  if (s.ok()) {
+    // Collect contiguous writers from the queue front into one commit group.
+    // Writers that enqueue while the leader is appending form the next group.
+    std::vector<WalWriter::GroupOp> ops;
+    size_t group_bytes = 0;
+    for (Writer* other : writers_) {
+      if (!group.empty() &&
+          (group.size() >= kMaxGroupWriters || group_bytes >= kMaxGroupBytes)) {
+        break;
+      }
+      group.push_back(other);
+      if (other->batch != nullptr) {
+        for (size_t i = 0; i < other->batch->size(); ++i) {
+          const WriteBatch::Entry& e = other->batch->entry(i);
+          ops.push_back({RecTypeForOp(e.op), e.key, e.value});
+          group_bytes += e.key.size() + e.value.size();
+        }
+      } else {
+        ops.push_back({other->type, other->key, other->value});
+        group_bytes += other->key.size() + other->value.size();
+      }
+    }
+
+    // One WAL record, one crc, at most one fdatasync for the whole group —
+    // appended with mu_ released so readers and the background threads keep
+    // running. Safe: followers are parked, so only the leader touches wal_
+    // and the memtable, and the group members' storage outlives `done`.
+    WalWriter* wal = wal_.get();
+    lock.unlock();
+    s = wal->AppendGroup(ops, opts_.sync_writes);
+    lock.lock();
+
+    if (s.ok()) {
+      for (Writer* other : group) {
+        if (other->batch != nullptr) {
+          for (size_t i = 0; i < other->batch->size(); ++i) {
+            const WriteBatch::Entry& e = other->batch->entry(i);
+            ApplyOpLocked(RecTypeForOp(e.op), e.key, e.value);
+          }
+        } else {
+          ApplyOpLocked(other->type, other->key, other->value);
+        }
+      }
+      if (group.size() >= 2) {
+        ++stats_.wal_group_commits;
+      }
+      stats_.wal_group_size_max =
+          std::max(stats_.wal_group_size_max, static_cast<uint64_t>(ops.size()));
+    } else if (bg_error_.ok()) {
+      // A failed append may leave a partial record in the log; nothing after
+      // it could be made durable reliably, so the store is poisoned.
+      bg_error_ = s;
+    }
+  } else {
+    // Room/close failure: fail only the leader. Followers take over one by
+    // one and observe the same condition themselves.
+    group.push_back(w);
   }
-  GADGET_RETURN_IF_ERROR(wal_->Append(type, key, value, opts_.sync_writes));
+
+  for (Writer* other : group) {
+    writers_.pop_front();
+    other->status = s;
+    other->done = true;
+    if (other != w) {
+      other->cv.notify_one();
+    }
+  }
+  if (!writers_.empty()) {
+    writers_.front()->cv.notify_one();  // next leader
+  } else {
+    stall_cv_.notify_all();  // Flush()/Close() wait for the queue to drain
+  }
+
+  // Seal a just-filled memtable immediately (never blocking) so the flusher
+  // overlaps the next group's WAL work.
+  if (s.ok() && !closing_ && bg_error_.ok() &&
+      mem_->ApproximateBytes() >= opts_.write_buffer_size &&
+      imm_.size() < static_cast<size_t>(std::max(1, opts_.max_immutable_memtables))) {
+    Status rs = RotateMemTableLocked();
+    if (!rs.ok() && bg_error_.ok()) {
+      bg_error_ = rs;
+    }
+    flush_cv_.notify_all();
+  }
+}
+
+Status LsmStore::MakeRoomForWriteLocked(std::unique_lock<std::mutex>& lock) {
+  const size_t imm_cap = static_cast<size_t>(std::max(1, opts_.max_immutable_memtables));
+  bool slowdown_done = false;
+  for (;;) {
+    if (!bg_error_.ok()) {
+      return bg_error_;
+    }
+    if (closing_) {
+      return Status::Internal("store is closed");
+    }
+    if (mem_->ApproximateBytes() < opts_.write_buffer_size) {
+      return Status::Ok();
+    }
+    const size_t l0 = current_->levels[0].size();
+    if (l0 >= static_cast<size_t>(opts_.l0_stall_limit)) {
+      // Hard stall tier: block until compaction thins L0.
+      auto t0 = MonoClock::now();
+      work_cv_.notify_all();
+      stall_cv_.wait(lock);
+      stats_.stall_micros += MicrosSince(t0);
+      continue;
+    }
+    if (imm_.size() >= imm_cap) {
+      // The flusher is behind: block until it retires a sealed memtable.
+      auto t0 = MonoClock::now();
+      flush_cv_.notify_all();
+      stall_cv_.wait(lock);
+      stats_.stall_micros += MicrosSince(t0);
+      continue;
+    }
+    if (!slowdown_done && l0 >= static_cast<size_t>(opts_.l0_slowdown_limit)) {
+      // Graduated tier: one brief sleep per commit group gives compaction a
+      // head start long before the hard stall threshold.
+      auto t0 = MonoClock::now();
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      lock.lock();
+      stats_.slowdown_micros += MicrosSince(t0);
+      slowdown_done = true;
+      continue;
+    }
+    GADGET_RETURN_IF_ERROR(RotateMemTableLocked());
+    flush_cv_.notify_all();
+    if (opts_.max_immutable_memtables <= 0) {
+      // Compatibility mode: behave like the old inline flush — the write
+      // that fills a memtable waits for it to reach L0.
+      while (!imm_.empty() && bg_error_.ok() && !closing_) {
+        auto t0 = MonoClock::now();
+        stall_cv_.wait(lock);
+        stats_.stall_micros += MicrosSince(t0);
+      }
+    }
+  }
+}
+
+Status LsmStore::RotateMemTableLocked() {
+  // Fold the retiring generation's log accounting into the store counters
+  // before the writer (and its counters) are destroyed.
+  stats_.wal_bytes += wal_->size();
+  stats_.wal_fsyncs += wal_->fsyncs();
+  Status close_status = wal_->Close();
+  wal_.reset();
+  GADGET_RETURN_IF_ERROR(close_status);
+  imm_.push_back(ImmutableMem{std::move(mem_), wal_number_});
+  mem_ = std::make_unique<MemTable>();
+  // No manifest write here: the new generation's number is higher than every
+  // live one, so the recovery floor rule picks it up automatically.
+  wal_number_ = next_file_number_++;
+  auto wal = WalWriter::Create(WalPath(dir_, wal_number_));
+  if (!wal.ok()) {
+    return wal.status();
+  }
+  wal_ = std::move(*wal);
+  return Status::Ok();
+}
+
+void LsmStore::ApplyOpLocked(RecType type, std::string_view key, std::string_view value) {
   switch (type) {
     case RecType::kValue:
       mem_->Put(key, value);
@@ -172,185 +469,76 @@ Status LsmStore::WriteInternal(RecType type, std::string_view key, std::string_v
       break;
   }
   stats_.bytes_written += key.size() + value.size();
-
-  if (mem_->ApproximateBytes() >= opts_.write_buffer_size) {
-    // Stall the writer if L0 is too deep (RocksDB-style backpressure).
-    if (current_->levels[0].size() >= static_cast<size_t>(opts_.l0_stall_limit)) {
-      auto stall_start = MonoClock::now();
-      while (current_->levels[0].size() >=
-                 static_cast<size_t>(opts_.l0_stall_limit) &&
-             bg_error_.ok() && !closing_) {
-        work_cv_.notify_all();
-        stall_cv_.wait(lock);
-      }
-      stats_.stall_micros += MicrosSince(stall_start);
-    }
-    GADGET_RETURN_IF_ERROR(FlushMemTableLocked());
-    work_cv_.notify_all();
-  }
-  return Status::Ok();
-}
-
-Status LsmStore::Put(std::string_view key, std::string_view value) {
-  return WriteInternal(RecType::kValue, key, value);
-}
-
-Status LsmStore::Merge(std::string_view key, std::string_view operand) {
-  return WriteInternal(RecType::kMergeStack, key, operand);
-}
-
-Status LsmStore::Delete(std::string_view key) {
-  return WriteInternal(RecType::kTombstone, key, "");
-}
-
-Status LsmStore::Write(const WriteBatch& batch) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!bg_error_.ok()) {
-    return bg_error_;
-  }
-  if (closing_) {
-    return Status::Internal("store is closed");
-  }
-  if (!batch.empty()) {
-    // Group commit: the whole batch becomes one WAL record — one crc, one
-    // buffered write, at most one fsync regardless of batch size.
-    GADGET_RETURN_IF_ERROR(wal_->AppendBatch(batch, opts_.sync_writes));
-    for (size_t i = 0; i < batch.size(); ++i) {
-      const WriteBatch::Entry& e = batch.entry(i);
-      switch (e.op) {
-        case WriteBatch::Op::kPut:
-          mem_->Put(e.key, e.value);
-          ++stats_.puts;
-          break;
-        case WriteBatch::Op::kMerge:
-          mem_->Merge(e.key, e.value);
-          ++stats_.merges;
-          break;
-        case WriteBatch::Op::kDelete:
-          mem_->Delete(e.key);
-          ++stats_.deletes;
-          break;
-      }
-      stats_.bytes_written += e.key.size() + e.value.size();
-    }
-    // Memtable pressure is checked once per batch; the overshoot is bounded
-    // by one batch's payload.
-    if (mem_->ApproximateBytes() >= opts_.write_buffer_size) {
-      if (current_->levels[0].size() >= static_cast<size_t>(opts_.l0_stall_limit)) {
-        auto stall_start = MonoClock::now();
-        while (current_->levels[0].size() >=
-                   static_cast<size_t>(opts_.l0_stall_limit) &&
-               bg_error_.ok() && !closing_) {
-          work_cv_.notify_all();
-          stall_cv_.wait(lock);
-        }
-        stats_.stall_micros += MicrosSince(stall_start);
-      }
-      GADGET_RETURN_IF_ERROR(FlushMemTableLocked());
-      work_cv_.notify_all();
-    }
-  }
-  NoteBatch(batch.size());
-  return Status::Ok();
-}
-
-StatusOr<std::shared_ptr<FileMeta>> LsmStore::BuildTableFromMemLocked() {
-  uint64_t number = next_file_number_++;
-  const std::string path = SstPath(dir_, number);
-  SSTableBuilder builder(path, opts_.block_size, opts_.bloom_bits_per_key);
-  Status add_status;
-  mem_->ForEachFlushRecord([&](const MemTable::FlushRecord& rec) {
-    if (add_status.ok()) {
-      add_status = builder.Add(rec.key, rec.type, rec.value);
-    }
-  });
-  GADGET_RETURN_IF_ERROR(add_status);
-  GADGET_RETURN_IF_ERROR(builder.Finish());
-
-  auto meta = std::make_shared<FileMeta>();
-  meta->number = number;
-  meta->size = builder.file_size();
-  meta->entries = builder.num_entries();
-  meta->tombstones = builder.num_tombstones();
-  meta->created_ms = NowMs();
-  meta->smallest = builder.smallest();
-  meta->largest = builder.largest();
-  meta->path = path;
-  meta->cache = &cache_;
-  auto reader = SSTableReader::Open(path, number, &cache_);
-  if (!reader.ok()) {
-    return reader.status();
-  }
-  meta->reader = std::move(*reader);
-  stats_.io_bytes_written += meta->size;
-  return meta;
-}
-
-Status LsmStore::FlushMemTableLocked() {
-  if (mem_->empty()) {
-    return Status::Ok();
-  }
-  auto flush_start = MonoClock::now();
-  auto meta = BuildTableFromMemLocked();
-  if (!meta.ok()) {
-    return meta.status();
-  }
-
-  auto version = std::make_shared<Version>(*current_);
-  version->levels[0].push_back(std::move(*meta));
-  current_ = std::move(version);
-  mem_ = std::make_unique<MemTable>();
-  ++stats_.flushes;
-  stats_.flush_micros += MicrosSince(flush_start);
-
-  // Rotate the WAL: records up to here are now durable in the SSTable.
-  // During Recover() the new-generation WAL does not exist yet (the replayed
-  // old WAL is removed by the caller), so rotation is skipped.
-  if (wal_ != nullptr) {
-    // Fold the retiring generation's log accounting into the store counters
-    // before the writer (and its counters) are destroyed.
-    stats_.wal_bytes += wal_->size();
-    stats_.wal_fsyncs += wal_->fsyncs();
-    GADGET_RETURN_IF_ERROR(wal_->Close());
-    uint64_t old_wal = wal_number_;
-    wal_number_ = next_file_number_++;
-    auto wal = WalWriter::Create(WalPath(dir_, wal_number_));
-    if (!wal.ok()) {
-      return wal.status();
-    }
-    wal_ = std::move(*wal);
-    GADGET_RETURN_IF_ERROR(PersistManifestLocked());
-    (void)RemoveFile(WalPath(dir_, old_wal));
-    return Status::Ok();
-  }
-  return PersistManifestLocked();
 }
 
 // -------------------------------------------------------------------- reads
 
-Status LsmStore::Get(std::string_view key, std::string* value) {
-  std::unique_lock<std::mutex> lock(mu_);
-  ++stats_.gets;
-  if (!bg_error_.ok()) {
-    return bg_error_;
-  }
+LookupState LsmStore::LookupMemLayersLocked(std::string_view key, std::string* value,
+                                            std::vector<std::string>* acc) const {
   std::string val;
   std::vector<std::string> layer_ops;
-  LookupState state = mem_->Get(key, &val, &layer_ops);
-  if (state == LookupState::kFound) {
-    *value = std::move(val);
-    read_bytes_.fetch_add(value->size(), std::memory_order_relaxed);
-    return Status::Ok();
+  auto probe = [&](const MemTable& m) -> LookupState {
+    val.clear();
+    layer_ops.clear();
+    LookupState state = m.Get(key, &val, &layer_ops);
+    switch (state) {
+      case LookupState::kFound:
+        // This layer resolves the base; operands from newer layers apply on
+        // top of it.
+        *value = acc->empty() ? std::move(val) : ApplyMerge(val, *acc);
+        return LookupState::kFound;
+      case LookupState::kDeleted:
+        if (acc->empty()) {
+          return LookupState::kDeleted;
+        }
+        *value = ApplyMerge("", *acc);
+        return LookupState::kFound;
+      case LookupState::kMergePartial:
+        // This layer is older than everything accumulated so far: prepend.
+        acc->insert(acc->begin(), std::make_move_iterator(layer_ops.begin()),
+                    std::make_move_iterator(layer_ops.end()));
+        return LookupState::kMergePartial;
+      case LookupState::kNotFound:
+        return LookupState::kNotFound;
+    }
+    return LookupState::kNotFound;
+  };
+  LookupState state = probe(*mem_);
+  if (state == LookupState::kFound || state == LookupState::kDeleted) {
+    return state;
   }
-  if (state == LookupState::kDeleted) {
-    return Status::NotFound();
+  for (auto it = imm_.rbegin(); it != imm_.rend(); ++it) {  // newest first
+    state = probe(*it->mem);
+    if (state == LookupState::kFound || state == LookupState::kDeleted) {
+      return state;
+    }
   }
-  std::shared_ptr<const Version> version = current_;
-  lock.unlock();
+  return acc->empty() ? LookupState::kNotFound : LookupState::kMergePartial;
+}
+
+Status LsmStore::Get(std::string_view key, std::string* value) {
+  std::vector<std::string> acc;
+  std::shared_ptr<const Version> version;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.gets;
+    if (!bg_error_.ok()) {
+      return bg_error_;
+    }
+    LookupState state = LookupMemLayersLocked(key, value, &acc);
+    if (state == LookupState::kFound) {
+      read_bytes_.fetch_add(value->size(), std::memory_order_relaxed);
+      return Status::Ok();
+    }
+    if (state == LookupState::kDeleted) {
+      return Status::NotFound();
+    }
+    version = current_;
+  }
   // From here on the lookup works off the snapshot only: searching SSTables
   // (block I/O) must never touch mu_, or concurrent readers serialize behind
-  // writers and the background compactor.
-  return SearchTablesUnlocked(*version, key, std::move(layer_ops), value);
+  // writers and the background threads.
+  return SearchTablesUnlocked(*version, key, std::move(acc), value);
 }
 
 Status LsmStore::MultiGet(const std::vector<std::string>& keys,
@@ -358,7 +546,8 @@ Status LsmStore::MultiGet(const std::vector<std::string>& keys,
   const size_t n = keys.size();
   values->resize(n);
   statuses->assign(n, Status::Ok());
-  // Keys the memtable could not resolve, with any merge operands it stacked.
+  // Keys the memtable layers could not resolve, with any merge operands they
+  // stacked.
   struct PendingRead {
     size_t index;
     std::vector<std::string> acc;
@@ -371,15 +560,11 @@ Status LsmStore::MultiGet(const std::vector<std::string>& keys,
     if (!bg_error_.ok()) {
       return bg_error_;
     }
-    std::string val;
-    std::vector<std::string> layer_ops;
     for (size_t i = 0; i < n; ++i) {
-      val.clear();
-      layer_ops.clear();
-      LookupState state = mem_->Get(keys[i], &val, &layer_ops);
+      std::vector<std::string> acc;
+      LookupState state = LookupMemLayersLocked(keys[i], &(*values)[i], &acc);
       switch (state) {
         case LookupState::kFound:
-          (*values)[i] = std::move(val);
           read_bytes_.fetch_add((*values)[i].size(), std::memory_order_relaxed);
           break;
         case LookupState::kDeleted:
@@ -387,7 +572,7 @@ Status LsmStore::MultiGet(const std::vector<std::string>& keys,
           break;
         case LookupState::kNotFound:
         case LookupState::kMergePartial:
-          pending.push_back({i, std::move(layer_ops)});
+          pending.push_back({i, std::move(acc)});
           break;
       }
     }
@@ -486,6 +671,139 @@ Status LsmStore::SearchTablesUnlocked(const Version& version, std::string_view k
   }
   // Merge operands with no base anywhere: base is implicitly empty.
   return finish_found("");
+}
+
+// -------------------------------------------------------------------- flush
+
+StatusOr<std::shared_ptr<FileMeta>> LsmStore::BuildTableFromMem(const MemTable& mem,
+                                                                uint64_t number) {
+  const std::string path = SstPath(dir_, number);
+  SSTableBuilder builder(path, opts_.block_size, opts_.bloom_bits_per_key);
+  Status add_status;
+  mem.ForEachFlushRecord([&](const MemTable::FlushRecord& rec) {
+    if (add_status.ok()) {
+      add_status = builder.Add(rec.key, rec.type, rec.value);
+    }
+  });
+  GADGET_RETURN_IF_ERROR(add_status);
+  GADGET_RETURN_IF_ERROR(builder.Finish());
+
+  auto meta = std::make_shared<FileMeta>();
+  meta->number = number;
+  meta->size = builder.file_size();
+  meta->entries = builder.num_entries();
+  meta->tombstones = builder.num_tombstones();
+  meta->created_ms = NowMs();
+  meta->smallest = builder.smallest();
+  meta->largest = builder.largest();
+  meta->path = path;
+  meta->cache = &cache_;
+  auto reader = SSTableReader::Open(path, number, &cache_);
+  if (!reader.ok()) {
+    return reader.status();
+  }
+  meta->reader = std::move(*reader);
+  return meta;
+}
+
+void LsmStore::FlusherThread() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    while (bg_error_.ok() && !closing_ && (imm_.empty() || flusher_paused_)) {
+      flush_cv_.wait(lock);
+    }
+    if (!bg_error_.ok()) {
+      // Poisoned store: stop flushing. The queued memtables' WAL generations
+      // stay live in the manifest, so their data survives for recovery.
+      if (closing_) {
+        return;
+      }
+      flush_cv_.wait(lock);
+      continue;
+    }
+    if (imm_.empty()) {
+      if (closing_) {
+        return;
+      }
+      continue;
+    }
+    // closing_ with a non-empty queue still flushes: Close() drains the
+    // queue (the test pause is ignored) before its final memtable flush.
+    const MemTable* mem = imm_.front().mem.get();
+    const uint64_t wal_gen = imm_.front().wal_number;
+    const uint64_t number = next_file_number_++;
+    auto flush_start = MonoClock::now();
+    lock.unlock();
+    // Safe off-lock: the sealed memtable is immutable and only this thread
+    // pops the queue entry, so readers keep probing it under mu_ while the
+    // SSTable is built.
+    auto meta = BuildTableFromMem(*mem, number);
+    lock.lock();
+    Status s = meta.ok() ? InstallFlushLocked(std::move(*meta)) : meta.status();
+    if (s.ok()) {
+      ++stats_.flushes;
+      stats_.flush_micros += MicrosSince(flush_start);
+      lock.unlock();
+      // The generation's records are durable in the SSTable; the manifest
+      // just persisted no longer lists it, so the log is dead weight.
+      (void)RemoveFile(WalPath(dir_, wal_gen));
+      lock.lock();
+    } else if (bg_error_.ok()) {
+      bg_error_ = s;
+    }
+    stall_cv_.notify_all();  // writers waiting for queue room, Flush() waiters
+    work_cv_.notify_all();   // L0 may have reached the compaction trigger
+  }
+}
+
+Status LsmStore::InstallFlushLocked(std::shared_ptr<FileMeta> meta) {
+  stats_.io_bytes_written += meta->size;
+  auto version = std::make_shared<Version>(*current_);
+  version->levels[0].push_back(std::move(meta));
+  current_ = std::move(version);
+  imm_.pop_front();
+  return PersistManifestLocked();
+}
+
+Status LsmStore::FlushActiveMemLocked() {
+  if (mem_->empty()) {
+    return Status::Ok();
+  }
+  auto flush_start = MonoClock::now();
+  const uint64_t number = next_file_number_++;
+  auto meta = BuildTableFromMem(*mem_, number);
+  if (!meta.ok()) {
+    return meta.status();
+  }
+  stats_.io_bytes_written += (*meta)->size;
+  auto version = std::make_shared<Version>(*current_);
+  version->levels[0].push_back(std::move(*meta));
+  current_ = std::move(version);
+  mem_ = std::make_unique<MemTable>();
+  ++stats_.flushes;
+  stats_.flush_micros += MicrosSince(flush_start);
+
+  // Rotate the WAL: records up to here are now durable in the SSTable.
+  // During Recover() the new-generation WAL does not exist yet (the replayed
+  // logs are removed by the caller), so rotation is skipped.
+  if (wal_ != nullptr) {
+    stats_.wal_bytes += wal_->size();
+    stats_.wal_fsyncs += wal_->fsyncs();
+    Status close_status = wal_->Close();
+    wal_.reset();
+    GADGET_RETURN_IF_ERROR(close_status);
+    uint64_t old_wal = wal_number_;
+    wal_number_ = next_file_number_++;
+    auto wal = WalWriter::Create(WalPath(dir_, wal_number_));
+    if (!wal.ok()) {
+      return wal.status();
+    }
+    wal_ = std::move(*wal);
+    GADGET_RETURN_IF_ERROR(PersistManifestLocked());
+    (void)RemoveFile(WalPath(dir_, old_wal));
+    return Status::Ok();
+  }
+  return PersistManifestLocked();
 }
 
 // --------------------------------------------------------------- compaction
@@ -600,11 +918,88 @@ bool LsmStore::PickCompactionLocked(CompactionJob* job) {
 
 Status LsmStore::DoCompaction(const CompactionJob& job,
                               std::vector<std::shared_ptr<FileMeta>>* outputs) {
-  // One iterator per input; inputs are ordered newest-first.
+  // Partition the key range at input-file smallest-key boundaries: every key
+  // falls into exactly one sub-range, so the per-key merge/shadowing logic
+  // never sees a key split across subcompactions.
+  std::vector<std::string> bounds;  // interior boundaries, ascending
+  const size_t want = static_cast<size_t>(std::max(1, opts_.compaction_threads));
+  if (want > 1 && job.inputs.size() > 1) {
+    std::vector<std::string> candidates;
+    candidates.reserve(job.inputs.size());
+    for (const auto& f : job.inputs) {
+      candidates.push_back(f->smallest);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+    candidates.erase(candidates.begin());  // the global minimum is not interior
+    const size_t subs = std::min(want, candidates.size() + 1);
+    for (size_t j = 1; j < subs; ++j) {
+      bounds.push_back(candidates[j * candidates.size() / subs]);
+    }
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  }
+
+  const size_t n = bounds.size() + 1;
+  if (n == 1) {
+    return RunSubcompaction(job, "", /*has_end=*/false, "", outputs);
+  }
+
+  std::vector<std::vector<std::shared_ptr<FileMeta>>> sub_outputs(n);
+  std::vector<Status> sub_status(n);
+  auto run = [&](size_t i) {
+    const std::string_view begin =
+        i == 0 ? std::string_view() : std::string_view(bounds[i - 1]);
+    const bool has_end = i + 1 < n;
+    const std::string_view end = has_end ? std::string_view(bounds[i]) : std::string_view();
+    sub_status[i] = RunSubcompaction(job, begin, has_end, end, &sub_outputs[i]);
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(n - 1);
+  for (size_t i = 1; i < n; ++i) {
+    workers.emplace_back(run, i);
+  }
+  run(0);  // the calling thread takes the first range
+  for (auto& t : workers) {
+    t.join();
+  }
+  // Concatenating in range order yields global key order across outputs.
+  // Partial outputs are returned even on error so the caller can mark them
+  // obsolete.
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& f : sub_outputs[i]) {
+      outputs->push_back(std::move(f));
+    }
+  }
+  for (const Status& s : sub_status) {
+    GADGET_RETURN_IF_ERROR(s);
+  }
+  return Status::Ok();
+}
+
+Status LsmStore::RunSubcompaction(const CompactionJob& job, std::string_view begin,
+                                  bool has_end, std::string_view end,
+                                  std::vector<std::shared_ptr<FileMeta>>* outputs) {
+  // One iterator per input that intersects [begin, end), preserving the
+  // newest-first input order (shadowing between inputs is positional).
   std::vector<std::unique_ptr<SSTableIterator>> iters;
-  iters.reserve(job.inputs.size());
+  std::vector<const FileMeta*> files;  // parallel to iters: created_ms source
   for (const auto& f : job.inputs) {
+    if (has_end && std::string_view(f->smallest) >= end) {
+      continue;
+    }
+    if (!begin.empty() && std::string_view(f->largest) < begin) {
+      continue;
+    }
     iters.push_back(std::make_unique<SSTableIterator>(f->reader));
+    files.push_back(f.get());
+  }
+  if (!begin.empty()) {
+    for (auto& it : iters) {
+      while (it->Valid() && it->key() < begin) {
+        it->Next();
+      }
+      GADGET_RETURN_IF_ERROR(it->status());
+    }
   }
 
   std::unique_ptr<SSTableBuilder> builder;
@@ -613,6 +1008,8 @@ Status LsmStore::DoCompaction(const CompactionJob& job,
   bool output_has_tombstones = false;
 
   auto open_builder = [&]() -> Status {
+    // File numbers come from the shared counter; this is the only store
+    // state a subcompaction touches, so the critical section is tiny.
     std::lock_guard<std::mutex> lock(mu_);
     builder_number = next_file_number_++;
     builder = std::make_unique<SSTableBuilder>(SstPath(dir_, builder_number), opts_.block_size,
@@ -681,8 +1078,8 @@ Status LsmStore::DoCompaction(const CompactionJob& job,
         any = true;
       }
     }
-    if (!any) {
-      break;
+    if (!any || (has_end && min_key >= end)) {
+      break;  // range exhausted; keys >= end belong to the next subcompaction
     }
     const std::string key(min_key);  // own it: iterators advance below
 
@@ -707,7 +1104,7 @@ Status LsmStore::DoCompaction(const CompactionJob& job,
             resolved = true;
             break;
           case RecType::kTombstone:
-            tomb_created = job.inputs[i]->created_ms;
+            tomb_created = files[i]->created_ms;
             if (pending.empty()) {
               if (job.bottommost) {
                 drop = true;
@@ -777,10 +1174,8 @@ void LsmStore::InstallCompactionLocked(const CompactionJob& job,
     level.erase(std::remove_if(level.begin(), level.end(), is_input), level.end());
   }
   auto& out_level = version->levels[static_cast<size_t>(job.output_level)];
-  uint64_t out_bytes = 0;
   for (auto& f : outputs) {
     stats_.io_bytes_written += f->size;
-    out_bytes += f->size;
     out_level.push_back(std::move(f));
   }
   std::sort(out_level.begin(), out_level.end(),
@@ -795,19 +1190,17 @@ void LsmStore::InstallCompactionLocked(const CompactionJob& job,
   if (!s.ok() && bg_error_.ok()) {
     bg_error_ = s;
   }
-  (void)out_bytes;
 }
 
-void LsmStore::BackgroundThread() {
+void LsmStore::CompactionThread() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!closing_) {
     CompactionJob job;
-    if (!PickCompactionLocked(&job)) {
+    if (!bg_error_.ok() || !PickCompactionLocked(&job)) {
       // Time-bounded wait: Lethe's age-based trigger needs periodic checks.
       work_cv_.wait_for(lock, std::chrono::milliseconds(200));
       continue;
     }
-    compaction_running_ = true;
     lock.unlock();
 
     auto compaction_start = MonoClock::now();
@@ -817,7 +1210,6 @@ void LsmStore::BackgroundThread() {
 
     lock.lock();
     stats_.compaction_micros += compaction_micros;
-    compaction_running_ = false;
     if (s.ok()) {
       InstallCompactionLocked(job, std::move(outputs));
     } else {
@@ -837,25 +1229,58 @@ void LsmStore::BackgroundThread() {
 // ------------------------------------------------------------------- admin
 
 Status LsmStore::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushMemTableLocked();
+  std::unique_lock<std::mutex> lock(mu_);
+  // Drain the whole pipeline: in-flight commit groups AND sealed memtables
+  // (older data must reach L0 before the active memtable does). Both must be
+  // empty in the same critical section — an empty writer queue is also what
+  // guarantees no leader is mid-append with its wal_ pointer while we rotate
+  // the log below (groups are only popped under mu_ after the append).
+  while ((!writers_.empty() || !imm_.empty()) && bg_error_.ok() && !closing_) {
+    flush_cv_.notify_all();
+    stall_cv_.wait(lock);
+  }
+  if (!bg_error_.ok()) {
+    return bg_error_;
+  }
+  if (closing_) {
+    return Status::Internal("store is closed");
+  }
+  return FlushActiveMemLocked();
 }
 
 Status LsmStore::Close() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (closing_) {
-      return Status::Ok();
-    }
-    closing_ = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closing_) {
+    return Status::Ok();
   }
-  work_cv_.notify_all();
+  closing_ = true;
+  // Wake everything: stalled/slowed writers fail out, the flusher drains the
+  // immutable queue, the compaction thread exits after its current job.
   stall_cv_.notify_all();
-  if (bg_thread_.joinable()) {
-    bg_thread_.join();
+  flush_cv_.notify_all();
+  work_cv_.notify_all();
+  if (!writers_.empty()) {
+    writers_.front()->cv.notify_one();
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  Status s = FlushMemTableLocked();
+  while (!writers_.empty()) {
+    stall_cv_.wait(lock);
+  }
+  lock.unlock();
+  if (flusher_thread_.joinable()) {
+    flusher_thread_.join();
+  }
+  if (compaction_thread_.joinable()) {
+    compaction_thread_.join();
+  }
+  lock.lock();
+  Status s;
+  if (imm_.empty() && bg_error_.ok()) {
+    s = FlushActiveMemLocked();
+  } else if (!bg_error_.ok()) {
+    // Poisoned: leave the WAL generations in place (and listed live in the
+    // last-persisted manifest) so recovery replays them.
+    s = bg_error_;
+  }
   if (wal_ != nullptr) {
     stats_.wal_bytes += wal_->size();
     stats_.wal_fsyncs += wal_->fsyncs();
@@ -901,6 +1326,19 @@ uint64_t LsmStore::TotalSstBytes() const {
     }
   }
   return total;
+}
+
+size_t LsmStore::TEST_NumImmutables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return imm_.size();
+}
+
+void LsmStore::TEST_PauseFlusher(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flusher_paused_ = paused;
+  }
+  flush_cv_.notify_all();
 }
 
 }  // namespace gadget

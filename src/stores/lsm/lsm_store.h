@@ -2,23 +2,38 @@
 // delete-aware compaction (the Lethe stand-in, enabled via
 // LsmOptions::delete_aware).
 //
-// Architecture:
-//  * writes go to a WAL + sorted memtable; a full memtable is flushed to an
-//    L0 SSTable on the writer's thread;
-//  * a single background thread runs leveled compaction (L0->L1 by file
-//    count, Ln->Ln+1 by level size) and, in delete-aware mode, force-compacts
-//    SSTables whose tombstones have outlived the delete-persistence
-//    threshold (FADE-style);
-//  * readers take a copy-on-write Version snapshot and search memtable ->
-//    L0 (newest first) -> L1..Ln, accumulating lazy merge operands until a
-//    base value or tombstone resolves the lookup;
+// Architecture (DESIGN.md §5e):
+//  * the write path is a pipeline: concurrent writers enqueue on a leveldb-
+//    style writer queue and one leader appends the whole group to the WAL as
+//    a single record (one crc, one fdatasync — cross-writer group commit),
+//    then applies it to the active memtable;
+//  * a full memtable is sealed onto a bounded queue of immutables together
+//    with its WAL generation number and the writer returns immediately; a
+//    dedicated flusher thread drains the queue (oldest first) into L0
+//    SSTables, so writers never perform SSTable I/O inline;
+//  * a dedicated compaction thread runs leveled compaction (L0->L1 by file
+//    count, Ln->Ln+1 by level size; delete-aware force-compaction in Lethe
+//    mode), partitioning each job's key range into up to
+//    LsmOptions::compaction_threads disjoint sub-ranges merged in parallel
+//    and installed as one version edit — a long compaction never blocks a
+//    flush;
+//  * backpressure is graduated: above l0_slowdown_limit L0 files writers
+//    sleep briefly (slowdown tier, slowdown_micros); above l0_stall_limit or
+//    with the immutable queue full they block (stall tier, stall_micros);
+//  * readers take the store mutex only to probe the memtables (active, then
+//    immutables newest-first) and snapshot the Version, then search SSTables
+//    lock-free, accumulating lazy merge operands until a base value or
+//    tombstone resolves the lookup;
 //  * everything on disk is CRC-protected; the manifest is atomically
-//    rewritten after every flush/compaction; a torn WAL tail is tolerated.
+//    rewritten after every flush/compaction and records the live (unflushed)
+//    WAL generations, so recovery replays exactly those, oldest first; a
+//    torn WAL tail is tolerated.
 #ifndef GADGET_STORES_LSM_LSM_STORE_H_
 #define GADGET_STORES_LSM_LSM_STORE_H_
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -44,16 +59,19 @@ class LsmStore : public KVStore {
   Status Merge(std::string_view key, std::string_view operand) override;
   Status Delete(std::string_view key) override;
 
-  // Batched paths. Write appends the whole batch as ONE group-commit WAL
-  // record (one crc, one buffered write, at most one fsync) and applies it to
-  // the memtable under one mu_ acquisition; memtable pressure is evaluated
-  // once per batch. MultiGet probes the memtable for every key and snapshots
-  // the Version once, then resolves the misses against SSTables lock-free.
+  // Batched paths. Write enqueues the whole batch as ONE writer on the
+  // group-commit queue (the leader may coalesce it with other writers into a
+  // single WAL record); MultiGet probes the memtable layers for every key and
+  // snapshots the Version once, then resolves the misses against SSTables
+  // lock-free.
   Status Write(const WriteBatch& batch) override;
   Status MultiGet(const std::vector<std::string>& keys, std::vector<std::string>* values,
                   std::vector<Status>* statuses) override;
 
   bool supports_merge() const override { return true; }
+  // Synchronously persists all buffered writes: drains the immutable queue,
+  // then flushes the active memtable inline. Must not be called while the
+  // flusher is paused via TEST_PauseFlusher.
   Status Flush() override;
   Status Close() override;
 
@@ -63,27 +81,80 @@ class LsmStore : public KVStore {
   // Introspection for tests.
   int NumFilesAtLevel(int level) const;
   uint64_t TotalSstBytes() const;
+  size_t TEST_NumImmutables() const;
+  // Holds the flusher so sealed memtables accumulate deterministically (the
+  // crash-recovery tests build multi-generation immutable queues this way).
+  // Ignored once Close() begins: close always drains.
+  void TEST_PauseFlusher(bool paused);
 
  private:
   LsmStore(std::string dir, const LsmOptions& opts);
 
   Status Recover();
-  Status WriteInternal(RecType type, std::string_view key, std::string_view value);
 
+  // ------------------------------------------------------------ write path
+  // One enqueued write: either a single operation (batch == nullptr; the
+  // views alias the caller's arguments, alive until `done`) or a WriteBatch.
+  struct Writer {
+    const WriteBatch* batch = nullptr;
+    RecType type = RecType::kValue;
+    std::string_view key;
+    std::string_view value;
+    Status status;
+    bool done = false;
+    std::condition_variable cv;
+  };
+  // Common Put/Merge/Delete/Write path: enqueue, then either wait for a
+  // leader to commit us or become the leader and commit a group.
+  Status EnqueueWriter(Writer* w);
+  // Leader duties: make room, collect a group, group-commit the WAL (lock
+  // released around the append+sync), apply to the memtable, signal the
+  // group. Requires w == writers_.front().
+  void CommitGroupLocked(std::unique_lock<std::mutex>& lock, Writer* w);
+  // Ensures the active memtable can absorb the next group: applies the
+  // graduated backpressure tiers and seals a full memtable onto imm_.
+  Status MakeRoomForWriteLocked(std::unique_lock<std::mutex>& lock);
+  // Seals mem_ (with its WAL generation) onto imm_ and starts a fresh
+  // memtable + WAL generation. Requires mem_ non-empty.
+  Status RotateMemTableLocked();
+  void ApplyOpLocked(RecType type, std::string_view key, std::string_view value);
+
+  // ------------------------------------------------------------- read path
+  // Probes active memtable then immutables newest-first. kFound/kDeleted are
+  // terminal (*value set for kFound); kNotFound/kMergePartial mean the caller
+  // must continue into the SSTables with the accumulated operands in *acc.
+  LookupState LookupMemLayersLocked(std::string_view key, std::string* value,
+                                    std::vector<std::string>* acc) const;
   // SSTable half of the read path, shared by Get and MultiGet. `acc` carries
-  // merge operands already accumulated from newer layers (the memtable). Must
-  // be called with no locks held: it does block I/O against the snapshot.
+  // merge operands already accumulated from newer layers (the memtables).
+  // Must be called with no locks held: it does block I/O against the
+  // snapshot.
   Status SearchTablesUnlocked(const Version& version, std::string_view key,
                               std::vector<std::string> acc, std::string* value);
 
-  // Requires mu_ held. Flushes the active memtable into an L0 file.
-  Status FlushMemTableLocked();
+  // ------------------------------------------------------------ flush path
+  struct ImmutableMem {
+    std::unique_ptr<MemTable> mem;
+    uint64_t wal_number = 0;  // the generation whose records this memtable holds
+  };
+  void FlusherThread();
+  // Builds an L0 SSTable from `mem` as file `number` (allocated by the caller
+  // under mu_). Takes no locks itself: the flusher builds with mu_ released
+  // (sealed memtables are immutable, so concurrent reader probes are safe);
+  // the synchronous paths build with mu_ held.
+  StatusOr<std::shared_ptr<FileMeta>> BuildTableFromMem(const MemTable& mem, uint64_t number);
+  // Synchronous flush of the active memtable (recovery, Flush, Close): build
+  // + install inline, rotate the WAL generation. Requires mu_ held and the
+  // immutable queue empty (older data must reach L0 first).
+  Status FlushActiveMemLocked();
+  // Installs a built L0 file and persists the manifest. Requires mu_ held.
+  Status InstallFlushLocked(std::shared_ptr<FileMeta> meta);
 
-  // Requires mu_ held. Persists the current version + counters.
+  // Requires mu_ held. Persists the current version + live WAL generations.
   Status PersistManifestLocked();
 
-  // Background compaction machinery.
-  void BackgroundThread();
+  // ------------------------------------------------------- compaction path
+  void CompactionThread();
   struct CompactionJob {
     // Inputs ordered newest-first (L0 newest..oldest, then level-n file(s),
     // then level-n+1 overlaps).
@@ -93,12 +164,20 @@ class LsmStore : public KVStore {
   };
   // Requires mu_ held. Returns false if no compaction is needed.
   bool PickCompactionLocked(CompactionJob* job);
+  // Merges the job's inputs into output files. Partitions the key range into
+  // up to opts_.compaction_threads disjoint sub-ranges (split at input-file
+  // smallest-key boundaries) and runs them in parallel; outputs are returned
+  // in key order across the whole range. Runs with mu_ released.
   Status DoCompaction(const CompactionJob& job, std::vector<std::shared_ptr<FileMeta>>* outputs);
+  // One subcompaction: merges keys in [begin, end) — an empty `begin` means
+  // unbounded below, has_end == false unbounded above.
+  Status RunSubcompaction(const CompactionJob& job, std::string_view begin, bool has_end,
+                          std::string_view end,
+                          std::vector<std::shared_ptr<FileMeta>>* outputs);
   // Requires mu_ held.
   void InstallCompactionLocked(const CompactionJob& job,
                                std::vector<std::shared_ptr<FileMeta>> outputs);
 
-  StatusOr<std::shared_ptr<FileMeta>> BuildTableFromMemLocked();
   uint64_t MaxBytesForLevel(int level) const;
   static uint64_t NowMs();
 
@@ -107,9 +186,12 @@ class LsmStore : public KVStore {
   BlockCache cache_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // signals the background thread
-  std::condition_variable stall_cv_;  // wakes stalled writers
+  std::condition_variable work_cv_;   // signals the compaction thread
+  std::condition_variable flush_cv_;  // signals the flusher thread
+  std::condition_variable stall_cv_;  // wakes stalled writers / drain waiters
   std::unique_ptr<MemTable> mem_;
+  std::deque<ImmutableMem> imm_;  // sealed memtables, oldest first
+  std::deque<Writer*> writers_;   // commit queue; front is the group leader
   std::unique_ptr<WalWriter> wal_;
   uint64_t wal_number_ = 0;
   uint64_t next_file_number_ = 1;
@@ -121,8 +203,9 @@ class LsmStore : public KVStore {
   mutable std::atomic<uint64_t> read_bytes_{0};
   Status bg_error_;
   bool closing_ = false;
-  bool compaction_running_ = false;
-  std::thread bg_thread_;
+  bool flusher_paused_ = false;  // test hook; see TEST_PauseFlusher
+  std::thread flusher_thread_;
+  std::thread compaction_thread_;
 };
 
 }  // namespace gadget

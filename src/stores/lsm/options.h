@@ -15,6 +15,18 @@ struct LsmOptions {
   uint64_t write_buffer_size = 16ull << 20;
   int max_write_buffers = 2;
 
+  // Write pipeline (DESIGN.md §5e). A full memtable is sealed onto a bounded
+  // queue of immutables and flushed to L0 by a dedicated flusher thread, so
+  // writers never do SSTable I/O inline. 0 makes every rotation synchronous
+  // (the writer waits for the flusher to drain before continuing — the
+  // closest analogue of the old inline-flush behavior).
+  int max_immutable_memtables = 2;
+
+  // Maximum parallel subcompactions per compaction job: the input key range
+  // is split into up to this many disjoint sub-ranges (at input-file
+  // boundaries) merged concurrently. 1 = fully serial compaction.
+  int compaction_threads = 2;
+
   // Block cache capacity (paper: 64MB; scaled: 8MB).
   uint64_t block_cache_bytes = 8ull << 20;
 
@@ -23,6 +35,7 @@ struct LsmOptions {
 
   // Leveled compaction shape.
   int l0_compaction_trigger = 4;    // # L0 files that triggers L0->L1
+  int l0_slowdown_limit = 8;        // writers sleep briefly above this many L0 files
   int l0_stall_limit = 12;          // writer stalls above this many L0 files
   uint64_t max_bytes_level_base = 32ull << 20;  // L1 target size
   double level_size_multiplier = 10.0;
@@ -30,7 +43,8 @@ struct LsmOptions {
   int num_levels = 6;
 
   // Durability: fsync WAL on every write (off by default, like RocksDB's
-  // default WriteOptions).
+  // default WriteOptions). With the cross-writer group commit, one fdatasync
+  // covers every writer in the committing group.
   bool sync_writes = false;
 
   // Lethe mode (§6: "we further set the Lethe delete threshold to 10s"):

@@ -51,7 +51,9 @@ Status SaveManifest(const std::string& dir, const ManifestData& data) {
   std::ostringstream out;
   out << "gadget-lsm 1\n";
   out << "next_file " << data.next_file_number << "\n";
-  out << "wal " << data.wal_number << "\n";
+  for (uint64_t wal : data.wal_numbers) {
+    out << "wal " << wal << "\n";
+  }
   for (const auto& f : data.files) {
     out << "file " << f.level << " " << f.number << " " << f.size << " " << f.entries << " "
         << f.tombstones << " " << f.created_ms << " " << ToHex(f.smallest) << " "
@@ -81,7 +83,9 @@ StatusOr<ManifestData> LoadManifest(const std::string& dir) {
     if (tag == "next_file") {
       in >> data.next_file_number;
     } else if (tag == "wal") {
-      in >> data.wal_number;
+      uint64_t wal = 0;
+      in >> wal;
+      data.wal_numbers.push_back(wal);
     } else if (tag == "file") {
       ManifestData::FileRecord f;
       std::string smallest_hex, largest_hex;

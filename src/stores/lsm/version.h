@@ -62,7 +62,15 @@ struct Version {
 // and compaction.
 struct ManifestData {
   uint64_t next_file_number = 1;
-  uint64_t wal_number = 0;
+  // Live (unflushed) WAL generations, oldest first: one per sealed memtable
+  // still waiting in the immutable queue plus the active memtable's log.
+  // Recovery replays exactly these files in this order; a WAL file on disk
+  // but absent from this list is already flushed (crash between manifest
+  // persist and file removal) and must NOT be replayed, or stale records
+  // would shadow newer flushed data. Serialized as one "wal N" line per
+  // generation — a pre-pipeline manifest with its single "wal N" line loads
+  // as a list of one (backward compatible).
+  std::vector<uint64_t> wal_numbers;
   // (level, meta) pairs; readers are not opened by Load.
   struct FileRecord {
     int level;

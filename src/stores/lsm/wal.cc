@@ -72,8 +72,9 @@ Status WalWriter::AppendPayload(bool sync) {
   PutVarint32(&scratch_, static_cast<uint32_t>(payload_.size()));
   scratch_ += payload_;
   GADGET_RETURN_IF_ERROR(file_->Append(scratch_));
+  bytes_.fetch_add(scratch_.size(), std::memory_order_relaxed);
   if (sync) {
-    ++fsyncs_;
+    fsyncs_.fetch_add(1, std::memory_order_relaxed);
     return file_->Sync();
   }
   // WAL durability without per-record fsync still requires the data to reach
@@ -98,6 +99,23 @@ Status WalWriter::AppendBatch(const WriteBatch& batch, bool sync) {
   for (size_t i = 0; i < batch.size(); ++i) {
     const WriteBatch::Entry& e = batch.entry(i);
     PutOp(&payload_, RecTypeFor(e.op), e.key, e.value);
+  }
+  return AppendPayload(sync);
+}
+
+Status WalWriter::AppendGroup(const std::vector<GroupOp>& ops, bool sync) {
+  if (ops.empty()) {
+    return Status::Ok();
+  }
+  if (ops.size() == 1) {
+    // A group of one is just a v1 record — no tag/count framing overhead.
+    return Append(ops[0].type, ops[0].key, ops[0].value, sync);
+  }
+  payload_.clear();
+  payload_.push_back(static_cast<char>(kBatchRecordTag));
+  PutVarint32(&payload_, static_cast<uint32_t>(ops.size()));
+  for (const GroupOp& op : ops) {
+    PutOp(&payload_, op.type, op.key, op.value);
   }
   return AppendPayload(sync);
 }

@@ -9,21 +9,25 @@
 //   v2 (group commit, kBatchRecordTag): tag byte | varint32 count |
 //                    count x (type byte | varint32 klen | key |
 //                             varint32 vlen | value)
-// A v2 record carries an entire WriteBatch under ONE crc and (when syncing)
-// ONE fsync — the group-commit path. Because the crc covers the whole
-// payload, a partially synced batch record fails verification and replay
-// stops cleanly before applying any of its entries: batches are
-// all-or-nothing on recovery. Pre-v2 log files contain only v1 records and
-// replay unchanged (backward compatible).
+// A v2 record carries an entire WriteBatch — or a whole group of concurrent
+// writers' operations (cross-writer group commit) — under ONE crc and (when
+// syncing) ONE fsync. Because the crc covers the whole payload, a partially
+// synced batch record fails verification and replay stops cleanly before
+// applying any of its entries: batches/groups are all-or-nothing on recovery,
+// which is safe because no writer in the group has been acknowledged until
+// the record is durable. Pre-v2 log files contain only v1 records and replay
+// unchanged (backward compatible).
 //
 // A torn tail (partial final record after a crash) stops replay cleanly.
 #ifndef GADGET_STORES_LSM_WAL_H_
 #define GADGET_STORES_LSM_WAL_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/file_util.h"
 #include "src/common/status.h"
@@ -48,12 +52,26 @@ class WalWriter {
   // kTombstone.
   Status AppendBatch(const WriteBatch& batch, bool sync);
 
+  // One logical operation inside a cross-writer commit group. Views point
+  // into the enqueued writers' storage, which stays alive until the group
+  // leader signals completion.
+  struct GroupOp {
+    RecType type;
+    std::string_view key;
+    std::string_view value;
+  };
+  // Appends the whole group as one v2 record: one crc, one buffered write,
+  // one fsync when `sync` — the cross-writer group-commit path.
+  Status AppendGroup(const std::vector<GroupOp>& ops, bool sync);
+
   Status Close();
 
-  uint64_t size() const { return file_->size(); }
+  // Counters are atomics so StoreStats snapshots can read them while the
+  // group-commit leader appends with the store mutex released.
+  uint64_t size() const { return bytes_.load(std::memory_order_relaxed); }
   // fdatasync calls issued by this log generation (observability counters;
   // the store folds them into StoreStats::wal_fsyncs across rotations).
-  uint64_t fsyncs() const { return fsyncs_; }
+  uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_relaxed); }
 
  private:
   explicit WalWriter(std::unique_ptr<WritableFile> file) : file_(std::move(file)) {}
@@ -63,7 +81,8 @@ class WalWriter {
   std::unique_ptr<WritableFile> file_;
   std::string scratch_;
   std::string payload_;
-  uint64_t fsyncs_ = 0;
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> fsyncs_{0};
 };
 
 // Replays records until EOF or the first corrupt/torn record, invoking `fn`

@@ -404,7 +404,7 @@ TEST(WalBatchTest, LsmReplaysGroupCommitRecordOnOpen) {
   ASSERT_TRUE(CreateDirIfMissing(dir).ok());
   ManifestData manifest;
   manifest.next_file_number = 2;
-  manifest.wal_number = 1;
+  manifest.wal_numbers = {1};
   ASSERT_TRUE(SaveManifest(dir, manifest).ok());
   {
     auto wal = WalWriter::Create(dir + "/wal-1.log");
@@ -432,7 +432,7 @@ TEST(WalBatchTest, LsmDropsTornGroupCommitRecordOnOpen) {
   ASSERT_TRUE(CreateDirIfMissing(dir).ok());
   ManifestData manifest;
   manifest.next_file_number = 2;
-  manifest.wal_number = 1;
+  manifest.wal_numbers = {1};
   ASSERT_TRUE(SaveManifest(dir, manifest).ok());
   const std::string wal_path = dir + "/wal-1.log";
   {

@@ -344,14 +344,14 @@ TEST(ManifestTest, SaveLoadRoundTrip) {
   ScopedTempDir dir;
   ManifestData data;
   data.next_file_number = 42;
-  data.wal_number = 7;
+  data.wal_numbers = {7, 11};  // two live generations: imm queue + active
   data.files.push_back({0, 3, 1000, 50, 5, 12345, std::string("\x00\x01", 2), "zz"});
   data.files.push_back({2, 9, 2000, 99, 0, 777, "a", "m"});
   ASSERT_TRUE(SaveManifest(dir.path(), data).ok());
   auto back = LoadManifest(dir.path());
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->next_file_number, 42u);
-  EXPECT_EQ(back->wal_number, 7u);
+  EXPECT_EQ(back->wal_numbers, (std::vector<uint64_t>{7, 11}));
   ASSERT_EQ(back->files.size(), 2u);
   EXPECT_EQ(back->files[0].level, 0);
   EXPECT_EQ(back->files[0].smallest, std::string("\x00\x01", 2));

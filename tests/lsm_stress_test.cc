@@ -205,6 +205,127 @@ INSTANTIATE_TEST_SUITE_P(BitsPerKey, BloomSweepTest, ::testing::Values(4, 8, 10,
                            return "bits" + std::to_string(info.param);
                          });
 
+// Crash with a non-empty immutable queue: several memtables were sealed
+// (each owning a retired WAL generation) but none flushed. Recovery must
+// replay all live generations oldest-first so later overwrites win.
+TEST(LsmCrashTest, RecoversImmutableQueueFromWalGenerations) {
+  ScopedTempDir dir;
+  const std::string live = dir.path() + "/live";
+  const std::string snap = dir.path() + "/snapshot";
+  LsmOptions opts = TinyOptions();
+  opts.write_buffer_size = 8 * 1024;
+  opts.max_immutable_memtables = 4;
+  std::map<std::string, std::string> expected;
+  {
+    auto store = LsmStore::Open(live, opts);
+    ASSERT_TRUE(store.ok());
+    auto* lsm = static_cast<LsmStore*>(store->get());
+    lsm->TEST_PauseFlusher(true);
+    // Three generations of writes to the SAME keys: every rotation seals a
+    // memtable whose WAL generation recovery must replay in order, or stale
+    // generations would shadow the newer values.
+    for (int generation = 0; generation < 3; ++generation) {
+      for (int i = 0; i < 40; ++i) {
+        std::string key = "k" + std::to_string(i);
+        std::string value = "gen" + std::to_string(generation) + "-" + std::to_string(i);
+        ASSERT_TRUE((*store)->Put(key, value).ok());
+        expected[key] = value;
+      }
+      const std::string pad(512, 'p');
+      for (int i = 0; lsm->TEST_NumImmutables() < static_cast<size_t>(generation + 1); ++i) {
+        ASSERT_LT(i, 10'000);
+        std::string key = "pad" + std::to_string(generation) + "-" + std::to_string(i);
+        ASSERT_TRUE((*store)->Put(key, pad).ok());
+        expected[key] = pad;
+      }
+    }
+    // A few records that only exist in the active memtable's WAL.
+    for (int i = 0; i < 10; ++i) {
+      std::string key = "active" + std::to_string(i);
+      ASSERT_TRUE((*store)->Put(key, "tail").ok());
+      expected[key] = "tail";
+    }
+    ASSERT_EQ(lsm->TEST_NumImmutables(), 3u);
+    ASSERT_EQ(lsm->NumFilesAtLevel(0), 0);  // nothing flushed: WALs only
+    SnapshotDir(live, snap);
+    lsm->TEST_PauseFlusher(false);
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  auto store = LsmStore::Open(snap, opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  for (const auto& [key, value] : expected) {
+    std::string got;
+    ASSERT_TRUE((*store)->Get(key, &got).ok()) << key;
+    EXPECT_EQ(got, value) << key;
+  }
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+// Same crash shape plus a torn tail on the NEWEST (active) WAL generation:
+// the sealed generations must replay completely; only the torn record of the
+// active generation may be lost.
+TEST(LsmCrashTest, TornActiveWalTailLosesOnlyTheTail) {
+  ScopedTempDir dir;
+  const std::string live = dir.path() + "/live";
+  const std::string snap = dir.path() + "/snapshot";
+  LsmOptions opts = TinyOptions();
+  opts.write_buffer_size = 8 * 1024;
+  opts.max_immutable_memtables = 4;
+  std::map<std::string, std::string> sealed_expected;
+  {
+    auto store = LsmStore::Open(live, opts);
+    ASSERT_TRUE(store.ok());
+    auto* lsm = static_cast<LsmStore*>(store->get());
+    lsm->TEST_PauseFlusher(true);
+    const std::string pad(512, 'p');
+    for (int generation = 0; generation < 2; ++generation) {
+      for (int i = 0; lsm->TEST_NumImmutables() < static_cast<size_t>(generation + 1); ++i) {
+        ASSERT_LT(i, 10'000);
+        std::string key = "g" + std::to_string(generation) + "-" + std::to_string(i);
+        ASSERT_TRUE((*store)->Put(key, pad).ok());
+        sealed_expected[key] = pad;
+      }
+    }
+    ASSERT_TRUE((*store)->Put("active-key", "may be torn").ok());
+    SnapshotDir(live, snap);
+    lsm->TEST_PauseFlusher(false);
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  // Tear the newest WAL in the snapshot (highest generation number).
+  fs::path newest;
+  uint64_t newest_number = 0;
+  for (const auto& entry : fs::directory_iterator(snap)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("wal-") && name.ends_with(".log")) {
+      uint64_t n = std::stoull(name.substr(4));
+      if (n >= newest_number) {
+        newest_number = n;
+        newest = entry.path();
+      }
+    }
+  }
+  ASSERT_FALSE(newest.empty());
+  const auto size = fs::file_size(newest);
+  ASSERT_GT(size, 4u);
+  fs::resize_file(newest, size - 3);  // torn mid-record
+  auto store = LsmStore::Open(snap, opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  for (const auto& [key, value] : sealed_expected) {
+    std::string got;
+    ASSERT_TRUE((*store)->Get(key, &got).ok()) << key;
+    EXPECT_EQ(got, value) << key;
+  }
+  // The torn record itself is allowed to be gone, but a lookup must still be
+  // well-formed (found with the right value, or cleanly NotFound).
+  std::string got;
+  Status s = (*store)->Get("active-key", &got);
+  EXPECT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+  if (s.ok()) {
+    EXPECT_EQ(got, "may be torn");
+  }
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
 TEST(LsmBackpressureTest, HeavyWritesDoNotWedge) {
   ScopedTempDir dir;
   LsmOptions opts = TinyOptions();
