@@ -20,7 +20,9 @@ Status ErrnoStatus(const std::string& context) {
 
 // ---------------------------------------------------------------- WritableFile
 
-WritableFile::~WritableFile() { Close(); }
+// status intentionally ignored: destructors cannot propagate errors; durable
+// writers (WAL, SSTable builder) call Close() explicitly and check.
+WritableFile::~WritableFile() { (void)Close(); }
 
 StatusOr<std::unique_ptr<WritableFile>> WritableFile::Create(const std::string& path) {
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);

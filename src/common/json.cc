@@ -258,6 +258,8 @@ struct Parser {
       default: {
         // Number: [-]digits[.digits][eE[+-]digits]
         const char* start = p;
+        // result intentionally ignored: the sign is optional, so a failed
+        // consume is not an error.
         (void)Consume('-');
         while (p < end && ((*p >= '0' && *p <= '9') || *p == '.' || *p == 'e' || *p == 'E' ||
                            *p == '+' || *p == '-')) {

@@ -29,7 +29,13 @@ enum class StatusCode {
 // Human-readable name for a status code ("OK", "NotFound", ...).
 std::string_view StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]]: a fallible call whose Status is dropped is a latent bug (a
+// failed WAL append that nobody notices corrupts the benchmark's durability
+// story). The rare sites that legitimately ignore a Status cast to void and
+// say why: `(void)expr;  // status intentionally ignored: <reason>` — the
+// lint (tools/gadget_lint, rule void-status) rejects the cast without the
+// justification.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -78,7 +84,7 @@ class Status {
 
 // StatusOr<T>: either an OK status plus a value, or a non-OK status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit by design
     assert(!status_.ok() && "StatusOr constructed from OK status without a value");

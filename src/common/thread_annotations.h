@@ -1,0 +1,95 @@
+// Clang thread-safety analysis annotations (DESIGN.md §5f).
+//
+// These macros let lock invariants that used to live only in comments —
+// "`*Locked` helpers require `mu_`", "stripe maps are guarded by their
+// stripe's mutex" — be machine-checked at compile time. Under Clang with
+// -Wthread-safety (the static-analysis CI job builds with
+// -Werror=thread-safety) every annotated field access and function call is
+// proven against the declared lock discipline; under GCC (the default local
+// toolchain) every macro expands to nothing, so the annotations are free.
+//
+// The attributes only attach to capability types, and libstdc++'s std::mutex
+// is not one, so synchronized code uses the annotated wrappers in
+// src/common/mutex.h (Mutex, SharedMutex, MutexLock, CondVar) instead of the
+// raw standard types.
+//
+// Conventions:
+//  * every field written under a lock is GUARDED_BY(that lock);
+//  * every private helper named `*Locked` is REQUIRES(the lock) — enforced
+//    statically here and textually by tools/gadget_lint (rule
+//    locked-requires);
+//  * NO_THREAD_SAFETY_ANALYSIS is a last resort for code the analysis cannot
+//    model; each use carries a one-line justification comment.
+#ifndef GADGET_COMMON_THREAD_ANNOTATIONS_H_
+#define GADGET_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GADGET_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define GADGET_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op on non-Clang
+#endif
+
+// Type attributes ------------------------------------------------------------
+
+// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
+#define CAPABILITY(x) GADGET_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+// Marks an RAII class whose lifetime holds a capability (MutexLock et al.).
+#define SCOPED_CAPABILITY GADGET_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+// Data-member attributes -----------------------------------------------------
+
+// The field may only be read or written while holding the given capability
+// (shared hold suffices for reads on shared capabilities).
+#define GUARDED_BY(x) GADGET_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+// The pointer itself is unguarded, but the data it points to is guarded.
+#define PT_GUARDED_BY(x) GADGET_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+// Function attributes --------------------------------------------------------
+
+// Caller must hold the capability exclusively when calling (held on entry and
+// on exit; the function may release and reacquire internally).
+#define REQUIRES(...) \
+  GADGET_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+// Caller must hold the capability at least shared.
+#define REQUIRES_SHARED(...) \
+  GADGET_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires the capability (exclusively / shared) and does not
+// release it before returning.
+#define ACQUIRE(...) \
+  GADGET_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  GADGET_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+// The function releases a held capability. RELEASE is generic: on a
+// SCOPED_CAPABILITY destructor it releases however the scope acquired.
+#define RELEASE(...) \
+  GADGET_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  GADGET_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (deadlock guard for self-locking APIs).
+#define EXCLUDES(...) GADGET_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+// Try-lock: acquires only when returning `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  GADGET_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(ret, __VA_ARGS__))
+
+// Runtime assertion that the capability is held (teaches the analysis a fact
+// it cannot derive, e.g. after a CondVar wait loop re-establishes it).
+#define ASSERT_CAPABILITY(x) \
+  GADGET_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+// The function returns a reference to the given capability (accessor pattern).
+#define RETURN_CAPABILITY(x) GADGET_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+// Escape hatch: the function body is not analyzed. Every use must carry a
+// one-line justification comment (enforced by code review + DESIGN.md §5f;
+// budget is ≤ 10 uses tree-wide).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  GADGET_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // GADGET_COMMON_THREAD_ANNOTATIONS_H_

@@ -201,6 +201,8 @@ BTreeStore::BTreeStore(std::string dir, const BTreeOptions& opts)
   max_cached_pages_ = static_cast<size_t>(opts_.cache_bytes / opts_.page_size) + 8;
 }
 
+// status intentionally ignored: destructors cannot propagate errors; callers
+// that care about durability call Close() explicitly and check.
 BTreeStore::~BTreeStore() { (void)Close(); }
 
 StatusOr<std::unique_ptr<KVStore>> BTreeStore::Open(const std::string& dir,
@@ -212,7 +214,7 @@ StatusOr<std::unique_ptr<KVStore>> BTreeStore::Open(const std::string& dir,
 }
 
 Status BTreeStore::Recover() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const std::string path = TreePath(dir_);
   bool fresh = !FileExists(path);
   fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
@@ -665,7 +667,7 @@ Status BTreeStore::RmwLocked(std::string_view key, std::string_view operand) {
 // ------------------------------------------------------------ public facade
 
 Status BTreeStore::Put(std::string_view key, std::string_view value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return Status::Internal("store is closed");
   }
@@ -676,7 +678,7 @@ Status BTreeStore::Put(std::string_view key, std::string_view value) {
 }
 
 Status BTreeStore::Get(std::string_view key, std::string* value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return Status::Internal("store is closed");
   }
@@ -690,7 +692,7 @@ Status BTreeStore::Get(std::string_view key, std::string* value) {
 }
 
 Status BTreeStore::Delete(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return Status::Internal("store is closed");
   }
@@ -702,7 +704,7 @@ Status BTreeStore::Delete(std::string_view key) {
 }
 
 Status BTreeStore::ReadModifyWrite(std::string_view key, std::string_view operand) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return Status::Internal("store is closed");
   }
@@ -713,7 +715,7 @@ Status BTreeStore::ReadModifyWrite(std::string_view key, std::string_view operan
 }
 
 Status BTreeStore::Write(const WriteBatch& batch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return Status::Internal("store is closed");
   }
@@ -749,7 +751,7 @@ Status BTreeStore::MultiGet(const std::vector<std::string>& keys,
                             std::vector<std::string>* values, std::vector<Status>* statuses) {
   values->resize(keys.size());
   statuses->assign(keys.size(), Status::Ok());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return Status::Internal("store is closed");
   }
@@ -770,7 +772,7 @@ Status BTreeStore::MultiGet(const std::vector<std::string>& keys,
 }
 
 Status BTreeStore::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return Status::Ok();
   }
@@ -789,13 +791,13 @@ Status BTreeStore::Flush() {
 
 Status BTreeStore::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (closed_) {
       return Status::Ok();
     }
   }
   Status s = Flush();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   closed_ = true;
   if (fd_ >= 0) {
     ::close(fd_);
@@ -805,24 +807,24 @@ Status BTreeStore::Close() {
 }
 
 StoreStats BTreeStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   StoreStats out = stats_;
   FoldBatchStats(&out);
   return out;
 }
 
 uint32_t BTreeStore::height() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return height_;
 }
 
 uint64_t BTreeStore::num_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return next_page_;
 }
 
 Status BTreeStore::CheckInvariants() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Iterative BFS verifying (a) key ordering within nodes, (b) separator
   // bounds, (c) uniform leaf depth.
   struct Item {

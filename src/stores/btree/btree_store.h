@@ -16,11 +16,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/stores/kvstore.h"
 
 namespace gadget {
@@ -82,38 +83,39 @@ class BTreeStore : public KVStore {
 
   Status Recover();
 
-  // --- page cache ---
-  StatusOr<std::shared_ptr<Node>> FetchNode(uint32_t page_id);
-  void MarkDirty(uint32_t page_id);
-  Status EvictIfNeeded();
-  Status WriteNode(uint32_t page_id, const Node& node);
-  StatusOr<std::shared_ptr<Node>> ReadNode(uint32_t page_id);
-  uint32_t AllocPage();
-  void FreePage(uint32_t page_id);
-  Status PersistMeta();
+  // --- page cache (mu_ held) ---
+  StatusOr<std::shared_ptr<Node>> FetchNode(uint32_t page_id) REQUIRES(mu_);
+  void MarkDirty(uint32_t page_id) REQUIRES(mu_);
+  Status EvictIfNeeded() REQUIRES(mu_);
+  Status WriteNode(uint32_t page_id, const Node& node) REQUIRES(mu_);
+  StatusOr<std::shared_ptr<Node>> ReadNode(uint32_t page_id) REQUIRES(mu_);
+  uint32_t AllocPage() REQUIRES(mu_);
+  void FreePage(uint32_t page_id) REQUIRES(mu_);
+  Status PersistMeta() REQUIRES(mu_);
 
   // --- tree ops (mu_ held) ---
-  Status GetLocked(std::string_view key, std::string* value);
-  Status PutLocked(std::string_view key, std::string_view value);
-  Status DeleteLocked(std::string_view key);
-  Status RmwLocked(std::string_view key, std::string_view operand);
+  Status GetLocked(std::string_view key, std::string* value) REQUIRES(mu_);
+  Status PutLocked(std::string_view key, std::string_view value) REQUIRES(mu_);
+  Status DeleteLocked(std::string_view key) REQUIRES(mu_);
+  Status RmwLocked(std::string_view key, std::string_view operand) REQUIRES(mu_);
   // Descends to the leaf for `key`, recording the path (page ids + child
   // indices) for split propagation.
   struct PathEntry {
     uint32_t page_id;
     size_t child_index;
   };
-  StatusOr<uint32_t> DescendToLeaf(std::string_view key, std::vector<PathEntry>* path);
-  Status SplitAndInsert(uint32_t leaf_id, std::vector<PathEntry> path);
+  StatusOr<uint32_t> DescendToLeaf(std::string_view key, std::vector<PathEntry>* path)
+      REQUIRES(mu_);
+  Status SplitAndInsert(uint32_t leaf_id, std::vector<PathEntry> path) REQUIRES(mu_);
 
-  // --- overflow values ---
-  StatusOr<ValueRef> StoreValue(std::string_view value);
-  Status LoadValue(const ValueRef& ref, std::string* out);
-  void ReleaseValue(const ValueRef& ref);
+  // --- overflow values (mu_ held) ---
+  StatusOr<ValueRef> StoreValue(std::string_view value) REQUIRES(mu_);
+  Status LoadValue(const ValueRef& ref, std::string* out) REQUIRES(mu_);
+  void ReleaseValue(const ValueRef& ref) REQUIRES(mu_);
 
-  // --- raw page I/O ---
-  Status ReadPageRaw(uint32_t page_id, std::string* out);
-  Status WritePageRaw(uint32_t page_id, std::string_view data);
+  // --- raw page I/O (mu_ held: they use fd_) ---
+  Status ReadPageRaw(uint32_t page_id, std::string* out) REQUIRES(mu_);
+  Status WritePageRaw(uint32_t page_id, std::string_view data) REQUIRES(mu_);
 
   std::string SerializeNode(const Node& node) const;
   StatusOr<Node> DeserializeNode(std::string_view data) const;
@@ -121,24 +123,25 @@ class BTreeStore : public KVStore {
   const std::string dir_;
   const BTreeOptions opts_;
 
-  mutable std::mutex mu_;
-  int fd_ = -1;
-  uint32_t root_ = 0;
-  uint32_t next_page_ = 1;  // page 0 is the meta page
-  uint32_t free_head_ = 0;  // singly-linked free list threaded through pages
-  uint32_t height_ = 1;
+  mutable Mutex mu_;
+  int fd_ GUARDED_BY(mu_) = -1;
+  uint32_t root_ GUARDED_BY(mu_) = 0;
+  uint32_t next_page_ GUARDED_BY(mu_) = 1;  // page 0 is the meta page
+  // Singly-linked free list threaded through pages.
+  uint32_t free_head_ GUARDED_BY(mu_) = 0;
+  uint32_t height_ GUARDED_BY(mu_) = 1;
 
   // LRU cache of parsed nodes.
   struct CacheEntry {
     uint32_t page_id;
     std::shared_ptr<Node> node;
   };
-  std::list<CacheEntry> lru_;  // front = most recent
-  std::unordered_map<uint32_t, std::list<CacheEntry>::iterator> cache_;
+  std::list<CacheEntry> lru_ GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<uint32_t, std::list<CacheEntry>::iterator> cache_ GUARDED_BY(mu_);
   size_t max_cached_pages_;
 
-  StoreStats stats_;
-  bool closed_ = false;
+  StoreStats stats_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gadget

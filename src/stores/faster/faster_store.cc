@@ -57,6 +57,8 @@ Status Pread(int fd, char* data, size_t n, uint64_t offset) {
 FasterStore::FasterStore(std::string dir, const FasterOptions& opts)
     : dir_(std::move(dir)), opts_(opts) {}
 
+// status intentionally ignored: destructors cannot propagate errors; callers
+// that care about durability call Close() explicitly and check.
 FasterStore::~FasterStore() { (void)Close(); }
 
 StatusOr<std::unique_ptr<KVStore>> FasterStore::Open(const std::string& dir,
@@ -68,7 +70,7 @@ StatusOr<std::unique_ptr<KVStore>> FasterStore::Open(const std::string& dir,
 }
 
 Status FasterStore::Recover() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const std::string path = LogPath(dir_);
   log_fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (log_fd_ < 0) {
@@ -83,7 +85,7 @@ Status FasterStore::Recover() {
   // Sequential scan rebuilds the hash index: last record per key wins.
   uint64_t addr = 0;
   std::string header(kRecordHeader, '\0');
-  std::string key, value;
+  std::string key;
   while (addr + kRecordHeader <= file_size) {
     GADGET_RETURN_IF_ERROR(Pread(log_fd_, header.data(), kRecordHeader, addr));
     uint32_t total = DecodeFixed32(header.data());
@@ -111,7 +113,6 @@ Status FasterStore::Recover() {
     }
   }
   head_ = tail_ = durable_ = addr;
-  (void)value;
   return Status::Ok();
 }
 
@@ -289,7 +290,7 @@ Status FasterStore::RmwLocked(std::string_view key, std::string_view operand) {
 }
 
 Status FasterStore::Put(std::string_view key, std::string_view value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return Status::Internal("store is closed");
   }
@@ -299,7 +300,7 @@ Status FasterStore::Put(std::string_view key, std::string_view value) {
 }
 
 Status FasterStore::Get(std::string_view key, std::string* value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return Status::Internal("store is closed");
   }
@@ -312,7 +313,7 @@ Status FasterStore::Get(std::string_view key, std::string* value) {
 }
 
 Status FasterStore::Delete(std::string_view key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return Status::Internal("store is closed");
   }
@@ -323,7 +324,7 @@ Status FasterStore::Delete(std::string_view key) {
 }
 
 Status FasterStore::ReadModifyWrite(std::string_view key, std::string_view operand) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return Status::Internal("store is closed");
   }
@@ -333,7 +334,7 @@ Status FasterStore::ReadModifyWrite(std::string_view key, std::string_view opera
 }
 
 Status FasterStore::Write(const WriteBatch& batch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return Status::Internal("store is closed");
   }
@@ -369,7 +370,7 @@ Status FasterStore::MultiGet(const std::vector<std::string>& keys,
                              std::vector<std::string>* values, std::vector<Status>* statuses) {
   values->resize(keys.size());
   statuses->assign(keys.size(), Status::Ok());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return Status::Internal("store is closed");
   }
@@ -389,7 +390,7 @@ Status FasterStore::MultiGet(const std::vector<std::string>& keys,
 }
 
 Status FasterStore::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_ || buffer_.empty()) {
     return Status::Ok();
   }
@@ -403,7 +404,7 @@ Status FasterStore::Flush() {
 }
 
 Status FasterStore::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (closed_) {
     return Status::Ok();
   }
@@ -414,7 +415,11 @@ Status FasterStore::Close() {
   }
   if (log_fd_ >= 0) {
     ++stats_.wal_fsyncs;
-    ::fdatasync(log_fd_);
+    // The final sync's failure must not vanish: this is the last chance to
+    // report that buffered log bytes may not have reached the platter.
+    if (::fdatasync(log_fd_) != 0 && s.ok()) {
+      s = Status::IoError("fdatasync hybrid log on close");
+    }
     ::close(log_fd_);
     log_fd_ = -1;
   }
@@ -423,24 +428,24 @@ Status FasterStore::Close() {
 }
 
 StoreStats FasterStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   StoreStats out = stats_;
   FoldBatchStats(&out);
   return out;
 }
 
 uint64_t FasterStore::tail_address() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tail_;
 }
 
 uint64_t FasterStore::head_address() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return head_;
 }
 
 uint64_t FasterStore::in_place_updates() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return in_place_updates_;
 }
 

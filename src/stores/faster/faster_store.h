@@ -18,11 +18,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "src/common/file_util.h"
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/stores/kvstore.h"
 
 namespace gadget {
@@ -65,36 +66,40 @@ class FasterStore : public KVStore {
  private:
   FasterStore(std::string dir, const FasterOptions& opts);
 
-  Status Recover();
-  // Appends a record, returns its address. Requires mu_ held.
+  Status Recover() EXCLUDES(mu_);
+  // Appends a record, returns its address.
   StatusOr<uint64_t> AppendRecordLocked(uint8_t type, std::string_view key,
-                                        std::string_view value);
-  // Reads the record at `addr` (memory or disk). Requires mu_ held.
-  Status ReadRecordLocked(uint64_t addr, uint8_t* type, std::string* key, std::string* value);
-  // Evicts the cold prefix of the memory window to disk. Requires mu_ held.
-  Status MaybeEvictLocked();
-  bool InMutableRegionLocked(uint64_t addr) const;
+                                        std::string_view value) REQUIRES(mu_);
+  // Reads the record at `addr` (memory or disk).
+  Status ReadRecordLocked(uint64_t addr, uint8_t* type, std::string* key, std::string* value)
+      REQUIRES(mu_);
+  // Evicts the cold prefix of the memory window to disk.
+  Status MaybeEvictLocked() REQUIRES(mu_);
+  bool InMutableRegionLocked(uint64_t addr) const REQUIRES(mu_);
 
   // Single-operation bodies without locking or stats, shared by the public
-  // facade and the batched paths. Require mu_ held.
-  Status PutLocked(std::string_view key, std::string_view value);
-  Status GetLocked(std::string_view key, std::string* value);
-  Status DeleteLocked(std::string_view key);
-  Status RmwLocked(std::string_view key, std::string_view operand);
+  // facade and the batched paths.
+  Status PutLocked(std::string_view key, std::string_view value) REQUIRES(mu_);
+  Status GetLocked(std::string_view key, std::string* value) REQUIRES(mu_);
+  Status DeleteLocked(std::string_view key) REQUIRES(mu_);
+  Status RmwLocked(std::string_view key, std::string_view operand) REQUIRES(mu_);
 
   const std::string dir_;
   const FasterOptions opts_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, uint64_t> index_;  // key -> record address
-  std::string buffer_;      // in-memory log window [head_, tail_)
-  uint64_t head_ = 0;       // first in-memory address
-  uint64_t tail_ = 0;       // next append address
-  int log_fd_ = -1;         // on-disk log (addresses [0, head_) are durable)
-  uint64_t durable_ = 0;    // bytes persisted to the log file
-  StoreStats stats_;
-  uint64_t in_place_updates_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  // key -> record address
+  std::unordered_map<std::string, uint64_t> index_ GUARDED_BY(mu_);
+  std::string buffer_ GUARDED_BY(mu_);   // in-memory log window [head_, tail_)
+  uint64_t head_ GUARDED_BY(mu_) = 0;    // first in-memory address
+  uint64_t tail_ GUARDED_BY(mu_) = 0;    // next append address
+  // On-disk log (addresses [0, head_) are durable).
+  int log_fd_ GUARDED_BY(mu_) = -1;
+  // Bytes persisted to the log file.
+  uint64_t durable_ GUARDED_BY(mu_) = 0;
+  StoreStats stats_ GUARDED_BY(mu_);
+  uint64_t in_place_updates_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gadget

@@ -10,7 +10,7 @@ BlockCache::BlockCache(uint64_t capacity_bytes)
 BlockCache::BlockHandle BlockCache::Lookup(uint64_t file_number, uint64_t offset) {
   Key key{file_number, offset};
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -27,7 +27,7 @@ BlockCache::BlockHandle BlockCache::Insert(uint64_t file_number, uint64_t offset
   Key key{file_number, offset};
   auto handle = std::make_shared<const std::string>(std::move(block));
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     shard.bytes -= it->second->block->size();
@@ -53,7 +53,7 @@ void BlockCache::EvictLocked(Shard& shard) {
 
 void BlockCache::EraseFile(uint64_t file_number) {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (it->key.file == file_number) {
         shard.bytes -= it->block->size();

@@ -7,9 +7,11 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 
 namespace gadget {
 
@@ -47,19 +49,19 @@ class BlockCache {
   };
 
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     // LRU list: front = most recent. Map values point into the list.
     struct Entry {
       Key key;
       BlockHandle block;
     };
-    std::list<Entry> lru;
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
-    uint64_t bytes = 0;
+    std::list<Entry> lru GUARDED_BY(mu);
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map GUARDED_BY(mu);
+    uint64_t bytes GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const Key& k) { return shards_[KeyHash{}(k) % kShards]; }
-  void EvictLocked(Shard& shard);
+  void EvictLocked(Shard& shard) REQUIRES(shard.mu);
 
   uint64_t capacity_per_shard_;
   Shard shards_[kShards];

@@ -82,6 +82,9 @@ LsmStore::LsmStore(std::string dir, const LsmOptions& opts)
     : dir_(std::move(dir)),
       opts_(opts),
       cache_(opts.block_cache_bytes),
+      work_cv_(&mu_),
+      flush_cv_(&mu_),
+      stall_cv_(&mu_),
       mem_(std::make_unique<MemTable>()),
       compact_cursor_(static_cast<size_t>(opts.num_levels), 0) {
   current_ = std::make_shared<Version>(opts_.num_levels);
@@ -97,10 +100,12 @@ StatusOr<std::unique_ptr<KVStore>> LsmStore::Open(const std::string& dir,
   return std::unique_ptr<KVStore>(std::move(store));
 }
 
+// status intentionally ignored: a destructor cannot propagate the close
+// error; callers that care close explicitly first.
 LsmStore::~LsmStore() { (void)Close(); }
 
 Status LsmStore::Recover() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto manifest = LoadManifest(dir_);
   if (!manifest.ok() && !manifest.status().IsNotFound()) {
     return manifest.status();
@@ -167,6 +172,8 @@ Status LsmStore::Recover() {
       // make sure fresh allocations cannot collide with files on disk.
       next_file_number_ = std::max(next_file_number_, n + 1);
       if (n < floor) {
+        // status intentionally ignored: deleting an already-flushed log is
+        // garbage collection; a leftover file is re-deleted next recovery.
         (void)RemoveFile(WalPath(dir_, n));
       } else {
         replay.push_back(n);
@@ -199,6 +206,9 @@ Status LsmStore::Recover() {
       GADGET_RETURN_IF_ERROR(FlushActiveMemLocked());
     }
     for (uint64_t n : replay) {
+      // status intentionally ignored: the replayed data is already flushed
+      // and the manifest lists no live generations, so a stale log that
+      // survives this unlink is ignored (and re-deleted) on the next open.
       (void)RemoveFile(WalPath(dir_, n));
     }
   }
@@ -233,7 +243,7 @@ Status LsmStore::PersistManifestLocked() {
 // ------------------------------------------------------------------- writes
 
 Status LsmStore::Put(std::string_view key, std::string_view value) {
-  Writer w;
+  Writer w(&mu_);
   w.type = RecType::kValue;
   w.key = key;
   w.value = value;
@@ -241,7 +251,7 @@ Status LsmStore::Put(std::string_view key, std::string_view value) {
 }
 
 Status LsmStore::Merge(std::string_view key, std::string_view operand) {
-  Writer w;
+  Writer w(&mu_);
   w.type = RecType::kMergeStack;
   w.key = key;
   w.value = operand;
@@ -249,7 +259,7 @@ Status LsmStore::Merge(std::string_view key, std::string_view operand) {
 }
 
 Status LsmStore::Delete(std::string_view key) {
-  Writer w;
+  Writer w(&mu_);
   w.type = RecType::kTombstone;
   w.key = key;
   return EnqueueWriter(&w);
@@ -257,7 +267,7 @@ Status LsmStore::Delete(std::string_view key) {
 
 Status LsmStore::Write(const WriteBatch& batch) {
   if (!batch.empty()) {
-    Writer w;
+    Writer w(&mu_);
     w.batch = &batch;
     GADGET_RETURN_IF_ERROR(EnqueueWriter(&w));
   }
@@ -266,28 +276,28 @@ Status LsmStore::Write(const WriteBatch& batch) {
 }
 
 Status LsmStore::EnqueueWriter(Writer* w) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   writers_.push_back(w);
   // Followers park here; the queue front is the group leader. A follower
   // either gets committed (done) by a leader's group or inherits leadership
   // when it reaches the front.
   while (!w->done && w != writers_.front()) {
-    w->cv.wait(lock);
+    w->cv.Wait();
   }
   if (!w->done) {
-    CommitGroupLocked(lock, w);
+    CommitGroupLocked(w);
   }
   return w->status;
 }
 
-void LsmStore::CommitGroupLocked(std::unique_lock<std::mutex>& lock, Writer* w) {
+void LsmStore::CommitGroupLocked(Writer* w) {
   Status s;
   if (!bg_error_.ok()) {
     s = bg_error_;
   } else if (closing_) {
     s = Status::Internal("store is closed");
   } else {
-    s = MakeRoomForWriteLocked(lock);
+    s = MakeRoomForWriteLocked();
   }
 
   std::vector<Writer*> group;
@@ -319,9 +329,9 @@ void LsmStore::CommitGroupLocked(std::unique_lock<std::mutex>& lock, Writer* w) 
     // running. Safe: followers are parked, so only the leader touches wal_
     // and the memtable, and the group members' storage outlives `done`.
     WalWriter* wal = wal_.get();
-    lock.unlock();
+    mu_.Unlock();
     s = wal->AppendGroup(ops, opts_.sync_writes);
-    lock.lock();
+    mu_.Lock();
 
     if (s.ok()) {
       for (Writer* other : group) {
@@ -355,13 +365,13 @@ void LsmStore::CommitGroupLocked(std::unique_lock<std::mutex>& lock, Writer* w) 
     other->status = s;
     other->done = true;
     if (other != w) {
-      other->cv.notify_one();
+      other->cv.Signal();
     }
   }
   if (!writers_.empty()) {
-    writers_.front()->cv.notify_one();  // next leader
+    writers_.front()->cv.Signal();  // next leader
   } else {
-    stall_cv_.notify_all();  // Flush()/Close() wait for the queue to drain
+    stall_cv_.SignalAll();  // Flush()/Close() wait for the queue to drain
   }
 
   // Seal a just-filled memtable immediately (never blocking) so the flusher
@@ -373,11 +383,11 @@ void LsmStore::CommitGroupLocked(std::unique_lock<std::mutex>& lock, Writer* w) 
     if (!rs.ok() && bg_error_.ok()) {
       bg_error_ = rs;
     }
-    flush_cv_.notify_all();
+    flush_cv_.SignalAll();
   }
 }
 
-Status LsmStore::MakeRoomForWriteLocked(std::unique_lock<std::mutex>& lock) {
+Status LsmStore::MakeRoomForWriteLocked() {
   const size_t imm_cap = static_cast<size_t>(std::max(1, opts_.max_immutable_memtables));
   bool slowdown_done = false;
   for (;;) {
@@ -394,16 +404,16 @@ Status LsmStore::MakeRoomForWriteLocked(std::unique_lock<std::mutex>& lock) {
     if (l0 >= static_cast<size_t>(opts_.l0_stall_limit)) {
       // Hard stall tier: block until compaction thins L0.
       auto t0 = MonoClock::now();
-      work_cv_.notify_all();
-      stall_cv_.wait(lock);
+      work_cv_.SignalAll();
+      stall_cv_.Wait();
       stats_.stall_micros += MicrosSince(t0);
       continue;
     }
     if (imm_.size() >= imm_cap) {
       // The flusher is behind: block until it retires a sealed memtable.
       auto t0 = MonoClock::now();
-      flush_cv_.notify_all();
-      stall_cv_.wait(lock);
+      flush_cv_.SignalAll();
+      stall_cv_.Wait();
       stats_.stall_micros += MicrosSince(t0);
       continue;
     }
@@ -411,21 +421,21 @@ Status LsmStore::MakeRoomForWriteLocked(std::unique_lock<std::mutex>& lock) {
       // Graduated tier: one brief sleep per commit group gives compaction a
       // head start long before the hard stall threshold.
       auto t0 = MonoClock::now();
-      lock.unlock();
+      mu_.Unlock();
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
-      lock.lock();
+      mu_.Lock();
       stats_.slowdown_micros += MicrosSince(t0);
       slowdown_done = true;
       continue;
     }
     GADGET_RETURN_IF_ERROR(RotateMemTableLocked());
-    flush_cv_.notify_all();
+    flush_cv_.SignalAll();
     if (opts_.max_immutable_memtables <= 0) {
       // Compatibility mode: behave like the old inline flush — the write
       // that fills a memtable waits for it to reach L0.
       while (!imm_.empty() && bg_error_.ok() && !closing_) {
         auto t0 = MonoClock::now();
-        stall_cv_.wait(lock);
+        stall_cv_.Wait();
         stats_.stall_micros += MicrosSince(t0);
       }
     }
@@ -520,7 +530,7 @@ Status LsmStore::Get(std::string_view key, std::string* value) {
   std::vector<std::string> acc;
   std::shared_ptr<const Version> version;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++stats_.gets;
     if (!bg_error_.ok()) {
       return bg_error_;
@@ -555,7 +565,7 @@ Status LsmStore::MultiGet(const std::vector<std::string>& keys,
   std::vector<PendingRead> pending;
   std::shared_ptr<const Version> version;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_.gets += n;
     if (!bg_error_.ok()) {
       return bg_error_;
@@ -707,22 +717,24 @@ StatusOr<std::shared_ptr<FileMeta>> LsmStore::BuildTableFromMem(const MemTable& 
 }
 
 void LsmStore::FlusherThread() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
     while (bg_error_.ok() && !closing_ && (imm_.empty() || flusher_paused_)) {
-      flush_cv_.wait(lock);
+      flush_cv_.Wait();
     }
     if (!bg_error_.ok()) {
       // Poisoned store: stop flushing. The queued memtables' WAL generations
       // stay live in the manifest, so their data survives for recovery.
       if (closing_) {
+        mu_.Unlock();
         return;
       }
-      flush_cv_.wait(lock);
+      flush_cv_.Wait();
       continue;
     }
     if (imm_.empty()) {
       if (closing_) {
+        mu_.Unlock();
         return;
       }
       continue;
@@ -733,26 +745,28 @@ void LsmStore::FlusherThread() {
     const uint64_t wal_gen = imm_.front().wal_number;
     const uint64_t number = next_file_number_++;
     auto flush_start = MonoClock::now();
-    lock.unlock();
+    mu_.Unlock();
     // Safe off-lock: the sealed memtable is immutable and only this thread
     // pops the queue entry, so readers keep probing it under mu_ while the
     // SSTable is built.
     auto meta = BuildTableFromMem(*mem, number);
-    lock.lock();
+    mu_.Lock();
     Status s = meta.ok() ? InstallFlushLocked(std::move(*meta)) : meta.status();
     if (s.ok()) {
       ++stats_.flushes;
       stats_.flush_micros += MicrosSince(flush_start);
-      lock.unlock();
+      mu_.Unlock();
       // The generation's records are durable in the SSTable; the manifest
       // just persisted no longer lists it, so the log is dead weight.
+      // status intentionally ignored: failing to unlink a dead log wastes
+      // disk but loses nothing — recovery's floor rule skips stale logs.
       (void)RemoveFile(WalPath(dir_, wal_gen));
-      lock.lock();
+      mu_.Lock();
     } else if (bg_error_.ok()) {
       bg_error_ = s;
     }
-    stall_cv_.notify_all();  // writers waiting for queue room, Flush() waiters
-    work_cv_.notify_all();   // L0 may have reached the compaction trigger
+    stall_cv_.SignalAll();  // writers waiting for queue room, Flush() waiters
+    work_cv_.SignalAll();   // L0 may have reached the compaction trigger
   }
 }
 
@@ -800,6 +814,8 @@ Status LsmStore::FlushActiveMemLocked() {
     }
     wal_ = std::move(*wal);
     GADGET_RETURN_IF_ERROR(PersistManifestLocked());
+    // status intentionally ignored: the manifest no longer lists the old
+    // generation, so a leftover file is skipped by recovery and re-deleted.
     (void)RemoveFile(WalPath(dir_, old_wal));
     return Status::Ok();
   }
@@ -1010,7 +1026,7 @@ Status LsmStore::RunSubcompaction(const CompactionJob& job, std::string_view beg
   auto open_builder = [&]() -> Status {
     // File numbers come from the shared counter; this is the only store
     // state a subcompaction touches, so the critical section is tiny.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     builder_number = next_file_number_++;
     builder = std::make_unique<SSTableBuilder>(SstPath(dir_, builder_number), opts_.block_size,
                                                opts_.bloom_bits_per_key);
@@ -1020,6 +1036,8 @@ Status LsmStore::RunSubcompaction(const CompactionJob& job, std::string_view beg
     if (builder == nullptr || builder->num_entries() == 0) {
       if (builder != nullptr) {
         GADGET_RETURN_IF_ERROR(builder->Finish());
+        // status intentionally ignored: the empty output was never installed
+        // in any version, so a leftover file is inert garbage.
         (void)RemoveFile(SstPath(dir_, builder_number));
         builder.reset();
       }
@@ -1193,22 +1211,22 @@ void LsmStore::InstallCompactionLocked(const CompactionJob& job,
 }
 
 void LsmStore::CompactionThread() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (!closing_) {
     CompactionJob job;
     if (!bg_error_.ok() || !PickCompactionLocked(&job)) {
       // Time-bounded wait: Lethe's age-based trigger needs periodic checks.
-      work_cv_.wait_for(lock, std::chrono::milliseconds(200));
+      work_cv_.WaitFor(std::chrono::milliseconds(200));
       continue;
     }
-    lock.unlock();
+    mu_.Unlock();
 
     auto compaction_start = MonoClock::now();
     std::vector<std::shared_ptr<FileMeta>> outputs;
     Status s = DoCompaction(job, &outputs);
     uint64_t compaction_micros = MicrosSince(compaction_start);
 
-    lock.lock();
+    mu_.Lock();
     stats_.compaction_micros += compaction_micros;
     if (s.ok()) {
       InstallCompactionLocked(job, std::move(outputs));
@@ -1222,22 +1240,23 @@ void LsmStore::CompactionThread() {
         f->obsolete.store(true, std::memory_order_release);
       }
     }
-    stall_cv_.notify_all();
+    stall_cv_.SignalAll();
   }
+  mu_.Unlock();
 }
 
 // ------------------------------------------------------------------- admin
 
 Status LsmStore::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Drain the whole pipeline: in-flight commit groups AND sealed memtables
   // (older data must reach L0 before the active memtable does). Both must be
   // empty in the same critical section — an empty writer queue is also what
   // guarantees no leader is mid-append with its wal_ pointer while we rotate
   // the log below (groups are only popped under mu_ after the append).
   while ((!writers_.empty() || !imm_.empty()) && bg_error_.ok() && !closing_) {
-    flush_cv_.notify_all();
-    stall_cv_.wait(lock);
+    flush_cv_.SignalAll();
+    stall_cv_.Wait();
   }
   if (!bg_error_.ok()) {
     return bg_error_;
@@ -1249,30 +1268,31 @@ Status LsmStore::Flush() {
 }
 
 Status LsmStore::Close() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   if (closing_) {
+    mu_.Unlock();
     return Status::Ok();
   }
   closing_ = true;
   // Wake everything: stalled/slowed writers fail out, the flusher drains the
   // immutable queue, the compaction thread exits after its current job.
-  stall_cv_.notify_all();
-  flush_cv_.notify_all();
-  work_cv_.notify_all();
+  stall_cv_.SignalAll();
+  flush_cv_.SignalAll();
+  work_cv_.SignalAll();
   if (!writers_.empty()) {
-    writers_.front()->cv.notify_one();
+    writers_.front()->cv.Signal();
   }
   while (!writers_.empty()) {
-    stall_cv_.wait(lock);
+    stall_cv_.Wait();
   }
-  lock.unlock();
+  mu_.Unlock();
   if (flusher_thread_.joinable()) {
     flusher_thread_.join();
   }
   if (compaction_thread_.joinable()) {
     compaction_thread_.join();
   }
-  lock.lock();
+  mu_.Lock();
   Status s;
   if (imm_.empty() && bg_error_.ok()) {
     s = FlushActiveMemLocked();
@@ -1290,11 +1310,12 @@ Status LsmStore::Close() {
     }
     wal_.reset();  // accounting folded in; stats() must not add it again
   }
+  mu_.Unlock();
   return s;
 }
 
 StoreStats LsmStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   StoreStats out = stats_;
   out.bytes_read += read_bytes_.load(std::memory_order_relaxed);
   out.cache_hits = cache_.hits();
@@ -1313,12 +1334,12 @@ StoreStats LsmStore::stats() const {
 }
 
 int LsmStore::NumFilesAtLevel(int level) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int>(current_->levels[static_cast<size_t>(level)].size());
 }
 
 uint64_t LsmStore::TotalSstBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t total = 0;
   for (const auto& level : current_->levels) {
     for (const auto& f : level) {
@@ -1329,16 +1350,16 @@ uint64_t LsmStore::TotalSstBytes() const {
 }
 
 size_t LsmStore::TEST_NumImmutables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return imm_.size();
 }
 
 void LsmStore::TEST_PauseFlusher(bool paused) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     flusher_paused_ = paused;
   }
-  flush_cv_.notify_all();
+  flush_cv_.SignalAll();
 }
 
 }  // namespace gadget

@@ -32,14 +32,14 @@
 #define GADGET_STORES_LSM_LSM_STORE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/stores/kvstore.h"
 #include "src/stores/lsm/block_cache.h"
 #include "src/stores/lsm/memtable.h"
@@ -95,42 +95,49 @@ class LsmStore : public KVStore {
   // ------------------------------------------------------------ write path
   // One enqueued write: either a single operation (batch == nullptr; the
   // views alias the caller's arguments, alive until `done`) or a WriteBatch.
+  // Fields are written by the committing leader and read by the owning
+  // writer, both under mu_ (per-instance annotation is not expressible: the
+  // guarding mutex belongs to the store, not the struct).
   struct Writer {
+    explicit Writer(Mutex* mu) : cv(mu) {}
     const WriteBatch* batch = nullptr;
     RecType type = RecType::kValue;
     std::string_view key;
     std::string_view value;
     Status status;
     bool done = false;
-    std::condition_variable cv;
+    CondVar cv;
   };
   // Common Put/Merge/Delete/Write path: enqueue, then either wait for a
   // leader to commit us or become the leader and commit a group.
-  Status EnqueueWriter(Writer* w);
-  // Leader duties: make room, collect a group, group-commit the WAL (lock
+  Status EnqueueWriter(Writer* w) EXCLUDES(mu_);
+  // Leader duties: make room, collect a group, group-commit the WAL (mu_
   // released around the append+sync), apply to the memtable, signal the
   // group. Requires w == writers_.front().
-  void CommitGroupLocked(std::unique_lock<std::mutex>& lock, Writer* w);
+  void CommitGroupLocked(Writer* w) REQUIRES(mu_);
   // Ensures the active memtable can absorb the next group: applies the
-  // graduated backpressure tiers and seals a full memtable onto imm_.
-  Status MakeRoomForWriteLocked(std::unique_lock<std::mutex>& lock);
+  // graduated backpressure tiers (mu_ released around the slowdown sleep)
+  // and seals a full memtable onto imm_.
+  Status MakeRoomForWriteLocked() REQUIRES(mu_);
   // Seals mem_ (with its WAL generation) onto imm_ and starts a fresh
   // memtable + WAL generation. Requires mem_ non-empty.
-  Status RotateMemTableLocked();
-  void ApplyOpLocked(RecType type, std::string_view key, std::string_view value);
+  Status RotateMemTableLocked() REQUIRES(mu_);
+  void ApplyOpLocked(RecType type, std::string_view key, std::string_view value)
+      REQUIRES(mu_);
 
   // ------------------------------------------------------------- read path
   // Probes active memtable then immutables newest-first. kFound/kDeleted are
   // terminal (*value set for kFound); kNotFound/kMergePartial mean the caller
   // must continue into the SSTables with the accumulated operands in *acc.
   LookupState LookupMemLayersLocked(std::string_view key, std::string* value,
-                                    std::vector<std::string>* acc) const;
+                                    std::vector<std::string>* acc) const REQUIRES(mu_);
   // SSTable half of the read path, shared by Get and MultiGet. `acc` carries
   // merge operands already accumulated from newer layers (the memtables).
   // Must be called with no locks held: it does block I/O against the
   // snapshot.
   Status SearchTablesUnlocked(const Version& version, std::string_view key,
-                              std::vector<std::string> acc, std::string* value);
+                              std::vector<std::string> acc, std::string* value)
+      EXCLUDES(mu_);
 
   // ------------------------------------------------------------ flush path
   struct ImmutableMem {
@@ -141,17 +148,17 @@ class LsmStore : public KVStore {
   // Builds an L0 SSTable from `mem` as file `number` (allocated by the caller
   // under mu_). Takes no locks itself: the flusher builds with mu_ released
   // (sealed memtables are immutable, so concurrent reader probes are safe);
-  // the synchronous paths build with mu_ held.
+  // the synchronous paths build with mu_ held (why this is not EXCLUDES).
   StatusOr<std::shared_ptr<FileMeta>> BuildTableFromMem(const MemTable& mem, uint64_t number);
   // Synchronous flush of the active memtable (recovery, Flush, Close): build
-  // + install inline, rotate the WAL generation. Requires mu_ held and the
-  // immutable queue empty (older data must reach L0 first).
-  Status FlushActiveMemLocked();
-  // Installs a built L0 file and persists the manifest. Requires mu_ held.
-  Status InstallFlushLocked(std::shared_ptr<FileMeta> meta);
+  // + install inline, rotate the WAL generation. Requires the immutable
+  // queue empty (older data must reach L0 first).
+  Status FlushActiveMemLocked() REQUIRES(mu_);
+  // Installs a built L0 file and persists the manifest.
+  Status InstallFlushLocked(std::shared_ptr<FileMeta> meta) REQUIRES(mu_);
 
-  // Requires mu_ held. Persists the current version + live WAL generations.
-  Status PersistManifestLocked();
+  // Persists the current version + live WAL generations.
+  Status PersistManifestLocked() REQUIRES(mu_);
 
   // ------------------------------------------------------- compaction path
   void CompactionThread();
@@ -162,21 +169,21 @@ class LsmStore : public KVStore {
     int output_level = 1;
     bool bottommost = false;
   };
-  // Requires mu_ held. Returns false if no compaction is needed.
-  bool PickCompactionLocked(CompactionJob* job);
+  // Returns false if no compaction is needed.
+  bool PickCompactionLocked(CompactionJob* job) REQUIRES(mu_);
   // Merges the job's inputs into output files. Partitions the key range into
   // up to opts_.compaction_threads disjoint sub-ranges (split at input-file
   // smallest-key boundaries) and runs them in parallel; outputs are returned
   // in key order across the whole range. Runs with mu_ released.
-  Status DoCompaction(const CompactionJob& job, std::vector<std::shared_ptr<FileMeta>>* outputs);
+  Status DoCompaction(const CompactionJob& job, std::vector<std::shared_ptr<FileMeta>>* outputs)
+      EXCLUDES(mu_);
   // One subcompaction: merges keys in [begin, end) — an empty `begin` means
   // unbounded below, has_end == false unbounded above.
   Status RunSubcompaction(const CompactionJob& job, std::string_view begin, bool has_end,
                           std::string_view end,
-                          std::vector<std::shared_ptr<FileMeta>>* outputs);
-  // Requires mu_ held.
+                          std::vector<std::shared_ptr<FileMeta>>* outputs) EXCLUDES(mu_);
   void InstallCompactionLocked(const CompactionJob& job,
-                               std::vector<std::shared_ptr<FileMeta>> outputs);
+                               std::vector<std::shared_ptr<FileMeta>> outputs) REQUIRES(mu_);
 
   uint64_t MaxBytesForLevel(int level) const;
   static uint64_t NowMs();
@@ -185,25 +192,33 @@ class LsmStore : public KVStore {
   const LsmOptions opts_;
   BlockCache cache_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // signals the compaction thread
-  std::condition_variable flush_cv_;  // signals the flusher thread
-  std::condition_variable stall_cv_;  // wakes stalled writers / drain waiters
-  std::unique_ptr<MemTable> mem_;
-  std::deque<ImmutableMem> imm_;  // sealed memtables, oldest first
-  std::deque<Writer*> writers_;   // commit queue; front is the group leader
-  std::unique_ptr<WalWriter> wal_;
-  uint64_t wal_number_ = 0;
-  uint64_t next_file_number_ = 1;
-  std::shared_ptr<const Version> current_;
-  std::vector<size_t> compact_cursor_;  // round-robin pick position per level
-  StoreStats stats_;
+  mutable Mutex mu_;
+  CondVar work_cv_;   // signals the compaction thread
+  CondVar flush_cv_;  // signals the flusher thread
+  CondVar stall_cv_;  // wakes stalled writers / drain waiters
+  std::unique_ptr<MemTable> mem_ GUARDED_BY(mu_);
+  // Sealed memtables, oldest first. The queue (and each entry's unique_ptr)
+  // is guarded; the pointed-to memtables are immutable, so the flusher reads
+  // them with mu_ released.
+  std::deque<ImmutableMem> imm_ GUARDED_BY(mu_);
+  // Commit queue; front is the group leader.
+  std::deque<Writer*> writers_ GUARDED_BY(mu_);
+  // The pointer is guarded; the leader appends to the pointed-to log with mu_
+  // released (safe: followers are parked, so exactly one thread writes it).
+  std::unique_ptr<WalWriter> wal_ GUARDED_BY(mu_);
+  uint64_t wal_number_ GUARDED_BY(mu_) = 0;
+  uint64_t next_file_number_ GUARDED_BY(mu_) = 1;
+  std::shared_ptr<const Version> current_ GUARDED_BY(mu_);
+  // Round-robin pick position per level.
+  std::vector<size_t> compact_cursor_ GUARDED_BY(mu_);
+  StoreStats stats_ GUARDED_BY(mu_);
   // Bytes returned by gets. Kept outside mu_ so the read path never
   // re-acquires the store lock after it has dropped it to do block I/O.
   mutable std::atomic<uint64_t> read_bytes_{0};
-  Status bg_error_;
-  bool closing_ = false;
-  bool flusher_paused_ = false;  // test hook; see TEST_PauseFlusher
+  Status bg_error_ GUARDED_BY(mu_);
+  bool closing_ GUARDED_BY(mu_) = false;
+  bool flusher_paused_ GUARDED_BY(mu_) = false;  // test hook; see TEST_PauseFlusher
+  // Started by Open, joined by Close; never touched concurrently.
   std::thread flusher_thread_;
   std::thread compaction_thread_;
 };

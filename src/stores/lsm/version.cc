@@ -43,6 +43,8 @@ FileMeta::~FileMeta() {
     if (cache != nullptr) {
       cache->EraseFile(number);
     }
+    // status intentionally ignored: deleting an obsolete SSTable is garbage
+    // collection; a leftover file is swept on the next recovery.
     (void)RemoveFile(path);
   }
 }

@@ -1,9 +1,9 @@
 #include "src/stores/memstore.h"
 
 #include <cstring>
-#include <mutex>
 
 #include "src/common/hash.h"
+#include "src/common/mutex.h"
 
 namespace gadget {
 namespace {
@@ -62,7 +62,7 @@ MemStore::Stripe& MemStore::StripeFor(std::string_view key) {
 Status MemStore::Put(std::string_view key, std::string_view value) {
   Stripe& s = StripeFor(key);
   {
-    std::unique_lock<std::shared_mutex> lock(s.mu);
+    WriterMutexLock lock(&s.mu);
     // Transparent find + in-place assign: overwriting an existing key (the
     // common case in replay loops) allocates nothing.
     auto it = s.map.find(key);
@@ -82,9 +82,12 @@ Status MemStore::Get(std::string_view key, std::string* value) {
   s.gets.fetch_add(1, std::memory_order_relaxed);
   size_t read = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(s.mu);
-    auto it = s.map.find(key);
-    if (it == s.map.end()) {
+    ReaderMutexLock lock(&s.mu);
+    // Const view of the map: under the shared lock only const access is
+    // allowed (the analysis treats non-const member calls as writes).
+    const auto& map = s.map;
+    auto it = map.find(key);
+    if (it == map.end()) {
       return Status::NotFound();
     }
     *value = it->second;
@@ -97,7 +100,7 @@ Status MemStore::Get(std::string_view key, std::string* value) {
 Status MemStore::Merge(std::string_view key, std::string_view operand) {
   Stripe& s = StripeFor(key);
   {
-    std::unique_lock<std::shared_mutex> lock(s.mu);
+    WriterMutexLock lock(&s.mu);
     auto it = s.map.find(key);
     if (it == s.map.end()) {
       s.map.emplace(key, operand);
@@ -113,7 +116,7 @@ Status MemStore::Merge(std::string_view key, std::string_view operand) {
 Status MemStore::Delete(std::string_view key) {
   Stripe& s = StripeFor(key);
   {
-    std::unique_lock<std::shared_mutex> lock(s.mu);
+    WriterMutexLock lock(&s.mu);
     auto it = s.map.find(key);
     if (it != s.map.end()) {
       s.map.erase(it);
@@ -128,7 +131,7 @@ Status MemStore::Delete(std::string_view key) {
 Status MemStore::ReadModifyWrite(std::string_view key, std::string_view operand) {
   Stripe& s = StripeFor(key);
   {
-    std::unique_lock<std::shared_mutex> lock(s.mu);
+    WriterMutexLock lock(&s.mu);
     auto it = s.map.find(key);
     if (it == s.map.end()) {
       s.map.emplace(key, operand);
@@ -154,7 +157,7 @@ Status MemStore::Write(const WriteBatch& batch) {
     Stripe& s = stripes_[0];
     uint64_t puts = 0, merges = 0, deletes = 0, bytes = 0;
     {
-      std::unique_lock<std::shared_mutex> lock(s.mu);
+      WriterMutexLock lock(&s.mu);
       for (size_t i = 0; i < n; ++i) {
         const WriteBatch::Entry& e = batch.entry(i);
         switch (e.op) {
@@ -225,7 +228,7 @@ Status MemStore::Write(const WriteBatch& batch) {
     Stripe& s = stripes_[stripe];
     uint64_t puts = 0, merges = 0, deletes = 0, bytes = 0;
     {
-      std::unique_lock<std::shared_mutex> lock(s.mu);
+      WriterMutexLock lock(&s.mu);
       for (size_t i = run; i < end; ++i) {
         const WriteBatch::Entry& e = batch.entry(idx[i]);
         switch (e.op) {
@@ -295,10 +298,11 @@ Status MemStore::MultiGet(const std::vector<std::string>& keys,
     Stripe& s = stripes_[0];
     uint64_t read = 0;
     {
-      std::shared_lock<std::shared_mutex> lock(s.mu);
+      ReaderMutexLock lock(&s.mu);
+      const auto& map = s.map;
       for (size_t i = 0; i < n; ++i) {
-        auto it = s.map.find(std::string_view(keys[i]));
-        if (it == s.map.end()) {
+        auto it = map.find(std::string_view(keys[i]));
+        if (it == map.end()) {
           (*statuses)[i] = Status::NotFound();
         } else {
           (*values)[i] = it->second;
@@ -330,11 +334,12 @@ Status MemStore::MultiGet(const std::vector<std::string>& keys,
     Stripe& s = stripes_[stripe];
     uint64_t read = 0;
     {
-      std::shared_lock<std::shared_mutex> lock(s.mu);
+      ReaderMutexLock lock(&s.mu);
+      const auto& map = s.map;
       for (size_t i = run; i < end; ++i) {
         const uint32_t k = idx[i];
-        auto it = s.map.find(std::string_view(keys[k]));
-        if (it == s.map.end()) {
+        auto it = map.find(std::string_view(keys[k]));
+        if (it == map.end()) {
           (*statuses)[k] = Status::NotFound();
         } else {
           (*values)[k] = it->second;

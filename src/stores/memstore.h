@@ -3,7 +3,7 @@
 // of the concurrent-replay scalability benchmarks (Fig. 14 thread sweep).
 //
 // Keys are sharded across `num_stripes` independent maps by hash; each stripe
-// has its own std::shared_mutex, so gets on different keys never serialize
+// has its own reader-writer mutex, so gets on different keys never serialize
 // and gets on the same stripe proceed concurrently under the shared lock.
 // Counters are relaxed atomics so readers holding only the shared lock can
 // still account their work.
@@ -11,11 +11,12 @@
 #define GADGET_STORES_MEMSTORE_H_
 
 #include <atomic>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/stores/kvstore.h"
 
 namespace gadget {
@@ -60,8 +61,8 @@ class MemStore : public KVStore {
 
   // Padded to a cache line so stripes do not false-share.
   struct alignas(64) Stripe {
-    mutable std::shared_mutex mu;
-    std::unordered_map<std::string, std::string, KeyHash, std::equal_to<>> map;
+    mutable SharedMutex mu;
+    std::unordered_map<std::string, std::string, KeyHash, std::equal_to<>> map GUARDED_BY(mu);
     std::atomic<uint64_t> gets{0};
     std::atomic<uint64_t> puts{0};
     std::atomic<uint64_t> merges{0};

@@ -83,7 +83,7 @@ TEST_P(EightInstancesTest, PerInstanceCountsAndDisjointNamespaces) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Engines, EightInstancesTest, ::testing::Values("mem", "lsm"),
-                         [](const auto& info) { return std::string(info.param); });
+                         [](const auto& spec) { return std::string(spec.param); });
 
 // A store whose writes fail: used to verify per-instance status reporting.
 class FailingWriteStore : public MemStore {

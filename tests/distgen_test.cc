@@ -47,8 +47,8 @@ INSTANTIATE_TEST_SUITE_P(
                       DistCase{"scrambled_zipfian", 1000}, DistCase{"hotspot", 1000},
                       DistCase{"sequential", 64}, DistCase{"exponential", 1000},
                       DistCase{"latest", 1000}),
-    [](const auto& info) {
-      return std::string(info.param.name) + "_" + std::to_string(info.param.domain);
+    [](const auto& spec) {
+      return std::string(spec.param.name) + "_" + std::to_string(spec.param.domain);
     });
 
 // ------------------------------------------------------- per-family checks

@@ -365,7 +365,7 @@ TEST_P(AllOperatorsTest, SameInputSameTrace) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, AllOperatorsTest, ::testing::ValuesIn(AllOperatorNames()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& spec) { return spec.param; });
 
 TEST(OperatorFactoryTest, RejectsUnknownName) {
   OperatorContext ctx;

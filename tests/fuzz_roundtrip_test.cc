@@ -146,7 +146,7 @@ TEST_P(FormatFuzzTest, AccessTraceRandomRoundTrip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FormatFuzzTest, ::testing::Values(1, 2, 3, 4),
-                         [](const auto& info) { return "seed" + std::to_string(info.param); });
+                         [](const auto& spec) { return "seed" + std::to_string(spec.param); });
 
 // ----------------------------------------------------- lateness properties
 
@@ -197,9 +197,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweeps, LatenessSweepTest,
     ::testing::Values(std::make_tuple(0.0, 0ull), std::make_tuple(0.02, 3'000ull),
                       std::make_tuple(0.2, 1'000ull), std::make_tuple(0.5, 10'000ull)),
-    [](const auto& info) {
-      return "ooo" + std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) + "_late" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& spec) {
+      return "ooo" + std::to_string(static_cast<int>(std::get<0>(spec.param) * 100)) + "_late" +
+             std::to_string(std::get<1>(spec.param));
     });
 
 }  // namespace

@@ -269,7 +269,7 @@ TEST_P(GadgetFidelityTest, TraceMatchesFlinkletOnBorg) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllOps, GadgetFidelityTest, ::testing::ValuesIn(AllOperatorNames()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& spec) { return spec.param; });
 
 // ----------------------------------------------------------------- replayer
 

@@ -74,8 +74,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllCombos, WorkloadEngineTest,
     ::testing::Combine(::testing::ValuesIn(AllOperatorNames()),
                        ::testing::Values("lsm", "lethe", "faster", "btree")),
-    [](const auto& info) {
-      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    [](const auto& spec) {
+      return std::get<0>(spec.param) + "_" + std::get<1>(spec.param);
     });
 
 // After replaying the same trace, all engines must agree on the surviving

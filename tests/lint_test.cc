@@ -1,0 +1,250 @@
+// Tests for tools/gadget_lint: each rule fires on a bad snippet and stays
+// quiet on the idiomatic one, the allowlist suppresses, RunLint's exit codes
+// match the CLI contract, and — the meta-test — the real source tree is
+// lint-clean under the checked-in allowlist.
+#include "tools/gadget_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gadget {
+namespace lint {
+namespace {
+
+bool HasRule(const std::vector<Finding>& findings, std::string_view rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// --------------------------------------------------------------- stripping
+
+TEST(StripTest, RemovesCommentsAndStringsButKeepsLines) {
+  std::string out = StripCommentsAndStrings(
+      "int a; // rand()\n"
+      "/* strcpy(\n"
+      "   two lines */ int b;\n"
+      "const char* s = \"system(\\\"x\\\")\";\n"
+      "char c = '\"';\n");
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("strcpy"), std::string::npos);
+  EXPECT_EQ(out.find("system"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(StripTest, HandlesRawStrings) {
+  std::string out = StripCommentsAndStrings("auto s = R\"(system(\"x\") \" unterminated)\";\nint a;\n");
+  EXPECT_EQ(out.find("system"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+}
+
+// ----------------------------------------------------------- include-guard
+
+TEST(IncludeGuardTest, ExpectedGuardDropsSrcPrefixAndUppercases) {
+  EXPECT_EQ(ExpectedIncludeGuard("src/stores/lsm/lsm_store.h"), "GADGET_STORES_LSM_LSM_STORE_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("tools/gadget_lint.h"), "GADGET_TOOLS_GADGET_LINT_H_");
+  EXPECT_EQ(ExpectedIncludeGuard("/abs/repo/src/common/status.h"), "GADGET_COMMON_STATUS_H_");
+}
+
+TEST(IncludeGuardTest, AcceptsCorrectGuard) {
+  auto findings = LintContent("src/foo/bar.h",
+                              "#ifndef GADGET_FOO_BAR_H_\n"
+                              "#define GADGET_FOO_BAR_H_\n"
+                              "#endif  // GADGET_FOO_BAR_H_\n");
+  EXPECT_FALSE(HasRule(findings, "include-guard")) << FormatFinding(findings.front());
+}
+
+TEST(IncludeGuardTest, FlagsWrongName) {
+  auto findings = LintContent("src/foo/bar.h",
+                              "#ifndef FOO_BAR_H\n"
+                              "#define FOO_BAR_H\n"
+                              "#endif\n");
+  ASSERT_TRUE(HasRule(findings, "include-guard"));
+  EXPECT_NE(findings.front().message.find("GADGET_FOO_BAR_H_"), std::string::npos);
+}
+
+TEST(IncludeGuardTest, FlagsMissingGuardAndMissingDefine) {
+  EXPECT_TRUE(HasRule(LintContent("src/a.h", "int x;\n"), "include-guard"));
+  EXPECT_TRUE(HasRule(LintContent("src/a.h", "#ifndef GADGET_A_H_\nint x;\n#endif\n"),
+                      "include-guard"));
+}
+
+TEST(IncludeGuardTest, NotAppliedToSourceFiles) {
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "int x;\n"), "include-guard"));
+}
+
+// --------------------------------------------------------- locked-requires
+
+TEST(LockedRequiresTest, FlagsUnannotatedDeclaration) {
+  auto findings = LintContent("src/foo.h",
+                              "#ifndef GADGET_FOO_H_\n"
+                              "#define GADGET_FOO_H_\n"
+                              "class C {\n"
+                              "  void EvictLocked();\n"
+                              "};\n"
+                              "#endif\n");
+  ASSERT_TRUE(HasRule(findings, "locked-requires"));
+  EXPECT_EQ(findings.front().line, 4);
+}
+
+TEST(LockedRequiresTest, AcceptsRequiresIncludingMultiLine) {
+  auto findings = LintContent("src/foo.h",
+                              "#ifndef GADGET_FOO_H_\n"
+                              "#define GADGET_FOO_H_\n"
+                              "class C {\n"
+                              "  void EvictLocked() REQUIRES(mu_);\n"
+                              "  int CountLocked(int a,\n"
+                              "                  int b) const REQUIRES_SHARED(mu_);\n"
+                              "  void HackLocked() NO_THREAD_SAFETY_ANALYSIS;\n"
+                              "};\n"
+                              "#endif\n");
+  EXPECT_FALSE(HasRule(findings, "locked-requires")) << FormatFinding(findings.front());
+}
+
+TEST(LockedRequiresTest, IgnoresCallsAndSourceFiles) {
+  // Calls inside inline header bodies are uses, not declarations.
+  auto findings = LintContent("src/foo.h",
+                              "#ifndef GADGET_FOO_H_\n"
+                              "#define GADGET_FOO_H_\n"
+                              "class C {\n"
+                              "  void DrainLocked() REQUIRES(mu_);\n"
+                              "  void Drain() { return DrainLocked(); }\n"
+                              "  bool F() { return !EmptyLocked() && x_.CheckLocked(); }\n"
+                              "};\n"
+                              "#endif\n");
+  EXPECT_FALSE(HasRule(findings, "locked-requires")) << FormatFinding(findings.front());
+  // Out-of-line definitions in .cc files do not repeat the annotation.
+  EXPECT_FALSE(HasRule(LintContent("src/foo.cc", "void C::EvictLocked() { work(); }\n"),
+                       "locked-requires"));
+}
+
+// ------------------------------------------------------------- banned-call
+
+TEST(BannedCallTest, FlagsEachBannedFunction) {
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "int x = rand();\n"), "banned-call"));
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "strcpy(dst, src);\n"), "banned-call"));
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "sprintf(buf, \"%d\", 1);\n"), "banned-call"));
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "system(\"rm -rf /\");\n"), "banned-call"));
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "char* p = new char[64];\n"), "banned-call"));
+}
+
+TEST(BannedCallTest, IgnoresLookalikesCommentsAndStrings) {
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "srand(7); grand(); rando();\n"), "banned-call"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "snprintf(buf, n, \"%d\", 1);\n"), "banned-call"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "// rand() is banned\n"), "banned-call"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "log(\"do not call system()\");\n"), "banned-call"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "auto v = std::make_unique<char[]>(n);\n"),
+                       "banned-call"));
+}
+
+// ----------------------------------------------------- using-namespace-std
+
+TEST(UsingNamespaceTest, FlagsHeadersOnly) {
+  EXPECT_TRUE(HasRule(LintContent("src/a.h",
+                                  "#ifndef GADGET_A_H_\n#define GADGET_A_H_\n"
+                                  "using namespace std;\n#endif\n"),
+                      "using-namespace-std"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "using namespace std;\n"), "using-namespace-std"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.h",
+                                   "#ifndef GADGET_A_H_\n#define GADGET_A_H_\n"
+                                   "using std::string;\n#endif\n"),
+                       "using-namespace-std"));
+}
+
+// ------------------------------------------------------------- void-status
+
+TEST(VoidStatusTest, FlagsUnjustifiedDiscardedCall) {
+  auto findings = LintContent("src/a.cc", "void f() { (void)store->Close(); }\n");
+  ASSERT_TRUE(HasRule(findings, "void-status"));
+  EXPECT_EQ(findings.front().line, 1);
+}
+
+TEST(VoidStatusTest, AcceptsJustificationWithinThreeLines) {
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc",
+                                   "// status intentionally ignored: destructor.\n"
+                                   "(void)Close();\n"),
+                       "void-status"));
+  // A two-line comment plus a preceding discard still keeps the phrase in
+  // the three-line window.
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc",
+                                   "// status intentionally ignored: this test\n"
+                                   "// asserts on counters only.\n"
+                                   "(void)store->Get(key, &v);\n"
+                                   "(void)store->Delete(key);\n"),
+                       "void-status"));
+}
+
+TEST(VoidStatusTest, IgnoresVariableSilencing) {
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "(void)unused_variable;\n"), "void-status"));
+}
+
+// --------------------------------------------------------------- allowlist
+
+TEST(AllowlistTest, SuppressesByRuleAndPathSuffix) {
+  Allowlist list = Allowlist::Parse(
+      "# comment\n"
+      "\n"
+      "banned-call src/legacy.cc\n"
+      "void-status *\n");
+  EXPECT_TRUE(list.Allows("third_party/src/legacy.cc", "banned-call"));
+  EXPECT_FALSE(list.Allows("src/other.cc", "banned-call"));
+  EXPECT_FALSE(list.Allows("src/legacy.cc", "include-guard"));
+  EXPECT_TRUE(list.Allows("anything/at/all.h", "void-status"));
+}
+
+// ------------------------------------------------------ RunLint exit codes
+
+TEST(RunLintTest, ExitCodesMatchCliContract) {
+  const std::string dir = ::testing::TempDir() + "/lint_exit";
+  std::filesystem::remove_all(dir);  // leftovers from a previous run
+  std::filesystem::create_directories(dir);
+  std::ostringstream out, err;
+  // No source files -> usage error (2).
+  EXPECT_EQ(RunLint({dir}, "", out, err), 2);
+  // A clean file -> 0.
+  {
+    std::ofstream f(dir + "/clean.cc");
+    f << "int main() { return 0; }\n";
+  }
+  EXPECT_EQ(RunLint({dir}, "", out, err), 0);
+  // A dirty file -> 1, and the finding is printed file:line: rule-id: ...
+  {
+    std::ofstream f(dir + "/dirty.cc");
+    f << "int x = rand();\n";
+  }
+  out.str("");
+  EXPECT_EQ(RunLint({dir}, "", out, err), 1);
+  EXPECT_NE(out.str().find("dirty.cc:1: banned-call:"), std::string::npos) << out.str();
+  // The allowlist turns the same scan clean again -> 0.
+  const std::string allow = dir + "/allow.txt";
+  {
+    std::ofstream f(allow);
+    f << "banned-call dirty.cc\n";
+  }
+  EXPECT_EQ(RunLint({dir}, allow, out, err), 0);
+  // A missing allowlist file is a usage error (2).
+  EXPECT_EQ(RunLint({dir}, dir + "/nope.txt", out, err), 2);
+}
+
+// ---------------------------------------------------------------- meta-test
+
+// The real tree must be lint-clean under the checked-in allowlist: this is
+// the same scan the static-analysis CI job runs.
+TEST(MetaTest, RealSourceTreeIsClean) {
+  const std::string root = GADGET_SOURCE_DIR;
+  std::ostringstream out, err;
+  int rc = RunLint({root + "/src", root + "/tools", root + "/tests"},
+                   root + "/tools/lint_allowlist.txt", out, err);
+  EXPECT_EQ(rc, 0) << "gadget_lint findings:\n" << out.str() << err.str();
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace gadget

@@ -66,6 +66,8 @@ TEST(LsmCrashTest, RecoversFromMidRunSnapshot) {
     // crash-consistent snapshot is atomic, which a file-by-file copy of a
     // live directory is not).
     for (int attempt = 0; attempt < 10; ++attempt) {
+      // status intentionally ignored: a missing snapshot dir on the first
+      // attempt is expected.
       (void)RemoveDirRecursively(snap);
       SnapshotDir(live, snap);
       auto check = LsmStore::Open(snap, TinyOptions());
@@ -201,8 +203,8 @@ TEST_P(BloomSweepTest, FprWithinBudget) {
 }
 
 INSTANTIATE_TEST_SUITE_P(BitsPerKey, BloomSweepTest, ::testing::Values(4, 8, 10, 14, 20),
-                         [](const auto& info) {
-                           return "bits" + std::to_string(info.param);
+                         [](const auto& spec) {
+                           return "bits" + std::to_string(spec.param);
                          });
 
 // Crash with a non-empty immutable queue: several memtables were sealed

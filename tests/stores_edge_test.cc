@@ -48,9 +48,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sizes, ValueSizeTest,
     ::testing::Combine(::testing::Values("lsm", "faster", "btree"),
                        ::testing::Values(0, 1, 255, 1024, 4096, 4097, 65536, 1'000'000)),
-    [](const auto& info) {
-      return std::string(std::get<0>(info.param)) + "_" +
-             std::to_string(std::get<1>(info.param)) + "b";
+    [](const auto& spec) {
+      return std::string(std::get<0>(spec.param)) + "_" +
+             std::to_string(std::get<1>(spec.param)) + "b";
     });
 
 // -------------------------------------------------------------- key quirks

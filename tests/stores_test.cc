@@ -123,6 +123,8 @@ TEST_P(StoreContractTest, EmptyValue) {
 TEST_P(StoreContractTest, StatsCountOperations) {
   ASSERT_TRUE(store_->Put("a", "1").ok());
   std::string value;
+  // status intentionally ignored: this test asserts on the counters, not
+  // the outcomes.
   (void)store_->Get("a", &value);
   (void)store_->Delete("a");
   StoreStats stats = store_->stats();
@@ -133,7 +135,7 @@ TEST_P(StoreContractTest, StatsCountOperations) {
 
 INSTANTIATE_TEST_SUITE_P(AllEngines, StoreContractTest,
                          ::testing::Values("mem", "lsm", "lethe", "faster", "btree"),
-                         [](const auto& info) { return std::string(info.param); });
+                         [](const auto& spec) { return std::string(spec.param); });
 
 // -------------------------------------------------- differential (property)
 
@@ -200,9 +202,9 @@ INSTANTIATE_TEST_SUITE_P(
     EnginesBySeeds, StoreDifferentialTest,
     ::testing::Combine(::testing::Values("lsm", "lethe", "faster", "btree"),
                        ::testing::Values(1, 2, 3)),
-    [](const auto& info) {
-      return std::string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& spec) {
+      return std::string(std::get<0>(spec.param)) + "_seed" +
+             std::to_string(std::get<1>(spec.param));
     });
 
 // ------------------------------------------------------------ LSM specifics

@@ -1,0 +1,91 @@
+// gadget_lint: a standalone textual source scanner enforcing the project's
+// coding contracts that the compiler cannot (or that only Clang can, and the
+// default toolchain is GCC). It deliberately has no dependency on src/ — the
+// linter must build even when the tree it is checking does not.
+//
+// Rules (DESIGN.md §5f):
+//   locked-requires     *Locked method declarations in headers must carry a
+//                       REQUIRES(...) / REQUIRES_SHARED(...) thread-safety
+//                       annotation (or the documented escape hatch).
+//   include-guard       header guards must spell GADGET_<PATH>_H_ (path
+//                       relative to the repo root, sans the src/ prefix).
+//   banned-call         rand, strcpy, sprintf, system and raw new[] are
+//                       forbidden; each has a safer project idiom.
+//   using-namespace-std headers must not `using namespace std`.
+//   void-status         a `(void)call(...)` discard needs a justification
+//                       comment containing "intentionally ignored" within
+//                       the three preceding lines (pairs with [[nodiscard]]
+//                       on Status/StatusOr).
+//
+// Output format: one finding per line, `file:line: rule-id: message`, exit
+// status 1 when anything fires. An allowlist file (`rule-id path-suffix` per
+// line) suppresses known-good exceptions.
+#ifndef GADGET_TOOLS_GADGET_LINT_H_
+#define GADGET_TOOLS_GADGET_LINT_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gadget {
+namespace lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// Renders a finding as `file:line: rule-id: message`.
+std::string FormatFinding(const Finding& f);
+
+// Suppression list. Each non-comment line is `rule-id path-suffix`; a finding
+// is allowed when its rule matches and its file path ends with the suffix
+// (suffix `*` matches every file).
+class Allowlist {
+ public:
+  static Allowlist Parse(std::string_view text);
+
+  bool Allows(std::string_view file, std::string_view rule) const;
+
+ private:
+  struct Entry {
+    std::string rule;
+    std::string path_suffix;
+  };
+  std::vector<Entry> entries_;
+};
+
+// Replaces comment bodies, string literals and char literals with spaces,
+// preserving line structure, so the rule matchers never fire on prose.
+// Handles //, /* */, "..." (with escapes), '...' and R"delim(...)delim".
+std::string StripCommentsAndStrings(std::string_view src);
+
+// The include guard `path` must use: GADGET_<PATH>_H_, where <PATH> is the
+// path relative to the repo root without a leading src/, uppercased, with
+// every non-alphanumeric character folded to '_'.
+std::string ExpectedIncludeGuard(std::string_view path);
+
+// Lints `content` as if it were the file at `path` (which selects the
+// header-only rules and the expected include guard). Findings are ordered by
+// line. Allowlist filtering is the caller's concern.
+std::vector<Finding> LintContent(std::string_view path, std::string_view content);
+
+// Reads and lints one file. An unreadable file yields a single `read-error`
+// finding.
+std::vector<Finding> LintFile(const std::string& path);
+
+// Full scan as the CLI runs it: walks `paths` (files, or directories searched
+// recursively for *.h / *.cc, skipping hidden and build directories), filters
+// through the allowlist at `allowlist_path` (empty = none), and prints
+// surviving findings to `out` one per line. Returns the process exit code:
+// 0 clean, 1 findings, 2 usage or I/O errors (reported on `err`).
+int RunLint(const std::vector<std::string>& paths, const std::string& allowlist_path,
+            std::ostream& out, std::ostream& err);
+
+}  // namespace lint
+}  // namespace gadget
+
+#endif  // GADGET_TOOLS_GADGET_LINT_H_

@@ -1,0 +1,37 @@
+// CLI driver for gadget_lint (see tools/gadget_lint.h for the rules).
+//
+// Usage: gadget_lint [--allowlist=FILE] <path>...
+// Paths may be files or directories; directories are walked recursively for
+// *.h and *.cc (hidden and build directories are skipped). Exits 1 when any
+// finding survives the allowlist, 0 on a clean tree, 2 on usage errors.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/gadget_lint.h"
+
+int main(int argc, char** argv) {
+  std::string allowlist_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--allowlist=", 0) == 0) {
+      allowlist_path = arg.substr(12);
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      allowlist_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: gadget_lint [--allowlist=FILE] <path>...\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "gadget_lint: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: gadget_lint [--allowlist=FILE] <path>...\n";
+    return 2;
+  }
+  return gadget::lint::RunLint(paths, allowlist_path, std::cout, std::cerr);
+}
