@@ -223,6 +223,53 @@ StatusOr<std::vector<std::string>> ListDir(const std::string& path) {
   return names;
 }
 
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return ErrnoStatus("open dir " + dir);
+  }
+  Status s = Status::Ok();
+  if (::fsync(fd) != 0) {
+    s = ErrnoStatus("fsync dir " + dir);
+  }
+  ::close(fd);
+  return s;
+}
+
+Status CopyFile(const std::string& from, const std::string& to, bool sync) {
+  std::string data;
+  GADGET_RETURN_IF_ERROR(ReadFileToString(from, &data));
+  return WriteStringToFile(to, data, sync);
+}
+
+Status LinkOrCopyFile(const std::string& from, const std::string& to, bool* linked) {
+  if (linked != nullptr) {
+    *linked = false;
+  }
+  if (FileExists(to)) {
+    return Status::IoError("link target exists: " + to);
+  }
+  if (::link(from.c_str(), to.c_str()) == 0) {
+    if (linked != nullptr) {
+      *linked = true;
+    }
+    return Status::Ok();
+  }
+  if (errno != EXDEV && errno != EPERM && errno != EMLINK && errno != ENOSYS) {
+    return ErrnoStatus("link " + from + " -> " + to);
+  }
+  return CopyFile(from, to, /*sync=*/true);
+}
+
+StatusOr<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = fs::file_size(path, ec);
+  if (ec) {
+    return Status::IoError("stat " + path + ": " + ec.message());
+  }
+  return size;
+}
+
 // -------------------------------------------------------------- ScopedTempDir
 
 ScopedTempDir::ScopedTempDir(const std::string& prefix) {

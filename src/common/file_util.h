@@ -79,6 +79,28 @@ Status RemoveFile(const std::string& path);
 bool FileExists(const std::string& path);
 StatusOr<std::vector<std::string>> ListDir(const std::string& path);
 
+// fsyncs the directory itself, making the directory entries (renames, new
+// files, unlinks) durable. POSIX only guarantees a rename or newly created
+// file survives a crash once the *parent directory* has been fsynced; file
+// fsync alone is not enough. Every durability-sensitive RenameFile or
+// file-creation must be followed by SyncDir on the parent before the change
+// is relied upon (see DESIGN.md "Durability contract").
+Status SyncDir(const std::string& dir);
+
+// Copies `from` to `to` (replacing `to`), optionally fdatasync-ing the copy.
+// The parent directory of `to` is NOT synced; callers that need the new entry
+// durable follow up with SyncDir.
+Status CopyFile(const std::string& from, const std::string& to, bool sync = false);
+
+// Hard-links `from` as `to` when possible (same filesystem), falling back to
+// a byte copy. Used by checkpoints to capture immutable files (SSTables)
+// without duplicating data. Sets *linked (may be null) to whether a hard link
+// was made. Fails if `to` exists.
+Status LinkOrCopyFile(const std::string& from, const std::string& to, bool* linked = nullptr);
+
+// Returns the size of `path` in bytes.
+StatusOr<uint64_t> FileSize(const std::string& path);
+
 // Creates a unique directory under the system temp dir, removed on
 // destruction. Used pervasively by tests and benches.
 class ScopedTempDir {

@@ -79,6 +79,16 @@ class TimelineCollector {
     }
   }
 
+  // Marks the current interval as containing a checkpoint (the replay time
+  // it consumed is attributed to the interval it landed in).
+  void NoteCheckpoint(uint64_t duration_micros) {
+    if (!active()) {
+      return;
+    }
+    ++cur_checkpoints_;
+    cur_checkpoint_micros_ += duration_micros;
+  }
+
  private:
   void CloseInterval(Clock::time_point now) {
     TimelineSample s;
@@ -93,6 +103,8 @@ class TimelineCollector {
     // bucket storage and would crash on the next Record.
     s.read_latency_ns = std::exchange(cur_read_, LatencyHistogram());
     s.write_latency_ns = std::exchange(cur_write_, LatencyHistogram());
+    s.checkpoints = std::exchange(cur_checkpoints_, 0);
+    s.checkpoint_micros = std::exchange(cur_checkpoint_micros_, 0);
     StoreStats stats_now = store_->stats();
     s.stats_delta = stats_now.DeltaSince(stats_at_start_);
     result_->timeline.push_back(std::move(s));
@@ -113,6 +125,73 @@ class TimelineCollector {
   StoreStats stats_at_start_;
   LatencyHistogram cur_read_;
   LatencyHistogram cur_write_;
+  uint64_t cur_checkpoints_ = 0;
+  uint64_t cur_checkpoint_micros_ = 0;
+};
+
+// Takes periodic checkpoints during one replay
+// (ReplayOptions::checkpoint_every_ops). The replay loops call Due() after
+// result->ops advances and Take() at a point where the store state equals the
+// exact trace prefix [0, result->ops) — the single-op loop after every op,
+// the batched loop after flushing both pending buffers.
+class CheckpointDriver {
+ public:
+  CheckpointDriver(const ReplayOptions& options, KVStore* store, ReplayResult* result,
+                   TimelineCollector* tl)
+      : every_(options.checkpoint_every_ops),
+        dir_(options.checkpoint_dir),
+        incremental_(options.checkpoint_incremental),
+        store_(store),
+        result_(result),
+        tl_(tl) {}
+
+  bool active() const { return every_ != 0 && !dir_.empty(); }
+
+  void Start(Clock::time_point start) {
+    start_ = start;
+    next_ = every_;
+  }
+
+  bool Due() const { return active() && result_->ops >= next_; }
+
+  Status Take() {
+    CheckpointSample s;
+    s.index = result_->checkpoints.size();
+    s.trace_pos = result_->ops;
+    char name[32];
+    std::snprintf(name, sizeof(name), "cp-%06llu", static_cast<unsigned long long>(s.index));
+    s.dir = dir_ + "/" + name;
+    CheckpointOptions copts;
+    if (incremental_ && !result_->checkpoints.empty()) {
+      copts.base_dir = result_->checkpoints.back().dir;
+    }
+    auto t0 = Clock::now();
+    auto info = store_->Checkpoint(s.dir, copts);
+    if (!info.ok()) {
+      return info.status();
+    }
+    auto t1 = Clock::now();
+    s.at_seconds = static_cast<double>(ElapsedNs(start_, t1)) / 1e9;
+    s.duration_micros = ElapsedNs(t0, t1) / 1000;
+    s.bytes = info->bytes;
+    s.files = info->files;
+    s.hard_links = info->hard_links;
+    s.reused = info->reused;
+    tl_->NoteCheckpoint(s.duration_micros);
+    result_->checkpoints.push_back(std::move(s));
+    next_ = result_->ops + every_;
+    return Status::Ok();
+  }
+
+ private:
+  const uint64_t every_;
+  const std::string dir_;
+  const bool incremental_;
+  KVStore* const store_;
+  ReplayResult* const result_;
+  TimelineCollector* const tl_;
+  Clock::time_point start_;
+  uint64_t next_ = 0;
 };
 
 // Exact membership: filter first, linear scan of the (small) pending-key
@@ -139,6 +218,7 @@ StatusOr<ReplayResult> ReplayBatched(const std::vector<StateAccess>& trace, KVSt
                                      const ReplayOptions& options) {
   ReplayResult result;
   TimelineCollector tl(options, store, &result);
+  CheckpointDriver cp(options, store, &result, &tl);
   const size_t batch_size = static_cast<size_t>(options.batch_size);
   const uint64_t limit =
       options.max_ops == 0 ? trace.size() : std::min<uint64_t>(options.max_ops, trace.size());
@@ -221,7 +301,18 @@ StatusOr<ReplayResult> ReplayBatched(const std::vector<StateAccess>& trace, KVSt
 
   auto start = Clock::now();
   tl.Start(start);
+  cp.Start(start);
   for (uint64_t i = 0; i < limit; ++i) {
+    // A due checkpoint first flushes BOTH pending buffers so the image is an
+    // exact trace prefix (the buffers are key-disjoint; either flush order
+    // is correct), then cuts it. result.ops only advances at flushes, so
+    // like timeline intervals the cut can overshoot its boundary by up to
+    // batch_size - 1 ops.
+    if (cp.Due()) {
+      GADGET_RETURN_IF_ERROR(flush_writes());
+      GADGET_RETURN_IF_ERROR(flush_gets());
+      GADGET_RETURN_IF_ERROR(cp.Take());
+    }
     const StateAccess& a = trace[i];
     if (pace_ns > 0) {
       auto due =
@@ -300,6 +391,8 @@ void TimelineSample::MergeFrom(const TimelineSample& other) {
   read_latency_ns.Merge(other.read_latency_ns);
   write_latency_ns.Merge(other.write_latency_ns);
   stats_delta.MergeMax(other.stats_delta);
+  checkpoints += other.checkpoints;
+  checkpoint_micros += other.checkpoint_micros;
 }
 
 void ReplayResult::MergeFrom(const ReplayResult& other) {
@@ -318,6 +411,8 @@ void ReplayResult::MergeFrom(const ReplayResult& other) {
       timeline.push_back(other.timeline[i]);
     }
   }
+  // Checkpointing runs on one instance; appended samples keep their indices.
+  checkpoints.insert(checkpoints.end(), other.checkpoints.begin(), other.checkpoints.end());
 }
 
 std::string ReplayResult::Summary() const {
@@ -336,6 +431,7 @@ StatusOr<ReplayResult> ReplayTrace(const std::vector<StateAccess>& trace, KVStor
   }
   ReplayResult result;
   TimelineCollector tl(options, store, &result);
+  CheckpointDriver cp(options, store, &result, &tl);
   const bool has_merge = store->supports_merge();
   // Reusable synthetic value buffer; contents are irrelevant, size matters.
   std::string value_buf;
@@ -351,7 +447,11 @@ StatusOr<ReplayResult> ReplayTrace(const std::vector<StateAccess>& trace, KVStor
 
   auto start = Clock::now();
   tl.Start(start);
+  cp.Start(start);
   for (uint64_t i = 0; i < limit; ++i) {
+    if (cp.Due()) {
+      GADGET_RETURN_IF_ERROR(cp.Take());  // store state == trace[0, i) exactly
+    }
     const StateAccess& a = trace[i];
     if (pace_ns > 0) {
       auto due = start + std::chrono::nanoseconds(static_cast<uint64_t>(pace_ns * static_cast<double>(i)));

@@ -51,6 +51,19 @@ struct ReplayOptions {
   // the first flush at or after its boundary, so mid-run intervals can also
   // overshoot by up to batch_size - 1 ops.
   uint64_t timeline_interval_ops = 0;
+  // When nonzero (and checkpoint_dir is set), take a store checkpoint every
+  // N completed operations into numbered subdirectories of checkpoint_dir
+  // (cp-000000, cp-000001, ...). Each image is an exact trace prefix: the
+  // batched path flushes both pending buffers before checkpointing, so like
+  // timeline intervals a checkpoint can land up to batch_size - 1 ops past
+  // its boundary, but always at a point where the store state equals
+  // trace[0, CheckpointSample::trace_pos).
+  uint64_t checkpoint_every_ops = 0;
+  std::string checkpoint_dir;
+  // Pass the previous checkpoint as CheckpointOptions::base_dir so engines
+  // with immutable file sets (LSM/Lethe) link unchanged files instead of
+  // re-capturing them.
+  bool checkpoint_incremental = true;
 };
 
 // One interval of a replay's timeline (ReplayOptions::timeline_interval_ops).
@@ -66,6 +79,11 @@ struct TimelineSample {
   LatencyHistogram read_latency_ns;
   LatencyHistogram write_latency_ns;
   StoreStats stats_delta;  // store counters consumed during this interval
+  // Checkpoints cut during this interval and the replay time they consumed —
+  // marks checkpoint intervals on the timeline so throughput dips are
+  // attributable.
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_micros = 0;
 
   // Folds the same-index sample of a concurrently measured result into this
   // one: ops/not_found add, bounds widen (min start, max end), throughput is
@@ -74,6 +92,34 @@ struct TimelineSample {
   // store, so each delta already observes the whole store's counters and
   // summing them would multiply by the thread count.
   void MergeFrom(const TimelineSample& other);
+};
+
+// One checkpoint taken during replay (ReplayOptions::checkpoint_every_ops).
+struct CheckpointSample {
+  uint64_t index = 0;      // 0-based checkpoint number within the replay
+  uint64_t trace_pos = 0;  // the image equals a replay of trace[0, trace_pos)
+  double at_seconds = 0;   // completion time relative to replay start
+  uint64_t duration_micros = 0;
+  // From CheckpointInfo: image size and how it was captured.
+  uint64_t bytes = 0;
+  uint64_t files = 0;
+  uint64_t hard_links = 0;
+  uint64_t reused = 0;
+  std::string dir;  // where the image lives (input to RestoreStore)
+};
+
+// Result of the crash/restore scenario the harness runs after a checkpointed
+// replay: restore from the last checkpoint, replay the trace gap, and verify
+// every distinct trace key against an in-memory oracle. Emitted as the
+// "recovery" object of gadget.report/1.
+struct RecoveryResult {
+  uint64_t checkpoint_index = 0;      // which checkpoint was restored
+  uint64_t checkpoint_trace_pos = 0;  // its trace prefix length
+  uint64_t restore_micros = 0;        // RestoreStore: materialize + recover
+  uint64_t replay_gap_ops = 0;        // trace[trace_pos, end) replayed on top
+  uint64_t replay_gap_micros = 0;
+  uint64_t verified_keys = 0;   // distinct keys compared against the oracle
+  uint64_t mismatched_keys = 0; // 0 == restore matches a crash-free replay
 };
 
 struct ReplayResult {
@@ -86,6 +132,9 @@ struct ReplayResult {
   uint64_t not_found = 0;               // gets that missed (expected for probes)
   // Per-interval samples, empty unless timeline_interval_ops was set.
   std::vector<TimelineSample> timeline;
+  // Checkpoints taken, empty unless checkpoint_every_ops was set. Ordered by
+  // trace_pos; MergeFrom appends (checkpointing is single-instance).
+  std::vector<CheckpointSample> checkpoints;
 
   // Folds `other` (a result measured on a concurrently running thread) into
   // this one: op counts add, histograms merge bucket-wise (O(buckets), no

@@ -1,7 +1,9 @@
 #include "src/gadget/harness.h"
 
+#include <chrono>
 #include <iomanip>
 #include <memory>
+#include <unordered_set>
 
 #include "src/analysis/cache_model.h"
 #include "src/analysis/metrics.h"
@@ -98,7 +100,8 @@ StoreOptions StoreOptionsFrom(const Config& config, std::string dir) {
 // Writes the gadget.report/1 document when the config asks for one
 // (report=<path>, the CLI's --report flag). No-op otherwise.
 Status MaybeWriteReport(const Config& config, const ReplayResult& result,
-                        const StoreStats& stats, std::ostream& out) {
+                        const StoreStats& stats, const RecoveryResult* recovery,
+                        std::ostream& out) {
   const std::string path = config.GetString("report");
   if (path.empty()) {
     return Status::Ok();
@@ -109,9 +112,96 @@ Status MaybeWriteReport(const Config& config, const ReplayResult& result,
   meta.timestamp = CurrentTimestamp();
   meta.batch_size = std::max<uint64_t>(config.GetUint("batch_size", 1), 1);
   meta.config = config.values();
-  GADGET_RETURN_IF_ERROR(WriteReportJson(path, meta, result, stats));
+  GADGET_RETURN_IF_ERROR(WriteReportJson(path, meta, result, stats, recovery));
   out << "report written to " << path << "\n";
   return Status::Ok();
+}
+
+// The crash/restore leg of a checkpointed replay. The latest checkpoint IS
+// the crash image: a point-in-time copy of the store directory (WAL tail
+// included for the LSM engines), exactly what a kill at that instant leaves
+// behind — so RestoreStore exercises the full recovery path, checkpoint +
+// WAL-tail replay. The restored store then replays the trace gap
+// [trace_pos, limit) and every distinct trace key is compared against an
+// in-memory oracle that replayed the whole trace crash-free.
+StatusOr<RecoveryResult> RunRecovery(const std::vector<StateAccess>& trace,
+                                     const ReplayOptions& ropts, const StoreOptions& sopts,
+                                     const std::vector<CheckpointSample>& checkpoints) {
+  using Clock = std::chrono::steady_clock;
+  auto micros = [](Clock::time_point a, Clock::time_point b) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+  };
+  const CheckpointSample& last = checkpoints.back();
+  RecoveryResult rec;
+  rec.checkpoint_index = last.index;
+  rec.checkpoint_trace_pos = last.trace_pos;
+
+  StoreOptions restore_opts = sopts;
+  restore_opts.dir = ropts.checkpoint_dir + "/restore";
+  auto t0 = Clock::now();
+  auto restored = RestoreStore(restore_opts, last.dir);
+  if (!restored.ok()) {
+    return restored.status();
+  }
+  rec.restore_micros = micros(t0, Clock::now());
+
+  const uint64_t limit =
+      ropts.max_ops == 0 ? trace.size() : std::min<uint64_t>(ropts.max_ops, trace.size());
+  std::vector<StateAccess> gap(trace.begin() + static_cast<ptrdiff_t>(last.trace_pos),
+                               trace.begin() + static_cast<ptrdiff_t>(limit));
+  ReplayOptions gap_opts;
+  gap_opts.batch_size = ropts.batch_size;
+  auto t1 = Clock::now();
+  auto gap_result = ReplayTrace(gap, restored->get(), gap_opts);
+  if (!gap_result.ok()) {
+    return gap_result.status();
+  }
+  rec.replay_gap_ops = gap_result->ops;
+  rec.replay_gap_micros = micros(t1, Clock::now());
+
+  // Oracle: the whole trace replayed crash-free into a MemStore. All engines
+  // produce identical Get results for the replayer's deterministic values
+  // (merge == operand append everywhere), so a key-by-key comparison proves
+  // restore + gap replay converged to the crash-free state.
+  StoreOptions oracle_opts;
+  oracle_opts.engine = "mem";
+  auto oracle = OpenStore(oracle_opts);
+  if (!oracle.ok()) {
+    return oracle.status();
+  }
+  ReplayOptions oracle_replay;
+  oracle_replay.max_ops = ropts.max_ops;
+  auto oracle_result = ReplayTrace(trace, oracle->get(), oracle_replay);
+  if (!oracle_result.ok()) {
+    return oracle_result.status();
+  }
+  std::unordered_set<std::string> keys;
+  std::string key;
+  for (uint64_t i = 0; i < limit; ++i) {
+    EncodeStateKeyTo(trace[i].key, &key);
+    keys.insert(key);
+  }
+  std::string expect;
+  std::string got;
+  for (const std::string& k : keys) {
+    Status se = (*oracle)->Get(k, &expect);
+    if (!se.ok() && !se.IsNotFound()) {
+      return se;
+    }
+    Status sg = (*restored)->Get(k, &got);
+    if (!sg.ok() && !sg.IsNotFound()) {
+      return sg;
+    }
+    ++rec.verified_keys;
+    const bool match = se.IsNotFound() ? sg.IsNotFound() : (sg.ok() && got == expect);
+    if (!match) {
+      ++rec.mismatched_keys;
+    }
+  }
+  GADGET_RETURN_IF_ERROR((*oracle)->Close());
+  GADGET_RETURN_IF_ERROR((*restored)->Close());
+  return rec;
 }
 
 Status Evaluate(const std::vector<StateAccess>& trace, const Config& config,
@@ -133,6 +223,16 @@ Status Evaluate(const std::vector<StateAccess>& trace, const Config& config,
   ropts.max_ops = config.GetUint("max_ops", 0);
   ropts.batch_size = sopts.batch_size;
   ropts.timeline_interval_ops = config.GetUint("timeline_interval", 0);
+  ropts.checkpoint_every_ops = config.GetUint("checkpoint_every", 0);
+  ropts.checkpoint_incremental = config.GetBool("checkpoint_incremental", true);
+  if (ropts.checkpoint_every_ops > 0) {
+    ropts.checkpoint_dir = config.GetString("checkpoint_dir");
+    if (ropts.checkpoint_dir.empty()) {
+      ropts.checkpoint_dir = dir + ".checkpoints";  // sibling of the store dir
+    }
+    // Each run numbers its images from cp-000000: clear a previous run's.
+    GADGET_RETURN_IF_ERROR(RemoveDirRecursively(ropts.checkpoint_dir));
+  }
   auto result = ReplayTrace(trace, store->get(), ropts);
   if (!result.ok()) {
     return result.status();
@@ -144,8 +244,28 @@ Status Evaluate(const std::vector<StateAccess>& trace, const Config& config,
     out << "  timeline: " << result->timeline.size() << " intervals of "
         << ropts.timeline_interval_ops << " ops\n";
   }
+  std::unique_ptr<RecoveryResult> recovery;
+  if (!result->checkpoints.empty()) {
+    const CheckpointSample& last = result->checkpoints.back();
+    out << "  checkpoints: " << result->checkpoints.size() << " every "
+        << ropts.checkpoint_every_ops << " ops; last " << last.bytes << " bytes ("
+        << last.files << " files, " << last.hard_links << " linked, " << last.reused
+        << " reused) in " << static_cast<double>(last.duration_micros) / 1000.0 << " ms\n";
+    auto rec = RunRecovery(trace, ropts, sopts, result->checkpoints);
+    if (!rec.ok()) {
+      return rec.status();
+    }
+    out << "  recovery: restore " << static_cast<double>(rec->restore_micros) / 1000.0
+        << " ms + gap replay of " << rec->replay_gap_ops << " ops "
+        << static_cast<double>(rec->replay_gap_micros) / 1000.0 << " ms; " << rec->verified_keys
+        << " keys verified, " << rec->mismatched_keys << " mismatched\n";
+    if (rec->mismatched_keys != 0) {
+      out << "  WARNING: restored store diverges from a crash-free replay\n";
+    }
+    recovery = std::make_unique<RecoveryResult>(*rec);
+  }
   const StoreStats stats = (*store)->stats();
-  GADGET_RETURN_IF_ERROR(MaybeWriteReport(config, *result, stats, out));
+  GADGET_RETURN_IF_ERROR(MaybeWriteReport(config, *result, stats, recovery.get(), out));
   return (*store)->Close();
 }
 
@@ -204,7 +324,7 @@ Status RunYcsb(const Config& config, std::ostream& out) {
   }
   out << engine << ": " << result->Summary() << "\n";
   const StoreStats stats = (*store)->stats();
-  GADGET_RETURN_IF_ERROR(MaybeWriteReport(config, *result, stats, out));
+  GADGET_RETURN_IF_ERROR(MaybeWriteReport(config, *result, stats, /*recovery=*/nullptr, out));
   return (*store)->Close();
 }
 

@@ -33,6 +33,17 @@
 //   max_ops          replay budget, 0 = whole trace               (0)
 //   timeline_interval evaluation timeline sample width in ops, 0 =
 //                    no timeline (the CLI's --timeline_interval=N)  (0)
+//   checkpoint_every checkpoint the store every N replayed ops (the
+//                    CLI's --checkpoint_every=N); after the replay
+//                    the harness restores from the latest checkpoint,
+//                    replays the trace gap, and verifies the restored
+//                    store against an in-memory oracle, reporting
+//                    checkpoint duration/size and recovery time.
+//                    0 = no checkpointing                           (0)
+//   checkpoint_dir   where checkpoint images go (a sibling of the
+//                    store dir if empty)
+//   checkpoint_incremental  link unchanged SSTables from the previous
+//                    checkpoint instead of re-capturing (LSM/Lethe)  (true)
 //   report           write a gadget.report/1 JSON run report here
 //                    (the CLI's --report=FILE; see src/gadget/report.h)
 //   trace_out        offline mode: output trace path

@@ -103,6 +103,37 @@ Status ValidateResult(const JsonValue& result, const std::string& where) {
       }
     }
   }
+  // "checkpoints" is optional (absent unless the run checkpointed), but when
+  // present every sample must carry its full shape.
+  const JsonValue* checkpoints = result.Get("checkpoints");
+  if (checkpoints != nullptr) {
+    if (!checkpoints->is_array()) {
+      return Invalid(where + ".checkpoints is not an array");
+    }
+    for (size_t i = 0; i < checkpoints->items().size(); ++i) {
+      const JsonValue& s = checkpoints->items()[i];
+      std::string sw = where + ".checkpoints[" + std::to_string(i) + "]";
+      if (!s.is_object()) {
+        return Invalid(sw + " is not an object");
+      }
+      for (const char* key :
+           {"index", "trace_pos", "at_seconds", "duration_micros", "bytes", "files"}) {
+        GADGET_RETURN_IF_ERROR(RequireNumber(s, key, sw));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateRecovery(const JsonValue& recovery, const std::string& where) {
+  if (!recovery.is_object()) {
+    return Invalid(where + " is not an object");
+  }
+  for (const char* key : {"checkpoint_index", "checkpoint_trace_pos", "restore_micros",
+                          "replay_gap_ops", "replay_gap_micros", "verified_keys",
+                          "mismatched_keys"}) {
+    GADGET_RETURN_IF_ERROR(RequireNumber(recovery, key, where));
+  }
   return Status::Ok();
 }
 
@@ -120,6 +151,10 @@ Status ValidateSingleReport(const JsonValue& doc) {
   const JsonValue* stats = doc.Get("stats");
   if (stats == nullptr || !stats->is_object()) {
     return Invalid("report: missing \"stats\"");
+  }
+  // Optional: only checkpointed runs carry a crash/restore outcome.
+  if (const JsonValue* recovery = doc.Get("recovery"); recovery != nullptr) {
+    GADGET_RETURN_IF_ERROR(ValidateRecovery(*recovery, "report.recovery"));
   }
   return Status::Ok();
 }
@@ -289,7 +324,35 @@ JsonValue TimelineSampleToJson(const TimelineSample& s) {
   // Device traffic pulled up for timeline plots; the full delta follows.
   obj.Set("bytes_in", s.stats_delta.io_bytes_written);
   obj.Set("bytes_out", s.stats_delta.io_bytes_read);
+  obj.Set("checkpoints", s.checkpoints);
+  obj.Set("checkpoint_micros", s.checkpoint_micros);
   obj.Set("stats_delta", StoreStatsToJson(s.stats_delta));
+  return obj;
+}
+
+JsonValue CheckpointSampleToJson(const CheckpointSample& s) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("index", s.index);
+  obj.Set("trace_pos", s.trace_pos);
+  obj.Set("at_seconds", s.at_seconds);
+  obj.Set("duration_micros", s.duration_micros);
+  obj.Set("bytes", s.bytes);
+  obj.Set("files", s.files);
+  obj.Set("hard_links", s.hard_links);
+  obj.Set("reused", s.reused);
+  obj.Set("dir", s.dir);
+  return obj;
+}
+
+JsonValue RecoveryResultToJson(const RecoveryResult& r) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("checkpoint_index", r.checkpoint_index);
+  obj.Set("checkpoint_trace_pos", r.checkpoint_trace_pos);
+  obj.Set("restore_micros", r.restore_micros);
+  obj.Set("replay_gap_ops", r.replay_gap_ops);
+  obj.Set("replay_gap_micros", r.replay_gap_micros);
+  obj.Set("verified_keys", r.verified_keys);
+  obj.Set("mismatched_keys", r.mismatched_keys);
   return obj;
 }
 
@@ -307,11 +370,18 @@ JsonValue ReplayResultToJson(const ReplayResult& result) {
     timeline.Append(TimelineSampleToJson(s));
   }
   r.Set("timeline", std::move(timeline));
+  if (!result.checkpoints.empty()) {
+    JsonValue checkpoints = JsonValue::MakeArray();
+    for (const CheckpointSample& s : result.checkpoints) {
+      checkpoints.Append(CheckpointSampleToJson(s));
+    }
+    r.Set("checkpoints", std::move(checkpoints));
+  }
   return r;
 }
 
 JsonValue BuildReportJson(const ReportMeta& meta, const ReplayResult& result,
-                          const StoreStats& stats) {
+                          const StoreStats& stats, const RecoveryResult* recovery) {
   JsonValue doc = JsonValue::MakeObject();
   doc.Set("schema", kReportSchema);
 
@@ -329,12 +399,16 @@ JsonValue BuildReportJson(const ReportMeta& meta, const ReplayResult& result,
 
   doc.Set("result", ReplayResultToJson(result));
   doc.Set("stats", StoreStatsToJson(stats));
+  if (recovery != nullptr) {
+    doc.Set("recovery", RecoveryResultToJson(*recovery));
+  }
   return doc;
 }
 
 Status WriteReportJson(const std::string& path, const ReportMeta& meta,
-                       const ReplayResult& result, const StoreStats& stats) {
-  std::string text = BuildReportJson(meta, result, stats).Write(/*indent=*/2);
+                       const ReplayResult& result, const StoreStats& stats,
+                       const RecoveryResult* recovery) {
+  std::string text = BuildReportJson(meta, result, stats, recovery).Write(/*indent=*/2);
   text += '\n';
   return WriteStringToFile(path, text);
 }

@@ -53,21 +53,31 @@ bool HistogramFromJson(const JsonValue& v, LatencyHistogram* out);
 JsonValue StoreStatsToJson(const StoreStats& s);
 
 // Timeline sample: interval bounds/throughput/not_found, read+write op
-// counts with p50/p99/p999, bytes in/out pulled up from the stats delta, and
-// the full "stats_delta" object.
+// counts with p50/p99/p999, bytes in/out pulled up from the stats delta,
+// checkpoint count/time for the interval, and the full "stats_delta" object.
 JsonValue TimelineSampleToJson(const TimelineSample& s);
 
+// One checkpoint taken during replay: position, timing, image size/capture.
+JsonValue CheckpointSampleToJson(const CheckpointSample& s);
+
+// The crash/restore scenario outcome (the report's optional "recovery"
+// object): restore + gap-replay timing and oracle verification counts.
+JsonValue RecoveryResultToJson(const RecoveryResult& r);
+
 // The "result" payload shared by both schemas: scalars, full histograms,
-// timeline array.
+// timeline array, and (when checkpointing ran) the "checkpoints" array.
 JsonValue ReplayResultToJson(const ReplayResult& result);
 
-// Assembles the gadget.report/1 document.
+// Assembles the gadget.report/1 document. `recovery` is optional (nullptr =
+// no crash/restore scenario ran); when present it becomes the top-level
+// "recovery" object.
 JsonValue BuildReportJson(const ReportMeta& meta, const ReplayResult& result,
-                          const StoreStats& stats);
+                          const StoreStats& stats, const RecoveryResult* recovery = nullptr);
 
 // BuildReportJson + pretty-printed write to `path`.
 Status WriteReportJson(const std::string& path, const ReportMeta& meta,
-                       const ReplayResult& result, const StoreStats& stats);
+                       const ReplayResult& result, const StoreStats& stats,
+                       const RecoveryResult* recovery = nullptr);
 
 // Structural validation: Ok iff `doc` is a well-formed gadget.report/1 or
 // gadget.bench/1 document (schema tag, required sections and field types,

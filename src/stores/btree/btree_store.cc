@@ -771,11 +771,7 @@ Status BTreeStore::MultiGet(const std::vector<std::string>& keys,
   return first_error;
 }
 
-Status BTreeStore::Flush() {
-  MutexLock lock(&mu_);
-  if (closed_) {
-    return Status::Ok();
-  }
+Status BTreeStore::FlushLocked() {
   for (auto& entry : lru_) {
     if (entry.node->dirty) {
       GADGET_RETURN_IF_ERROR(WriteNode(entry.page_id, *entry.node));
@@ -787,6 +783,42 @@ Status BTreeStore::Flush() {
     return Status::IoError("fdatasync btree");
   }
   return Status::Ok();
+}
+
+Status BTreeStore::Flush() {
+  MutexLock lock(&mu_);
+  if (closed_) {
+    return Status::Ok();
+  }
+  return FlushLocked();
+}
+
+StatusOr<CheckpointInfo> BTreeStore::Checkpoint(const std::string& dir,
+                                                const CheckpointOptions& options) {
+  (void)options;  // the page file mutates in place: nothing to reuse
+  GADGET_RETURN_IF_ERROR(CreateDirIfMissing(dir));
+  auto names = ListDir(dir);
+  if (!names.ok()) {
+    return names.status();
+  }
+  if (!names->empty()) {
+    return Status::InvalidArgument("checkpoint dir not empty: " + dir);
+  }
+  MutexLock lock(&mu_);
+  if (closed_) {
+    return Status::Internal("store is closed");
+  }
+  GADGET_RETURN_IF_ERROR(FlushLocked());
+  GADGET_RETURN_IF_ERROR(CopyFile(TreePath(dir_), TreePath(dir), /*sync=*/true));
+  GADGET_RETURN_IF_ERROR(SyncDir(dir));
+  auto size = FileSize(TreePath(dir));
+  if (!size.ok()) {
+    return size.status();
+  }
+  CheckpointInfo info;
+  info.bytes = *size;
+  info.files = 1;
+  return info;
 }
 
 Status BTreeStore::Close() {

@@ -53,6 +53,12 @@ class BTreeStore : public KVStore {
 
   Status Flush() override;
   Status Close() override;
+  // Flushes dirty pages + meta under mu_, then byte-copies the page file
+  // into `dir`. The copy happens with mu_ held after the flush, so it is a
+  // point-in-time image; the file mutates in place, so there is nothing to
+  // reuse incrementally (options.base_dir is ignored).
+  StatusOr<CheckpointInfo> Checkpoint(const std::string& dir,
+                                      const CheckpointOptions& options) override;
   StoreStats stats() const override;
   std::string name() const override { return "btree"; }
 
@@ -92,6 +98,9 @@ class BTreeStore : public KVStore {
   uint32_t AllocPage() REQUIRES(mu_);
   void FreePage(uint32_t page_id) REQUIRES(mu_);
   Status PersistMeta() REQUIRES(mu_);
+  // Flush body shared by Flush() and Checkpoint(): write-back every dirty
+  // cached page, persist the meta page, fdatasync the file.
+  Status FlushLocked() REQUIRES(mu_);
 
   // --- tree ops (mu_ held) ---
   Status GetLocked(std::string_view key, std::string* value) REQUIRES(mu_);

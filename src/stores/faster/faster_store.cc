@@ -403,6 +403,44 @@ Status FasterStore::Flush() {
   return Status::Ok();
 }
 
+StatusOr<CheckpointInfo> FasterStore::Checkpoint(const std::string& dir,
+                                                 const CheckpointOptions& options) {
+  (void)options;  // the log is appended in place: nothing to reuse
+  GADGET_RETURN_IF_ERROR(CreateDirIfMissing(dir));
+  auto names = ListDir(dir);
+  if (!names.ok()) {
+    return names.status();
+  }
+  if (!names->empty()) {
+    return Status::InvalidArgument("checkpoint dir not empty: " + dir);
+  }
+  MutexLock lock(&mu_);
+  if (closed_) {
+    return Status::Internal("store is closed");
+  }
+  // Write the in-memory window [head_, tail_) through to the file (without
+  // clearing it — the window stays resident), so the copy below contains
+  // every acknowledged record up to the tail.
+  if (!buffer_.empty()) {
+    GADGET_RETURN_IF_ERROR(Pwrite(log_fd_, buffer_.data(), buffer_.size(), head_));
+    ++stats_.wal_fsyncs;
+    if (::fdatasync(log_fd_) != 0) {
+      return Status::IoError("fdatasync hybrid log");
+    }
+    durable_ = tail_;
+  }
+  GADGET_RETURN_IF_ERROR(CopyFile(LogPath(dir_), LogPath(dir), /*sync=*/true));
+  GADGET_RETURN_IF_ERROR(SyncDir(dir));
+  auto size = FileSize(LogPath(dir));
+  if (!size.ok()) {
+    return size.status();
+  }
+  CheckpointInfo info;
+  info.bytes = *size;
+  info.files = 1;
+  return info;
+}
+
 Status FasterStore::Close() {
   MutexLock lock(&mu_);
   if (closed_) {

@@ -55,6 +55,12 @@ class FasterStore : public KVStore {
 
   Status Flush() override;
   Status Close() override;
+  // Pushes the in-memory log window to the file under mu_, then byte-copies
+  // the whole hybrid log into `dir` — a log-segment snapshot up to the tail
+  // address. Restore replays it through normal recovery (sequential index
+  // rebuild). The log is appended in place, so options.base_dir is ignored.
+  StatusOr<CheckpointInfo> Checkpoint(const std::string& dir,
+                                      const CheckpointOptions& options) override;
   StoreStats stats() const override;
   std::string name() const override { return "faster"; }
 

@@ -68,6 +68,13 @@ void StoreStats::MergeMax(const StoreStats& other) {
   }
 }
 
+StatusOr<CheckpointInfo> KVStore::Checkpoint(const std::string& dir,
+                                             const CheckpointOptions& options) {
+  (void)dir;
+  (void)options;
+  return Status::Unsupported("checkpoint not supported by " + name());
+}
+
 Status KVStore::ReadModifyWrite(std::string_view key, std::string_view operand) {
   std::string value;
   Status s = Get(key, &value);
@@ -159,6 +166,61 @@ StatusOr<std::unique_ptr<KVStore>> OpenStore(const std::string& engine, const st
   StoreOptions options;
   options.engine = engine;
   options.dir = dir;
+  return OpenStore(options);
+}
+
+StatusOr<std::unique_ptr<KVStore>> RestoreStore(const StoreOptions& options,
+                                                const std::string& checkpoint_dir) {
+  if (!FileExists(checkpoint_dir)) {
+    return Status::NotFound("no checkpoint at " + checkpoint_dir);
+  }
+  // Every engine writes its anchor file last (after syncing the data it
+  // references), so its absence means a checkpoint that was cut short.
+  const std::string anchor = options.engine == "lsm" || options.engine == "lethe" ? "MANIFEST"
+                             : options.engine == "btree"                          ? "btree.db"
+                             : options.engine == "faster"                         ? "hybrid.log"
+                                                                                  : "memstore.snap";
+  if (!FileExists(checkpoint_dir + "/" + anchor)) {
+    return Status::Corruption("incomplete checkpoint (no " + anchor + ") at " + checkpoint_dir);
+  }
+  if (options.engine == "mem") {
+    auto store = std::make_unique<MemStore>(
+        options.mem_stripes == 0 ? MemStore::kDefaultStripes : options.mem_stripes);
+    GADGET_RETURN_IF_ERROR(store->LoadCheckpoint(checkpoint_dir));
+    return std::unique_ptr<KVStore>(std::move(store));
+  }
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("restore needs a target dir");
+  }
+  GADGET_RETURN_IF_ERROR(CreateDirIfMissing(options.dir));
+  auto existing = ListDir(options.dir);
+  if (!existing.ok()) {
+    return existing.status();
+  }
+  if (!existing->empty()) {
+    return Status::InvalidArgument("restore target not empty: " + options.dir);
+  }
+  auto names = ListDir(checkpoint_dir);
+  if (!names.ok()) {
+    return names.status();
+  }
+  // SSTables are immutable for the rest of their life (the store only ever
+  // unlinks them, which leaves the checkpoint's directory entry intact), so
+  // they can be shared by hard link. Everything else — the manifest, WAL
+  // tails, btree.db, hybrid.log — is rewritten or appended in place by the
+  // restored store and must be a private byte copy.
+  const bool link_ssts = options.engine == "lsm" || options.engine == "lethe";
+  for (const std::string& name : *names) {
+    const std::string from = checkpoint_dir + "/" + name;
+    const std::string to = options.dir + "/" + name;
+    const bool is_sst = name.size() > 4 && name.compare(name.size() - 4, 4, ".sst") == 0;
+    if (link_ssts && is_sst) {
+      GADGET_RETURN_IF_ERROR(LinkOrCopyFile(from, to));
+    } else {
+      GADGET_RETURN_IF_ERROR(CopyFile(from, to, /*sync=*/true));
+    }
+  }
+  GADGET_RETURN_IF_ERROR(SyncDir(options.dir));
   return OpenStore(options);
 }
 

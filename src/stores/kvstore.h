@@ -141,6 +141,23 @@ class WriteBatch {
   size_t size_ = 0;
 };
 
+// Options for KVStore::Checkpoint.
+struct CheckpointOptions {
+  // Path of a previous checkpoint of the SAME store instance. Engines with
+  // immutable file sets (LSM/Lethe) hard-link unchanged files from the base
+  // instead of re-capturing them (incremental checkpoint); other engines
+  // ignore it. Empty means a full checkpoint.
+  std::string base_dir;
+};
+
+// What a Checkpoint call produced, for run reports and tests.
+struct CheckpointInfo {
+  uint64_t bytes = 0;       // total size of the checkpoint image
+  uint64_t files = 0;       // files written into the checkpoint dir
+  uint64_t hard_links = 0;  // files captured by hard link (no bytes copied)
+  uint64_t reused = 0;      // files linked from options.base_dir (incremental)
+};
+
 class KVStore {
  public:
   virtual ~KVStore() = default;
@@ -184,6 +201,16 @@ class KVStore {
 
   // Persists all buffered state (memtables, dirty pages, log tail).
   virtual Status Flush() { return Status::Ok(); }
+
+  // Writes a crash-consistent, self-contained image of the store into `dir`
+  // (created if missing; must be empty). The image captures one atomic point
+  // in the operation sequence: every acknowledged write before that point is
+  // in the image, none after. RestoreStore() materializes the image as a
+  // fresh store with identical contents. Safe to call concurrently with
+  // reads and writes. The image is durable (file data and directory entries
+  // synced) when the call returns.
+  virtual StatusOr<CheckpointInfo> Checkpoint(const std::string& dir,
+                                              const CheckpointOptions& options = {});
 
   virtual Status Close() { return Status::Ok(); }
 
@@ -231,6 +258,16 @@ StatusOr<std::unique_ptr<KVStore>> OpenStore(const StoreOptions& options);
 
 // Back-compat overload: engine + dir with all other options at defaults.
 StatusOr<std::unique_ptr<KVStore>> OpenStore(const std::string& engine, const std::string& dir);
+
+// Materializes the checkpoint image at `checkpoint_dir` into options.dir and
+// opens it as a fresh store (normal recovery runs, so for the LSM engines the
+// WAL tail captured by the checkpoint is replayed). options.engine must match
+// the engine that produced the checkpoint. options.dir must be empty or
+// missing (ignored for mem, which loads the snapshot directly). Immutable
+// files (SSTables) are hard-linked when possible; mutating engines (btree,
+// faster) get byte copies so the checkpoint stays pristine.
+StatusOr<std::unique_ptr<KVStore>> RestoreStore(const StoreOptions& options,
+                                                const std::string& checkpoint_dir);
 
 }  // namespace gadget
 

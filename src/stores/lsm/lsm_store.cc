@@ -460,7 +460,10 @@ Status LsmStore::RotateMemTableLocked() {
     return wal.status();
   }
   wal_ = std::move(*wal);
-  return Status::Ok();
+  // Recovery discovers this generation by listing the directory (nothing
+  // records it until the next manifest write), so its directory entry must
+  // be durable before any record in it is acknowledged.
+  return SyncDir(dir_);
 }
 
 void LsmStore::ApplyOpLocked(RecType type, std::string_view key, std::string_view value) {
@@ -750,14 +753,25 @@ void LsmStore::FlusherThread() {
     // pops the queue entry, so readers keep probing it under mu_ while the
     // SSTable is built.
     auto meta = BuildTableFromMem(*mem, number);
+    // The new SSTable's directory entry must be durable before the manifest
+    // that references it: the builder fsyncs the file's data, but only a
+    // directory fsync persists the entry, and recovery cannot open a
+    // manifest-listed file whose entry a crash erased.
+    Status dir_sync = meta.ok() ? SyncDir(dir_) : Status::Ok();
     mu_.Lock();
-    Status s = meta.ok() ? InstallFlushLocked(std::move(*meta)) : meta.status();
+    Status s = !dir_sync.ok()
+                   ? dir_sync
+                   : (meta.ok() ? InstallFlushLocked(std::move(*meta)) : meta.status());
     if (s.ok()) {
       ++stats_.flushes;
       stats_.flush_micros += MicrosSince(flush_start);
       mu_.Unlock();
-      // The generation's records are durable in the SSTable; the manifest
-      // just persisted no longer lists it, so the log is dead weight.
+      // The generation's records are durable in the SSTable and the manifest
+      // that stops listing it is durable (SaveManifest returns only after the
+      // rename's directory entry is synced), so the log is dead weight. This
+      // ordering — durable manifest first, unlink second — is what closes
+      // the resurrection window: a crash here leaves a stale log that the
+      // recovery floor rule skips.
       // status intentionally ignored: failing to unlink a dead log wastes
       // disk but loses nothing — recovery's floor rule skips stale logs.
       (void)RemoveFile(WalPath(dir_, wal_gen));
@@ -789,6 +803,8 @@ Status LsmStore::FlushActiveMemLocked() {
   if (!meta.ok()) {
     return meta.status();
   }
+  // New SSTable's directory entry before the manifest that references it.
+  GADGET_RETURN_IF_ERROR(SyncDir(dir_));
   stats_.io_bytes_written += (*meta)->size;
   auto version = std::make_shared<Version>(*current_);
   version->levels[0].push_back(std::move(*meta));
@@ -814,6 +830,9 @@ Status LsmStore::FlushActiveMemLocked() {
     }
     wal_ = std::move(*wal);
     GADGET_RETURN_IF_ERROR(PersistManifestLocked());
+    // The unlink happens only after the manifest that stops listing the old
+    // generation is durable (SaveManifest dir-syncs the rename) — a crash
+    // here cannot resurrect a manifest that still needs the deleted log.
     // status intentionally ignored: the manifest no longer lists the old
     // generation, so a leftover file is skipped by recovery and re-deleted.
     (void)RemoveFile(WalPath(dir_, old_wal));
@@ -1202,11 +1221,18 @@ void LsmStore::InstallCompactionLocked(const CompactionJob& job,
   ++stats_.compactions;
   for (const auto& in : job.inputs) {
     stats_.io_bytes_read += in->size;
-    in->obsolete.store(true, std::memory_order_release);
   }
   Status s = PersistManifestLocked();
   if (!s.ok() && bg_error_.ok()) {
     bg_error_ = s;
+  }
+  // Inputs become deletable (FileMeta dtor unlinks obsolete files) only once
+  // the manifest that stops listing them is durable; if the persist failed,
+  // the durable manifest still references them and they must stay on disk.
+  if (s.ok()) {
+    for (const auto& in : job.inputs) {
+      in->obsolete.store(true, std::memory_order_release);
+    }
   }
 }
 
@@ -1224,6 +1250,11 @@ void LsmStore::CompactionThread() {
     auto compaction_start = MonoClock::now();
     std::vector<std::shared_ptr<FileMeta>> outputs;
     Status s = DoCompaction(job, &outputs);
+    if (s.ok()) {
+      // Output SSTables' directory entries before the version edit that
+      // references them (same rule as the flush path).
+      s = SyncDir(dir_);
+    }
     uint64_t compaction_micros = MicrosSince(compaction_start);
 
     mu_.Lock();
@@ -1265,6 +1296,99 @@ Status LsmStore::Flush() {
     return Status::Internal("store is closed");
   }
   return FlushActiveMemLocked();
+}
+
+StatusOr<CheckpointInfo> LsmStore::Checkpoint(const std::string& dir,
+                                              const CheckpointOptions& options) {
+  GADGET_RETURN_IF_ERROR(CreateDirIfMissing(dir));
+  auto existing = ListDir(dir);
+  if (!existing.ok()) {
+    return existing.status();
+  }
+  if (!existing->empty()) {
+    return Status::InvalidArgument("checkpoint dir not empty: " + dir);
+  }
+
+  CheckpointInfo info;
+  ManifestData data;
+  std::shared_ptr<const Version> version;
+  {
+    MutexLock lock(&mu_);
+    if (closing_) {
+      return Status::Internal("store is closed");
+    }
+    GADGET_RETURN_IF_ERROR(bg_error_);
+    // Snapshot the file layout. The Version shared_ptr keeps every
+    // referenced SSTable alive (FileMeta only unlinks once the last snapshot
+    // drops), so the hard-linking below runs with mu_ released.
+    version = current_;
+    data.next_file_number = next_file_number_;
+    for (const auto& im : imm_) {
+      data.wal_numbers.push_back(im.wal_number);
+    }
+    if (wal_ != nullptr) {
+      data.wal_numbers.push_back(wal_number_);
+    }
+    // Copy the live WAL generations while still holding mu_: the flusher
+    // retires a generation only through InstallFlushLocked (which needs
+    // mu_), so every file listed above exists for the duration of the copy.
+    // A leader may be appending to the active generation off-lock, but a
+    // group is one CRC-framed record whose bytes reach the fd before any
+    // writer in it is acknowledged — the copy therefore captures every
+    // acknowledged write, and at worst a torn tail of an in-flight
+    // (unacknowledged) group, which replay discards exactly as after a
+    // crash.
+    for (uint64_t n : data.wal_numbers) {
+      GADGET_RETURN_IF_ERROR(CopyFile(WalPath(dir_, n), WalPath(dir, n), /*sync=*/true));
+      auto wal_size = FileSize(WalPath(dir, n));
+      if (!wal_size.ok()) {
+        return wal_size.status();
+      }
+      info.bytes += *wal_size;
+      ++info.files;
+    }
+  }
+  // SSTables are immutable: capture them by hard link (byte copy across
+  // filesystems) without blocking writers. Incremental mode links unchanged
+  // files from the previous checkpoint instead of the live tree; either way
+  // no data is copied on the same filesystem.
+  for (int l = 0; l < opts_.num_levels; ++l) {
+    for (const auto& f : version->levels[static_cast<size_t>(l)]) {
+      std::string from = f->path;
+      bool reused = false;
+      if (!options.base_dir.empty()) {
+        auto base_size = FileSize(SstPath(options.base_dir, f->number));
+        if (base_size.ok() && *base_size == f->size) {
+          from = SstPath(options.base_dir, f->number);
+          reused = true;
+        }
+      }
+      bool linked = false;
+      GADGET_RETURN_IF_ERROR(LinkOrCopyFile(from, SstPath(dir, f->number), &linked));
+      info.bytes += f->size;
+      ++info.files;
+      if (linked) {
+        ++info.hard_links;
+      }
+      if (reused) {
+        ++info.reused;
+      }
+      data.files.push_back({l, f->number, f->size, f->entries, f->tombstones, f->created_ms,
+                            f->smallest, f->largest});
+    }
+  }
+  // The manifest goes last: SaveManifest fsyncs it and then the checkpoint
+  // directory, making every entry above (WAL copies, SSTable links) durable
+  // in one sweep. A crash mid-checkpoint leaves a directory without a
+  // MANIFEST, which RestoreStore rejects as incomplete.
+  GADGET_RETURN_IF_ERROR(SaveManifest(dir, data));
+  auto manifest_size = FileSize(dir + "/MANIFEST");
+  if (!manifest_size.ok()) {
+    return manifest_size.status();
+  }
+  info.bytes += *manifest_size;
+  ++info.files;
+  return info;
 }
 
 Status LsmStore::Close() {

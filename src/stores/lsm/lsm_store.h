@@ -75,6 +75,16 @@ class LsmStore : public KVStore {
   Status Flush() override;
   Status Close() override;
 
+  // Checkpoint: copies the live WAL generations and hard-links the current
+  // Version's SSTable set into `dir`, then writes a manifest snapshot.
+  // Opening the image runs normal recovery, so the WAL tail captured by the
+  // copy is replayed — restore == checkpoint + WAL tail. With
+  // options.base_dir set to the previous checkpoint of this store, unchanged
+  // SSTables are linked from there instead (incremental; counted in
+  // CheckpointInfo::reused).
+  StatusOr<CheckpointInfo> Checkpoint(const std::string& dir,
+                                      const CheckpointOptions& options) override;
+
   StoreStats stats() const override;
   std::string name() const override { return opts_.delete_aware ? "lethe" : "lsm"; }
 

@@ -63,7 +63,13 @@ Status SaveManifest(const std::string& dir, const ManifestData& data) {
   }
   const std::string tmp = dir + "/MANIFEST.tmp";
   GADGET_RETURN_IF_ERROR(WriteStringToFile(tmp, out.str(), /*sync=*/true));
-  return RenameFile(tmp, dir + "/MANIFEST");
+  GADGET_RETURN_IF_ERROR(RenameFile(tmp, dir + "/MANIFEST"));
+  // The rename only becomes crash-durable once the directory entry is synced;
+  // without this a crash can resurrect the previous manifest, whose listed
+  // WAL generations may already be deleted — losing acknowledged writes.
+  // Callers rely on SaveManifest returning only after the new manifest is the
+  // one recovery will see (DESIGN.md "Durability contract").
+  return SyncDir(dir);
 }
 
 StatusOr<ManifestData> LoadManifest(const std::string& dir) {

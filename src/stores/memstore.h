@@ -45,6 +45,17 @@ class MemStore : public KVStore {
   StoreStats stats() const override;
   std::string name() const override { return "mem"; }
 
+  // Serializes every stripe into `dir`/memstore.snap (one length-prefixed
+  // key/value record per entry). Each stripe is captured under its shared
+  // lock, so per-key atomicity holds; callers wanting a cross-stripe-atomic
+  // image quiesce writers first (the harness checkpoints between replay ops).
+  StatusOr<CheckpointInfo> Checkpoint(const std::string& dir,
+                                      const CheckpointOptions& options) override;
+  // Loads a Checkpoint() image into this (empty, fresh) store. Entries are
+  // inserted directly: operation counters stay at zero, matching a
+  // freshly-recovered disk engine. Used by RestoreStore.
+  Status LoadCheckpoint(const std::string& dir);
+
   size_t num_stripes() const { return stripes_.size(); }
 
   static constexpr size_t kDefaultStripes = 64;

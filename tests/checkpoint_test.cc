@@ -1,0 +1,229 @@
+// Checkpoint/restore round-trips for every engine: a checkpoint taken
+// mid-run must restore to exactly the state at the checkpoint (later writes
+// absent), incomplete images must be rejected, and the LSM incremental mode
+// must reuse unchanged SSTables from the previous image.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/file_util.h"
+#include "src/stores/kvstore.h"
+#include "src/stores/lsm/lsm_store.h"
+
+namespace gadget {
+namespace {
+
+StoreOptions Options(const std::string& engine, const std::string& dir) {
+  StoreOptions opts;
+  opts.engine = engine;
+  opts.dir = dir;
+  return opts;
+}
+
+// Engines that materialize a checkpoint into a fresh store directory.
+class CheckpointRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CheckpointRoundTripTest, RestoreMatchesCheckpointState) {
+  const std::string engine = GetParam();
+  ScopedTempDir dir;
+  auto store = OpenStore(Options(engine, dir.path() + "/live"));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*store)->Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*store)->Delete("k7").ok());
+
+  const std::string cp = dir.path() + "/cp";
+  auto info = (*store)->Checkpoint(cp);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_GT(info->bytes, 0u);
+  EXPECT_GT(info->files, 0u);
+
+  // Writes after the checkpoint must not leak into the restored image, and
+  // the live store must keep working.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*store)->Put("post" + std::to_string(i), "late").ok());
+  }
+  ASSERT_TRUE((*store)->Put("k3", "overwritten-later").ok());
+
+  auto restored = RestoreStore(Options(engine, dir.path() + "/restored"), cp);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  std::string got;
+  for (int i = 0; i < 500; ++i) {
+    if (i == 7) {
+      EXPECT_TRUE((*restored)->Get("k7", &got).IsNotFound());
+      continue;
+    }
+    ASSERT_TRUE((*restored)->Get("k" + std::to_string(i), &got).ok()) << i;
+    EXPECT_EQ(got, "v" + std::to_string(i)) << i;  // k3 pre-overwrite value
+  }
+  EXPECT_TRUE((*restored)->Get("post0", &got).IsNotFound());
+
+  ASSERT_TRUE((*store)->Get("k3", &got).ok());
+  EXPECT_EQ(got, "overwritten-later");
+  ASSERT_TRUE((*restored)->Close().ok());
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+TEST_P(CheckpointRoundTripTest, CheckpointIntoNonEmptyDirFails) {
+  const std::string engine = GetParam();
+  ScopedTempDir dir;
+  auto store = OpenStore(Options(engine, dir.path() + "/live"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", "v").ok());
+  const std::string cp = dir.path() + "/cp";
+  ASSERT_TRUE((*store)->Checkpoint(cp).ok());
+  auto again = (*store)->Checkpoint(cp);
+  EXPECT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsInvalidArgument()) << again.status().ToString();
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+TEST_P(CheckpointRoundTripTest, IncompleteCheckpointIsRejected) {
+  const std::string engine = GetParam();
+  ScopedTempDir dir;
+  auto store = OpenStore(Options(engine, dir.path() + "/live"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", "v").ok());
+  const std::string cp = dir.path() + "/cp";
+  ASSERT_TRUE((*store)->Checkpoint(cp).ok());
+  ASSERT_TRUE((*store)->Close().ok());
+  // Simulate a checkpoint cut short before its anchor (the last file each
+  // engine writes) became durable: RestoreStore must refuse the image.
+  const std::string anchor = engine == std::string("lsm") || engine == std::string("lethe")
+                                 ? "MANIFEST"
+                             : engine == std::string("btree") ? "btree.db"
+                             : engine == std::string("faster") ? "hybrid.log"
+                                                               : "memstore.snap";
+  ASSERT_TRUE(RemoveFile(cp + "/" + anchor).ok());
+  auto restored = RestoreStore(Options(engine, dir.path() + "/restored"), cp);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_TRUE(restored.status().IsCorruption()) << restored.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, CheckpointRoundTripTest,
+                         ::testing::Values("mem", "lsm", "lethe", "btree", "faster"),
+                         [](const auto& spec) { return std::string(spec.param); });
+
+TEST(CheckpointTest, RestoreFromMissingDirIsNotFound) {
+  ScopedTempDir dir;
+  auto restored = RestoreStore(Options("lsm", dir.path() + "/restored"), dir.path() + "/nope");
+  ASSERT_FALSE(restored.ok());
+  EXPECT_TRUE(restored.status().IsNotFound());
+}
+
+TEST(CheckpointTest, RestoreIntoNonEmptyDirFails) {
+  ScopedTempDir dir;
+  auto store = OpenStore(Options("btree", dir.path() + "/live"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", "v").ok());
+  const std::string cp = dir.path() + "/cp";
+  ASSERT_TRUE((*store)->Checkpoint(cp).ok());
+  ASSERT_TRUE((*store)->Close().ok());
+  const std::string target = dir.path() + "/restored";
+  ASSERT_TRUE(CreateDirIfMissing(target).ok());
+  ASSERT_TRUE(WriteStringToFile(target + "/stray", "x").ok());
+  auto restored = RestoreStore(Options("btree", target), cp);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_TRUE(restored.status().IsInvalidArgument());
+}
+
+// LSM-specific: with a tiny write buffer the store accumulates SSTables;
+// checkpoints hard-link them, and an incremental checkpoint links unchanged
+// tables from the previous image instead of the store directory.
+TEST(CheckpointTest, LsmIncrementalReusesUnchangedSstables) {
+  ScopedTempDir dir;
+  LsmOptions opts;
+  opts.write_buffer_size = 16 * 1024;
+  opts.l0_compaction_trigger = 100;  // keep files stable between checkpoints
+  auto store = LsmStore::Open(dir.path() + "/live", opts);
+  ASSERT_TRUE(store.ok());
+  const std::string pad(256, 'p');
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*store)->Put("k" + std::to_string(i), pad + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  const std::string cp1 = dir.path() + "/cp1";
+  auto info1 = (*store)->Checkpoint(cp1);
+  ASSERT_TRUE(info1.ok()) << info1.status().ToString();
+  EXPECT_GT(info1->hard_links, 0u);  // SSTables captured by link
+  EXPECT_EQ(info1->reused, 0u);      // no base image yet
+
+  for (int i = 500; i < 700; ++i) {
+    ASSERT_TRUE((*store)->Put("k" + std::to_string(i), pad + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  const std::string cp2 = dir.path() + "/cp2";
+  CheckpointOptions copts;
+  copts.base_dir = cp1;
+  auto info2 = (*store)->Checkpoint(cp2, copts);
+  ASSERT_TRUE(info2.ok()) << info2.status().ToString();
+  // Every SSTable from cp1 is unchanged (no compaction ran) and is linked
+  // from the previous image; only the new flush's tables come from the store.
+  EXPECT_GT(info2->reused, 0u);
+  EXPECT_GE(info2->hard_links, info2->reused);
+  ASSERT_TRUE((*store)->Close().ok());
+
+  // The incremental image is still a complete, self-contained store.
+  auto restored = RestoreStore(Options("lsm", dir.path() + "/restored"), cp2);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  std::string got;
+  for (int i = 0; i < 700; i += 13) {
+    ASSERT_TRUE((*restored)->Get("k" + std::to_string(i), &got).ok()) << i;
+    EXPECT_EQ(got, pad + std::to_string(i));
+  }
+  ASSERT_TRUE((*restored)->Close().ok());
+}
+
+// The checkpoint captures the WAL tail, so un-flushed writes survive restore
+// exactly like they survive a crash.
+TEST(CheckpointTest, LsmCheckpointCapturesWalTail) {
+  ScopedTempDir dir;
+  auto store = LsmStore::Open(dir.path() + "/live", LsmOptions());
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*store)->Put("wal" + std::to_string(i), "unflushed").ok());
+  }
+  // No Flush(): everything lives in the memtable + WAL only.
+  const std::string cp = dir.path() + "/cp";
+  auto info = (*store)->Checkpoint(cp);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  ASSERT_TRUE((*store)->Close().ok());
+
+  auto restored = RestoreStore(Options("lsm", dir.path() + "/restored"), cp);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  std::string got;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*restored)->Get("wal" + std::to_string(i), &got).ok()) << i;
+    EXPECT_EQ(got, "unflushed");
+  }
+  ASSERT_TRUE((*restored)->Close().ok());
+}
+
+// Restoring the same image twice into different targets works: the image is
+// read-only with respect to restore (hard links + copies, never moves).
+TEST(CheckpointTest, ImageSurvivesMultipleRestores) {
+  ScopedTempDir dir;
+  auto store = OpenStore(Options("lsm", dir.path() + "/live"));
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*store)->Put("k" + std::to_string(i), "v").ok());
+  }
+  const std::string cp = dir.path() + "/cp";
+  ASSERT_TRUE((*store)->Checkpoint(cp).ok());
+  ASSERT_TRUE((*store)->Close().ok());
+  for (int round = 0; round < 2; ++round) {
+    auto restored =
+        RestoreStore(Options("lsm", dir.path() + "/r" + std::to_string(round)), cp);
+    ASSERT_TRUE(restored.ok()) << round << ": " << restored.status().ToString();
+    std::string got;
+    ASSERT_TRUE((*restored)->Get("k42", &got).ok());
+    EXPECT_EQ(got, "v");
+    ASSERT_TRUE((*restored)->Close().ok());
+  }
+}
+
+}  // namespace
+}  // namespace gadget

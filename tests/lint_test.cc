@@ -185,6 +185,39 @@ TEST(VoidStatusTest, IgnoresVariableSilencing) {
   EXPECT_FALSE(HasRule(LintContent("src/a.cc", "(void)unused_variable;\n"), "void-status"));
 }
 
+// ------------------------------------------------------------- rename-sync
+
+TEST(RenameSyncTest, FlagsRenameWithoutDirectorySync) {
+  auto findings =
+      LintContent("src/a.cc", "Status Save() {\n  return RenameFile(tmp, path);\n}\n");
+  ASSERT_TRUE(HasRule(findings, "rename-sync"));
+  EXPECT_EQ(findings.front().line, 2);
+}
+
+TEST(RenameSyncTest, AcceptsRenameFollowedBySyncDir) {
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc",
+                                   "Status Save() {\n"
+                                   "  GADGET_RETURN_IF_ERROR(RenameFile(tmp, path));\n"
+                                   "  // several lines of explanation may sit\n"
+                                   "  // between the rename and the sync\n"
+                                   "  return SyncDir(dir);\n"
+                                   "}\n"),
+                       "rename-sync"));
+}
+
+TEST(RenameSyncTest, IgnoresDeclarationAndDefinition) {
+  EXPECT_FALSE(HasRule(LintContent("src/file_util.h",
+                                   "#ifndef GADGET_FILE_UTIL_H_\n#define GADGET_FILE_UTIL_H_\n"
+                                   "Status RenameFile(const std::string& f, const std::string& t);\n"
+                                   "#endif\n"),
+                       "rename-sync"));
+  EXPECT_FALSE(HasRule(LintContent("src/file_util.cc",
+                                   "Status RenameFile(const std::string& f, const std::string& t) {\n"
+                                   "  return DoRename(f, t);\n"
+                                   "}\n"),
+                       "rename-sync"));
+}
+
 // --------------------------------------------------------------- allowlist
 
 TEST(AllowlistTest, SuppressesByRuleAndPathSuffix) {

@@ -328,6 +328,128 @@ TEST(LsmCrashTest, TornActiveWalTailLosesOnlyTheTail) {
   ASSERT_TRUE((*store)->Close().ok());
 }
 
+// Crash window between manifest install and retired-WAL unlink: the
+// manifest already says the old generation is flushed, but its file is still
+// on disk (the unlink, or the directory sync making it durable, never
+// happened). Recovery's floor rule must delete the stale log instead of
+// replaying it — replaying would let its old records shadow newer flushed
+// values.
+TEST(LsmCrashTest, StaleWalLeftByCrashedUnlinkIsNotReplayed) {
+  ScopedTempDir dir;
+  const std::string live = dir.path() + "/live";
+  const std::string pre = dir.path() + "/pre";
+  const std::string snap = dir.path() + "/snapshot";
+  LsmOptions opts = TinyOptions();
+  opts.l0_compaction_trigger = 100;  // no compaction: snapshots stay stable
+  {
+    auto store = LsmStore::Open(live, opts);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 60; ++i) {
+      ASSERT_TRUE((*store)->Put("k" + std::to_string(i), "stale").ok());
+    }
+    SnapshotDir(live, pre);  // captures the WAL holding the "stale" records
+    ASSERT_TRUE((*store)->Flush().ok());
+    for (int i = 0; i < 60; ++i) {
+      ASSERT_TRUE((*store)->Put("k" + std::to_string(i), "fresh").ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());  // "fresh" now in SSTables; old WALs retired
+    SnapshotDir(live, snap);
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  // Reconstruct the crash state: the post-flush image plus the long-retired
+  // WAL file that the crash prevented from being unlinked durably.
+  std::string stale_wal;
+  uint64_t stale_number = 0;
+  for (const auto& entry : fs::directory_iterator(pre)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("wal-") && name.ends_with(".log")) {
+      stale_wal = name;
+      stale_number = std::stoull(name.substr(4));
+    }
+  }
+  ASSERT_FALSE(stale_wal.empty());
+  ASSERT_FALSE(fs::exists(fs::path(snap) / stale_wal));  // retired before the snapshot
+  fs::copy_file(fs::path(pre) / stale_wal, fs::path(snap) / stale_wal);
+
+  auto store = LsmStore::Open(snap, opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  for (int i = 0; i < 60; ++i) {
+    std::string got;
+    ASSERT_TRUE((*store)->Get("k" + std::to_string(i), &got).ok()) << i;
+    EXPECT_EQ(got, "fresh") << "stale wal-" << stale_number << " was replayed";
+  }
+  // Recovery garbage-collected the below-floor log.
+  EXPECT_FALSE(fs::exists(fs::path(snap) / stale_wal));
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+// Crash window between SSTable creation and manifest install: the new table
+// is on disk but no manifest references it. Recovery must come up cleanly
+// from the manifest it has, ignoring the orphan — losing only un-acked work.
+TEST(LsmCrashTest, OrphanSstableFromCrashedFlushIsIgnored) {
+  ScopedTempDir dir;
+  const std::string live = dir.path() + "/live";
+  const std::string snap = dir.path() + "/snapshot";
+  LsmOptions opts = TinyOptions();
+  opts.l0_compaction_trigger = 100;
+  std::map<std::string, std::string> expected;
+  {
+    auto store = LsmStore::Open(live, opts);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 200; ++i) {
+      std::string key = "k" + std::to_string(i);
+      ASSERT_TRUE((*store)->Put(key, "v" + std::to_string(i)).ok());
+      expected[key] = "v" + std::to_string(i);
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+    SnapshotDir(live, snap);
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  // An SSTable written (even garbage) but never installed in the manifest.
+  ASSERT_TRUE(WriteStringToFile(snap + "/999999.sst", "torn flush leftovers").ok());
+  auto store = LsmStore::Open(snap, opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  for (const auto& [key, value] : expected) {
+    std::string got;
+    ASSERT_TRUE((*store)->Get(key, &got).ok()) << key;
+    EXPECT_EQ(got, value);
+  }
+  ASSERT_TRUE((*store)->Close().ok());
+}
+
+// The inverse ordering violation: a manifest that references an SSTable
+// whose data never became durable. The durability contract (DESIGN.md)
+// prevents this state by syncing the table and its directory entry before
+// the manifest installs; if it ever appears, recovery must fail loudly
+// rather than open a store with silent holes.
+TEST(LsmCrashTest, ManifestReferencingMissingSstableFailsLoudly) {
+  ScopedTempDir dir;
+  const std::string live = dir.path() + "/live";
+  const std::string snap = dir.path() + "/snapshot";
+  LsmOptions opts = TinyOptions();
+  opts.l0_compaction_trigger = 100;
+  {
+    auto store = LsmStore::Open(live, opts);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*store)->Put("k" + std::to_string(i), "v").ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+    SnapshotDir(live, snap);
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  bool removed = false;
+  for (const auto& entry : fs::directory_iterator(snap)) {
+    if (entry.path().extension() == ".sst") {
+      fs::remove(entry.path());
+      removed = true;
+    }
+  }
+  ASSERT_TRUE(removed);
+  auto store = LsmStore::Open(snap, opts);
+  EXPECT_FALSE(store.ok());
+}
+
 TEST(LsmBackpressureTest, HeavyWritesDoNotWedge) {
   ScopedTempDir dir;
   LsmOptions opts = TinyOptions();

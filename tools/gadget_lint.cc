@@ -392,6 +392,37 @@ void CheckVoidStatus(std::string_view path, const std::vector<std::string_view>&
   }
 }
 
+// A RenameFile call that is not followed by a SyncDir within the next few
+// lines: the rename only becomes crash-durable once the parent directory
+// entry is synced, so an unpaired rename re-opens the manifest/WAL crash
+// window (DESIGN.md "Durability contract"). The declaration and definition
+// of RenameFile itself (`Status RenameFile(...)`) are not calls.
+void CheckRenameSync(std::string_view path, const std::vector<std::string_view>& stripped_lines,
+                     std::vector<Finding>* findings) {
+  static const std::regex kCall(R"(\bRenameFile\s*\()");
+  static const std::regex kDecl(R"(\bStatus\s+RenameFile\s*\()");
+  constexpr size_t kWindow = 8;  // lines after the call that may hold the sync
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    const std::string line(stripped_lines[i]);
+    if (!std::regex_search(line, kCall) || std::regex_search(line, kDecl)) {
+      continue;
+    }
+    bool synced = false;
+    for (size_t j = i; j < stripped_lines.size() && j <= i + kWindow; ++j) {
+      if (stripped_lines[j].find("SyncDir") != std::string_view::npos) {
+        synced = true;
+        break;
+      }
+    }
+    if (!synced) {
+      findings->push_back(
+          {std::string(path), static_cast<int>(i + 1), "rename-sync",
+           "RenameFile without a nearby SyncDir: the rename is not crash-durable until "
+           "the parent directory is synced (see DESIGN.md \"Durability contract\")"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> LintContent(std::string_view path, std::string_view content) {
@@ -407,6 +438,7 @@ std::vector<Finding> LintContent(std::string_view path, std::string_view content
   }
   CheckBannedCalls(path, stripped_lines, &findings);
   CheckVoidStatus(path, raw_lines, stripped_lines, &findings);
+  CheckRenameSync(path, stripped_lines, &findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) { return a.line < b.line; });
   return findings;

@@ -16,6 +16,10 @@
 //                       comment containing "intentionally ignored" within
 //                       the three preceding lines (pairs with [[nodiscard]]
 //                       on Status/StatusOr).
+//   rename-sync         a RenameFile call must be followed by a SyncDir
+//                       within a few lines — a rename is not crash-durable
+//                       until the parent directory entry is synced
+//                       (DESIGN.md "Durability contract").
 //
 // Output format: one finding per line, `file:line: rule-id: message`, exit
 // status 1 when anything fires. An allowlist file (`rule-id path-suffix` per

@@ -1,13 +1,18 @@
 // CI gate for gadget run reports (src/gadget/report.h).
 //
 //   report_check <report.json>                         # validate only
+//   report_check <report.json> --require_recovery      # + recovery gate
 //   report_check <baseline.json> <candidate.json> [--max_regression=0.15]
 //
 // With one file, exits 0 iff the document is a schema-valid gadget.report/1
-// or gadget.bench/1. With two, additionally compares candidate against
-// baseline: throughput may drop, and overall-latency p50/p99/p999 may rise,
-// by at most --max_regression (default 0.15). Exit codes: 0 pass, 1
-// regression or validation failure, 2 usage / unreadable / unparsable input.
+// or gadget.bench/1; --require_recovery additionally demands the "recovery"
+// object of a checkpointed run (see src/gadget/evaluator.h) with
+// mismatched_keys == 0, so CI fails if the crash/restore scenario was
+// skipped or the restored store diverged from the oracle. With two files,
+// additionally compares candidate against baseline: throughput may drop,
+// and overall-latency p50/p99/p999 may rise, by at most --max_regression
+// (default 0.15). Exit codes: 0 pass, 1 regression or validation failure,
+// 2 usage / unreadable / unparsable input.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -21,7 +26,7 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <report.json> [baseline-mode: this file is validated only]\n"
+               "usage: %s <report.json> [--require_recovery]\n"
                "       %s <baseline.json> <candidate.json> [--max_regression=0.15]\n",
                argv0, argv0);
   return 2;
@@ -48,6 +53,7 @@ bool Load(const std::string& path, gadget::JsonValue* out, std::string* error) {
 
 int main(int argc, char** argv) {
   double max_regression = 0.15;
+  bool require_recovery = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -58,6 +64,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --max_regression value: %s\n", arg.c_str());
         return 2;
       }
+    } else if (arg == "--require_recovery") {
+      require_recovery = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -82,6 +90,25 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("%s: valid %s\n", files[i].c_str(), docs[i].GetString("schema").c_str());
+    if (require_recovery) {
+      const gadget::JsonValue* recovery = docs[i].Get("recovery");
+      if (recovery == nullptr) {
+        std::fprintf(stderr, "%s: missing \"recovery\" (run with --checkpoint_every=N)\n",
+                     files[i].c_str());
+        return 1;
+      }
+      uint64_t mismatched = recovery->GetUint("mismatched_keys");
+      uint64_t verified = recovery->GetUint("verified_keys");
+      if (mismatched != 0 || verified == 0) {
+        std::fprintf(stderr, "%s: recovery verification failed (%llu of %llu keys mismatched)\n",
+                     files[i].c_str(), static_cast<unsigned long long>(mismatched),
+                     static_cast<unsigned long long>(verified));
+        return 1;
+      }
+      std::printf("%s: recovery verified (%llu keys, restore %.3f ms)\n", files[i].c_str(),
+                  static_cast<unsigned long long>(verified),
+                  recovery->GetDouble("restore_micros") / 1000.0);
+    }
   }
   if (files.size() == 1) {
     return 0;
