@@ -31,8 +31,11 @@ StatusOr<std::vector<StateAccess>> HolisticWorkload() {
 class NoMergeStore : public KVStore {
  public:
   explicit NoMergeStore(KVStore* inner) : inner_(inner) {}
+  using KVStore::Get;
   Status Put(std::string_view k, std::string_view v) override { return inner_->Put(k, v); }
-  Status Get(std::string_view k, std::string* v) override { return inner_->Get(k, v); }
+  Status Get(std::string_view k, std::string* v, const ReadOptions& options) override {
+    return inner_->Get(k, v, options);
+  }
   Status Delete(std::string_view k) override { return inner_->Delete(k); }
   Status ReadModifyWrite(std::string_view k, std::string_view op) override {
     return inner_->ReadModifyWrite(k, op);

@@ -6,7 +6,11 @@
 // When GADGET_BENCH_JSON=<path> is set, a machine-readable gadget.bench/1
 // report is additionally written there after the benchmarks run: one small
 // replay (OpsBudget() ops, so GADGET_OPS bounds it) per engine, labeled
-// "replay/<engine>". CI's bench-smoke job validates and archives this file.
+// "replay/<engine>", plus a cache-miss-heavy cold-pool read leg on the LSM
+// (buffer pool sized below the working set) comparing a serial Get loop
+// against batched MultiGet, labeled "read_cold/lsm/serial_get" and
+// "read_cold/lsm/multiget". CI's bench-smoke job validates and archives
+// this file.
 //
 // --threads=1,2,4,... additionally runs a concurrent-writer sweep against a
 // single LSM instance (ReplaySharded: one trace partitioned by key hash, so
@@ -15,9 +19,14 @@
 // the pipelined write path: group commit and the immutable-memtable queue
 // only pay off with concurrent writers.
 #include <benchmark/benchmark.h>
+#include <fcntl.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -273,6 +282,175 @@ bool RunThreadSweep(const std::vector<unsigned>& threads, std::vector<bench::Ben
   return true;
 }
 
+// Drops the OS page cache for every file under `dir` so the cold-read legs
+// measure device reads, not page-cache hits. POSIX_FADV_DONTNEED only evicts
+// clean pages — which is all the load phase leaves behind after Flush+Close.
+// Best-effort: on filesystems where it is a no-op (tmpfs) the legs simply
+// measure the syscall-batching win instead.
+void DropPageCache(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::recursive_directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) {
+      continue;
+    }
+    int fd = ::open(entry.path().c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      continue;
+    }
+    // DONTNEED skips dirty pages, and freshly built SSTables have not hit
+    // writeback yet — flush them first so the advice actually evicts.
+    (void)::fdatasync(fd);
+    (void)::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+    (void)::close(fd);
+  }
+}
+
+// Cache-miss-heavy read leg: one LSM store whose buffer pool is sized far
+// below the on-disk working set, read back twice from a cold pool — once
+// with a serial Get loop, once with batched MultiGet. MultiGet resolves all
+// missed blocks of a batch in one IoBackend wave, so it should beat the
+// serial leg and report io_in_flight_max > 1; the serial leg fetches one
+// block per miss. Appends "read_cold/lsm/serial_get" and
+// "read_cold/lsm/multiget" runs.
+bool RunColdReadLeg(std::vector<bench::BenchRun>* runs) {
+  const uint64_t keys = std::max<uint64_t>(std::min<uint64_t>(bench::OpsBudget(), 20'000), 512);
+  constexpr size_t kBatch = 64;
+  constexpr uint64_t kPoolBytes = 64 * 1024;
+  ScopedTempDir dir("bench-micro-cold");
+  const std::string db = dir.path() + "/db";
+  // Block-sized values: every key lives in its own data block, so each pool
+  // miss is a distinct block fetch rather than 14 keys amortizing one read.
+  const std::string value(4000, 'v');
+  {
+    StoreOptions opts;
+    opts.engine = "lsm";
+    opts.dir = db;
+    auto store = OpenStore(opts);
+    if (!store.ok()) {
+      std::fprintf(stderr, "open cold-read load store: %s\n", store.status().ToString().c_str());
+      return false;
+    }
+    for (uint64_t i = 0; i < keys; ++i) {
+      Status s = (*store)->Put(KeyOf(i), value);
+      if (!s.ok()) {
+        std::fprintf(stderr, "cold-read preload: %s\n", s.ToString().c_str());
+        return false;
+      }
+    }
+    if (Status s = (*store)->Flush(); !s.ok()) {
+      std::fprintf(stderr, "cold-read flush: %s\n", s.ToString().c_str());
+      return false;
+    }
+    if (Status s = (*store)->Close(); !s.ok()) {
+      std::fprintf(stderr, "cold-read close: %s\n", s.ToString().c_str());
+      return false;
+    }
+  }
+  // Each leg reopens the store so both start from a cold pool.
+  auto open_cold = [&db]() {
+    StoreOptions opts;
+    opts.engine = "lsm";
+    opts.dir = db;
+    opts.buffer_pool.capacity_bytes = kPoolBytes;
+    opts.buffer_pool.shards = 2;
+    return OpenStore(opts);
+  };
+  auto finish_run = [&](const char* label, KVStore* store, uint64_t ops,
+                        double seconds) {
+    bench::BenchRun run;
+    run.label = label;
+    run.engine = "lsm";
+    run.result.ops = ops;
+    run.result.elapsed_seconds = seconds;
+    run.result.throughput_ops_per_sec = seconds > 0 ? static_cast<double>(ops) / seconds : 0;
+    run.stats = store->stats();
+    runs->push_back(run);
+    return run;
+  };
+
+  double serial_kops = 0;
+  {
+    DropPageCache(db);
+    auto store = open_cold();
+    if (!store.ok()) {
+      std::fprintf(stderr, "open cold serial: %s\n", store.status().ToString().c_str());
+      return false;
+    }
+    std::string out;
+    uint64_t not_found = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < keys; ++i) {
+      Status s = (*store)->Get(KeyOf(i * 7919 % keys), &out);
+      if (s.IsNotFound()) {
+        ++not_found;
+      } else if (!s.ok()) {
+        std::fprintf(stderr, "cold serial get: %s\n", s.ToString().c_str());
+        return false;
+      }
+    }
+    double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    if (not_found != 0) {
+      std::fprintf(stderr, "cold serial get: %llu unexpected misses\n",
+                   static_cast<unsigned long long>(not_found));
+      return false;
+    }
+    bench::BenchRun run = finish_run("read_cold/lsm/serial_get", store->get(), keys, secs);
+    serial_kops = run.result.throughput_ops_per_sec / 1e3;
+    (void)(*store)->Close();
+  }
+
+  DropPageCache(db);
+  auto store = open_cold();
+  if (!store.ok()) {
+    std::fprintf(stderr, "open cold multiget: %s\n", store.status().ToString().c_str());
+    return false;
+  }
+  std::vector<std::string> batch;
+  batch.reserve(kBatch);
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < keys;) {
+    batch.clear();
+    for (size_t j = 0; j < kBatch && i < keys; ++j, ++i) {
+      batch.push_back(KeyOf(i * 7919 % keys));
+    }
+    Status s = (*store)->MultiGet(batch, &values, &statuses);
+    if (!s.ok()) {
+      std::fprintf(stderr, "cold multiget: %s\n", s.ToString().c_str());
+      return false;
+    }
+    for (const Status& st : statuses) {
+      if (!st.ok()) {
+        std::fprintf(stderr, "cold multiget key: %s\n", st.ToString().c_str());
+        return false;
+      }
+    }
+  }
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  bench::BenchRun mg = finish_run("read_cold/lsm/multiget", store->get(), keys, secs);
+  (void)(*store)->Close();
+
+  bench::PrintHeader("Cold-pool read path (pool " + std::to_string(kPoolBytes / 1024) +
+                     " KiB, " + std::to_string(keys) + " keys)");
+  std::printf("%24s %12s %12s %14s %12s\n", "leg", "kops/s", "io_batches", "io_inflight_max",
+              "cache_miss");
+  std::printf("%24s %12.1f %12s %14s %12s\n", "serial Get", serial_kops, "-", "-", "-");
+  std::printf("%24s %12.1f %12llu %14llu %12llu\n", "MultiGet x64",
+              mg.result.throughput_ops_per_sec / 1e3,
+              static_cast<unsigned long long>(mg.stats.io_batches),
+              static_cast<unsigned long long>(mg.stats.io_in_flight_max),
+              static_cast<unsigned long long>(mg.stats.cache_misses));
+  if (serial_kops > 0) {
+    std::printf("%24s %12.2fx\n", "multiget speedup", mg.result.throughput_ops_per_sec / 1e3 / serial_kops);
+  }
+  bench::PrintShapeNote(
+      "batched MultiGet should clearly beat the serial Get loop on a cold "
+      "pool: every batch's block misses are issued as one IoBackend wave "
+      "(io_in_flight_max > 1) instead of one blocking read per miss");
+  return true;
+}
+
 // Replays the synthetic trace on every engine and writes the gadget.bench/1
 // document to `path`, appending any `extra` runs (the thread sweep). Returns
 // false on the first failure.
@@ -332,6 +510,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (const char* json = std::getenv("GADGET_BENCH_JSON"); json != nullptr && json[0] != '\0') {
+    if (!gadget::RunColdReadLeg(&sweep_runs)) {
+      return 1;
+    }
     if (!gadget::EmitMicroJson(json, std::move(sweep_runs))) {
       return 1;
     }

@@ -54,7 +54,7 @@ int main() {
               workload->trace.size());
   for (const char* engine : {"lsm", "lethe", "btree", "faster"}) {
     ScopedTempDir dir;
-    auto store = OpenStore(engine, dir.path() + "/db");
+    auto store = OpenStore({.engine = engine, .dir = dir.path() + "/db"});
     if (!store.ok()) {
       return 1;
     }

@@ -45,7 +45,7 @@ int main() {
               trace_path.c_str());
 
   for (double rate : {0.0, 50'000.0}) {
-    auto store = OpenStore("lethe", dir.path() + "/db-" + std::to_string(rate));
+    auto store = OpenStore({.engine = "lethe", .dir = dir.path() + "/db-" + std::to_string(rate)});
     if (!store.ok()) {
       return 1;
     }

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
 
   // 3. Replay against the chosen store and report performance (§5.5).
   ScopedTempDir dir;
-  auto store = OpenStore(engine, dir.path() + "/db");
+  auto store = OpenStore({.engine = engine, .dir = dir.path() + "/db"});
   if (!store.ok()) {
     std::fprintf(stderr, "store: %s\n", store.status().ToString().c_str());
     return 1;

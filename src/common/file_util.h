@@ -57,6 +57,9 @@ class RandomAccessFile {
 
   uint64_t size() const { return size_; }
   const std::string& path() const { return path_; }
+  // Raw descriptor for batched reads through IoBackend (the descriptor stays
+  // owned by this object; callers must not close it).
+  int fd() const { return fd_; }
 
  private:
   RandomAccessFile(std::string path, int fd, uint64_t size)

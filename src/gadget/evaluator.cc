@@ -252,7 +252,7 @@ StatusOr<ReplayResult> ReplayBatched(const std::vector<StateAccess>& trace, KVSt
     if (sampled) {
       t0 = Clock::now();
     }
-    Status s = store->MultiGet(get_keys, &get_values, &get_statuses);
+    Status s = store->MultiGet(get_keys, &get_values, &get_statuses, options.read_options);
     if (!s.ok()) {
       return s;  // per-key NotFound stays in statuses; this is a real error
     }
@@ -476,7 +476,7 @@ StatusOr<ReplayResult> ReplayTrace(const std::vector<StateAccess>& trace, KVStor
     switch (a.op) {
       case OpType::kGet:
         is_read = true;
-        s = store->Get(key, &read_buf);
+        s = store->Get(key, &read_buf, options.read_options);
         if (s.IsNotFound()) {
           ++result.not_found;
           s = Status::Ok();

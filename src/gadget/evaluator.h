@@ -64,6 +64,9 @@ struct ReplayOptions {
   // with immutable file sets (LSM/Lethe) link unchanged files instead of
   // re-capturing them.
   bool checkpoint_incremental = true;
+  // Passed through to every Get/MultiGet the replay issues (fill_cache,
+  // verify_checksums, readahead_blocks — see src/stores/read_options.h).
+  ReadOptions read_options;
 };
 
 // One interval of a replay's timeline (ReplayOptions::timeline_interval_ops).

@@ -90,11 +90,35 @@ StoreOptions StoreOptionsFrom(const Config& config, std::string dir) {
   StoreOptions opts;
   opts.engine = config.GetString("store", "lsm");
   opts.dir = std::move(dir);
-  opts.cache_bytes = config.GetUint("store_cache_bytes", 0);
+  // Shared buffer pool sizing (LSM/Lethe blocks + btree pages).
+  // store_cache_bytes is the pre-pool key, kept as an alias so existing
+  // configs keep sizing the read cache; 0 keeps the BufferPoolOptions default.
+  uint64_t pool_bytes = config.GetUint("buffer_pool_bytes", 0);
+  if (pool_bytes == 0) {
+    pool_bytes = config.GetUint("store_cache_bytes", 0);
+  }
+  if (pool_bytes != 0) {
+    opts.buffer_pool.capacity_bytes = pool_bytes;
+  }
+  opts.buffer_pool.shards =
+      static_cast<uint32_t>(config.GetUint("buffer_pool_shards", opts.buffer_pool.shards));
+  if (config.GetString("buffer_pool_eviction", "clock") == "2q") {
+    opts.buffer_pool.eviction = BufferPoolOptions::Eviction::kTwoQueue;
+  }
+  opts.buffer_pool.use_io_uring = config.GetBool("use_io_uring", true);
+  opts.log_memory_bytes = config.GetUint("store_log_memory_bytes", 0);
   opts.mem_stripes = config.GetUint("store_stripes", 0);
   opts.sync_writes = config.GetBool("sync_writes");
   opts.batch_size = std::max<uint64_t>(config.GetUint("batch_size", 1), 1);
   return opts;
+}
+
+ReadOptions ReadOptionsFrom(const Config& config) {
+  ReadOptions ropts;
+  ropts.fill_cache = config.GetBool("fill_cache", true);
+  ropts.verify_checksums = config.GetBool("verify_checksums", true);
+  ropts.readahead_blocks = static_cast<uint32_t>(config.GetUint("readahead_blocks", 0));
+  return ropts;
 }
 
 // Writes the gadget.report/1 document when the config asks for one
@@ -139,6 +163,9 @@ StatusOr<RecoveryResult> RunRecovery(const std::vector<StateAccess>& trace,
 
   StoreOptions restore_opts = sopts;
   restore_opts.dir = ropts.checkpoint_dir + "/restore";
+  // A crash leaves no warm cache behind: restore with a cold private pool
+  // rather than whatever the crashed replay had resident.
+  restore_opts.shared_pool = nullptr;
   auto t0 = Clock::now();
   auto restored = RestoreStore(restore_opts, last.dir);
   if (!restored.ok()) {
@@ -225,6 +252,7 @@ Status Evaluate(const std::vector<StateAccess>& trace, const Config& config,
   ropts.timeline_interval_ops = config.GetUint("timeline_interval", 0);
   ropts.checkpoint_every_ops = config.GetUint("checkpoint_every", 0);
   ropts.checkpoint_incremental = config.GetBool("checkpoint_incremental", true);
+  ropts.read_options = ReadOptionsFrom(config);
   if (ropts.checkpoint_every_ops > 0) {
     ropts.checkpoint_dir = config.GetString("checkpoint_dir");
     if (ropts.checkpoint_dir.empty()) {
@@ -318,6 +346,7 @@ Status RunYcsb(const Config& config, std::ostream& out) {
   ropts.max_ops = config.GetUint("max_ops", 0);
   ropts.batch_size = sopts.batch_size;
   ropts.timeline_interval_ops = config.GetUint("timeline_interval", 0);
+  ropts.read_options = ReadOptionsFrom(config);
   auto result = ReplayTrace(workload->run, store->get(), ropts);
   if (!result.ok()) {
     return result.status();

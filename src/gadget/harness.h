@@ -22,8 +22,19 @@
 //   join_lower_ms / join_upper_ms / allowed_lateness_ms           (paper defaults)
 //   store            mem | lsm | lethe | faster | btree           (lsm)
 //   store_dir        storage directory (temp dir if empty)
-//   store_cache_bytes block/page cache or log window bytes, 0 =
-//                    engine default                               (0)
+//   buffer_pool_bytes shared buffer pool capacity (LSM/Lethe blocks
+//                    + btree pages), 0 = pool default              (0)
+//   store_cache_bytes legacy alias for buffer_pool_bytes           (0)
+//   buffer_pool_shards pool shard count                            (8)
+//   buffer_pool_eviction clock | 2q                                (clock)
+//   use_io_uring     probe io_uring for batched block reads,
+//                    thread-pool pread fallback either way         (true)
+//   store_log_memory_bytes FASTER in-memory log window, 0 =
+//                    engine default                                (0)
+//   fill_cache       admit replay read misses to the pool (the
+//                    CLI's --fill_cache=true|false)                (true)
+//   verify_checksums CRC-check every fetched block                 (true)
+//   readahead_blocks extra blocks fetched per cache-missing Get    (0)
 //   store_stripes    MemStore lock-stripe count, 0 = default      (0)
 //   sync_writes      fsync the WAL/log on every commit (group
 //                    commit makes this per-batch with batching)   (false)

@@ -37,11 +37,32 @@ void ForEachStatField(const StoreStats& s, Fn fn) {
   fn("slowdown_micros", s.slowdown_micros);
   fn("compaction_micros", s.compaction_micros);
   fn("cache_evictions", s.cache_evictions);
+  fn("cache_pins", s.cache_pins);
+  fn("io_batches", s.io_batches);
+  fn("io_in_flight_max", s.io_in_flight_max);
   fn("wal_group_commits", s.wal_group_commits);
   fn("wal_group_size_max", s.wal_group_size_max);
 }
 
 Status Invalid(const std::string& what) { return Status::InvalidArgument(what); }
+
+// Checks a serialized StoreStats object carries every field ForEachStatField
+// emits (numeric, by name) — a report from a stale binary fails here instead
+// of silently passing downstream dashboards zeros.
+Status ValidateStats(const JsonValue& stats, const std::string& where) {
+  if (!stats.is_object()) {
+    return Status::InvalidArgument(where + " is not an object");
+  }
+  Status s;
+  ForEachStatField(StoreStats(), [&](const char* name, uint64_t) {
+    const JsonValue* v = stats.Get(name);
+    if (s.ok() && (v == nullptr || !v->is_number())) {
+      s = Status::InvalidArgument(where + ": missing or non-numeric \"" + std::string(name) +
+                                  "\"");
+    }
+  });
+  return s;
+}
 
 // --- validation helpers -----------------------------------------------------
 
@@ -101,6 +122,7 @@ Status ValidateResult(const JsonValue& result, const std::string& where) {
       if (delta == nullptr || !delta->is_object()) {
         return Invalid(sw + ": missing \"stats_delta\"");
       }
+      GADGET_RETURN_IF_ERROR(ValidateStats(*delta, sw + ".stats_delta"));
     }
   }
   // "checkpoints" is optional (absent unless the run checkpointed), but when
@@ -152,6 +174,7 @@ Status ValidateSingleReport(const JsonValue& doc) {
   if (stats == nullptr || !stats->is_object()) {
     return Invalid("report: missing \"stats\"");
   }
+  GADGET_RETURN_IF_ERROR(ValidateStats(*stats, "report.stats"));
   // Optional: only checkpointed runs carry a crash/restore outcome.
   if (const JsonValue* recovery = doc.Get("recovery"); recovery != nullptr) {
     GADGET_RETURN_IF_ERROR(ValidateRecovery(*recovery, "report.recovery"));

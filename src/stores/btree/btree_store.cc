@@ -196,9 +196,12 @@ StatusOr<BTreeStore::Node> BTreeStore::DeserializeNode(std::string_view data) co
 
 // -------------------------------------------------------------------- admin
 
-BTreeStore::BTreeStore(std::string dir, const BTreeOptions& opts)
-    : dir_(std::move(dir)), opts_(opts) {
-  max_cached_pages_ = static_cast<size_t>(opts_.cache_bytes / opts_.page_size) + 8;
+BTreeStore::BTreeStore(std::string dir, const BTreeOptions& opts,
+                       std::shared_ptr<BufferPool> pool)
+    : dir_(std::move(dir)),
+      opts_(opts),
+      pool_(pool != nullptr ? std::move(pool) : std::make_shared<BufferPool>()) {
+  pool_file_id_ = pool_->NewFileId();
 }
 
 // status intentionally ignored: destructors cannot propagate errors; callers
@@ -206,9 +209,10 @@ BTreeStore::BTreeStore(std::string dir, const BTreeOptions& opts)
 BTreeStore::~BTreeStore() { (void)Close(); }
 
 StatusOr<std::unique_ptr<KVStore>> BTreeStore::Open(const std::string& dir,
-                                                    const BTreeOptions& opts) {
+                                                    const BTreeOptions& opts,
+                                                    std::shared_ptr<BufferPool> pool) {
   GADGET_RETURN_IF_ERROR(CreateDirIfMissing(dir));
-  std::unique_ptr<BTreeStore> store(new BTreeStore(dir, opts));
+  std::unique_ptr<BTreeStore> store(new BTreeStore(dir, opts, std::move(pool)));
   GADGET_RETURN_IF_ERROR(store->Recover());
   return std::unique_ptr<KVStore>(std::move(store));
 }
@@ -283,43 +287,51 @@ StatusOr<std::shared_ptr<BTreeStore::Node>> BTreeStore::ReadNode(uint32_t page_i
   return std::make_shared<Node>(std::move(*node));
 }
 
-StatusOr<std::shared_ptr<BTreeStore::Node>> BTreeStore::FetchNode(uint32_t page_id) {
-  auto it = cache_.find(page_id);
-  if (it != cache_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
-    ++stats_.cache_hits;
-    return it->second->node;
+StatusOr<std::shared_ptr<BTreeStore::Node>> BTreeStore::FetchNode(uint32_t page_id,
+                                                                  bool fill_cache) {
+  // Dirty table first: a dirty node is the page's only truth — the pool may
+  // have evicted its frame, and the on-disk bytes are stale.
+  auto dit = dirty_.find(page_id);
+  if (dit != dirty_.end()) {
+    return dit->second;
   }
-  ++stats_.cache_misses;
+  if (PinnedBlock cached = pool_->Lookup(pool_file_id_, page_id);
+      cached && cached.object() != nullptr) {
+    return std::static_pointer_cast<Node>(cached.object());
+  }
   auto node = ReadNode(page_id);
   if (!node.ok()) {
     return node.status();
   }
-  lru_.push_front(CacheEntry{page_id, *node});
-  cache_[page_id] = lru_.begin();
+  if (fill_cache) {
+    pool_->Insert(pool_file_id_, page_id, nullptr, *node, opts_.page_size);
+  }
   return *node;
 }
 
-void BTreeStore::MarkDirty(uint32_t page_id) {
-  auto it = cache_.find(page_id);
-  if (it != cache_.end()) {
-    it->second->node->dirty = true;
-  }
+void BTreeStore::MarkDirty(uint32_t page_id, const std::shared_ptr<Node>& node) {
+  dirty_[page_id] = node;
 }
 
-Status BTreeStore::EvictIfNeeded() {
-  while (cache_.size() > max_cached_pages_ && !lru_.empty()) {
-    CacheEntry victim = lru_.back();
-    lru_.pop_back();
-    cache_.erase(victim.page_id);
-    ++stats_.cache_evictions;
-    if (victim.node->dirty) {
-      GADGET_RETURN_IF_ERROR(WriteNode(victim.page_id, *victim.node));
-      victim.node->dirty = false;
-      ++stats_.flushes;
-    }
+void BTreeStore::InstallNode(uint32_t page_id, std::shared_ptr<Node> node) {
+  pool_->Insert(pool_file_id_, page_id, nullptr, node, opts_.page_size);
+  dirty_[page_id] = std::move(node);
+}
+
+Status BTreeStore::WriteBackDirtyLocked() {
+  for (auto& [page_id, node] : dirty_) {
+    GADGET_RETURN_IF_ERROR(WriteNode(page_id, *node));
+    ++stats_.flushes;
   }
+  dirty_.clear();
   return Status::Ok();
+}
+
+Status BTreeStore::MaybeWriteBackLocked() {
+  if (dirty_.size() < kMaxDirtyPages) {
+    return Status::Ok();
+  }
+  return WriteBackDirtyLocked();
 }
 
 uint32_t BTreeStore::AllocPage() {
@@ -337,11 +349,8 @@ uint32_t BTreeStore::AllocPage() {
 
 void BTreeStore::FreePage(uint32_t page_id) {
   // Thread onto the free list; drop any cached copy.
-  auto it = cache_.find(page_id);
-  if (it != cache_.end()) {
-    lru_.erase(it->second);
-    cache_.erase(it);
-  }
+  dirty_.erase(page_id);
+  pool_->Erase(pool_file_id_, page_id);
   std::string raw;
   PutFixed32(&raw, free_head_);
   raw.resize(opts_.page_size, '\0');
@@ -449,13 +458,13 @@ StatusOr<uint32_t> BTreeStore::DescendToLeaf(std::string_view key,
   }
 }
 
-Status BTreeStore::GetLocked(std::string_view key, std::string* value) {
+Status BTreeStore::GetLocked(std::string_view key, std::string* value, bool fill_cache) {
   std::vector<PathEntry> path;
   auto leaf_id = DescendToLeaf(key, &path);
   if (!leaf_id.ok()) {
     return leaf_id.status();
   }
-  auto leaf = FetchNode(*leaf_id);
+  auto leaf = FetchNode(*leaf_id, fill_cache);
   if (!leaf.ok()) {
     return leaf.status();
   }
@@ -494,7 +503,7 @@ Status BTreeStore::PutLocked(std::string_view key, std::string_view value) {
     node.keys.insert(node.keys.begin() + static_cast<long>(idx), std::string(key));
     node.values.insert(node.values.begin() + static_cast<long>(idx), std::move(*new_ref));
   }
-  MarkDirty(*leaf_id);
+  MarkDirty(*leaf_id, *leaf);
   if (node.SerializedSize() > opts_.page_size) {
     return SplitAndInsert(*leaf_id, std::move(path));
   }
@@ -515,7 +524,6 @@ Status BTreeStore::SplitAndInsert(uint32_t page_id, std::vector<PathEntry> path)
     // midpoint.
     auto right = std::make_shared<Node>();
     right->leaf = node.leaf;
-    right->dirty = true;
 
     size_t total = node.SerializedSize();
     size_t acc = 0;
@@ -541,9 +549,8 @@ Status BTreeStore::SplitAndInsert(uint32_t page_id, std::vector<PathEntry> path)
       uint32_t right_id = AllocPage();
       right->next_leaf = node.next_leaf;
       node.next_leaf = right_id;
-      node.dirty = true;
-      lru_.push_front(CacheEntry{right_id, right});
-      cache_[right_id] = lru_.begin();
+      MarkDirty(page_id, *node_or);
+      InstallNode(right_id, right);
 
       std::string separator = right->keys.front();
       // Insert the separator into the parent (or grow a new root).
@@ -552,10 +559,8 @@ Status BTreeStore::SplitAndInsert(uint32_t page_id, std::vector<PathEntry> path)
         new_root->leaf = false;
         new_root->keys.push_back(separator);
         new_root->children = {page_id, right_id};
-        new_root->dirty = true;
         uint32_t new_root_id = AllocPage();
-        lru_.push_front(CacheEntry{new_root_id, new_root});
-        cache_[new_root_id] = lru_.begin();
+        InstallNode(new_root_id, new_root);
         root_ = new_root_id;
         ++height_;
         GADGET_RETURN_IF_ERROR(PersistMeta());
@@ -571,7 +576,7 @@ Status BTreeStore::SplitAndInsert(uint32_t page_id, std::vector<PathEntry> path)
       pn.keys.insert(pn.keys.begin() + static_cast<long>(parent.child_index), separator);
       pn.children.insert(pn.children.begin() + static_cast<long>(parent.child_index) + 1,
                          right_id);
-      pn.dirty = true;
+      MarkDirty(parent.page_id, *parent_node);
       page_id = parent.page_id;  // continue loop: parent may now overflow
       continue;
     }
@@ -593,20 +598,17 @@ Status BTreeStore::SplitAndInsert(uint32_t page_id, std::vector<PathEntry> path)
                            node.children.end());
     node.keys.resize(split_idx);
     node.children.resize(split_idx + 1);
-    node.dirty = true;
     uint32_t right_id = AllocPage();
-    lru_.push_front(CacheEntry{right_id, right});
-    cache_[right_id] = lru_.begin();
+    MarkDirty(page_id, *node_or);
+    InstallNode(right_id, right);
 
     if (path.empty()) {
       auto new_root = std::make_shared<Node>();
       new_root->leaf = false;
       new_root->keys.push_back(promoted);
       new_root->children = {page_id, right_id};
-      new_root->dirty = true;
       uint32_t new_root_id = AllocPage();
-      lru_.push_front(CacheEntry{new_root_id, new_root});
-      cache_[new_root_id] = lru_.begin();
+      InstallNode(new_root_id, new_root);
       root_ = new_root_id;
       ++height_;
       GADGET_RETURN_IF_ERROR(PersistMeta());
@@ -622,7 +624,7 @@ Status BTreeStore::SplitAndInsert(uint32_t page_id, std::vector<PathEntry> path)
     pn.keys.insert(pn.keys.begin() + static_cast<long>(parent.child_index), promoted);
     pn.children.insert(pn.children.begin() + static_cast<long>(parent.child_index) + 1,
                        right_id);
-    pn.dirty = true;
+    MarkDirty(parent.page_id, *parent_node);
     page_id = parent.page_id;
   }
 }
@@ -647,7 +649,7 @@ Status BTreeStore::DeleteLocked(std::string_view key) {
   ReleaseValue(node.values[idx]);
   node.keys.erase(it);
   node.values.erase(node.values.begin() + static_cast<long>(idx));
-  MarkDirty(*leaf_id);
+  MarkDirty(*leaf_id, *leaf);
   // No rebalancing: empty non-root leaves stay linked but hold no entries;
   // their pages are reused only after the parent range empties out. This is
   // the lazy-reclamation model (see header).
@@ -674,20 +676,19 @@ Status BTreeStore::Put(std::string_view key, std::string_view value) {
   ++stats_.puts;
   stats_.bytes_written += key.size() + value.size();
   GADGET_RETURN_IF_ERROR(PutLocked(key, value));
-  return EvictIfNeeded();
+  return MaybeWriteBackLocked();
 }
 
-Status BTreeStore::Get(std::string_view key, std::string* value) {
+Status BTreeStore::Get(std::string_view key, std::string* value, const ReadOptions& options) {
   MutexLock lock(&mu_);
   if (closed_) {
     return Status::Internal("store is closed");
   }
   ++stats_.gets;
-  Status s = GetLocked(key, value);
+  Status s = GetLocked(key, value, options.fill_cache);
   if (s.ok()) {
     stats_.bytes_read += value->size();
   }
-  GADGET_RETURN_IF_ERROR(EvictIfNeeded());
   return s;
 }
 
@@ -700,7 +701,7 @@ Status BTreeStore::Delete(std::string_view key) {
   // Accounting contract (kvstore.h): a delete accepts its key bytes.
   stats_.bytes_written += key.size();
   GADGET_RETURN_IF_ERROR(DeleteLocked(key));
-  return EvictIfNeeded();
+  return MaybeWriteBackLocked();
 }
 
 Status BTreeStore::ReadModifyWrite(std::string_view key, std::string_view operand) {
@@ -711,7 +712,7 @@ Status BTreeStore::ReadModifyWrite(std::string_view key, std::string_view operan
   ++stats_.rmws;
   stats_.bytes_written += key.size() + operand.size();
   GADGET_RETURN_IF_ERROR(RmwLocked(key, operand));
-  return EvictIfNeeded();
+  return MaybeWriteBackLocked();
 }
 
 Status BTreeStore::Write(const WriteBatch& batch) {
@@ -744,11 +745,12 @@ Status BTreeStore::Write(const WriteBatch& batch) {
     GADGET_RETURN_IF_ERROR(s);
   }
   NoteBatch(batch.size());
-  return EvictIfNeeded();
+  return MaybeWriteBackLocked();
 }
 
 Status BTreeStore::MultiGet(const std::vector<std::string>& keys,
-                            std::vector<std::string>* values, std::vector<Status>* statuses) {
+                            std::vector<std::string>* values, std::vector<Status>* statuses,
+                            const ReadOptions& options) {
   values->resize(keys.size());
   statuses->assign(keys.size(), Status::Ok());
   MutexLock lock(&mu_);
@@ -758,7 +760,7 @@ Status BTreeStore::MultiGet(const std::vector<std::string>& keys,
   Status first_error;
   for (size_t i = 0; i < keys.size(); ++i) {
     ++stats_.gets;
-    Status s = GetLocked(keys[i], &(*values)[i]);
+    Status s = GetLocked(keys[i], &(*values)[i], options.fill_cache);
     if (s.ok()) {
       stats_.bytes_read += (*values)[i].size();
     } else if (!s.IsNotFound() && first_error.ok()) {
@@ -767,17 +769,11 @@ Status BTreeStore::MultiGet(const std::vector<std::string>& keys,
     (*statuses)[i] = std::move(s);
   }
   NoteBatch(keys.size());
-  GADGET_RETURN_IF_ERROR(EvictIfNeeded());
   return first_error;
 }
 
 Status BTreeStore::FlushLocked() {
-  for (auto& entry : lru_) {
-    if (entry.node->dirty) {
-      GADGET_RETURN_IF_ERROR(WriteNode(entry.page_id, *entry.node));
-      entry.node->dirty = false;
-    }
-  }
+  GADGET_RETURN_IF_ERROR(WriteBackDirtyLocked());
   GADGET_RETURN_IF_ERROR(PersistMeta());
   if (::fdatasync(fd_) != 0) {
     return Status::IoError("fdatasync btree");
@@ -831,6 +827,9 @@ Status BTreeStore::Close() {
   Status s = Flush();
   MutexLock lock(&mu_);
   closed_ = true;
+  // Drop this store's pages from the shared pool so a long-lived pool does
+  // not pin budget for a closed store.
+  pool_->EraseFile(pool_file_id_);
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -842,6 +841,13 @@ StoreStats BTreeStore::stats() const {
   MutexLock lock(&mu_);
   StoreStats out = stats_;
   FoldBatchStats(&out);
+  // Pool-wide totals (the pool may be shared across stores; see kvstore.h).
+  out.cache_hits = pool_->hits();
+  out.cache_misses = pool_->misses();
+  out.cache_evictions = pool_->evictions();
+  out.cache_pins = pool_->pins();
+  out.io_batches = pool_->io().batches();
+  out.io_in_flight_max = pool_->io().in_flight_max();
   return out;
 }
 
@@ -916,7 +922,6 @@ Status BTreeStore::CheckInvariants() {
       }
     }
   }
-  GADGET_RETURN_IF_ERROR(EvictIfNeeded());
   return Status::Ok();
 }
 

@@ -1,20 +1,24 @@
 // Persistent B+tree key-value store (the project's BerkeleyDB stand-in).
 //
-// Fixed-size pages in a single file, an LRU write-back page cache, in-place
-// value updates when the new value fits, leaf splits on overflow, and
+// Fixed-size pages in a single file, parsed nodes cached in the SHARED
+// BufferPool (as decoded objects, charged one page each), in-place value
+// updates when the new value fits, leaf splits on overflow, and
 // overflow-page chains for values larger than a quarter page (holistic
 // window buckets grow far beyond a page). Deletes remove entries without
 // rebalancing (pages return to a free list when empty), which matches
 // BerkeleyDB's lazy reclamation behaviour closely enough for benchmarking.
 //
-// Durability model: dirty pages are flushed on eviction, Flush() and Close().
+// Durability model: dirty nodes are held in a side table (unevictable — the
+// pool may drop its frame, the node object survives) and written back when
+// the table grows past a threshold, on Flush() and on Close(). FetchNode
+// consults the dirty table before the pool, so an evicted-then-refetched
+// dirty page can never resurrect its stale on-disk bytes.
 // Crash-consistency (journaling) is out of scope — the paper benchmarks the
 // storage engine data path, not transactional recovery (DESIGN.md §2).
 #ifndef GADGET_STORES_BTREE_BTREE_STORE_H_
 #define GADGET_STORES_BTREE_BTREE_STORE_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -22,34 +26,43 @@
 
 #include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
+#include "src/stores/bufferpool/buffer_pool.h"
 #include "src/stores/kvstore.h"
 
 namespace gadget {
 
 struct BTreeOptions {
   uint32_t page_size = 4096;
-  // Page cache capacity (paper: 256MB; scaled: 32MB).
-  uint64_t cache_bytes = 32ull << 20;
+  // Page residency is bounded by the BufferPool passed to Open (sized by
+  // StoreOptions::buffer_pool), not per-store.
   bool sync_writes = false;
 };
 
 class BTreeStore : public KVStore {
  public:
+  // `pool` bounds page residency; nullptr makes the store create a private
+  // default-sized pool (standalone tests/tools).
   static StatusOr<std::unique_ptr<KVStore>> Open(const std::string& dir,
-                                                 const BTreeOptions& opts);
+                                                 const BTreeOptions& opts,
+                                                 std::shared_ptr<BufferPool> pool = nullptr);
   ~BTreeStore() override;
 
+  using KVStore::Get;
+  using KVStore::MultiGet;
+
   Status Put(std::string_view key, std::string_view value) override;
-  Status Get(std::string_view key, std::string* value) override;
+  // Honors options.fill_cache (a miss read with fill_cache=false is not
+  // admitted to the pool); readahead/checksums do not apply to the page file.
+  Status Get(std::string_view key, std::string* value, const ReadOptions& options) override;
   Status Delete(std::string_view key) override;
   Status ReadModifyWrite(std::string_view key, std::string_view operand) override;
 
-  // Batched paths: one mu_ acquisition and one cache-eviction sweep per
-  // batch instead of one per operation (page granularity — consecutive
-  // entries hitting the same leaf reuse the cached page without re-locking).
+  // Batched paths: one mu_ acquisition and one write-back sweep per batch
+  // instead of one per operation (page granularity — consecutive entries
+  // hitting the same leaf reuse the cached page without re-locking).
   Status Write(const WriteBatch& batch) override;
   Status MultiGet(const std::vector<std::string>& keys, std::vector<std::string>* values,
-                  std::vector<Status>* statuses) override;
+                  std::vector<Status>* statuses, const ReadOptions& options) override;
 
   Status Flush() override;
   Status Close() override;
@@ -81,29 +94,40 @@ class BTreeStore : public KVStore {
     std::vector<ValueRef> values;     // leaf: parallel to keys
     std::vector<uint32_t> children;   // internal: keys.size() + 1 entries
     uint32_t next_leaf = 0;
-    bool dirty = false;
     size_t SerializedSize() const;
   };
 
-  BTreeStore(std::string dir, const BTreeOptions& opts);
+  BTreeStore(std::string dir, const BTreeOptions& opts, std::shared_ptr<BufferPool> pool);
 
   Status Recover();
 
   // --- page cache (mu_ held) ---
-  StatusOr<std::shared_ptr<Node>> FetchNode(uint32_t page_id) REQUIRES(mu_);
-  void MarkDirty(uint32_t page_id) REQUIRES(mu_);
-  Status EvictIfNeeded() REQUIRES(mu_);
+  // Dirty table first (pool eviction must never resurrect stale disk bytes),
+  // then the pool, then disk. `fill_cache` = false skips pool admission on a
+  // miss.
+  StatusOr<std::shared_ptr<Node>> FetchNode(uint32_t page_id, bool fill_cache = true)
+      REQUIRES(mu_);
+  // Registers a mutated node in the dirty table (idempotent).
+  void MarkDirty(uint32_t page_id, const std::shared_ptr<Node>& node) REQUIRES(mu_);
+  // Admits a freshly created page to pool + dirty table (splits, new roots).
+  void InstallNode(uint32_t page_id, std::shared_ptr<Node> node) REQUIRES(mu_);
+  // Writes every dirty node to the page file and clears the table (no sync).
+  Status WriteBackDirtyLocked() REQUIRES(mu_);
+  // Bounds the dirty table: full write-back once it passes kMaxDirtyPages
+  // (the pool bounds CLEAN residency; dirty nodes live outside its budget).
+  Status MaybeWriteBackLocked() REQUIRES(mu_);
   Status WriteNode(uint32_t page_id, const Node& node) REQUIRES(mu_);
   StatusOr<std::shared_ptr<Node>> ReadNode(uint32_t page_id) REQUIRES(mu_);
   uint32_t AllocPage() REQUIRES(mu_);
   void FreePage(uint32_t page_id) REQUIRES(mu_);
   Status PersistMeta() REQUIRES(mu_);
   // Flush body shared by Flush() and Checkpoint(): write-back every dirty
-  // cached page, persist the meta page, fdatasync the file.
+  // page, persist the meta page, fdatasync the file.
   Status FlushLocked() REQUIRES(mu_);
 
   // --- tree ops (mu_ held) ---
-  Status GetLocked(std::string_view key, std::string* value) REQUIRES(mu_);
+  Status GetLocked(std::string_view key, std::string* value, bool fill_cache = true)
+      REQUIRES(mu_);
   Status PutLocked(std::string_view key, std::string_view value) REQUIRES(mu_);
   Status DeleteLocked(std::string_view key) REQUIRES(mu_);
   Status RmwLocked(std::string_view key, std::string_view operand) REQUIRES(mu_);
@@ -131,6 +155,13 @@ class BTreeStore : public KVStore {
 
   const std::string dir_;
   const BTreeOptions opts_;
+  // Shared (or private when Open got nullptr) page residency: parsed nodes
+  // are cached as decoded objects, one page of charge each. Never null.
+  const std::shared_ptr<BufferPool> pool_;
+  uint64_t pool_file_id_ = 0;  // this store's namespace within the pool
+
+  // Write-back ceiling for the dirty table.
+  static constexpr size_t kMaxDirtyPages = 1024;
 
   mutable Mutex mu_;
   int fd_ GUARDED_BY(mu_) = -1;
@@ -140,14 +171,9 @@ class BTreeStore : public KVStore {
   uint32_t free_head_ GUARDED_BY(mu_) = 0;
   uint32_t height_ GUARDED_BY(mu_) = 1;
 
-  // LRU cache of parsed nodes.
-  struct CacheEntry {
-    uint32_t page_id;
-    std::shared_ptr<Node> node;
-  };
-  std::list<CacheEntry> lru_ GUARDED_BY(mu_);  // front = most recent
-  std::unordered_map<uint32_t, std::list<CacheEntry>::iterator> cache_ GUARDED_BY(mu_);
-  size_t max_cached_pages_;
+  // Mutated nodes not yet written back. Keeps the node object alive (and
+  // authoritative) even if the pool evicts its frame.
+  std::unordered_map<uint32_t, std::shared_ptr<Node>> dirty_ GUARDED_BY(mu_);
 
   StoreStats stats_ GUARDED_BY(mu_);
   bool closed_ GUARDED_BY(mu_) = false;

@@ -299,7 +299,8 @@ Status FasterStore::Put(std::string_view key, std::string_view value) {
   return PutLocked(key, value);
 }
 
-Status FasterStore::Get(std::string_view key, std::string* value) {
+Status FasterStore::Get(std::string_view key, std::string* value,
+                        const ReadOptions& /*options*/) {
   MutexLock lock(&mu_);
   if (closed_) {
     return Status::Internal("store is closed");
@@ -367,7 +368,8 @@ Status FasterStore::Write(const WriteBatch& batch) {
 }
 
 Status FasterStore::MultiGet(const std::vector<std::string>& keys,
-                             std::vector<std::string>* values, std::vector<Status>* statuses) {
+                             std::vector<std::string>* values, std::vector<Status>* statuses,
+                             const ReadOptions& /*options*/) {
   values->resize(keys.size());
   statuses->assign(keys.size(), Status::Ok());
   MutexLock lock(&mu_);

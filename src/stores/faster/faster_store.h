@@ -42,8 +42,13 @@ class FasterStore : public KVStore {
                                                  const FasterOptions& opts);
   ~FasterStore() override;
 
+  using KVStore::Get;
+  using KVStore::MultiGet;
+
   Status Put(std::string_view key, std::string_view value) override;
-  Status Get(std::string_view key, std::string* value) override;
+  // ReadOptions are accepted but ignored: the hybrid log reads whole records,
+  // not cached blocks.
+  Status Get(std::string_view key, std::string* value, const ReadOptions& options) override;
   Status Delete(std::string_view key) override;
   Status ReadModifyWrite(std::string_view key, std::string_view operand) override;
 
@@ -51,7 +56,7 @@ class FasterStore : public KVStore {
   // appends within the batch land contiguously at the tail).
   Status Write(const WriteBatch& batch) override;
   Status MultiGet(const std::vector<std::string>& keys, std::vector<std::string>* values,
-                  std::vector<Status>* statuses) override;
+                  std::vector<Status>* statuses, const ReadOptions& options) override;
 
   Status Flush() override;
   Status Close() override;

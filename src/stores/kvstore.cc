@@ -41,8 +41,11 @@ void ForEachCounter(StoreStats* a, const StoreStats& b, Fn fn) {
   fn(&a->compaction_micros, b.compaction_micros);
   fn(&a->cache_evictions, b.cache_evictions);
   fn(&a->wal_group_commits, b.wal_group_commits);
-  // wal_group_size_max is a gauge (like level_files): DeltaSince keeps the
-  // later snapshot's value, MergeMax takes the max — both handled by callers.
+  fn(&a->cache_pins, b.cache_pins);
+  fn(&a->io_batches, b.io_batches);
+  // wal_group_size_max and io_in_flight_max are gauges (like level_files):
+  // DeltaSince keeps the later snapshot's value, MergeMax takes the max —
+  // both handled by callers.
 }
 
 }  // namespace
@@ -60,6 +63,7 @@ void StoreStats::MergeMax(const StoreStats& other) {
     *field = std::max(*field, theirs);
   });
   wal_group_size_max = std::max(wal_group_size_max, other.wal_group_size_max);
+  io_in_flight_max = std::max(io_in_flight_max, other.io_in_flight_max);
   if (other.level_files.size() > level_files.size()) {
     level_files.resize(other.level_files.size());
   }
@@ -110,12 +114,13 @@ Status KVStore::Write(const WriteBatch& batch) {
 }
 
 Status KVStore::MultiGet(const std::vector<std::string>& keys,
-                         std::vector<std::string>* values, std::vector<Status>* statuses) {
+                         std::vector<std::string>* values, std::vector<Status>* statuses,
+                         const ReadOptions& options) {
   values->resize(keys.size());
   statuses->assign(keys.size(), Status::Ok());
   Status first_error;
   for (size_t i = 0; i < keys.size(); ++i) {
-    (*statuses)[i] = Get(keys[i], &(*values)[i]);
+    (*statuses)[i] = Get(keys[i], &(*values)[i], options);
     if (!(*statuses)[i].ok() && !(*statuses)[i].IsNotFound() && first_error.ok()) {
       first_error = (*statuses)[i];
     }
@@ -131,42 +136,33 @@ StatusOr<std::unique_ptr<KVStore>> OpenStore(const StoreOptions& options) {
         options.mem_stripes == 0 ? MemStore::kDefaultStripes : options.mem_stripes));
   }
   GADGET_RETURN_IF_ERROR(CreateDirIfMissing(options.dir));
+  // Block-structured engines share one pool when the caller supplies it;
+  // otherwise each store gets a private pool sized by options.buffer_pool.
+  auto pool = options.shared_pool != nullptr ? options.shared_pool
+                                             : std::make_shared<BufferPool>(options.buffer_pool);
   if (engine == "lsm" || engine == "lethe") {
     LsmOptions opts;
-    if (options.cache_bytes > 0) {
-      opts.block_cache_bytes = options.cache_bytes;
-    }
     opts.sync_writes = options.sync_writes;
     if (engine == "lethe") {
       opts.delete_aware = true;
       opts.delete_persistence_ms = 10'000;  // paper: Lethe delete threshold 10s
     }
-    return LsmStore::Open(options.dir, opts);
+    return LsmStore::Open(options.dir, opts, std::move(pool));
   }
   if (engine == "faster") {
     FasterOptions opts;
-    if (options.cache_bytes > 0) {
-      opts.log_memory_bytes = options.cache_bytes;
+    if (options.log_memory_bytes > 0) {
+      opts.log_memory_bytes = options.log_memory_bytes;
     }
     opts.sync_writes = options.sync_writes;
     return FasterStore::Open(options.dir, opts);
   }
   if (engine == "btree") {
     BTreeOptions opts;
-    if (options.cache_bytes > 0) {
-      opts.cache_bytes = options.cache_bytes;
-    }
     opts.sync_writes = options.sync_writes;
-    return BTreeStore::Open(options.dir, opts);
+    return BTreeStore::Open(options.dir, opts, std::move(pool));
   }
   return Status::InvalidArgument("unknown engine: " + engine);
-}
-
-StatusOr<std::unique_ptr<KVStore>> OpenStore(const std::string& engine, const std::string& dir) {
-  StoreOptions options;
-  options.engine = engine;
-  options.dir = dir;
-  return OpenStore(options);
 }
 
 StatusOr<std::unique_ptr<KVStore>> RestoreStore(const StoreOptions& options,

@@ -41,6 +41,8 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/stores/bufferpool/buffer_pool.h"
+#include "src/stores/read_options.h"
 
 namespace gadget {
 
@@ -78,6 +80,13 @@ struct StoreStats {
   // group observed so far in logical operations.
   uint64_t wal_group_commits = 0;
   uint64_t wal_group_size_max = 0;
+  // Shared buffer pool / async read path (engines on the pool report the
+  // POOL's totals — one resource, one set of numbers; others leave zero):
+  uint64_t cache_pins = 0;         // successful pin acquisitions (hit+insert)
+  uint64_t io_batches = 0;         // batched-read waves through the IoBackend
+  // Widest single I/O wave (reads in flight at once). A gauge, like
+  // wal_group_size_max: DeltaSince keeps the later snapshot's value.
+  uint64_t io_in_flight_max = 0;
   // LSM only: SSTable count per level at observation time. A gauge, not a
   // counter — DeltaSince copies the later snapshot's value verbatim.
   std::vector<uint64_t> level_files;
@@ -164,8 +173,15 @@ class KVStore {
 
   virtual Status Put(std::string_view key, std::string_view value) = 0;
 
-  // NotFound when the key is absent or deleted.
-  virtual Status Get(std::string_view key, std::string* value) = 0;
+  // NotFound when the key is absent or deleted. `options` tunes the read
+  // (cache admission, readahead, checksum verification — see
+  // src/stores/read_options.h); engines without the mechanism ignore it.
+  // Overriders must re-surface the convenience overload with
+  // `using KVStore::Get;`.
+  virtual Status Get(std::string_view key, std::string* value, const ReadOptions& options) = 0;
+
+  // Convenience overload: default ReadOptions.
+  Status Get(std::string_view key, std::string* value) { return Get(key, value, ReadOptions()); }
 
   // Lazy append of `operand` to the key's value (RocksDB-style merge).
   // Engines without native merge return Unsupported; callers should consult
@@ -193,9 +209,18 @@ class KVStore {
 
   // Vector point lookup. Resizes *values and *statuses to keys.size();
   // (*statuses)[i] is Ok/NotFound per key. Duplicate keys are looked up
-  // independently. Returns the first non-NotFound error, else Ok.
+  // independently. Returns the first non-NotFound error, else Ok. Engines
+  // with a block-structured read path (LSM/Lethe) resolve all cache misses
+  // as ONE batched I/O wave instead of N serial reads.
   virtual Status MultiGet(const std::vector<std::string>& keys,
-                          std::vector<std::string>* values, std::vector<Status>* statuses);
+                          std::vector<std::string>* values, std::vector<Status>* statuses,
+                          const ReadOptions& options);
+
+  // Convenience overload: default ReadOptions.
+  Status MultiGet(const std::vector<std::string>& keys, std::vector<std::string>* values,
+                  std::vector<Status>* statuses) {
+    return MultiGet(keys, values, statuses, ReadOptions());
+  }
 
   virtual bool supports_merge() const { return false; }
 
@@ -237,17 +262,26 @@ class KVStore {
 };
 
 // Open-time configuration shared by every engine. Field semantics per engine:
-//   cache_bytes  — LSM block cache / B+tree page cache / FASTER in-memory log
-//                  window (0 = engine default);
-//   mem_stripes  — MemStore lock-stripe count (0 = MemStore default);
-//   sync_writes  — fsync the WAL / log on every commit (group commit makes
-//                  this per-batch rather than per-op);
-//   batch_size   — default operation-coalescing width replays should use
-//                  (consumed by the harness / ReplayOptions, not the engine).
+//   buffer_pool      — sizing/policy for the block/page pool the store
+//                      creates (LSM/Lethe data blocks, B+tree pages); see
+//                      src/stores/bufferpool/buffer_pool.h;
+//   shared_pool      — attach to an EXISTING pool instead of creating one:
+//                      every store opened with the same pointer shares one
+//                      frame budget and one IoBackend (buffer_pool sizing is
+//                      then ignored);
+//   log_memory_bytes — FASTER in-memory log window (0 = engine default);
+//   mem_stripes      — MemStore lock-stripe count (0 = MemStore default);
+//   sync_writes      — fsync the WAL / log on every commit (group commit
+//                      makes this per-batch rather than per-op);
+//   batch_size       — default operation-coalescing width replays should use
+//                      (consumed by the harness / ReplayOptions, not the
+//                      engine).
 struct StoreOptions {
   std::string engine = "lsm";  // mem | lsm | lethe | faster | btree
   std::string dir;             // created if missing; ignored by mem
-  uint64_t cache_bytes = 0;
+  BufferPoolOptions buffer_pool;
+  std::shared_ptr<BufferPool> shared_pool;
+  uint64_t log_memory_bytes = 0;
   size_t mem_stripes = 0;
   bool sync_writes = false;
   uint64_t batch_size = 1;
@@ -255,9 +289,6 @@ struct StoreOptions {
 
 // Engine factory.
 StatusOr<std::unique_ptr<KVStore>> OpenStore(const StoreOptions& options);
-
-// Back-compat overload: engine + dir with all other options at defaults.
-StatusOr<std::unique_ptr<KVStore>> OpenStore(const std::string& engine, const std::string& dir);
 
 // Materializes the checkpoint image at `checkpoint_dir` into options.dir and
 // opens it as a fresh store (normal recovery runs, so for the LSM engines the

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <thread>
+#include <utility>
 
 #include "src/common/file_util.h"
 #include "src/common/logging.h"
@@ -78,10 +80,10 @@ uint64_t LsmStore::NowMs() {
                                    .count());
 }
 
-LsmStore::LsmStore(std::string dir, const LsmOptions& opts)
+LsmStore::LsmStore(std::string dir, const LsmOptions& opts, std::shared_ptr<BufferPool> pool)
     : dir_(std::move(dir)),
       opts_(opts),
-      cache_(opts.block_cache_bytes),
+      pool_(pool != nullptr ? std::move(pool) : std::make_shared<BufferPool>()),
       work_cv_(&mu_),
       flush_cv_(&mu_),
       stall_cv_(&mu_),
@@ -90,10 +92,10 @@ LsmStore::LsmStore(std::string dir, const LsmOptions& opts)
   current_ = std::make_shared<Version>(opts_.num_levels);
 }
 
-StatusOr<std::unique_ptr<KVStore>> LsmStore::Open(const std::string& dir,
-                                                  const LsmOptions& opts) {
+StatusOr<std::unique_ptr<KVStore>> LsmStore::Open(const std::string& dir, const LsmOptions& opts,
+                                                  std::shared_ptr<BufferPool> pool) {
   GADGET_RETURN_IF_ERROR(CreateDirIfMissing(dir));
-  std::unique_ptr<LsmStore> store(new LsmStore(dir, opts));
+  std::unique_ptr<LsmStore> store(new LsmStore(dir, opts, std::move(pool)));
   GADGET_RETURN_IF_ERROR(store->Recover());
   store->flusher_thread_ = std::thread(&LsmStore::FlusherThread, store.get());
   store->compaction_thread_ = std::thread(&LsmStore::CompactionThread, store.get());
@@ -126,8 +128,7 @@ Status LsmStore::Recover() {
       meta->smallest = rec.smallest;
       meta->largest = rec.largest;
       meta->path = SstPath(dir_, rec.number);
-      meta->cache = &cache_;
-      auto reader = SSTableReader::Open(meta->path, meta->number, &cache_);
+      auto reader = SSTableReader::Open(meta->path, meta->number, pool_.get());
       if (!reader.ok()) {
         return reader.status();
       }
@@ -529,7 +530,7 @@ LookupState LsmStore::LookupMemLayersLocked(std::string_view key, std::string* v
   return acc->empty() ? LookupState::kNotFound : LookupState::kMergePartial;
 }
 
-Status LsmStore::Get(std::string_view key, std::string* value) {
+Status LsmStore::Get(std::string_view key, std::string* value, const ReadOptions& options) {
   std::vector<std::string> acc;
   std::shared_ptr<const Version> version;
   {
@@ -551,20 +552,17 @@ Status LsmStore::Get(std::string_view key, std::string* value) {
   // From here on the lookup works off the snapshot only: searching SSTables
   // (block I/O) must never touch mu_, or concurrent readers serialize behind
   // writers and the background threads.
-  return SearchTablesUnlocked(*version, key, std::move(acc), value);
+  return SearchTablesUnlocked(*version, key, std::move(acc), value, options);
 }
 
 Status LsmStore::MultiGet(const std::vector<std::string>& keys,
-                          std::vector<std::string>* values, std::vector<Status>* statuses) {
+                          std::vector<std::string>* values, std::vector<Status>* statuses,
+                          const ReadOptions& options) {
   const size_t n = keys.size();
   values->resize(n);
   statuses->assign(n, Status::Ok());
   // Keys the memtable layers could not resolve, with any merge operands they
   // stacked.
-  struct PendingRead {
-    size_t index;
-    std::vector<std::string> acc;
-  };
   std::vector<PendingRead> pending;
   std::shared_ptr<const Version> version;
   {
@@ -593,21 +591,23 @@ Status LsmStore::MultiGet(const std::vector<std::string>& keys,
       version = current_;  // one snapshot covers every SSTable lookup below
     }
   }
+  if (!pending.empty()) {
+    SearchTablesAsyncUnlocked(*version, keys, std::move(pending), values, statuses, options);
+  }
   Status first_error;
-  for (auto& p : pending) {
-    Status s = SearchTablesUnlocked(*version, keys[p.index], std::move(p.acc),
-                                    &(*values)[p.index]);
+  for (size_t i = 0; i < n; ++i) {
+    const Status& s = (*statuses)[i];
     if (!s.ok() && !s.IsNotFound() && first_error.ok()) {
       first_error = s;
     }
-    (*statuses)[p.index] = std::move(s);
   }
   NoteBatch(n);
   return first_error;
 }
 
 Status LsmStore::SearchTablesUnlocked(const Version& version, std::string_view key,
-                                      std::vector<std::string> acc, std::string* value) {
+                                      std::vector<std::string> acc, std::string* value,
+                                      const ReadOptions& options) {
   std::string val;
   std::vector<std::string> layer_ops;
 
@@ -631,7 +631,7 @@ Status LsmStore::SearchTablesUnlocked(const Version& version, std::string_view k
     }
     layer_ops.clear();
     val.clear();
-    auto st = f->reader->Get(key, &val, &layer_ops);
+    auto st = f->reader->Get(key, &val, &layer_ops, options);
     if (!st.ok()) {
       *terminal = true;
       return st.status();
@@ -686,6 +686,186 @@ Status LsmStore::SearchTablesUnlocked(const Version& version, std::string_view k
   return finish_found("");
 }
 
+void LsmStore::SearchTablesAsyncUnlocked(const Version& version,
+                                         const std::vector<std::string>& keys,
+                                         std::vector<PendingRead> pending,
+                                         std::vector<std::string>* values,
+                                         std::vector<Status>* statuses,
+                                         const ReadOptions& options) {
+  // Per-key cursor over the SSTables that may hold it, in shadowing order
+  // (L0 newest first, then at most one candidate per lower level). The
+  // `version` snapshot held by the caller keeps every FileMeta alive.
+  struct KeyWork {
+    size_t index = 0;                    // into keys/values/statuses
+    std::vector<std::string> acc;        // merge operands, newest first
+    std::vector<const FileMeta*> files;  // candidates in shadowing order
+    size_t next_file = 0;
+    bool done = false;
+  };
+  std::vector<KeyWork> work(pending.size());
+  for (size_t i = 0; i < pending.size(); ++i) {
+    KeyWork& w = work[i];
+    w.index = pending[i].index;
+    w.acc = std::move(pending[i].acc);
+    const std::string_view key = keys[w.index];
+    const auto& l0 = version.levels[0];
+    for (auto it = l0.rbegin(); it != l0.rend(); ++it) {  // newest first
+      if (key >= std::string_view((*it)->smallest) && key <= std::string_view((*it)->largest)) {
+        w.files.push_back(it->get());
+      }
+    }
+    for (size_t l = 1; l < version.levels.size(); ++l) {
+      const auto& files = version.levels[l];
+      auto it = std::lower_bound(files.begin(), files.end(), key,
+                                 [](const std::shared_ptr<FileMeta>& f, std::string_view k) {
+                                   return std::string_view(f->largest) < k;
+                                 });
+      if (it != files.end() && key >= std::string_view((*it)->smallest)) {
+        w.files.push_back(it->get());
+      }
+    }
+  }
+
+  auto finish_found = [&](KeyWork* w, std::string base) {
+    (*values)[w->index] = ApplyMerge(base, w->acc);
+    read_bytes_.fetch_add((*values)[w->index].size(), std::memory_order_relaxed);
+    (*statuses)[w->index] = Status::Ok();
+    w->done = true;
+  };
+  auto finish_deleted = [&](KeyWork* w) {
+    if (w->acc.empty()) {
+      (*statuses)[w->index] = Status::NotFound();
+      w->done = true;
+      return;
+    }
+    finish_found(w, "");
+  };
+  auto finish_error = [&](KeyWork* w, Status s) {
+    (*statuses)[w->index] = std::move(s);
+    w->done = true;
+  };
+  // Searches one decoded block; mirrors SearchTablesUnlocked's per-table
+  // handling (terminal found/deleted, operand prepend, else next table).
+  auto apply_block = [&](KeyWork* w, std::string_view block, const std::string& path) {
+    std::string val;
+    std::vector<std::string> ops;
+    auto st = SSTableReader::SearchBlock(block, keys[w->index], &val, &ops, path);
+    if (!st.ok()) {
+      finish_error(w, st.status());
+      return;
+    }
+    switch (*st) {
+      case LookupState::kNotFound:
+        ++w->next_file;
+        break;
+      case LookupState::kFound:
+        finish_found(w, std::move(val));
+        break;
+      case LookupState::kDeleted:
+        finish_deleted(w);
+        break;
+      case LookupState::kMergePartial:
+        // This layer is older than everything accumulated: prepend.
+        w->acc.insert(w->acc.begin(), std::make_move_iterator(ops.begin()),
+                      std::make_move_iterator(ops.end()));
+        ++w->next_file;
+        break;
+    }
+  };
+
+  // One round: every unresolved key walks its candidate tables through the
+  // cache until it either resolves, exhausts, or misses — all of a round's
+  // misses (deduplicated per block) then form one batched I/O wave. Each
+  // parsed block strictly advances or resolves its waiters, so rounds
+  // terminate.
+  struct WaveBlock {
+    SSTableReader* reader = nullptr;
+    uint64_t offset = 0;
+    IoRead io;
+    std::vector<KeyWork*> waiters;
+  };
+  for (;;) {
+    std::vector<WaveBlock> wave;
+    std::map<std::pair<SSTableReader*, uint64_t>, size_t> block_index;
+    for (KeyWork& w : work) {
+      while (!w.done) {
+        if (w.next_file >= w.files.size()) {
+          // No table resolved the key; merge operands (if any) apply to an
+          // implicitly empty base.
+          if (w.acc.empty()) {
+            (*statuses)[w.index] = Status::NotFound();
+            w.done = true;
+          } else {
+            finish_found(&w, "");
+          }
+          break;
+        }
+        SSTableReader* reader = w.files[w.next_file]->reader.get();
+        uint64_t offset = 0;
+        uint32_t size = 0;
+        if (!reader->FindDataBlock(keys[w.index], &offset, &size)) {
+          ++w.next_file;  // bloom/index miss: no I/O for this table
+          continue;
+        }
+        PinnedBlock cached = reader->CacheLookup(offset);
+        if (cached.has_data()) {
+          apply_block(&w, cached.data(), reader->path());
+          continue;
+        }
+        // Cache miss: join (or start) this round's wave entry for the block
+        // and stop walking until the wave lands.
+        auto [it, inserted] = block_index.try_emplace({reader, offset}, wave.size());
+        if (inserted) {
+          wave.emplace_back();
+          WaveBlock& b = wave.back();
+          b.reader = reader;
+          b.offset = offset;
+          b.io.fd = reader->fd();
+          b.io.offset = offset;
+          b.io.length = size;
+        }
+        wave[it->second].waiters.push_back(&w);
+        break;
+      }
+    }
+    if (wave.empty()) {
+      return;  // every key resolved
+    }
+    std::vector<IoRead*> ios;
+    ios.reserve(wave.size());
+    for (WaveBlock& b : wave) {
+      ios.push_back(&b.io);
+    }
+    pool_->io().ReadBatch(ios);
+    for (WaveBlock& b : wave) {
+      if (!b.io.status.ok()) {
+        for (KeyWork* w : b.waiters) {
+          finish_error(w, b.io.status);
+        }
+        continue;
+      }
+      std::string block = std::move(b.io.out);
+      Status vs = SSTableReader::VerifyAndStripChecksum(&block, options.verify_checksums,
+                                                        b.reader->path());
+      if (!vs.ok()) {
+        for (KeyWork* w : b.waiters) {
+          finish_error(w, vs);
+        }
+        continue;
+      }
+      PinnedBlock inserted;
+      if (options.fill_cache) {
+        inserted = b.reader->CacheInsert(b.offset, std::move(block));
+      }
+      const std::string_view view =
+          inserted.has_data() ? inserted.data() : std::string_view(block);
+      for (KeyWork* w : b.waiters) {
+        apply_block(w, view, b.reader->path());
+      }
+    }
+  }
+}
+
 // -------------------------------------------------------------------- flush
 
 StatusOr<std::shared_ptr<FileMeta>> LsmStore::BuildTableFromMem(const MemTable& mem,
@@ -710,8 +890,7 @@ StatusOr<std::shared_ptr<FileMeta>> LsmStore::BuildTableFromMem(const MemTable& 
   meta->smallest = builder.smallest();
   meta->largest = builder.largest();
   meta->path = path;
-  meta->cache = &cache_;
-  auto reader = SSTableReader::Open(path, number, &cache_);
+  auto reader = SSTableReader::Open(path, number, pool_.get());
   if (!reader.ok()) {
     return reader.status();
   }
@@ -1072,8 +1251,7 @@ Status LsmStore::RunSubcompaction(const CompactionJob& job, std::string_view beg
     meta->smallest = builder->smallest();
     meta->largest = builder->largest();
     meta->path = SstPath(dir_, builder_number);
-    meta->cache = &cache_;
-    auto reader = SSTableReader::Open(meta->path, meta->number, &cache_);
+    auto reader = SSTableReader::Open(meta->path, meta->number, pool_.get());
     if (!reader.ok()) {
       return reader.status();
     }
@@ -1442,9 +1620,14 @@ StoreStats LsmStore::stats() const {
   MutexLock lock(&mu_);
   StoreStats out = stats_;
   out.bytes_read += read_bytes_.load(std::memory_order_relaxed);
-  out.cache_hits = cache_.hits();
-  out.cache_misses = cache_.misses();
-  out.cache_evictions = cache_.evictions();
+  // Pool-wide totals: with a shared pool these cover every attached store
+  // (the pool is one resource; per-store attribution would be fiction).
+  out.cache_hits = pool_->hits();
+  out.cache_misses = pool_->misses();
+  out.cache_evictions = pool_->evictions();
+  out.cache_pins = pool_->pins();
+  out.io_batches = pool_->io().batches();
+  out.io_in_flight_max = pool_->io().in_flight_max();
   if (wal_ != nullptr) {  // live generation: not yet folded by rotation
     out.wal_bytes += wal_->size();
     out.wal_fsyncs += wal_->fsyncs();

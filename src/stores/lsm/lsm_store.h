@@ -40,8 +40,8 @@
 
 #include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
+#include "src/stores/bufferpool/buffer_pool.h"
 #include "src/stores/kvstore.h"
-#include "src/stores/lsm/block_cache.h"
 #include "src/stores/lsm/memtable.h"
 #include "src/stores/lsm/options.h"
 #include "src/stores/lsm/version.h"
@@ -51,11 +51,17 @@ namespace gadget {
 
 class LsmStore : public KVStore {
  public:
-  static StatusOr<std::unique_ptr<KVStore>> Open(const std::string& dir, const LsmOptions& opts);
+  // `pool` is the shared buffer pool data blocks live in; nullptr makes the
+  // store create a private default-sized pool (standalone tests/tools).
+  static StatusOr<std::unique_ptr<KVStore>> Open(const std::string& dir, const LsmOptions& opts,
+                                                 std::shared_ptr<BufferPool> pool = nullptr);
   ~LsmStore() override;
 
+  using KVStore::Get;
+  using KVStore::MultiGet;
+
   Status Put(std::string_view key, std::string_view value) override;
-  Status Get(std::string_view key, std::string* value) override;
+  Status Get(std::string_view key, std::string* value, const ReadOptions& options) override;
   Status Merge(std::string_view key, std::string_view operand) override;
   Status Delete(std::string_view key) override;
 
@@ -63,10 +69,11 @@ class LsmStore : public KVStore {
   // group-commit queue (the leader may coalesce it with other writers into a
   // single WAL record); MultiGet probes the memtable layers for every key and
   // snapshots the Version once, then resolves the misses against SSTables
-  // lock-free.
+  // asynchronously: every key's block miss joins one batched I/O wave through
+  // the pool's IoBackend instead of N serial preads.
   Status Write(const WriteBatch& batch) override;
   Status MultiGet(const std::vector<std::string>& keys, std::vector<std::string>* values,
-                  std::vector<Status>* statuses) override;
+                  std::vector<Status>* statuses, const ReadOptions& options) override;
 
   bool supports_merge() const override { return true; }
   // Synchronously persists all buffered writes: drains the immutable queue,
@@ -98,7 +105,7 @@ class LsmStore : public KVStore {
   void TEST_PauseFlusher(bool paused);
 
  private:
-  LsmStore(std::string dir, const LsmOptions& opts);
+  LsmStore(std::string dir, const LsmOptions& opts, std::shared_ptr<BufferPool> pool);
 
   Status Recover();
 
@@ -141,13 +148,23 @@ class LsmStore : public KVStore {
   // must continue into the SSTables with the accumulated operands in *acc.
   LookupState LookupMemLayersLocked(std::string_view key, std::string* value,
                                     std::vector<std::string>* acc) const REQUIRES(mu_);
-  // SSTable half of the read path, shared by Get and MultiGet. `acc` carries
-  // merge operands already accumulated from newer layers (the memtables).
-  // Must be called with no locks held: it does block I/O against the
-  // snapshot.
+  // SSTable half of the serial read path (Get). `acc` carries merge operands
+  // already accumulated from newer layers (the memtables). Must be called
+  // with no locks held: it does block I/O against the snapshot.
   Status SearchTablesUnlocked(const Version& version, std::string_view key,
-                              std::vector<std::string> acc, std::string* value)
-      EXCLUDES(mu_);
+                              std::vector<std::string> acc, std::string* value,
+                              const ReadOptions& options) EXCLUDES(mu_);
+  // Async SSTable half of MultiGet: resolves all pending keys against the
+  // snapshot, batching every cache-missed block read of a round into one
+  // IoBackend wave. Each entry of `pending` indexes keys/values/statuses.
+  struct PendingRead {
+    size_t index;
+    std::vector<std::string> acc;
+  };
+  void SearchTablesAsyncUnlocked(const Version& version, const std::vector<std::string>& keys,
+                                 std::vector<PendingRead> pending,
+                                 std::vector<std::string>* values, std::vector<Status>* statuses,
+                                 const ReadOptions& options) EXCLUDES(mu_);
 
   // ------------------------------------------------------------ flush path
   struct ImmutableMem {
@@ -200,7 +217,10 @@ class LsmStore : public KVStore {
 
   const std::string dir_;
   const LsmOptions opts_;
-  BlockCache cache_;
+  // Shared (or private when Open got nullptr) block residency; SSTable
+  // readers pin data blocks here and issue batched misses through its
+  // IoBackend. Never null after construction.
+  const std::shared_ptr<BufferPool> pool_;
 
   mutable Mutex mu_;
   CondVar work_cv_;   // signals the compaction thread

@@ -27,8 +27,8 @@ struct LsmOptions {
   // boundaries) merged concurrently. 1 = fully serial compaction.
   int compaction_threads = 2;
 
-  // Block cache capacity (paper: 64MB; scaled: 8MB).
-  uint64_t block_cache_bytes = 8ull << 20;
+  // Block caching is no longer per-store: data blocks live in the shared
+  // BufferPool passed to LsmStore::Open (sized by StoreOptions::buffer_pool).
 
   uint32_t block_size = 4096;
   int bloom_bits_per_key = 10;

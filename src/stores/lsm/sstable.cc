@@ -120,18 +120,30 @@ Status SSTableBuilder::Finish() {
 // --------------------------------------------------------------- SSTableReader
 
 SSTableReader::SSTableReader(std::unique_ptr<RandomAccessFile> file, uint64_t file_number,
-                             BlockCache* cache)
-    : file_(std::move(file)), file_number_(file_number), cache_(cache) {}
+                             BufferPool* pool)
+    : file_(std::move(file)), file_number_(file_number), pool_(pool) {
+  if (pool_ != nullptr) {
+    pool_file_id_ = pool_->NewFileId();
+  }
+}
+
+SSTableReader::~SSTableReader() {
+  // The reader is the table's handle on the pool: when it goes (table
+  // obsoleted by compaction, or the store closed), its blocks go too.
+  if (pool_ != nullptr) {
+    pool_->EraseFile(pool_file_id_);
+  }
+}
 
 StatusOr<std::shared_ptr<SSTableReader>> SSTableReader::Open(const std::string& path,
                                                              uint64_t file_number,
-                                                             BlockCache* cache) {
+                                                             BufferPool* pool) {
   auto file = RandomAccessFile::Open(path);
   if (!file.ok()) {
     return file.status();
   }
   auto reader = std::shared_ptr<SSTableReader>(
-      new SSTableReader(std::move(*file), file_number, cache));
+      new SSTableReader(std::move(*file), file_number, pool));
 
   uint64_t fsize = reader->file_->size();
   if (fsize < kFooterSize) {
@@ -173,39 +185,32 @@ StatusOr<std::shared_ptr<SSTableReader>> SSTableReader::Open(const std::string& 
 }
 
 Status SSTableReader::ReadBlockRaw(uint64_t offset, uint32_t size, std::string* out) const {
-  if (size < 4) {
-    return Status::Corruption("block too small in " + file_->path());
-  }
   std::string raw;
   GADGET_RETURN_IF_ERROR(file_->Read(offset, size, &raw));
-  uint32_t stored = UnmaskCrc(DecodeFixed32(raw.data() + raw.size() - 4));
-  uint32_t actual = Crc32c(0, raw.data(), raw.size() - 4);
-  if (stored != actual) {
-    return Status::Corruption("block checksum mismatch in " + file_->path());
-  }
-  raw.resize(raw.size() - 4);
+  GADGET_RETURN_IF_ERROR(VerifyAndStripChecksum(&raw, /*verify=*/true, file_->path()));
   *out = std::move(raw);
   return Status::Ok();
 }
 
-StatusOr<BlockCache::BlockHandle> SSTableReader::ReadDataBlock(uint64_t offset, uint32_t size) {
-  if (cache_ != nullptr) {
-    if (BlockCache::BlockHandle h = cache_->Lookup(file_number_, offset)) {
-      return h;
+Status SSTableReader::VerifyAndStripChecksum(std::string* block, bool verify,
+                                             const std::string& path) {
+  if (block->size() < 4) {
+    return Status::Corruption("block too small in " + path);
+  }
+  if (verify) {
+    uint32_t stored = UnmaskCrc(DecodeFixed32(block->data() + block->size() - 4));
+    uint32_t actual = Crc32c(0, block->data(), block->size() - 4);
+    if (stored != actual) {
+      return Status::Corruption("block checksum mismatch in " + path);
     }
   }
-  std::string block;
-  GADGET_RETURN_IF_ERROR(ReadBlockRaw(offset, size, &block));
-  if (cache_ != nullptr) {
-    return cache_->Insert(file_number_, offset, std::move(block));
-  }
-  return std::make_shared<const std::string>(std::move(block));
+  block->resize(block->size() - 4);
+  return Status::Ok();
 }
 
-StatusOr<LookupState> SSTableReader::Get(std::string_view key, std::string* value,
-                                         std::vector<std::string>* operands) {
+bool SSTableReader::FindDataBlock(std::string_view key, uint64_t* offset, uint32_t* size) const {
   if (!BloomFilterMayContain(bloom_, key)) {
-    return LookupState::kNotFound;
+    return false;
   }
   // First block whose last key >= key.
   auto it = std::lower_bound(index_.begin(), index_.end(), key,
@@ -213,20 +218,93 @@ StatusOr<LookupState> SSTableReader::Get(std::string_view key, std::string* valu
                                return std::string_view(e.last_key) < k;
                              });
   if (it == index_.end()) {
-    return LookupState::kNotFound;
+    return false;
   }
-  auto block = ReadDataBlock(it->offset, it->size);
-  if (!block.ok()) {
-    return block.status();
+  *offset = it->offset;
+  *size = it->size;
+  return true;
+}
+
+void SSTableReader::BlocksAfter(uint64_t offset, uint32_t n,
+                                std::vector<std::pair<uint64_t, uint32_t>>* out) const {
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), offset,
+      [](const IndexEntry& e, uint64_t off) { return e.offset < off; });
+  if (it == index_.end() || it->offset != offset) {
+    return;
   }
-  const std::string& data = **block;
-  const char* p = data.data();
-  const char* end = p + data.size();
+  for (++it; it != index_.end() && n > 0; ++it, --n) {
+    out->emplace_back(it->offset, it->size);
+  }
+}
+
+PinnedBlock SSTableReader::CacheLookup(uint64_t offset) {
+  return pool_ != nullptr ? pool_->Lookup(pool_file_id_, offset) : PinnedBlock();
+}
+
+PinnedBlock SSTableReader::CacheInsert(uint64_t offset, std::string block) {
+  return pool_ != nullptr ? pool_->InsertBlock(pool_file_id_, offset, std::move(block))
+                          : PinnedBlock();
+}
+
+StatusOr<PinnedBlock> SSTableReader::ReadDataBlock(uint64_t offset, uint32_t size,
+                                                   const ReadOptions& options,
+                                                   std::string* uncached) {
+  if (pool_ == nullptr) {
+    GADGET_RETURN_IF_ERROR(ReadBlockRaw(offset, size, uncached));
+    return PinnedBlock();
+  }
+  if (PinnedBlock h = pool_->Lookup(pool_file_id_, offset)) {
+    return h;
+  }
+  // Miss: fetch the block — and, under readahead, the following blocks of
+  // this table that are not cached yet — as one I/O wave.
+  std::vector<std::pair<uint64_t, uint32_t>> want;
+  want.emplace_back(offset, size);
+  if (options.fill_cache && options.readahead_blocks > 0) {
+    BlocksAfter(offset, options.readahead_blocks, &want);
+  }
+  std::vector<IoRead> ios(want.size());
+  std::vector<IoRead*> ptrs;
+  ptrs.reserve(want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ios[i].fd = file_->fd();
+    ios[i].offset = want[i].first;
+    ios[i].length = want[i].second;
+    ptrs.push_back(&ios[i]);
+  }
+  pool_->io().ReadBatch(ptrs);
+  GADGET_RETURN_IF_ERROR(ios[0].status);
+  GADGET_RETURN_IF_ERROR(
+      VerifyAndStripChecksum(&ios[0].out, options.verify_checksums, file_->path()));
+  // Readahead completions are best-effort: a bad speculative block is simply
+  // not cached (a future direct read will surface the error).
+  for (size_t i = 1; i < ios.size(); ++i) {
+    if (!ios[i].status.ok() ||
+        !VerifyAndStripChecksum(&ios[i].out, options.verify_checksums, file_->path()).ok()) {
+      continue;
+    }
+    PinnedBlock ra = pool_->InsertBlock(pool_file_id_, want[i].first, std::move(ios[i].out));
+    ra.Release();
+  }
+  if (options.fill_cache) {
+    return pool_->InsertBlock(pool_file_id_, offset, std::move(ios[0].out));
+  }
+  *uncached = std::move(ios[0].out);
+  return PinnedBlock();
+}
+
+StatusOr<LookupState> SSTableReader::SearchBlock(std::string_view block, std::string_view key,
+                                                 std::string* value,
+                                                 std::vector<std::string>* operands,
+                                                 const std::string& path) {
+  const char* p = block.data();
+  const char* end = p + block.size();
   while (p < end) {
     uint32_t klen = 0;
     p = GetVarint32(p, end, &klen);
     if (p == nullptr || static_cast<size_t>(end - p) < klen + 1) {
-      return Status::Corruption("bad data entry in " + file_->path());
+      return Status::Corruption("bad data entry in " + path);
     }
     std::string_view k(p, klen);
     p += klen;
@@ -234,7 +312,7 @@ StatusOr<LookupState> SSTableReader::Get(std::string_view key, std::string* valu
     uint32_t vlen = 0;
     p = GetVarint32(p, end, &vlen);
     if (p == nullptr || static_cast<size_t>(end - p) < vlen) {
-      return Status::Corruption("bad data value in " + file_->path());
+      return Status::Corruption("bad data value in " + path);
     }
     std::string_view v(p, vlen);
     p += vlen;
@@ -247,7 +325,7 @@ StatusOr<LookupState> SSTableReader::Get(std::string_view key, std::string* valu
           return LookupState::kFound;
         case RecType::kMergeStack: {
           if (!DecodeMergeStack(v, operands)) {
-            return Status::Corruption("bad merge stack in " + file_->path());
+            return Status::Corruption("bad merge stack in " + path);
           }
           return LookupState::kMergePartial;
         }
@@ -258,6 +336,25 @@ StatusOr<LookupState> SSTableReader::Get(std::string_view key, std::string* valu
     }
   }
   return LookupState::kNotFound;
+}
+
+StatusOr<LookupState> SSTableReader::Get(std::string_view key, std::string* value,
+                                         std::vector<std::string>* operands,
+                                         const ReadOptions& options) {
+  uint64_t offset = 0;
+  uint32_t size = 0;
+  if (!FindDataBlock(key, &offset, &size)) {
+    return LookupState::kNotFound;
+  }
+  std::string uncached;
+  auto block = ReadDataBlock(offset, size, options, &uncached);
+  if (!block.ok()) {
+    return block.status();
+  }
+  if (*block) {
+    return SearchBlock(block->data(), key, value, operands, file_->path());
+  }
+  return SearchBlock(uncached, key, value, operands, file_->path());
 }
 
 Status SSTableReader::ForEach(

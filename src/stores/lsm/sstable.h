@@ -8,7 +8,7 @@
 //
 // Keys appear at most once per table (flush/compaction collapse per key), in
 // strictly increasing order. The index and bloom blocks are pinned in memory
-// by the reader; data blocks go through the shared BlockCache.
+// by the reader; data blocks go through the shared BufferPool.
 #ifndef GADGET_STORES_LSM_SSTABLE_H_
 #define GADGET_STORES_LSM_SSTABLE_H_
 
@@ -16,13 +16,15 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/common/file_util.h"
 #include "src/common/status.h"
-#include "src/stores/lsm/block_cache.h"
+#include "src/stores/bufferpool/buffer_pool.h"
 #include "src/stores/lsm/bloom.h"
 #include "src/stores/lsm/format.h"
+#include "src/stores/read_options.h"
 
 namespace gadget {
 
@@ -67,34 +69,70 @@ class SSTableBuilder {
 
 class SSTableReader {
  public:
-  // cache may be nullptr (compaction inputs bypass the cache).
+  // pool may be nullptr (standalone tooling/tests); the reader then reads
+  // uncached. With a pool, the reader claims a pool-global file id at Open
+  // and drops its blocks again on destruction.
   static StatusOr<std::shared_ptr<SSTableReader>> Open(const std::string& path,
-                                                       uint64_t file_number, BlockCache* cache);
+                                                       uint64_t file_number, BufferPool* pool);
+  ~SSTableReader();
+  SSTableReader(const SSTableReader&) = delete;
+  SSTableReader& operator=(const SSTableReader&) = delete;
 
   // Point lookup. kNotFound: not in this table. kFound/kDeleted: terminal.
   // kMergePartial: *operands filled (oldest-first).
   StatusOr<LookupState> Get(std::string_view key, std::string* value,
-                            std::vector<std::string>* operands);
+                            std::vector<std::string>* operands,
+                            const ReadOptions& options = ReadOptions());
 
   // Sequential scan of every record, in key order (compaction input).
   Status ForEach(
       const std::function<void(std::string_view key, RecType type, std::string_view value)>& fn);
 
+  // --- async read-path support (the MultiGet wave in LsmStore) ---
+
+  // Locates the data block that may hold `key`. False when the bloom filter
+  // or index proves the key absent (no I/O either way).
+  bool FindDataBlock(std::string_view key, uint64_t* offset, uint32_t* size) const;
+
+  // Appends (offset, size) of up to `n` data blocks following the block at
+  // `offset` — the readahead window.
+  void BlocksAfter(uint64_t offset, uint32_t n,
+                   std::vector<std::pair<uint64_t, uint32_t>>* out) const;
+
+  // Pool access for externally fetched blocks. Empty handle when poolless.
+  PinnedBlock CacheLookup(uint64_t offset);
+  PinnedBlock CacheInsert(uint64_t offset, std::string block);
+
+  // Checks and strips the 4-byte CRC trailer in place (`verify` = false
+  // strips without checking).
+  static Status VerifyAndStripChecksum(std::string* block, bool verify, const std::string& path);
+
+  // Scans one decoded (CRC-stripped) data block for `key`; same contract as
+  // Get. `path` is only for error messages.
+  static StatusOr<LookupState> SearchBlock(std::string_view block, std::string_view key,
+                                           std::string* value,
+                                           std::vector<std::string>* operands,
+                                           const std::string& path);
+
   uint64_t num_entries() const { return num_entries_; }
   uint64_t file_number() const { return file_number_; }
+  int fd() const { return file_->fd(); }
+  const std::string& path() const { return file_->path(); }
 
   friend class SSTableIterator;
 
  private:
-  SSTableReader(std::unique_ptr<RandomAccessFile> file, uint64_t file_number, BlockCache* cache);
+  SSTableReader(std::unique_ptr<RandomAccessFile> file, uint64_t file_number, BufferPool* pool);
 
   Status ReadBlockRaw(uint64_t offset, uint32_t size, std::string* out) const;
-  // Data block through the cache.
-  StatusOr<BlockCache::BlockHandle> ReadDataBlock(uint64_t offset, uint32_t size);
+  // Data block through the pool (sync path; issues readahead per `options`).
+  StatusOr<PinnedBlock> ReadDataBlock(uint64_t offset, uint32_t size, const ReadOptions& options,
+                                      std::string* uncached);
 
   std::unique_ptr<RandomAccessFile> file_;
   uint64_t file_number_;
-  BlockCache* cache_;
+  BufferPool* pool_;
+  uint64_t pool_file_id_ = 0;
 
   struct IndexEntry {
     std::string last_key;

@@ -40,11 +40,9 @@ std::string FromHex(std::string_view s) {
 
 FileMeta::~FileMeta() {
   if (obsolete.load(std::memory_order_acquire)) {
-    if (cache != nullptr) {
-      cache->EraseFile(number);
-    }
     // status intentionally ignored: deleting an obsolete SSTable is garbage
-    // collection; a leftover file is swept on the next recovery.
+    // collection; a leftover file is swept on the next recovery. The reader
+    // member (destroyed after this body) evicts the table's cached blocks.
     (void)RemoveFile(path);
   }
 }

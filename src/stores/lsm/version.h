@@ -26,8 +26,9 @@ struct FileMeta {
   std::string smallest;
   std::string largest;
   std::string path;
+  // The reader owns the table's buffer-pool residency: its destructor drops
+  // the file's cached blocks, so FileMeta only unlinks the file itself.
   std::shared_ptr<SSTableReader> reader;
-  BlockCache* cache = nullptr;
   std::atomic<bool> obsolete{false};
   std::atomic<bool> being_compacted{false};
 

@@ -82,7 +82,7 @@ Status MemStore::Put(std::string_view key, std::string_view value) {
   return Status::Ok();
 }
 
-Status MemStore::Get(std::string_view key, std::string* value) {
+Status MemStore::Get(std::string_view key, std::string* value, const ReadOptions& /*options*/) {
   Stripe& s = StripeFor(key);
   s.gets.fetch_add(1, std::memory_order_relaxed);
   size_t read = 0;
@@ -289,7 +289,8 @@ Status MemStore::Write(const WriteBatch& batch) {
 }
 
 Status MemStore::MultiGet(const std::vector<std::string>& keys,
-                          std::vector<std::string>* values, std::vector<Status>* statuses) {
+                          std::vector<std::string>* values, std::vector<Status>* statuses,
+                          const ReadOptions& /*options*/) {
   const size_t n = keys.size();
   values->resize(n);
   statuses->assign(n, Status::Ok());

@@ -27,8 +27,12 @@ class MemStore : public KVStore {
   // single-lock store (the pre-striping behaviour, kept for baselines).
   explicit MemStore(size_t num_stripes = kDefaultStripes);
 
+  using KVStore::Get;
+  using KVStore::MultiGet;
+
   Status Put(std::string_view key, std::string_view value) override;
-  Status Get(std::string_view key, std::string* value) override;
+  // ReadOptions are accepted but ignored: there is no cache or I/O to tune.
+  Status Get(std::string_view key, std::string* value, const ReadOptions& options) override;
   Status Merge(std::string_view key, std::string_view operand) override;
   Status Delete(std::string_view key) override;
   Status ReadModifyWrite(std::string_view key, std::string_view operand) override;
@@ -39,7 +43,7 @@ class MemStore : public KVStore {
   // per-stripe counters are updated once per group.
   Status Write(const WriteBatch& batch) override;
   Status MultiGet(const std::vector<std::string>& keys, std::vector<std::string>* values,
-                  std::vector<Status>* statuses) override;
+                  std::vector<Status>* statuses, const ReadOptions& options) override;
 
   bool supports_merge() const override { return true; }
   StoreStats stats() const override;

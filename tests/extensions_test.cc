@@ -183,7 +183,7 @@ TEST(MultiReplayTest, InstancesRunAndCombine) {
   traces.push_back(make(3));
 
   ScopedTempDir dir;
-  auto store = OpenStore("lsm", dir.path() + "/db");
+  auto store = OpenStore({.engine = "lsm", .dir = dir.path() + "/db"});
   ASSERT_TRUE(store.ok());
   auto result = ReplayConcurrently(traces, store->get());
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -207,7 +207,7 @@ TEST(MultiReplayTest, NamespaceStrideIsolatesWriters) {
   }
   std::vector<std::vector<StateAccess>> traces = {trace, trace};
   ScopedTempDir dir;
-  auto store = OpenStore("btree", dir.path() + "/db");
+  auto store = OpenStore({.engine = "btree", .dir = dir.path() + "/db"});
   ASSERT_TRUE(store.ok());
   auto result = ReplayConcurrently(traces, store->get(), {}, /*stride=*/1'000'000);
   ASSERT_TRUE(result.ok());

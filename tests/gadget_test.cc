@@ -275,7 +275,7 @@ INSTANTIATE_TEST_SUITE_P(AllOps, GadgetFidelityTest, ::testing::ValuesIn(AllOper
 
 TEST(EvaluatorTest, ReplaysAgainstStore) {
   ScopedTempDir dir;
-  auto store = OpenStore("lsm", dir.path() + "/db");
+  auto store = OpenStore({.engine = "lsm", .dir = dir.path() + "/db"});
   ASSERT_TRUE(store.ok());
   std::vector<StateAccess> trace;
   for (uint64_t i = 0; i < 1000; ++i) {
@@ -293,7 +293,7 @@ TEST(EvaluatorTest, ReplaysAgainstStore) {
 
 TEST(EvaluatorTest, TranslatesMergeForStoresWithoutIt) {
   ScopedTempDir dir;
-  auto store = OpenStore("faster", dir.path() + "/db");
+  auto store = OpenStore({.engine = "faster", .dir = dir.path() + "/db"});
   ASSERT_TRUE(store.ok());
   std::vector<StateAccess> trace = {
       StateAccess{OpType::kMerge, StateKey{1, 0}, 8, 0},
@@ -310,7 +310,7 @@ TEST(EvaluatorTest, TranslatesMergeForStoresWithoutIt) {
 
 TEST(EvaluatorTest, MaxOpsLimitsReplay) {
   ScopedTempDir dir;
-  auto store = OpenStore("mem", "");
+  auto store = OpenStore({.engine = "mem", .dir = ""});
   ASSERT_TRUE(store.ok());
   std::vector<StateAccess> trace(100, StateAccess{OpType::kPut, StateKey{1, 0}, 8, 0});
   ReplayOptions opts;
@@ -322,7 +322,7 @@ TEST(EvaluatorTest, MaxOpsLimitsReplay) {
 
 TEST(EvaluatorTest, ServiceRatePacesReplay) {
   ScopedTempDir dir;
-  auto store = OpenStore("mem", "");
+  auto store = OpenStore({.engine = "mem", .dir = ""});
   ASSERT_TRUE(store.ok());
   std::vector<StateAccess> trace(50, StateAccess{OpType::kPut, StateKey{1, 0}, 8, 0});
   ReplayOptions opts;

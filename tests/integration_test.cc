@@ -87,7 +87,7 @@ TEST(CrossEngineTest, FinalStateAgreesAcrossEngines) {
   std::map<std::string, std::map<StateKey, std::string>> final_states;
   for (const char* engine : {"mem", "lsm", "lethe", "faster", "btree"}) {
     ScopedTempDir dir;
-    auto store = OpenStore(engine, dir.path() + "/db");
+    auto store = OpenStore({.engine = engine, .dir = dir.path() + "/db"});
     ASSERT_TRUE(store.ok());
     auto replay = ReplayTrace(*trace, store->get());
     ASSERT_TRUE(replay.ok()) << engine;
@@ -127,7 +127,7 @@ TEST(OfflineIntegrationTest, TraceFileDrivesRealStore) {
 
   auto trace = ReadAccessTrace(path);
   ASSERT_TRUE(trace.ok());
-  auto store = OpenStore("lsm", dir.path() + "/db");
+  auto store = OpenStore({.engine = "lsm", .dir = dir.path() + "/db"});
   ASSERT_TRUE(store.ok());
   auto result = ReplayTrace(*trace, store->get());
   ASSERT_TRUE(result.ok());
@@ -145,7 +145,7 @@ TEST(ConcurrentIntegrationTest, TwoWorkloadsOneStore) {
     access.key.hi += 1'000'000;  // disjoint writer key ranges (§2.3)
   }
   ScopedTempDir dir;
-  auto store = OpenStore("lsm", dir.path() + "/db");
+  auto store = OpenStore({.engine = "lsm", .dir = dir.path() + "/db"});
   ASSERT_TRUE(store.ok());
   StatusOr<ReplayResult> rb = Status::Internal("not run");
   std::thread t([&] { rb = ReplayTrace(*b, store->get()); });
@@ -169,7 +169,7 @@ TEST(FlinkletStoreIntegrationTest, OutputsMatchShadowBackend) {
   ASSERT_TRUE(shadow.ok());
 
   ScopedTempDir dir;
-  auto store = OpenStore("lsm", dir.path() + "/db");
+  auto store = OpenStore({.engine = "lsm", .dir = dir.path() + "/db"});
   ASSERT_TRUE(store.ok());
   auto real = RunPipeline("tumbling_incr", **d2, popts, store->get());
   ASSERT_TRUE(real.ok()) << real.status().ToString();

@@ -218,6 +218,34 @@ TEST(RenameSyncTest, IgnoresDeclarationAndDefinition) {
                        "rename-sync"));
 }
 
+// -------------------------------------------------------- bufferpool-bypass
+
+TEST(BufferPoolBypassTest, FlagsBlockCacheAndRawPread) {
+  EXPECT_TRUE(
+      HasRule(LintContent("src/stores/lsm/a.cc", "BlockCache cache(1 << 20);\n"),
+              "bufferpool-bypass"));
+  auto findings = LintContent("src/stores/lsm/a.cc",
+                              "ssize_t r = ::pread(fd, buf, n, off);\n");
+  ASSERT_TRUE(HasRule(findings, "bufferpool-bypass"));
+  EXPECT_EQ(findings.front().line, 1);
+  EXPECT_TRUE(HasRule(LintContent("src/x.cc", "if (pread(fd, p, n, o) < 0) {}\n"),
+                      "bufferpool-bypass"));
+  EXPECT_TRUE(HasRule(LintContent("src/x.cc", "pread64(fd, p, n, o);\n"),
+                      "bufferpool-bypass"));
+}
+
+TEST(BufferPoolBypassTest, ExemptsPoolImplementationAndLookalikes) {
+  EXPECT_FALSE(HasRule(LintContent("src/stores/bufferpool/io_backend.cc",
+                                   "::pread(fd, buf, n, off);\nBlockCache x;\n"),
+                       "bufferpool-bypass"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "PreadAll(fd, buf, n, off);\n"),
+                       "bufferpool-bypass"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "// pread() is banned here\n"),
+                       "bufferpool-bypass"));
+  EXPECT_FALSE(
+      HasRule(LintContent("src/a.cc", "int my_pread(int fd);\n"), "bufferpool-bypass"));
+}
+
 // --------------------------------------------------------------- allowlist
 
 TEST(AllowlistTest, SuppressesByRuleAndPathSuffix) {

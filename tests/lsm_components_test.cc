@@ -1,10 +1,10 @@
-// Unit tests for LSM internals: bloom filter, block cache, memtable,
+// Unit tests for LSM internals: bloom filter, buffer pool plumbing, memtable,
 // SSTable builder/reader/iterator, WAL, manifest.
 #include <gtest/gtest.h>
 
 #include "src/common/file_util.h"
+#include "src/stores/bufferpool/buffer_pool.h"
 #include "src/stores/lsm/bloom.h"
-#include "src/stores/lsm/block_cache.h"
 #include "src/stores/lsm/memtable.h"
 #include "src/stores/lsm/sstable.h"
 #include "src/stores/lsm/version.h"
@@ -52,25 +52,25 @@ TEST(BloomTest, EmptyFilterIsSafe) {
   EXPECT_TRUE(BloomFilterMayContain("", "x"));
 }
 
-// -------------------------------------------------------------- block cache
+// -------------------------------------------------------------- buffer pool
 
-TEST(BlockCacheTest, HitAfterInsert) {
-  BlockCache cache(1 << 20);
-  cache.Insert(1, 0, "hello");
-  auto h = cache.Lookup(1, 0);
-  ASSERT_NE(h, nullptr);
-  EXPECT_EQ(*h, "hello");
-  EXPECT_EQ(cache.hits(), 1u);
+TEST(BufferPoolCacheTest, HitAfterInsert) {
+  BufferPool pool;
+  pool.InsertBlock(1, 0, "hello");
+  PinnedBlock h = pool.Lookup(1, 0);
+  ASSERT_TRUE(static_cast<bool>(h));
+  EXPECT_EQ(h.data(), "hello");
+  EXPECT_EQ(pool.hits(), 1u);
 }
 
-TEST(BlockCacheTest, EvictsUnderPressure) {
-  BlockCache cache(8 * 1024);  // 1KB per shard
+TEST(BufferPoolCacheTest, EvictsUnderPressure) {
+  BufferPool pool(BufferPoolOptions{.capacity_bytes = 8 * 1024, .shards = 8});
   for (uint64_t i = 0; i < 1000; ++i) {
-    cache.Insert(1, i * 4096, std::string(512, 'x'));
+    pool.InsertBlock(1, i * 4096, std::string(512, 'x'));
   }
   int present = 0;
   for (uint64_t i = 0; i < 1000; ++i) {
-    if (cache.Lookup(1, i * 4096) != nullptr) {
+    if (pool.Lookup(1, i * 4096)) {
       ++present;
     }
   }
@@ -78,15 +78,15 @@ TEST(BlockCacheTest, EvictsUnderPressure) {
   EXPECT_GT(present, 0);   // but the most recent stayed
 }
 
-TEST(BlockCacheTest, EraseFileDropsBlocks) {
-  BlockCache cache(1 << 20);
-  cache.Insert(7, 0, "a");
-  cache.Insert(7, 4096, "b");
-  cache.Insert(8, 0, "c");
-  cache.EraseFile(7);
-  EXPECT_EQ(cache.Lookup(7, 0), nullptr);
-  EXPECT_EQ(cache.Lookup(7, 4096), nullptr);
-  EXPECT_NE(cache.Lookup(8, 0), nullptr);
+TEST(BufferPoolCacheTest, EraseFileDropsBlocks) {
+  BufferPool pool;
+  pool.InsertBlock(7, 0, "a");
+  pool.InsertBlock(7, 4096, "b");
+  pool.InsertBlock(8, 0, "c");
+  pool.EraseFile(7);
+  EXPECT_FALSE(pool.Lookup(7, 0));
+  EXPECT_FALSE(pool.Lookup(7, 4096));
+  EXPECT_TRUE(static_cast<bool>(pool.Lookup(8, 0)));
 }
 
 // ----------------------------------------------------------------- memtable
@@ -186,8 +186,8 @@ TEST(SSTableTest, BuildAndPointGet) {
   EXPECT_EQ(builder.smallest(), "key000000");
   EXPECT_EQ(builder.largest(), "key000999");
 
-  BlockCache cache(1 << 20);
-  auto reader = SSTableReader::Open(path, 1, &cache);
+  BufferPool pool;
+  auto reader = SSTableReader::Open(path, 1, &pool);
   ASSERT_TRUE(reader.ok());
   std::string value;
   std::vector<std::string> ops;

@@ -17,7 +17,6 @@ namespace {
 LsmOptions PipelineOptions() {
   LsmOptions opts;
   opts.write_buffer_size = 8 * 1024;
-  opts.block_cache_bytes = 64 * 1024;
   opts.max_bytes_level_base = 128 * 1024;
   opts.target_file_size = 16 * 1024;
   opts.max_immutable_memtables = 4;

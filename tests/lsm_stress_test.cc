@@ -19,7 +19,6 @@ namespace fs = std::filesystem;
 LsmOptions TinyOptions() {
   LsmOptions opts;
   opts.write_buffer_size = 32 * 1024;
-  opts.block_cache_bytes = 64 * 1024;
   opts.max_bytes_level_base = 128 * 1024;
   opts.target_file_size = 32 * 1024;
   opts.l0_compaction_trigger = 2;

@@ -58,7 +58,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(KeyEdgeTest, BinaryKeysWithEmbeddedZeros) {
   for (const char* engine : {"lsm", "faster", "btree"}) {
     ScopedTempDir dir;
-    auto store = OpenStore(engine, dir.path() + "/db");
+    auto store = OpenStore({.engine = engine, .dir = dir.path() + "/db"});
     ASSERT_TRUE(store.ok()) << engine;
     std::string k1("\x00\x01\x00", 3);
     std::string k2("\x00\x01\x00\x00", 4);  // prefix of nothing: distinct key
@@ -76,7 +76,7 @@ TEST(KeyEdgeTest, BinaryKeysWithEmbeddedZeros) {
 TEST(KeyEdgeTest, StateKeyEncodingAgreesWithStoreOrdering) {
   // Writes via encoded StateKeys and checks extremes round-trip.
   ScopedTempDir dir;
-  auto store = OpenStore("btree", dir.path() + "/db");
+  auto store = OpenStore({.engine = "btree", .dir = dir.path() + "/db"});
   ASSERT_TRUE(store.ok());
   StateKey keys[] = {{0, 0}, {0, ~0ull}, {~0ull, 0}, {~0ull, ~0ull}, {1ull << 63, 42}};
   for (const StateKey& k : keys) {
@@ -96,8 +96,10 @@ TEST(CachePressureTest, LsmReadsWorkWithTinyCache) {
   ScopedTempDir dir;
   LsmOptions opts;
   opts.write_buffer_size = 16 * 1024;
-  opts.block_cache_bytes = 4 * 1024;  // pathological: ~1 block
-  auto store = LsmStore::Open(dir.path(), opts);
+  // Pathological pool: ~1 block resident.
+  auto pool = std::make_shared<BufferPool>(
+      BufferPoolOptions{.capacity_bytes = 4 * 1024, .shards = 1});
+  auto store = LsmStore::Open(dir.path(), opts, pool);
   ASSERT_TRUE(store.ok());
   for (int i = 0; i < 2000; ++i) {
     ASSERT_TRUE((*store)->Put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
@@ -116,8 +118,11 @@ TEST(CachePressureTest, BTreeEvictsDirtyPagesCorrectly) {
   ScopedTempDir dir;
   BTreeOptions opts;
   opts.page_size = 512;
-  opts.cache_bytes = 2 * 1024;  // 4 pages
-  auto store = BTreeStore::Open(dir.path(), opts);
+  // 4-page pool: every leaf walk evicts; dirty pages must survive via the
+  // dirty table.
+  auto pool = std::make_shared<BufferPool>(
+      BufferPoolOptions{.capacity_bytes = 2 * 1024, .shards = 1});
+  auto store = BTreeStore::Open(dir.path(), opts, pool);
   ASSERT_TRUE(store.ok());
   for (int i = 0; i < 2000; ++i) {
     ASSERT_TRUE((*store)->Put("key" + std::to_string(i), "v" + std::to_string(i)).ok());
@@ -205,8 +210,8 @@ TEST(FasterEdgeTest, TruncatesTornLogTail) {
 
 TEST(LetheContrastTest, NamesAndConfigDiffer) {
   ScopedTempDir dir;
-  auto lsm = OpenStore("lsm", dir.path() + "/a");
-  auto lethe = OpenStore("lethe", dir.path() + "/b");
+  auto lsm = OpenStore({.engine = "lsm", .dir = dir.path() + "/a"});
+  auto lethe = OpenStore({.engine = "lethe", .dir = dir.path() + "/b"});
   ASSERT_TRUE(lsm.ok() && lethe.ok());
   EXPECT_EQ((*lsm)->name(), "lsm");
   EXPECT_EQ((*lethe)->name(), "lethe");
@@ -220,7 +225,7 @@ TEST(LetheContrastTest, NamesAndConfigDiffer) {
 
 TEST(ConcurrencyEdgeTest, MixedOpsFourThreads) {
   ScopedTempDir dir;
-  auto store = OpenStore("lsm", dir.path() + "/db");
+  auto store = OpenStore({.engine = "lsm", .dir = dir.path() + "/db"});
   ASSERT_TRUE(store.ok());
   auto worker = [&](int id) {
     for (int i = 0; i < 1500; ++i) {

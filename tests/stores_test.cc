@@ -144,7 +144,7 @@ class StoreDifferentialTest : public ::testing::TestWithParam<std::tuple<const c
 TEST_P(StoreDifferentialTest, MatchesReferenceUnderRandomOps) {
   const auto& [engine, seed] = GetParam();
   ScopedTempDir dir;
-  auto store_or = OpenStore(engine, dir.path() + "/db");
+  auto store_or = OpenStore({.engine = engine, .dir = dir.path() + "/db"});
   ASSERT_TRUE(store_or.ok());
   auto& store = *store_or;
   std::map<std::string, std::string> reference;
@@ -212,7 +212,6 @@ INSTANTIATE_TEST_SUITE_P(
 LsmOptions SmallLsmOptions() {
   LsmOptions opts;
   opts.write_buffer_size = 64 * 1024;  // force frequent flushes
-  opts.block_cache_bytes = 256 * 1024;
   opts.max_bytes_level_base = 256 * 1024;
   opts.target_file_size = 64 * 1024;
   return opts;
@@ -395,7 +394,6 @@ TEST(BTreeStoreTest, SplitsMaintainInvariants) {
   ScopedTempDir dir;
   BTreeOptions opts;
   opts.page_size = 512;  // tiny pages force deep trees
-  opts.cache_bytes = 16 * 1024;
   auto store_or = BTreeStore::Open(dir.path(), opts);
   ASSERT_TRUE(store_or.ok());
   auto* btree = static_cast<BTreeStore*>(store_or->get());
@@ -476,7 +474,7 @@ TEST(StoreConcurrencyTest, TwoThreadsDisjointKeys) {
   // concurrent access (single-writer-per-key is guaranteed by the model).
   for (const char* engine : {"lsm", "faster", "btree"}) {
     ScopedTempDir dir;
-    auto store_or = OpenStore(engine, dir.path() + "/db");
+    auto store_or = OpenStore({.engine = engine, .dir = dir.path() + "/db"});
     ASSERT_TRUE(store_or.ok()) << engine;
     auto& store = *store_or;
     auto worker = [&](int id) {

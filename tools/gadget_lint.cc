@@ -423,6 +423,34 @@ void CheckRenameSync(std::string_view path, const std::vector<std::string_view>&
   }
 }
 
+// Block reads belong to the shared buffer pool: the legacy BlockCache type
+// must not come back, and raw pread() calls outside src/stores/bufferpool/
+// bypass the pool's IoBackend (no batching, no io_in_flight accounting).
+// Long-standing helpers (PreadAll, RandomAccessFile) are allowlisted.
+void CheckBufferPoolBypass(std::string_view path,
+                           const std::vector<std::string_view>& stripped_lines,
+                           std::vector<Finding>* findings) {
+  if (path.find("src/stores/bufferpool/") != std::string_view::npos) {
+    return;  // the pool's own implementation
+  }
+  static const std::regex kBlockCache(R"(\bBlockCache\b)");
+  static const std::regex kPread(R"((^|[^A-Za-z0-9_:])(::\s*)?pread(64)?\s*\()");
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    const std::string line(stripped_lines[i]);
+    if (std::regex_search(line, kBlockCache)) {
+      findings->push_back({std::string(path), static_cast<int>(i + 1), "bufferpool-bypass",
+                           "BlockCache was replaced by the shared BufferPool "
+                           "(src/stores/bufferpool/); use BufferPool + PinnedBlock"});
+    }
+    if (std::regex_search(line, kPread)) {
+      findings->push_back({std::string(path), static_cast<int>(i + 1), "bufferpool-bypass",
+                           "raw pread() outside src/stores/bufferpool/ bypasses the pool's "
+                           "IoBackend (no batching or in-flight accounting); read through "
+                           "BufferPool/IoBackend or an allowlisted helper"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> LintContent(std::string_view path, std::string_view content) {
@@ -439,6 +467,7 @@ std::vector<Finding> LintContent(std::string_view path, std::string_view content
   CheckBannedCalls(path, stripped_lines, &findings);
   CheckVoidStatus(path, raw_lines, stripped_lines, &findings);
   CheckRenameSync(path, stripped_lines, &findings);
+  CheckBufferPoolBypass(path, stripped_lines, &findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) { return a.line < b.line; });
   return findings;
