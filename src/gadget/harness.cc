@@ -359,6 +359,27 @@ Status RunYcsb(const Config& config, std::ostream& out) {
 
 }  // namespace
 
+StatusOr<std::vector<StateAccess>> BuildAccessTrace(const Config& config) {
+  const std::string trace_in = config.GetString("trace_in");
+  if (!trace_in.empty()) {
+    return ReadAccessTrace(trace_in);
+  }
+  const std::string op = config.GetString("operator", "tumbling_incr");
+  auto source = SourceFrom(config, op);
+  if (!source.ok()) {
+    return source.status();
+  }
+  auto workload = GenerateWorkload(op, **source, OperatorConfigFrom(config));
+  if (!workload.ok()) {
+    return workload.status();
+  }
+  return std::move(workload->trace);
+}
+
+StoreOptions StoreOptionsFromConfig(const Config& config, std::string dir) {
+  return StoreOptionsFrom(config, std::move(dir));
+}
+
 Status RunHarness(const Config& config, std::ostream& out) {
   const std::string mode = config.GetString("mode", "online");
   if (mode == "ycsb") {

@@ -66,15 +66,29 @@
 #define GADGET_GADGET_HARNESS_H_
 
 #include <ostream>
+#include <string>
+#include <vector>
 
 #include "src/common/config.h"
 #include "src/common/status.h"
+#include "src/stores/kvstore.h"
+#include "src/streams/state_access.h"
 
 namespace gadget {
 
 // Runs the experiment described by `config`, writing human-readable results
 // to `out`. Returns the first error encountered.
 Status RunHarness(const Config& config, std::ostream& out);
+
+// Materializes the access trace `config` describes without replaying it:
+// trace_in=<path> when set, otherwise the source/operator generation path
+// RunHarness itself uses. This is how the service loadgen replays the same
+// workloads the in-process evaluator does.
+StatusOr<std::vector<StateAccess>> BuildAccessTrace(const Config& config);
+
+// The StoreOptions `config` describes (store / buffer_pool_* / sync_writes /
+// batch_size keys; see the key table above) rooted at `dir`.
+StoreOptions StoreOptionsFromConfig(const Config& config, std::string dir);
 
 }  // namespace gadget
 

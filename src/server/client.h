@@ -1,0 +1,113 @@
+// Connection-pooled client for the store service (DESIGN.md §6).
+//
+// A Client owns `pool_size` blocking FramedConn connections to one server.
+// Two usage modes:
+//   * Convenience calls (Get/Put/Merge/Delete/Write/MultiGet/Ping/StatsJson):
+//     lease a pooled connection, send one request, block for its response.
+//     Thread-safe — concurrent callers spread round-robin over the pool and
+//     serialize per connection.
+//   * Lease(): exclusive ownership of one pooled connection for pipelined
+//     use (loadgen's replay threads). The holder sends bursts of frames and
+//     matches responses by id itself; the connection returns to the pool when
+//     the lease is destroyed.
+//
+// Correlation ids are per-connection monotonic counters: responses on one
+// connection may complete out of request order (the server's shards finish
+// independently), so every receive path matches on id, never on arrival
+// order.
+#ifndef GADGET_SERVER_CLIENT_H_
+#define GADGET_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/status.h"
+#include "src/server/net/socket.h"
+#include "src/server/wire.h"
+#include "src/stores/kvstore.h"
+
+namespace gadget {
+namespace wire {
+
+class Client {
+ public:
+  // Connects `pool_size` blocking TCP connections to 127.0.0.1:`port`.
+  static StatusOr<std::unique_ptr<Client>> Connect(uint16_t port, int pool_size = 1);
+
+  ~Client() = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // --- one-shot convenience API (thread-safe) -------------------------------
+
+  Status Put(std::string_view key, std::string_view value);
+  // NotFound when the key is absent; any other error is the wire/server error.
+  Status Get(std::string_view key, std::string* value);
+  Status Merge(std::string_view key, std::string_view operand);
+  Status Delete(std::string_view key);
+  // Mirrors KVStore::MultiGet: per-key Ok/NotFound statuses, first hard error
+  // as the aggregate return.
+  Status MultiGet(const std::vector<std::string>& keys, std::vector<std::string>* values,
+                  std::vector<Status>* statuses);
+  Status Write(const WriteBatch& batch);
+  Status Ping();
+  // The server's per-shard + merged StoreStats document (see
+  // ShardSet::StatsJson).
+  StatusOr<std::string> StatsJson();
+
+  // --- pipelined API --------------------------------------------------------
+
+  // Exclusive hold of one pooled connection. Movable, not copyable; the
+  // connection is released back to the pool on destruction.
+  class Lease {
+   public:
+    Lease(Lease&& o) noexcept : client_(o.client_), index_(o.index_) { o.client_ = nullptr; }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    net::FramedConn* conn();
+    // Next correlation id for this connection (monotonic, never 0 — id 0 is
+    // reserved for the server's connection-fatal errors).
+    uint32_t NextId();
+
+   private:
+    friend class Client;
+    Lease(Client* client, size_t index) : client_(client), index_(index) {}
+    Client* client_;
+    size_t index_;
+  };
+
+  // Blocks until a pooled connection is free. Every convenience call above
+  // also goes through this, so leases and one-shot calls interleave safely.
+  Lease AcquireLease();
+
+ private:
+  struct PooledConn {
+    std::unique_ptr<net::FramedConn> conn;
+    uint32_t next_id = 1;
+    bool leased = false;
+  };
+
+  Client() = default;
+
+  // Sends one request frame on a leased connection and blocks for the
+  // response with the matching id (buffering none: the one-shot API has at
+  // most one request in flight per connection).
+  Status RoundTrip(Lease& lease, std::string_view frame, uint32_t id, Response* out);
+
+  Mutex mu_;
+  CondVar available_{&mu_};
+  std::vector<PooledConn> pool_ GUARDED_BY(mu_);
+  size_t next_ GUARDED_BY(mu_) = 0;  // round-robin start for the free scan
+};
+
+}  // namespace wire
+}  // namespace gadget
+
+#endif  // GADGET_SERVER_CLIENT_H_

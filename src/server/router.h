@@ -1,0 +1,69 @@
+// Consistent-hash key → shard routing (DESIGN.md §6).
+//
+// Each shard contributes kVnodesPerShard points on a 64-bit hash ring
+// (derived by mixing the shard index with the vnode index, so the ring is a
+// pure function of the shard count — every client and the server compute the
+// same ring with no coordination). A key routes to the owner of the first
+// ring point at or after Hash64(key), wrapping at the top. Growing N shards
+// to N+1 therefore moves only ~1/(N+1) of the keyspace, which is what makes
+// the router "consistent": loadgen clients and the server can disagree about
+// nothing except during an explicit reshard.
+#ifndef GADGET_SERVER_ROUTER_H_
+#define GADGET_SERVER_ROUTER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/common/hash.h"
+
+namespace gadget {
+namespace wire {
+
+class ConsistentHashRouter {
+ public:
+  static constexpr int kVnodesPerShard = 128;
+
+  explicit ConsistentHashRouter(int shards) {
+    ring_.reserve(static_cast<size_t>(shards) * kVnodesPerShard);
+    for (int s = 0; s < shards; ++s) {
+      for (int v = 0; v < kVnodesPerShard; ++v) {
+        const uint64_t point =
+            Mix64((static_cast<uint64_t>(s) << 32) | static_cast<uint64_t>(v) | (1ULL << 63));
+        ring_.push_back({point, s});
+      }
+    }
+    std::sort(ring_.begin(), ring_.end());
+    shards_ = shards;
+  }
+
+  int shards() const { return shards_; }
+
+  int Route(std::string_view key) const { return RouteHash(Hash64(key)); }
+
+  int RouteHash(uint64_t h) const {
+    auto it = std::lower_bound(ring_.begin(), ring_.end(), Point{h, -1});
+    if (it == ring_.end()) {
+      it = ring_.begin();  // wrap past the top of the ring
+    }
+    return it->shard;
+  }
+
+ private:
+  struct Point {
+    uint64_t hash;
+    int shard;
+    bool operator<(const Point& o) const {
+      return hash != o.hash ? hash < o.hash : shard < o.shard;
+    }
+  };
+
+  std::vector<Point> ring_;
+  int shards_ = 0;
+};
+
+}  // namespace wire
+}  // namespace gadget
+
+#endif  // GADGET_SERVER_ROUTER_H_

@@ -1,0 +1,681 @@
+#include "src/server/server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/mutex.h"
+#include "src/server/net/socket.h"
+#include "src/server/wire.h"
+
+namespace gadget {
+namespace wire {
+namespace {
+
+// One live client connection. The IO thread owns the receive state; workers
+// share the send side through Send()'s mutex so response bursts from
+// different shards never interleave mid-frame.
+struct Conn {
+  explicit Conn(int conn_fd) : fd(conn_fd) {}
+  ~Conn() { net::CloseFd(fd); }
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  const int fd;
+  std::string in;   // IO-thread-only: received bytes not yet framed
+  size_t off = 0;   // IO-thread-only: consumed prefix of `in`
+
+  Mutex mu;
+  bool closed GUARDED_BY(mu) = false;
+
+  void Send(std::string_view frames) {
+    if (frames.empty()) {
+      return;
+    }
+    MutexLock lock(&mu);
+    if (closed) {
+      return;
+    }
+    if (!net::SendAll(fd, frames).ok()) {
+      closed = true;  // peer is gone; epoll will surface the error to the IO thread
+    }
+  }
+
+  void MarkClosed() {
+    MutexLock lock(&mu);
+    closed = true;
+  }
+};
+
+// Join state for a MULTI_GET whose keys span shards: each shard's worker
+// fills its positions; the last one to finish encodes and sends the single
+// MULTI response.
+struct MultiJoin {
+  std::shared_ptr<Conn> conn;
+  uint32_t id = 0;
+  Mutex mu;
+  std::vector<Status> statuses GUARDED_BY(mu);
+  std::vector<std::string> values GUARDED_BY(mu);
+  size_t remaining GUARDED_BY(mu) = 0;
+};
+
+// Join state for a cross-shard WRITE_BATCH: one OK once every shard has
+// applied its slice, or the first error.
+struct BatchJoin {
+  std::shared_ptr<Conn> conn;
+  uint32_t id = 0;
+  Mutex mu;
+  Status error GUARDED_BY(mu);
+  size_t remaining GUARDED_BY(mu) = 0;
+};
+
+// One decoded request (or per-shard slice of a fan-out request) bound for a
+// shard worker.
+struct WorkItem {
+  MsgType type = MsgType::kPing;
+  uint32_t id = 0;
+  std::string key;    // get / put / merge / delete
+  std::string value;  // put / merge operand
+
+  std::vector<std::string> keys;   // multi-get slice
+  std::vector<size_t> positions;   // original index of each key in the request
+  std::shared_ptr<MultiJoin> mjoin;
+
+  WriteBatch batch;  // write-batch slice
+  std::shared_ptr<BatchJoin> bjoin;
+};
+
+// A burst of requests from one connection for one shard.
+struct ShardTask {
+  std::shared_ptr<Conn> conn;
+  std::vector<WorkItem> items;
+};
+
+struct ShardQueue {
+  Mutex mu;
+  CondVar not_empty{&mu};
+  CondVar not_full{&mu};
+  std::deque<ShardTask> tasks GUARDED_BY(mu);
+  bool stop GUARDED_BY(mu) = false;
+};
+
+}  // namespace
+
+struct Server::Impl {
+  ServerOptions options;
+  ShardSet* shards = nullptr;
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::atomic<bool> stopping{false};
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;  // IO thread only
+  std::vector<std::unique_ptr<ShardQueue>> queues;
+
+  ~Impl() {
+    net::CloseFd(listen_fd);
+    net::CloseFd(wake_fd);
+    if (epoll_fd >= 0) {
+      ::close(epoll_fd);
+    }
+  }
+
+  void IoLoop();
+  void AcceptAll();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  // Decodes every complete frame buffered on `conn` and dispatches the
+  // resulting shard tasks. Returns false when the connection must close
+  // (protocol error — the fatal ERROR frame has already been sent).
+  bool DecodeBurst(const std::shared_ptr<Conn>& conn);
+  void Dispatch(int shard, ShardTask task);
+  void DropConn(int fd);
+
+  void WorkerLoop(int shard);
+  void ExecuteTask(int shard, ShardTask& task);
+};
+
+void Server::Impl::AcceptAll() {
+  for (;;) {
+    StatusOr<int> fd = net::TcpAccept(listen_fd);
+    if (!fd.ok()) {
+      GADGET_LOG(Warning) << "accept failed: " << fd.status().ToString();
+      return;
+    }
+    if (*fd < 0) {
+      return;  // listen queue drained
+    }
+    if (!net::SetNonBlocking(*fd).ok()) {
+      net::CloseFd(*fd);
+      continue;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = *fd;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, *fd, &ev) < 0) {
+      net::CloseFd(*fd);
+      continue;
+    }
+    conns.emplace(*fd, std::make_shared<Conn>(*fd));
+  }
+}
+
+void Server::Impl::DropConn(int fd) {
+  auto it = conns.find(fd);
+  if (it == conns.end()) {
+    return;
+  }
+  it->second->MarkClosed();
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  // The fd itself closes when the last in-flight task drops its Conn ref.
+  conns.erase(it);
+}
+
+void Server::Impl::IoLoop() {
+  epoll_event events[64];
+  while (!stopping.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(epoll_fd, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      GADGET_LOG(Error) << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd) {
+        uint64_t tick = 0;
+        const ssize_t ignored = ::read(wake_fd, &tick, sizeof(tick));
+        (void)ignored;
+        continue;
+      }
+      if (fd == listen_fd) {
+        AcceptAll();
+        continue;
+      }
+      auto it = conns.find(fd);
+      if (it == conns.end()) {
+        continue;  // already dropped earlier in this wake
+      }
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 &&
+          (events[i].events & EPOLLIN) == 0) {
+        DropConn(fd);
+        continue;
+      }
+      HandleReadable(it->second);
+    }
+  }
+  // Teardown: no new frames will be read; in-flight tasks finish via their
+  // own Conn refs.
+  std::vector<int> fds;
+  fds.reserve(conns.size());
+  for (const auto& [fd, conn] : conns) {
+    fds.push_back(fd);
+  }
+  for (int fd : fds) {
+    DropConn(fd);
+  }
+}
+
+void Server::Impl::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  bool eof = false;
+  for (;;) {
+    std::string error;
+    const int n = net::RecvChunk(conn->fd, &conn->in, 64 << 10, &error);
+    if (n > 0) {
+      continue;  // drain until EAGAIN so level-triggered epoll stays quiet
+    }
+    if (n == -1) {
+      break;  // no more buffered bytes
+    }
+    eof = true;  // orderly EOF or hard error: process what we have, then drop
+    break;
+  }
+  if (!DecodeBurst(conn) || eof) {
+    DropConn(conn->fd);
+  }
+}
+
+bool Server::Impl::DecodeBurst(const std::shared_ptr<Conn>& conn) {
+  // Responses the IO thread can produce itself (PONG, STATS_TEXT, trivial
+  // empty-request replies) accumulate here and go out as one send.
+  std::string inline_out;
+  std::vector<std::vector<WorkItem>> per_shard(queues.size());
+  bool ok = true;
+
+  for (;;) {
+    FrameView frame;
+    size_t consumed = 0;
+    std::string error;
+    const FrameStatus fs =
+        ExtractFrame(std::string_view(conn->in).substr(conn->off), &frame, &consumed, &error);
+    if (fs == FrameStatus::kNeedMore) {
+      break;
+    }
+    if (fs == FrameStatus::kError) {
+      AppendErrorResponse(&inline_out, 0, error);  // id 0: connection-fatal
+      ok = false;
+      break;
+    }
+    Request req;
+    const Status ps = ParseRequest(frame, &req);
+    if (!ps.ok()) {
+      AppendErrorResponse(&inline_out, 0, ps.ToString());
+      ok = false;
+      break;
+    }
+    conn->off += consumed;
+    switch (req.type) {
+      case MsgType::kPing:
+        AppendPongResponse(&inline_out, req.id);
+        break;
+      case MsgType::kStats:
+        AppendStatsTextResponse(&inline_out, req.id, shards->StatsJson());
+        break;
+      case MsgType::kGet:
+      case MsgType::kPut:
+      case MsgType::kMerge:
+      case MsgType::kDelete: {
+        WorkItem item;
+        item.type = req.type;
+        item.id = req.id;
+        item.key = std::move(req.key);
+        item.value = std::move(req.value);
+        const int shard = shards->Route(item.key);
+        per_shard[static_cast<size_t>(shard)].push_back(std::move(item));
+        break;
+      }
+      case MsgType::kMultiGet: {
+        if (req.keys.empty()) {
+          AppendMultiResponse(&inline_out, req.id, {}, {});
+          break;
+        }
+        auto join = std::make_shared<MultiJoin>();
+        join->conn = conn;
+        join->id = req.id;
+        std::unordered_map<int, size_t> slice;  // shard -> index in per-shard items
+        {
+          MutexLock lock(&join->mu);
+          join->statuses.assign(req.keys.size(), Status::NotFound());
+          join->values.assign(req.keys.size(), std::string());
+          for (size_t i = 0; i < req.keys.size(); ++i) {
+            const int shard = shards->Route(req.keys[i]);
+            auto [it, inserted] = slice.emplace(shard, 0);
+            if (inserted) {
+              WorkItem item;
+              item.type = MsgType::kMultiGet;
+              item.id = req.id;
+              item.mjoin = join;
+              per_shard[static_cast<size_t>(shard)].push_back(std::move(item));
+              it->second = per_shard[static_cast<size_t>(shard)].size() - 1;
+            }
+            WorkItem& part = per_shard[static_cast<size_t>(shard)][it->second];
+            part.keys.push_back(std::move(req.keys[i]));
+            part.positions.push_back(i);
+          }
+          join->remaining = slice.size();
+        }
+        break;
+      }
+      case MsgType::kWriteBatch: {
+        if (req.batch.empty()) {
+          AppendOkResponse(&inline_out, req.id);
+          break;
+        }
+        auto join = std::make_shared<BatchJoin>();
+        join->conn = conn;
+        join->id = req.id;
+        std::unordered_map<int, size_t> slice;
+        size_t parts = 0;
+        for (size_t i = 0; i < req.batch.size(); ++i) {
+          const WriteBatch::Entry& e = req.batch.entry(i);
+          const int shard = shards->Route(e.key);
+          auto [it, inserted] = slice.emplace(shard, 0);
+          if (inserted) {
+            WorkItem item;
+            item.type = MsgType::kWriteBatch;
+            item.id = req.id;
+            item.bjoin = join;
+            per_shard[static_cast<size_t>(shard)].push_back(std::move(item));
+            it->second = per_shard[static_cast<size_t>(shard)].size() - 1;
+            ++parts;
+          }
+          WorkItem& part = per_shard[static_cast<size_t>(shard)][it->second];
+          switch (e.op) {
+            case WriteBatch::Op::kPut:
+              part.batch.Put(e.key, e.value);
+              break;
+            case WriteBatch::Op::kMerge:
+              part.batch.Merge(e.key, e.value);
+              break;
+            case WriteBatch::Op::kDelete:
+              part.batch.Delete(e.key);
+              break;
+          }
+        }
+        {
+          MutexLock lock(&join->mu);
+          join->remaining = parts;
+        }
+        break;
+      }
+      default:
+        AppendErrorResponse(&inline_out, 0, "unhandled request type");
+        ok = false;
+        break;
+    }
+    if (!ok) {
+      break;
+    }
+  }
+
+  // Reclaim consumed bytes once they dominate the buffer.
+  if (conn->off > 4096 && conn->off * 2 > conn->in.size()) {
+    conn->in.erase(0, conn->off);
+    conn->off = 0;
+  }
+  conn->Send(inline_out);
+  for (size_t shard = 0; shard < per_shard.size(); ++shard) {
+    if (!per_shard[shard].empty()) {
+      ShardTask task;
+      task.conn = conn;
+      task.items = std::move(per_shard[shard]);
+      Dispatch(static_cast<int>(shard), std::move(task));
+    }
+  }
+  return ok;
+}
+
+void Server::Impl::Dispatch(int shard, ShardTask task) {
+  ShardQueue& q = *queues[static_cast<size_t>(shard)];
+  MutexLock lock(&q.mu);
+  // Blocking here IS the backpressure: the IO thread stops reading every
+  // connection until the stalled shard drains, and TCP pushes the wait back
+  // to the clients.
+  while (q.tasks.size() >= options.shard_queue_limit && !q.stop) {
+    q.not_full.Wait();
+  }
+  if (q.stop) {
+    return;  // shutting down; the connection is about to drop anyway
+  }
+  q.tasks.push_back(std::move(task));
+  q.not_empty.Signal();
+}
+
+void Server::Impl::WorkerLoop(int shard) {
+  ShardQueue& q = *queues[static_cast<size_t>(shard)];
+  for (;;) {
+    ShardTask task;
+    {
+      MutexLock lock(&q.mu);
+      while (q.tasks.empty() && !q.stop) {
+        q.not_empty.Wait();
+      }
+      if (q.tasks.empty()) {
+        return;  // stopped and drained
+      }
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      q.not_full.Signal();
+    }
+    if (shard == options.test_delay_shard && options.test_delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(options.test_delay_ms));
+    }
+    ExecuteTask(shard, task);
+  }
+}
+
+void Server::Impl::ExecuteTask(int shard, ShardTask& task) {
+  KVStore* store = shards->shard(shard);
+  std::string out;  // responses for this burst, sent once at the end
+
+  // Coalescing state: consecutive simple writes build one WriteBatch,
+  // consecutive GETs build one MultiGet. The conflict rules below flush one
+  // side before the other touches the same key, which keeps the invariant
+  // wkeys ∩ rkeys = ∅ — so the final flush order cannot change any result.
+  WriteBatch wb;
+  std::vector<uint32_t> wids;
+  std::unordered_set<std::string> wkeys;
+  std::vector<std::string> gkeys;
+  std::vector<uint32_t> gids;
+  std::unordered_set<std::string> rkeys;
+
+  auto flush_writes = [&]() {
+    if (wids.empty()) {
+      return;
+    }
+    const Status s = store->Write(wb);
+    for (uint32_t id : wids) {
+      if (s.ok()) {
+        AppendOkResponse(&out, id);
+      } else {
+        AppendErrorResponse(&out, id, s.ToString());
+      }
+    }
+    wb.Clear();
+    wids.clear();
+    wkeys.clear();
+  };
+  auto flush_reads = [&]() {
+    if (gids.empty()) {
+      return;
+    }
+    std::vector<std::string> values;
+    std::vector<Status> statuses;
+    // Per-key statuses carry the outcome; the aggregate return repeats the
+    // first non-NotFound error. status intentionally ignored: per-key below.
+    (void)store->MultiGet(gkeys, &values, &statuses);
+    for (size_t i = 0; i < gids.size(); ++i) {
+      if (statuses[i].ok()) {
+        AppendValueResponse(&out, gids[i], values[i]);
+      } else if (statuses[i].IsNotFound()) {
+        AppendNotFoundResponse(&out, gids[i]);
+      } else {
+        AppendErrorResponse(&out, gids[i], statuses[i].ToString());
+      }
+    }
+    gkeys.clear();
+    gids.clear();
+    rkeys.clear();
+  };
+
+  for (WorkItem& item : task.items) {
+    switch (item.type) {
+      case MsgType::kPut:
+      case MsgType::kMerge:
+      case MsgType::kDelete:
+        if (rkeys.count(item.key) != 0) {
+          flush_reads();  // the pending read must see the pre-write value
+        }
+        if (item.type == MsgType::kPut) {
+          wb.Put(item.key, item.value);
+        } else if (item.type == MsgType::kMerge) {
+          wb.Merge(item.key, item.value);
+        } else {
+          wb.Delete(item.key);
+        }
+        wkeys.insert(std::move(item.key));
+        wids.push_back(item.id);
+        break;
+      case MsgType::kGet:
+        if (wkeys.count(item.key) != 0) {
+          flush_writes();  // read-your-writes: the GET must see the pending write
+        }
+        rkeys.insert(item.key);
+        gkeys.push_back(std::move(item.key));
+        gids.push_back(item.id);
+        break;
+      case MsgType::kMultiGet: {
+        for (const std::string& k : item.keys) {
+          if (wkeys.count(k) != 0) {
+            flush_writes();
+            break;
+          }
+        }
+        std::vector<std::string> values;
+        std::vector<Status> statuses;
+        // status intentionally ignored: per-key statuses are authoritative.
+        (void)store->MultiGet(item.keys, &values, &statuses);
+        bool done = false;
+        std::string join_out;
+        {
+          MutexLock lock(&item.mjoin->mu);
+          for (size_t i = 0; i < item.positions.size(); ++i) {
+            item.mjoin->statuses[item.positions[i]] = statuses[i];
+            item.mjoin->values[item.positions[i]] = std::move(values[i]);
+          }
+          done = (--item.mjoin->remaining == 0);
+          if (done) {
+            AppendMultiResponse(&join_out, item.mjoin->id, item.mjoin->statuses,
+                                item.mjoin->values);
+          }
+        }
+        if (done) {
+          item.mjoin->conn->Send(join_out);
+        }
+        break;
+      }
+      case MsgType::kWriteBatch: {
+        bool flushed_w = false;
+        for (size_t i = 0; i < item.batch.size(); ++i) {
+          const std::string& k = item.batch.entry(i).key;
+          if (!flushed_w && wkeys.count(k) != 0) {
+            flush_writes();  // earlier pending writes apply first
+            flushed_w = true;
+          }
+          if (rkeys.count(k) != 0) {
+            flush_reads();  // earlier pending reads see the pre-batch value
+          }
+        }
+        const Status s = store->Write(item.batch);
+        bool done = false;
+        std::string join_out;
+        {
+          MutexLock lock(&item.bjoin->mu);
+          if (!s.ok() && item.bjoin->error.ok()) {
+            item.bjoin->error = s;
+          }
+          done = (--item.bjoin->remaining == 0);
+          if (done) {
+            if (item.bjoin->error.ok()) {
+              AppendOkResponse(&join_out, item.bjoin->id);
+            } else {
+              AppendErrorResponse(&join_out, item.bjoin->id, item.bjoin->error.ToString());
+            }
+          }
+        }
+        if (done) {
+          item.bjoin->conn->Send(join_out);
+        }
+        break;
+      }
+      default:
+        AppendErrorResponse(&out, item.id, "unroutable request type");
+        break;
+    }
+  }
+  flush_writes();
+  flush_reads();
+  task.conn->Send(out);
+}
+
+StatusOr<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
+  auto shards = ShardSet::Open(options.store, options.shards);
+  if (!shards.ok()) {
+    return shards.status();
+  }
+  StatusOr<int> listen = net::TcpListen(options.port);
+  if (!listen.ok()) {
+    // status intentionally ignored: the open itself already failed.
+    (void)(*shards)->Close();
+    return listen.status();
+  }
+  auto impl = std::make_unique<Server::Impl>();
+  impl->options = options;
+  impl->listen_fd = *listen;
+  const StatusOr<uint16_t> port = net::TcpLocalPort(impl->listen_fd);
+  if (!port.ok()) {
+    // status intentionally ignored: the open itself already failed.
+    (void)(*shards)->Close();
+    return port.status();
+  }
+  GADGET_RETURN_IF_ERROR(net::SetNonBlocking(impl->listen_fd));
+  impl->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  impl->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (impl->epoll_fd < 0 || impl->wake_fd < 0) {
+    return Status::IoError("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = impl->listen_fd;
+  if (::epoll_ctl(impl->epoll_fd, EPOLL_CTL_ADD, impl->listen_fd, &ev) < 0) {
+    return Status::IoError("epoll_ctl(listen)");
+  }
+  ev.data.fd = impl->wake_fd;
+  if (::epoll_ctl(impl->epoll_fd, EPOLL_CTL_ADD, impl->wake_fd, &ev) < 0) {
+    return Status::IoError("epoll_ctl(wake)");
+  }
+
+  std::unique_ptr<Server> server(new Server());
+  server->shards_ = std::move(*shards);
+  server->port_ = *port;
+  impl->shards = server->shards_.get();
+  impl->queues.reserve(static_cast<size_t>(options.shards));
+  for (int i = 0; i < options.shards; ++i) {
+    impl->queues.push_back(std::make_unique<ShardQueue>());
+  }
+  server->impl_ = std::move(impl);
+  Server::Impl* raw = server->impl_.get();
+  server->io_thread_ = std::thread([raw] { raw->IoLoop(); });
+  server->workers_.reserve(static_cast<size_t>(options.shards));
+  for (int i = 0; i < options.shards; ++i) {
+    server->workers_.emplace_back([raw, i] { raw->WorkerLoop(i); });
+  }
+  GADGET_LOG(Info) << "gadget serve: " << options.shards << " shard(s) of "
+                   << options.store.engine << " on 127.0.0.1:" << server->port_;
+  return server;
+}
+
+void Server::Stop() {
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  impl_->stopping.store(true, std::memory_order_relaxed);
+  const uint64_t one = 1;
+  const ssize_t ignored = ::write(impl_->wake_fd, &one, sizeof(one));
+  (void)ignored;
+  io_thread_.join();
+  for (auto& q : impl_->queues) {
+    MutexLock lock(&q->mu);
+    q->stop = true;
+    q->not_empty.SignalAll();
+    q->not_full.SignalAll();
+  }
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+  const Status close_status = shards_->Close();
+  if (!close_status.ok()) {
+    GADGET_LOG(Warning) << "shard close: " << close_status.ToString();
+  }
+}
+
+Server::~Server() {
+  if (impl_ != nullptr) {
+    Stop();
+  }
+}
+
+}  // namespace wire
+}  // namespace gadget

@@ -1,0 +1,88 @@
+// The store service (DESIGN.md §6): an epoll IO thread feeding per-shard
+// worker threads over bounded queues.
+//
+// Threading model:
+//   * ONE IO thread owns the listen socket, every connection's receive
+//     buffer, and the epoll set. It decodes frames, answers PING/STATS
+//     inline, and groups a pipelined read-burst into at most one task per
+//     shard before dispatching.
+//   * ONE worker thread per shard drains that shard's task queue. A task is
+//     a burst of requests from one connection; the worker coalesces it into
+//     stripe-friendly WriteBatch / MultiGet calls (same read-your-writes
+//     conflict rules as the evaluator's ReplayBatched) so a deep client
+//     pipeline becomes one store crossing per shard per burst.
+//   * Responses are written by workers under a per-connection send mutex;
+//     they may interleave across shards, which is why the protocol matches
+//     by id, not order.
+//
+// Backpressure: the shard queues are bounded. When a shard stalls (its
+// engine is in an L0 stall, say), its queue fills and the IO thread BLOCKS
+// in dispatch — it stops reading every connection, socket buffers fill, and
+// TCP flow control pushes the stall back into the clients. No frames are
+// dropped; the service degrades to the slowest shard's pace.
+//
+// Fan-out: a MULTI_GET or WRITE_BATCH whose keys span shards is split into
+// per-shard sub-requests joined by a completion count; the last shard to
+// finish sends the one response. Cross-shard WRITE_BATCH is NOT atomic
+// across shards (each shard applies its slice in its own epoch) — same
+// contract a client gets by splitting the batch itself.
+#ifndef GADGET_SERVER_SERVER_H_
+#define GADGET_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/server/shard_set.h"
+#include "src/stores/kvstore.h"
+
+namespace gadget {
+namespace wire {
+
+struct ServerOptions {
+  uint16_t port = 0;  // 0 = kernel-assigned; read back with Server::port()
+  int shards = 4;
+  StoreOptions store;  // per-shard template; see ShardSet::Open
+  // Max queued tasks per shard before dispatch blocks (the backpressure
+  // knob; a task is one connection's burst for one shard).
+  size_t shard_queue_limit = 128;
+  // Test hook: delay every task on this shard by test_delay_ms before
+  // execution, making out-of-order completion deterministic in tests.
+  int test_delay_shard = -1;
+  int test_delay_ms = 0;
+};
+
+class Server {
+ public:
+  // Opens the shards, binds the port, and starts the IO + worker threads.
+  static StatusOr<std::unique_ptr<Server>> Start(const ServerOptions& options);
+
+  ~Server();  // implies Stop()
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  uint16_t port() const { return port_; }
+  ShardSet* shard_set() { return shards_.get(); }
+
+  // Stops accepting, drains in-flight tasks, joins all threads, and closes
+  // every shard. Idempotent.
+  void Stop();
+
+ private:
+  struct Impl;
+  Server() = default;
+
+  uint16_t port_ = 0;
+  std::unique_ptr<ShardSet> shards_;
+  std::unique_ptr<Impl> impl_;
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+  bool stopped_ = false;
+};
+
+}  // namespace wire
+}  // namespace gadget
+
+#endif  // GADGET_SERVER_SERVER_H_

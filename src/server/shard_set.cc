@@ -1,0 +1,78 @@
+#include "src/server/shard_set.h"
+
+#include "src/common/file_util.h"
+#include "src/common/json.h"
+#include "src/gadget/report.h"
+
+namespace gadget {
+namespace wire {
+
+StatusOr<std::unique_ptr<ShardSet>> ShardSet::Open(const StoreOptions& base, int shards) {
+  if (shards < 1) {
+    return Status::InvalidArgument("shard count must be >= 1");
+  }
+  // All shards draw frames from ONE pool: that keeps the fleet's memory
+  // budget fixed regardless of shard count, and lets a hot shard borrow
+  // capacity an idle one is not using.
+  std::shared_ptr<BufferPool> pool = base.shared_pool;
+  if (pool == nullptr) {
+    pool = std::make_shared<BufferPool>(base.buffer_pool);
+  }
+  std::vector<std::unique_ptr<KVStore>> stores;
+  stores.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    StoreOptions opts = base;
+    opts.shared_pool = pool;
+    if (!base.dir.empty()) {
+      opts.dir = base.dir + "/shard-" + std::to_string(i);
+      GADGET_RETURN_IF_ERROR(CreateDirIfMissing(base.dir));
+    }
+    auto store = OpenStore(opts);
+    if (!store.ok()) {
+      for (auto& s : stores) {
+        (void)s->Close();  // status intentionally ignored: already failing open
+      }
+      return store.status();
+    }
+    stores.push_back(std::move(*store));
+  }
+  return std::unique_ptr<ShardSet>(new ShardSet(std::move(stores), std::move(pool), shards));
+}
+
+StoreStats ShardSet::MergedStats() const {
+  StoreStats merged;
+  for (const auto& store : stores_) {
+    merged.MergeSum(store->stats());
+  }
+  return merged;
+}
+
+std::string ShardSet::StatsJson() const {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("shards", static_cast<uint64_t>(stores_.size()));
+  doc.Set("engine", stores_.empty() ? std::string() : stores_[0]->name());
+  JsonValue per_shard = JsonValue::MakeArray();
+  StoreStats merged;
+  for (const auto& store : stores_) {
+    const StoreStats s = store->stats();
+    per_shard.Append(StoreStatsToJson(s));
+    merged.MergeSum(s);
+  }
+  doc.Set("per_shard", std::move(per_shard));
+  doc.Set("merged", StoreStatsToJson(merged));
+  return doc.Write();
+}
+
+Status ShardSet::Close() {
+  Status first;
+  for (auto& store : stores_) {
+    Status s = store->Close();
+    if (!s.ok() && first.ok()) {
+      first = s;
+    }
+  }
+  return first;
+}
+
+}  // namespace wire
+}  // namespace gadget

@@ -1,0 +1,60 @@
+// N independent engine shards behind one consistent-hash router, sharing one
+// buffer pool (DESIGN.md §6). Each shard is a full KVStore (own WAL, own
+// memtables, own SSTables under <dir>/shard-<i>), so shards never contend on
+// engine-internal locks — the only shared resource is the process-wide frame
+// budget, which is exactly the topology PR 7's shared pool was built for.
+#ifndef GADGET_SERVER_SHARD_SET_H_
+#define GADGET_SERVER_SHARD_SET_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/server/router.h"
+#include "src/stores/kvstore.h"
+
+namespace gadget {
+namespace wire {
+
+class ShardSet {
+ public:
+  // Opens `shards` stores from the `base` options template. base.dir becomes
+  // the fleet root (per-shard subdirectories are created under it; required
+  // for disk engines). One BufferPool sized by base.buffer_pool is shared by
+  // all shards unless base.shared_pool already names one.
+  static StatusOr<std::unique_ptr<ShardSet>> Open(const StoreOptions& base, int shards);
+
+  int shards() const { return static_cast<int>(stores_.size()); }
+  KVStore* shard(int i) { return stores_[static_cast<size_t>(i)].get(); }
+  const ConsistentHashRouter& router() const { return router_; }
+  int Route(std::string_view key) const { return router_.Route(key); }
+
+  StoreStats ShardStats(int i) const { return stores_[static_cast<size_t>(i)]->stats(); }
+
+  // Fleet view: every shard's stats summed (gauges take the max — see
+  // StoreStats::MergeSum).
+  StoreStats MergedStats() const;
+
+  // {"shards": N, "engine": ..., "per_shard": [...], "merged": {...}} — the
+  // STATS response body, also embedded by loadgen into its report.
+  std::string StatsJson() const;
+
+  // Closes every shard; first error wins, all shards still get closed.
+  Status Close();
+
+ private:
+  ShardSet(std::vector<std::unique_ptr<KVStore>> stores, std::shared_ptr<BufferPool> pool,
+           int shards)
+      : stores_(std::move(stores)), pool_(std::move(pool)), router_(shards) {}
+
+  std::vector<std::unique_ptr<KVStore>> stores_;
+  std::shared_ptr<BufferPool> pool_;  // keeps the shared pool alive past Close
+  ConsistentHashRouter router_;
+};
+
+}  // namespace wire
+}  // namespace gadget
+
+#endif  // GADGET_SERVER_SHARD_SET_H_

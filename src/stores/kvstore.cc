@@ -58,6 +58,21 @@ StoreStats StoreStats::DeltaSince(const StoreStats& start) const {
   return out;
 }
 
+void StoreStats::MergeSum(const StoreStats& other) {
+  ForEachCounter(this, other, [](uint64_t* field, uint64_t theirs) { *field += theirs; });
+  // Gauges cannot meaningfully sum across instances: the widest single
+  // observation is the honest aggregate. level_files sums element-wise — N
+  // shards really do hold N× the files.
+  wal_group_size_max = std::max(wal_group_size_max, other.wal_group_size_max);
+  io_in_flight_max = std::max(io_in_flight_max, other.io_in_flight_max);
+  if (other.level_files.size() > level_files.size()) {
+    level_files.resize(other.level_files.size());
+  }
+  for (size_t i = 0; i < other.level_files.size(); ++i) {
+    level_files[i] += other.level_files[i];
+  }
+}
+
 void StoreStats::MergeMax(const StoreStats& other) {
   ForEachCounter(this, other, [](uint64_t* field, uint64_t theirs) {
     *field = std::max(*field, theirs);

@@ -97,6 +97,12 @@ struct StoreStats {
   // samples are built from this (src/gadget/evaluator.h).
   StoreStats DeltaSince(const StoreStats& start) const;
 
+  // Element-wise sum. Used to aggregate DISTINCT store instances (the server
+  // merges N shards' stats into one fleet view): counters add; gauges
+  // (wal_group_size_max, io_in_flight_max) take the max of the instances,
+  // and level_files sums per level since each shard owns its own files.
+  void MergeSum(const StoreStats& other);
+
   // Element-wise max. Used when merging concurrent instances' timeline
   // samples: every instance observes the SAME shared store, so summing their
   // per-interval deltas would multiply store activity by the thread count;

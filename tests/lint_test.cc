@@ -246,6 +246,37 @@ TEST(BufferPoolBypassTest, ExemptsPoolImplementationAndLookalikes) {
       HasRule(LintContent("src/a.cc", "int my_pread(int fd);\n"), "bufferpool-bypass"));
 }
 
+// --------------------------------------------------------------- raw-socket
+
+TEST(RawSocketTest, FlagsSyscallsOutsideNetDir) {
+  auto findings =
+      LintContent("src/server/server.cc", "int fd = socket(AF_INET, SOCK_STREAM, 0);\n");
+  ASSERT_TRUE(HasRule(findings, "raw-socket"));
+  EXPECT_EQ(findings.front().line, 1);
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "send(fd, buf, n, 0);\n"), "raw-socket"));
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "ssize_t r = ::recv(fd, p, n, 0);\n"),
+                      "raw-socket"));
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "sendmsg(fd, &msg, 0);\n"), "raw-socket"));
+  EXPECT_TRUE(
+      HasRule(LintContent("src/a.cc", "recvfrom(fd, p, n, 0, a, l);\n"), "raw-socket"));
+}
+
+TEST(RawSocketTest, ExemptsNetDirHelpersAndLookalikes) {
+  EXPECT_FALSE(HasRule(LintContent("src/server/net/socket.cc",
+                                   "int fd = socket(AF_INET, SOCK_STREAM, 0);\n"
+                                   "send(fd, buf, n, 0);\nrecv(fd, p, n, 0);\n"),
+                       "raw-socket"));
+  // Method calls and project helpers must not fire.
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "conn->Send(frame);\n"), "raw-socket"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "lease.conn()->Send(frame);\n"), "raw-socket"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "net::SendAll(fd, data);\n"), "raw-socket"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "RecvChunk(fd, &buf, n, &err);\n"),
+                       "raw-socket"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "my_send(fd); resend(x); wire::recv_ops++;\n"),
+                       "raw-socket"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "// send() is banned here\n"), "raw-socket"));
+}
+
 // --------------------------------------------------------------- allowlist
 
 TEST(AllowlistTest, SuppressesByRuleAndPathSuffix) {

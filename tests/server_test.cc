@@ -1,0 +1,428 @@
+// Tests for the store service (src/server/): wire framing round-trips and
+// rejects torn/oversized/garbage input cleanly, the consistent-hash router is
+// deterministic and moves little keyspace on growth, shard-set stats merge as
+// a fleet, a live server handles the full request vocabulary plus pipelined
+// out-of-order completion, and — the end-to-end gate — a 4-shard loopback
+// loadgen replay converges to exactly the state an in-process oracle replay
+// produces, with zero lost or duplicated operations.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/file_util.h"
+#include "src/common/json.h"
+#include "src/gadget/evaluator.h"
+#include "src/gadget/harness.h"
+#include "src/server/client.h"
+#include "src/server/loadgen.h"
+#include "src/server/router.h"
+#include "src/server/server.h"
+#include "src/server/wire.h"
+#include "src/stores/kvstore.h"
+
+namespace gadget {
+namespace wire {
+namespace {
+
+// ------------------------------------------------------------------- wire
+
+TEST(WireTest, RequestRoundTrip) {
+  std::string buf;
+  AppendGetRequest(&buf, 7, "key-a");
+  AppendPutRequest(&buf, 8, "key-b", "value-b");
+  AppendMultiGetRequest(&buf, 9, {"k1", "k2", "k3"});
+  WriteBatch wb;
+  wb.Put("p", "1");
+  wb.Merge("m", "2");
+  wb.Delete("d");
+  AppendWriteBatchRequest(&buf, 10, wb);
+  AppendPingRequest(&buf, 11);
+
+  std::string_view rest = buf;
+  auto next = [&](Request* req) {
+    FrameView frame;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(ExtractFrame(rest, &frame, &consumed, &error), FrameStatus::kOk) << error;
+    ASSERT_TRUE(ParseRequest(frame, req).ok());
+    rest = rest.substr(consumed);
+  };
+  Request req;
+  next(&req);
+  EXPECT_EQ(req.type, MsgType::kGet);
+  EXPECT_EQ(req.id, 7u);
+  EXPECT_EQ(req.key, "key-a");
+  next(&req);
+  EXPECT_EQ(req.type, MsgType::kPut);
+  EXPECT_EQ(req.key, "key-b");
+  EXPECT_EQ(req.value, "value-b");
+  next(&req);
+  EXPECT_EQ(req.type, MsgType::kMultiGet);
+  EXPECT_EQ(req.keys, (std::vector<std::string>{"k1", "k2", "k3"}));
+  next(&req);
+  EXPECT_EQ(req.type, MsgType::kWriteBatch);
+  ASSERT_EQ(req.batch.size(), 3u);
+  EXPECT_EQ(req.batch.entry(0).key, "p");
+  EXPECT_EQ(req.batch.entry(1).op, WriteBatch::Op::kMerge);
+  EXPECT_EQ(req.batch.entry(2).op, WriteBatch::Op::kDelete);
+  next(&req);
+  EXPECT_EQ(req.type, MsgType::kPing);
+  EXPECT_TRUE(rest.empty());
+}
+
+TEST(WireTest, ResponseRoundTrip) {
+  std::string buf;
+  AppendValueResponse(&buf, 3, "hello");
+  AppendMultiResponse(&buf, 4, {Status::Ok(), Status::NotFound()}, {"v1", ""});
+  AppendErrorResponse(&buf, 5, "boom");
+
+  std::string_view rest = buf;
+  auto next = [&](Response* resp) {
+    FrameView frame;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(ExtractFrame(rest, &frame, &consumed, &error), FrameStatus::kOk) << error;
+    ASSERT_TRUE(ParseResponse(frame, resp).ok());
+    rest = rest.substr(consumed);
+  };
+  Response resp;
+  next(&resp);
+  EXPECT_EQ(resp.type, MsgType::kValue);
+  EXPECT_EQ(resp.value, "hello");
+  next(&resp);
+  EXPECT_EQ(resp.type, MsgType::kMulti);
+  EXPECT_EQ(resp.statuses, (std::vector<uint8_t>{0, 1}));
+  EXPECT_EQ(resp.values, (std::vector<std::string>{"v1", ""}));
+  next(&resp);
+  EXPECT_EQ(resp.type, MsgType::kError);
+  EXPECT_EQ(resp.value, "boom");
+}
+
+TEST(WireTest, TornFrameReportsNeedMoreNeverError) {
+  std::string buf;
+  AppendPutRequest(&buf, 1, "torn-key", "torn-value");
+  // Every strict prefix is torn input: kNeedMore, never kError.
+  for (size_t n = 0; n < buf.size(); ++n) {
+    FrameView frame;
+    size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(ExtractFrame(std::string_view(buf.data(), n), &frame, &consumed, &error),
+              FrameStatus::kNeedMore)
+        << "prefix length " << n;
+  }
+  FrameView frame;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(ExtractFrame(buf, &frame, &consumed, &error), FrameStatus::kOk);
+  EXPECT_EQ(consumed, buf.size());
+}
+
+TEST(WireTest, RejectsRuntOversizedAndGarbageFrames) {
+  FrameView frame;
+  size_t consumed = 0;
+  std::string error;
+  // Runt: length word smaller than the type+id header.
+  std::string runt("\x04\x00\x00\x00", 4);
+  EXPECT_EQ(ExtractFrame(runt, &frame, &consumed, &error), FrameStatus::kError);
+  // Oversized: length beyond kMaxFrameBytes fails immediately, without
+  // waiting for that many bytes to arrive.
+  std::string oversized;
+  const uint32_t huge = kMaxFrameBytes + 1;
+  oversized.append(reinterpret_cast<const char*>(&huge), 4);
+  EXPECT_EQ(ExtractFrame(oversized, &frame, &consumed, &error), FrameStatus::kError);
+  // Garbage type byte: rejected as soon as the byte is visible.
+  std::string garbage("\x0a\x00\x00\x00\x7f", 5);
+  EXPECT_EQ(ExtractFrame(garbage, &frame, &consumed, &error), FrameStatus::kError);
+}
+
+TEST(WireTest, RejectsTrailingGarbageAndWrongKind) {
+  // A GET frame whose payload has bytes past the key must not parse.
+  std::string good;
+  AppendGetRequest(&good, 1, "k");
+  std::string bad = good;
+  bad.append("x");  // extend payload…
+  bad[0] = static_cast<char>(static_cast<uint8_t>(bad[0]) + 1);  // …and fix the length
+  FrameView frame;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(ExtractFrame(bad, &frame, &consumed, &error), FrameStatus::kOk);
+  Request req;
+  EXPECT_FALSE(ParseRequest(frame, &req).ok());
+  // A response frame is not a request and vice versa.
+  std::string resp_bytes;
+  AppendOkResponse(&resp_bytes, 2);
+  ASSERT_EQ(ExtractFrame(resp_bytes, &frame, &consumed, &error), FrameStatus::kOk);
+  EXPECT_FALSE(ParseRequest(frame, &req).ok());
+  std::string req_bytes;
+  AppendPingRequest(&req_bytes, 3);
+  ASSERT_EQ(ExtractFrame(req_bytes, &frame, &consumed, &error), FrameStatus::kOk);
+  Response resp;
+  EXPECT_FALSE(ParseResponse(frame, &resp).ok());
+}
+
+// ------------------------------------------------------------------ router
+
+TEST(RouterTest, DeterministicAcrossInstances) {
+  ConsistentHashRouter a(4);
+  ConsistentHashRouter b(4);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const int shard = a.Route(key);
+    EXPECT_EQ(shard, b.Route(key));
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+  }
+}
+
+TEST(RouterTest, CoversAllShardsRoughlyEvenly) {
+  ConsistentHashRouter router(8);
+  std::vector<int> counts(8, 0);
+  const int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[static_cast<size_t>(router.Route("user-" + std::to_string(i)))];
+  }
+  for (int s = 0; s < 8; ++s) {
+    // Every shard owns a nontrivial slice: within 3x either way of fair share.
+    EXPECT_GT(counts[static_cast<size_t>(s)], kKeys / 8 / 3) << "shard " << s;
+    EXPECT_LT(counts[static_cast<size_t>(s)], kKeys / 8 * 3) << "shard " << s;
+  }
+}
+
+TEST(RouterTest, GrowthMovesOnlyASliverOfTheKeyspace) {
+  // Growing N -> N+1 should move ~1/(N+1) of keys; assert well under the
+  // 1/2-ish a modulo router would move.
+  ConsistentHashRouter before(4);
+  ConsistentHashRouter after(5);
+  const int kKeys = 20000;
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    if (before.Route(key) != after.Route(key)) {
+      ++moved;
+    }
+  }
+  const double fraction = static_cast<double>(moved) / kKeys;
+  EXPECT_GT(fraction, 0.0);  // some keys must move to the new shard
+  EXPECT_LT(fraction, 0.35) << "consistent hashing should move ~1/5 of keys, moved "
+                            << fraction;
+}
+
+// ------------------------------------------------------------- shard stats
+
+TEST(StoreStatsTest, MergeSumAddsCountersMaxesGaugesSumsLevelFiles) {
+  StoreStats a;
+  a.gets = 10;
+  a.puts = 5;
+  a.bytes_written = 100;
+  a.wal_group_size_max = 4;
+  a.io_in_flight_max = 2;
+  a.level_files = {3, 1};
+  StoreStats b;
+  b.gets = 7;
+  b.puts = 2;
+  b.bytes_written = 50;
+  b.wal_group_size_max = 3;
+  b.io_in_flight_max = 6;
+  b.level_files = {2, 2, 1};
+  a.MergeSum(b);
+  EXPECT_EQ(a.gets, 17u);
+  EXPECT_EQ(a.puts, 7u);
+  EXPECT_EQ(a.bytes_written, 150u);
+  // Gauges take the widest single observation, never the sum.
+  EXPECT_EQ(a.wal_group_size_max, 4u);
+  EXPECT_EQ(a.io_in_flight_max, 6u);
+  // level_files sums per level: N shards really hold N x the files.
+  EXPECT_EQ(a.level_files, (std::vector<uint64_t>{5, 3, 1}));
+}
+
+// ------------------------------------------------------------------ server
+
+TEST(ServerTest, FullRequestVocabularyOverLoopback) {
+  ServerOptions opts;
+  opts.shards = 3;
+  opts.store.engine = "mem";
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = Client::Connect((*server)->port(), 2);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  ASSERT_TRUE((*client)->Ping().ok());
+  ASSERT_TRUE((*client)->Put("alpha", "1").ok());
+  ASSERT_TRUE((*client)->Put("beta", "2").ok());
+  std::string value;
+  ASSERT_TRUE((*client)->Get("alpha", &value).ok());
+  EXPECT_EQ(value, "1");
+  EXPECT_TRUE((*client)->Get("missing", &value).IsNotFound());
+
+  ASSERT_TRUE((*client)->Merge("alpha", "+more").ok());
+  ASSERT_TRUE((*client)->Get("alpha", &value).ok());
+  EXPECT_EQ(value, "1+more");
+
+  ASSERT_TRUE((*client)->Delete("beta").ok());
+  EXPECT_TRUE((*client)->Get("beta", &value).IsNotFound());
+
+  // Cross-shard fan-out: a batch and a multi-get whose keys span shards.
+  WriteBatch wb;
+  for (int i = 0; i < 32; ++i) {
+    wb.Put("bulk-" + std::to_string(i), "v" + std::to_string(i));
+  }
+  ASSERT_TRUE((*client)->Write(wb).ok());
+  std::vector<std::string> keys;
+  for (int i = 0; i < 32; ++i) {
+    keys.push_back("bulk-" + std::to_string(i));
+  }
+  keys.push_back("not-there");
+  std::vector<std::string> values;
+  std::vector<Status> statuses;
+  ASSERT_TRUE((*client)->MultiGet(keys, &values, &statuses).ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(statuses[static_cast<size_t>(i)].ok()) << keys[static_cast<size_t>(i)];
+    EXPECT_EQ(values[static_cast<size_t>(i)], "v" + std::to_string(i));
+  }
+  EXPECT_TRUE(statuses.back().IsNotFound());
+
+  // STATS returns the per-shard + merged document and the op counts add up.
+  auto stats_json = (*client)->StatsJson();
+  ASSERT_TRUE(stats_json.ok());
+  auto doc = ParseJson(*stats_json);
+  ASSERT_TRUE(doc.ok()) << *stats_json;
+  EXPECT_EQ(doc->GetUint("shards"), 3u);
+  ASSERT_NE(doc->Get("per_shard"), nullptr);
+  EXPECT_EQ(doc->Get("per_shard")->size(), 3u);
+  ASSERT_NE(doc->Get("merged"), nullptr);
+  EXPECT_GE(doc->Get("merged")->GetUint("puts"), 33u);  // 1 remaining put + 32 bulk
+
+  (*server)->Stop();
+}
+
+TEST(ServerTest, PipelinedResponsesCompleteOutOfOrder) {
+  ServerOptions opts;
+  opts.shards = 2;
+  opts.store.engine = "mem";
+  // Find two keys on different shards, then delay the first key's shard so
+  // the second request — sent later on the same connection — finishes first.
+  ConsistentHashRouter router(2);
+  std::string slow_key;
+  std::string fast_key;
+  for (int i = 0; i < 1000 && (slow_key.empty() || fast_key.empty()); ++i) {
+    const std::string key = "k" + std::to_string(i);
+    (router.Route(key) == 0 ? slow_key : fast_key) = key;
+  }
+  ASSERT_FALSE(slow_key.empty());
+  ASSERT_FALSE(fast_key.empty());
+  opts.test_delay_shard = 0;
+  opts.test_delay_ms = 100;
+  auto server = Server::Start(opts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = Client::Connect((*server)->port(), 1);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  Client::Lease lease = (*client)->AcquireLease();
+  const uint32_t slow_id = lease.NextId();
+  const uint32_t fast_id = lease.NextId();
+  std::string burst;
+  AppendPutRequest(&burst, slow_id, slow_key, "slow");
+  AppendPutRequest(&burst, fast_id, fast_key, "fast");
+  ASSERT_TRUE(lease.conn()->Send(burst).ok());
+
+  Response first;
+  Response second;
+  ASSERT_TRUE(lease.conn()->RecvResponse(&first).ok());
+  ASSERT_TRUE(lease.conn()->RecvResponse(&second).ok());
+  // The later-sent request (undelayed shard) must complete first: the
+  // protocol really is pipelined and matched by id, not arrival order.
+  EXPECT_EQ(first.id, fast_id);
+  EXPECT_EQ(second.id, slow_id);
+  EXPECT_EQ(first.type, MsgType::kOk);
+  EXPECT_EQ(second.type, MsgType::kOk);
+
+  (*server)->Stop();
+}
+
+// The end-to-end acceptance gate: a multi-client loadgen replay of a Borg
+// trace through 4 wire shards loses nothing and converges to exactly the
+// state an in-process single-store oracle replay produces.
+TEST(ServerTest, LoadgenReplayMatchesInProcessOracle) {
+  Config config;
+  config.Set("source", "borg");
+  config.Set("events", "4000");
+  config.Set("seed", "17");
+  auto trace = BuildAccessTrace(config);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  ASSERT_GT(trace->size(), 1000u);
+
+  ScopedTempDir tmp("gadget-server-test");
+  ServerOptions sopts;
+  sopts.shards = 4;
+  sopts.store.engine = "lsm";
+  sopts.store.dir = tmp.path() + "/db";
+  auto server = Server::Start(sopts);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  LoadgenOptions lopts;
+  lopts.port = (*server)->port();
+  lopts.clients = 8;
+  lopts.shards = 4;
+  lopts.batch_size = 16;
+  lopts.pipeline_depth = 4;
+  auto result = RunLoadgen(*trace, lopts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Zero lost or duplicated operations.
+  EXPECT_EQ(result->ops_sent, trace->size());
+  EXPECT_EQ(result->ops_acked, result->ops_sent);
+  EXPECT_EQ(result->errors, 0u);
+  EXPECT_EQ(result->replay.ops, result->ops_acked);
+  // The client-side routing histogram covers the whole trace.
+  uint64_t shard_total = 0;
+  for (uint64_t n : result->shard_ops) {
+    shard_total += n;
+  }
+  EXPECT_EQ(shard_total, trace->size());
+  EXPECT_GE(result->shard_skew, 1.0);
+
+  // Oracle: the same trace replayed into one in-process MemStore.
+  StoreOptions oracle_opts;
+  oracle_opts.engine = "mem";
+  auto oracle = OpenStore(oracle_opts);
+  ASSERT_TRUE(oracle.ok());
+  auto oracle_result = ReplayTrace(*trace, oracle->get());
+  ASSERT_TRUE(oracle_result.ok()) << oracle_result.status().ToString();
+
+  // Every distinct key must agree over the wire: same value or same absence.
+  std::set<std::string> keys;
+  std::string key;
+  for (const StateAccess& a : *trace) {
+    EncodeStateKeyTo(a.key, &key);
+    keys.insert(key);
+  }
+  auto client = Client::Connect((*server)->port(), 1);
+  ASSERT_TRUE(client.ok());
+  uint64_t checked = 0;
+  for (const std::string& k : keys) {
+    std::string expect;
+    std::string got;
+    const Status se = (*oracle)->Get(k, &expect);
+    ASSERT_TRUE(se.ok() || se.IsNotFound());
+    const Status sg = (*client)->Get(k, &got);
+    if (se.IsNotFound()) {
+      EXPECT_TRUE(sg.IsNotFound()) << "key " << checked << " present only over the wire";
+    } else {
+      ASSERT_TRUE(sg.ok()) << sg.ToString();
+      EXPECT_EQ(got, expect) << "key " << checked << " diverged";
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, keys.size());
+  ASSERT_TRUE((*oracle)->Close().ok());
+  (*server)->Stop();
+}
+
+}  // namespace
+}  // namespace wire
+}  // namespace gadget

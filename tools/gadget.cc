@@ -9,23 +9,43 @@
 //   gadget <config-file> [key=value ...] [--key=value ...]
 //   gadget - key=value ...              # no file, overrides only
 //
+// Two subcommands select the service layer (DESIGN.md §6) instead of the
+// in-process harness; they take the same config-file + overrides grammar:
+//
+//   gadget serve [config|-] [key=value ...]    # sharded store server
+//   gadget loadgen [config|-] [key=value ...]  # wire-level trace replay
+//
 // Examples:
 //   gadget configs/tumbling.conf
 //   gadget configs/tumbling.conf store=faster events=500000
 //   gadget - mode=ycsb ycsb_workload=F store=btree
 //   gadget --report=r.json --timeline_interval=10000 configs/tumbling.conf
+//   gadget serve - shards=4 port_file=/tmp/port store=lsm
+//   gadget loadgen - port_file=/tmp/port clients=8 shards=4 events=20000
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "src/common/config.h"
 #include "src/gadget/harness.h"
+#include "src/server/service.h"
 
 int main(int argc, char** argv) {
+  enum class Command { kHarness, kServe, kLoadgen };
+  Command command = Command::kHarness;
+  int first_arg = 1;
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    command = Command::kServe;
+    first_arg = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "loadgen") == 0) {
+    command = Command::kLoadgen;
+    first_arg = 2;
+  }
   std::string config_arg;
   std::vector<std::string> overrides;  // key=value, flags already stripped
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first_arg; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       arg = arg.substr(2);
@@ -41,8 +61,9 @@ int main(int argc, char** argv) {
   }
   if (config_arg.empty()) {
     std::fprintf(stderr,
-                 "usage: %s [--key=value ...] <config-file|-> [key=value ...]\n"
-                 "see src/gadget/harness.h for the config reference\n",
+                 "usage: %s [serve|loadgen] [--key=value ...] <config-file|-> [key=value ...]\n"
+                 "see src/gadget/harness.h (harness) and src/server/service.h\n"
+                 "(serve/loadgen) for the config reference\n",
                  argv[0]);
     return 2;
   }
@@ -63,7 +84,18 @@ int main(int argc, char** argv) {
     }
     config.Set(arg.substr(0, eq), arg.substr(eq + 1));
   }
-  gadget::Status status = gadget::RunHarness(config, std::cout);
+  gadget::Status status;
+  switch (command) {
+    case Command::kServe:
+      status = gadget::wire::ServeMain(config, std::cout);
+      break;
+    case Command::kLoadgen:
+      status = gadget::wire::LoadgenMain(config, std::cout);
+      break;
+    case Command::kHarness:
+      status = gadget::RunHarness(config, std::cout);
+      break;
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;

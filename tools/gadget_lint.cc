@@ -451,6 +451,31 @@ void CheckBufferPoolBypass(std::string_view path,
   }
 }
 
+// Raw socket syscalls belong to src/server/net/: every other layer talks
+// through the net:: helpers / FramedConn so framing, partial-write handling,
+// EINTR retries and SIGPIPE suppression are decided once. The matcher
+// requires a non-identifier (and non `.`/`->`/`:`) character before the call
+// so method calls like conn->Send(...) never fire.
+void CheckRawSocket(std::string_view path, const std::vector<std::string_view>& stripped_lines,
+                    std::vector<Finding>* findings) {
+  if (path.find("src/server/net/") != std::string_view::npos) {
+    return;  // the one sanctioned home of the syscalls
+  }
+  static const std::regex kSyscall(
+      R"((^|[^A-Za-z0-9_.>:])(::\s*)?(socket|send|recv|sendto|recvfrom|sendmsg|recvmsg)\s*\()");
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    const std::string line(stripped_lines[i]);
+    std::smatch m;
+    if (std::regex_search(line, m, kSyscall)) {
+      findings->push_back({std::string(path), static_cast<int>(i + 1), "raw-socket",
+                           "raw " + m[3].str() +
+                               "() outside src/server/net/ bypasses the service's socket "
+                               "helpers (framing, EINTR retries, SIGPIPE suppression); use "
+                               "net::TcpConnect/SendAll/RecvChunk or FramedConn"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> LintContent(std::string_view path, std::string_view content) {
@@ -468,6 +493,7 @@ std::vector<Finding> LintContent(std::string_view path, std::string_view content
   CheckVoidStatus(path, raw_lines, stripped_lines, &findings);
   CheckRenameSync(path, stripped_lines, &findings);
   CheckBufferPoolBypass(path, stripped_lines, &findings);
+  CheckRawSocket(path, stripped_lines, &findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) { return a.line < b.line; });
   return findings;

@@ -20,6 +20,9 @@
 //                       within a few lines — a rename is not crash-durable
 //                       until the parent directory entry is synced
 //                       (DESIGN.md "Durability contract").
+//   raw-socket          socket/send/recv-family syscalls are allowed only
+//                       under src/server/net/; everything else goes through
+//                       the net:: helpers or FramedConn (DESIGN.md §6).
 //
 // Output format: one finding per line, `file:line: rule-id: message`, exit
 // status 1 when anything fires. An allowlist file (`rule-id path-suffix` per

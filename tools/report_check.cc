@@ -2,13 +2,18 @@
 //
 //   report_check <report.json>                         # validate only
 //   report_check <report.json> --require_recovery      # + recovery gate
+//   report_check <report.json> --require_server        # + wire-replay gate
 //   report_check <baseline.json> <candidate.json> [--max_regression=0.15]
 //
 // With one file, exits 0 iff the document is a schema-valid gadget.report/1
 // or gadget.bench/1; --require_recovery additionally demands the "recovery"
 // object of a checkpointed run (see src/gadget/evaluator.h) with
 // mismatched_keys == 0, so CI fails if the crash/restore scenario was
-// skipped or the restored store diverged from the oracle. With two files,
+// skipped or the restored store diverged from the oracle. --require_server
+// demands the "server" object a `gadget loadgen` run emits (see
+// src/server/service.h) with zero lost operations (ops_acked == ops_sent),
+// zero server errors, and a non-empty per-shard breakdown — the server-smoke
+// CI gate. With two files,
 // additionally compares candidate against baseline: throughput may drop,
 // and overall-latency p50/p99/p999 may rise, by at most --max_regression
 // (default 0.15). Exit codes: 0 pass, 1 regression or validation failure,
@@ -26,7 +31,7 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <report.json> [--require_recovery]\n"
+               "usage: %s <report.json> [--require_recovery] [--require_server]\n"
                "       %s <baseline.json> <candidate.json> [--max_regression=0.15]\n",
                argv0, argv0);
   return 2;
@@ -54,6 +59,7 @@ bool Load(const std::string& path, gadget::JsonValue* out, std::string* error) {
 int main(int argc, char** argv) {
   double max_regression = 0.15;
   bool require_recovery = false;
+  bool require_server = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -66,6 +72,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--require_recovery") {
       require_recovery = true;
+    } else if (arg == "--require_server") {
+      require_server = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return Usage(argv[0]);
@@ -108,6 +116,37 @@ int main(int argc, char** argv) {
       std::printf("%s: recovery verified (%llu keys, restore %.3f ms)\n", files[i].c_str(),
                   static_cast<unsigned long long>(verified),
                   recovery->GetDouble("restore_micros") / 1000.0);
+    }
+    if (require_server) {
+      const gadget::JsonValue* server = docs[i].Get("server");
+      if (server == nullptr) {
+        std::fprintf(stderr, "%s: missing \"server\" (run via `gadget loadgen --report=...`)\n",
+                     files[i].c_str());
+        return 1;
+      }
+      const uint64_t shards = server->GetUint("shards");
+      const uint64_t clients = server->GetUint("clients");
+      const uint64_t sent = server->GetUint("ops_sent");
+      const uint64_t acked = server->GetUint("ops_acked");
+      const uint64_t errors = server->GetUint("errors");
+      const gadget::JsonValue* shard_ops = server->Get("shard_ops");
+      if (shards < 1 || clients < 1 || shard_ops == nullptr || !shard_ops->is_array() ||
+          shard_ops->size() != shards) {
+        std::fprintf(stderr, "%s: malformed \"server\" object (shards/clients/shard_ops)\n",
+                     files[i].c_str());
+        return 1;
+      }
+      if (sent == 0 || acked != sent || errors != 0) {
+        std::fprintf(stderr,
+                     "%s: wire replay lost operations (%llu sent, %llu acked, %llu errors)\n",
+                     files[i].c_str(), static_cast<unsigned long long>(sent),
+                     static_cast<unsigned long long>(acked),
+                     static_cast<unsigned long long>(errors));
+        return 1;
+      }
+      std::printf("%s: server replay clean (%llu ops over %llu shards, skew %.3f)\n",
+                  files[i].c_str(), static_cast<unsigned long long>(acked),
+                  static_cast<unsigned long long>(shards), server->GetDouble("shard_skew"));
     }
   }
   if (files.size() == 1) {
