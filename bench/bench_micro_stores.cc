@@ -9,8 +9,10 @@
 // "replay/<engine>", plus a cache-miss-heavy cold-pool read leg on the LSM
 // (buffer pool sized below the working set) comparing a serial Get loop
 // against batched MultiGet, labeled "read_cold/lsm/serial_get" and
-// "read_cold/lsm/multiget". CI's bench-smoke job validates and archives
-// this file.
+// "read_cold/lsm/multiget", plus a loopback wire replay against the store
+// server with 1 and 4 IO threads, labeled "wire/lsm/ioT1" / "wire/lsm/ioT4"
+// (the multi-reactor network-path probe). CI's bench-smoke job validates and
+// archives this file.
 //
 // --threads=1,2,4,... additionally runs a concurrent-writer sweep against a
 // single LSM instance (ReplaySharded: one trace partitioned by key hash, so
@@ -34,6 +36,8 @@
 #include "bench/bench_util.h"
 #include "src/common/file_util.h"
 #include "src/gadget/multi.h"
+#include "src/server/loadgen.h"
+#include "src/server/server.h"
 #include "src/stores/kvstore.h"
 
 namespace gadget {
@@ -451,6 +455,70 @@ bool RunColdReadLeg(std::vector<bench::BenchRun>* runs) {
   return true;
 }
 
+// Replays the synthetic trace over the wire against a loopback store server
+// with 1 and then 4 IO threads, labeled "wire/lsm/ioT1" / "wire/lsm/ioT4" —
+// the loaded-vs-report comparison for the multi-reactor network path. The
+// single-machine caveat applies doubly here: client threads, reactors, and
+// shard workers all share this host's cores, so treat the ioT4/ioT1 ratio as
+// a smoke signal locally and as the real scaling probe only on multi-core CI.
+bool RunWireLeg(std::vector<bench::BenchRun>* runs) {
+  const uint64_t ops = bench::OpsBudget();
+  const std::vector<StateAccess> trace = JsonReplayTrace(ops);
+  bench::PrintHeader("wire replay (loopback loadgen vs store server, lsm)");
+  std::printf("%8s %14s %14s %14s %10s\n", "ioT", "kops/s", "writev_calls", "frames/wv max",
+              "io_uring");
+  for (int io_threads : {1, 4}) {
+    ScopedTempDir dir("bench-micro-wire");
+    wire::ServerOptions sopts;
+    sopts.shards = 4;
+    sopts.io_threads = io_threads;
+    sopts.store.engine = "lsm";
+    sopts.store.dir = dir.path() + "/db";
+    auto server = wire::Server::Start(sopts);
+    if (!server.ok()) {
+      std::fprintf(stderr, "wire ioT%d: %s\n", io_threads, server.status().ToString().c_str());
+      return false;
+    }
+    wire::LoadgenOptions lopts;
+    lopts.port = (*server)->port();
+    lopts.clients = 8;
+    lopts.shards = 4;
+    lopts.batch_size = 16;
+    lopts.pipeline_depth = 4;
+    auto result = wire::RunLoadgen(trace, lopts);
+    if (!result.ok()) {
+      std::fprintf(stderr, "loadgen ioT%d: %s\n", io_threads, result.status().ToString().c_str());
+      return false;
+    }
+    if (result->ops_acked != result->ops_sent || result->errors != 0) {
+      std::fprintf(stderr, "loadgen ioT%d lost operations (%llu/%llu acked, %llu errors)\n",
+                   io_threads, static_cast<unsigned long long>(result->ops_acked),
+                   static_cast<unsigned long long>(result->ops_sent),
+                   static_cast<unsigned long long>(result->errors));
+      return false;
+    }
+    const wire::NetStats net = (*server)->net_stats();
+    bench::BenchRun run;
+    run.label = "wire/lsm/ioT" + std::to_string(io_threads);
+    run.engine = "lsm";
+    run.result = result->replay;
+    run.stats = (*server)->shard_set()->MergedStats();
+    std::printf("%8d %14.1f %14llu %14llu %10s\n", io_threads,
+                result->replay.throughput_ops_per_sec / 1e3,
+                static_cast<unsigned long long>(net.writev_calls),
+                static_cast<unsigned long long>(net.frames_per_writev_max),
+                net.io_uring_active ? "yes" : "no");
+    runs->push_back(std::move(run));
+    (*server)->Stop();
+  }
+  bench::PrintShapeNote(
+      "pipelined responses should coalesce (frames/wv max well above 1), and "
+      "with spare cores the ioT4 leg should out-pace ioT1: four reactors "
+      "decode and drain connections in parallel instead of serializing every "
+      "socket behind one epoll loop");
+  return true;
+}
+
 // Replays the synthetic trace on every engine and writes the gadget.bench/1
 // document to `path`, appending any `extra` runs (the thread sweep). Returns
 // false on the first failure.
@@ -511,6 +579,9 @@ int main(int argc, char** argv) {
   }
   if (const char* json = std::getenv("GADGET_BENCH_JSON"); json != nullptr && json[0] != '\0') {
     if (!gadget::RunColdReadLeg(&sweep_runs)) {
+      return 1;
+    }
+    if (!gadget::RunWireLeg(&sweep_runs)) {
       return 1;
     }
     if (!gadget::EmitMicroJson(json, std::move(sweep_runs))) {

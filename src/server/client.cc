@@ -3,14 +3,19 @@
 namespace gadget {
 namespace wire {
 
-StatusOr<std::unique_ptr<Client>> Client::Connect(uint16_t port, int pool_size) {
+StatusOr<std::unique_ptr<Client>> Client::Connect(uint16_t port, int pool_size,
+                                                  int connect_budget_ms) {
   if (pool_size < 1) {
     return Status::InvalidArgument("client pool_size must be >= 1");
   }
   std::unique_ptr<Client> client(new Client());
   client->pool_.reserve(static_cast<size_t>(pool_size));
   for (int i = 0; i < pool_size; ++i) {
-    StatusOr<int> fd = net::TcpConnect(port);
+    // Only the first connection burns the boot-race budget: once it is in,
+    // the server is listening and the rest either connect or really fail.
+    StatusOr<int> fd = (i == 0 && connect_budget_ms > 0)
+                           ? net::TcpConnectRetry(port, connect_budget_ms)
+                           : net::TcpConnect(port);
     if (!fd.ok()) {
       return fd.status();
     }

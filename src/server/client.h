@@ -36,7 +36,11 @@ namespace wire {
 class Client {
  public:
   // Connects `pool_size` blocking TCP connections to 127.0.0.1:`port`.
-  static StatusOr<std::unique_ptr<Client>> Connect(uint16_t port, int pool_size = 1);
+  // connect_budget_ms > 0 retries connection-refused with bounded backoff for
+  // about that long (net::TcpConnectRetry) — how loadgen tolerates racing a
+  // server that is still booting; 0 fails immediately.
+  static StatusOr<std::unique_ptr<Client>> Connect(uint16_t port, int pool_size = 1,
+                                                   int connect_budget_ms = 0);
 
   ~Client() = default;
   Client(const Client&) = delete;

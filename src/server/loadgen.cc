@@ -191,7 +191,7 @@ StatusOr<LoadgenResult> RunLoadgen(const std::vector<StateAccess>& trace,
   if (options.shards < 1) {
     return Status::InvalidArgument("loadgen shards must be >= 1");
   }
-  auto client = Client::Connect(options.port, options.clients);
+  auto client = Client::Connect(options.port, options.clients, options.connect_budget_ms);
   if (!client.ok()) {
     return client.status();
   }

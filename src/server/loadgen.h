@@ -44,6 +44,10 @@ struct LoadgenOptions {
   uint64_t pipeline_depth = 4;
   // Replay budget, 0 = whole trace.
   uint64_t max_ops = 0;
+  // Initial-connect retry budget: connection-refused is retried with bounded
+  // backoff for about this long before giving up, so a loadgen launched in
+  // parallel with `gadget serve` cannot lose the boot race. 0 = fail fast.
+  int connect_budget_ms = 2000;
 };
 
 struct LoadgenResult {
@@ -65,9 +69,10 @@ struct LoadgenResult {
   std::string server_stats_json;
 };
 
-// Replays `trace` against the server at 127.0.0.1:port. Fails fast if the
-// server is unreachable; per-request server errors are counted in `errors`,
-// not fatal.
+// Replays `trace` against the server at 127.0.0.1:port. A server still
+// booting (connection refused) is retried within connect_budget_ms; any other
+// unreachability fails fast. Per-request server errors are counted in
+// `errors`, not fatal.
 StatusOr<LoadgenResult> RunLoadgen(const std::vector<StateAccess>& trace,
                                    const LoadgenOptions& options);
 

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -109,6 +110,41 @@ StatusOr<int> TcpConnect(uint16_t port) {
   return fd;
 }
 
+StatusOr<int> TcpConnectRetry(uint16_t port, int budget_ms) {
+  int waited_ms = 0;
+  int backoff_ms = 25;
+  for (;;) {
+    StatusOr<int> fd = TcpConnect(port);
+    if (fd.ok()) {
+      return fd;
+    }
+    // Only ECONNREFUSED means "try again later": the port is real but nobody
+    // is listening yet. Anything else (unreachable, EMFILE...) is permanent.
+    if (fd.status().ToString().find("Connection refused") == std::string::npos ||
+        waited_ms >= budget_ms) {
+      return fd.status();
+    }
+    struct timespec ts {};
+    ts.tv_sec = backoff_ms / 1000;
+    ts.tv_nsec = static_cast<long>(backoff_ms % 1000) * 1'000'000L;
+    ::nanosleep(&ts, nullptr);
+    waited_ms += backoff_ms;
+    backoff_ms = backoff_ms * 2 > 400 ? 400 : backoff_ms * 2;
+  }
+}
+
+Status SetSocketBufferSizes(int fd, int sndbuf_bytes, int rcvbuf_bytes) {
+  if (sndbuf_bytes > 0 &&
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf_bytes, sizeof(sndbuf_bytes)) < 0) {
+    return Errno("setsockopt(SO_SNDBUF)");
+  }
+  if (rcvbuf_bytes > 0 &&
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes, sizeof(rcvbuf_bytes)) < 0) {
+    return Errno("setsockopt(SO_RCVBUF)");
+  }
+  return Status::Ok();
+}
+
 Status SendAll(int fd, std::string_view data) {
   while (!data.empty()) {
     // MSG_NOSIGNAL: a peer that vanished mid-send yields EPIPE here instead
@@ -154,6 +190,28 @@ int RecvChunk(int fd, std::string* buf, size_t cap, std::string* error) {
       return -1;
     }
     *error = std::string("recv: ") + std::strerror(errno);
+    return -2;
+  }
+}
+
+ssize_t WritevNonBlocking(int fd, const iovec* iov, int iovcnt, std::string* error) {
+  for (;;) {
+    // writev has no MSG_NOSIGNAL, so route through sendmsg: a peer that
+    // vanished mid-drain yields EPIPE instead of killing the process.
+    msghdr msg{};
+    msg.msg_iov = const_cast<iovec*>(iov);
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n >= 0) {
+      return n;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return -1;
+    }
+    *error = std::string("sendmsg: ") + std::strerror(errno);
     return -2;
   }
 }

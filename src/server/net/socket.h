@@ -1,12 +1,15 @@
 // TCP plumbing for the store service.
 //
 // This directory is the ONLY place in the tree allowed to call the raw
-// socket syscalls (socket / send / recv — enforced by gadget_lint's
-// `raw-socket` rule): everything above it talks through these helpers or the
-// FramedConn wrapper, so framing, partial-write handling, EINTR retries, and
-// SIGPIPE suppression are decided once.
+// socket syscalls (socket / send / recv / writev / sendmsg and the io_uring
+// socket opcodes — enforced by gadget_lint's `raw-socket` rule): everything
+// above it talks through these helpers or the FramedConn wrapper, so framing,
+// partial-write handling, EINTR retries, and SIGPIPE suppression are decided
+// once.
 #ifndef GADGET_SERVER_NET_SOCKET_H_
 #define GADGET_SERVER_NET_SOCKET_H_
+
+#include <sys/uio.h>
 
 #include <cstdint>
 #include <string>
@@ -40,6 +43,17 @@ StatusOr<int> TcpAccept(int listen_fd);
 // Blocking connect to 127.0.0.1:`port`.
 StatusOr<int> TcpConnect(uint16_t port);
 
+// TcpConnect with bounded retry: connection-refused (the server's socket is
+// not listening *yet*) is retried with growing backoff until ~`budget_ms`
+// has elapsed; any other failure is immediate. This is how loadgen tolerates
+// racing a server that is still booting.
+StatusOr<int> TcpConnectRetry(uint16_t port, int budget_ms);
+
+// Shrinks/pins the kernel socket buffers (0 = leave that side alone). Used
+// by the slow-reader tests to make send-side EAGAIN reproducible with small
+// payloads; the kernel may round the value (it doubles SO_*BUF internally).
+Status SetSocketBufferSizes(int fd, int sndbuf_bytes, int rcvbuf_bytes);
+
 // Writes all of `data`, polling through EAGAIN (works on blocking and
 // non-blocking fds alike) and retrying EINTR. Error means the connection is
 // dead.
@@ -51,6 +65,14 @@ Status SendAll(int fd, std::string_view data);
 //    -1  — nothing available right now (non-blocking fd); *not* an error
 //    -2  — connection error; *error says why
 int RecvChunk(int fd, std::string* buf, size_t cap, std::string* error);
+
+// One gather-write of `iov[0..iovcnt)` on a non-blocking fd (EINTR retried,
+// SIGPIPE suppressed). Never blocks and never polls — partial progress is the
+// caller's problem (it re-arms EPOLLOUT and finishes later).
+//   > 0  — that many bytes were written (possibly a partial batch)
+//    -1  — the socket buffer is full right now (EAGAIN); write nothing
+//    -2  — connection error; *error says why
+ssize_t WritevNonBlocking(int fd, const iovec* iov, int iovcnt, std::string* error);
 
 // A blocking framed connection: SendAll on the way out, a streaming frame
 // decoder on the way in. This is what clients and tests use; the server's

@@ -1,0 +1,279 @@
+#include "src/server/net/uring_socket.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/server/net/socket.h"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#if defined(__NR_io_uring_setup) && defined(__NR_io_uring_enter)
+#define GADGET_HAVE_IO_URING 1
+#endif
+#endif
+
+namespace gadget {
+namespace net {
+
+#ifdef GADGET_HAVE_IO_URING
+
+namespace {
+
+unsigned LoadAcquire(const unsigned* p) { return __atomic_load_n(p, __ATOMIC_ACQUIRE); }
+void StoreRelease(unsigned* p, unsigned v) { __atomic_store_n(p, v, __ATOMIC_RELEASE); }
+
+}  // namespace
+
+UringSocket::UringSocket(unsigned entries) {
+  io_uring_params params;
+  std::memset(&params, 0, sizeof(params));
+  long fd = ::syscall(__NR_io_uring_setup, entries, &params);
+  if (fd < 0) {
+    return;  // no io_uring (old kernel or seccomp): stay inert
+  }
+  if ((params.features & IORING_FEAT_SINGLE_MMAP) == 0) {
+    ::close(static_cast<int>(fd));
+    return;
+  }
+  ring_fd_ = static_cast<int>(fd);
+  sq_entries_ = params.sq_entries;
+  const size_t sq_bytes = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  const size_t cq_bytes = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  sq_ring_bytes_ = sq_bytes > cq_bytes ? sq_bytes : cq_bytes;
+  sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                    ring_fd_, IORING_OFF_SQ_RING);
+  sqes_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                 ring_fd_, IORING_OFF_SQES);
+  if (sq_ring_ == MAP_FAILED || sqes_ == MAP_FAILED) {
+    if (sq_ring_ != MAP_FAILED) {
+      ::munmap(sq_ring_, sq_ring_bytes_);
+    }
+    if (sqes_ != MAP_FAILED) {
+      ::munmap(sqes_, sqes_bytes_);
+    }
+    ::close(ring_fd_);
+    ring_fd_ = -1;
+    sq_ring_ = nullptr;
+    sqes_ = nullptr;
+    return;
+  }
+  char* sq = static_cast<char*>(sq_ring_);
+  sq_head_ = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+  sq_mask_ = reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+  cq_head_ = reinterpret_cast<unsigned*>(sq + params.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(sq + params.cq_off.tail);
+  cq_mask_ = reinterpret_cast<unsigned*>(sq + params.cq_off.ring_mask);
+  cqes_ = sq + params.cq_off.cqes;
+
+  // Functional probe: IORING_OP_RECV arrived in 5.6 and a ring older than
+  // that still sets up fine, so setup success is not support. Submit one
+  // RECV (MSG_DONTWAIT) on an empty non-blocking socketpair: -EAGAIN means
+  // the opcode works, -EINVAL means it does not and the epoll path takes
+  // over.
+  int sp[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0, sp) != 0) {
+    Teardown();
+    return;
+  }
+  char probe_byte = 0;
+  std::string probe_buf;
+  UringSocket::RecvOp op;
+  op.fd = sp[0];
+  op.buf = &probe_buf;
+  op.cap = sizeof(probe_byte);
+  std::vector<RecvOp*> ops{&op};
+  const bool ran = RecvBatch(ops);
+  ::close(sp[0]);
+  ::close(sp[1]);
+  if (!ran || op.result == -2) {
+    Teardown();
+  }
+}
+
+void UringSocket::Teardown() {
+  if (ring_fd_ < 0) {
+    return;
+  }
+  ::munmap(sq_ring_, sq_ring_bytes_);
+  ::munmap(sqes_, sqes_bytes_);
+  ::close(ring_fd_);
+  ring_fd_ = -1;
+  sq_ring_ = nullptr;
+  sqes_ = nullptr;
+}
+
+UringSocket::~UringSocket() { Teardown(); }
+
+bool UringSocket::RecvBatch(std::vector<RecvOp*>& ops) {
+  if (ring_fd_ < 0) {
+    return false;
+  }
+  const size_t n = ops.size();
+  if (n == 0) {
+    return true;
+  }
+  std::vector<size_t> old_size(n);
+  for (size_t i = 0; i < n; ++i) {
+    old_size[i] = ops[i]->buf->size();
+    ops[i]->buf->resize(old_size[i] + ops[i]->cap);
+  }
+  std::vector<char> done(n, 0);
+  size_t filled = 0;
+  size_t completed = 0;
+  unsigned pending = 0;
+  while (completed < n) {
+    unsigned tail = LoadAcquire(sq_tail_);
+    while (filled < n && tail - LoadAcquire(sq_head_) < sq_entries_) {
+      const unsigned idx = tail & *sq_mask_;
+      auto* sqe = reinterpret_cast<io_uring_sqe*>(static_cast<char*>(sqes_) +
+                                                  idx * sizeof(io_uring_sqe));
+      std::memset(sqe, 0, sizeof(*sqe));
+      sqe->opcode = IORING_OP_RECV;
+      sqe->fd = ops[filled]->fd;
+      sqe->addr = reinterpret_cast<uint64_t>(ops[filled]->buf->data() + old_size[filled]);
+      sqe->len = static_cast<uint32_t>(ops[filled]->cap);
+      // MSG_DONTWAIT: without it, kernels with fast poll (5.7+) park a recv
+      // on an empty socket until data arrives instead of completing with
+      // -EAGAIN — and this batch waits for every CQE, so a parked op would
+      // wedge the whole reactor.
+      sqe->msg_flags = MSG_DONTWAIT;
+      sqe->user_data = filled;
+      sq_array_[idx] = idx;
+      ++tail;
+      ++pending;
+      ++filled;
+    }
+    StoreRelease(sq_tail_, tail);
+    const unsigned want = static_cast<unsigned>(filled < n ? 1 : n - completed);
+    const long ret = ::syscall(__NR_io_uring_enter, ring_fd_, pending, want,
+                               IORING_ENTER_GETEVENTS, nullptr, 0);
+    ++enters_;
+    if (ret >= 0) {
+      pending -= static_cast<unsigned>(ret);
+      ops_submitted_ += static_cast<uint64_t>(ret);
+    } else if (errno != EINTR) {
+      const std::string err = std::string("io_uring_enter: ") + std::strerror(errno);
+      for (size_t i = 0; i < n; ++i) {
+        if (!done[i]) {
+          ops[i]->buf->resize(old_size[i]);
+          ops[i]->result = -2;
+          ops[i]->error = err;
+        }
+      }
+      return true;
+    }
+    unsigned head = LoadAcquire(cq_head_);
+    while (head != LoadAcquire(cq_tail_)) {
+      const auto* cqe = reinterpret_cast<const io_uring_cqe*>(static_cast<const char*>(cqes_)) +
+                        (head & *cq_mask_);
+      RecvOp* op = ops[cqe->user_data];
+      const size_t old = old_size[cqe->user_data];
+      if (cqe->res >= 0) {
+        op->buf->resize(old + static_cast<size_t>(cqe->res));
+        op->result = cqe->res;
+      } else if (cqe->res == -EAGAIN || cqe->res == -EWOULDBLOCK) {
+        op->buf->resize(old);
+        op->result = -1;
+      } else {
+        op->buf->resize(old);
+        op->result = -2;
+        op->error = std::string("io_uring recv: ") + std::strerror(-cqe->res);
+      }
+      done[cqe->user_data] = 1;
+      ++completed;
+      ++head;
+      StoreRelease(cq_head_, head);
+    }
+  }
+  return true;
+}
+
+ssize_t UringSocket::Writev(int fd, const iovec* iov, int iovcnt, std::string* error) {
+  if (ring_fd_ < 0) {
+    return WritevNonBlocking(fd, iov, iovcnt, error);
+  }
+  // SENDMSG rather than WRITEV so MSG_NOSIGNAL applies: a vanished peer
+  // completes with -EPIPE instead of raising SIGPIPE.
+  msghdr msg{};
+  msg.msg_iov = const_cast<iovec*>(iov);
+  msg.msg_iovlen = static_cast<size_t>(iovcnt);
+  for (;;) {
+    const unsigned tail = LoadAcquire(sq_tail_);
+    const unsigned idx = tail & *sq_mask_;
+    auto* sqe = reinterpret_cast<io_uring_sqe*>(static_cast<char*>(sqes_) +
+                                                idx * sizeof(io_uring_sqe));
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode = IORING_OP_SENDMSG;
+    sqe->fd = fd;
+    sqe->addr = reinterpret_cast<uint64_t>(&msg);
+    sqe->len = 1;
+    // MSG_DONTWAIT mirrors the recv side: fast-poll kernels would otherwise
+    // park this op on a full send buffer, but the caller wants -1 (EAGAIN)
+    // so it can re-arm EPOLLOUT and move on.
+    sqe->msg_flags = MSG_NOSIGNAL | MSG_DONTWAIT;
+    sqe->user_data = 0;
+    sq_array_[idx] = idx;
+    StoreRelease(sq_tail_, tail + 1);
+    unsigned to_submit = 1;
+    // Submit once, then keep waiting (submitting nothing further) until the
+    // CQE lands — re-prepping the SQE here would duplicate the send.
+    for (;;) {
+      long ret;
+      do {
+        ret = ::syscall(__NR_io_uring_enter, ring_fd_, to_submit, 1, IORING_ENTER_GETEVENTS,
+                        nullptr, 0);
+        ++enters_;
+      } while (ret < 0 && errno == EINTR);
+      if (ret < 0) {
+        *error = std::string("io_uring_enter: ") + std::strerror(errno);
+        return -2;
+      }
+      if (to_submit > 0 && ret > 0) {
+        ops_submitted_ += 1;
+        to_submit = 0;
+      }
+      if (LoadAcquire(cq_head_) != LoadAcquire(cq_tail_)) {
+        break;
+      }
+    }
+    const unsigned head = LoadAcquire(cq_head_);
+    const auto* cqe = reinterpret_cast<const io_uring_cqe*>(static_cast<const char*>(cqes_)) +
+                      (head & *cq_mask_);
+    const int res = cqe->res;
+    StoreRelease(cq_head_, head + 1);
+    if (res >= 0) {
+      return res;
+    }
+    if (res == -EAGAIN || res == -EWOULDBLOCK) {
+      return -1;
+    }
+    if (res == -EINTR) {
+      continue;  // whole op was interrupted before transferring anything
+    }
+    *error = std::string("io_uring sendmsg: ") + std::strerror(-res);
+    return -2;
+  }
+}
+
+#else  // !GADGET_HAVE_IO_URING
+
+UringSocket::UringSocket(unsigned /*entries*/) {}
+UringSocket::~UringSocket() = default;
+void UringSocket::Teardown() {}
+bool UringSocket::RecvBatch(std::vector<RecvOp*>& /*ops*/) { return false; }
+ssize_t UringSocket::Writev(int fd, const iovec* iov, int iovcnt, std::string* error) {
+  return WritevNonBlocking(fd, iov, iovcnt, error);
+}
+
+#endif  // GADGET_HAVE_IO_URING
+
+}  // namespace net
+}  // namespace gadget

@@ -1,0 +1,97 @@
+// io_uring socket backend for the server's IO threads (DESIGN.md §6).
+//
+// Each IO thread owns one UringSocket: a small raw-syscall io_uring ring
+// (io_uring_setup/io_uring_enter directly, no liburing — same pread-era
+// style as src/stores/bufferpool/io_backend.cc) used to submit the thread's
+// socket work:
+//
+//   * RecvBatch — one IORING_OP_RECV per readable connection, submitted as a
+//     single io_uring_enter wave. An epoll wake that reports K readable
+//     connections costs 1 submission syscall instead of K recv() calls.
+//   * Writev   — one IORING_OP_SENDMSG (gather list + MSG_NOSIGNAL) for an
+//     output-queue drain, mirroring net::WritevNonBlocking's contract.
+//
+// Construction probes the kernel at runtime: a missing io_uring_setup, a
+// seccomp refusal, or a pre-5.6 kernel without IORING_OP_RECV leaves
+// available() false and the server falls back to plain epoll recv/writev
+// silently — `use_io_uring` is a request, not a requirement. All fds are
+// O_NONBLOCK, so ring completions carry -EAGAIN exactly where recv() would,
+// and the epoll readiness loop keeps working unchanged above either backend.
+#ifndef GADGET_SERVER_NET_URING_SOCKET_H_
+#define GADGET_SERVER_NET_URING_SOCKET_H_
+
+#include <sys/uio.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gadget {
+namespace net {
+
+class UringSocket {
+ public:
+  // Probes and maps a ring of `entries` SQEs. On any failure the object is
+  // inert (available() == false) — never an error.
+  explicit UringSocket(unsigned entries = 64);
+  ~UringSocket();
+  UringSocket(const UringSocket&) = delete;
+  UringSocket& operator=(const UringSocket&) = delete;
+
+  // True when the probe succeeded and socket ops go through the ring.
+  bool available() const { return ring_fd_ >= 0; }
+
+  // One receive in a batch wave. `result` mirrors net::RecvChunk:
+  //   > 0 appended, 0 orderly EOF, -1 would-block, -2 error (see `error`).
+  struct RecvOp {
+    int fd = -1;
+    std::string* buf = nullptr;  // received bytes are appended
+    size_t cap = 0;              // max bytes this op may append
+    int result = -1;
+    std::string error;
+  };
+
+  // Submits every op as IORING_OP_RECV in one enter() wave and reaps all
+  // completions. Returns false (ops untouched) when the ring is unavailable;
+  // the caller then uses the epoll-path recv instead.
+  bool RecvBatch(std::vector<RecvOp*>& ops);
+
+  // Gather-write via IORING_OP_SENDMSG; contract of net::WritevNonBlocking
+  // (>0 written, -1 would-block, -2 error). Falls back to the plain syscall
+  // when the ring is unavailable.
+  ssize_t Writev(int fd, const iovec* iov, int iovcnt, std::string* error);
+
+  // Counters for the report's net object: enter() syscalls made and ops
+  // submitted through the ring (sockets only; file I/O has its own backend).
+  // Atomic because stats snapshots read them from outside the owner thread.
+  uint64_t enters() const { return enters_.load(std::memory_order_relaxed); }
+  uint64_t ops_submitted() const { return ops_submitted_.load(std::memory_order_relaxed); }
+
+ private:
+  void Teardown();
+
+  int ring_fd_ = -1;
+  unsigned sq_entries_ = 0;
+  void* sq_ring_ = nullptr;
+  size_t sq_ring_bytes_ = 0;
+  void* sqes_ = nullptr;
+  size_t sqes_bytes_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned* sq_mask_ = nullptr;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned* cq_mask_ = nullptr;
+  void* cqes_ = nullptr;
+
+  std::atomic<uint64_t> enters_{0};
+  std::atomic<uint64_t> ops_submitted_{0};
+};
+
+}  // namespace net
+}  // namespace gadget
+
+#endif  // GADGET_SERVER_NET_URING_SOCKET_H_

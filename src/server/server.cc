@@ -2,8 +2,10 @@
 
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -14,32 +16,78 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/common/json.h"
 #include "src/common/logging.h"
 #include "src/common/mutex.h"
 #include "src/server/net/socket.h"
+#include "src/server/net/uring_socket.h"
 #include "src/server/wire.h"
 
 namespace gadget {
 namespace wire {
 namespace {
 
-// One live client connection. The IO thread owns the receive state; workers
-// share the send side through Send()'s mutex so response bursts from
-// different shards never interleave mid-frame.
+constexpr size_t kRecvChunk = 64 << 10;
+// Gather-list cap per writev: a deep pipeline coalesces up to this many
+// queued response bursts into one syscall. Far below IOV_MAX (1024); past a
+// few dozen entries the syscall itself stops being the cost.
+constexpr int kMaxIov = 64;
+
+void UpdateMax(std::atomic<uint64_t>& gauge, uint64_t v) {
+  uint64_t cur = gauge.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !gauge.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Process-wide net-layer counters (NetStats minus the per-thread gauges).
+struct NetCounters {
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+  std::atomic<uint64_t> writev_calls{0};
+  std::atomic<uint64_t> frames_per_writev_max{0};
+  std::atomic<uint64_t> outq_stall_micros{0};
+  std::atomic<uint64_t> outq_bytes_max{0};
+  std::atomic<uint64_t> accepted{0};
+};
+
+// One enqueued response burst: pre-encoded frames plus how many, so the
+// drain can report frames-per-writev.
+struct OutChunk {
+  std::string data;
+  uint64_t frames = 0;
+};
+
+// One live client connection. The owning IO thread is the only reader of the
+// receive state; the send side is a bounded output queue shared by workers
+// and the owner under `mu`, so response bursts never tear or reorder.
 struct Conn {
-  explicit Conn(int conn_fd) : fd(conn_fd) {}
+  Conn(int conn_fd, int epfd) : fd(conn_fd), owner_epfd(epfd) {}
   ~Conn() { net::CloseFd(fd); }
   Conn(const Conn&) = delete;
   Conn& operator=(const Conn&) = delete;
 
   const int fd;
-  std::string in;   // IO-thread-only: received bytes not yet framed
-  size_t off = 0;   // IO-thread-only: consumed prefix of `in`
+  const int owner_epfd;  // for EPOLLOUT (re)arming from any thread
+  std::string in;        // owner-IO-thread-only: received bytes not yet framed
+  size_t off = 0;        // owner-IO-thread-only: consumed prefix of `in`
 
   Mutex mu;
   bool closed GUARDED_BY(mu) = false;
+  std::deque<OutChunk> outq GUARDED_BY(mu);
+  size_t outq_bytes GUARDED_BY(mu) = 0;
+  size_t head_off GUARDED_BY(mu) = 0;  // written prefix of outq.front()
+  bool write_armed GUARDED_BY(mu) = false;
+  CondVar drained{&mu};  // signaled whenever the drain frees queue bytes
 
-  void Send(std::string_view frames) {
+  // Enqueues one response burst. Workers pass may_block=true: when the queue
+  // is over `outq_limit` they wait — periodically attempting the drain
+  // themselves, because the owner reactor may itself be parked in dispatch
+  // backpressure and unable to service EPOLLOUT. Reactors pass
+  // may_block=false (a reactor must never sleep on one connection) and their
+  // own ring for the inline drain.
+  void Send(std::string_view frames, uint64_t nframes, net::UringSocket* ring,
+            bool may_block, size_t outq_limit, NetCounters* nc) {
     if (frames.empty()) {
       return;
     }
@@ -47,14 +95,110 @@ struct Conn {
     if (closed) {
       return;
     }
-    if (!net::SendAll(fd, frames).ok()) {
-      closed = true;  // peer is gone; epoll will surface the error to the IO thread
+    // A burst bigger than the limit on its own still goes out (it just waits
+    // for an empty queue): `outq_bytes != 0` keeps the wait satisfiable.
+    if (may_block && outq_bytes != 0 && outq_bytes + frames.size() > outq_limit) {
+      const auto t0 = std::chrono::steady_clock::now();
+      while (!closed && outq_bytes != 0 && outq_bytes + frames.size() > outq_limit) {
+        if (!DrainLocked(nullptr, nc)) {
+          break;  // connection died mid-drain
+        }
+        if (closed || outq_bytes == 0 || outq_bytes + frames.size() <= outq_limit) {
+          break;
+        }
+        drained.WaitFor(std::chrono::milliseconds(2));
+      }
+      nc->outq_stall_micros.fetch_add(
+          static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count()),
+          std::memory_order_relaxed);
+      if (closed) {
+        return;
+      }
     }
+    outq.push_back(OutChunk{std::string(frames), nframes});
+    outq_bytes += frames.size();
+    UpdateMax(nc->outq_bytes_max, outq_bytes);
+    if (!write_armed) {
+      if (!DrainLocked(ring, nc)) {
+        return;
+      }
+      if (!outq.empty()) {
+        SetWriteInterestLocked(true);  // finish via EPOLLOUT on the owner
+      }
+    }
+  }
+
+  // Writes as much of the output queue as the socket accepts, coalescing up
+  // to kMaxIov queued bursts per writev. Returns false when the connection
+  // died (closed is then set); true otherwise — a true return with a
+  // non-empty queue means EAGAIN.
+  bool DrainLocked(net::UringSocket* ring, NetCounters* nc) REQUIRES(mu) {
+    while (!outq.empty()) {
+      iovec iov[kMaxIov];
+      int cnt = 0;
+      uint64_t batch_frames = 0;
+      size_t first_off = head_off;
+      for (auto it = outq.begin(); it != outq.end() && cnt < kMaxIov; ++it) {
+        iov[cnt].iov_base = const_cast<char*>(it->data.data()) + first_off;
+        iov[cnt].iov_len = it->data.size() - first_off;
+        first_off = 0;
+        batch_frames += it->frames;
+        ++cnt;
+      }
+      std::string error;
+      const ssize_t n = ring != nullptr
+                            ? ring->Writev(fd, iov, cnt, &error)
+                            : net::WritevNonBlocking(fd, iov, cnt, &error);
+      if (n == -1) {
+        return true;  // socket buffer full; caller arms EPOLLOUT
+      }
+      if (n == -2) {
+        closed = true;  // peer is gone; epoll surfaces it to the owner
+        drained.SignalAll();
+        return false;
+      }
+      nc->writev_calls.fetch_add(1, std::memory_order_relaxed);
+      nc->bytes_out.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      UpdateMax(nc->frames_per_writev_max, batch_frames);
+      size_t written = static_cast<size_t>(n);
+      outq_bytes -= written;
+      while (written > 0) {
+        OutChunk& front = outq.front();
+        const size_t avail = front.data.size() - head_off;
+        if (written >= avail) {
+          written -= avail;
+          head_off = 0;
+          outq.pop_front();
+        } else {
+          head_off += written;
+          written = 0;
+        }
+      }
+      drained.SignalAll();
+    }
+    if (write_armed) {
+      SetWriteInterestLocked(false);
+    }
+    return true;
+  }
+
+  // Flips EPOLLOUT interest on the owning reactor's epoll set. epoll_ctl is
+  // thread-safe, so workers arm directly; ENOENT/EBADF (the owner already
+  // dropped or closed the fd) are harmless.
+  void SetWriteInterestLocked(bool want) REQUIRES(mu) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    ::epoll_ctl(owner_epfd, EPOLL_CTL_MOD, fd, &ev);
+    write_armed = want;
   }
 
   void MarkClosed() {
     MutexLock lock(&mu);
     closed = true;
+    drained.SignalAll();  // unblock workers stalled on this queue
   }
 };
 
@@ -110,41 +254,72 @@ struct ShardQueue {
   bool stop GUARDED_BY(mu) = false;
 };
 
+// One reactor: a private epoll set, its connections, a wake eventfd doubling
+// as the accepted-fd handoff doorbell, and (optionally) an io_uring ring.
+struct IoThread {
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;  // owner thread only
+  Mutex in_mu;
+  std::vector<int> incoming GUARDED_BY(in_mu);  // accepted fds awaiting adoption
+  // Created before the thread starts, never reassigned after: concurrent
+  // snapshot reads of the pointer are safe, and the ring itself is only
+  // driven by the owner thread.
+  std::unique_ptr<net::UringSocket> uring;
+  std::atomic<uint64_t> ops{0};  // frames decoded by this reactor
+
+  ~IoThread() {
+    for (int fd : incoming) {
+      net::CloseFd(fd);  // accepted but never adopted
+    }
+    net::CloseFd(wake_fd);
+    if (epoll_fd >= 0) {
+      ::close(epoll_fd);
+    }
+  }
+};
+
 }  // namespace
 
 struct Server::Impl {
   ServerOptions options;
   ShardSet* shards = nullptr;
   int listen_fd = -1;
-  int epoll_fd = -1;
-  int wake_fd = -1;
   std::atomic<bool> stopping{false};
-  std::unordered_map<int, std::shared_ptr<Conn>> conns;  // IO thread only
+  std::vector<std::unique_ptr<IoThread>> io;
+  size_t next_io = 0;  // round-robin accept cursor; thread 0 only
   std::vector<std::unique_ptr<ShardQueue>> queues;
+  NetCounters net;
 
-  ~Impl() {
-    net::CloseFd(listen_fd);
-    net::CloseFd(wake_fd);
-    if (epoll_fd >= 0) {
-      ::close(epoll_fd);
-    }
-  }
+  ~Impl() { net::CloseFd(listen_fd); }
 
-  void IoLoop();
-  void AcceptAll();
-  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void IoLoop(size_t tid);
+  void AcceptAll(IoThread& t0);
+  void AdoptConn(IoThread& t, int fd);
+  void AdoptIncoming(IoThread& t);
+  // Receives everything currently buffered on each readable connection —
+  // through one io_uring wave per round when the reactor has a ring, plain
+  // recv otherwise. dead[i] is set on EOF / receive error.
+  void ReadBatch(IoThread& t, const std::vector<std::shared_ptr<Conn>>& ready,
+                 std::vector<char>* dead);
+  // Drains the output queue on EPOLLOUT; drops the connection on write error.
+  void HandleWritable(IoThread& t, const std::shared_ptr<Conn>& conn);
   // Decodes every complete frame buffered on `conn` and dispatches the
   // resulting shard tasks. Returns false when the connection must close
-  // (protocol error — the fatal ERROR frame has already been sent).
-  bool DecodeBurst(const std::shared_ptr<Conn>& conn);
+  // (protocol error — the fatal ERROR frame has already been queued).
+  bool DecodeBurst(IoThread& t, const std::shared_ptr<Conn>& conn);
   void Dispatch(int shard, ShardTask task);
-  void DropConn(int fd);
+  void DropConn(IoThread& t, int fd);
 
   void WorkerLoop(int shard);
   void ExecuteTask(int shard, ShardTask& task);
+
+  NetStats SnapshotNet() const;
+  JsonValue NetJson() const;
+  std::string StatsText() const;
 };
 
-void Server::Impl::AcceptAll() {
+void Server::Impl::AcceptAll(IoThread& t0) {
   for (;;) {
     StatusOr<int> fd = net::TcpAccept(listen_fd);
     if (!fd.ok()) {
@@ -158,98 +333,214 @@ void Server::Impl::AcceptAll() {
       net::CloseFd(*fd);
       continue;
     }
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = *fd;
-    if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, *fd, &ev) < 0) {
-      net::CloseFd(*fd);
-      continue;
+    if (options.so_sndbuf > 0) {
+      // status intentionally ignored: slow-reader test hook; failure just
+      // means the test sees more buffering before EAGAIN.
+      (void)net::SetSocketBufferSizes(*fd, options.so_sndbuf, 0);
     }
-    conns.emplace(*fd, std::make_shared<Conn>(*fd));
+    net.accepted.fetch_add(1, std::memory_order_relaxed);
+    IoThread& target = *io[next_io];
+    next_io = (next_io + 1) % io.size();
+    if (&target == &t0) {
+      AdoptConn(t0, *fd);
+    } else {
+      {
+        MutexLock lock(&target.in_mu);
+        target.incoming.push_back(*fd);
+      }
+      const uint64_t one = 1;
+      const ssize_t ignored = ::write(target.wake_fd, &one, sizeof(one));
+      (void)ignored;
+    }
   }
 }
 
-void Server::Impl::DropConn(int fd) {
-  auto it = conns.find(fd);
-  if (it == conns.end()) {
+void Server::Impl::AdoptConn(IoThread& t, int fd) {
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(t.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    net::CloseFd(fd);
+    return;
+  }
+  t.conns.emplace(fd, std::make_shared<Conn>(fd, t.epoll_fd));
+}
+
+void Server::Impl::AdoptIncoming(IoThread& t) {
+  std::vector<int> fds;
+  {
+    MutexLock lock(&t.in_mu);
+    fds.swap(t.incoming);
+  }
+  for (int fd : fds) {
+    AdoptConn(t, fd);
+  }
+}
+
+void Server::Impl::DropConn(IoThread& t, int fd) {
+  auto it = t.conns.find(fd);
+  if (it == t.conns.end()) {
     return;
   }
   it->second->MarkClosed();
-  ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  ::epoll_ctl(t.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
   // The fd itself closes when the last in-flight task drops its Conn ref.
-  conns.erase(it);
+  t.conns.erase(it);
 }
 
-void Server::Impl::IoLoop() {
+void Server::Impl::IoLoop(size_t tid) {
+  IoThread& t = *io[tid];
   epoll_event events[64];
+  std::vector<std::shared_ptr<Conn>> readable;
+  std::vector<char> dead;
   while (!stopping.load(std::memory_order_relaxed)) {
-    const int n = ::epoll_wait(epoll_fd, events, 64, -1);
+    const int n = ::epoll_wait(t.epoll_fd, events, 64, -1);
     if (n < 0) {
       if (errno == EINTR) {
-        continue;
+        continue;  // signals are not events
       }
       GADGET_LOG(Error) << "epoll_wait: " << std::strerror(errno);
       break;
     }
+    readable.clear();
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
-      if (fd == wake_fd) {
+      if (fd == t.wake_fd) {
         uint64_t tick = 0;
-        const ssize_t ignored = ::read(wake_fd, &tick, sizeof(tick));
+        const ssize_t ignored = ::read(t.wake_fd, &tick, sizeof(tick));
         (void)ignored;
+        AdoptIncoming(t);
         continue;
       }
-      if (fd == listen_fd) {
-        AcceptAll();
+      if (tid == 0 && fd == listen_fd) {
+        AcceptAll(t);
         continue;
       }
-      auto it = conns.find(fd);
-      if (it == conns.end()) {
+      auto it = t.conns.find(fd);
+      if (it == t.conns.end()) {
         continue;  // already dropped earlier in this wake
       }
-      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 &&
-          (events[i].events & EPOLLIN) == 0) {
-        DropConn(fd);
+      const uint32_t ev = events[i].events;
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0 && (ev & EPOLLIN) == 0) {
+        DropConn(t, fd);
         continue;
       }
-      HandleReadable(it->second);
+      if ((ev & EPOLLOUT) != 0) {
+        HandleWritable(t, it->second);
+        if (t.conns.find(fd) == t.conns.end()) {
+          continue;  // dropped on write error
+        }
+      }
+      if ((ev & EPOLLIN) != 0) {
+        readable.push_back(it->second);
+      }
+    }
+    if (!readable.empty()) {
+      dead.assign(readable.size(), 0);
+      ReadBatch(t, readable, &dead);
+      for (size_t i = 0; i < readable.size(); ++i) {
+        if (!DecodeBurst(t, readable[i]) || dead[i] != 0) {
+          DropConn(t, readable[i]->fd);
+        }
+      }
     }
   }
   // Teardown: no new frames will be read; in-flight tasks finish via their
-  // own Conn refs.
+  // own Conn refs, and MarkClosed (inside DropConn) unblocks any worker
+  // stalled on an output queue.
   std::vector<int> fds;
-  fds.reserve(conns.size());
-  for (const auto& [fd, conn] : conns) {
+  fds.reserve(t.conns.size());
+  for (const auto& [fd, conn] : t.conns) {
     fds.push_back(fd);
   }
   for (int fd : fds) {
-    DropConn(fd);
+    DropConn(t, fd);
+  }
+  AdoptIncoming(t);  // adopt-and-drop stragglers so their fds close
+  fds.clear();
+  for (const auto& [fd, conn] : t.conns) {
+    fds.push_back(fd);
+  }
+  for (int fd : fds) {
+    DropConn(t, fd);
   }
 }
 
-void Server::Impl::HandleReadable(const std::shared_ptr<Conn>& conn) {
-  bool eof = false;
-  for (;;) {
-    std::string error;
-    const int n = net::RecvChunk(conn->fd, &conn->in, 64 << 10, &error);
-    if (n > 0) {
-      continue;  // drain until EAGAIN so level-triggered epoll stays quiet
-    }
-    if (n == -1) {
-      break;  // no more buffered bytes
-    }
-    eof = true;  // orderly EOF or hard error: process what we have, then drop
-    break;
+void Server::Impl::HandleWritable(IoThread& t, const std::shared_ptr<Conn>& conn) {
+  bool dead_conn;
+  {
+    MutexLock lock(&conn->mu);
+    dead_conn = conn->closed || !conn->DrainLocked(t.uring.get(), &net);
   }
-  if (!DecodeBurst(conn) || eof) {
-    DropConn(conn->fd);
+  if (dead_conn) {
+    DropConn(t, conn->fd);
   }
 }
 
-bool Server::Impl::DecodeBurst(const std::shared_ptr<Conn>& conn) {
-  // Responses the IO thread can produce itself (PONG, STATS_TEXT, trivial
-  // empty-request replies) accumulate here and go out as one send.
+void Server::Impl::ReadBatch(IoThread& t, const std::vector<std::shared_ptr<Conn>>& ready,
+                             std::vector<char>* dead) {
+  if (t.uring != nullptr) {
+    // Wave loop: every still-active connection gets one IORING_OP_RECV per
+    // round, submitted together. A full chunk means the socket may hold
+    // more, so it rides the next wave; a short chunk means it is drained.
+    std::vector<size_t> active(ready.size());
+    for (size_t i = 0; i < ready.size(); ++i) {
+      active[i] = i;
+    }
+    std::vector<net::UringSocket::RecvOp> ops;
+    std::vector<net::UringSocket::RecvOp*> op_ptrs;
+    while (!active.empty()) {
+      ops.assign(active.size(), net::UringSocket::RecvOp{});
+      op_ptrs.clear();
+      for (size_t j = 0; j < active.size(); ++j) {
+        Conn& c = *ready[active[j]];
+        ops[j].fd = c.fd;
+        ops[j].buf = &c.in;
+        ops[j].cap = kRecvChunk;
+        op_ptrs.push_back(&ops[j]);
+      }
+      if (!t.uring->RecvBatch(op_ptrs)) {
+        break;  // ring unusable; level-triggered epoll re-reports next wake
+      }
+      std::vector<size_t> next;
+      for (size_t j = 0; j < active.size(); ++j) {
+        const net::UringSocket::RecvOp& op = ops[j];
+        if (op.result > 0) {
+          net.bytes_in.fetch_add(static_cast<uint64_t>(op.result),
+                                 std::memory_order_relaxed);
+          if (static_cast<size_t>(op.result) == op.cap) {
+            next.push_back(active[j]);
+          }
+        } else if (op.result != -1) {
+          (*dead)[active[j]] = 1;  // orderly EOF or hard error
+        }
+      }
+      active.swap(next);
+    }
+    return;
+  }
+  for (size_t i = 0; i < ready.size(); ++i) {
+    for (;;) {
+      std::string error;
+      const int n = net::RecvChunk(ready[i]->fd, &ready[i]->in, kRecvChunk, &error);
+      if (n > 0) {
+        net.bytes_in.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+        continue;  // drain until EAGAIN so level-triggered epoll stays quiet
+      }
+      if (n == -1) {
+        break;  // no more buffered bytes
+      }
+      (*dead)[i] = 1;  // orderly EOF or hard error: process what we have
+      break;
+    }
+  }
+}
+
+bool Server::Impl::DecodeBurst(IoThread& t, const std::shared_ptr<Conn>& conn) {
+  // Responses the reactor can produce itself (PONG, STATS_TEXT, trivial
+  // empty-request replies) accumulate here and go out as one queued burst.
   std::string inline_out;
+  uint64_t inline_frames = 0;
   std::vector<std::vector<WorkItem>> per_shard(queues.size());
   bool ok = true;
 
@@ -264,6 +555,7 @@ bool Server::Impl::DecodeBurst(const std::shared_ptr<Conn>& conn) {
     }
     if (fs == FrameStatus::kError) {
       AppendErrorResponse(&inline_out, 0, error);  // id 0: connection-fatal
+      ++inline_frames;
       ok = false;
       break;
     }
@@ -271,16 +563,20 @@ bool Server::Impl::DecodeBurst(const std::shared_ptr<Conn>& conn) {
     const Status ps = ParseRequest(frame, &req);
     if (!ps.ok()) {
       AppendErrorResponse(&inline_out, 0, ps.ToString());
+      ++inline_frames;
       ok = false;
       break;
     }
     conn->off += consumed;
+    t.ops.fetch_add(1, std::memory_order_relaxed);
     switch (req.type) {
       case MsgType::kPing:
         AppendPongResponse(&inline_out, req.id);
+        ++inline_frames;
         break;
       case MsgType::kStats:
-        AppendStatsTextResponse(&inline_out, req.id, shards->StatsJson());
+        AppendStatsTextResponse(&inline_out, req.id, StatsText());
+        ++inline_frames;
         break;
       case MsgType::kGet:
       case MsgType::kPut:
@@ -298,6 +594,7 @@ bool Server::Impl::DecodeBurst(const std::shared_ptr<Conn>& conn) {
       case MsgType::kMultiGet: {
         if (req.keys.empty()) {
           AppendMultiResponse(&inline_out, req.id, {}, {});
+          ++inline_frames;
           break;
         }
         auto join = std::make_shared<MultiJoin>();
@@ -330,6 +627,7 @@ bool Server::Impl::DecodeBurst(const std::shared_ptr<Conn>& conn) {
       case MsgType::kWriteBatch: {
         if (req.batch.empty()) {
           AppendOkResponse(&inline_out, req.id);
+          ++inline_frames;
           break;
         }
         auto join = std::make_shared<BatchJoin>();
@@ -371,6 +669,7 @@ bool Server::Impl::DecodeBurst(const std::shared_ptr<Conn>& conn) {
       }
       default:
         AppendErrorResponse(&inline_out, 0, "unhandled request type");
+        ++inline_frames;
         ok = false;
         break;
     }
@@ -384,7 +683,8 @@ bool Server::Impl::DecodeBurst(const std::shared_ptr<Conn>& conn) {
     conn->in.erase(0, conn->off);
     conn->off = 0;
   }
-  conn->Send(inline_out);
+  conn->Send(inline_out, inline_frames, t.uring.get(), /*may_block=*/false,
+             options.conn_outq_limit, &net);
   for (size_t shard = 0; shard < per_shard.size(); ++shard) {
     if (!per_shard[shard].empty()) {
       ShardTask task;
@@ -399,9 +699,9 @@ bool Server::Impl::DecodeBurst(const std::shared_ptr<Conn>& conn) {
 void Server::Impl::Dispatch(int shard, ShardTask task) {
   ShardQueue& q = *queues[static_cast<size_t>(shard)];
   MutexLock lock(&q.mu);
-  // Blocking here IS the backpressure: the IO thread stops reading every
-  // connection until the stalled shard drains, and TCP pushes the wait back
-  // to the clients.
+  // Blocking here IS the backpressure: this reactor stops reading every
+  // connection it owns until the stalled shard drains, and TCP pushes the
+  // wait back to the clients.
   while (q.tasks.size() >= options.shard_queue_limit && !q.stop) {
     q.not_full.Wait();
   }
@@ -437,7 +737,8 @@ void Server::Impl::WorkerLoop(int shard) {
 
 void Server::Impl::ExecuteTask(int shard, ShardTask& task) {
   KVStore* store = shards->shard(shard);
-  std::string out;  // responses for this burst, sent once at the end
+  std::string out;  // responses for this burst, queued once at the end
+  uint64_t out_frames = 0;
 
   // Coalescing state: consecutive simple writes build one WriteBatch,
   // consecutive GETs build one MultiGet. The conflict rules below flush one
@@ -462,6 +763,7 @@ void Server::Impl::ExecuteTask(int shard, ShardTask& task) {
         AppendErrorResponse(&out, id, s.ToString());
       }
     }
+    out_frames += wids.size();
     wb.Clear();
     wids.clear();
     wkeys.clear();
@@ -484,6 +786,7 @@ void Server::Impl::ExecuteTask(int shard, ShardTask& task) {
         AppendErrorResponse(&out, gids[i], statuses[i].ToString());
       }
     }
+    out_frames += gids.size();
     gkeys.clear();
     gids.clear();
     rkeys.clear();
@@ -541,7 +844,8 @@ void Server::Impl::ExecuteTask(int shard, ShardTask& task) {
           }
         }
         if (done) {
-          item.mjoin->conn->Send(join_out);
+          item.mjoin->conn->Send(join_out, 1, nullptr, /*may_block=*/true,
+                                 options.conn_outq_limit, &net);
         }
         break;
       }
@@ -575,18 +879,71 @@ void Server::Impl::ExecuteTask(int shard, ShardTask& task) {
           }
         }
         if (done) {
-          item.bjoin->conn->Send(join_out);
+          item.bjoin->conn->Send(join_out, 1, nullptr, /*may_block=*/true,
+                                 options.conn_outq_limit, &net);
         }
         break;
       }
       default:
         AppendErrorResponse(&out, item.id, "unroutable request type");
+        ++out_frames;
         break;
     }
   }
   flush_writes();
   flush_reads();
-  task.conn->Send(out);
+  task.conn->Send(out, out_frames, nullptr, /*may_block=*/true,
+                  options.conn_outq_limit, &net);
+}
+
+NetStats Server::Impl::SnapshotNet() const {
+  NetStats s;
+  s.bytes_in = net.bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = net.bytes_out.load(std::memory_order_relaxed);
+  s.writev_calls = net.writev_calls.load(std::memory_order_relaxed);
+  s.frames_per_writev_max = net.frames_per_writev_max.load(std::memory_order_relaxed);
+  s.output_queue_stall_micros = net.outq_stall_micros.load(std::memory_order_relaxed);
+  s.output_queue_bytes_max = net.outq_bytes_max.load(std::memory_order_relaxed);
+  s.conns_accepted = net.accepted.load(std::memory_order_relaxed);
+  s.thread_ops.reserve(io.size());
+  for (const auto& t : io) {
+    s.thread_ops.push_back(t->ops.load(std::memory_order_relaxed));
+    if (t->uring != nullptr) {
+      s.io_uring_active = true;
+      s.uring_enters += t->uring->enters();
+      s.uring_sqes += t->uring->ops_submitted();
+    }
+  }
+  return s;
+}
+
+JsonValue Server::Impl::NetJson() const {
+  const NetStats s = SnapshotNet();
+  JsonValue net_doc = JsonValue::MakeObject();
+  net_doc.Set("io_threads", static_cast<uint64_t>(io.size()));
+  net_doc.Set("io_uring_requested", options.use_io_uring);
+  net_doc.Set("io_uring_active", s.io_uring_active);
+  net_doc.Set("bytes_in", s.bytes_in);
+  net_doc.Set("bytes_out", s.bytes_out);
+  net_doc.Set("writev_calls", s.writev_calls);
+  net_doc.Set("frames_per_writev_max", s.frames_per_writev_max);
+  net_doc.Set("output_queue_stall_micros", s.output_queue_stall_micros);
+  net_doc.Set("output_queue_bytes_max", s.output_queue_bytes_max);
+  net_doc.Set("conns_accepted", s.conns_accepted);
+  net_doc.Set("uring_enters", s.uring_enters);
+  net_doc.Set("uring_sqes", s.uring_sqes);
+  JsonValue thread_ops = JsonValue::MakeArray();
+  for (uint64_t v : s.thread_ops) {
+    thread_ops.Append(v);
+  }
+  net_doc.Set("thread_ops", std::move(thread_ops));
+  return net_doc;
+}
+
+std::string Server::Impl::StatsText() const {
+  JsonValue doc = shards->StatsDoc();
+  doc.Set("net", NetJson());
+  return doc.Write();
 }
 
 StatusOr<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
@@ -610,20 +967,46 @@ StatusOr<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
     return port.status();
   }
   GADGET_RETURN_IF_ERROR(net::SetNonBlocking(impl->listen_fd));
-  impl->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
-  impl->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
-  if (impl->epoll_fd < 0 || impl->wake_fd < 0) {
-    return Status::IoError("epoll/eventfd setup failed");
+
+  int nio = options.io_threads;
+  if (nio <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    nio = static_cast<int>(std::min<unsigned>(4, hw == 0 ? 1 : hw));
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = impl->listen_fd;
-  if (::epoll_ctl(impl->epoll_fd, EPOLL_CTL_ADD, impl->listen_fd, &ev) < 0) {
-    return Status::IoError("epoll_ctl(listen)");
-  }
-  ev.data.fd = impl->wake_fd;
-  if (::epoll_ctl(impl->epoll_fd, EPOLL_CTL_ADD, impl->wake_fd, &ev) < 0) {
-    return Status::IoError("epoll_ctl(wake)");
+  impl->io.reserve(static_cast<size_t>(nio));
+  for (int i = 0; i < nio; ++i) {
+    auto t = std::make_unique<IoThread>();
+    t->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    t->wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (t->epoll_fd < 0 || t->wake_fd < 0) {
+      // status intentionally ignored: the open itself already failed.
+      (void)(*shards)->Close();
+      return Status::IoError("epoll/eventfd setup failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = t->wake_fd;
+    if (::epoll_ctl(t->epoll_fd, EPOLL_CTL_ADD, t->wake_fd, &ev) < 0) {
+      // status intentionally ignored: the open itself already failed.
+      (void)(*shards)->Close();
+      return Status::IoError("epoll_ctl(wake)");
+    }
+    if (i == 0) {
+      ev.data.fd = impl->listen_fd;
+      if (::epoll_ctl(t->epoll_fd, EPOLL_CTL_ADD, impl->listen_fd, &ev) < 0) {
+        // status intentionally ignored: the open itself already failed.
+        (void)(*shards)->Close();
+        return Status::IoError("epoll_ctl(listen)");
+      }
+    }
+    if (options.use_io_uring) {
+      auto ring = std::make_unique<net::UringSocket>();
+      if (ring->available()) {
+        t->uring = std::move(ring);
+      }
+      // else: the probe said no (old kernel, seccomp) — epoll silently.
+    }
+    impl->io.push_back(std::move(t));
   }
 
   std::unique_ptr<Server> server(new Server());
@@ -636,15 +1019,28 @@ StatusOr<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
   }
   server->impl_ = std::move(impl);
   Server::Impl* raw = server->impl_.get();
-  server->io_thread_ = std::thread([raw] { raw->IoLoop(); });
+  server->io_threads_.reserve(static_cast<size_t>(nio));
+  for (int i = 0; i < nio; ++i) {
+    server->io_threads_.emplace_back([raw, i] { raw->IoLoop(static_cast<size_t>(i)); });
+  }
   server->workers_.reserve(static_cast<size_t>(options.shards));
   for (int i = 0; i < options.shards; ++i) {
     server->workers_.emplace_back([raw, i] { raw->WorkerLoop(i); });
   }
+  bool uring_live = false;
+  for (const auto& t : raw->io) {
+    uring_live = uring_live || t->uring != nullptr;
+  }
   GADGET_LOG(Info) << "gadget serve: " << options.shards << " shard(s) of "
-                   << options.store.engine << " on 127.0.0.1:" << server->port_;
+                   << options.store.engine << " on 127.0.0.1:" << server->port_ << ", " << nio
+                   << " IO thread(s), "
+                   << (uring_live ? "io_uring" : (options.use_io_uring ? "epoll (io_uring unavailable)" : "epoll"));
   return server;
 }
+
+int Server::io_threads() const { return static_cast<int>(impl_->io.size()); }
+
+NetStats Server::net_stats() const { return impl_->SnapshotNet(); }
 
 void Server::Stop() {
   if (stopped_) {
@@ -652,15 +1048,22 @@ void Server::Stop() {
   }
   stopped_ = true;
   impl_->stopping.store(true, std::memory_order_relaxed);
-  const uint64_t one = 1;
-  const ssize_t ignored = ::write(impl_->wake_fd, &one, sizeof(one));
-  (void)ignored;
-  io_thread_.join();
+  // Unwedge reactors first: one blocked in Dispatch (backpressure) cannot see
+  // `stopping` until its queue wait ends, so release the queues before the
+  // joins. Workers still drain everything already queued before exiting.
   for (auto& q : impl_->queues) {
     MutexLock lock(&q->mu);
     q->stop = true;
     q->not_empty.SignalAll();
     q->not_full.SignalAll();
+  }
+  for (auto& t : impl_->io) {
+    const uint64_t one = 1;
+    const ssize_t ignored = ::write(t->wake_fd, &one, sizeof(one));
+    (void)ignored;
+  }
+  for (std::thread& th : io_threads_) {
+    th.join();
   }
   for (std::thread& w : workers_) {
     w.join();

@@ -61,6 +61,12 @@ Status WriteLoadgenReport(const std::string& path, const Config& config,
   if (const JsonValue* per_shard = server_stats->Get("per_shard")) {
     server.Set("per_shard", *per_shard);
   }
+  // The server's network-layer counters (io thread count, writev coalescing,
+  // output-queue stalls, io_uring use) ride along inside its STATS document;
+  // report_check --require_server validates their presence and shape.
+  if (const JsonValue* net = server_stats->Get("net")) {
+    server.Set("net", *net);
+  }
   doc.Set("server", std::move(server));
 
   GADGET_RETURN_IF_ERROR(ValidateReportJson(doc));
@@ -75,7 +81,10 @@ Status ServeMain(const Config& config, std::ostream& out) {
   ServerOptions opts;
   opts.port = static_cast<uint16_t>(config.GetUint("port", 0));
   opts.shards = static_cast<int>(config.GetUint("shards", 4));
+  opts.io_threads = static_cast<int>(config.GetUint("io_threads", 0));
+  opts.use_io_uring = config.GetUint("use_io_uring", 0) != 0;
   opts.shard_queue_limit = config.GetUint("shard_queue_limit", 128);
+  opts.conn_outq_limit = config.GetUint("conn_outq_limit", opts.conn_outq_limit);
 
   std::string dir = config.GetString("store_dir");
   std::unique_ptr<ScopedTempDir> tmp;
@@ -90,7 +99,9 @@ Status ServeMain(const Config& config, std::ostream& out) {
     return server.status();
   }
   out << "serving " << opts.store.engine << " on 127.0.0.1:" << (*server)->port() << " with "
-      << opts.shards << " shards (dir " << dir << ")\n";
+      << opts.shards << " shards, " << (*server)->io_threads() << " IO threads"
+      << ((*server)->net_stats().io_uring_active ? " (io_uring)" : "") << " (dir " << dir
+      << ")\n";
   out.flush();
   const std::string port_file = config.GetString("port_file");
   if (!port_file.empty()) {
@@ -130,6 +141,7 @@ Status LoadgenMain(const Config& config, std::ostream& out) {
   opts.batch_size = std::max<uint64_t>(config.GetUint("batch_size", 32), 1);
   opts.pipeline_depth = std::max<uint64_t>(config.GetUint("pipeline_depth", 4), 1);
   opts.max_ops = config.GetUint("max_ops", 0);
+  opts.connect_budget_ms = static_cast<int>(config.GetUint("connect_budget_ms", 2000));
 
   auto trace = BuildAccessTrace(config);
   if (!trace.ok()) {

@@ -47,7 +47,7 @@ StoreStats ShardSet::MergedStats() const {
   return merged;
 }
 
-std::string ShardSet::StatsJson() const {
+JsonValue ShardSet::StatsDoc() const {
   JsonValue doc = JsonValue::MakeObject();
   doc.Set("shards", static_cast<uint64_t>(stores_.size()));
   doc.Set("engine", stores_.empty() ? std::string() : stores_[0]->name());
@@ -60,8 +60,10 @@ std::string ShardSet::StatsJson() const {
   }
   doc.Set("per_shard", std::move(per_shard));
   doc.Set("merged", StoreStatsToJson(merged));
-  return doc.Write();
+  return doc;
 }
+
+std::string ShardSet::StatsJson() const { return StatsDoc().Write(); }
 
 Status ShardSet::Close() {
   Status first;

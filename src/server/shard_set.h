@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/json.h"
 #include "src/common/status.h"
 #include "src/server/router.h"
 #include "src/stores/kvstore.h"
@@ -37,8 +38,13 @@ class ShardSet {
   // StoreStats::MergeSum).
   StoreStats MergedStats() const;
 
-  // {"shards": N, "engine": ..., "per_shard": [...], "merged": {...}} — the
-  // STATS response body, also embedded by loadgen into its report.
+  // {"shards": N, "engine": ..., "per_shard": [...], "merged": {...}} as a
+  // document, so the server can graft its own sections (the "net" object)
+  // before serializing.
+  JsonValue StatsDoc() const;
+
+  // StatsDoc() serialized — the STATS response body, also embedded by loadgen
+  // into its report.
   std::string StatsJson() const;
 
   // Closes every shard; first error wins, all shards still get closed.

@@ -259,6 +259,29 @@ TEST(RawSocketTest, FlagsSyscallsOutsideNetDir) {
   EXPECT_TRUE(HasRule(LintContent("src/a.cc", "sendmsg(fd, &msg, 0);\n"), "raw-socket"));
   EXPECT_TRUE(
       HasRule(LintContent("src/a.cc", "recvfrom(fd, p, n, 0, a, l);\n"), "raw-socket"));
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "writev(fd, iov, cnt);\n"), "raw-socket"));
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "ssize_t r = ::writev(fd, iov, 2);\n"),
+                      "raw-socket"));
+}
+
+TEST(RawSocketTest, FlagsUringSocketOpcodesOutsideNetDir) {
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "sqe->opcode = IORING_OP_RECV;\n"),
+                      "raw-socket"));
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "sqe->opcode = IORING_OP_SENDMSG;\n"),
+                      "raw-socket"));
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "sqe->opcode = IORING_OP_SEND;\n"),
+                      "raw-socket"));
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "op = IORING_OP_RECVMSG;\n"), "raw-socket"));
+  EXPECT_TRUE(HasRule(LintContent("src/a.cc", "op = IORING_OP_WRITEV;\n"), "raw-socket"));
+  // The ring itself is sanctioned in the net dir.
+  EXPECT_FALSE(HasRule(LintContent("src/server/net/uring_socket.cc",
+                                   "sqe->opcode = IORING_OP_RECV;\n"),
+                       "raw-socket"));
+  // File-I/O opcodes stay legal: the buffer pool's IoBackend uses them.
+  EXPECT_FALSE(HasRule(LintContent("src/stores/bufferpool/io_backend.cc",
+                                   "sqe->opcode = IORING_OP_READ;\n"),
+                       "raw-socket"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "op = IORING_OP_WRITE;\n"), "raw-socket"));
 }
 
 TEST(RawSocketTest, ExemptsNetDirHelpersAndLookalikes) {
@@ -273,6 +296,10 @@ TEST(RawSocketTest, ExemptsNetDirHelpersAndLookalikes) {
   EXPECT_FALSE(HasRule(LintContent("src/a.cc", "RecvChunk(fd, &buf, n, &err);\n"),
                        "raw-socket"));
   EXPECT_FALSE(HasRule(LintContent("src/a.cc", "my_send(fd); resend(x); wire::recv_ops++;\n"),
+                       "raw-socket"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "net::WritevNonBlocking(fd, iov, n, &e);\n"),
+                       "raw-socket"));
+  EXPECT_FALSE(HasRule(LintContent("src/a.cc", "stats.frames_per_writev_max = 4;\n"),
                        "raw-socket"));
   EXPECT_FALSE(HasRule(LintContent("src/a.cc", "// send() is banned here\n"), "raw-socket"));
 }

@@ -451,18 +451,23 @@ void CheckBufferPoolBypass(std::string_view path,
   }
 }
 
-// Raw socket syscalls belong to src/server/net/: every other layer talks
-// through the net:: helpers / FramedConn so framing, partial-write handling,
-// EINTR retries and SIGPIPE suppression are decided once. The matcher
-// requires a non-identifier (and non `.`/`->`/`:`) character before the call
-// so method calls like conn->Send(...) never fire.
+// Raw socket syscalls and io_uring socket opcodes belong to src/server/net/:
+// every other layer talks through the net:: helpers / FramedConn /
+// UringSocket so framing, partial-write handling, EINTR retries and SIGPIPE
+// suppression are decided once. The call matcher requires a non-identifier
+// (and non `.`/`->`/`:`) character before the call so method calls like
+// conn->Send(...) never fire; the opcode matcher covers only the SOCKET
+// opcodes (IORING_OP_READ/WRITE stay legal for the buffer pool's file
+// backend).
 void CheckRawSocket(std::string_view path, const std::vector<std::string_view>& stripped_lines,
                     std::vector<Finding>* findings) {
   if (path.find("src/server/net/") != std::string_view::npos) {
     return;  // the one sanctioned home of the syscalls
   }
   static const std::regex kSyscall(
-      R"((^|[^A-Za-z0-9_.>:])(::\s*)?(socket|send|recv|sendto|recvfrom|sendmsg|recvmsg)\s*\()");
+      R"((^|[^A-Za-z0-9_.>:])(::\s*)?(socket|send|recv|sendto|recvfrom|sendmsg|recvmsg|writev)\s*\()");
+  static const std::regex kUringSocketOp(
+      R"(IORING_OP_(SENDMSG|SEND|RECVMSG|RECV|WRITEV)([^A-Za-z0-9_]|$))");
   for (size_t i = 0; i < stripped_lines.size(); ++i) {
     const std::string line(stripped_lines[i]);
     std::smatch m;
@@ -471,7 +476,14 @@ void CheckRawSocket(std::string_view path, const std::vector<std::string_view>& 
                            "raw " + m[3].str() +
                                "() outside src/server/net/ bypasses the service's socket "
                                "helpers (framing, EINTR retries, SIGPIPE suppression); use "
-                               "net::TcpConnect/SendAll/RecvChunk or FramedConn"});
+                               "net::TcpConnect/SendAll/RecvChunk/WritevNonBlocking or "
+                               "FramedConn"});
+    }
+    if (std::regex_search(line, m, kUringSocketOp)) {
+      findings->push_back({std::string(path), static_cast<int>(i + 1), "raw-socket",
+                           "io_uring socket opcode IORING_OP_" + m[1].str() +
+                               " outside src/server/net/; submit socket work through "
+                               "net::UringSocket so the epoll fallback and counters apply"});
     }
   }
 }

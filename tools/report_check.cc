@@ -12,8 +12,10 @@
 // skipped or the restored store diverged from the oracle. --require_server
 // demands the "server" object a `gadget loadgen` run emits (see
 // src/server/service.h) with zero lost operations (ops_acked == ops_sent),
-// zero server errors, and a non-empty per-shard breakdown — the server-smoke
-// CI gate. With two files,
+// zero server errors, a non-empty per-shard breakdown, and a "net" object
+// whose counters moved (bytes in/out, writev calls, per-IO-thread op gauges;
+// io_uring_active implies uring_enters > 0) — the server-smoke CI gate. With
+// two files,
 // additionally compares candidate against baseline: throughput may drop,
 // and overall-latency p50/p99/p999 may rise, by at most --max_regression
 // (default 0.15). Exit codes: 0 pass, 1 regression or validation failure,
@@ -144,9 +146,55 @@ int main(int argc, char** argv) {
                      static_cast<unsigned long long>(errors));
         return 1;
       }
-      std::printf("%s: server replay clean (%llu ops over %llu shards, skew %.3f)\n",
+      // The multi-reactor net layer must report its counters: io thread
+      // count with one thread_ops gauge per reactor, traffic that actually
+      // flowed, and writev accounting consistent with it.
+      const gadget::JsonValue* net = server->Get("net");
+      if (net == nullptr) {
+        std::fprintf(stderr, "%s: missing \"server.net\" (net-layer counters)\n",
+                     files[i].c_str());
+        return 1;
+      }
+      const uint64_t io_threads = net->GetUint("io_threads");
+      const gadget::JsonValue* thread_ops = net->Get("thread_ops");
+      if (io_threads < 1 || thread_ops == nullptr || !thread_ops->is_array() ||
+          thread_ops->size() != io_threads) {
+        std::fprintf(stderr, "%s: malformed \"server.net\" (io_threads/thread_ops)\n",
+                     files[i].c_str());
+        return 1;
+      }
+      const uint64_t bytes_in = net->GetUint("bytes_in");
+      const uint64_t bytes_out = net->GetUint("bytes_out");
+      const uint64_t writev_calls = net->GetUint("writev_calls");
+      const uint64_t frames_max = net->GetUint("frames_per_writev_max");
+      if (bytes_in == 0 || bytes_out == 0 || writev_calls == 0 || frames_max == 0) {
+        std::fprintf(stderr,
+                     "%s: \"server.net\" counters did not move (bytes_in=%llu bytes_out=%llu "
+                     "writev_calls=%llu frames_per_writev_max=%llu)\n",
+                     files[i].c_str(), static_cast<unsigned long long>(bytes_in),
+                     static_cast<unsigned long long>(bytes_out),
+                     static_cast<unsigned long long>(writev_calls),
+                     static_cast<unsigned long long>(frames_max));
+        return 1;
+      }
+      const bool uring_requested = net->Get("io_uring_requested") != nullptr &&
+                                   net->Get("io_uring_requested")->is_bool() &&
+                                   net->Get("io_uring_requested")->AsBool();
+      const bool uring_active = net->Get("io_uring_active") != nullptr &&
+                                net->Get("io_uring_active")->is_bool() &&
+                                net->Get("io_uring_active")->AsBool();
+      if (uring_active && net->GetUint("uring_enters") == 0) {
+        std::fprintf(stderr, "%s: io_uring reported active but uring_enters == 0\n",
+                     files[i].c_str());
+        return 1;
+      }
+      std::printf("%s: server replay clean (%llu ops over %llu shards, skew %.3f; "
+                  "%llu IO thread(s), %s)\n",
                   files[i].c_str(), static_cast<unsigned long long>(acked),
-                  static_cast<unsigned long long>(shards), server->GetDouble("shard_skew"));
+                  static_cast<unsigned long long>(shards), server->GetDouble("shard_skew"),
+                  static_cast<unsigned long long>(io_threads),
+                  uring_active ? "io_uring"
+                               : (uring_requested ? "epoll (io_uring unavailable)" : "epoll"));
     }
   }
   if (files.size() == 1) {
