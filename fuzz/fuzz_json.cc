@@ -1,0 +1,27 @@
+// Fuzz target: the hand-rolled JSON parser (src/common/json.h).
+//
+// CI parses and diffs gadget.report/1 documents with this parser, and the
+// server's STATS response embeds its output, so it sees semi-trusted input.
+// On a successful parse the value is re-serialized and re-parsed: the writer
+// and parser must agree or report diffing silently breaks.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto parsed = gadget::ParseJson(text);
+  if (!parsed.ok()) {
+    return 0;
+  }
+  for (int indent : {0, 2}) {
+    std::string out = parsed->Write(indent);
+    auto again = gadget::ParseJson(out);
+    if (!again.ok()) {
+      __builtin_trap();  // writer emitted something the parser rejects
+    }
+  }
+  return 0;
+}

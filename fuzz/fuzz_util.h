@@ -1,0 +1,114 @@
+// Shared plumbing for the fuzz targets (fuzz/README in DESIGN.md "Static
+// analysis & fuzzing").
+//
+// Every target is a libFuzzer `LLVMFuzzerTestOneInput` entry point. Under
+// -DGADGET_FUZZ=ON it links against libFuzzer proper; in the normal tier-1
+// build the same translation unit links against fuzz_main.cc, which replays
+// the checked-in corpus (plus deterministic mutations) as a plain regression
+// binary — so every crasher that ever lands in fuzz/corpus/ is re-executed by
+// every sanitizer lane forever.
+//
+// ByteSlicer is a minimal FuzzedDataProvider: it carves typed values off the
+// front of the raw input so a target can consume "a mode byte, then a key,
+// then the rest" without hand-rolled pointer arithmetic. Consuming past the
+// end yields zeros/empties, never UB.
+#ifndef GADGET_FUZZ_FUZZ_UTIL_H_
+#define GADGET_FUZZ_FUZZ_UTIL_H_
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "src/common/file_util.h"
+
+namespace gadget {
+namespace fuzz {
+
+class ByteSlicer {
+ public:
+  ByteSlicer(const uint8_t* data, size_t size)
+      : p_(reinterpret_cast<const char*>(data)), remaining_(size) {}
+
+  size_t remaining() const { return remaining_; }
+
+  uint8_t TakeU8() {
+    uint8_t v = 0;
+    TakeInto(&v, sizeof(v));
+    return v;
+  }
+
+  uint32_t TakeU32() {
+    uint32_t v = 0;
+    TakeInto(&v, sizeof(v));
+    return v;
+  }
+
+  uint64_t TakeU64() {
+    uint64_t v = 0;
+    TakeInto(&v, sizeof(v));
+    return v;
+  }
+
+  bool TakeBool() { return (TakeU8() & 1) != 0; }
+
+  // Uniform-ish in [0, bound); bound == 0 returns 0.
+  uint32_t TakeBounded(uint32_t bound) { return bound == 0 ? 0 : TakeU32() % bound; }
+
+  // Up to `n` bytes (fewer when the input runs out). The view aliases the
+  // fuzz input buffer — consume before the next Take.
+  std::string_view TakeBytes(size_t n) {
+    if (n > remaining_) {
+      n = remaining_;
+    }
+    std::string_view v(p_, n);
+    p_ += n;
+    remaining_ -= n;
+    return v;
+  }
+
+  // Everything left.
+  std::string_view TakeRest() { return TakeBytes(remaining_); }
+
+ private:
+  void TakeInto(void* out, size_t n) {
+    size_t have = n < remaining_ ? n : remaining_;
+    std::memcpy(out, p_, have);
+    p_ += have;
+    remaining_ -= have;
+  }
+
+  const char* p_;
+  size_t remaining_;
+};
+
+// A per-process scratch directory for targets whose decoder only has a file
+// API (WAL, manifest, SSTable, traces). One directory per process keeps
+// parallel fuzz jobs (-jobs=N) from clobbering each other's scratch files.
+inline const std::string& ScratchDir() {
+  static const std::string* dir = [] {
+    std::string d = "/tmp/gadget_fuzz." + std::to_string(::getpid());
+    // status intentionally ignored: scratch-dir creation failure surfaces as
+    // an open error inside the target, which is itself fuzz-safe.
+    (void)CreateDirIfMissing(d);
+    return new std::string(d);
+  }();
+  return *dir;
+}
+
+// Writes `data` to `<ScratchDir()>/<name>` and returns the full path.
+inline std::string WriteScratchFile(const std::string& name, std::string_view data) {
+  std::string path = ScratchDir() + "/" + name;
+  // status intentionally ignored: a failed write leaves a missing/short file,
+  // which the decoder under test must reject cleanly anyway.
+  (void)WriteStringToFile(path, data, /*sync=*/false);
+  return path;
+}
+
+}  // namespace fuzz
+}  // namespace gadget
+
+#endif  // GADGET_FUZZ_FUZZ_UTIL_H_

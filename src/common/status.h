@@ -7,6 +7,7 @@
 #define GADGET_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -94,16 +95,27 @@ class [[nodiscard]] StatusOr {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
+  // Accessing the value of a non-OK StatusOr aborts instead of asserting:
+  // release builds define NDEBUG, and an erased assert would turn the bug
+  // into a silent empty-optional dereference. The explicit has_value() guard
+  // is also what lets clang-tidy's bugprone-unchecked-optional-access prove
+  // every `*value_` below is reached only when the optional is engaged.
   T& value() & {
-    assert(ok());
+    if (!value_.has_value()) {
+      std::abort();
+    }
     return *value_;
   }
   const T& value() const& {
-    assert(ok());
+    if (!value_.has_value()) {
+      std::abort();
+    }
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    if (!value_.has_value()) {
+      std::abort();
+    }
     return std::move(*value_);
   }
 

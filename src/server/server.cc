@@ -106,6 +106,8 @@ struct Conn {
         if (closed || outq_bytes == 0 || outq_bytes + frames.size() <= outq_limit) {
           break;
         }
+        // gadget:blocking-ok: only workers pass may_block=true; the reactor's
+        // Send(may_block=false) never enters this loop.
         drained.WaitFor(std::chrono::milliseconds(2));
       }
       nc->outq_stall_micros.fetch_add(
@@ -388,6 +390,7 @@ void Server::Impl::DropConn(IoThread& t, int fd) {
   t.conns.erase(it);
 }
 
+// gadget:reactor-context
 void Server::Impl::IoLoop(size_t tid) {
   IoThread& t = *io[tid];
   epoll_event events[64];
@@ -703,6 +706,8 @@ void Server::Impl::Dispatch(int shard, ShardTask task) {
   // connection it owns until the stalled shard drains, and TCP pushes the
   // wait back to the clients.
   while (q.tasks.size() >= options.shard_queue_limit && !q.stop) {
+    // gadget:blocking-ok: deliberate — a full shard queue must stall this
+    // reactor (see the backpressure comment above).
     q.not_full.Wait();
   }
   if (q.stop) {

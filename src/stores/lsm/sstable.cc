@@ -160,6 +160,13 @@ StatusOr<std::shared_ptr<SSTableReader>> SSTableReader::Open(const std::string& 
   if (DecodeFixed64(p + 32) != kTableMagic) {
     return Status::Corruption("bad table magic: " + path);
   }
+  // An adversarial footer can claim multi-gigabyte index/bloom regions; bound
+  // both against the actual file before allocating anything.
+  const uint64_t body = fsize - kFooterSize;
+  if (index_sz > body || index_off > body - index_sz || bloom_sz > body ||
+      bloom_off > body - bloom_sz) {
+    return Status::Corruption("footer region out of bounds: " + path);
+  }
 
   GADGET_RETURN_IF_ERROR(reader->ReadBlockRaw(bloom_off, bloom_sz, &reader->bloom_));
 
@@ -170,7 +177,9 @@ StatusOr<std::shared_ptr<SSTableReader>> SSTableReader::Open(const std::string& 
   while (ip < iend) {
     uint32_t klen = 0;
     ip = GetVarint32(ip, iend, &klen);
-    if (ip == nullptr || static_cast<size_t>(iend - ip) < klen + 12) {
+    // 64-bit math: `klen + 12` wraps in uint32 for klen near UINT32_MAX and
+    // would pass the bounds check with a huge out-of-bounds read to follow.
+    if (ip == nullptr || static_cast<uint64_t>(iend - ip) < static_cast<uint64_t>(klen) + 12) {
       return Status::Corruption("bad index entry: " + path);
     }
     IndexEntry e;
@@ -303,7 +312,7 @@ StatusOr<LookupState> SSTableReader::SearchBlock(std::string_view block, std::st
   while (p < end) {
     uint32_t klen = 0;
     p = GetVarint32(p, end, &klen);
-    if (p == nullptr || static_cast<size_t>(end - p) < klen + 1) {
+    if (p == nullptr || static_cast<uint64_t>(end - p) < static_cast<uint64_t>(klen) + 1) {
       return Status::Corruption("bad data entry in " + path);
     }
     std::string_view k(p, klen);
@@ -367,7 +376,7 @@ Status SSTableReader::ForEach(
     while (p < end) {
       uint32_t klen = 0;
       p = GetVarint32(p, end, &klen);
-      if (p == nullptr || static_cast<size_t>(end - p) < klen + 1) {
+      if (p == nullptr || static_cast<uint64_t>(end - p) < static_cast<uint64_t>(klen) + 1) {
         return Status::Corruption("bad data entry in " + file_->path());
       }
       std::string_view k(p, klen);
@@ -420,7 +429,7 @@ void SSTableIterator::ParseEntry() {
   }
   uint32_t klen = 0;
   pos_ = GetVarint32(pos_, end_, &klen);
-  if (pos_ == nullptr || static_cast<size_t>(end_ - pos_) < klen + 1) {
+  if (pos_ == nullptr || static_cast<uint64_t>(end_ - pos_) < static_cast<uint64_t>(klen) + 1) {
     status_ = Status::Corruption("bad iterator entry");
     valid_ = false;
     return;

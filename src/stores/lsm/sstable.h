@@ -4,7 +4,7 @@
 //   [data block + crc32]*      entries: varint klen | key | type | varint vlen | value
 //   [bloom block + crc32]      BloomFilterBuilder output over all user keys
 //   [index block + crc32]      per data block: varint klen | last_key | fixed64 off | fixed32 sz
-//   [footer, 44 bytes]         index_off/sz, bloom_off/sz, entry count, magic
+//   [footer, 40 bytes]         index_off/sz, bloom_off/sz, entry count, magic
 //
 // Keys appear at most once per table (flush/compaction collapse per key), in
 // strictly increasing order. The index and bloom blocks are pinned in memory

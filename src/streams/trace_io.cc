@@ -22,7 +22,12 @@ std::string MakeHeader(uint32_t magic, uint64_t count) {
 }
 
 // Reads the file, validates header/CRC, returns the record body and count.
-StatusOr<std::pair<std::string, uint64_t>> LoadBody(const std::string& path, uint32_t magic) {
+// `min_record_bytes` is the smallest encodable record for the trace kind: a
+// header `count` that could not fit in the body is rejected up front, so
+// downstream `reserve(count)` calls never turn a 20-byte file into a
+// multi-gigabyte allocation.
+StatusOr<std::pair<std::string, uint64_t>> LoadBody(const std::string& path, uint32_t magic,
+                                                    uint64_t min_record_bytes) {
   std::string data;
   GADGET_RETURN_IF_ERROR(ReadFileToString(path, &data));
   if (data.size() < kHeaderSize + 4) {
@@ -40,6 +45,9 @@ StatusOr<std::pair<std::string, uint64_t>> LoadBody(const std::string& path, uin
   uint32_t actual_crc = Crc32c(0, data.data() + kHeaderSize, body_len);
   if (stored_crc != actual_crc) {
     return Status::Corruption("trace body checksum mismatch in " + path);
+  }
+  if (count > body_len / min_record_bytes) {
+    return Status::Corruption("trace count exceeds body in " + path);
   }
   return std::make_pair(data.substr(kHeaderSize, body_len), count);
 }
@@ -110,7 +118,8 @@ EventTraceReader::EventTraceReader(std::string body, uint64_t count)
 }
 
 StatusOr<std::unique_ptr<EventTraceReader>> EventTraceReader::Open(const std::string& path) {
-  auto body = LoadBody(path, kEventMagic);
+  // kind + stream_id + five varints (>= 1 byte each).
+  auto body = LoadBody(path, kEventMagic, /*min_record_bytes=*/7);
   if (!body.ok()) {
     return body.status();
   }
@@ -209,7 +218,8 @@ AccessTraceReader::AccessTraceReader(std::string body, uint64_t count)
 }
 
 StatusOr<std::unique_ptr<AccessTraceReader>> AccessTraceReader::Open(const std::string& path) {
-  auto body = LoadBody(path, kAccessMagic);
+  // op + four varints (>= 1 byte each).
+  auto body = LoadBody(path, kAccessMagic, /*min_record_bytes=*/5);
   if (!body.ok()) {
     return body.status();
   }

@@ -5,6 +5,8 @@
 
 #include <map>
 
+#include "src/common/coding.h"
+#include "src/common/crc32c.h"
 #include "src/common/file_util.h"
 #include "src/common/rng.h"
 #include "src/flinklet/runtime.h"
@@ -147,6 +149,164 @@ TEST_P(FormatFuzzTest, AccessTraceRandomRoundTrip) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FormatFuzzTest, ::testing::Values(1, 2, 3, 4),
                          [](const auto& spec) { return "seed" + std::to_string(spec.param); });
+
+// ------------------------------------------------------- malformed inputs
+//
+// Hand-crafted adversarial bytes for each on-disk decoder. These are the
+// deterministic regressions for the hardening in this change: every case
+// must be rejected cleanly — no crash, no out-of-bounds read, no
+// attacker-sized allocation. (The fuzz/ corpus drivers cover the same
+// decoders with mutated inputs; these tables pin the specific shapes.)
+
+std::string Fixed32(uint32_t v) {
+  std::string s;
+  PutFixed32(&s, v);
+  return s;
+}
+
+std::string Fixed64(uint64_t v) {
+  std::string s;
+  PutFixed64(&s, v);
+  return s;
+}
+
+std::string Varint32(uint32_t v) {
+  std::string s;
+  PutVarint32(&s, v);
+  return s;
+}
+
+TEST(MalformedSSTableTest, RejectsAdversarialFootersWithoutAllocating) {
+  constexpr uint64_t kTableMagic = 0x67616467657453ULL;
+  ScopedTempDir dir;
+  // footer = index_off(8) index_sz(4) bloom_off(8) bloom_sz(4) entries(8) magic(8)
+  auto footer = [&](uint64_t index_off, uint32_t index_sz, uint64_t bloom_off,
+                    uint32_t bloom_sz, uint64_t magic) {
+    return Fixed64(index_off) + Fixed32(index_sz) + Fixed64(bloom_off) +
+           Fixed32(bloom_sz) + Fixed64(77) + Fixed64(magic);
+  };
+  struct Case {
+    const char* name;
+    std::string bytes;
+  };
+  const std::string body(64, 'b');
+  const std::vector<Case> kCases = {
+      {"too_small_for_footer", std::string("tiny", 4)},
+      {"bad_magic", body + footer(0, 8, 8, 8, 0xdeadbeef)},
+      // Claims a ~4 GiB index in a 104-byte file: must be rejected before
+      // any buffer for it is allocated.
+      {"huge_index_size", body + footer(0, 0xFFFFFFF0u, 0, 0, kTableMagic)},
+      {"huge_bloom_size", body + footer(0, 8, 0, 0xFFFFFFF0u, kTableMagic)},
+      {"index_off_past_end", body + footer(1u << 30, 8, 0, 0, kTableMagic)},
+      // off + sz overflows past the body even though each fits alone.
+      {"index_region_overflow", body + footer(60, 60, 0, 0, kTableMagic)},
+      {"bloom_region_overflow", body + footer(0, 8, 60, 60, kTableMagic)},
+  };
+  for (const Case& c : kCases) {
+    const std::string path = dir.path() + "/" + c.name + ".sst";
+    ASSERT_TRUE(WriteStringToFile(path, c.bytes, /*sync=*/false).ok());
+    auto reader = SSTableReader::Open(path, 1, nullptr);
+    EXPECT_FALSE(reader.ok()) << c.name;
+  }
+}
+
+TEST(MalformedSSTableTest, SearchBlockRejectsVarintLengthWrap) {
+  // Entry format inside a block: varint klen | key | type | varint vlen | value.
+  // klen = 0xFFFFFFFF once made `klen + 1` wrap to 0 in a 32-bit bounds
+  // check, turning the compare into "always fits" and reading ~4 GiB out of
+  // bounds. The fixed check does the math in 64 bits.
+  struct Case {
+    const char* name;
+    std::string block;
+  };
+  const std::vector<Case> kCases = {
+      {"klen_wrap", Varint32(0xFFFFFFFFu) + "abc"},
+      {"klen_max_minus_padding", Varint32(0xFFFFFFF4u) + std::string(32, 'x')},
+      {"klen_past_block", Varint32(200) + "short"},
+      {"vlen_wrap", Varint32(1) + "k" + std::string(1, '\x01') + Varint32(0xFFFFFFFFu)},
+      {"vlen_past_block",
+       Varint32(1) + "k" + std::string(1, '\x01') + Varint32(99) + "v"},
+      {"truncated_after_key", Varint32(1) + "k"},
+  };
+  for (const Case& c : kCases) {
+    std::string value;
+    std::vector<std::string> operands;
+    auto st = SSTableReader::SearchBlock(c.block, "k", &value, &operands, c.name);
+    EXPECT_FALSE(st.ok()) << c.name;
+  }
+}
+
+TEST(MalformedTraceTest, RejectsHeaderAndBodyCorruption) {
+  constexpr uint32_t kAccessMagic = 0x47414343;  // "GACC"
+  ScopedTempDir dir;
+  // header = magic(4) version(4) count(8), then body, then masked crc32c(4).
+  auto trace = [&](uint32_t magic, uint32_t version, uint64_t count,
+                   const std::string& body, bool good_crc) {
+    uint32_t crc = MaskCrc(Crc32c(0, body.data(), body.size()));
+    if (!good_crc) {
+      crc ^= 0x5a5a5a5a;
+    }
+    return Fixed32(magic) + Fixed32(version) + Fixed64(count) + body + Fixed32(crc);
+  };
+  struct Case {
+    const char* name;
+    std::string bytes;
+  };
+  const std::string body(40, '\x01');
+  const std::vector<Case> kCases = {
+      {"truncated_header", std::string("GACC", 4)},
+      {"bad_magic", trace(0x41414141, 1, 1, body, true)},
+      {"bad_version", trace(kAccessMagic, 99, 1, body, true)},
+      {"bad_crc", trace(kAccessMagic, 1, 1, body, false)},
+      // The count-lie regression: header claims 2^60 records over a 40-byte
+      // body. Before the fix ReadAccessTrace reserve()d for the claim.
+      {"count_overflow", trace(kAccessMagic, 1, 1ull << 60, body, true)},
+      {"count_exceeds_body", trace(kAccessMagic, 1, 1000, body, true)},
+  };
+  for (const Case& c : kCases) {
+    const std::string path = dir.path() + "/" + c.name + ".gtrace";
+    ASSERT_TRUE(WriteStringToFile(path, c.bytes, /*sync=*/false).ok());
+    EXPECT_FALSE(AccessTraceReader::Open(path).ok()) << c.name;
+    EXPECT_FALSE(ReadAccessTrace(path).ok()) << c.name;
+  }
+}
+
+TEST(MalformedWalTest, ReplayStopsAtCorruptionKeepingPrefix) {
+  ScopedTempDir dir;
+  // A valid 3-record WAL with garbage appended: replay must deliver exactly
+  // the valid prefix and stop — a torn tail is the normal crash shape.
+  const std::string path = dir.path() + "/torn.wal";
+  {
+    auto wal = WalWriter::Create(path);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          (*wal)->Append(RecType::kValue, "k" + std::to_string(i), "v", false).ok());
+    }
+    ASSERT_TRUE((*wal)->Close().ok());
+  }
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path, &bytes).ok());
+  bytes += std::string(25, '\xee');
+  ASSERT_TRUE(WriteStringToFile(path, bytes, /*sync=*/false).ok());
+  size_t applied = 0;
+  auto replayed = ReplayWal(path, [&](RecType, std::string_view, std::string_view) {
+    ++applied;
+  });
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(applied, 3u);
+
+  // Pure garbage: nothing applied, no crash.
+  const std::string junk_path = dir.path() + "/junk.wal";
+  ASSERT_TRUE(WriteStringToFile(junk_path, std::string(300, '\x7f'), false).ok());
+  applied = 0;
+  auto junk = ReplayWal(junk_path, [&](RecType, std::string_view, std::string_view) {
+    ++applied;
+  });
+  if (junk.ok()) {
+    EXPECT_EQ(applied, 0u);
+  }
+}
 
 // ----------------------------------------------------- lateness properties
 

@@ -304,6 +304,186 @@ TEST(RawSocketTest, ExemptsNetDirHelpersAndLookalikes) {
   EXPECT_FALSE(HasRule(LintContent("src/a.cc", "// send() is banned here\n"), "raw-socket"));
 }
 
+// --------------------------------------------------------------- lock-order
+
+// Two classes with uniquely named locks; file A nests beta under alpha, file
+// B nests alpha under beta. The global graph has the cycle even though each
+// translation unit is individually consistent — exactly what per-file lint
+// can never see.
+TEST(LockOrderTest, FlagsCrossFileCycle) {
+  std::vector<SourceFile> files = {
+      {"src/a.cc",
+       "class AlphaHolder {\n"
+       " public:\n"
+       "  void Poke(BetaHolder* other) {\n"
+       "    MutexLock a(&alpha_mu_);\n"
+       "    MutexLock b(&other->beta_mu_);\n"
+       "  }\n"
+       "  Mutex alpha_mu_;\n"
+       "};\n"},
+      {"src/b.cc",
+       "class BetaHolder {\n"
+       " public:\n"
+       "  void Poke(AlphaHolder* other) {\n"
+       "    MutexLock b(&beta_mu_);\n"
+       "    MutexLock a(&other->alpha_mu_);\n"
+       "  }\n"
+       "  Mutex beta_mu_;\n"
+       "};\n"},
+  };
+  auto findings = AnalyzeTree(files);
+  ASSERT_TRUE(HasRule(findings, "lock-order")) << findings.size();
+  EXPECT_NE(findings.front().message.find("alpha_mu_"), std::string::npos)
+      << findings.front().message;
+  EXPECT_NE(findings.front().message.find("beta_mu_"), std::string::npos);
+}
+
+TEST(LockOrderTest, AcceptsConsistentOrderAcrossFiles) {
+  std::vector<SourceFile> files = {
+      {"src/a.cc",
+       "class AlphaHolder {\n"
+       "  void Poke(BetaHolder* o) { MutexLock a(&alpha_mu_); MutexLock b(&o->beta_mu_); }\n"
+       "  Mutex alpha_mu_;\n"
+       "};\n"},
+      {"src/b.cc",
+       "class BetaHolder {\n"
+       "  void Poke(AlphaHolder* o) { MutexLock a(&o->alpha_mu_); MutexLock b(&beta_mu_); }\n"
+       "  Mutex beta_mu_;\n"
+       "};\n"},
+  };
+  EXPECT_FALSE(HasRule(AnalyzeTree(files), "lock-order"));
+}
+
+// A REQUIRES(...) annotation counts as holding the lock for the whole body,
+// and the annotation on the header declaration carries to the out-of-line
+// definition.
+TEST(LockOrderTest, RequiresAnnotationSeedsHeldSet) {
+  std::vector<SourceFile> files = {
+      {"src/a.cc",
+       "class AlphaHolder {\n"
+       "  void NestLocked(BetaHolder* o) REQUIRES(alpha_mu_) {\n"
+       "    MutexLock b(&o->beta_mu_);\n"
+       "  }\n"
+       "  Mutex alpha_mu_;\n"
+       "};\n"
+       "class BetaHolder {\n"
+       "  void Nest(AlphaHolder* o) {\n"
+       "    MutexLock b(&beta_mu_);\n"
+       "    MutexLock a(&o->alpha_mu_);\n"
+       "  }\n"
+       "  Mutex beta_mu_;\n"
+       "};\n"},
+  };
+  EXPECT_TRUE(HasRule(AnalyzeTree(files), "lock-order"));
+}
+
+// Holding a lock while calling a function that takes another lock forms the
+// same edge (one level of inlining).
+TEST(LockOrderTest, InterproceduralEdgeThroughCall) {
+  std::vector<SourceFile> files = {
+      {"src/a.cc",
+       "class AlphaHolder {\n"
+       " public:\n"
+       "  void Outer() {\n"
+       "    MutexLock a(&alpha_mu_);\n"
+       "    GrabBeta();\n"
+       "  }\n"
+       "  void GrabBeta();\n"
+       "  Mutex alpha_mu_;\n"
+       "};\n"
+       "void AlphaHolder::GrabBeta() { MutexLock b(&g_beta.beta_mu_); }\n"
+       "class BetaHolder {\n"
+       " public:\n"
+       "  void Flip(AlphaHolder* o) {\n"
+       "    MutexLock b(&beta_mu_);\n"
+       "    MutexLock a(&o->alpha_mu_);\n"
+       "  }\n"
+       "  Mutex beta_mu_;\n"
+       "};\n"},
+  };
+  EXPECT_TRUE(HasRule(AnalyzeTree(files), "lock-order"));
+}
+
+// A member name declared by several classes (`mu` everywhere) cannot be
+// attributed; the analyzer must skip it rather than invent edges.
+TEST(LockOrderTest, AmbiguousLockNamesNeverFire) {
+  std::vector<SourceFile> files = {
+      {"src/a.cc",
+       "class P { public: void F(Q* q) { MutexLock a(&mu); MutexLock b(&q->mu); }\n"
+       "  Mutex mu;\n};\n"
+       "class Q { public: void F(P* p) { MutexLock b(&mu); MutexLock a(&p->mu); }\n"
+       "  Mutex mu;\n};\n"},
+  };
+  // `&q->mu` / `&p->mu` resolve to the *enclosing* class (which declares mu)
+  // or stay ambiguous — either way no cross-class inversion can be proven.
+  EXPECT_FALSE(HasRule(AnalyzeTree(files), "lock-order"));
+}
+
+// ---------------------------------------------------------- reactor-blocking
+
+TEST(ReactorBlockingTest, FlagsBlockingCallReachableFromMarkedEntry) {
+  std::vector<SourceFile> files = {
+      {"src/server/loop.cc",
+       "class Loop {\n"
+       " public:\n"
+       "  void Run();\n"
+       "  void Helper();\n"
+       "};\n"
+       "// gadget:reactor-context\n"
+       "void Loop::Run() { Helper(); }\n"
+       "void Loop::Helper() { fsync(3); }\n"},
+  };
+  auto findings = AnalyzeTree(files);
+  ASSERT_TRUE(HasRule(findings, "reactor-blocking"));
+  EXPECT_EQ(findings.front().line, 8);
+  EXPECT_NE(findings.front().message.find("Loop::Run -> Loop::Helper"), std::string::npos)
+      << findings.front().message;
+}
+
+TEST(ReactorBlockingTest, FlagsSleepAndCondVarWaitDirectlyInEntry) {
+  std::vector<SourceFile> files = {
+      {"src/server/loop.cc",
+       "// gadget:reactor-context\n"
+       "void Run() {\n"
+       "  std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+       "  cv.Wait();\n"
+       "}\n"},
+  };
+  auto findings = AnalyzeTree(files);
+  int hits = 0;
+  for (const auto& f : findings) {
+    hits += f.rule == "reactor-blocking" ? 1 : 0;
+  }
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(ReactorBlockingTest, BlockingOkCommentSuppresses) {
+  std::vector<SourceFile> files = {
+      {"src/server/loop.cc",
+       "// gadget:reactor-context\n"
+       "void Run() {\n"
+       "  // gadget:blocking-ok: startup only, before the loop goes live.\n"
+       "  fsync(3);\n"
+       "}\n"},
+  };
+  EXPECT_FALSE(HasRule(AnalyzeTree(files), "reactor-blocking"));
+}
+
+TEST(ReactorBlockingTest, UnmarkedAndUnreachableFunctionsStayQuiet) {
+  std::vector<SourceFile> files = {
+      // No marker at all: nothing is an entry point.
+      {"src/server/a.cc", "void Run() { fsync(3); }\n"},
+      // Marker, but the blocking call sits in a function the entry never
+      // reaches (a worker loop beside the reactor).
+      {"src/server/b.cc",
+       "// gadget:reactor-context\n"
+       "void Reactor() { Poll(); }\n"
+       "void Poll() {}\n"
+       "void Worker() { cv.Wait(); }\n"},
+  };
+  EXPECT_FALSE(HasRule(AnalyzeTree(files), "reactor-blocking"));
+}
+
 // --------------------------------------------------------------- allowlist
 
 TEST(AllowlistTest, SuppressesByRuleAndPathSuffix) {
@@ -316,6 +496,19 @@ TEST(AllowlistTest, SuppressesByRuleAndPathSuffix) {
   EXPECT_FALSE(list.Allows("src/other.cc", "banned-call"));
   EXPECT_FALSE(list.Allows("src/legacy.cc", "include-guard"));
   EXPECT_TRUE(list.Allows("anything/at/all.h", "void-status"));
+}
+
+TEST(AllowlistTest, TracksUnusedEntriesWithLineNumbers) {
+  Allowlist list = Allowlist::Parse(
+      "# header comment\n"
+      "banned-call src/legacy.cc\n"
+      "rename-sync src/never_matches.cc\n");
+  EXPECT_TRUE(list.Allows("src/legacy.cc", "banned-call"));
+  auto stale = list.UnusedEntries();
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "rename-sync");
+  EXPECT_EQ(stale[0].path_suffix, "src/never_matches.cc");
+  EXPECT_EQ(stale[0].line, 3);
 }
 
 // ------------------------------------------------------ RunLint exit codes
@@ -348,6 +541,17 @@ TEST(RunLintTest, ExitCodesMatchCliContract) {
     f << "banned-call dirty.cc\n";
   }
   EXPECT_EQ(RunLint({dir}, allow, out, err), 0);
+  // A stale entry (nothing left to suppress) flips the scan back to 1: dead
+  // allowlist lines would silently swallow the next real regression.
+  {
+    std::ofstream f(allow);
+    f << "banned-call dirty.cc\n"
+      << "rename-sync gone_forever.cc\n";
+  }
+  out.str("");
+  EXPECT_EQ(RunLint({dir}, allow, out, err), 1);
+  EXPECT_NE(out.str().find("stale-allowlist"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("rename-sync gone_forever.cc"), std::string::npos) << out.str();
   // A missing allowlist file is a usage error (2).
   EXPECT_EQ(RunLint({dir}, dir + "/nope.txt", out, err), 2);
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/coding.h"
 #include "src/common/config.h"
 #include "src/common/file_util.h"
 #include "src/common/json.h"
@@ -163,6 +164,66 @@ TEST(WireTest, RejectsTrailingGarbageAndWrongKind) {
   ASSERT_EQ(ExtractFrame(req_bytes, &frame, &consumed, &error), FrameStatus::kOk);
   Response resp;
   EXPECT_FALSE(ParseResponse(frame, &resp).ok());
+}
+
+// Hand-assembled frames whose length words and counts lie about the payload.
+// The frame layer accepts them (they are well-formed frames); the payload
+// parser must reject every one without reading past the payload.
+TEST(WireTest, MalformedPayloadTable) {
+  struct Case {
+    const char* name;
+    MsgType type;
+    std::string payload;
+  };
+  auto vstr = [](uint32_t v) {
+    std::string s;
+    PutVarint32(&s, v);
+    return s;
+  };
+  const std::vector<Case> kCases = {
+      // Field length runs past the payload end.
+      {"get_key_length_lie", MsgType::kGet, vstr(100) + "abc"},
+      // Field length exceeds the per-field cap even though the frame fits.
+      {"get_key_over_cap", MsgType::kGet, vstr((64u << 10) + 1) + "abc"},
+      // Near-UINT32_MAX length: any `len + k` arithmetic in the decoder
+      // would wrap; must still reject cleanly (mirrors the sstable varint
+      // wrap bug fixed in this change).
+      {"get_key_wrap", MsgType::kGet, vstr(0xFFFFFFFFu) + "abc"},
+      {"get_empty_payload", MsgType::kGet, ""},
+      // Valid key, then a lying value length.
+      {"put_value_length_lie", MsgType::kPut, vstr(1) + "k" + vstr(50) + "v"},
+      {"put_value_over_cap", MsgType::kPut, vstr(1) + "k" + vstr((8u << 20) + 1) + "v"},
+      {"put_missing_value", MsgType::kPut, vstr(1) + "k"},
+      // Count larger than the entries actually present.
+      {"multiget_count_lie", MsgType::kMultiGet, vstr(3) + vstr(1) + "a"},
+      // Count beyond the wire limit: rejected before any reserve().
+      {"multiget_count_over_cap", MsgType::kMultiGet, vstr((1u << 20) + 1)},
+      {"multiget_count_wrap", MsgType::kMultiGet, vstr(0xFFFFFFFFu)},
+      {"batch_count_lie", MsgType::kWriteBatch,
+       vstr(2) + std::string(1, '\x00') + vstr(1) + "k" + vstr(1) + "v"},
+      {"batch_unknown_op", MsgType::kWriteBatch,
+       vstr(1) + std::string(1, '\x09') + vstr(1) + "k" + vstr(1) + "v"},
+      {"batch_truncated_entry", MsgType::kWriteBatch, vstr(1) + std::string(1, '\x00')},
+      // Zero-argument requests must carry empty payloads.
+      {"ping_with_payload", MsgType::kPing, "x"},
+      {"stats_with_payload", MsgType::kStats, "junk"},
+  };
+  for (const Case& c : kCases) {
+    std::string buf;
+    const uint32_t len = kFrameOverhead + static_cast<uint32_t>(c.payload.size());
+    buf.append(reinterpret_cast<const char*>(&len), 4);
+    buf.push_back(static_cast<char>(c.type));
+    const uint32_t id = 9;
+    buf.append(reinterpret_cast<const char*>(&id), 4);
+    buf.append(c.payload);
+
+    FrameView frame;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(ExtractFrame(buf, &frame, &consumed, &error), FrameStatus::kOk) << c.name;
+    Request req;
+    EXPECT_FALSE(ParseRequest(frame, &req).ok()) << c.name;
+  }
 }
 
 // ------------------------------------------------------------------ router

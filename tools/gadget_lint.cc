@@ -54,8 +54,9 @@ std::string FormatFinding(const Finding& f) {
 
 Allowlist Allowlist::Parse(std::string_view text) {
   Allowlist list;
-  for (std::string_view line : SplitLines(text)) {
-    line = TrimLeft(line);
+  const std::vector<std::string_view> lines = SplitLines(text);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    std::string_view line = TrimLeft(lines[i]);
     if (line.empty() || line.front() == '#') {
       continue;
     }
@@ -65,6 +66,7 @@ Allowlist Allowlist::Parse(std::string_view text) {
     }
     Entry e;
     e.rule = std::string(line.substr(0, space));
+    e.line = static_cast<int>(i + 1);
     std::string_view rest = TrimLeft(line.substr(space));
     size_t end = rest.find_first_of(" \t");
     e.path_suffix = std::string(rest.substr(0, end));
@@ -76,12 +78,24 @@ Allowlist Allowlist::Parse(std::string_view text) {
 }
 
 bool Allowlist::Allows(std::string_view file, std::string_view rule) const {
+  bool allowed = false;
   for (const Entry& e : entries_) {
     if (e.rule == rule && (e.path_suffix == "*" || EndsWith(file, e.path_suffix))) {
-      return true;
+      e.used = true;  // keep scanning: overlapping entries are all "used"
+      allowed = true;
     }
   }
-  return false;
+  return allowed;
+}
+
+std::vector<Allowlist::Entry> Allowlist::UnusedEntries() const {
+  std::vector<Entry> out;
+  for (const Entry& e : entries_) {
+    if (!e.used) {
+      out.push_back(e);
+    }
+  }
+  return out;
 }
 
 std::string StripCommentsAndStrings(std::string_view src) {
@@ -580,15 +594,45 @@ int RunLint(const std::vector<std::string>& paths, const std::string& allowlist_
     allowlist = Allowlist::Parse(buf.str());
   }
 
-  int total = 0;
+  // Read every file once: the per-file rules and the cross-TU pass share the
+  // same contents.
+  std::vector<Finding> findings;
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
   for (const std::string& file : files) {
-    for (const Finding& f : LintFile(file)) {
-      if (allowlist.Allows(f.file, f.rule)) {
-        continue;
-      }
-      out << FormatFinding(f) << "\n";
-      ++total;
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      findings.push_back({file, 0, "read-error", "cannot open file"});
+      continue;
     }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SourceFile sf{file, buf.str()};
+    for (Finding& f : LintContent(sf.path, sf.content)) {
+      findings.push_back(std::move(f));
+    }
+    sources.push_back(std::move(sf));
+  }
+  for (Finding& f : AnalyzeTree(sources)) {
+    findings.push_back(std::move(f));
+  }
+
+  int total = 0;
+  for (const Finding& f : findings) {
+    if (allowlist.Allows(f.file, f.rule)) {
+      continue;
+    }
+    out << FormatFinding(f) << "\n";
+    ++total;
+  }
+  // An entry that suppressed nothing would silently mask the next regression
+  // matching it; the allowlist must shrink when the code it excused improves.
+  for (const Allowlist::Entry& e : allowlist.UnusedEntries()) {
+    out << FormatFinding({allowlist_path, e.line, "stale-allowlist",
+                          "entry '" + e.rule + " " + e.path_suffix +
+                              "' suppressed nothing in this run; remove it"})
+        << "\n";
+    ++total;
   }
   if (total != 0) {
     err << "gadget_lint: " << total << " finding(s) in " << files.size() << " file(s)\n";

@@ -24,6 +24,24 @@
 //                       under src/server/net/; everything else goes through
 //                       the net:: helpers or FramedConn (DESIGN.md §6).
 //
+// Cross-translation-unit rules (AnalyzeTree — these see every file at once):
+//   lock-order          builds the global lock acquisition graph from Mutex /
+//                       SharedMutex member declarations, MutexLock-style
+//                       scoped guards, manual Lock()/Unlock() pairs and
+//                       REQUIRES / ACQUIRE annotations, then fails on any
+//                       cycle: two code paths that take the same pair of
+//                       locks in opposite orders can deadlock.
+//   reactor-blocking    a function marked with a standalone
+//                       `// gadget:reactor-context` comment is a reactor
+//                       entry point; any blocking call (fsync, sleep_for,
+//                       CondVar Wait, SyncDir, raw pread, store mutations...)
+//                       reachable from it through the static call graph is
+//                       flagged unless a `// gadget:blocking-ok: <why>`
+//                       comment sits within three lines above the call.
+//   stale-allowlist     an allowlist entry that suppressed nothing in the
+//                       whole run is dead weight that would silently mask a
+//                       future regression; RunLint reports it for removal.
+//
 // Output format: one finding per line, `file:line: rule-id: message`, exit
 // status 1 when anything fires. An allowlist file (`rule-id path-suffix` per
 // line) suppresses known-good exceptions.
@@ -53,15 +71,24 @@ std::string FormatFinding(const Finding& f);
 // (suffix `*` matches every file).
 class Allowlist {
  public:
-  static Allowlist Parse(std::string_view text);
-
-  bool Allows(std::string_view file, std::string_view rule) const;
-
- private:
   struct Entry {
     std::string rule;
     std::string path_suffix;
+    int line = 0;             // 1-based line in the allowlist file
+    mutable bool used = false;  // set by Allows; drives stale-allowlist
   };
+
+  static Allowlist Parse(std::string_view text);
+
+  // Marks the matching entry as used — stale-entry detection relies on every
+  // finding in the run being filtered through the same Allowlist instance.
+  bool Allows(std::string_view file, std::string_view rule) const;
+
+  // Entries that never suppressed a finding. Meaningful only after the full
+  // scan's findings have been run through Allows.
+  std::vector<Entry> UnusedEntries() const;
+
+ private:
   std::vector<Entry> entries_;
 };
 
@@ -83,6 +110,21 @@ std::vector<Finding> LintContent(std::string_view path, std::string_view content
 // Reads and lints one file. An unreadable file yields a single `read-error`
 // finding.
 std::vector<Finding> LintFile(const std::string& path);
+
+// One file of a whole-tree scan, already read into memory.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+// The cross-translation-unit pass (tools/gadget_lint_tree.cc): parses class /
+// lock-member / function structure out of every file, builds the global lock
+// acquisition graph and the call graph, and reports `lock-order` cycles and
+// `reactor-blocking` reachability violations. Findings are best-effort and
+// conservative: an acquisition whose lock cannot be attributed to a unique
+// declaration is skipped rather than guessed at, so the rule never fires on
+// code it does not understand.
+std::vector<Finding> AnalyzeTree(const std::vector<SourceFile>& files);
 
 // Full scan as the CLI runs it: walks `paths` (files, or directories searched
 // recursively for *.h / *.cc, skipping hidden and build directories), filters

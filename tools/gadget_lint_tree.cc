@@ -1,0 +1,1040 @@
+// Cross-translation-unit analysis for gadget_lint (see gadget_lint.h):
+//
+//   lock-order        global lock acquisition graph + cycle detection
+//   reactor-blocking  blocking calls reachable from `// gadget:reactor-context`
+//                     entry points through the static call graph
+//
+// Like the per-file rules this is a textual analyzer, not a compiler: it
+// parses just enough C++ structure (class nesting, Mutex/SharedMutex member
+// declarations, function definitions and their bodies, scoped guards, manual
+// Lock/Unlock, REQUIRES/ACQUIRE annotations, call sites) to build the two
+// graphs. The guiding rule is asymmetric precision: a construct the parser
+// cannot attribute with certainty is dropped (false negative), never guessed
+// at (false positive) — e.g. an acquisition of a member named `mu` resolves
+// only when the enclosing class declares `mu` or exactly one class in the
+// whole tree does.
+#include "tools/gadget_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gadget {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+int LineAt(const std::string& text, size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(pos), '\n'));
+}
+
+std::vector<std::string> SplitRawLines(std::string_view text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+// Last identifier of a member expression: "shard->pool_.mu" -> "mu".
+std::string LastIdent(std::string_view expr) {
+  size_t end = expr.size();
+  while (end > 0 && !IsIdentChar(expr[end - 1])) {
+    --end;
+  }
+  size_t begin = end;
+  while (begin > 0 && IsIdentChar(expr[begin - 1])) {
+    --begin;
+  }
+  return std::string(expr.substr(begin, end - begin));
+}
+
+// ------------------------------------------------------------ parsed model
+
+struct FuncDef {
+  std::string file;
+  int line = 0;            // definition line (1-based)
+  std::string cls;         // enclosing or qualifying class; "" for free fns
+  std::string name;
+  std::string body;        // stripped body text, braces excluded
+  size_t body_off = 0;     // offset of body within the stripped file text
+  std::vector<std::string> requires_args;  // REQUIRES(...) lock expressions
+  std::vector<std::string> acquire_args;   // ACQUIRE(...) lock expressions
+};
+
+struct ParsedFile {
+  std::string path;
+  std::string stripped;
+  std::vector<std::string> raw_lines;
+  std::vector<FuncDef> defs;
+  // "Cls::Name" -> REQUIRES args seen on a declaration (headers annotate;
+  // out-of-line definitions in .cc files do not repeat the annotation).
+  std::map<std::string, std::vector<std::string>> decl_requires;
+  std::vector<int> reactor_marker_lines;  // `// gadget:reactor-context`
+};
+
+// member name -> classes declaring a Mutex/SharedMutex of that name
+// ("" = namespace scope).
+using LockRegistry = std::map<std::string, std::set<std::string>>;
+
+const char* const kSkipNames[] = {
+    "if",     "for",    "while",   "switch", "return", "catch",  "sizeof",
+    "new",    "case",   "throw",   "goto",   "assert", "static_assert",
+    "decltype", "alignof", "operator", "defined", "noexcept",
+};
+
+bool IsSkipName(std::string_view name) {
+  for (const char* s : kSkipNames) {
+    if (name == s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// True when the token ending just before `pos` (skipping whitespace) puts the
+// candidate in expression context — i.e. it is a call, not a definition.
+bool PrecededByCallContext(const std::string& s, size_t pos) {
+  size_t p = pos;
+  while (p > 0 && std::isspace(static_cast<unsigned char>(s[p - 1]))) {
+    --p;
+  }
+  if (p == 0) {
+    return false;  // start of file: definition context
+  }
+  char prev = s[p - 1];
+  if (IsIdentChar(prev)) {
+    // Preceding identifier: a return type makes this a definition, but a few
+    // keywords mean the candidate is a call or label.
+    size_t e = p;
+    size_t b = e;
+    while (b > 0 && IsIdentChar(s[b - 1])) {
+      --b;
+    }
+    return IsSkipName(std::string_view(s).substr(b, e - b));
+  }
+  switch (prev) {
+    case ';':
+    case '{':
+    case '}':
+    case ')':
+    case '*':
+      return false;  // statement start / return-type tail
+    case '>':
+      // `->member(` is a call; `StatusOr<T> F(` is a definition.
+      return p >= 2 && s[p - 2] == '-';
+    case '&':
+      // `a && b(` is expression context; `T& F(` is a definition.
+      return p >= 2 && s[p - 2] == '&';
+    default:
+      return true;  // = , . ! | + - / % < ( ? : [ ~ ^  — expression context
+  }
+}
+
+size_t MatchParen(const std::string& s, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '(') {
+      ++depth;
+    } else if (s[i] == ')' && --depth == 0) {
+      return i;
+    }
+  }
+  return std::string::npos;
+}
+
+size_t MatchBrace(const std::string& s, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '{') {
+      ++depth;
+    } else if (s[i] == '}' && --depth == 0) {
+      return i;
+    }
+  }
+  return std::string::npos;
+}
+
+// Splits "a, b , c" into trimmed pieces (top-level commas only).
+std::vector<std::string> SplitArgs(std::string_view args) {
+  std::vector<std::string> out;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i <= args.size(); ++i) {
+    if (i < args.size() && (args[i] == '(' || args[i] == '<')) {
+      ++depth;
+    } else if (i < args.size() && (args[i] == ')' || args[i] == '>')) {
+      --depth;
+    } else if (i == args.size() || (args[i] == ',' && depth == 0)) {
+      std::string_view piece = args.substr(start, i - start);
+      while (!piece.empty() && std::isspace(static_cast<unsigned char>(piece.front()))) {
+        piece.remove_prefix(1);
+      }
+      while (!piece.empty() && std::isspace(static_cast<unsigned char>(piece.back()))) {
+        piece.remove_suffix(1);
+      }
+      if (!piece.empty()) {
+        out.emplace_back(piece);
+      }
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+// Walks the tokens after a parameter list looking for the definition body.
+// Consumes trailing qualifiers (const, noexcept, override...), thread-safety
+// annotations (collecting REQUIRES/ACQUIRE args) and a constructor init list.
+// Returns the position of the body '{', npos+sets *is_decl for `;`, or npos
+// for anything the parser does not recognize (conservatively not a def).
+size_t FindBodyStart(const std::string& s, size_t after_params, bool* is_decl,
+                     std::vector<std::string>* requires_args,
+                     std::vector<std::string>* acquire_args) {
+  *is_decl = false;
+  size_t i = after_params;
+  while (i < s.size()) {
+    char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '{') {
+      return i;
+    }
+    if (c == ';') {
+      *is_decl = true;
+      return std::string::npos;
+    }
+    if (c == ':') {
+      // Constructor init list: `ident (args)` or `ident {args}` entries
+      // separated by commas, then the body brace.
+      ++i;
+      for (;;) {
+        while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+          ++i;
+        }
+        // Initializer name, possibly qualified/templated (Base<T>::Base).
+        size_t name_begin = i;
+        while (i < s.size() && (IsIdentChar(s[i]) || s[i] == ':' || s[i] == '<' ||
+                                s[i] == '>' || s[i] == ',' || s[i] == ' ')) {
+          // `<...>` may contain commas; stop at '(' / '{' below.
+          if (s[i] == ',' ) {
+            // Comma outside template args separates entries; detect by
+            // checking whether we consumed any '<' without '>' yet — keep it
+            // simple: a comma directly after an identifier run means a
+            // malformed parse; bail out.
+            break;
+          }
+          ++i;
+        }
+        if (i >= s.size() || i == name_begin) {
+          return std::string::npos;
+        }
+        if (s[i] == '(') {
+          size_t close = MatchParen(s, i);
+          if (close == std::string::npos) {
+            return std::string::npos;
+          }
+          i = close + 1;
+        } else if (s[i] == '{') {
+          size_t close = MatchBrace(s, i);
+          if (close == std::string::npos) {
+            return std::string::npos;
+          }
+          i = close + 1;
+        } else {
+          return std::string::npos;
+        }
+        while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+          ++i;
+        }
+        if (i < s.size() && s[i] == ',') {
+          ++i;
+          continue;
+        }
+        break;
+      }
+      continue;  // expect the body '{' next
+    }
+    if (IsIdentStart(c)) {
+      size_t b = i;
+      while (i < s.size() && IsIdentChar(s[i])) {
+        ++i;
+      }
+      std::string_view tok = std::string_view(s).substr(b, i - b);
+      bool is_requires = tok == "REQUIRES" || tok == "REQUIRES_SHARED";
+      bool is_acquire = tok == "ACQUIRE" || tok == "ACQUIRE_SHARED";
+      bool is_other_annotation = tok == "RELEASE" || tok == "RELEASE_SHARED" ||
+                                 tok == "EXCLUDES" || tok == "RETURN_CAPABILITY" ||
+                                 tok == "TRY_ACQUIRE" || tok == "TRY_ACQUIRE_SHARED";
+      if (is_requires || is_acquire || is_other_annotation) {
+        while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+          ++i;
+        }
+        if (i < s.size() && s[i] == '(') {
+          size_t close = MatchParen(s, i);
+          if (close == std::string::npos) {
+            return std::string::npos;
+          }
+          std::vector<std::string> args = SplitArgs(
+              std::string_view(s).substr(i + 1, close - i - 1));
+          if (is_requires) {
+            requires_args->insert(requires_args->end(), args.begin(), args.end());
+          } else if (is_acquire) {
+            acquire_args->insert(acquire_args->end(), args.begin(), args.end());
+          }
+          i = close + 1;
+        }
+        continue;
+      }
+      if (tok == "const" || tok == "noexcept" || tok == "override" || tok == "final" ||
+          tok == "mutable" || tok == "try" || tok == "NO_THREAD_SAFETY_ANALYSIS") {
+        continue;
+      }
+      return std::string::npos;  // unknown token: not a recognizable definition
+    }
+    return std::string::npos;  // any other character: expression context
+  }
+  return std::string::npos;
+}
+
+// ------------------------------------------------------------- file parser
+
+void ParseStructure(ParsedFile* pf, LockRegistry* locks) {
+  const std::string& s = pf->stripped;
+
+  // Markers live in comments, which stripping blanks out — scan raw lines.
+  // The marker must be a standalone comment line so that lint-test snippets
+  // (string literals mentioning the marker) never register entry points.
+  static const std::regex kReactorMark(R"(^\s*//\s*gadget:reactor-context\b)");
+  for (size_t i = 0; i < pf->raw_lines.size(); ++i) {
+    if (std::regex_search(pf->raw_lines[i], kReactorMark)) {
+      pf->reactor_marker_lines.push_back(static_cast<int>(i + 1));
+    }
+  }
+
+  struct ClassCtx {
+    std::string name;
+    int depth;
+  };
+  std::vector<ClassCtx> class_stack;
+  std::string pending_class;
+  bool expect_class_name = false;
+  std::string prev_token;
+  int depth = 0;
+
+  static const std::regex kLockDecl(
+      R"(^\s*(?:mutable\s+)?(?:Mutex|SharedMutex)\s+([A-Za-z_]\w*)\s*;)");
+
+  size_t i = 0;
+  size_t line_start = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    if (c == '\n') {
+      // Lock member declarations are line-shaped; match the finished line.
+      std::string line = s.substr(line_start, i - line_start);
+      std::smatch m;
+      if (std::regex_search(line, m, kLockDecl)) {
+        const std::string cls = class_stack.empty() ? "" : class_stack.back().name;
+        (*locks)[m[1].str()].insert(cls);
+      }
+      line_start = i + 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t b = i;
+      while (i < s.size() && IsIdentChar(s[i])) {
+        ++i;
+      }
+      std::string tok = s.substr(b, i - b);
+      if (expect_class_name) {
+        pending_class = tok;
+        expect_class_name = false;
+      } else if ((tok == "class" || tok == "struct") && prev_token != "enum") {
+        expect_class_name = true;
+      }
+      // Candidate function: identifier (possibly `Cls::Name` qualified)
+      // directly followed by '('.
+      size_t j = i;
+      std::string qual;
+      size_t full_begin = b;
+      while (j + 1 < s.size() && s[j] == ':' && s[j + 1] == ':' && j + 2 < s.size() &&
+             IsIdentStart(s[j + 2])) {
+        qual = tok;  // innermost qualifier wins (Server::Impl::F -> Impl)
+        size_t nb = j + 2;
+        size_t ne = nb;
+        while (ne < s.size() && IsIdentChar(s[ne])) {
+          ++ne;
+        }
+        tok = s.substr(nb, ne - nb);
+        j = ne;
+      }
+      size_t k = j;
+      while (k < s.size() && (s[k] == ' ' || s[k] == '\t')) {
+        ++k;
+      }
+      if (k < s.size() && s[k] == '(' && !IsSkipName(tok) &&
+          !PrecededByCallContext(s, full_begin)) {
+        size_t close = MatchParen(s, k);
+        if (close != std::string::npos) {
+          bool is_decl = false;
+          std::vector<std::string> req;
+          std::vector<std::string> acq;
+          size_t body = FindBodyStart(s, close + 1, &is_decl, &req, &acq);
+          const std::string cls =
+              !qual.empty() ? qual
+                            : (class_stack.empty() ? "" : class_stack.back().name);
+          if (body != std::string::npos) {
+            size_t body_close = MatchBrace(s, body);
+            if (body_close != std::string::npos) {
+              FuncDef d;
+              d.file = pf->path;
+              d.line = LineAt(s, full_begin);
+              d.cls = cls;
+              d.name = tok;
+              d.body = s.substr(body + 1, body_close - body - 1);
+              d.body_off = body + 1;
+              d.requires_args = std::move(req);
+              d.acquire_args = std::move(acq);
+              pf->defs.push_back(std::move(d));
+            }
+          } else if (is_decl && (!req.empty() || !acq.empty())) {
+            auto& slot = pf->decl_requires[cls + "::" + tok];
+            slot.insert(slot.end(), req.begin(), req.end());
+            slot.insert(slot.end(), acq.begin(), acq.end());
+          }
+        }
+      }
+      prev_token = std::move(tok);
+      continue;
+    }
+    if (c == '{') {
+      ++depth;
+      if (!pending_class.empty()) {
+        class_stack.push_back({pending_class, depth});
+        pending_class.clear();
+      }
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      if (!class_stack.empty() && class_stack.back().depth == depth) {
+        class_stack.pop_back();
+      }
+      --depth;
+      ++i;
+      continue;
+    }
+    if (c == ';') {
+      pending_class.clear();
+      expect_class_name = false;
+    }
+    ++i;
+  }
+}
+
+// --------------------------------------------------------- body event scan
+
+struct BodyEvent {
+  enum Kind { kOpenBrace, kCloseBrace, kAcquire, kAcquireManual, kRelease, kCall };
+  Kind kind;
+  size_t pos = 0;           // offset within the body string
+  std::string lock_expr;    // kAcquire*/kRelease: the lock expression
+  std::string callee;       // kCall
+  std::string callee_qual;  // kCall: `Cls::F(` qualifier, if any
+  bool has_receiver = false;  // kCall: `x.F(` / `x->F(`
+};
+
+// Receiver / qualifier detection for a call at `name_begin`.
+void ClassifyCallSite(const std::string& body, size_t name_begin, BodyEvent* ev) {
+  size_t p = name_begin;
+  if (p >= 2 && body[p - 1] == ':' && body[p - 2] == ':') {
+    size_t e = p - 2;
+    size_t b = e;
+    while (b > 0 && IsIdentChar(body[b - 1])) {
+      --b;
+    }
+    if (b < e) {
+      ev->callee_qual = body.substr(b, e - b);
+    }
+    return;
+  }
+  if (p >= 1 && body[p - 1] == '.') {
+    ev->has_receiver = true;
+  } else if (p >= 2 && body[p - 1] == '>' && body[p - 2] == '-') {
+    ev->has_receiver = true;
+  }
+}
+
+std::vector<BodyEvent> ScanBody(const std::string& body) {
+  std::vector<BodyEvent> events;
+  for (size_t i = 0; i < body.size(); ++i) {
+    char c = body[i];
+    if (c == '{') {
+      events.push_back({BodyEvent::kOpenBrace, i, "", "", "", false});
+    } else if (c == '}') {
+      events.push_back({BodyEvent::kCloseBrace, i, "", "", "", false});
+    } else if (IsIdentStart(c) && (i == 0 || !IsIdentChar(body[i - 1]))) {
+      size_t b = i;
+      while (i < body.size() && IsIdentChar(body[i])) {
+        ++i;
+      }
+      std::string tok = body.substr(b, i - b);
+      size_t k = i;
+      while (k < body.size() && (body[k] == ' ' || body[k] == '\t' || body[k] == '\n')) {
+        ++k;
+      }
+      if (tok == "MutexLock" || tok == "WriterMutexLock" || tok == "ReaderMutexLock") {
+        // Scoped guard: `MutexLock name(&expr);`
+        size_t vb = k;
+        while (vb < body.size() && IsIdentChar(body[vb])) {
+          ++vb;
+        }
+        size_t open = body.find_first_not_of(" \t\n", vb);
+        if (open != std::string::npos && body[open] == '(') {
+          size_t close = MatchParen(body, open);
+          if (close != std::string::npos) {
+            std::string arg = body.substr(open + 1, close - open - 1);
+            size_t amp = arg.find('&');
+            if (amp != std::string::npos) {
+              events.push_back(
+                  {BodyEvent::kAcquire, b, arg.substr(amp + 1), "", "", false});
+            }
+          }
+        }
+        --i;
+        continue;
+      }
+      if (k < body.size() && body[k] == '(') {
+        // Manual Lock/Unlock on a receiver, or a plain call.
+        bool receiver = (b >= 1 && body[b - 1] == '.') ||
+                        (b >= 2 && body[b - 1] == '>' && body[b - 2] == '-');
+        if (receiver && (tok == "Lock" || tok == "LockShared")) {
+          size_t e = b - (body[b - 1] == '.' ? 1 : 2);
+          size_t rb = e;
+          while (rb > 0 && (IsIdentChar(body[rb - 1]) || body[rb - 1] == '.' ||
+                            body[rb - 1] == '_')) {
+            --rb;
+          }
+          events.push_back(
+              {BodyEvent::kAcquireManual, b, body.substr(rb, e - rb), "", "", false});
+        } else if (receiver && (tok == "Unlock" || tok == "UnlockShared")) {
+          size_t e = b - (body[b - 1] == '.' ? 1 : 2);
+          size_t rb = e;
+          while (rb > 0 && (IsIdentChar(body[rb - 1]) || body[rb - 1] == '.' ||
+                            body[rb - 1] == '_')) {
+            --rb;
+          }
+          events.push_back(
+              {BodyEvent::kRelease, b, body.substr(rb, e - rb), "", "", false});
+        } else if (!IsSkipName(tok)) {
+          BodyEvent ev{BodyEvent::kCall, b, "", tok, "", false};
+          ClassifyCallSite(body, b, &ev);
+          events.push_back(std::move(ev));
+        }
+      }
+      --i;
+      continue;
+    }
+  }
+  return events;
+}
+
+// ------------------------------------------------------------- lock graph
+
+struct Edge {
+  std::string from;
+  std::string to;
+  std::string file;
+  int line = 0;
+  std::string note;
+};
+
+struct CallSite {
+  std::string callee;
+  std::string callee_qual;
+  bool has_receiver = false;
+  int line = 0;
+  std::vector<std::string> held;  // resolved lock ids held at the call
+};
+
+struct FuncInfo {
+  const FuncDef* def = nullptr;
+  std::vector<std::string> direct_acquires;  // resolved locks taken in the body
+  std::vector<CallSite> calls;
+};
+
+std::optional<std::string> ResolveLock(const std::string& expr, const std::string& cls,
+                                       const LockRegistry& locks) {
+  const std::string member = LastIdent(expr);
+  if (member.empty()) {
+    return std::nullopt;
+  }
+  auto it = locks.find(member);
+  if (it == locks.end()) {
+    return std::nullopt;
+  }
+  // A bare member (`mu_`, `this->mu_`) belongs to the enclosing class; an
+  // expression with a receiver (`other->mu_`) must not — it names some other
+  // object, so only a tree-wide unique declaration attributes it.
+  std::string trimmed = expr;
+  while (!trimmed.empty() && !IsIdentChar(trimmed.back())) {
+    trimmed.pop_back();  // drop trailing spaces/parens so `member` is a suffix
+  }
+  std::string prefix = trimmed.substr(0, trimmed.size() - member.size());
+  while (!prefix.empty() && std::isspace(static_cast<unsigned char>(prefix.back()))) {
+    prefix.pop_back();
+  }
+  const bool bare = prefix.empty() || prefix == "this->" || prefix == "this.";
+  if (bare && !cls.empty() && it->second.count(cls) != 0) {
+    return cls + "::" + member;
+  }
+  if (it->second.size() == 1) {
+    return *it->second.begin() + "::" + member;
+  }
+  return std::nullopt;  // ambiguous across classes: skip, never guess
+}
+
+void AnalyzeFunctionBody(const ParsedFile& pf, const FuncDef& def,
+                         const LockRegistry& locks, FuncInfo* info,
+                         std::vector<Edge>* edges) {
+  std::vector<BodyEvent> events = ScanBody(def.body);
+
+  // REQUIRES args (from the definition, or inherited from the declaration)
+  // are held for the whole function.
+  std::vector<std::string> req = def.requires_args;
+  if (req.empty()) {
+    auto it = pf.decl_requires.find(def.cls + "::" + def.name);
+    if (it != pf.decl_requires.end()) {
+      req = it->second;
+    }
+  }
+  std::vector<std::string> held;
+  for (const std::string& r : req) {
+    if (auto id = ResolveLock(r, def.cls, locks)) {
+      held.push_back(*id);
+    }
+  }
+  for (const std::string& a : def.acquire_args) {
+    if (auto id = ResolveLock(a, def.cls, locks)) {
+      info->direct_acquires.push_back(*id);
+    }
+  }
+
+  auto line_of = [&](size_t body_pos) {
+    return LineAt(pf.stripped, def.body_off + body_pos);
+  };
+
+  // scopes[d] = locks acquired at brace depth d (released when it closes);
+  // manual Lock() calls pin to depth 0 (released only by Unlock()).
+  std::vector<std::vector<std::string>> scopes(1);
+  for (const BodyEvent& ev : events) {
+    switch (ev.kind) {
+      case BodyEvent::kOpenBrace:
+        scopes.emplace_back();
+        break;
+      case BodyEvent::kCloseBrace:
+        if (scopes.size() > 1) {
+          for (const std::string& id : scopes.back()) {
+            auto it = std::find(held.begin(), held.end(), id);
+            if (it != held.end()) {
+              held.erase(it);
+            }
+          }
+          scopes.pop_back();
+        }
+        break;
+      case BodyEvent::kAcquire:
+      case BodyEvent::kAcquireManual: {
+        auto id = ResolveLock(ev.lock_expr, def.cls, locks);
+        if (!id) {
+          break;
+        }
+        for (const std::string& h : held) {
+          if (h != *id) {
+            edges->push_back({h, *id, pf.path, line_of(ev.pos),
+                              def.cls.empty() ? def.name : def.cls + "::" + def.name});
+          }
+        }
+        held.push_back(*id);
+        info->direct_acquires.push_back(*id);
+        (ev.kind == BodyEvent::kAcquire ? scopes.back() : scopes.front())
+            .push_back(*id);
+        break;
+      }
+      case BodyEvent::kRelease: {
+        auto id = ResolveLock(ev.lock_expr, def.cls, locks);
+        if (!id) {
+          break;
+        }
+        auto it = std::find(held.begin(), held.end(), *id);
+        if (it != held.end()) {
+          held.erase(it);
+        }
+        for (auto& scope : scopes) {
+          auto sit = std::find(scope.begin(), scope.end(), *id);
+          if (sit != scope.end()) {
+            scope.erase(sit);
+            break;
+          }
+        }
+        break;
+      }
+      case BodyEvent::kCall:
+        info->calls.push_back({ev.callee, ev.callee_qual, ev.has_receiver,
+                               line_of(ev.pos), held});
+        break;
+    }
+  }
+}
+
+// ------------------------------------------------------------- call graph
+
+struct FuncIndex {
+  std::vector<FuncInfo> funcs;
+  std::map<std::string, std::vector<size_t>> by_name;
+  std::map<std::string, std::vector<size_t>> by_cls_name;   // "Cls::Name"
+  std::map<std::string, std::vector<size_t>> by_file_name;  // "file\nName"
+};
+
+// Conservative static binding: qualified calls bind by class, receiver calls
+// only within the same file (a receiver of unknown type must not jump to a
+// same-named method of an unrelated class elsewhere), plain calls prefer the
+// enclosing class, then the file, then a tree-wide unique match.
+const FuncInfo* Bind(const FuncIndex& idx, const CallSite& call, const FuncDef& caller) {
+  auto unique = [&](const std::map<std::string, std::vector<size_t>>& m,
+                    const std::string& key) -> const FuncInfo* {
+    auto it = m.find(key);
+    if (it == m.end() || it->second.size() != 1) {
+      return nullptr;
+    }
+    return &idx.funcs[it->second.front()];
+  };
+  if (!call.callee_qual.empty()) {
+    return unique(idx.by_cls_name, call.callee_qual + "::" + call.callee);
+  }
+  if (call.has_receiver) {
+    return unique(idx.by_file_name, caller.file + "\n" + call.callee);
+  }
+  if (!caller.cls.empty()) {
+    if (const FuncInfo* f = unique(idx.by_cls_name, caller.cls + "::" + call.callee)) {
+      return f;
+    }
+  }
+  if (const FuncInfo* f = unique(idx.by_file_name, caller.file + "\n" + call.callee)) {
+    return f;
+  }
+  return unique(idx.by_name, call.callee);
+}
+
+// ---------------------------------------------------------- cycle detection
+
+void FindCycles(const std::vector<Edge>& edges, std::vector<Finding>* findings) {
+  std::map<std::string, std::vector<const Edge*>> adj;
+  std::set<std::string> nodes;
+  for (const Edge& e : edges) {
+    adj[e.from].push_back(&e);
+    nodes.insert(e.from);
+    nodes.insert(e.to);
+  }
+  std::set<std::string> reported;  // canonicalized cycles
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<const Edge*> path;
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = 1;
+    for (const Edge* e : adj[node]) {
+      if (color[e->to] == 1) {
+        // Back edge: the grey path from e->to down to `node`, plus e.
+        std::vector<const Edge*> cycle;
+        bool in = false;
+        for (const Edge* pe : path) {
+          if (pe->from == e->to) {
+            in = true;
+          }
+          if (in) {
+            cycle.push_back(pe);
+          }
+        }
+        cycle.push_back(e);
+        // Canonical form: rotate so the lexicographically smallest lock leads.
+        std::vector<std::string> names;
+        names.reserve(cycle.size());
+        for (const Edge* ce : cycle) {
+          names.push_back(ce->from);
+        }
+        size_t min_i =
+            static_cast<size_t>(std::min_element(names.begin(), names.end()) -
+                                names.begin());
+        std::string canon;
+        for (size_t i = 0; i < names.size(); ++i) {
+          canon += names[(min_i + i) % names.size()] + ">";
+        }
+        if (reported.insert(canon).second) {
+          std::ostringstream msg;
+          msg << "lock-order cycle: ";
+          for (size_t i = 0; i < cycle.size(); ++i) {
+            const Edge* ce = cycle[(min_i + i) % cycle.size()];
+            if (i != 0) {
+              msg << " -> ";
+            }
+            msg << ce->from;
+          }
+          msg << " -> " << cycle[(min_i + cycle.size() - 1) % cycle.size()]->to << " (";
+          for (size_t i = 0; i < cycle.size(); ++i) {
+            const Edge* ce = cycle[(min_i + i) % cycle.size()];
+            if (i != 0) {
+              msg << "; ";
+            }
+            msg << ce->to << " taken under " << ce->from << " in " << ce->note << " at "
+                << ce->file << ":" << ce->line;
+          }
+          msg << ")";
+          const Edge* first = cycle[min_i % cycle.size()];
+          findings->push_back({first->file, first->line, "lock-order", msg.str()});
+        }
+        continue;
+      }
+      if (color[e->to] == 0) {
+        path.push_back(e);
+        dfs(e->to);
+        path.pop_back();
+      }
+    }
+    color[node] = 2;
+  };
+  for (const std::string& n : nodes) {
+    if (color[n] == 0) {
+      dfs(n);
+    }
+  }
+}
+
+// --------------------------------------------------------- reactor blocking
+
+struct BlockingCall {
+  int line = 0;
+  std::string what;
+};
+
+std::vector<BlockingCall> FindBlockingCalls(const ParsedFile& pf, const FuncDef& def) {
+  struct Pattern {
+    const char* prefilter;  // cheap substring gate before the regex runs
+    std::regex re;
+    const char* what;
+  };
+  static const std::vector<Pattern> kPatterns = {
+      {"sync", std::regex(R"(\b(fsync|fdatasync|sync_file_range)\s*\()"),
+       "file sync syscall"},
+      {"sleep", std::regex(R"(\b(sleep_for|sleep_until|usleep|nanosleep)\s*\()"),
+       "thread sleep"},
+      {"SyncDir", std::regex(R"(\bSyncDir\s*\()"), "directory sync"},
+      {"Checkpoint", std::regex(R"(\bCheckpoint\s*\()"), "checkpoint"},
+      {"Wait", std::regex(R"((\.|->)\s*Wait(For)?\s*\()"), "condition-variable wait"},
+      {"pread", std::regex(R"(\bpread(64)?\s*\()"), "synchronous pread"},
+      {"pwrite", std::regex(R"(\bpwrite(64)?\s*\()"), "synchronous pwrite"},
+      {"", std::regex(R"(\b(store|shard)\w*\s*(\.|->)\s*)"
+                      R"((Put|Get|Delete|Merge|MultiGet|Write|Flush)\s*\()"),
+       "store operation (takes the store mutex, may hit disk)"},
+  };
+  static const std::regex kBlockingOk(R"(^\s*//\s*gadget:blocking-ok\b)");
+
+  std::vector<BlockingCall> out;
+  for (const Pattern& p : kPatterns) {
+    if (p.prefilter[0] != '\0' && def.body.find(p.prefilter) == std::string::npos) {
+      continue;
+    }
+    for (auto it = std::sregex_iterator(def.body.begin(), def.body.end(), p.re);
+         it != std::sregex_iterator(); ++it) {
+      int line = LineAt(pf.stripped, def.body_off + static_cast<size_t>(it->position()));
+      bool suppressed = false;
+      for (int l = std::max(1, line - 3); l <= line; ++l) {
+        if (static_cast<size_t>(l - 1) < pf.raw_lines.size() &&
+            std::regex_search(pf.raw_lines[static_cast<size_t>(l - 1)], kBlockingOk)) {
+          suppressed = true;
+          break;
+        }
+      }
+      if (!suppressed) {
+        out.push_back({line, p.what});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const BlockingCall& a, const BlockingCall& b) { return a.line < b.line; });
+  return out;
+}
+
+void CheckReactorBlocking(const std::vector<ParsedFile>& files, const FuncIndex& idx,
+                          std::vector<Finding>* findings) {
+  // Entry points: the first function defined after each marker line.
+  std::vector<size_t> entries;
+  for (const ParsedFile& pf : files) {
+    for (int mark : pf.reactor_marker_lines) {
+      size_t best = idx.funcs.size();
+      int best_line = 0;
+      for (size_t fi = 0; fi < idx.funcs.size(); ++fi) {
+        const FuncDef* d = idx.funcs[fi].def;
+        if (d->file == pf.path && d->line > mark &&
+            (best == idx.funcs.size() || d->line < best_line)) {
+          best = fi;
+          best_line = d->line;
+        }
+      }
+      if (best != idx.funcs.size()) {
+        entries.push_back(best);
+      }
+    }
+  }
+
+  // BFS with parent tracking so each finding can print the call chain.
+  std::map<const FuncInfo*, const FuncInfo*> parent;
+  std::map<const FuncInfo*, const FuncInfo*> entry_of;
+  std::vector<const FuncInfo*> queue;
+  for (size_t e : entries) {
+    const FuncInfo* f = &idx.funcs[e];
+    if (parent.emplace(f, nullptr).second) {
+      entry_of[f] = f;
+      queue.push_back(f);
+    }
+  }
+  std::map<std::string, const ParsedFile*> file_by_path;
+  for (const ParsedFile& pf : files) {
+    file_by_path[pf.path] = &pf;
+  }
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const FuncInfo* f = queue[qi];
+    for (const CallSite& call : f->calls) {
+      const FuncInfo* callee = Bind(idx, call, *f->def);
+      if (callee != nullptr && parent.emplace(callee, f).second) {
+        entry_of[callee] = entry_of[f];
+        queue.push_back(callee);
+      }
+    }
+  }
+
+  for (const FuncInfo* f : queue) {
+    const ParsedFile* pf = file_by_path[f->def->file];
+    for (const BlockingCall& bc : FindBlockingCalls(*pf, *f->def)) {
+      std::ostringstream chain;
+      std::vector<const FuncInfo*> rev;
+      for (const FuncInfo* p = f; p != nullptr; p = parent.at(p)) {
+        rev.push_back(p);
+      }
+      for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+        if (it != rev.rbegin()) {
+          chain << " -> ";
+        }
+        const FuncDef* d = (*it)->def;
+        chain << (d->cls.empty() ? d->name : d->cls + "::" + d->name);
+      }
+      findings->push_back(
+          {f->def->file, bc.line, "reactor-blocking",
+           bc.what + " is reachable from the reactor thread (" + chain.str() +
+               "); move it to a worker, or mark it `// gadget:blocking-ok: <why>`"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> AnalyzeTree(const std::vector<SourceFile>& files) {
+  std::vector<ParsedFile> parsed;
+  parsed.reserve(files.size());
+  LockRegistry locks;
+  for (const SourceFile& f : files) {
+    ParsedFile pf;
+    pf.path = f.path;
+    pf.stripped = StripCommentsAndStrings(f.content);
+    pf.raw_lines = SplitRawLines(f.content);
+    ParseStructure(&pf, &locks);
+    parsed.push_back(std::move(pf));
+  }
+
+  FuncIndex idx;
+  std::vector<Edge> edges;
+  for (const ParsedFile& pf : parsed) {
+    for (const FuncDef& def : pf.defs) {
+      FuncInfo info;
+      info.def = &def;
+      AnalyzeFunctionBody(pf, def, locks, &info, &edges);
+      idx.funcs.push_back(std::move(info));
+    }
+  }
+  for (size_t i = 0; i < idx.funcs.size(); ++i) {
+    const FuncDef* d = idx.funcs[i].def;
+    idx.by_name[d->name].push_back(i);
+    if (!d->cls.empty()) {
+      idx.by_cls_name[d->cls + "::" + d->name].push_back(i);
+    }
+    idx.by_file_name[d->file + "\n" + d->name].push_back(i);
+  }
+
+  // One-level interprocedural edges: holding H while calling G adds
+  // H -> every lock G takes directly. REQUIRES-annotated helpers contribute
+  // nothing here (the caller already holds what they need), which is exactly
+  // right: a *Locked helper is not a second acquisition.
+  for (const FuncInfo& f : idx.funcs) {
+    for (const CallSite& call : f.calls) {
+      if (call.held.empty()) {
+        continue;
+      }
+      const FuncInfo* callee = Bind(idx, call, *f.def);
+      if (callee == nullptr || callee == &f) {
+        continue;
+      }
+      std::set<std::string> callee_locks(callee->direct_acquires.begin(),
+                                         callee->direct_acquires.end());
+      for (const std::string& to : callee_locks) {
+        for (const std::string& h : call.held) {
+          if (h != to) {
+            const FuncDef* cd = callee->def;
+            edges.push_back({h, to, f.def->file, call.line,
+                             (f.def->cls.empty() ? f.def->name
+                                                 : f.def->cls + "::" + f.def->name) +
+                                 " calling " +
+                                 (cd->cls.empty() ? cd->name : cd->cls + "::" + cd->name)});
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Finding> findings;
+  FindCycles(edges, &findings);
+  CheckReactorBlocking(parsed, idx, &findings);
+  std::stable_sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return a.file != b.file ? a.file < b.file : a.line < b.line;
+  });
+  return findings;
+}
+
+}  // namespace lint
+}  // namespace gadget
